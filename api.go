@@ -1,0 +1,302 @@
+// Package hkpr is the public API of the TEA/TEA+ heat-kernel-PageRank local
+// clustering library, a from-scratch Go implementation of
+//
+//	"Efficient Estimation of Heat Kernel PageRank for Local Clustering",
+//	Renchi Yang, Xiaokui Xiao, Zhewei Wei, Sourav S Bhowmick, Jun Zhao,
+//	Rong-Hua Li.  SIGMOD 2019.
+//
+// The typical workflow is:
+//
+//	g, err := hkpr.LoadEdgeListFile("graph.txt")      // or GeneratePLC, …
+//	clusterer, err := hkpr.NewClusterer(g, hkpr.Options{Delta: 1.0 / float64(g.N())})
+//	local, err := clusterer.LocalCluster(seed)        // TEA+ then sweep
+//	fmt.Println(local.Cluster, local.Conductance)
+//
+// The HKPR estimators themselves (TEA, TEA+, Monte-Carlo, and the baselines
+// HK-Relax and ClusterHKPR) are also exposed directly for callers that want
+// the approximate HKPR vector rather than a cluster.
+package hkpr
+
+import (
+	"fmt"
+
+	"hkpr/internal/baselines"
+	"hkpr/internal/cluster"
+	"hkpr/internal/core"
+	"hkpr/internal/flow"
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+)
+
+// Re-exported substrate types.  They alias the internal implementations, so
+// values returned by this package interoperate with all exported helpers.
+type (
+	// Graph is an immutable undirected graph in CSR form.
+	Graph = graph.Graph
+	// NodeID identifies a node (dense IDs 0..N()-1).
+	NodeID = graph.NodeID
+	// Options configures the (d, εr, δ)-approximate HKPR computation.
+	Options = core.Options
+	// Result is a sparse approximate HKPR vector plus cost statistics.
+	Result = core.Result
+	// SweepResult is the outcome of a sweep cut over HKPR scores.
+	SweepResult = cluster.SweepResult
+	// CommunityAssignment maps nodes to ground-truth community indices.
+	CommunityAssignment = gen.CommunityAssignment
+)
+
+// Method selects the HKPR estimator used by a Clusterer.
+type Method string
+
+// Supported estimation methods.
+const (
+	// MethodTEAPlus is Algorithm 5, the paper's optimized estimator and the
+	// recommended default.
+	MethodTEAPlus Method = "tea+"
+	// MethodTEA is Algorithm 3, the first-cut estimator.
+	MethodTEA Method = "tea"
+	// MethodMonteCarlo is the pure random-walk estimator of §3.
+	MethodMonteCarlo Method = "monte-carlo"
+	// MethodHKRelax is the Kloster–Gleich deterministic baseline.
+	MethodHKRelax Method = "hk-relax"
+	// MethodClusterHKPR is the Chung–Simpson Monte-Carlo baseline.
+	MethodClusterHKPR Method = "cluster-hkpr"
+	// MethodExact is the power-method ground truth (slow; for evaluation).
+	MethodExact Method = "exact"
+)
+
+// Methods lists every supported method identifier.
+func Methods() []Method {
+	return []Method{MethodTEAPlus, MethodTEA, MethodMonteCarlo, MethodHKRelax, MethodClusterHKPR, MethodExact}
+}
+
+// Graph loading and generation ------------------------------------------------
+
+// LoadEdgeListFile reads a whitespace-separated edge list (SNAP style; '#'
+// and '%' comments ignored).
+func LoadEdgeListFile(path string) (*Graph, error) { return graph.LoadEdgeListFile(path) }
+
+// LoadBinaryFile reads a graph in the library's binary CSR format.
+func LoadBinaryFile(path string) (*Graph, error) { return graph.LoadBinaryFile(path) }
+
+// SaveEdgeListFile writes a graph as a text edge list.
+func SaveEdgeListFile(path string, g *Graph) error { return graph.SaveEdgeListFile(path, g) }
+
+// SaveBinaryFile writes a graph in the binary CSR format.
+func SaveBinaryFile(path string, g *Graph) error { return graph.SaveBinaryFile(path, g) }
+
+// FromEdges builds a graph with n nodes from an explicit undirected edge list.
+func FromEdges(n int, edges [][2]NodeID) *Graph { return graph.FromEdges(n, edges) }
+
+// GeneratePLC generates a Holme–Kim power-law-cluster graph (the paper's PLC
+// dataset family): n nodes, mEdges edges per new node, triad-closure
+// probability triadP.
+func GeneratePLC(n, mEdges int, triadP float64, seed uint64) (*Graph, error) {
+	return gen.PowerlawCluster(n, mEdges, triadP, seed)
+}
+
+// GenerateGrid3D generates the paper's 3-D torus grid (every node has degree
+// six).
+func GenerateGrid3D(x, y, z int) (*Graph, error) { return gen.Grid3D(x, y, z) }
+
+// GenerateSBM generates a planted-partition graph with ground-truth
+// communities.
+func GenerateSBM(communities, communitySize int, avgInDegree, avgOutDegree float64, seed uint64) (*Graph, CommunityAssignment, error) {
+	return gen.SBM(gen.SBMConfig{
+		Communities:   communities,
+		CommunitySize: communitySize,
+		AvgInDegree:   avgInDegree,
+		AvgOutDegree:  avgOutDegree,
+	}, seed)
+}
+
+// GenerateRMAT generates a heavy-tailed social-network-like graph with
+// 2^scale nodes and roughly edgeFactor·2^scale edges.
+func GenerateRMAT(scale int, edgeFactor float64, seed uint64) (*Graph, error) {
+	return gen.RMAT(gen.DefaultRMAT(scale, edgeFactor), seed)
+}
+
+// LargestComponent restricts g to its largest connected component and returns
+// the mapping from new to original node IDs.
+func LargestComponent(g *Graph) (*Graph, []NodeID) { return graph.LargestComponent(g) }
+
+// Clustering metrics ----------------------------------------------------------
+
+// Conductance returns Φ(S) of the node set S in g.
+func Conductance(g *Graph, set []NodeID) float64 { return cluster.Conductance(g, set) }
+
+// F1Score returns the F1-measure of a predicted node set against a
+// ground-truth set.
+func F1Score(predicted, truth []NodeID) float64 { return cluster.F1Score(predicted, truth) }
+
+// NDCG evaluates a predicted ranking against ground-truth relevance scores at
+// cutoff k (k <= 0 for the full list).
+func NDCG(predicted []NodeID, truth map[NodeID]float64, k int) float64 {
+	return cluster.NDCG(predicted, truth, k)
+}
+
+// Sweep performs the sweep-cut of §2.2 over un-normalized HKPR scores.
+func Sweep(g *Graph, scores map[NodeID]float64) SweepResult { return cluster.Sweep(g, scores) }
+
+// Clusterer -------------------------------------------------------------------
+
+// LocalCluster is the end-to-end output of one local clustering query.
+type LocalCluster struct {
+	// Seed is the query node.
+	Seed NodeID
+	// Cluster is the node set returned by the sweep.
+	Cluster []NodeID
+	// Conductance of the cluster.
+	Conductance float64
+	// HKPR is the approximate HKPR vector the sweep was computed from.
+	HKPR *Result
+	// Sweep carries the full sweep profile.
+	Sweep SweepResult
+}
+
+// Clusterer answers local clustering queries on a fixed graph.  It amortizes
+// the per-graph setup (heat-kernel weight table, adjusted failure
+// probability) across queries, which is what an interactive application — the
+// paper's motivating "explore Twitter around Elon Musk" scenario — needs.
+type Clusterer struct {
+	g      *Graph
+	est    *core.Estimator
+	method Method
+}
+
+// NewClusterer builds a Clusterer using MethodTEAPlus.  Options.Delta
+// defaults to 1/N() if zero.
+func NewClusterer(g *Graph, opts Options) (*Clusterer, error) {
+	return NewClustererWithMethod(g, opts, MethodTEAPlus)
+}
+
+// NewClustererWithMethod builds a Clusterer using the given estimation
+// method.  Only TEA+, TEA and Monte-Carlo are supported here; the baseline
+// estimators have their own entry points (EstimateHKPR).
+func NewClustererWithMethod(g *Graph, opts Options, method Method) (*Clusterer, error) {
+	switch method {
+	case MethodTEAPlus, MethodTEA, MethodMonteCarlo:
+	default:
+		return nil, fmt.Errorf("hkpr: clusterer supports tea+, tea and monte-carlo, got %q", method)
+	}
+	if opts.Delta == 0 {
+		if g.N() > 1 {
+			opts.Delta = 1 / float64(g.N())
+		} else {
+			return nil, fmt.Errorf("hkpr: graph too small for local clustering")
+		}
+	}
+	est, err := core.NewEstimator(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Clusterer{g: g, est: est, method: method}, nil
+}
+
+// Graph returns the underlying graph.
+func (c *Clusterer) Graph() *Graph { return c.g }
+
+// Options returns the resolved estimation options (defaults applied, p'_f
+// cached) shared by every query issued through this clusterer.
+func (c *Clusterer) Options() Options { return c.est.Options() }
+
+// Estimate computes the approximate HKPR vector for seed using the
+// clusterer's method.  query carries optional per-query overrides (Seed for
+// the RNG, EpsRel, Delta); zero fields keep the clusterer's settings.
+func (c *Clusterer) Estimate(seed NodeID, query Options) (*Result, error) {
+	switch c.method {
+	case MethodTEA:
+		return c.est.TEA(seed, query)
+	case MethodMonteCarlo:
+		return c.est.MonteCarlo(seed, query)
+	default:
+		return c.est.TEAPlus(seed, query)
+	}
+}
+
+// LocalCluster runs the full two-phase pipeline for the seed: approximate
+// HKPR estimation followed by the sweep cut.
+func (c *Clusterer) LocalCluster(seed NodeID) (*LocalCluster, error) {
+	return c.LocalClusterWithOptions(seed, Options{})
+}
+
+// LocalClusterWithOptions is LocalCluster with per-query overrides.
+func (c *Clusterer) LocalClusterWithOptions(seed NodeID, query Options) (*LocalCluster, error) {
+	res, err := c.Estimate(seed, query)
+	if err != nil {
+		return nil, err
+	}
+	sw := cluster.Sweep(c.g, res.Scores)
+	return &LocalCluster{
+		Seed:        seed,
+		Cluster:     sw.Cluster,
+		Conductance: sw.Conductance,
+		HKPR:        res,
+		Sweep:       sw,
+	}, nil
+}
+
+// Standalone estimators -------------------------------------------------------
+
+// EstimateHKPR runs the chosen method once.  For MethodHKRelax the εa
+// threshold is taken as opts.EpsRel·opts.Delta (the setting under which its
+// guarantee matches (d, εr, δ)-approximation, §3); for MethodClusterHKPR the
+// ε parameter is opts.EpsRel·opts.Delta as well.
+func EstimateHKPR(g *Graph, seed NodeID, method Method, opts Options) (*Result, error) {
+	switch method {
+	case MethodTEAPlus:
+		return core.TEAPlus(g, seed, opts)
+	case MethodTEA:
+		return core.TEA(g, seed, opts)
+	case MethodMonteCarlo:
+		return core.MonteCarloOnly(g, seed, opts)
+	case MethodHKRelax:
+		t := opts.T
+		if t == 0 {
+			t = core.DefaultHeat
+		}
+		eps := opts.EpsRel * opts.Delta
+		if eps == 0 {
+			eps = 1e-6
+		}
+		return baselines.HKRelax(g, seed, baselines.HKRelaxOptions{T: t, EpsAbs: eps})
+	case MethodClusterHKPR:
+		t := opts.T
+		if t == 0 {
+			t = core.DefaultHeat
+		}
+		eps := opts.EpsRel * opts.Delta
+		if eps == 0 {
+			eps = 0.01
+		}
+		return baselines.ClusterHKPR(g, seed, baselines.ClusterHKPROptions{
+			T: t, Epsilon: eps, Seed: opts.Seed, MaxWalks: 5_000_000,
+		})
+	case MethodExact:
+		t := opts.T
+		if t == 0 {
+			t = core.DefaultHeat
+		}
+		return baselines.Exact(g, seed, baselines.ExactOptions{T: t})
+	default:
+		return nil, fmt.Errorf("hkpr: unknown method %q", method)
+	}
+}
+
+// SimpleLocalCluster runs the flow-based SimpleLocal baseline for a seed.
+func SimpleLocalCluster(g *Graph, seed NodeID, locality float64) ([]NodeID, float64, error) {
+	res, err := flow.SimpleLocal(g, seed, flow.SimpleLocalOptions{Locality: locality})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Cluster, res.Conductance, nil
+}
+
+// CRDCluster runs the capacity-releasing-diffusion baseline for a seed.
+func CRDCluster(g *Graph, seed NodeID, iterations int) ([]NodeID, float64, error) {
+	res, err := flow.CRD(g, seed, flow.CRDOptions{Iterations: iterations})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Cluster, res.Conductance, nil
+}

@@ -1,0 +1,232 @@
+package hkpr_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"hkpr"
+)
+
+func sbmForAPI(tb testing.TB) (*hkpr.Graph, hkpr.CommunityAssignment) {
+	tb.Helper()
+	g, assign, err := hkpr.GenerateSBM(5, 40, 10, 1.5, 11)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g, assign
+}
+
+func TestGenerateAndSaveLoadRoundTrip(t *testing.T) {
+	g, err := hkpr.GeneratePLC(500, 4, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "g.bin")
+	txtPath := filepath.Join(dir, "g.txt")
+	if err := hkpr.SaveBinaryFile(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := hkpr.SaveEdgeListFile(txtPath, g); err != nil {
+		t.Fatal(err)
+	}
+	gb, err := hkpr.LoadBinaryFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := hkpr.LoadEdgeListFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.M() != g.M() || gt.M() != g.M() {
+		t.Fatal("round trips changed edge counts")
+	}
+}
+
+func TestGenerateGrid3DAndRMAT(t *testing.T) {
+	grid, err := hkpr.GenerateGrid3D(5, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grid.N() != 125 {
+		t.Errorf("grid nodes %d", grid.N())
+	}
+	rmat, err := hkpr.GenerateRMAT(10, 6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmat.N() != 1024 {
+		t.Errorf("rmat nodes %d", rmat.N())
+	}
+	lc, _ := hkpr.LargestComponent(rmat)
+	if lc.N() > rmat.N() {
+		t.Error("largest component cannot exceed graph size")
+	}
+}
+
+func TestClustererLocalCluster(t *testing.T) {
+	g, assign := sbmForAPI(t)
+	c, err := hkpr.NewClusterer(g, hkpr.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph() != g {
+		t.Fatal("Graph accessor broken")
+	}
+	seed := hkpr.NodeID(0)
+	local, err := c.LocalCluster(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Seed != seed || len(local.Cluster) == 0 {
+		t.Fatalf("bad result: %+v", local)
+	}
+	if local.Conductance <= 0 || local.Conductance > 1 {
+		t.Fatalf("conductance out of range: %v", local.Conductance)
+	}
+	truth := assign.Communities()[assign[seed]]
+	if f1 := hkpr.F1Score(local.Cluster, truth); f1 < 0.5 {
+		t.Errorf("F1=%v too low", f1)
+	}
+	// Conductance reported must match direct recomputation.
+	if phi := hkpr.Conductance(g, local.Cluster); math.Abs(phi-local.Conductance) > 1e-12 {
+		t.Errorf("conductance mismatch: %v vs %v", phi, local.Conductance)
+	}
+}
+
+func TestClustererMethods(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	for _, m := range []hkpr.Method{hkpr.MethodTEAPlus, hkpr.MethodTEA, hkpr.MethodMonteCarlo} {
+		c, err := hkpr.NewClustererWithMethod(g, hkpr.Options{T: 5, FailureProb: 1e-4, Delta: 0.001, Seed: 3}, m)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		res, err := c.Estimate(1, hkpr.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.SupportSize() == 0 {
+			t.Errorf("%s produced empty estimate", m)
+		}
+	}
+	if _, err := hkpr.NewClustererWithMethod(g, hkpr.Options{}, hkpr.MethodHKRelax); err == nil {
+		t.Error("clusterer should reject baseline-only methods")
+	}
+	if _, err := hkpr.NewClustererWithMethod(g, hkpr.Options{}, "bogus"); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestEstimateHKPRAllMethods(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	opts := hkpr.Options{T: 5, EpsRel: 0.5, Delta: 0.001, FailureProb: 1e-4, Seed: 4}
+	exact, err := hkpr.EstimateHKPR(g, 2, hkpr.MethodExact, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range hkpr.Methods() {
+		if m == hkpr.MethodExact {
+			continue
+		}
+		res, err := hkpr.EstimateHKPR(g, 2, m, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.SupportSize() == 0 {
+			t.Errorf("%s returned empty scores", m)
+		}
+		// Sanity: the node with the largest exact score should also have a
+		// large estimate (within a factor).
+		var bestNode hkpr.NodeID
+		best := -1.0
+		for v, s := range exact.Scores {
+			if s > best {
+				best = s
+				bestNode = v
+			}
+		}
+		got := res.Estimate(bestNode, g.Degree(bestNode))
+		if got < best/4 {
+			t.Errorf("%s underestimates the top node: %v vs %v", m, got, best)
+		}
+	}
+	if _, err := hkpr.EstimateHKPR(g, 2, "bogus", opts); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestEstimateHKPRDefaultThresholds(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	// Zero EpsRel/Delta for baseline methods should fall back to usable
+	// defaults rather than failing.
+	if _, err := hkpr.EstimateHKPR(g, 0, hkpr.MethodHKRelax, hkpr.Options{}); err != nil {
+		t.Errorf("HK-Relax with defaults: %v", err)
+	}
+	if _, err := hkpr.EstimateHKPR(g, 0, hkpr.MethodClusterHKPR, hkpr.Options{}); err != nil {
+		t.Errorf("ClusterHKPR with defaults: %v", err)
+	}
+}
+
+func TestNewClustererDefaultsAndErrors(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	// Delta defaults to 1/n.
+	c, err := hkpr.NewClusterer(g, hkpr.Options{T: 5, FailureProb: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.LocalCluster(3); err != nil {
+		t.Fatal(err)
+	}
+	// Invalid options surface as errors.
+	if _, err := hkpr.NewClusterer(g, hkpr.Options{T: -5}); err == nil {
+		t.Error("invalid options should error")
+	}
+	tiny := hkpr.FromEdges(1, nil)
+	if _, err := hkpr.NewClusterer(tiny, hkpr.Options{}); err == nil {
+		t.Error("degenerate graph should error")
+	}
+}
+
+func TestFlowBaselineWrappers(t *testing.T) {
+	g, assign := sbmForAPI(t)
+	clusterNodes, phi, err := hkpr.SimpleLocalCluster(g, 0, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusterNodes) == 0 || phi <= 0 || phi > 1 {
+		t.Errorf("SimpleLocal wrapper: %d nodes phi=%v", len(clusterNodes), phi)
+	}
+	crdNodes, phi2, err := hkpr.CRDCluster(g, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crdNodes) == 0 || phi2 < 0 || phi2 > 1 {
+		t.Errorf("CRD wrapper: %d nodes phi=%v", len(crdNodes), phi2)
+	}
+	_ = assign
+}
+
+func TestSweepAndNDCGReexports(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	res, err := hkpr.EstimateHKPR(g, 0, hkpr.MethodTEAPlus, hkpr.Options{T: 5, Delta: 1.0 / float64(g.N()), FailureProb: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := hkpr.Sweep(g, res.Scores)
+	if len(sw.Cluster) == 0 {
+		t.Fatal("sweep returned empty cluster")
+	}
+	exact, err := hkpr.EstimateHKPR(g, 0, hkpr.MethodExact, hkpr.Options{T: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[hkpr.NodeID]float64)
+	for v, s := range exact.Scores {
+		truth[v] = s / float64(g.Degree(v))
+	}
+	ndcg := hkpr.NDCG(sw.Order, truth, 50)
+	if ndcg < 0.8 {
+		t.Errorf("TEA+ ranking NDCG=%v unexpectedly low", ndcg)
+	}
+}

@@ -1,0 +1,58 @@
+package hkpr
+
+import (
+	"hkpr/internal/cluster"
+	"hkpr/internal/core"
+)
+
+// RankedNode pairs a node with its degree-normalized HKPR score, the quantity
+// local clustering ranks by.
+type RankedNode = cluster.ScoredNode
+
+// TopK returns the k nodes with the largest normalized HKPR estimates in res
+// (descending; ties broken by node ID).  k <= 0 returns the full ranking.
+func TopK(g *Graph, res *Result, k int) []RankedNode {
+	return cluster.TopKNormalized(g, res.Scores, k)
+}
+
+// BatchLocalCluster answers many local clustering queries concurrently.  The
+// graph and all per-graph setup are shared read-only; each query receives an
+// independent deterministic RNG stream, so results do not depend on
+// scheduling.  workers <= 0 uses GOMAXPROCS.
+//
+// The error of one query does not abort the batch: failed items carry a nil
+// cluster and their error.
+type BatchLocalCluster struct {
+	Seed    NodeID
+	Cluster *LocalCluster
+	Err     error
+}
+
+// LocalClusterBatch runs LocalCluster for every seed using a worker pool.
+func (c *Clusterer) LocalClusterBatch(seeds []NodeID, workers int) []BatchLocalCluster {
+	method := core.BatchTEAPlus
+	switch c.method {
+	case MethodTEA:
+		method = core.BatchTEA
+	case MethodMonteCarlo:
+		method = core.BatchMonteCarlo
+	}
+	items := c.est.Batch(seeds, method, Options{}, workers)
+	out := make([]BatchLocalCluster, len(items))
+	for i, item := range items {
+		out[i].Seed = item.Seed
+		if item.Err != nil {
+			out[i].Err = item.Err
+			continue
+		}
+		sw := cluster.Sweep(c.g, item.Result.Scores)
+		out[i].Cluster = &LocalCluster{
+			Seed:        item.Seed,
+			Cluster:     sw.Cluster,
+			Conductance: sw.Conductance,
+			HKPR:        item.Result,
+			Sweep:       sw,
+		}
+	}
+	return out
+}

@@ -1,0 +1,85 @@
+package hkpr_test
+
+import (
+	"testing"
+
+	"hkpr"
+)
+
+func TestLocalClusterBatch(t *testing.T) {
+	g, assign := sbmForAPI(t)
+	c, err := hkpr.NewClusterer(g, hkpr.Options{T: 5, FailureProb: 1e-4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := []hkpr.NodeID{0, 41, 85, hkpr.NodeID(g.N() + 7), 120}
+	out := c.LocalClusterBatch(seeds, 3)
+	if len(out) != len(seeds) {
+		t.Fatalf("batch length %d", len(out))
+	}
+	for i, item := range out {
+		if item.Seed != seeds[i] {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+	if out[3].Err == nil {
+		t.Error("invalid seed should error")
+	}
+	for _, i := range []int{0, 1, 2, 4} {
+		item := out[i]
+		if item.Err != nil {
+			t.Fatalf("seed %d: %v", item.Seed, item.Err)
+		}
+		if len(item.Cluster.Cluster) == 0 {
+			t.Errorf("seed %d: empty cluster", item.Seed)
+		}
+		truth := assign.Communities()[assign[item.Seed]]
+		if f1 := hkpr.F1Score(item.Cluster.Cluster, truth); f1 < 0.4 {
+			t.Errorf("seed %d: F1=%v too low", item.Seed, f1)
+		}
+	}
+}
+
+func TestLocalClusterBatchOtherMethods(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	for _, m := range []hkpr.Method{hkpr.MethodTEA, hkpr.MethodMonteCarlo} {
+		c, err := hkpr.NewClustererWithMethod(g, hkpr.Options{T: 5, FailureProb: 1e-4, Delta: 0.005, Seed: 2}, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := c.LocalClusterBatch([]hkpr.NodeID{1, 2}, 2)
+		for _, item := range out {
+			if item.Err != nil {
+				t.Errorf("%s seed %d: %v", m, item.Seed, item.Err)
+			}
+		}
+	}
+}
+
+func TestTopK(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	res, err := hkpr.EstimateHKPR(g, 7, hkpr.MethodTEAPlus,
+		hkpr.Options{T: 5, Delta: 1 / float64(g.N()), FailureProb: 1e-4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := hkpr.TopK(g, res, 10)
+	if len(top) != 10 {
+		t.Fatalf("TopK length %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Score > top[i-1].Score {
+			t.Fatal("TopK not sorted descending")
+		}
+	}
+	// The seed itself should be near the top of its own HKPR ranking.
+	found := false
+	for _, rn := range top {
+		if rn.Node == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("seed missing from its own top-10")
+	}
+}

@@ -1,0 +1,190 @@
+// Benchmarks that regenerate every table and figure of the paper's evaluation
+// (§7) at reduced scale, plus micro-benchmarks of the core estimators.
+//
+// Each BenchmarkTable*/BenchmarkFig* target runs the corresponding experiment
+// from internal/bench on the ScaleTest dataset stand-ins so the whole suite
+// finishes in minutes; the full-size reproduction is run through
+// cmd/hkprbench (see EXPERIMENTS.md).  Reported ns/op is the wall-clock cost
+// of regenerating that artifact once.
+package hkpr_test
+
+import (
+	"testing"
+
+	"hkpr"
+	"hkpr/internal/bench"
+	"hkpr/internal/dataset"
+)
+
+// benchConfig is the shared reduced-size configuration for the experiment
+// benchmarks.
+func benchConfig(datasets ...string) bench.Config {
+	return bench.Config{
+		Scale:           dataset.ScaleTest,
+		SeedsPerDataset: 3,
+		Datasets:        datasets,
+		RNGSeed:         1,
+	}
+}
+
+func runExperiment(b *testing.B, id string, cfg bench.Config) {
+	b.Helper()
+	exp, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rep.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// --- one benchmark per paper table/figure -----------------------------------
+
+func BenchmarkTable7DatasetStats(b *testing.B) {
+	runExperiment(b, "table7", benchConfig())
+}
+
+func BenchmarkFig2TuneC(b *testing.B) {
+	runExperiment(b, "fig2", benchConfig("dblp", "plc", "orkut"))
+}
+
+func BenchmarkFig3TEAvsTEAPlus(b *testing.B) {
+	runExperiment(b, "fig3", benchConfig("dblp", "plc", "orkut"))
+}
+
+func BenchmarkFig4TimeVsConductance(b *testing.B) {
+	runExperiment(b, "fig4", benchConfig("dblp", "plc"))
+}
+
+func BenchmarkFig5MemoryVsConductance(b *testing.B) {
+	runExperiment(b, "fig5", benchConfig("dblp", "plc"))
+}
+
+func BenchmarkFig6NDCG(b *testing.B) {
+	runExperiment(b, "fig6", benchConfig("dblp", "plc"))
+}
+
+func BenchmarkTable8GroundTruthF1(b *testing.B) {
+	runExperiment(b, "table8", benchConfig("dblp"))
+}
+
+func BenchmarkFig7SubgraphDensity(b *testing.B) {
+	runExperiment(b, "fig7", benchConfig("dblp", "plc"))
+}
+
+func BenchmarkFig8HeatConstantDBLP(b *testing.B) {
+	runExperiment(b, "fig8", benchConfig("dblp"))
+}
+
+func BenchmarkFig9HeatConstantPLC(b *testing.B) {
+	runExperiment(b, "fig9", benchConfig("plc"))
+}
+
+func BenchmarkAblationTEAPlus(b *testing.B) {
+	runExperiment(b, "ablation", benchConfig("plc"))
+}
+
+// --- micro-benchmarks of individual queries ----------------------------------
+
+func benchGraph(b *testing.B) *hkpr.Graph {
+	b.Helper()
+	g, err := hkpr.GeneratePLC(20000, 5, 0.5, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchOpts(g *hkpr.Graph, seed uint64) hkpr.Options {
+	return hkpr.Options{T: 5, EpsRel: 0.5, Delta: 1 / float64(g.N()), FailureProb: 1e-6, Seed: seed}
+}
+
+func BenchmarkQueryTEAPlus(b *testing.B) {
+	g := benchGraph(b)
+	c, err := hkpr.NewClusterer(g, benchOpts(g, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.LocalCluster(hkpr.NodeID(i % g.N())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryTEA(b *testing.B) {
+	g := benchGraph(b)
+	c, err := hkpr.NewClustererWithMethod(g, benchOpts(g, 1), hkpr.MethodTEA)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.LocalCluster(hkpr.NodeID(i % g.N())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryMonteCarlo(b *testing.B) {
+	g := benchGraph(b)
+	// Monte-Carlo at δ=1/n is the expensive baseline; loosen δ slightly so a
+	// single iteration stays in benchmark-friendly territory while keeping
+	// the relative ordering visible.
+	opts := benchOpts(g, 1)
+	opts.Delta *= 4
+	c, err := hkpr.NewClustererWithMethod(g, opts, hkpr.MethodMonteCarlo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.LocalCluster(hkpr.NodeID(i % g.N())); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQueryHKRelax(b *testing.B) {
+	g := benchGraph(b)
+	opts := benchOpts(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hkpr.EstimateHKPR(g, hkpr.NodeID(i%g.N()), hkpr.MethodHKRelax, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hkpr.Sweep(g, res.Scores)
+	}
+}
+
+func BenchmarkQueryExactPowerMethod(b *testing.B) {
+	g := benchGraph(b)
+	opts := benchOpts(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hkpr.EstimateHKPR(g, hkpr.NodeID(i%g.N()), hkpr.MethodExact, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepOnly(b *testing.B) {
+	g := benchGraph(b)
+	res, err := hkpr.EstimateHKPR(g, 7, hkpr.MethodTEAPlus, benchOpts(g, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hkpr.Sweep(g, res.Scores)
+	}
+}

@@ -1,0 +1,140 @@
+// Command graphgen generates the synthetic benchmark graphs used throughout
+// the repository and writes them as edge lists or in the binary CSR format.
+//
+// Examples:
+//
+//	graphgen -type plc -n 30000 -m 5 -triad 0.5 -out plc.txt
+//	graphgen -type grid3d -side 30 -out grid.bin -format binary
+//	graphgen -type sbm -communities 40 -size 300 -in 48 -out-degree 12 -out orkut.txt
+//	graphgen -type dataset -name twitter -scale small -out twitter.bin -format binary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hkpr/internal/dataset"
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("graphgen", flag.ContinueOnError)
+	var (
+		typ       = fs.String("type", "plc", "generator: plc | grid3d | sbm | rmat | ba | er | lfr | dataset")
+		out       = fs.String("out", "", "output path (required)")
+		format    = fs.String("format", "edgelist", "output format: edgelist | binary")
+		seed      = fs.Uint64("seed", 1, "RNG seed")
+		n         = fs.Int("n", 10000, "number of nodes (plc, ba, er, lfr)")
+		m         = fs.Int("m", 5, "edges per new node (plc, ba)")
+		triad     = fs.Float64("triad", 0.5, "triad closure probability (plc)")
+		p         = fs.Float64("p", 0.001, "edge probability (er)")
+		side      = fs.Int("side", 20, "side length (grid3d)")
+		comms     = fs.Int("communities", 20, "number of communities (sbm)")
+		size      = fs.Int("size", 100, "community size (sbm)")
+		inDeg     = fs.Float64("in", 12, "average intra-community degree (sbm)")
+		outDeg    = fs.Float64("out-degree", 2, "average inter-community degree (sbm)")
+		scale     = fs.Int("rmat-scale", 14, "log2 of node count (rmat)")
+		edgeF     = fs.Float64("edge-factor", 16, "edges per node (rmat)")
+		mu        = fs.Float64("mu", 0.2, "mixing parameter (lfr)")
+		avgDeg    = fs.Float64("avg-degree", 10, "average degree (lfr)")
+		dsName    = fs.String("name", "dblp", "dataset name (dataset type)")
+		dsScale   = fs.String("scale", "small", "dataset scale: test | small | full (dataset type)")
+		commsFile = fs.String("communities-out", "", "optional path to write ground-truth communities (sbm, lfr, dataset)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("missing -out path")
+	}
+
+	var (
+		g      *graph.Graph
+		assign gen.CommunityAssignment
+		err    error
+	)
+	switch *typ {
+	case "plc":
+		g, err = gen.PowerlawCluster(*n, *m, *triad, *seed)
+	case "grid3d":
+		g, err = gen.Grid3D(*side, *side, *side)
+	case "sbm":
+		g, assign, err = gen.SBM(gen.SBMConfig{
+			Communities: *comms, CommunitySize: *size, AvgInDegree: *inDeg, AvgOutDegree: *outDeg,
+		}, *seed)
+	case "rmat":
+		g, err = gen.RMAT(gen.DefaultRMAT(*scale, *edgeF), *seed)
+	case "ba":
+		g, err = gen.BarabasiAlbert(*n, *m, *seed)
+	case "er":
+		g, err = gen.ErdosRenyi(*n, *p, *seed)
+	case "lfr":
+		g, assign, err = gen.LFR(gen.LFRConfig{
+			Nodes: *n, AvgDegree: *avgDeg, MaxDegree: 10 * int(*avgDeg), DegreeExponent: 2.5,
+			MinCommunitySize: 10, MaxCommunitySize: 10 * int(*avgDeg), Mu: *mu,
+		}, *seed)
+	case "dataset":
+		var ds *dataset.Dataset
+		ds, err = dataset.Load(*dsName, dataset.Scale(*dsScale), "")
+		if err == nil {
+			g = ds.Graph
+			assign = ds.Communities
+		}
+	default:
+		return fmt.Errorf("unknown generator type %q", *typ)
+	}
+	if err != nil {
+		return err
+	}
+
+	switch *format {
+	case "edgelist":
+		err = graph.SaveEdgeListFile(*out, g)
+	case "binary":
+		err = graph.SaveBinaryFile(*out, g)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *commsFile != "" && assign != nil {
+		if err := writeCommunities(*commsFile, assign); err != nil {
+			return err
+		}
+	}
+
+	stats := g.ComputeStats()
+	fmt.Printf("wrote %s: n=%d m=%d avg-degree=%.2f max-degree=%d\n",
+		*out, stats.Nodes, stats.Edges, stats.AverageDegree, stats.MaxDegree)
+	return nil
+}
+
+// writeCommunities writes one "node community" line per node with a
+// ground-truth community.
+func writeCommunities(path string, assign gen.CommunityAssignment) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for v, c := range assign {
+		if c < 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(f, "%d %d\n", v, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

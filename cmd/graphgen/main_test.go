@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hkpr/internal/graph"
+)
+
+func TestGenerateEdgeList(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "plc.txt")
+	err := run([]string{"-type", "plc", "-n", "500", "-m", "3", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadEdgeListFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Errorf("n=%d", g.N())
+	}
+}
+
+func TestGenerateBinaryAndCommunities(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sbm.bin")
+	commOut := filepath.Join(dir, "comms.txt")
+	err := run([]string{
+		"-type", "sbm", "-communities", "4", "-size", "25", "-in", "8", "-out-degree", "1",
+		"-out", out, "-format", "binary", "-communities-out", commOut,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadBinaryFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Errorf("n=%d", g.N())
+	}
+	if _, err := os.Stat(commOut); err != nil {
+		t.Errorf("communities file not written: %v", err)
+	}
+}
+
+func TestGenerateAllTypes(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-type", "grid3d", "-side", "5"},
+		{"-type", "ba", "-n", "300", "-m", "3"},
+		{"-type", "er", "-n", "300", "-p", "0.02"},
+		{"-type", "rmat", "-rmat-scale", "8", "-edge-factor", "4"},
+		{"-type", "lfr", "-n", "400", "-avg-degree", "8", "-mu", "0.2"},
+		{"-type", "dataset", "-name", "plc", "-scale", "test"},
+	}
+	for i, extra := range cases {
+		out := filepath.Join(dir, "g"+string(rune('a'+i))+".txt")
+		args := append(extra, "-out", out)
+		if err := run(args); err != nil {
+			t.Errorf("case %v: %v", extra, err)
+			continue
+		}
+		if _, err := graph.LoadEdgeListFile(out); err != nil {
+			t.Errorf("case %v: output unreadable: %v", extra, err)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run([]string{"-type", "plc"}); err == nil {
+		t.Error("missing -out should error")
+	}
+	if err := run([]string{"-type", "bogus", "-out", filepath.Join(t.TempDir(), "x.txt")}); err == nil {
+		t.Error("unknown type should error")
+	}
+	if err := run([]string{"-type", "plc", "-out", filepath.Join(t.TempDir(), "x.txt"), "-format", "bogus"}); err == nil {
+		t.Error("unknown format should error")
+	}
+	if err := run([]string{"-type", "er", "-p", "2", "-out", filepath.Join(t.TempDir(), "x.txt")}); err == nil {
+		t.Error("invalid generator parameters should error")
+	}
+}

@@ -1,0 +1,119 @@
+// Command hkprbench regenerates the paper's tables and figures on the
+// synthetic dataset stand-ins.  Each experiment prints a plain-text table
+// with the same rows/series the paper plots; EXPERIMENTS.md records how the
+// shapes compare.
+//
+// Examples:
+//
+//	hkprbench -list
+//	hkprbench -exp fig4 -scale small -seeds 20
+//	hkprbench -exp all -scale test -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hkpr/internal/bench"
+	"hkpr/internal/dataset"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hkprbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("hkprbench", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment id (see -list) or 'all'")
+		list     = fs.Bool("list", false, "list available experiments and exit")
+		scale    = fs.String("scale", "small", "dataset scale: test | small | full")
+		seeds    = fs.Int("seeds", 0, "seeds per dataset (0 = scale default; the paper uses 50)")
+		datasets = fs.String("datasets", "", "comma-separated dataset subset (default: per-experiment)")
+		cacheDir = fs.String("cache", ".hkpr-cache", "directory for cached generated graphs ('' disables)")
+		outPath  = fs.String("out", "", "also write the reports to this file")
+		heat     = fs.Float64("t", 5, "heat constant t")
+		verbose  = fs.Bool("v", true, "log progress to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(stdout, "%-10s %-28s %s\n", e.ID, e.PaperRef, e.Title)
+		}
+		return nil
+	}
+
+	cfg := bench.Config{
+		Scale:           dataset.Scale(*scale),
+		CacheDir:        *cacheDir,
+		SeedsPerDataset: *seeds,
+		Heat:            *heat,
+	}
+	if *datasets != "" {
+		cfg.Datasets = splitComma(*datasets)
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	var reports []*bench.Report
+	if *exp == "all" {
+		all, err := bench.RunAll(cfg)
+		if err != nil {
+			return err
+		}
+		reports = all
+	} else {
+		e, err := bench.Lookup(*exp)
+		if err != nil {
+			return err
+		}
+		rep, err := e.Run(cfg)
+		if err != nil {
+			return err
+		}
+		reports = []*bench.Report{rep}
+	}
+
+	writers := []io.Writer{stdout}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		writers = append(writers, f)
+	}
+	w := io.MultiWriter(writers...)
+	for _, rep := range reports {
+		rep.Format(w)
+	}
+	return nil
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, c := range s {
+		if c == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(c)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"table7", "fig4", "fig9", "ablation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("list output missing %s", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-exp", "table7", "-scale", "test", "-seeds", "2",
+		"-datasets", "plc,3d-grid", "-cache", "", "-v=false",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "table7") || !strings.Contains(out.String(), "PLC") {
+		t.Errorf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunWritesOutputFile(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "report.txt")
+	var out bytes.Buffer
+	err := run([]string{
+		"-exp", "fig2", "-scale", "test", "-seeds", "1",
+		"-datasets", "plc", "-cache", "", "-out", outPath, "-v=false",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fig2") {
+		t.Error("stdout missing report")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig42", "-v=false"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestSplitComma(t *testing.T) {
+	got := splitComma("a,b,,c")
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("splitComma: %v", got)
+	}
+	if splitComma("") != nil {
+		t.Error("empty string should return nil")
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hkpr"
+)
+
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g, _, err := hkpr.GenerateSBM(4, 30, 8, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := hkpr.SaveEdgeListFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQuery(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	err := run([]string{"-graph", path, "-seed", "3", "-method", "tea+"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"graph:", "cluster:", "conductance", "members"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRunQueryAllMethods(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, m := range []string{"tea", "monte-carlo", "hk-relax", "exact"} {
+		var out bytes.Buffer
+		if err := run([]string{"-graph", path, "-seed", "1", "-method", m}, &out); err != nil {
+			t.Errorf("method %s: %v", m, err)
+		}
+	}
+}
+
+func TestRunQueryErrors(t *testing.T) {
+	if err := run([]string{"-seed", "1"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing graph should error")
+	}
+	if err := run([]string{"-graph", "/no/such/file", "-seed", "1"}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file should error")
+	}
+	path := writeTestGraph(t)
+	if err := run([]string{"-graph", path, "-seed", "999999"}, &bytes.Buffer{}); err == nil {
+		t.Error("out-of-range seed should error")
+	}
+	if err := run([]string{"-graph", path, "-seed", "1", "-method", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestLoadGraphBinary(t *testing.T) {
+	g, _, err := hkpr.GenerateSBM(3, 20, 6, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	if err := hkpr.SaveBinaryFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != g.N() {
+		t.Error("binary load mismatch")
+	}
+}

@@ -1,0 +1,205 @@
+// Command hkprserver exposes local clustering queries over HTTP, the shape of
+// deployment the paper's interactive-exploration scenario (§1, "Bob explores
+// Twitter around Elon Musk") calls for: the graph is loaded once, the
+// per-graph setup is amortized, and each query returns within interactive
+// latency.
+//
+// Endpoints:
+//
+//	GET /healthz                 → 200 ok
+//	GET /stats                   → graph statistics (JSON)
+//	GET /cluster?seed=17         → local cluster of node 17 (JSON)
+//	GET /cluster?seed=17&method=tea&eps=0.3
+//
+// Example:
+//
+//	hkprserver -graph twitter.bin -addr :8080
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hkpr"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hkprserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hkprserver", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "path to the graph (edge list or .bin)")
+		addr      = fs.String("addr", ":8080", "listen address")
+		heat      = fs.Float64("t", 5, "heat constant t")
+		epsRel    = fs.Float64("eps", 0.5, "relative error threshold εr")
+		pf        = fs.Float64("pf", 1e-6, "failure probability")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" {
+		return fmt.Errorf("missing -graph path")
+	}
+	var (
+		g   *hkpr.Graph
+		err error
+	)
+	if strings.HasSuffix(*graphPath, ".bin") {
+		g, err = hkpr.LoadBinaryFile(*graphPath)
+	} else {
+		g, err = hkpr.LoadEdgeListFile(*graphPath)
+	}
+	if err != nil {
+		return err
+	}
+	srv, err := newServer(g, hkpr.Options{T: *heat, EpsRel: *epsRel, FailureProb: *pf})
+	if err != nil {
+		return err
+	}
+	log.Printf("serving local clustering on %s (graph: n=%d m=%d)", *addr, g.N(), g.M())
+	return http.ListenAndServe(*addr, srv.routes())
+}
+
+// server holds the long-lived clusterer shared by all requests.
+type server struct {
+	g         *hkpr.Graph
+	clusterer *hkpr.Clusterer
+}
+
+func newServer(g *hkpr.Graph, opts hkpr.Options) (*server, error) {
+	c, err := hkpr.NewClusterer(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &server{g: g, clusterer: c}, nil
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /cluster", s.handleCluster)
+	return mux
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+type statsResponse struct {
+	Nodes         int     `json:"nodes"`
+	Edges         int64   `json:"edges"`
+	AverageDegree float64 `json:"average_degree"`
+	MaxDegree     int32   `json:"max_degree"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.g.ComputeStats()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Nodes:         st.Nodes,
+		Edges:         st.Edges,
+		AverageDegree: st.AverageDegree,
+		MaxDegree:     st.MaxDegree,
+	})
+}
+
+type clusterResponse struct {
+	Seed        int64   `json:"seed"`
+	Method      string  `json:"method"`
+	Cluster     []int64 `json:"cluster"`
+	Size        int     `json:"size"`
+	Conductance float64 `json:"conductance"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Pushes      int64   `json:"push_operations"`
+	Walks       int64   `json:"random_walks"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seedStr := q.Get("seed")
+	if seedStr == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing seed parameter"})
+		return
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil || seed < 0 || seed >= int64(s.g.N()) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "seed must be a node id in range"})
+		return
+	}
+	method := hkpr.Method(q.Get("method"))
+	if method == "" {
+		method = hkpr.MethodTEAPlus
+	}
+	var query hkpr.Options
+	if epsStr := q.Get("eps"); epsStr != "" {
+		eps, err := strconv.ParseFloat(epsStr, 64)
+		if err != nil || eps <= 0 || eps > 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "eps must be in (0,1]"})
+			return
+		}
+		query.EpsRel = eps
+	}
+
+	start := time.Now()
+	var local *hkpr.LocalCluster
+	switch method {
+	case hkpr.MethodTEAPlus, hkpr.MethodTEA, hkpr.MethodMonteCarlo:
+		// The shared clusterer answers TEA+; other methods get a one-off
+		// clusterer so the estimator matches the request.
+		if method == hkpr.MethodTEAPlus {
+			local, err = s.clusterer.LocalClusterWithOptions(hkpr.NodeID(seed), query)
+		} else {
+			var c *hkpr.Clusterer
+			c, err = hkpr.NewClustererWithMethod(s.g, s.clusterer.Options(), method)
+			if err == nil {
+				local, err = c.LocalClusterWithOptions(hkpr.NodeID(seed), query)
+			}
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "method must be tea+, tea or monte-carlo"})
+		return
+	}
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	elapsed := time.Since(start)
+
+	members := make([]int64, len(local.Cluster))
+	for i, v := range local.Cluster {
+		members[i] = int64(v)
+	}
+	writeJSON(w, http.StatusOK, clusterResponse{
+		Seed:        seed,
+		Method:      string(method),
+		Cluster:     members,
+		Size:        len(members),
+		Conductance: local.Conductance,
+		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+		Pushes:      local.HKPR.Stats.PushOperations,
+		Walks:       local.HKPR.Stats.RandomWalks,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(payload)
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"hkpr"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	g, _, err := hkpr.GenerateSBM(4, 30, 8, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(g, hkpr.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestHealthAndStats(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != 120 || stats.Edges <= 0 {
+		t.Errorf("stats: %+v", stats)
+	}
+}
+
+func TestClusterEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/cluster?seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var cr clusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.Seed != 3 || cr.Size == 0 || len(cr.Cluster) != cr.Size {
+		t.Errorf("cluster response: %+v", cr)
+	}
+	if cr.Conductance <= 0 || cr.Conductance > 1 {
+		t.Errorf("conductance %v", cr.Conductance)
+	}
+	if cr.Method != string(hkpr.MethodTEAPlus) {
+		t.Errorf("default method %s", cr.Method)
+	}
+}
+
+func TestClusterEndpointMethodsAndOverrides(t *testing.T) {
+	ts := newTestServer(t)
+	for _, m := range []string{"tea", "monte-carlo"} {
+		resp, err := http.Get(ts.URL + "/cluster?seed=1&method=" + m + "&eps=0.7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("method %s status %d", m, resp.StatusCode)
+		}
+	}
+}
+
+func TestClusterEndpointErrors(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []string{
+		"/cluster",                       // missing seed
+		"/cluster?seed=abc",              // non-numeric
+		"/cluster?seed=999999",           // out of range
+		"/cluster?seed=1&method=bogus",   // unknown method
+		"/cluster?seed=1&eps=2",          // bad eps
+		"/cluster?seed=1&eps=notanumber", // malformed eps
+	}
+	for _, path := range cases {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+// Interactive exploration: the paper's motivating scenario (§1).  Bob starts
+// from one account in a large social network, asks for its local cluster,
+// then hops to an interesting member of that cluster and repeats — and every
+// hop must come back fast enough to feel interactive.
+//
+// This example builds a heavy-tailed RMAT social graph (the stand-in for the
+// paper's Twitter snapshot), performs a chain of local clustering queries
+// with TEA+, and reports the per-hop latency.  For contrast it also runs the
+// first hop with the Monte-Carlo estimator, which is the kind of method the
+// paper shows is too slow for this use.
+//
+// Run with:
+//
+//	go run ./examples/interactive_exploration
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"hkpr"
+)
+
+func main() {
+	// A 2^15-node heavy-tailed graph: our scaled-down "Twitter".
+	g, err := hkpr.GenerateRMAT(15, 20, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, _ = hkpr.LargestComponent(g)
+	fmt.Printf("social graph: %d nodes, %d edges, max degree %d\n", g.N(), g.M(), g.MaxDegree())
+
+	clusterer, err := hkpr.NewClusterer(g, hkpr.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-6, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Start from a high-degree node ("Elon"), then keep exploring: at each
+	// step, move to the highest-HKPR cluster member we have not visited yet.
+	seed := highestDegreeNode(g)
+	visited := map[hkpr.NodeID]bool{seed: true}
+
+	fmt.Println("\ninteractive exploration with TEA+:")
+	for hop := 1; hop <= 5; hop++ {
+		start := time.Now()
+		local, err := clusterer.LocalCluster(seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("  hop %d: seed %-7d cluster %5d nodes  conductance %.4f  latency %6.1f ms\n",
+			hop, seed, len(local.Cluster), local.Conductance,
+			float64(elapsed.Microseconds())/1000)
+
+		next := seed
+		for _, v := range local.Sweep.Order {
+			if !visited[v] {
+				next = v
+				break
+			}
+		}
+		if next == seed {
+			break
+		}
+		visited[next] = true
+		seed = next
+	}
+
+	// The same first query with the plain Monte-Carlo estimator, to show why
+	// the paper's optimization matters for interactivity.
+	mc, err := hkpr.NewClustererWithMethod(g,
+		hkpr.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-6, Seed: 2}, hkpr.MethodMonteCarlo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := mc.LocalCluster(highestDegreeNode(g)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame query with Monte-Carlo: %.1f ms (this is the gap TEA+ closes)\n",
+		float64(time.Since(start).Microseconds())/1000)
+}
+
+func highestDegreeNode(g *hkpr.Graph) hkpr.NodeID {
+	var best hkpr.NodeID
+	var bestDeg int32 = -1
+	for v := hkpr.NodeID(0); int(v) < g.N(); v++ {
+		if d := g.Degree(v); d > bestDeg {
+			bestDeg = d
+			best = v
+		}
+	}
+	return best
+}

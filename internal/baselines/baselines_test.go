@@ -1,0 +1,319 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"hkpr/internal/cluster"
+	"hkpr/internal/core"
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+)
+
+func testGraph(tb testing.TB) (*graph.Graph, gen.CommunityAssignment) {
+	tb.Helper()
+	cfg := gen.SBMConfig{Communities: 4, CommunitySize: 30, AvgInDegree: 8, AvgOutDegree: 1}
+	g, assign, err := gen.SBM(cfg, 42)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lc, orig := graph.LargestComponent(g)
+	remapped := make(gen.CommunityAssignment, lc.N())
+	for newID, oldID := range orig {
+		remapped[newID] = assign[oldID]
+	}
+	return lc, remapped
+}
+
+func TestExactMassAndErrors(t *testing.T) {
+	g, _ := testGraph(t)
+	res, err := Exact(g, 0, ExactOptions{T: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exact HKPR sums to 1 (up to the truncated Poisson tail).
+	if math.Abs(res.TotalMass()-1) > 1e-9 {
+		t.Errorf("exact mass %v", res.TotalMass())
+	}
+	if res.Stats.PushOperations <= 0 {
+		t.Error("exact stats not populated")
+	}
+	if _, err := Exact(g, 0, ExactOptions{T: 0}); err == nil {
+		t.Error("t=0 should error")
+	}
+	if _, err := Exact(g, graph.NodeID(g.N()), ExactOptions{T: 5}); err == nil {
+		t.Error("bad seed should error")
+	}
+}
+
+func TestExactMatchesIndependentPowerIteration(t *testing.T) {
+	// Independent dense reference on a tiny path graph where HKPR is easy to
+	// reason about: mass must stay symmetric around the seed.
+	g := graph.FromEdges(5, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	res, err := Exact(g, 2, ExactOptions{T: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Scores[1]-res.Scores[3]) > 1e-12 {
+		t.Errorf("symmetry violated: %v vs %v", res.Scores[1], res.Scores[3])
+	}
+	if math.Abs(res.Scores[0]-res.Scores[4]) > 1e-12 {
+		t.Errorf("symmetry violated at ends")
+	}
+	if res.Scores[2] <= res.Scores[1] {
+		t.Error("seed should hold the most mass for small t")
+	}
+}
+
+func TestExactNormalized(t *testing.T) {
+	g, _ := testGraph(t)
+	norm, err := ExactNormalized(g, 3, ExactOptions{T: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := Exact(g, 3, ExactOptions{T: 5})
+	for v, nv := range norm {
+		want := raw.Scores[v] / float64(g.Degree(v))
+		if math.Abs(nv-want) > 1e-15 {
+			t.Fatalf("normalization wrong at %d", v)
+		}
+	}
+}
+
+func TestExactIterationCapAndTolerance(t *testing.T) {
+	g, _ := testGraph(t)
+	full, _ := Exact(g, 0, ExactOptions{T: 5})
+	capped, _ := Exact(g, 0, ExactOptions{T: 5, Iterations: 3})
+	if capped.TotalMass() > full.TotalMass()+1e-12 {
+		t.Error("capped iterations should not exceed full mass")
+	}
+	tol, _ := Exact(g, 0, ExactOptions{T: 5, Tolerance: 1e-3})
+	if tol.SupportSize() > full.SupportSize() {
+		t.Error("tolerance should not enlarge the support")
+	}
+}
+
+func TestClusterHKPRAccuracy(t *testing.T) {
+	g, _ := testGraph(t)
+	seed := graph.NodeID(7)
+	res, err := ClusterHKPR(g, seed, ClusterHKPROptions{T: 5, Epsilon: 0.1, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := Exact(g, seed, ExactOptions{T: 5})
+	// With ε=0.1 the guarantee is coarse; check estimates are in the right
+	// ballpark for nodes with large exact values.
+	for v, want := range exact.Scores {
+		if want < 0.05 {
+			continue
+		}
+		got := res.Scores[v]
+		if math.Abs(got-want) > 0.5*want+0.1 {
+			t.Errorf("node %d: got %v want %v", v, got, want)
+		}
+	}
+	if res.Stats.RandomWalks <= 0 {
+		t.Error("walk count missing")
+	}
+	if math.Abs(res.TotalMass()-1) > 1e-9 {
+		t.Errorf("ClusterHKPR mass %v", res.TotalMass())
+	}
+}
+
+func TestClusterHKPRWalkCap(t *testing.T) {
+	g, _ := testGraph(t)
+	res, err := ClusterHKPR(g, 0, ClusterHKPROptions{T: 5, Epsilon: 0.05, MaxWalks: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.RandomWalks != 1000 {
+		t.Errorf("walk cap not applied: %d", res.Stats.RandomWalks)
+	}
+}
+
+func TestClusterHKPRErrors(t *testing.T) {
+	g, _ := testGraph(t)
+	if _, err := ClusterHKPR(g, 0, ClusterHKPROptions{T: 0, Epsilon: 0.1}); err == nil {
+		t.Error("t=0 should error")
+	}
+	if _, err := ClusterHKPR(g, 0, ClusterHKPROptions{T: 5, Epsilon: 0}); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := ClusterHKPR(g, -1, ClusterHKPROptions{T: 5, Epsilon: 0.1}); err == nil {
+		t.Error("bad seed should error")
+	}
+}
+
+func TestHKRelaxAbsoluteErrorGuarantee(t *testing.T) {
+	g, _ := testGraph(t)
+	seed := graph.NodeID(11)
+	epsAbs := 1e-4
+	res, err := HKRelax(g, seed, HKRelaxOptions{T: 5, EpsAbs: epsAbs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := Exact(g, seed, ExactOptions{T: 5})
+	worst := 0.0
+	for v := graph.NodeID(0); v < graph.NodeID(g.N()); v++ {
+		d := float64(g.Degree(v))
+		if d == 0 {
+			continue
+		}
+		diff := math.Abs(res.Scores[v]/d - exact.Scores[v]/d)
+		if diff > worst {
+			worst = diff
+		}
+	}
+	if worst > epsAbs {
+		t.Errorf("HK-Relax normalized error %v exceeds ε_a=%v", worst, epsAbs)
+	}
+	if res.Stats.PushOperations <= 0 || res.Stats.PushedNodes <= 0 {
+		t.Error("HK-Relax stats not populated")
+	}
+}
+
+func TestHKRelaxWorkGrowsAsEpsShrinks(t *testing.T) {
+	g, _ := testGraph(t)
+	loose, _ := HKRelax(g, 0, HKRelaxOptions{T: 5, EpsAbs: 1e-2})
+	tight, _ := HKRelax(g, 0, HKRelaxOptions{T: 5, EpsAbs: 1e-5})
+	if tight.Stats.PushOperations < loose.Stats.PushOperations {
+		t.Errorf("smaller ε_a should not reduce work: %d vs %d",
+			tight.Stats.PushOperations, loose.Stats.PushOperations)
+	}
+}
+
+func TestHKRelaxErrorsAndCap(t *testing.T) {
+	g, _ := testGraph(t)
+	if _, err := HKRelax(g, 0, HKRelaxOptions{T: 0, EpsAbs: 1e-3}); err == nil {
+		t.Error("t=0 should error")
+	}
+	if _, err := HKRelax(g, 0, HKRelaxOptions{T: 5, EpsAbs: 0}); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := HKRelax(g, graph.NodeID(g.N()), HKRelaxOptions{T: 5, EpsAbs: 1e-3}); err == nil {
+		t.Error("bad seed should error")
+	}
+	capped, err := HKRelax(g, 0, HKRelaxOptions{T: 5, EpsAbs: 1e-6, MaxPushes: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Stats.PushOperations > 100+int64(g.MaxDegree()) {
+		t.Errorf("push cap ignored: %d", capped.Stats.PushOperations)
+	}
+}
+
+func TestPRNibbleMassAndLocality(t *testing.T) {
+	g, assign := testGraph(t)
+	seed := graph.NodeID(2)
+	res, err := PRNibble(g, seed, PRNibbleOptions{Alpha: 0.15, Epsilon: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PPR mass is at most 1 (the residual holds the rest).
+	if res.TotalMass() > 1+1e-9 {
+		t.Errorf("PPR mass exceeds 1: %v", res.TotalMass())
+	}
+	if res.TotalMass() < 0.5 {
+		t.Errorf("PPR mass too small: %v", res.TotalMass())
+	}
+	// The sweep over PR-Nibble scores should find a community-aligned cluster.
+	sweep := cluster.Sweep(g, res.Scores)
+	f1 := cluster.F1Score(sweep.Cluster, assign.Communities()[assign[seed]])
+	if f1 < 0.5 {
+		t.Errorf("PR-Nibble sweep F1=%v too low", f1)
+	}
+}
+
+func TestPRNibbleErrors(t *testing.T) {
+	g, _ := testGraph(t)
+	if _, err := PRNibble(g, 0, PRNibbleOptions{Alpha: 0, Epsilon: 1e-4}); err == nil {
+		t.Error("alpha=0 should error")
+	}
+	if _, err := PRNibble(g, 0, PRNibbleOptions{Alpha: 0.15, Epsilon: 0}); err == nil {
+		t.Error("eps=0 should error")
+	}
+	if _, err := PRNibble(g, -1, PRNibbleOptions{Alpha: 0.15, Epsilon: 1e-4}); err == nil {
+		t.Error("bad seed should error")
+	}
+	capped, err := PRNibble(g, 0, PRNibbleOptions{Alpha: 0.15, Epsilon: 1e-7, MaxPushes: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Stats.PushOperations > 50+int64(g.MaxDegree()) {
+		t.Errorf("push cap ignored: %d", capped.Stats.PushOperations)
+	}
+}
+
+func TestNibbleBasics(t *testing.T) {
+	g, assign := testGraph(t)
+	seed := graph.NodeID(4)
+	res, err := Nibble(g, seed, NibbleOptions{Steps: 10, TruncationRatio: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SupportSize() == 0 {
+		t.Fatal("Nibble returned empty distribution")
+	}
+	// Truncated walk mass cannot exceed 1.
+	if res.TotalMass() > 1+1e-9 {
+		t.Errorf("Nibble mass %v", res.TotalMass())
+	}
+	sweep := cluster.Sweep(g, res.Scores)
+	f1 := cluster.F1Score(sweep.Cluster, assign.Communities()[assign[seed]])
+	if f1 < 0.4 {
+		t.Errorf("Nibble sweep F1=%v too low", f1)
+	}
+}
+
+func TestNibbleErrors(t *testing.T) {
+	g, _ := testGraph(t)
+	if _, err := Nibble(g, 0, NibbleOptions{Steps: 0, TruncationRatio: 1e-4}); err == nil {
+		t.Error("steps=0 should error")
+	}
+	if _, err := Nibble(g, 0, NibbleOptions{Steps: 5, TruncationRatio: 0}); err == nil {
+		t.Error("ratio=0 should error")
+	}
+	if _, err := Nibble(g, -1, NibbleOptions{Steps: 5, TruncationRatio: 1e-4}); err == nil {
+		t.Error("bad seed should error")
+	}
+}
+
+// Integration: on the same graph/seed, all HKPR estimators should produce
+// sweeps whose conductance is within a reasonable band of each other, and
+// clusters aligned with the planted community.
+func TestAllHKPREstimatorsAgreeOnClustering(t *testing.T) {
+	g, assign := testGraph(t)
+	seed := graph.NodeID(1)
+	truth := assign.Communities()[assign[seed]]
+
+	opts := core.Options{T: 5, EpsRel: 0.5, Delta: 1.0 / float64(g.N()), FailureProb: 1e-4, Seed: 1}
+	tea, err := core.TEA(g, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	teaPlus, err := core.TEAPlus(g, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relax, err := HKRelax(g, seed, HKRelaxOptions{T: 5, EpsAbs: 1e-5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Exact(g, seed, ExactOptions{T: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results := map[string]*core.Result{"TEA": tea, "TEA+": teaPlus, "HK-Relax": relax, "Exact": exact}
+	exactSweep := cluster.Sweep(g, exact.Scores)
+	for name, res := range results {
+		sw := cluster.Sweep(g, res.Scores)
+		if sw.Conductance > exactSweep.Conductance+0.15 {
+			t.Errorf("%s sweep conductance %v much worse than exact %v", name, sw.Conductance, exactSweep.Conductance)
+		}
+		f1 := cluster.F1Score(sw.Cluster, truth)
+		if f1 < 0.5 {
+			t.Errorf("%s F1=%v too low", name, f1)
+		}
+	}
+}

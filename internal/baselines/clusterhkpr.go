@@ -1,0 +1,89 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hkpr/internal/core"
+	"hkpr/internal/graph"
+	"hkpr/internal/heatkernel"
+	"hkpr/internal/xrand"
+)
+
+// ClusterHKPROptions configures the Chung–Simpson ClusterHKPR estimator [10].
+type ClusterHKPROptions struct {
+	// T is the heat constant.
+	T float64
+	// Epsilon is the algorithm's single error parameter ε: it performs
+	// 16·log(n)/ε³ random walks and guarantees (with probability ≥ 1-ε)
+	// relative error (1+ε) on values above ε and absolute error ε below.
+	Epsilon float64
+	// MaxWalkLength caps each walk's length; the original analysis uses
+	// K = c·log(1/ε)/loglog(1/ε).  Zero picks that value with c=3.
+	MaxWalkLength int
+	// MaxWalks optionally caps the total number of walks so that very small ε
+	// remains runnable on a laptop; zero means no cap.  When the cap binds,
+	// Stats.RandomWalks reports the capped count.
+	MaxWalks int64
+	// Seed seeds the random walks.
+	Seed uint64
+}
+
+// ClusterHKPR implements the Monte-Carlo estimator of Chung and Simpson:
+// nr = 16·log(n)/ε³ random walks from the seed, each truncated at K steps,
+// with the end-point frequencies used as the HKPR estimate.  Its cost is
+// inversely proportional to ε³, which is why the paper finds it impractical
+// for (d, εr, δ)-approximation (§6).
+func ClusterHKPR(g *graph.Graph, seed graph.NodeID, opts ClusterHKPROptions) (*core.Result, error) {
+	if opts.T <= 0 {
+		return nil, fmt.Errorf("baselines: ClusterHKPR needs positive heat constant, got %v", opts.T)
+	}
+	if opts.Epsilon <= 0 || opts.Epsilon >= 1 {
+		return nil, fmt.Errorf("baselines: ClusterHKPR needs ε in (0,1), got %v", opts.Epsilon)
+	}
+	if seed < 0 || int(seed) >= g.N() || g.Degree(seed) == 0 {
+		return nil, fmt.Errorf("baselines: invalid seed %d", seed)
+	}
+	w, err := heatkernel.New(opts.T, heatkernel.DefaultTailEpsilon)
+	if err != nil {
+		return nil, err
+	}
+
+	nr := int64(math.Ceil(16 * math.Log(float64(g.N())) / math.Pow(opts.Epsilon, 3)))
+	if opts.MaxWalks > 0 && nr > opts.MaxWalks {
+		nr = opts.MaxWalks
+	}
+	maxLen := opts.MaxWalkLength
+	if maxLen <= 0 {
+		logInv := math.Log(1 / opts.Epsilon)
+		denom := math.Log(math.Max(logInv, math.E))
+		maxLen = int(math.Ceil(3 * logInv / denom))
+		if maxLen < 1 {
+			maxLen = 1
+		}
+	}
+
+	rng := xrand.New(opts.Seed ^ uint64(seed)*0xd1342543de82ef95)
+	scores := make(map[graph.NodeID]float64)
+	start := time.Now()
+	var steps int64
+	inc := 1 / float64(nr)
+	for i := int64(0); i < nr; i++ {
+		end, st := core.KRandomWalk(g, rng, w, seed, 0, maxLen)
+		scores[end] += inc
+		steps += int64(st)
+	}
+	elapsed := time.Since(start)
+
+	return &core.Result{
+		Seed:   seed,
+		Scores: scores,
+		Stats: core.Stats{
+			RandomWalks:     nr,
+			WalkSteps:       steps,
+			WalkTime:        elapsed,
+			WorkingSetBytes: int64(len(scores)) * 48,
+		},
+	}, nil
+}

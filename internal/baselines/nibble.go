@@ -1,0 +1,153 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"hkpr/internal/core"
+	"hkpr/internal/graph"
+)
+
+// PRNibbleOptions configures the Andersen–Chung–Lang personalized-PageRank
+// push (PR-Nibble [2]).
+type PRNibbleOptions struct {
+	// Alpha is the teleport probability of the PPR random walk, typically
+	// 0.1–0.2 for local clustering.
+	Alpha float64
+	// Epsilon is the push tolerance: pushes stop when every residual
+	// satisfies r[v] < ε·d(v).
+	Epsilon float64
+	// MaxPushes caps the number of push operations; zero means no cap.
+	MaxPushes int64
+}
+
+// PRNibble computes an approximate personalized PageRank vector with the ACL
+// push procedure.  It is the classical pre-HKPR local clustering method and
+// serves as an additional context baseline (§6 "Other methods").
+func PRNibble(g *graph.Graph, seed graph.NodeID, opts PRNibbleOptions) (*core.Result, error) {
+	if opts.Alpha <= 0 || opts.Alpha >= 1 {
+		return nil, fmt.Errorf("baselines: PR-Nibble needs α in (0,1), got %v", opts.Alpha)
+	}
+	if opts.Epsilon <= 0 || opts.Epsilon >= 1 {
+		return nil, fmt.Errorf("baselines: PR-Nibble needs ε in (0,1), got %v", opts.Epsilon)
+	}
+	if seed < 0 || int(seed) >= g.N() || g.Degree(seed) == 0 {
+		return nil, fmt.Errorf("baselines: invalid seed %d", seed)
+	}
+
+	start := time.Now()
+	p := make(map[graph.NodeID]float64)
+	r := map[graph.NodeID]float64{seed: 1}
+	queue := []graph.NodeID{seed}
+	inQueue := map[graph.NodeID]bool{seed: true}
+	var pushOps, pops int64
+
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		inQueue[v] = false
+		rv := r[v]
+		d := float64(g.Degree(v))
+		if rv < opts.Epsilon*d {
+			continue
+		}
+		// Standard ACL push: move α·r[v] to p[v], keep (1-α)/2·r[v] on v
+		// (lazy walk), spread (1-α)/2·r[v] over the neighbours.
+		p[v] += opts.Alpha * rv
+		keep := (1 - opts.Alpha) / 2 * rv
+		r[v] = keep
+		share := keep / d
+		for _, u := range g.Neighbors(v) {
+			r[u] += share
+			if !inQueue[u] && r[u] >= opts.Epsilon*float64(g.Degree(u)) {
+				inQueue[u] = true
+				queue = append(queue, u)
+			}
+		}
+		if keep >= opts.Epsilon*d && !inQueue[v] {
+			inQueue[v] = true
+			queue = append(queue, v)
+		}
+		pops++
+		pushOps += int64(g.Degree(v))
+		if opts.MaxPushes > 0 && pushOps > opts.MaxPushes {
+			break
+		}
+	}
+	elapsed := time.Since(start)
+
+	return &core.Result{
+		Seed:   seed,
+		Scores: p,
+		Stats: core.Stats{
+			PushOperations:  pushOps,
+			PushedNodes:     pops,
+			PushTime:        elapsed,
+			WorkingSetBytes: int64(len(p)+len(r)) * 48,
+		},
+	}, nil
+}
+
+// NibbleOptions configures the Spielman–Teng Nibble algorithm [20, 37].
+type NibbleOptions struct {
+	// Steps is the number of lazy-random-walk steps T.
+	Steps int
+	// TruncationRatio ε: after every step, entries with q[v] < ε·d(v) are
+	// dropped, which is what keeps the walk local.
+	TruncationRatio float64
+}
+
+// Nibble runs the truncated lazy random walk of Spielman and Teng and returns
+// the final truncated distribution as scores; sweeping those scores yields
+// the Nibble cluster.
+func Nibble(g *graph.Graph, seed graph.NodeID, opts NibbleOptions) (*core.Result, error) {
+	if opts.Steps <= 0 {
+		return nil, fmt.Errorf("baselines: Nibble needs a positive step count, got %d", opts.Steps)
+	}
+	if opts.TruncationRatio <= 0 || opts.TruncationRatio >= 1 {
+		return nil, fmt.Errorf("baselines: Nibble needs truncation ratio in (0,1), got %v", opts.TruncationRatio)
+	}
+	if seed < 0 || int(seed) >= g.N() || g.Degree(seed) == 0 {
+		return nil, fmt.Errorf("baselines: invalid seed %d", seed)
+	}
+
+	start := time.Now()
+	cur := map[graph.NodeID]float64{seed: 1}
+	var ops int64
+	for step := 0; step < opts.Steps; step++ {
+		next := make(map[graph.NodeID]float64, len(cur)*2)
+		for v, q := range cur {
+			d := float64(g.Degree(v))
+			// Lazy walk: keep half, spread half.
+			next[v] += q / 2
+			share := q / 2 / d
+			for _, u := range g.Neighbors(v) {
+				next[u] += share
+			}
+			ops += int64(g.Degree(v))
+		}
+		// Truncate.
+		for v, q := range next {
+			if q < opts.TruncationRatio*float64(g.Degree(v)) {
+				delete(next, v)
+			}
+		}
+		if len(next) == 0 {
+			// Everything fell below the truncation threshold; keep the last
+			// non-empty iterate.
+			break
+		}
+		cur = next
+	}
+	elapsed := time.Since(start)
+
+	return &core.Result{
+		Seed:   seed,
+		Scores: cur,
+		Stats: core.Stats{
+			PushOperations:  ops,
+			PushTime:        elapsed,
+			WorkingSetBytes: int64(len(cur)) * 48,
+		},
+	}, nil
+}

@@ -1,0 +1,396 @@
+// Package bench is the experiment harness that regenerates every table and
+// figure of the paper's evaluation section (§7) on the synthetic dataset
+// stand-ins.  Each experiment is a named entry that produces a Report (a
+// plain-text table of the same rows/series the paper plots); cmd/hkprbench
+// runs them from the command line and bench_test.go exposes them as
+// testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"hkpr/internal/baselines"
+	"hkpr/internal/cluster"
+	"hkpr/internal/core"
+	"hkpr/internal/dataset"
+	"hkpr/internal/flow"
+	"hkpr/internal/graph"
+)
+
+// Config controls how the experiments run.
+type Config struct {
+	// Scale selects the dataset stand-in size (test/small/full).
+	Scale dataset.Scale
+	// CacheDir caches generated graphs between runs; empty disables caching.
+	CacheDir string
+	// SeedsPerDataset is the number of query seeds per dataset; zero picks a
+	// scale-appropriate default (5 at test scale, 20 at small, 50 at full —
+	// the paper uses 50).
+	SeedsPerDataset int
+	// Datasets restricts the experiments to the named datasets; nil uses each
+	// experiment's default selection.
+	Datasets []string
+	// Heat is the heat constant t; zero means the paper default of 5.
+	Heat float64
+	// RNGSeed seeds seed selection and the randomized algorithms.
+	RNGSeed uint64
+	// Log receives progress lines; nil discards them.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == "" {
+		c.Scale = dataset.ScaleTest
+	}
+	if c.SeedsPerDataset == 0 {
+		switch c.Scale {
+		case dataset.ScaleTest:
+			c.SeedsPerDataset = 5
+		case dataset.ScaleFull:
+			c.SeedsPerDataset = 50
+		default:
+			c.SeedsPerDataset = 20
+		}
+	}
+	if c.Heat == 0 {
+		c.Heat = core.DefaultHeat
+	}
+	if c.RNGSeed == 0 {
+		c.RNGSeed = 20190630 // SIGMOD'19 started June 30, 2019
+	}
+	return c
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// datasetsOrDefault returns the configured dataset list or the fallback.
+func (c Config) datasetsOrDefault(fallback []string) []string {
+	if len(c.Datasets) > 0 {
+		return c.Datasets
+	}
+	return fallback
+}
+
+// Report is a rendered experiment result.
+type Report struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends one formatted row.
+func (r *Report) AddRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// AddNote appends a free-text footnote.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the report as an aligned plain-text table.
+func (r *Report) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], cell)
+			} else {
+				parts[i] = cell
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	writeRow(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the report to a string.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Format(&b)
+	return b.String()
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	// ID is the experiment key, e.g. "fig4".
+	ID string
+	// Title is a one-line description.
+	Title string
+	// PaperRef names the paper artifact being reproduced.
+	PaperRef string
+	// Run executes the experiment.
+	Run func(cfg Config) (*Report, error)
+}
+
+// Experiments returns the registry in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table7", Title: "Dataset statistics (analog vs paper)", PaperRef: "Table 7", Run: RunTable7},
+		{ID: "fig2", Title: "TEA+ running time vs hop-cap constant c", PaperRef: "Figure 2", Run: RunFig2},
+		{ID: "fig3", Title: "TEA vs TEA+ running time vs relative error threshold εr", PaperRef: "Figure 3", Run: RunFig3},
+		{ID: "fig4", Title: "Running time vs conductance for all algorithms", PaperRef: "Figure 4", Run: RunFig4},
+		{ID: "fig5", Title: "Memory vs conductance for the HKPR algorithms", PaperRef: "Figure 5", Run: RunFig5},
+		{ID: "fig6", Title: "Running time vs NDCG of normalized HKPR ranking", PaperRef: "Figure 6", Run: RunFig6},
+		{ID: "table8", Title: "F1 against ground-truth communities and running time", PaperRef: "Table 8", Run: RunTable8},
+		{ID: "fig7", Title: "Effect of seed-subgraph density", PaperRef: "Figure 7", Run: RunFig7},
+		{ID: "fig8", Title: "Effect of heat constant t (DBLP analog)", PaperRef: "Figure 8", Run: RunFig8},
+		{ID: "fig9", Title: "Effect of heat constant t (PLC)", PaperRef: "Figure 9", Run: RunFig9},
+		{ID: "ablation", Title: "TEA+ design ablations (budgeted push, residue reduction)", PaperRef: "design ablation (not in paper)", Run: RunAblation},
+	}
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	known := make([]string, 0)
+	for _, e := range Experiments() {
+		known = append(known, e.ID)
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (known: %s)", id, strings.Join(known, ", "))
+}
+
+// RunAll runs every experiment and returns the reports in registry order.
+func RunAll(cfg Config) ([]*Report, error) {
+	var out []*Report
+	for _, e := range Experiments() {
+		cfg.logf("running %s (%s)", e.ID, e.PaperRef)
+		rep, err := e.Run(cfg)
+		if err != nil {
+			return out, fmt.Errorf("bench: experiment %s: %w", e.ID, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared measurement helpers
+// ---------------------------------------------------------------------------
+
+// queryOutcome is the uniform record the experiments aggregate.
+type queryOutcome struct {
+	duration    time.Duration
+	conductance float64
+	clusterSize int
+	memoryBytes int64
+	scores      map[graph.NodeID]float64
+	result      *core.Result
+}
+
+// aggregate summarizes outcomes.
+type aggregate struct {
+	count         int
+	totalDuration time.Duration
+	totalPhi      float64
+	totalSize     float64
+	totalMemory   float64
+}
+
+func (a *aggregate) add(o queryOutcome) {
+	a.count++
+	a.totalDuration += o.duration
+	a.totalPhi += o.conductance
+	a.totalSize += float64(o.clusterSize)
+	a.totalMemory += float64(o.memoryBytes)
+}
+
+func (a *aggregate) avgMillis() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return float64(a.totalDuration.Microseconds()) / 1000 / float64(a.count)
+}
+
+func (a *aggregate) avgPhi() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.totalPhi / float64(a.count)
+}
+
+func (a *aggregate) avgMemoryMB() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.totalMemory / float64(a.count) / (1 << 20)
+}
+
+// hkprAlgorithm identifies one of the HKPR estimators in the comparison.
+type hkprAlgorithm string
+
+const (
+	algoMonteCarlo  hkprAlgorithm = "Monte-Carlo"
+	algoClusterHKPR hkprAlgorithm = "ClusterHKPR"
+	algoHKRelax     hkprAlgorithm = "HK-Relax"
+	algoTEA         hkprAlgorithm = "TEA"
+	algoTEAPlus     hkprAlgorithm = "TEA+"
+)
+
+// hkprQueryParams carries the per-query error thresholds: εr/δ for the
+// (d,εr,δ) methods, εa for HK-Relax, ε for ClusterHKPR.
+type hkprQueryParams struct {
+	heat    float64
+	epsRel  float64
+	delta   float64
+	epsAbs  float64
+	epsCS   float64
+	rngSeed uint64
+}
+
+// runHKPRQuery executes one HKPR estimation plus sweep and reports the
+// uniform outcome.  The estimator for TEA/TEA+/Monte-Carlo is reused across
+// queries (weights + p'_f cached, as the paper assumes).
+func runHKPRQuery(ds *dataset.Dataset, est *core.Estimator, algo hkprAlgorithm, seed graph.NodeID, p hkprQueryParams) (queryOutcome, error) {
+	g := ds.Graph
+	start := time.Now()
+	var res *core.Result
+	var err error
+	switch algo {
+	case algoMonteCarlo:
+		res, err = est.MonteCarlo(seed, core.Options{EpsRel: p.epsRel, Delta: p.delta, Seed: p.rngSeed})
+	case algoTEA:
+		res, err = est.TEA(seed, core.Options{EpsRel: p.epsRel, Delta: p.delta, Seed: p.rngSeed})
+	case algoTEAPlus:
+		res, err = est.TEAPlus(seed, core.Options{EpsRel: p.epsRel, Delta: p.delta, Seed: p.rngSeed})
+	case algoHKRelax:
+		res, err = baselines.HKRelax(g, seed, baselines.HKRelaxOptions{T: p.heat, EpsAbs: p.epsAbs})
+	case algoClusterHKPR:
+		res, err = baselines.ClusterHKPR(g, seed, baselines.ClusterHKPROptions{
+			T: p.heat, Epsilon: p.epsCS, Seed: p.rngSeed, MaxWalks: 3_000_000,
+		})
+	default:
+		return queryOutcome{}, fmt.Errorf("bench: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return queryOutcome{}, err
+	}
+	sw := cluster.Sweep(g, res.Scores)
+	elapsed := time.Since(start)
+	return queryOutcome{
+		duration:    elapsed,
+		conductance: sw.Conductance,
+		clusterSize: len(sw.Cluster),
+		memoryBytes: res.Stats.WorkingSetBytes + g.MemoryBytes(),
+		scores:      res.Scores,
+		result:      res,
+	}, nil
+}
+
+// flowQuery runs one of the flow-based baselines and reports the uniform
+// outcome.
+func flowQuery(ds *dataset.Dataset, algo string, seed graph.NodeID, param float64) (queryOutcome, error) {
+	g := ds.Graph
+	start := time.Now()
+	var nodes []graph.NodeID
+	var phi float64
+	var mem int64
+	switch algo {
+	case "SimpleLocal":
+		res, err := flow.SimpleLocal(g, seed, flow.SimpleLocalOptions{Locality: param})
+		if err != nil {
+			return queryOutcome{}, err
+		}
+		nodes, phi, mem = res.Cluster, res.Conductance, res.WorkingSetBytes
+	case "CRD":
+		res, err := flow.CRD(g, seed, flow.CRDOptions{Iterations: int(param)})
+		if err != nil {
+			return queryOutcome{}, err
+		}
+		nodes, phi, mem = res.Cluster, res.Conductance, res.WorkingSetBytes
+	default:
+		return queryOutcome{}, fmt.Errorf("bench: unknown flow algorithm %q", algo)
+	}
+	return queryOutcome{
+		duration:    time.Since(start),
+		conductance: phi,
+		clusterSize: len(nodes),
+		memoryBytes: mem + g.MemoryBytes(),
+	}, nil
+}
+
+// newEstimator builds the shared TEA/TEA+/Monte-Carlo estimator for a dataset.
+func newEstimator(ds *dataset.Dataset, heat float64) (*core.Estimator, error) {
+	return core.NewEstimator(ds.Graph, core.Options{
+		T:           heat,
+		EpsRel:      core.DefaultEpsRel,
+		Delta:       1 / float64(ds.Graph.N()),
+		FailureProb: core.DefaultFailureProb,
+	})
+}
+
+// loadDatasets loads the requested datasets at the configured scale.
+func loadDatasets(cfg Config, names []string) ([]*dataset.Dataset, error) {
+	out := make([]*dataset.Dataset, 0, len(names))
+	for _, name := range names {
+		ds, err := dataset.Load(name, cfg.Scale, cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		cfg.logf("loaded %s: n=%d m=%d d̄=%.2f", ds.Name, ds.Graph.N(), ds.Graph.M(), ds.Graph.AverageDegree())
+		out = append(out, ds)
+	}
+	return out, nil
+}
+
+// deltaSweep returns the δ values used for the (d,εr,δ) methods, scaled to
+// the analog graph size (the paper uses absolute values 2e-8…2e-4 on graphs
+// with 10⁵–10⁷ nodes; on smaller stand-ins the equivalent is a multiple of
+// 1/n so the methods operate in the same regime).
+func deltaSweep(n int) []float64 {
+	base := 1 / float64(n)
+	return []float64{base * 4, base * 2, base, base / 2, base / 4}
+}
+
+// epsAbsSweep returns the HK-Relax ε_a sweep matched to the δ sweep via
+// ε_a = εr·δ (the setting the paper identifies for comparable guarantees).
+func epsAbsSweep(n int) []float64 {
+	ds := deltaSweep(n)
+	out := make([]float64, len(ds))
+	for i, d := range ds {
+		out[i] = core.DefaultEpsRel * d
+	}
+	return out
+}
+
+// epsClusterHKPRSweep returns the ClusterHKPR ε sweep (coarse, as in §7.4).
+func epsClusterHKPRSweep() []float64 {
+	return []float64{0.3, 0.2, 0.1, 0.05, 0.02}
+}
+
+func fmtMillis(ms float64) string { return fmt.Sprintf("%.3f", ms) }

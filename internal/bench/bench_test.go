@@ -1,0 +1,242 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"hkpr/internal/dataset"
+)
+
+// quickConfig keeps unit-test runtime low: tiny graphs, two seeds, and only
+// the two cheapest datasets.
+func quickConfig() Config {
+	return Config{
+		Scale:           dataset.ScaleTest,
+		SeedsPerDataset: 2,
+		Datasets:        []string{"dblp", "plc"},
+		RNGSeed:         7,
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != dataset.ScaleTest || c.SeedsPerDataset != 5 || c.Heat != 5 || c.RNGSeed == 0 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	small := Config{Scale: dataset.ScaleSmall}.withDefaults()
+	if small.SeedsPerDataset != 20 {
+		t.Errorf("small scale default seeds = %d", small.SeedsPerDataset)
+	}
+	full := Config{Scale: dataset.ScaleFull}.withDefaults()
+	if full.SeedsPerDataset != 50 {
+		t.Errorf("full scale default seeds = %d", full.SeedsPerDataset)
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	wantIDs := []string{"table7", "fig2", "fig3", "fig4", "fig5", "fig6", "table8", "fig7", "fig8", "fig9", "ablation"}
+	if len(exps) != len(wantIDs) {
+		t.Fatalf("registry has %d experiments, want %d", len(exps), len(wantIDs))
+	}
+	for i, id := range wantIDs {
+		if exps[i].ID != id {
+			t.Errorf("experiment %d = %s want %s", i, exps[i].ID, id)
+		}
+		if exps[i].Title == "" || exps[i].PaperRef == "" || exps[i].Run == nil {
+			t.Errorf("experiment %s incomplete", exps[i].ID)
+		}
+	}
+	if _, err := Lookup("fig4"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestReportFormatting(t *testing.T) {
+	rep := &Report{ID: "x", Title: "demo", Columns: []string{"a", "bbbb"}}
+	rep.AddRow("1", "2")
+	rep.AddRow("333", "4")
+	rep.AddNote("hello %d", 5)
+	out := rep.String()
+	for _, want := range []string{"== x: demo ==", "a    bbbb", "333", "note: hello 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunTable7(t *testing.T) {
+	rep, err := RunTable7(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows=%d want 2", len(rep.Rows))
+	}
+	if rep.Rows[0][0] != "DBLP" {
+		t.Errorf("first row %v", rep.Rows[0])
+	}
+}
+
+func TestRunFig2(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Datasets = []string{"plc"}
+	rep, err := RunFig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 1 || len(rep.Rows[0]) != len(rep.Columns) {
+		t.Fatalf("unexpected shape: %v", rep.Rows)
+	}
+}
+
+func TestRunFig3(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Datasets = []string{"plc"}
+	rep, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One row per algorithm (TEA, TEA+).
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows=%d want 2", len(rep.Rows))
+	}
+}
+
+func TestRunFig4AndFig5(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Datasets = []string{"dblp"}
+	rep4, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algos := map[string]bool{}
+	for _, row := range rep4.Rows {
+		algos[row[1]] = true
+	}
+	for _, want := range []string{"Monte-Carlo", "TEA", "TEA+", "HK-Relax", "ClusterHKPR", "SimpleLocal", "CRD"} {
+		if !algos[want] {
+			t.Errorf("fig4 missing algorithm %s", want)
+		}
+	}
+	rep5, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep5.Rows) == 0 {
+		t.Fatal("fig5 empty")
+	}
+}
+
+func TestRunFig6(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Datasets = []string{"plc"}
+	rep, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("fig6 empty")
+	}
+	// NDCG column must parse as a value in [0,1].
+	for _, row := range rep.Rows {
+		ndcg := row[len(row)-1]
+		if !strings.HasPrefix(ndcg, "0.") && !strings.HasPrefix(ndcg, "1.") {
+			t.Errorf("NDCG cell looks wrong: %q", ndcg)
+		}
+	}
+}
+
+func TestRunTable8(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Datasets = []string{"dblp"}
+	rep, err := RunTable8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("table8 empty")
+	}
+	algos := map[string]bool{}
+	for _, row := range rep.Rows {
+		algos[row[1]] = true
+	}
+	for _, want := range []string{"TEA+", "TEA", "HK-Relax"} {
+		if !algos[want] {
+			t.Errorf("table8 missing %s", want)
+		}
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Datasets = []string{"plc"}
+	rep, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := map[string]bool{}
+	for _, row := range rep.Rows {
+		bands[row[1]] = true
+	}
+	for _, want := range []string{"high", "medium", "low"} {
+		if !bands[want] {
+			t.Errorf("fig7 missing band %s", want)
+		}
+	}
+}
+
+func TestRunFig8AndFig9(t *testing.T) {
+	cfg := quickConfig()
+	rep8, err := RunFig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 heat values × 5 algorithms.
+	if len(rep8.Rows) != 20 {
+		t.Fatalf("fig8 rows=%d want 20", len(rep8.Rows))
+	}
+	rep9, err := RunFig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep9.Rows) != 20 {
+		t.Fatalf("fig9 rows=%d want 20", len(rep9.Rows))
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Datasets = []string{"plc"}
+	rep, err := RunAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("ablation rows=%d want 4", len(rep.Rows))
+	}
+}
+
+func TestDeltaSweeps(t *testing.T) {
+	ds := deltaSweep(1000)
+	if len(ds) != 5 {
+		t.Fatalf("delta sweep length %d", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i] >= ds[i-1] {
+			t.Error("delta sweep should be decreasing")
+		}
+	}
+	ea := epsAbsSweep(1000)
+	for i := range ea {
+		if ea[i] != 0.5*ds[i] {
+			t.Error("epsAbs sweep should be 0.5*delta")
+		}
+	}
+	if len(epsClusterHKPRSweep()) == 0 {
+		t.Error("ClusterHKPR sweep empty")
+	}
+}

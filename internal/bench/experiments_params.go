@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+
+	"hkpr/internal/core"
+	"hkpr/internal/dataset"
+	"hkpr/internal/graph"
+)
+
+// allDatasets is the Table 7 order used by Figures 2–5.
+var allDatasets = []string{"dblp", "youtube", "plc", "orkut", "livejournal", "3d-grid", "twitter", "friendster"}
+
+// groundTruthDatasets are the four datasets with ground-truth communities
+// (Table 8).
+var groundTruthDatasets = []string{"dblp", "youtube", "livejournal", "orkut"}
+
+// rankingDatasets are the four datasets used by the NDCG experiment (Figure 6)
+// and the density experiment (Figure 7).
+var rankingDatasets = []string{"dblp", "youtube", "plc", "orkut"}
+
+// RunTable7 reproduces Table 7: the statistics of every benchmark graph,
+// reporting both the paper's original sizes and the synthetic stand-in's
+// measured sizes.
+func RunTable7(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:    "table7",
+		Title: "Dataset statistics: paper graphs vs synthetic stand-ins",
+		Columns: []string{"dataset", "paper n", "paper m", "paper d̄",
+			"analog n", "analog m", "analog d̄", "analog max deg", "clustering coeff"},
+	}
+	names := cfg.datasetsOrDefault(allDatasets)
+	for _, name := range names {
+		ds, err := dataset.Load(name, cfg.Scale, cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		stats := ds.Graph.ComputeStats()
+		cc := ds.Graph.AverageClusteringCoefficient(500)
+		rep.AddRow(ds.PaperName,
+			fmt.Sprintf("%d", ds.PaperNodes),
+			fmt.Sprintf("%d", ds.PaperEdges),
+			fmt.Sprintf("%.2f", ds.PaperAvgDegree),
+			fmt.Sprintf("%d", stats.Nodes),
+			fmt.Sprintf("%d", stats.Edges),
+			fmt.Sprintf("%.2f", stats.AverageDegree),
+			fmt.Sprintf("%d", stats.MaxDegree),
+			fmt.Sprintf("%.3f", cc),
+		)
+	}
+	rep.AddNote("analog graphs are deterministic synthetic stand-ins generated at scale %q; see DESIGN.md §2", cfg.Scale)
+	return rep, nil
+}
+
+// RunFig2 reproduces Figure 2: the running time of TEA+ as the hop-cap
+// constant c varies from 0.5 to 5, with εr=0.5, δ=1/n, pf=1e-6, t=5.
+func RunFig2(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:      "fig2",
+		Title:   "TEA+ average query time (ms) vs hop-cap constant c",
+		Columns: []string{"dataset", "c=0.5", "c=1", "c=1.5", "c=2", "c=2.5", "c=3", "c=4", "c=5"},
+	}
+	cValues := []float64{0.5, 1, 1.5, 2, 2.5, 3, 4, 5}
+	names := cfg.datasetsOrDefault(allDatasets)
+	datasets, err := loadDatasets(cfg, names)
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range datasets {
+		est, err := newEstimator(ds, cfg.Heat)
+		if err != nil {
+			return nil, err
+		}
+		seeds := dataset.UniformSeeds(ds.Graph, cfg.SeedsPerDataset, cfg.RNGSeed)
+		row := []string{ds.PaperName}
+		for _, c := range cValues {
+			var agg aggregate
+			for i, s := range seeds {
+				res, err := est.TEAPlus(s, core.Options{C: c, Seed: cfg.RNGSeed + uint64(i) + 1})
+				if err != nil {
+					return nil, err
+				}
+				agg.add(queryOutcome{
+					duration:    res.Stats.PushTime + res.Stats.WalkTime,
+					memoryBytes: res.Stats.WorkingSetBytes,
+				})
+			}
+			row = append(row, fmtMillis(agg.avgMillis()))
+		}
+		rep.AddRow(row...)
+		cfg.logf("fig2 %s done", ds.Name)
+	}
+	rep.AddNote("εr=0.5, δ=1/n, pf=1e-6, t=%.0f; the paper finds the minimum near c≈2–2.5", cfg.Heat)
+	return rep, nil
+}
+
+// RunFig3 reproduces Figure 3: TEA vs TEA+ running time as εr varies from
+// 0.1 to 0.9 with δ fixed.
+func RunFig3(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:      "fig3",
+		Title:   "TEA vs TEA+ average query time (ms) vs relative error threshold εr",
+		Columns: []string{"dataset", "algorithm", "εr=0.1", "εr=0.3", "εr=0.5", "εr=0.7", "εr=0.9"},
+	}
+	epsValues := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	names := cfg.datasetsOrDefault(allDatasets)
+	datasets, err := loadDatasets(cfg, names)
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range datasets {
+		est, err := newEstimator(ds, cfg.Heat)
+		if err != nil {
+			return nil, err
+		}
+		delta := 1 / float64(ds.Graph.N())
+		seeds := dataset.UniformSeeds(ds.Graph, cfg.SeedsPerDataset, cfg.RNGSeed)
+		for _, algo := range []hkprAlgorithm{algoTEA, algoTEAPlus} {
+			row := []string{ds.PaperName, string(algo)}
+			for _, eps := range epsValues {
+				var agg aggregate
+				for i, s := range seeds {
+					o, err := runHKPRQuery(ds, est, algo, s, hkprQueryParams{
+						heat: cfg.Heat, epsRel: eps, delta: delta, rngSeed: cfg.RNGSeed + uint64(i) + 1,
+					})
+					if err != nil {
+						return nil, err
+					}
+					agg.add(o)
+				}
+				row = append(row, fmtMillis(agg.avgMillis()))
+			}
+			rep.AddRow(row...)
+		}
+		cfg.logf("fig3 %s done", ds.Name)
+	}
+	rep.AddNote("δ=1/n (the paper fixes δ=1e-6 on million-node graphs; 1/n is the equivalent regime on the stand-ins)")
+	rep.AddNote("the paper reports TEA+ 5×–100× faster than TEA, with the gap narrowing as εr shrinks")
+	return rep, nil
+}
+
+// seedsFor returns the standard uniform query seeds for one dataset.
+func seedsFor(cfg Config, ds *dataset.Dataset) []graph.NodeID {
+	return dataset.UniformSeeds(ds.Graph, cfg.SeedsPerDataset, cfg.RNGSeed)
+}

@@ -1,0 +1,308 @@
+package bench
+
+import (
+	"fmt"
+
+	"hkpr/internal/cluster"
+	"hkpr/internal/core"
+	"hkpr/internal/dataset"
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+)
+
+// RunTable8 reproduces Table 8: for each dataset with ground-truth
+// communities, each algorithm's best average F1-measure over its parameter
+// sweep (and heat constants t∈{3,5,10}), together with the running time at
+// that best setting.
+func RunTable8(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:      "table8",
+		Title:   "Best F1 against ground-truth communities and running time at that setting",
+		Columns: []string{"dataset", "algorithm", "best F1", "time at best (ms)", "best t", "best threshold"},
+	}
+	names := cfg.datasetsOrDefault(groundTruthDatasets)
+	datasets, err := loadDatasets(cfg, names)
+	if err != nil {
+		return nil, err
+	}
+	heats := []float64{3, 5, 10}
+	for _, ds := range datasets {
+		if ds.Communities == nil {
+			rep.AddNote("%s skipped: no ground-truth communities", ds.PaperName)
+			continue
+		}
+		comms := ds.Communities.Communities()
+		seeds := dataset.CommunitySeeds(ds.Graph, ds.Communities, 20, cfg.SeedsPerDataset, cfg.RNGSeed)
+		if len(seeds) == 0 {
+			seeds = dataset.CommunitySeeds(ds.Graph, ds.Communities, 5, cfg.SeedsPerDataset, cfg.RNGSeed)
+		}
+		type best struct {
+			f1     float64
+			millis float64
+			heat   float64
+			label  string
+			found  bool
+		}
+		bests := map[string]*best{}
+		record := func(algo string, f1, millis, heat float64, label string) {
+			b, ok := bests[algo]
+			if !ok {
+				b = &best{}
+				bests[algo] = b
+			}
+			if !b.found || f1 > b.f1 {
+				*b = best{f1: f1, millis: millis, heat: heat, label: label, found: true}
+			}
+		}
+
+		for _, heat := range heats {
+			est, err := core.NewEstimator(ds.Graph, core.Options{
+				T: heat, EpsRel: 0.5, Delta: 1 / float64(ds.Graph.N()), FailureProb: core.DefaultFailureProb,
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, delta := range deltaSweep(ds.Graph.N()) {
+				for _, algo := range []hkprAlgorithm{algoMonteCarlo, algoTEA, algoTEAPlus} {
+					f1, millis, err := scoreF1(cfg, ds, est, algo, seeds, comms,
+						hkprQueryParams{heat: heat, epsRel: 0.5, delta: delta})
+					if err != nil {
+						return nil, err
+					}
+					record(string(algo), f1, millis, heat, fmt.Sprintf("δ=%.2e", delta))
+				}
+			}
+			for _, epsAbs := range epsAbsSweep(ds.Graph.N()) {
+				f1, millis, err := scoreF1(cfg, ds, est, algoHKRelax, seeds, comms,
+					hkprQueryParams{heat: heat, epsAbs: epsAbs})
+				if err != nil {
+					return nil, err
+				}
+				record(string(algoHKRelax), f1, millis, heat, fmt.Sprintf("εa=%.2e", epsAbs))
+			}
+			for _, eps := range epsClusterHKPRSweep() {
+				f1, millis, err := scoreF1(cfg, ds, est, algoClusterHKPR, seeds, comms,
+					hkprQueryParams{heat: heat, epsCS: eps})
+				if err != nil {
+					return nil, err
+				}
+				record(string(algoClusterHKPR), f1, millis, heat, fmt.Sprintf("ε=%.3f", eps))
+			}
+		}
+
+		for _, algo := range []string{"ClusterHKPR", "Monte-Carlo", "HK-Relax", "TEA", "TEA+"} {
+			b := bests[algo]
+			if b == nil || !b.found {
+				continue
+			}
+			rep.AddRow(ds.PaperName, algo, fmt.Sprintf("%.4f", b.f1), fmtMillis(b.millis),
+				fmt.Sprintf("%.0f", b.heat), b.label)
+		}
+		cfg.logf("table8 %s done", ds.Name)
+	}
+	rep.AddNote("seeds are drawn from ground-truth communities (≥20 members); F1 is the mean over seeds of F1(sweep cluster, seed's community)")
+	rep.AddNote("the paper reports TEA+ with the best F1 and lowest time on all datasets except DBLP, where TEA has a marginally better F1")
+	return rep, nil
+}
+
+// scoreF1 runs one algorithm setting over all seeds and returns the mean F1
+// against each seed's ground-truth community plus the mean query time.
+func scoreF1(cfg Config, ds *dataset.Dataset, est *core.Estimator, algo hkprAlgorithm,
+	seeds []graph.NodeID, comms []gen.Community, p hkprQueryParams) (float64, float64, error) {
+	var agg aggregate
+	totalF1 := 0.0
+	for i, s := range seeds {
+		q := p
+		q.rngSeed = cfg.RNGSeed + uint64(i) + 1
+		o, err := runHKPRQuery(ds, est, algo, s, q)
+		if err != nil {
+			return 0, 0, err
+		}
+		agg.add(o)
+		sw := cluster.Sweep(ds.Graph, o.scores)
+		truthIdx := ds.Communities[s]
+		if truthIdx < 0 {
+			continue
+		}
+		totalF1 += cluster.F1Score(sw.Cluster, comms[truthIdx])
+	}
+	if len(seeds) == 0 {
+		return 0, 0, nil
+	}
+	return totalF1 / float64(len(seeds)), agg.avgMillis(), nil
+}
+
+// RunFig7 reproduces Figure 7: the running-time versus conductance trade-off
+// for seed sets drawn from high-, medium- and low-density subgraphs (§7.7).
+func RunFig7(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:      "fig7",
+		Title:   "Average query time (ms) and conductance per seed-density band",
+		Columns: []string{"dataset", "density band", "algorithm", "avg time (ms)", "avg conductance"},
+	}
+	names := cfg.datasetsOrDefault(rankingDatasets)
+	datasets, err := loadDatasets(cfg, names)
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range datasets {
+		est, err := newEstimator(ds, cfg.Heat)
+		if err != nil {
+			return nil, err
+		}
+		bands := dataset.DensityStratifiedSeeds(ds.Graph, 5*cfg.SeedsPerDataset, cfg.SeedsPerDataset, cfg.RNGSeed)
+		delta := 1 / float64(ds.Graph.N())
+		for _, band := range []dataset.DensityBand{dataset.HighDensity, dataset.MediumDensity, dataset.LowDensity} {
+			seeds := bands[band]
+			if len(seeds) == 0 {
+				continue
+			}
+			for _, algo := range []hkprAlgorithm{algoMonteCarlo, algoClusterHKPR, algoHKRelax, algoTEA, algoTEAPlus} {
+				var agg aggregate
+				for i, s := range seeds {
+					p := hkprQueryParams{heat: cfg.Heat, epsRel: 0.5, delta: delta,
+						epsAbs: 0.5 * delta, epsCS: 0.1, rngSeed: cfg.RNGSeed + uint64(i) + 1}
+					o, err := runHKPRQuery(ds, est, algo, s, p)
+					if err != nil {
+						return nil, err
+					}
+					agg.add(o)
+				}
+				rep.AddRow(ds.PaperName, string(band), string(algo),
+					fmtMillis(agg.avgMillis()), fmt.Sprintf("%.4f", agg.avgPhi()))
+			}
+		}
+		cfg.logf("fig7 %s done", ds.Name)
+	}
+	rep.AddNote("the paper observes lower conductance for high-density seeds and faster push-based methods there, with TEA/TEA+ fastest in all bands")
+	return rep, nil
+}
+
+// runHeatSweep is the shared implementation of Figures 8 and 9.
+func runHeatSweep(cfg Config, id, title, datasetName string) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:      id,
+		Title:   title,
+		Columns: []string{"t", "algorithm", "avg time (ms)", "avg conductance"},
+	}
+	ds, err := dataset.Load(datasetName, cfg.Scale, cfg.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	seeds := seedsFor(cfg, ds)
+	delta := 1 / float64(ds.Graph.N())
+	for _, heat := range []float64{5, 10, 20, 40} {
+		est, err := core.NewEstimator(ds.Graph, core.Options{
+			T: heat, EpsRel: 0.5, Delta: delta, FailureProb: core.DefaultFailureProb,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range []hkprAlgorithm{algoMonteCarlo, algoClusterHKPR, algoHKRelax, algoTEA, algoTEAPlus} {
+			var agg aggregate
+			for i, s := range seeds {
+				p := hkprQueryParams{heat: heat, epsRel: 0.5, delta: delta,
+					epsAbs: 0.5 * delta, epsCS: 0.1, rngSeed: cfg.RNGSeed + uint64(i) + 1}
+				o, err := runHKPRQuery(ds, est, algo, s, p)
+				if err != nil {
+					return nil, err
+				}
+				agg.add(o)
+			}
+			rep.AddRow(fmt.Sprintf("%.0f", heat), string(algo),
+				fmtMillis(agg.avgMillis()), fmt.Sprintf("%.4f", agg.avgPhi()))
+		}
+		cfg.logf("%s t=%.0f done", id, heat)
+	}
+	rep.AddNote("the paper finds every algorithm slower as t grows, conductance improving with t, and TEA+'s advantage over HK-Relax widening (≈4× at t=5 to >10× at t=40)")
+	return rep, nil
+}
+
+// RunFig8 reproduces Figure 8: the effect of the heat constant t on the DBLP
+// analog.
+func RunFig8(cfg Config) (*Report, error) {
+	return runHeatSweep(cfg, "fig8", "Effect of heat constant t on DBLP analog", "dblp")
+}
+
+// RunFig9 reproduces Figure 9: the effect of the heat constant t on PLC.
+func RunFig9(cfg Config) (*Report, error) {
+	return runHeatSweep(cfg, "fig9", "Effect of heat constant t on PLC", "plc")
+}
+
+// RunAblation quantifies TEA+'s individual design choices: the budgeted,
+// hop-capped push (HK-Push+), the residue reduction, and the offset.  It is
+// not a paper figure but supports the design discussion of §5.
+func RunAblation(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{
+		ID:      "ablation",
+		Title:   "TEA+ ablations: average time, random walks and push operations per variant",
+		Columns: []string{"dataset", "variant", "avg time (ms)", "avg walks", "avg pushes", "avg conductance"},
+	}
+	names := cfg.datasetsOrDefault([]string{"dblp", "plc", "orkut"})
+	datasets, err := loadDatasets(cfg, names)
+	if err != nil {
+		return nil, err
+	}
+	for _, ds := range datasets {
+		seeds := seedsFor(cfg, ds)
+		delta := 1 / float64(ds.Graph.N())
+		opts := core.Options{T: cfg.Heat, EpsRel: 0.5, Delta: delta, FailureProb: core.DefaultFailureProb}
+
+		type variant struct {
+			name string
+			run  func(seed graph.NodeID, rngSeed uint64) (*core.Result, error)
+		}
+		variants := []variant{
+			{"Monte-Carlo (no push)", func(s graph.NodeID, r uint64) (*core.Result, error) {
+				o := opts
+				o.Seed = r
+				return core.MonteCarloOnly(ds.Graph, s, o)
+			}},
+			{"TEA (uncapped push + walks)", func(s graph.NodeID, r uint64) (*core.Result, error) {
+				o := opts
+				o.Seed = r
+				return core.TEA(ds.Graph, s, o)
+			}},
+			{"TEA+ without residue reduction", func(s graph.NodeID, r uint64) (*core.Result, error) {
+				o := opts
+				o.Seed = r
+				return core.TEAPlusNoReduction(ds.Graph, s, o)
+			}},
+			{"TEA+ (full)", func(s graph.NodeID, r uint64) (*core.Result, error) {
+				o := opts
+				o.Seed = r
+				return core.TEAPlus(ds.Graph, s, o)
+			}},
+		}
+		for _, v := range variants {
+			var agg aggregate
+			var walks, pushes int64
+			for i, s := range seeds {
+				res, err := v.run(s, cfg.RNGSeed+uint64(i)+1)
+				if err != nil {
+					return nil, err
+				}
+				sw := cluster.Sweep(ds.Graph, res.Scores)
+				agg.add(queryOutcome{
+					duration:    res.Stats.PushTime + res.Stats.WalkTime,
+					conductance: sw.Conductance,
+					clusterSize: len(sw.Cluster),
+					memoryBytes: res.Stats.WorkingSetBytes,
+				})
+				walks += res.Stats.RandomWalks
+				pushes += res.Stats.PushOperations
+			}
+			rep.AddRow(ds.PaperName, v.name, fmtMillis(agg.avgMillis()),
+				fmt.Sprintf("%.0f", float64(walks)/float64(len(seeds))),
+				fmt.Sprintf("%.0f", float64(pushes)/float64(len(seeds))),
+				fmt.Sprintf("%.4f", agg.avgPhi()))
+		}
+		cfg.logf("ablation %s done", ds.Name)
+	}
+	rep.AddNote("expected: Monte-Carlo does the most walks; TEA trades pushes for walks; TEA+ without the residue reduction still needs many walks (its push is budgeted); full TEA+ needs few or none")
+	return rep, nil
+}

@@ -1,0 +1,328 @@
+// Package cluster implements the clustering side of HKPR-based local
+// clustering: conductance, the sweep-cut procedure of §2.2 of the paper, and
+// the quality metrics used by the evaluation (F1 against ground-truth
+// communities, NDCG of normalized-HKPR rankings, precision/recall).
+package cluster
+
+import (
+	"math"
+	"sort"
+
+	"hkpr/internal/graph"
+)
+
+// Conductance returns Φ(S) = |cut(S)| / min(vol(S), vol(V\S)) for the node set
+// S.  A conductance of 0 means the set is disconnected from the rest of the
+// graph (or is the whole graph); by convention an empty or full set has
+// conductance 1, the worst possible value, so sweeps never select it.
+func Conductance(g *graph.Graph, set []graph.NodeID) float64 {
+	if len(set) == 0 || len(set) >= g.N() {
+		return 1
+	}
+	member := make(map[graph.NodeID]struct{}, len(set))
+	for _, v := range set {
+		member[v] = struct{}{}
+	}
+	var vol, cut int64
+	for v := range member {
+		vol += int64(g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			if _, in := member[u]; !in {
+				cut++
+			}
+		}
+	}
+	denom := vol
+	if other := g.TotalVolume() - vol; other < denom {
+		denom = other
+	}
+	if denom == 0 {
+		return 1
+	}
+	return float64(cut) / float64(denom)
+}
+
+// ScoredNode pairs a node with its (already degree-normalized) score.
+type ScoredNode struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// SweepResult reports the outcome of a sweep cut.
+type SweepResult struct {
+	// Cluster is the prefix of the sorted order with the smallest conductance.
+	Cluster []graph.NodeID
+	// Conductance of the returned cluster.
+	Conductance float64
+	// Volume of the returned cluster.
+	Volume int64
+	// Cut size of the returned cluster.
+	Cut int64
+	// SweepSize is the number of candidate nodes that were swept (|S*|).
+	SweepSize int
+	// Profile[i] is the conductance of the first i+1 nodes in sweep order;
+	// it is what Figure-style sweep plots are drawn from.
+	Profile []float64
+	// Order is the full sweep order (nodes sorted by normalized score).
+	Order []graph.NodeID
+}
+
+// Sweep performs the sweep-cut of §2.2: nodes with non-zero approximate HKPR
+// are sorted in descending order of ρ̂[v]/d(v), prefixes are inspected in
+// order, and the prefix with the smallest conductance is returned.
+//
+// scores maps nodes to un-normalized HKPR estimates ρ̂[v]; normalization by
+// degree happens here.  Nodes with non-positive degree or score are ignored.
+// The sweep runs in O(|S*| log |S*| + vol(S*)) time using incremental cut and
+// volume maintenance.
+func Sweep(g *graph.Graph, scores map[graph.NodeID]float64) SweepResult {
+	return sweepImpl(g, scores, true)
+}
+
+// SweepPreNormalized is identical to Sweep but treats the provided scores as
+// already degree-normalized (ρ̂[v]/d(v)).
+func SweepPreNormalized(g *graph.Graph, scores map[graph.NodeID]float64) SweepResult {
+	return sweepImpl(g, scores, false)
+}
+
+func sweepImpl(g *graph.Graph, scores map[graph.NodeID]float64, normalize bool) SweepResult {
+	order := make([]ScoredNode, 0, len(scores))
+	for v, s := range scores {
+		if s <= 0 {
+			continue
+		}
+		d := float64(g.Degree(v))
+		if d <= 0 {
+			continue
+		}
+		score := s
+		if normalize {
+			score = s / d
+		}
+		order = append(order, ScoredNode{Node: v, Score: score})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Score != order[j].Score {
+			return order[i].Score > order[j].Score
+		}
+		return order[i].Node < order[j].Node
+	})
+
+	res := SweepResult{SweepSize: len(order)}
+	if len(order) == 0 {
+		res.Conductance = 1
+		return res
+	}
+
+	totalVol := g.TotalVolume()
+	inSet := make(map[graph.NodeID]struct{}, len(order))
+	var vol, cut int64
+	bestIdx, bestPhi := -1, math.Inf(1)
+	var bestVol, bestCut int64
+	profile := make([]float64, 0, len(order))
+	sweepOrder := make([]graph.NodeID, 0, len(order))
+
+	for i, sn := range order {
+		v := sn.Node
+		sweepOrder = append(sweepOrder, v)
+		vol += int64(g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			if _, in := inSet[u]; in {
+				cut--
+			} else {
+				cut++
+			}
+		}
+		inSet[v] = struct{}{}
+
+		denom := vol
+		if other := totalVol - vol; other < denom {
+			denom = other
+		}
+		phi := 1.0
+		if denom > 0 {
+			phi = float64(cut) / float64(denom)
+		}
+		profile = append(profile, phi)
+		// Ignore the degenerate prefix that swallows the whole graph.
+		if phi < bestPhi && vol < totalVol {
+			bestPhi = phi
+			bestIdx = i
+			bestVol = vol
+			bestCut = cut
+		}
+	}
+
+	if bestIdx < 0 {
+		bestIdx = len(order) - 1
+		bestPhi = profile[bestIdx]
+		bestVol = vol
+		bestCut = cut
+	}
+	cluster := make([]graph.NodeID, bestIdx+1)
+	copy(cluster, sweepOrder[:bestIdx+1])
+	res.Cluster = cluster
+	res.Conductance = bestPhi
+	res.Volume = bestVol
+	res.Cut = bestCut
+	res.Profile = profile
+	res.Order = sweepOrder
+	return res
+}
+
+// F1Score returns the F1-measure (harmonic mean of precision and recall) of
+// the predicted node set against the ground-truth set.
+func F1Score(predicted, truth []graph.NodeID) float64 {
+	p, r := PrecisionRecall(predicted, truth)
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// PrecisionRecall returns the precision and recall of predicted against truth.
+func PrecisionRecall(predicted, truth []graph.NodeID) (precision, recall float64) {
+	if len(predicted) == 0 || len(truth) == 0 {
+		return 0, 0
+	}
+	truthSet := make(map[graph.NodeID]struct{}, len(truth))
+	for _, v := range truth {
+		truthSet[v] = struct{}{}
+	}
+	hits := 0
+	seen := make(map[graph.NodeID]struct{}, len(predicted))
+	for _, v := range predicted {
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		if _, ok := truthSet[v]; ok {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(seen)), float64(hits) / float64(len(truthSet))
+}
+
+// Jaccard returns the Jaccard similarity |A∩B| / |A∪B| of two node sets.
+func Jaccard(a, b []graph.NodeID) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	setA := make(map[graph.NodeID]struct{}, len(a))
+	for _, v := range a {
+		setA[v] = struct{}{}
+	}
+	setB := make(map[graph.NodeID]struct{}, len(b))
+	for _, v := range b {
+		setB[v] = struct{}{}
+	}
+	inter := 0
+	for v := range setA {
+		if _, ok := setB[v]; ok {
+			inter++
+		}
+	}
+	union := len(setA) + len(setB) - inter
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// NDCG computes the Normalized Discounted Cumulative Gain of a predicted
+// ranking against ground-truth relevance scores, evaluated at cutoff k (k <= 0
+// means the full ranking).  The paper uses NDCG to compare the normalized-
+// HKPR ranking produced by each algorithm against the exact ranking computed
+// by the power method (§7.5).
+//
+// predicted is the ranked list of nodes (most relevant first); truth maps each
+// node to its true relevance (here: exact ρ[v]/d(v)).  Nodes missing from
+// truth have relevance zero.
+func NDCG(predicted []graph.NodeID, truth map[graph.NodeID]float64, k int) float64 {
+	if k <= 0 || k > len(predicted) {
+		k = len(predicted)
+	}
+	if k == 0 {
+		return 0
+	}
+	dcg := 0.0
+	for i := 0; i < k; i++ {
+		rel := truth[predicted[i]]
+		dcg += rel / math.Log2(float64(i)+2)
+	}
+	// Ideal DCG: the top-k true relevances in descending order.
+	ideal := make([]float64, 0, len(truth))
+	for _, rel := range truth {
+		ideal = append(ideal, rel)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(ideal)))
+	idcg := 0.0
+	for i := 0; i < k && i < len(ideal); i++ {
+		idcg += ideal[i] / math.Log2(float64(i)+2)
+	}
+	if idcg == 0 {
+		return 0
+	}
+	return dcg / idcg
+}
+
+// RankByNormalizedScore returns the nodes of scores sorted in descending order
+// of score/degree, the ranking the sweep and the NDCG evaluation use.
+func RankByNormalizedScore(g *graph.Graph, scores map[graph.NodeID]float64) []graph.NodeID {
+	order := make([]ScoredNode, 0, len(scores))
+	for v, s := range scores {
+		d := float64(g.Degree(v))
+		if d == 0 {
+			continue
+		}
+		order = append(order, ScoredNode{Node: v, Score: s / d})
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].Score != order[j].Score {
+			return order[i].Score > order[j].Score
+		}
+		return order[i].Node < order[j].Node
+	})
+	out := make([]graph.NodeID, len(order))
+	for i, sn := range order {
+		out[i] = sn.Node
+	}
+	return out
+}
+
+// NormalizedScores divides every score by the node's degree, producing the
+// ρ̂[v]/d(v) values used for ranking.
+func NormalizedScores(g *graph.Graph, scores map[graph.NodeID]float64) map[graph.NodeID]float64 {
+	out := make(map[graph.NodeID]float64, len(scores))
+	for v, s := range scores {
+		d := float64(g.Degree(v))
+		if d == 0 {
+			continue
+		}
+		out[v] = s / d
+	}
+	return out
+}
+
+// SetDensity returns the edge density of the subgraph induced by the node
+// set: |E(S)| / (|S| (|S|-1) / 2).  The paper stratifies seed sets by the
+// density of the subgraph they are drawn from (§7.7).
+func SetDensity(g *graph.Graph, set []graph.NodeID) float64 {
+	if len(set) < 2 {
+		return 0
+	}
+	member := make(map[graph.NodeID]struct{}, len(set))
+	for _, v := range set {
+		member[v] = struct{}{}
+	}
+	var internal int64
+	for v := range member {
+		for _, u := range g.Neighbors(v) {
+			if _, ok := member[u]; ok && u > v {
+				internal++
+			}
+		}
+	}
+	pairs := float64(len(member)) * float64(len(member)-1) / 2
+	return float64(internal) / pairs
+}

@@ -1,0 +1,279 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+)
+
+// Two triangles joined by a single bridge edge: {0,1,2} and {3,4,5}.
+func barbell() *graph.Graph {
+	return graph.FromEdges(6, [][2]graph.NodeID{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+		{2, 3},
+	})
+}
+
+func TestConductanceBarbell(t *testing.T) {
+	g := barbell()
+	// S = {0,1,2}: vol=7, cut=1, other side vol=7 -> phi=1/7.
+	phi := Conductance(g, []graph.NodeID{0, 1, 2})
+	if math.Abs(phi-1.0/7.0) > 1e-12 {
+		t.Errorf("phi=%v want 1/7", phi)
+	}
+	// Single node 0: vol=2, cut=2 -> 1.
+	if phi := Conductance(g, []graph.NodeID{0}); math.Abs(phi-1.0) > 1e-12 {
+		t.Errorf("phi({0})=%v want 1", phi)
+	}
+}
+
+func TestConductanceDegenerate(t *testing.T) {
+	g := barbell()
+	if Conductance(g, nil) != 1 {
+		t.Error("empty set should have conductance 1")
+	}
+	all := make([]graph.NodeID, g.N())
+	for i := range all {
+		all[i] = graph.NodeID(i)
+	}
+	if Conductance(g, all) != 1 {
+		t.Error("full set should have conductance 1")
+	}
+}
+
+func TestConductanceRange(t *testing.T) {
+	g, err := gen.ErdosRenyi(100, 0.08, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(mask []bool) bool {
+		var set []graph.NodeID
+		for i, m := range mask {
+			if m && i < g.N() {
+				set = append(set, graph.NodeID(i))
+			}
+		}
+		phi := Conductance(g, set)
+		return phi >= 0 && phi <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweepFindsBarbellCut(t *testing.T) {
+	g := barbell()
+	// HKPR-like scores concentrated on the left triangle.
+	scores := map[graph.NodeID]float64{
+		0: 0.4, 1: 0.3, 2: 0.25, 3: 0.03, 4: 0.01, 5: 0.01,
+	}
+	res := Sweep(g, scores)
+	if len(res.Cluster) != 3 {
+		t.Fatalf("cluster size %d want 3: %v", len(res.Cluster), res.Cluster)
+	}
+	want := map[graph.NodeID]bool{0: true, 1: true, 2: true}
+	for _, v := range res.Cluster {
+		if !want[v] {
+			t.Fatalf("unexpected node %d in cluster", v)
+		}
+	}
+	if math.Abs(res.Conductance-1.0/7.0) > 1e-12 {
+		t.Errorf("conductance %v want 1/7", res.Conductance)
+	}
+	if res.SweepSize != 6 || len(res.Profile) != 6 || len(res.Order) != 6 {
+		t.Errorf("sweep bookkeeping wrong: %+v", res)
+	}
+	if res.Cut != 1 || res.Volume != 7 {
+		t.Errorf("cut=%d vol=%d", res.Cut, res.Volume)
+	}
+}
+
+func TestSweepEmptyAndNegativeScores(t *testing.T) {
+	g := barbell()
+	res := Sweep(g, nil)
+	if res.Conductance != 1 || len(res.Cluster) != 0 {
+		t.Errorf("empty sweep should be degenerate: %+v", res)
+	}
+	res = Sweep(g, map[graph.NodeID]float64{0: -1, 1: 0})
+	if res.SweepSize != 0 {
+		t.Errorf("non-positive scores should be ignored")
+	}
+}
+
+func TestSweepPreNormalizedMatchesManual(t *testing.T) {
+	g := barbell()
+	raw := map[graph.NodeID]float64{0: 0.4, 1: 0.3, 2: 0.25, 3: 0.03}
+	norm := NormalizedScores(g, raw)
+	a := Sweep(g, raw)
+	b := SweepPreNormalized(g, norm)
+	if a.Conductance != b.Conductance || len(a.Cluster) != len(b.Cluster) {
+		t.Errorf("normalized and pre-normalized sweeps disagree: %v vs %v", a, b)
+	}
+}
+
+// Brute-force check on small graphs: the sweep returns the best prefix of its
+// own order.
+func TestSweepIsBestPrefix(t *testing.T) {
+	g, err := gen.ErdosRenyi(30, 0.15, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := map[graph.NodeID]float64{}
+	for v := graph.NodeID(0); v < 20; v++ {
+		scores[v] = 1.0 / float64(v+1)
+	}
+	res := Sweep(g, scores)
+	for i := range res.Order {
+		phi := Conductance(g, res.Order[:i+1])
+		if phi < res.Conductance-1e-12 && int64(volumeOf(g, res.Order[:i+1])) < g.TotalVolume() {
+			t.Fatalf("prefix %d has conductance %v < reported best %v", i+1, phi, res.Conductance)
+		}
+		if math.Abs(phi-res.Profile[i]) > 1e-9 {
+			t.Fatalf("profile[%d]=%v but direct conductance=%v", i, res.Profile[i], phi)
+		}
+	}
+}
+
+func volumeOf(g *graph.Graph, set []graph.NodeID) int64 {
+	return g.Volume(set)
+}
+
+func TestPrecisionRecallF1(t *testing.T) {
+	pred := []graph.NodeID{1, 2, 3, 4}
+	truth := []graph.NodeID{3, 4, 5, 6, 7, 8}
+	p, r := PrecisionRecall(pred, truth)
+	if math.Abs(p-0.5) > 1e-12 || math.Abs(r-1.0/3.0) > 1e-12 {
+		t.Errorf("p=%v r=%v", p, r)
+	}
+	f1 := F1Score(pred, truth)
+	want := 2 * 0.5 * (1.0 / 3.0) / (0.5 + 1.0/3.0)
+	if math.Abs(f1-want) > 1e-12 {
+		t.Errorf("f1=%v want %v", f1, want)
+	}
+	if F1Score(nil, truth) != 0 || F1Score(pred, nil) != 0 {
+		t.Error("empty sets should give F1 0")
+	}
+	// Duplicates in prediction are counted once.
+	p2, _ := PrecisionRecall([]graph.NodeID{3, 3, 4}, truth)
+	if math.Abs(p2-1.0) > 1e-12 {
+		t.Errorf("duplicate handling wrong: precision=%v", p2)
+	}
+}
+
+func TestPerfectF1(t *testing.T) {
+	set := []graph.NodeID{1, 2, 3}
+	if f := F1Score(set, set); math.Abs(f-1) > 1e-12 {
+		t.Errorf("identical sets should have F1=1, got %v", f)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	a := []graph.NodeID{1, 2, 3}
+	b := []graph.NodeID{2, 3, 4}
+	if j := Jaccard(a, b); math.Abs(j-0.5) > 1e-12 {
+		t.Errorf("jaccard=%v want 0.5", j)
+	}
+	if Jaccard(nil, nil) != 1 {
+		t.Error("two empty sets are identical")
+	}
+	if Jaccard(a, nil) != 0 {
+		t.Error("empty vs non-empty should be 0")
+	}
+}
+
+func TestNDCGPerfectAndReversed(t *testing.T) {
+	truth := map[graph.NodeID]float64{0: 4, 1: 3, 2: 2, 3: 1}
+	perfect := []graph.NodeID{0, 1, 2, 3}
+	if n := NDCG(perfect, truth, 0); math.Abs(n-1) > 1e-12 {
+		t.Errorf("perfect NDCG=%v", n)
+	}
+	reversed := []graph.NodeID{3, 2, 1, 0}
+	n := NDCG(reversed, truth, 0)
+	if n >= 1 || n <= 0 {
+		t.Errorf("reversed NDCG=%v should be in (0,1)", n)
+	}
+	// Cutoff shorter than list.
+	if n := NDCG(perfect, truth, 2); math.Abs(n-1) > 1e-12 {
+		t.Errorf("NDCG@2 of perfect ranking=%v", n)
+	}
+	if NDCG(nil, truth, 0) != 0 {
+		t.Error("empty prediction should be 0")
+	}
+	if NDCG(perfect, map[graph.NodeID]float64{}, 0) != 0 {
+		t.Error("empty truth should be 0")
+	}
+}
+
+func TestNDCGMonotoneUnderCorruption(t *testing.T) {
+	truth := map[graph.NodeID]float64{}
+	perfect := make([]graph.NodeID, 50)
+	for i := 0; i < 50; i++ {
+		truth[graph.NodeID(i)] = float64(50 - i)
+		perfect[i] = graph.NodeID(i)
+	}
+	// Swap a few adjacent pairs: NDCG must not increase.
+	corrupted := append([]graph.NodeID(nil), perfect...)
+	corrupted[0], corrupted[10] = corrupted[10], corrupted[0]
+	corrupted[20], corrupted[40] = corrupted[40], corrupted[20]
+	if NDCG(corrupted, truth, 0) > NDCG(perfect, truth, 0)+1e-12 {
+		t.Error("corrupting a perfect ranking must not raise NDCG")
+	}
+}
+
+func TestRankByNormalizedScore(t *testing.T) {
+	g := barbell()
+	scores := map[graph.NodeID]float64{0: 0.2, 2: 0.9, 3: 0.3}
+	// degrees: 0->2, 2->3, 3->3. normalized: 0.1, 0.3, 0.1.
+	rank := RankByNormalizedScore(g, scores)
+	if len(rank) != 3 || rank[0] != 2 {
+		t.Errorf("rank=%v", rank)
+	}
+	// Ties broken by node id: nodes 0 and 3 both have 0.1 -> 0 first.
+	if rank[1] != 0 || rank[2] != 3 {
+		t.Errorf("tie-break wrong: %v", rank)
+	}
+}
+
+func TestSetDensity(t *testing.T) {
+	g := barbell()
+	// Triangle: 3 edges over 3 pairs = 1.
+	if d := SetDensity(g, []graph.NodeID{0, 1, 2}); math.Abs(d-1) > 1e-12 {
+		t.Errorf("triangle density=%v", d)
+	}
+	// Nodes 0 and 5 not adjacent -> 0.
+	if d := SetDensity(g, []graph.NodeID{0, 5}); d != 0 {
+		t.Errorf("non-adjacent density=%v", d)
+	}
+	if SetDensity(g, []graph.NodeID{0}) != 0 {
+		t.Error("singleton density should be 0")
+	}
+}
+
+// Integration: sweeping a planted SBM graph with scores proportional to the
+// seed community should recover a cluster with much lower conductance than a
+// random set of the same size.
+func TestSweepOnSBM(t *testing.T) {
+	cfg := gen.SBMConfig{Communities: 8, CommunitySize: 40, AvgInDegree: 12, AvgOutDegree: 1.5}
+	g, assign, err := gen.SBM(cfg, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := map[graph.NodeID]float64{}
+	for v := graph.NodeID(0); v < graph.NodeID(g.N()); v++ {
+		if assign[v] == 0 {
+			scores[v] = 1 + float64(g.Degree(v))
+		}
+	}
+	res := Sweep(g, scores)
+	if res.Conductance > 0.35 {
+		t.Errorf("sweep on planted community should find low conductance, got %v", res.Conductance)
+	}
+	f1 := F1Score(res.Cluster, assign.Communities()[0])
+	if f1 < 0.8 {
+		t.Errorf("sweep should mostly recover the planted community, F1=%v", f1)
+	}
+}

@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"hkpr/internal/graph"
+)
+
+// Stats summarizes one cluster's structural quality.  The benchmark harness
+// and downstream users report these alongside conductance when comparing
+// clusters of different algorithms.
+type Stats struct {
+	// Size is the number of nodes in the cluster.
+	Size int
+	// Volume is the sum of degrees.
+	Volume int64
+	// Cut is the number of edges leaving the cluster.
+	Cut int64
+	// InternalEdges is the number of edges with both endpoints inside.
+	InternalEdges int64
+	// Conductance is cut / min(volume, 2m - volume), in [0, 1].
+	Conductance float64
+	// InternalDensity is InternalEdges / (Size·(Size-1)/2), in [0, 1].
+	InternalDensity float64
+	// NormalizedCut is cut/vol(S) + cut/vol(V\S), the symmetric variant some
+	// of the related clustering literature optimizes.
+	NormalizedCut float64
+	// Separability is InternalEdges / Cut (∞-safe: 0 cut reports the internal
+	// edge count), a common community-goodness score.
+	Separability float64
+}
+
+// ComputeStats measures the node set S in g.
+func ComputeStats(g *graph.Graph, set []graph.NodeID) Stats {
+	member := make(map[graph.NodeID]struct{}, len(set))
+	for _, v := range set {
+		member[v] = struct{}{}
+	}
+	var s Stats
+	s.Size = len(member)
+	if s.Size == 0 {
+		s.Conductance = 1
+		return s
+	}
+	for v := range member {
+		s.Volume += int64(g.Degree(v))
+		for _, u := range g.Neighbors(v) {
+			if _, in := member[u]; in {
+				s.InternalEdges++ // counted twice, halved below
+			} else {
+				s.Cut++
+			}
+		}
+	}
+	s.InternalEdges /= 2
+
+	total := g.TotalVolume()
+	denom := s.Volume
+	if other := total - s.Volume; other < denom {
+		denom = other
+	}
+	if denom > 0 {
+		s.Conductance = float64(s.Cut) / float64(denom)
+	} else {
+		s.Conductance = 1
+	}
+	if s.Size > 1 {
+		pairs := float64(s.Size) * float64(s.Size-1) / 2
+		s.InternalDensity = float64(s.InternalEdges) / pairs
+	}
+	if s.Volume > 0 && total-s.Volume > 0 {
+		s.NormalizedCut = float64(s.Cut)/float64(s.Volume) + float64(s.Cut)/float64(total-s.Volume)
+	} else {
+		s.NormalizedCut = 1
+	}
+	if s.Cut > 0 {
+		s.Separability = float64(s.InternalEdges) / float64(s.Cut)
+	} else {
+		s.Separability = float64(s.InternalEdges)
+	}
+	return s
+}

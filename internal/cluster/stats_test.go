@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+)
+
+func TestComputeStatsTriangle(t *testing.T) {
+	g := barbell()
+	s := ComputeStats(g, []graph.NodeID{0, 1, 2})
+	if s.Size != 3 || s.Volume != 7 || s.Cut != 1 || s.InternalEdges != 3 {
+		t.Fatalf("stats wrong: %+v", s)
+	}
+	if math.Abs(s.Conductance-1.0/7.0) > 1e-12 {
+		t.Errorf("conductance %v", s.Conductance)
+	}
+	if math.Abs(s.InternalDensity-1) > 1e-12 {
+		t.Errorf("density %v", s.InternalDensity)
+	}
+	wantNCut := 1.0/7.0 + 1.0/7.0
+	if math.Abs(s.NormalizedCut-wantNCut) > 1e-12 {
+		t.Errorf("ncut %v want %v", s.NormalizedCut, wantNCut)
+	}
+	if math.Abs(s.Separability-3) > 1e-12 {
+		t.Errorf("separability %v", s.Separability)
+	}
+	// Consistency with the standalone conductance function.
+	if math.Abs(s.Conductance-Conductance(g, []graph.NodeID{0, 1, 2})) > 1e-12 {
+		t.Error("ComputeStats and Conductance disagree")
+	}
+}
+
+func TestComputeStatsDegenerate(t *testing.T) {
+	g := barbell()
+	empty := ComputeStats(g, nil)
+	if empty.Size != 0 || empty.Conductance != 1 {
+		t.Errorf("empty stats: %+v", empty)
+	}
+	single := ComputeStats(g, []graph.NodeID{3})
+	if single.InternalEdges != 0 || single.Cut != 3 || single.InternalDensity != 0 {
+		t.Errorf("single stats: %+v", single)
+	}
+	whole := ComputeStats(g, []graph.NodeID{0, 1, 2, 3, 4, 5})
+	if whole.Cut != 0 || whole.Conductance != 1 || whole.Separability != float64(whole.InternalEdges) {
+		t.Errorf("whole-graph stats: %+v", whole)
+	}
+	// Duplicates in the input are ignored.
+	dup := ComputeStats(g, []graph.NodeID{0, 0, 1, 2})
+	if dup.Size != 3 {
+		t.Errorf("duplicate handling: %+v", dup)
+	}
+}
+
+func TestComputeStatsOnPlantedCommunity(t *testing.T) {
+	cfg := gen.SBMConfig{Communities: 6, CommunitySize: 40, AvgInDegree: 10, AvgOutDegree: 1}
+	g, assign, err := gen.SBM(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comm := assign.Communities()[0]
+	s := ComputeStats(g, comm)
+	// A planted community should be denser inside than across its boundary.
+	if s.Separability < 1 {
+		t.Errorf("planted community separability %v should exceed 1", s.Separability)
+	}
+	if s.Conductance > 0.4 {
+		t.Errorf("planted community conductance %v too high", s.Conductance)
+	}
+	if s.InternalDensity <= 0 || s.InternalDensity > 1 {
+		t.Errorf("internal density out of range: %v", s.InternalDensity)
+	}
+}

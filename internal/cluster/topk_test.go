@@ -1,0 +1,88 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+)
+
+func TestTopKNormalizedBasic(t *testing.T) {
+	g := barbell()
+	scores := map[graph.NodeID]float64{
+		0: 0.2, // degree 2 -> 0.1
+		2: 0.9, // degree 3 -> 0.3
+		3: 0.3, // degree 3 -> 0.1
+		5: 0.6, // degree 2 -> 0.3
+	}
+	top := TopKNormalized(g, scores, 2)
+	if len(top) != 2 {
+		t.Fatalf("len=%d", len(top))
+	}
+	// 0.3 tie between nodes 2 and 5 -> node 2 first (lower id).
+	if top[0].Node != 2 || top[1].Node != 5 {
+		t.Errorf("top-2 = %v", top)
+	}
+	full := TopKNormalized(g, scores, 0)
+	if len(full) != 4 {
+		t.Fatalf("full ranking length %d", len(full))
+	}
+	// Must match RankByNormalizedScore exactly.
+	rank := RankByNormalizedScore(g, scores)
+	for i := range rank {
+		if rank[i] != full[i].Node {
+			t.Fatalf("TopK full ranking disagrees with RankByNormalizedScore at %d: %v vs %v", i, full, rank)
+		}
+	}
+}
+
+func TestTopKNormalizedEdgeCases(t *testing.T) {
+	g := barbell()
+	if TopKNormalized(g, nil, 5) != nil {
+		t.Error("empty scores should return nil")
+	}
+	over := TopKNormalized(g, map[graph.NodeID]float64{1: 0.5}, 100)
+	if len(over) != 1 {
+		t.Errorf("k beyond support: %v", over)
+	}
+}
+
+// Property: for random score maps, TopKNormalized(k) equals the first k
+// entries of the full normalized ranking.
+func TestTopKMatchesFullSortProperty(t *testing.T) {
+	g, err := gen.ErdosRenyi(80, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []uint8, kRaw uint8) bool {
+		scores := map[graph.NodeID]float64{}
+		for i, b := range raw {
+			v := graph.NodeID(i % g.N())
+			if g.Degree(v) == 0 {
+				continue
+			}
+			scores[v] = float64(b%50) / 10
+		}
+		if len(scores) == 0 {
+			return true
+		}
+		k := int(kRaw%uint8(len(scores))) + 1
+		top := TopKNormalized(g, scores, k)
+		rank := RankByNormalizedScore(g, scores)
+		// Drop non-positive scores which RankByNormalizedScore keeps but
+		// shouldn't matter: compare only the node order prefix.
+		if len(top) != k {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			if top[i].Node != rank[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"hkpr/internal/graph"
+)
+
+// BatchItem is the outcome of one query in a batch: either a result or an
+// error, in the same position as the corresponding seed.
+type BatchItem struct {
+	Seed   graph.NodeID
+	Result *Result
+	Err    error
+}
+
+// BatchMethod selects the estimator a batch runs.
+type BatchMethod int
+
+// Batch estimator choices.
+const (
+	BatchTEAPlus BatchMethod = iota
+	BatchTEA
+	BatchMonteCarlo
+)
+
+func (m BatchMethod) String() string {
+	switch m {
+	case BatchTEA:
+		return "TEA"
+	case BatchMonteCarlo:
+		return "Monte-Carlo"
+	default:
+		return "TEA+"
+	}
+}
+
+// Batch answers many local HKPR queries concurrently.  The graph and the
+// weight table are shared read-only; each query gets an independent RNG
+// stream derived from the batch seed and the query index, so the output is
+// deterministic regardless of scheduling.  workers ≤ 0 uses GOMAXPROCS.
+//
+// The paper notes (§6, "Parallel Local Graph Clustering") that HKPR methods
+// parallelize well across queries; this is that deployment mode — the
+// per-query algorithms themselves stay sequential.
+func (e *Estimator) Batch(seeds []graph.NodeID, method BatchMethod, query Options, workers int) []BatchItem {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	out := make([]BatchItem, len(seeds))
+	if len(seeds) == 0 {
+		return out
+	}
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				seed := seeds[idx]
+				q := query
+				// Give every query its own deterministic RNG stream.
+				q.Seed = query.Seed*0x9e3779b97f4a7c15 + uint64(idx) + 1
+				var res *Result
+				var err error
+				switch method {
+				case BatchTEA:
+					res, err = e.TEA(seed, q)
+				case BatchMonteCarlo:
+					res, err = e.MonteCarlo(seed, q)
+				case BatchTEAPlus:
+					res, err = e.TEAPlus(seed, q)
+				default:
+					err = fmt.Errorf("core: unknown batch method %d", method)
+				}
+				out[idx] = BatchItem{Seed: seed, Result: res, Err: err}
+			}
+		}()
+	}
+	for idx := range seeds {
+		jobs <- idx
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

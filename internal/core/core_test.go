@@ -1,0 +1,656 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+	"hkpr/internal/heatkernel"
+	"hkpr/internal/xrand"
+)
+
+// exactHKPR computes the exact HKPR vector by dense power iteration:
+// ρ = Σ_k η(k) P^k e_s, truncated when the remaining Poisson mass is < 1e-12.
+// Small test graphs only.
+func exactHKPR(g *graph.Graph, seed graph.NodeID, t float64) []float64 {
+	w := heatkernel.MustNew(t, 1e-15)
+	n := g.N()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	out := make([]float64, n)
+	cur[seed] = 1
+	maxK := w.TruncationHop(1e-12)
+	for k := 0; k <= maxK; k++ {
+		eta := w.Eta(k)
+		for v := 0; v < n; v++ {
+			out[v] += eta * cur[v]
+		}
+		for v := range next {
+			next[v] = 0
+		}
+		for v := 0; v < n; v++ {
+			if cur[v] == 0 {
+				continue
+			}
+			d := float64(g.Degree(graph.NodeID(v)))
+			if d == 0 {
+				next[v] += cur[v]
+				continue
+			}
+			share := cur[v] / d
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				next[u] += share
+			}
+		}
+		cur, next = next, cur
+	}
+	return out
+}
+
+// testGraph returns a small connected graph with community structure so HKPR
+// mass concentrates non-trivially.
+func testGraph(tb testing.TB) (*graph.Graph, gen.CommunityAssignment) {
+	tb.Helper()
+	cfg := gen.SBMConfig{Communities: 4, CommunitySize: 30, AvgInDegree: 8, AvgOutDegree: 1}
+	g, assign, err := gen.SBM(cfg, 42)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lc, orig := graph.LargestComponent(g)
+	remapped := make(gen.CommunityAssignment, lc.N())
+	for newID, oldID := range orig {
+		remapped[newID] = assign[oldID]
+	}
+	return lc, remapped
+}
+
+func defaultOpts(n int) Options {
+	return Options{
+		T:           5,
+		EpsRel:      0.5,
+		Delta:       1.0 / float64(n),
+		FailureProb: 1e-4,
+		Seed:        7,
+	}
+}
+
+func TestOptionsValidate(t *testing.T) {
+	good := Options{T: 5, EpsRel: 0.5, Delta: 0.001, FailureProb: 1e-6, C: 2.5, RmaxScale: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	bad := []Options{
+		{T: 0, EpsRel: 0.5, Delta: 0.001, FailureProb: 1e-6},
+		{T: 5, EpsRel: 0, Delta: 0.001, FailureProb: 1e-6},
+		{T: 5, EpsRel: 1.5, Delta: 0.001, FailureProb: 1e-6},
+		{T: 5, EpsRel: 0.5, Delta: 0, FailureProb: 1e-6},
+		{T: 5, EpsRel: 0.5, Delta: 1.5, FailureProb: 1e-6},
+		{T: 5, EpsRel: 0.5, Delta: 0.001, FailureProb: 0},
+		{T: 5, EpsRel: 0.5, Delta: 0.001, FailureProb: 1},
+		{T: 5, EpsRel: 0.5, Delta: 0.001, FailureProb: 1e-6, C: -1},
+		{T: 5, EpsRel: 0.5, Delta: 0.001, FailureProb: 1e-6, RmaxScale: -1},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: invalid options accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestWithDefaults(t *testing.T) {
+	o := Options{Delta: 0.01}.withDefaults()
+	if o.T != DefaultHeat || o.EpsRel != DefaultEpsRel || o.FailureProb != DefaultFailureProb ||
+		o.C != DefaultC || o.RmaxScale != 1 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+}
+
+func TestSeedValidation(t *testing.T) {
+	g, _ := testGraph(t)
+	opts := defaultOpts(g.N())
+	if _, err := TEA(g, -1, opts); err == nil {
+		t.Error("negative seed should error")
+	}
+	if _, err := TEAPlus(g, graph.NodeID(g.N()), opts); err == nil {
+		t.Error("out-of-range seed should error")
+	}
+	if _, err := MonteCarloOnly(g, graph.NodeID(g.N()+5), opts); err == nil {
+		t.Error("out-of-range seed should error for Monte-Carlo")
+	}
+	bad := Options{T: -1, EpsRel: 0.5, Delta: 0.001, FailureProb: 1e-6}
+	if _, err := TEA(g, 0, bad); err == nil {
+		t.Error("invalid options should error")
+	}
+	if _, err := TEAPlus(g, 0, bad); err == nil {
+		t.Error("invalid options should error")
+	}
+}
+
+// Lemma 1 invariant: at any point during HK-Push, reserve + residues account
+// for all probability mass, i.e. q_s[v] ≤ ρ_s[v] and
+// Σ_v q_s[v] + Σ_k Σ_u r^(k)[u] = 1.
+func TestHKPushMassConservationAndLowerBound(t *testing.T) {
+	g, _ := testGraph(t)
+	w := heatkernel.MustNew(5, 1e-15)
+	seed := graph.NodeID(0)
+	push := HKPush(g, seed, w, 1e-4, 0)
+
+	reserveMass := 0.0
+	for _, q := range push.Reserve {
+		reserveMass += q
+	}
+	total := reserveMass + push.Residues.TotalMass()
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("mass not conserved: reserve+residue=%v", total)
+	}
+
+	exact := exactHKPR(g, seed, 5)
+	for v, q := range push.Reserve {
+		if q > exact[v]+1e-9 {
+			t.Errorf("reserve exceeds exact HKPR at node %d: %v > %v", v, q, exact[v])
+		}
+	}
+}
+
+func TestHKPushThresholdRespected(t *testing.T) {
+	g, _ := testGraph(t)
+	w := heatkernel.MustNew(5, 1e-15)
+	rmax := 1e-4
+	push := HKPush(g, 0, w, rmax, 0)
+	// After termination, every remaining residue within the expanded hop range
+	// must satisfy r^(k)[v] <= rmax * d(v) for hops that were processed.
+	maxProcessed := push.Residues.NumHops() - 2 // last hop may not have been processed
+	violations := 0
+	push.Residues.Entries(func(k int, v graph.NodeID, r float64) {
+		if k <= maxProcessed && r > rmax*float64(g.Degree(v))+1e-15 {
+			violations++
+		}
+	})
+	if violations > 0 {
+		t.Errorf("%d residues above threshold after HK-Push", violations)
+	}
+	if push.PushOperations <= 0 || push.PushedNodes <= 0 {
+		t.Error("push counters not populated")
+	}
+}
+
+// Lemma 3: the work of HK-Push is O(1/rmax); check the non-zero residue count
+// stays within a constant factor of 1/rmax.
+func TestHKPushWorkBound(t *testing.T) {
+	g, _ := testGraph(t)
+	w := heatkernel.MustNew(5, 1e-15)
+	for _, rmax := range []float64{1e-2, 1e-3, 1e-4} {
+		push := HKPush(g, 0, w, rmax, 0)
+		bound := 4.0 / rmax // generous constant
+		if float64(push.PushOperations) > bound {
+			t.Errorf("rmax=%v push operations %d exceed bound %v", rmax, push.PushOperations, bound)
+		}
+	}
+}
+
+func TestHKPushPlusBudget(t *testing.T) {
+	g, _ := testGraph(t)
+	w := heatkernel.MustNew(5, 1e-15)
+	budget := int64(50)
+	push := HKPushPlus(g, 0, w, 0.5, 1e-6, 10, budget)
+	if push.PushOperations > budget {
+		t.Errorf("push operations %d exceed budget %d", push.PushOperations, budget)
+	}
+}
+
+func TestHKPushPlusMassConservation(t *testing.T) {
+	g, _ := testGraph(t)
+	w := heatkernel.MustNew(5, 1e-15)
+	push := HKPushPlus(g, 0, w, 0.5, 1.0/float64(g.N()), 6, 1<<20)
+	reserveMass := 0.0
+	for _, q := range push.Reserve {
+		reserveMass += q
+	}
+	total := reserveMass + push.Residues.TotalMass()
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("mass not conserved: %v", total)
+	}
+}
+
+func TestHKPushPlusEarlyTermination(t *testing.T) {
+	// On a small dense graph with a loose threshold, Inequality (11) is easy
+	// to satisfy, so the push should report it.
+	g, err := gen.ErdosRenyi(60, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _ = graph.LargestComponent(g)
+	w := heatkernel.MustNew(5, 1e-15)
+	push := HKPushPlus(g, 0, w, 0.5, 0.01, 8, 1<<30)
+	if !push.SatisfiedInequality11 {
+		t.Errorf("expected Inequality 11 to be satisfied; NormalizedMaxSum=%v",
+			push.Residues.NormalizedMaxSum(g))
+	}
+	if push.Residues.NormalizedMaxSum(g) > 0.5*0.01 {
+		t.Errorf("reported satisfied but sum=%v > %v", push.Residues.NormalizedMaxSum(g), 0.5*0.01)
+	}
+}
+
+// Theorem 2: when Inequality (11) holds with ε = εr·δ, the reserve alone has
+// absolute normalized error at most εr·δ everywhere.
+func TestTheorem2AbsoluteError(t *testing.T) {
+	g, _ := testGraph(t)
+	w := heatkernel.MustNew(5, 1e-15)
+	epsRel, delta := 0.5, 0.01
+	push := HKPushPlus(g, 0, w, epsRel, delta, 12, 1<<40)
+	if !push.SatisfiedInequality11 {
+		t.Skip("push did not satisfy Inequality 11 on this graph; nothing to verify")
+	}
+	exact := exactHKPR(g, 0, 5)
+	bound := epsRel * delta
+	for v := 0; v < g.N(); v++ {
+		d := float64(g.Degree(graph.NodeID(v)))
+		got := push.Reserve[graph.NodeID(v)] / d
+		want := exact[v] / d
+		if math.Abs(got-want) > bound+1e-12 {
+			t.Errorf("node %d normalized error %v exceeds bound %v", v, math.Abs(got-want), bound)
+		}
+	}
+}
+
+// Lemma 2 / Lemma 4: k-RandomWalk end nodes follow h_u^(k) and expected walk
+// length is <= t.  We verify the distribution on a tiny graph against a
+// direct computation of h_u^(k).
+func TestKRandomWalkDistribution(t *testing.T) {
+	// Path graph 0-1-2-3.
+	g := graph.FromEdges(4, [][2]graph.NodeID{{0, 1}, {1, 2}, {2, 3}})
+	tHeat := 2.0
+	w := heatkernel.MustNew(tHeat, 1e-15)
+	rng := xrand.New(99)
+	k := 1
+	start := graph.NodeID(1)
+
+	// Direct computation of h_u^(k)[v] = Σ_l η(k+l)/ψ(k) P^l[u,v].
+	n := g.N()
+	want := make([]float64, n)
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	cur[start] = 1
+	for l := 0; l <= w.MaxHop(); l++ {
+		coef := w.Eta(k+l) / w.Psi(k)
+		for v := 0; v < n; v++ {
+			want[v] += coef * cur[v]
+		}
+		for i := range next {
+			next[i] = 0
+		}
+		for v := 0; v < n; v++ {
+			if cur[v] == 0 {
+				continue
+			}
+			d := float64(g.Degree(graph.NodeID(v)))
+			share := cur[v] / d
+			for _, u := range g.Neighbors(graph.NodeID(v)) {
+				next[u] += share
+			}
+		}
+		cur, next = next, cur
+	}
+
+	samples := 200000
+	counts := make([]int, n)
+	totalSteps := 0
+	for i := 0; i < samples; i++ {
+		end, steps := KRandomWalk(g, rng, w, start, k, 0)
+		counts[end]++
+		totalSteps += steps
+	}
+	for v := 0; v < n; v++ {
+		got := float64(counts[v]) / float64(samples)
+		if math.Abs(got-want[v]) > 0.01 {
+			t.Errorf("node %d: empirical %v vs h_u^(k) %v", v, got, want[v])
+		}
+	}
+	// Lemma 4: expected cost of each walk is O(t); empirically it should not
+	// exceed t.
+	avgSteps := float64(totalSteps) / float64(samples)
+	if avgSteps > tHeat+0.5 {
+		t.Errorf("average walk length %v exceeds t=%v", avgSteps, tHeat)
+	}
+}
+
+func TestKRandomWalkDanglingNode(t *testing.T) {
+	// Node 1 is isolated except for the walk starting there with zero
+	// neighbours after construction (degree 0 node).
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 2)
+	g := b.Build()
+	w := heatkernel.MustNew(5, 1e-15)
+	rng := xrand.New(1)
+	end, _ := KRandomWalk(g, rng, w, 1, 0, 0)
+	if end != 1 {
+		t.Errorf("walk from isolated node should stay there, got %d", end)
+	}
+}
+
+// checkApproximation verifies the (d, εr, δ) guarantee of Definition 1 for a
+// result against the exact vector, allowing a small count of violations for
+// the randomized algorithms (the guarantee is probabilistic).
+func checkApproximation(t *testing.T, g *graph.Graph, res *Result, exact []float64, epsRel, delta float64, allowedViolations int) {
+	t.Helper()
+	violations := 0
+	worst := 0.0
+	for v := 0; v < g.N(); v++ {
+		d := float64(g.Degree(graph.NodeID(v)))
+		if d == 0 {
+			continue
+		}
+		got := res.Estimate(graph.NodeID(v), g.Degree(graph.NodeID(v))) / d
+		want := exact[v] / d
+		var bound float64
+		if want > delta {
+			bound = epsRel * want
+		} else {
+			bound = epsRel * delta
+		}
+		if err := math.Abs(got - want); err > bound+1e-12 {
+			violations++
+			if err-bound > worst {
+				worst = err - bound
+			}
+		}
+	}
+	if violations > allowedViolations {
+		t.Errorf("(d,εr,δ)-approximation violated at %d nodes (allowed %d), worst excess %v",
+			violations, allowedViolations, worst)
+	}
+}
+
+func TestTEAApproximationGuarantee(t *testing.T) {
+	g, _ := testGraph(t)
+	opts := defaultOpts(g.N())
+	seed := graph.NodeID(3)
+	res, err := TEA(g, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactHKPR(g, seed, opts.T)
+	checkApproximation(t, g, res, exact, opts.EpsRel, opts.Delta, 2)
+	if res.Stats.RandomWalks < 0 || res.Stats.PushOperations <= 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+	if res.Seed != seed {
+		t.Errorf("seed not recorded")
+	}
+}
+
+func TestTEAPlusApproximationGuarantee(t *testing.T) {
+	g, _ := testGraph(t)
+	opts := defaultOpts(g.N())
+	seed := graph.NodeID(5)
+	res, err := TEAPlus(g, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactHKPR(g, seed, opts.T)
+	checkApproximation(t, g, res, exact, opts.EpsRel, opts.Delta, 2)
+}
+
+func TestMonteCarloApproximationGuarantee(t *testing.T) {
+	g, _ := testGraph(t)
+	opts := defaultOpts(g.N())
+	// Loosen delta so the walk count stays test-friendly.
+	opts.Delta = 0.005
+	seed := graph.NodeID(9)
+	res, err := MonteCarloOnly(g, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := exactHKPR(g, seed, opts.T)
+	checkApproximation(t, g, res, exact, opts.EpsRel, opts.Delta, 2)
+	if res.Stats.RandomWalks <= 0 {
+		t.Error("Monte-Carlo should perform walks")
+	}
+	// Mass of a pure Monte-Carlo estimate is exactly 1.
+	if math.Abs(res.TotalMass()-1) > 1e-9 {
+		t.Errorf("Monte-Carlo total mass %v", res.TotalMass())
+	}
+}
+
+func TestTEAPlusDoesFewerWalksThanTEA(t *testing.T) {
+	g, _ := testGraph(t)
+	opts := defaultOpts(g.N())
+	var teaWalks, teaPlusWalks int64
+	for _, seed := range []graph.NodeID{0, 11, 33, 77} {
+		a, err := TEA(g, seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := TEAPlus(g, seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		teaWalks += a.Stats.RandomWalks
+		teaPlusWalks += b.Stats.RandomWalks
+	}
+	if teaPlusWalks > teaWalks {
+		t.Errorf("TEA+ should not need more walks than TEA: %d vs %d", teaPlusWalks, teaWalks)
+	}
+}
+
+func TestTEADeterministicGivenSeed(t *testing.T) {
+	g, _ := testGraph(t)
+	opts := defaultOpts(g.N())
+	a, err := TEA(g, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := TEA(g, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Scores) != len(b.Scores) {
+		t.Fatalf("support sizes differ: %d vs %d", len(a.Scores), len(b.Scores))
+	}
+	for v, s := range a.Scores {
+		if math.Abs(b.Scores[v]-s) > 1e-15 {
+			t.Fatalf("scores differ at %d", v)
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{
+		Scores:          map[graph.NodeID]float64{1: 0.5, 2: 0.25},
+		OffsetPerDegree: 0.01,
+	}
+	if got := r.Estimate(1, 3); math.Abs(got-0.53) > 1e-12 {
+		t.Errorf("Estimate=%v", got)
+	}
+	if got := r.NormalizedEstimate(1, 3); math.Abs(got-0.53/3) > 1e-12 {
+		t.Errorf("NormalizedEstimate=%v", got)
+	}
+	if r.NormalizedEstimate(1, 0) != 0 {
+		t.Error("zero degree should give 0")
+	}
+	if got := r.Estimate(9, 2); math.Abs(got-0.02) > 1e-12 {
+		t.Errorf("missing node estimate=%v", got)
+	}
+	if math.Abs(r.TotalMass()-0.75) > 1e-12 {
+		t.Errorf("TotalMass=%v", r.TotalMass())
+	}
+	if r.SupportSize() != 2 {
+		t.Errorf("SupportSize=%d", r.SupportSize())
+	}
+}
+
+func TestResidueVectorsBasics(t *testing.T) {
+	rv := &ResidueVectors{}
+	rv.add(2, 5, 0.5)
+	rv.add(0, 1, 0.25)
+	rv.add(2, 5, 0.25)
+	if rv.NumHops() != 3 {
+		t.Errorf("NumHops=%d", rv.NumHops())
+	}
+	if math.Abs(rv.Get(2, 5)-0.75) > 1e-15 {
+		t.Errorf("Get=%v", rv.Get(2, 5))
+	}
+	if rv.Get(7, 5) != 0 || rv.Get(-1, 5) != 0 {
+		t.Error("out of range Get should be 0")
+	}
+	if math.Abs(rv.TotalMass()-1.0) > 1e-15 {
+		t.Errorf("TotalMass=%v", rv.TotalMass())
+	}
+	if math.Abs(rv.HopMass(2)-0.75) > 1e-15 || rv.HopMass(9) != 0 {
+		t.Errorf("HopMass wrong")
+	}
+	if rv.NonZeroEntries() != 2 {
+		t.Errorf("NonZeroEntries=%d", rv.NonZeroEntries())
+	}
+	if rv.MaxHopWithMass() != 2 {
+		t.Errorf("MaxHopWithMass=%d", rv.MaxHopWithMass())
+	}
+	rv.set(2, 5, 0)
+	if rv.Get(2, 5) != 0 {
+		t.Error("set 0 should delete")
+	}
+	empty := &ResidueVectors{}
+	if empty.MaxHopWithMass() != -1 {
+		t.Error("empty residues should report -1")
+	}
+}
+
+func TestReduceResiduesBounds(t *testing.T) {
+	g, _ := testGraph(t)
+	w := heatkernel.MustNew(5, 1e-15)
+	push := HKPushPlus(g, 0, w, 0.5, 1.0/float64(g.N()), 4, 200)
+	before := push.Residues.TotalMass()
+	target := 0.5 / float64(g.N())
+	reduceResidues(g, push.Residues, target)
+	after := push.Residues.TotalMass()
+	if after > before+1e-12 {
+		t.Errorf("reduction increased residue mass: %v -> %v", before, after)
+	}
+	push.Residues.Entries(func(k int, v graph.NodeID, r float64) {
+		if r < 0 {
+			t.Errorf("negative residue after reduction at hop %d node %d", k, v)
+		}
+	})
+}
+
+func TestEstimatorReuse(t *testing.T) {
+	g, _ := testGraph(t)
+	opts := defaultOpts(g.N())
+	est, err := NewEstimator(g, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Graph() != g || est.Weights() == nil {
+		t.Fatal("estimator accessors broken")
+	}
+	if est.Options().AdjustedFailureProb <= 0 {
+		t.Error("p'_f should be precomputed")
+	}
+	r1, err := est.TEAPlus(1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := est.TEA(1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := est.MonteCarlo(1, Options{Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.SupportSize() == 0 || r2.SupportSize() == 0 || r3.SupportSize() == 0 {
+		t.Error("estimator queries returned empty results")
+	}
+	// Per-query overrides.
+	r4, err := est.TEAPlus(1, Options{EpsRel: 0.9, Delta: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Stats.PushOperations > r1.Stats.PushOperations && r4.Stats.RandomWalks > r1.Stats.RandomWalks {
+		t.Error("looser thresholds should not increase both push and walk work")
+	}
+	if _, err := est.TEAPlus(graph.NodeID(g.N()), Options{}); err == nil {
+		t.Error("invalid seed should error")
+	}
+	if _, err := NewEstimator(g, Options{T: -1, Delta: 0.1}); err == nil {
+		t.Error("invalid options should error")
+	}
+}
+
+func TestTEAPlusNoReductionAblation(t *testing.T) {
+	g, _ := testGraph(t)
+	opts := defaultOpts(g.N())
+	seed := graph.NodeID(17)
+	full, err := TEAPlus(g, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	abl, err := TEAPlusNoReduction(g, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residue reduction can only reduce (or keep equal) the number of walks.
+	if full.Stats.RandomWalks > abl.Stats.RandomWalks {
+		t.Errorf("reduction increased walks: %d vs %d", full.Stats.RandomWalks, abl.Stats.RandomWalks)
+	}
+	exact := exactHKPR(g, seed, opts.T)
+	checkApproximation(t, g, abl, exact, opts.EpsRel, opts.Delta, 2)
+}
+
+func TestHopCapBehaviour(t *testing.T) {
+	w := heatkernel.MustNew(5, 1e-15)
+	// Larger c gives a larger K.
+	k1 := hopCap(1, 0.5, 1e-6, 10, w)
+	k2 := hopCap(3, 0.5, 1e-6, 10, w)
+	if k2 < k1 {
+		t.Errorf("hop cap should grow with c: %d vs %d", k1, k2)
+	}
+	// Smaller average degree gives a larger K.
+	kSparse := hopCap(2, 0.5, 1e-6, 2, w)
+	kDense := hopCap(2, 0.5, 1e-6, 100, w)
+	if kSparse < kDense {
+		t.Errorf("hop cap should grow as degree shrinks: sparse=%d dense=%d", kSparse, kDense)
+	}
+	// Degenerate average degree does not panic or give zero.
+	if hopCap(2, 0.5, 1e-6, 0.5, w) < 1 {
+		t.Error("hop cap must be at least 1")
+	}
+}
+
+func TestOmegaFormulas(t *testing.T) {
+	// ω grows as εr and δ shrink.
+	if omegaTEA(0.1, 1e-6, 1e-6) <= omegaTEA(0.5, 1e-6, 1e-6) {
+		t.Error("omega should grow as eps shrinks")
+	}
+	if omegaTEA(0.5, 1e-7, 1e-6) <= omegaTEA(0.5, 1e-6, 1e-6) {
+		t.Error("omega should grow as delta shrinks")
+	}
+	if omegaTEAPlus(0.5, 1e-6, 1e-6) <= omegaTEA(0.5, 1e-6, 1e-6) {
+		t.Error("TEA+ omega constant is larger than TEA's")
+	}
+}
+
+// Integration: local clusters found via TEA+ should align with the planted
+// SBM community of the seed.
+func TestTEAPlusRecoversPlantedCommunityMass(t *testing.T) {
+	g, assign := testGraph(t)
+	opts := defaultOpts(g.N())
+	seed := graph.NodeID(0)
+	res, err := TEAPlus(g, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCommunity := assign[seed]
+	inMass, outMass := 0.0, 0.0
+	for v, s := range res.Scores {
+		if assign[v] == seedCommunity {
+			inMass += s
+		} else {
+			outMass += s
+		}
+	}
+	if inMass < 2*outMass {
+		t.Errorf("HKPR mass should concentrate in the seed community: in=%v out=%v", inMass, outMass)
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"hkpr/internal/graph"
+	"hkpr/internal/heatkernel"
+)
+
+// ResidueVectors holds the k-hop residue vectors r^(0)..r^(K) produced by the
+// push phase, stored sparsely per hop.
+type ResidueVectors struct {
+	hops []map[graph.NodeID]float64
+}
+
+// NumHops returns K+1, the number of hop levels stored (possibly including
+// empty trailing levels).
+func (r *ResidueVectors) NumHops() int { return len(r.hops) }
+
+// Get returns r^(k)[v].
+func (r *ResidueVectors) Get(k int, v graph.NodeID) float64 {
+	if k < 0 || k >= len(r.hops) {
+		return 0
+	}
+	return r.hops[k][v]
+}
+
+// add accumulates x onto r^(k)[v], allocating hop levels as needed.
+func (r *ResidueVectors) add(k int, v graph.NodeID, x float64) {
+	for len(r.hops) <= k {
+		r.hops = append(r.hops, make(map[graph.NodeID]float64))
+	}
+	r.hops[k][v] += x
+}
+
+// set overwrites r^(k)[v]; a zero value removes the entry.
+func (r *ResidueVectors) set(k int, v graph.NodeID, x float64) {
+	for len(r.hops) <= k {
+		r.hops = append(r.hops, make(map[graph.NodeID]float64))
+	}
+	if x == 0 {
+		delete(r.hops[k], v)
+		return
+	}
+	r.hops[k][v] = x
+}
+
+// TotalMass returns α = Σ_k Σ_u r^(k)[u].
+func (r *ResidueVectors) TotalMass() float64 {
+	total := 0.0
+	for _, hop := range r.hops {
+		for _, x := range hop {
+			total += x
+		}
+	}
+	return total
+}
+
+// HopMass returns Σ_u r^(k)[u].
+func (r *ResidueVectors) HopMass(k int) float64 {
+	if k < 0 || k >= len(r.hops) {
+		return 0
+	}
+	total := 0.0
+	for _, x := range r.hops[k] {
+		total += x
+	}
+	return total
+}
+
+// NonZeroEntries returns the number of non-zero (node, hop) residue entries.
+func (r *ResidueVectors) NonZeroEntries() int {
+	n := 0
+	for _, hop := range r.hops {
+		n += len(hop)
+	}
+	return n
+}
+
+// MaxHopWithMass returns the largest k such that r^(k) has a non-zero entry,
+// or -1 if all residues are zero.
+func (r *ResidueVectors) MaxHopWithMass() int {
+	for k := len(r.hops) - 1; k >= 0; k-- {
+		if len(r.hops[k]) > 0 {
+			return k
+		}
+	}
+	return -1
+}
+
+// NormalizedMaxSum returns Σ_k max_u r^(k)[u]/d(u), the left-hand side of
+// Inequality (11); TEA+ uses it both as HK-Push+'s early-termination test and
+// as the decision of whether random walks are needed at all.
+func (r *ResidueVectors) NormalizedMaxSum(g *graph.Graph) float64 {
+	total := 0.0
+	for _, hop := range r.hops {
+		max := 0.0
+		for v, x := range hop {
+			d := float64(g.Degree(v))
+			if d == 0 {
+				continue
+			}
+			if norm := x / d; norm > max {
+				max = norm
+			}
+		}
+		total += max
+	}
+	return total
+}
+
+// Entries calls fn for every non-zero residue entry (hop, node, value).
+func (r *ResidueVectors) Entries(fn func(k int, v graph.NodeID, residue float64)) {
+	for k, hop := range r.hops {
+		for v, x := range hop {
+			fn(k, v, x)
+		}
+	}
+}
+
+// PushResult is the output of HK-Push / HK-Push+: the reserve vector q_s and
+// the residue vectors r^(0)..r^(K), together with the work counters used by
+// the complexity accounting.
+type PushResult struct {
+	Reserve        map[graph.NodeID]float64
+	Residues       *ResidueVectors
+	PushOperations int64 // Σ d(v) over pushed (v,k) entries
+	PushedNodes    int64 // number of pushed (v,k) entries
+	// SatisfiedInequality11 records whether Σ_k max_u r^(k)[u]/d(u) ≤ ε was
+	// established during the push (only HK-Push+ checks it).
+	SatisfiedInequality11 bool
+}
+
+// HKPush implements Algorithm 1.  Starting from r^(0)[s] = 1 it repeatedly
+// picks a node v with k-hop residue above rmax·d(v), converts an η(k)/ψ(k)
+// fraction of that residue into v's reserve, and spreads the rest uniformly
+// onto the (k+1)-hop residues of v's neighbours.
+//
+// The loop is scheduled hop by hop: pushes at hop k only create hop-(k+1)
+// residue, so a single scan per hop processes every entry that can ever
+// exceed the threshold.  maxHops caps the number of hop levels expanded
+// (residue at the cap is left in place for the walk phase); pass a value at
+// least the heat-kernel truncation hop for full fidelity.
+//
+// The run time and the number of non-zero residue entries are O(1/rmax)
+// (Lemma 3).
+func HKPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops int) *PushResult {
+	res := &PushResult{
+		Reserve:  make(map[graph.NodeID]float64),
+		Residues: &ResidueVectors{},
+	}
+	res.Residues.set(0, seed, 1)
+	if rmax <= 0 {
+		rmax = 1e-12
+	}
+	if maxHops <= 0 {
+		maxHops = w.TruncationHop(1e-12)
+	}
+
+	for k := 0; k < res.Residues.NumHops() && k < maxHops; k++ {
+		hop := res.Residues.hops[k]
+		stop := w.Stop(k)
+		// Collect the frontier first: deleting while ranging is legal, but a
+		// stable slice keeps the iteration order deterministic for tests.
+		frontier := make([]graph.NodeID, 0, len(hop))
+		for v, r := range hop {
+			if r > rmax*float64(g.Degree(v)) {
+				frontier = append(frontier, v)
+			}
+		}
+		for _, v := range frontier {
+			r := hop[v]
+			if r == 0 {
+				continue
+			}
+			res.Reserve[v] += stop * r
+			spread := (1 - stop) * r
+			deg := g.Degree(v)
+			if spread > 0 && deg > 0 {
+				share := spread / float64(deg)
+				for _, u := range g.Neighbors(v) {
+					res.Residues.add(k+1, u, share)
+				}
+			}
+			delete(hop, v)
+			res.PushOperations += int64(deg)
+			res.PushedNodes++
+		}
+	}
+	return res
+}
+
+// HKPushPlus implements Algorithm 4, the budgeted push used by TEA+.  It
+// differs from HKPush in three ways: the push threshold is εr·δ/K·d(v), push
+// operations stop once the budget np is exhausted or Inequality (11) holds
+// with ε = εr·δ, and only hops below the cap K are ever pushed (hop-K residue
+// is left for the walk phase).
+func HKPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64) *PushResult {
+	res := &PushResult{
+		Reserve:  make(map[graph.NodeID]float64),
+		Residues: &ResidueVectors{},
+	}
+	res.Residues.set(0, seed, 1)
+	if maxHopK < 1 {
+		maxHopK = 1
+	}
+	target := epsRel * delta
+	threshold := target / float64(maxHopK)
+
+	// checkEvery controls how often the (exact but linear-time) Inequality-11
+	// test runs during a hop; the authoritative test also runs when each hop
+	// drains, and TEA+ re-checks after the push returns.
+	const checkEvery = 4096
+	sinceCheck := int64(0)
+
+	for k := 0; k < res.Residues.NumHops() && k < maxHopK; k++ {
+		hop := res.Residues.hops[k]
+		stop := w.Stop(k)
+		frontier := make([]graph.NodeID, 0, len(hop))
+		for v, r := range hop {
+			if r > threshold*float64(g.Degree(v)) {
+				frontier = append(frontier, v)
+			}
+		}
+		for _, v := range frontier {
+			r := hop[v]
+			if r == 0 {
+				continue
+			}
+			deg := g.Degree(v)
+			if budget > 0 && res.PushOperations+int64(deg) > budget {
+				// Budget exhausted: leave the remaining residues in place and
+				// let TEA+ clean up with random walks.
+				return res
+			}
+			res.Reserve[v] += stop * r
+			spread := (1 - stop) * r
+			if spread > 0 && deg > 0 {
+				share := spread / float64(deg)
+				for _, u := range g.Neighbors(v) {
+					res.Residues.add(k+1, u, share)
+				}
+			}
+			delete(hop, v)
+			res.PushOperations += int64(deg)
+			res.PushedNodes++
+			sinceCheck += int64(deg)
+			if sinceCheck >= checkEvery {
+				sinceCheck = 0
+				if res.Residues.NormalizedMaxSum(g) <= target {
+					res.SatisfiedInequality11 = true
+					return res
+				}
+			}
+		}
+		if res.Residues.NormalizedMaxSum(g) <= target {
+			res.SatisfiedInequality11 = true
+			return res
+		}
+	}
+	res.SatisfiedInequality11 = res.Residues.NormalizedMaxSum(g) <= target
+	return res
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+	"hkpr/internal/heatkernel"
+)
+
+// randomConnectedGraph builds a small connected graph from fuzz bytes by
+// generating an Erdős–Rényi graph and keeping its largest component.
+func randomConnectedGraph(seedByte uint8) *graph.Graph {
+	n := 40 + int(seedByte%4)*20
+	p := 0.05 + float64(seedByte%7)*0.02
+	g, err := gen.ErdosRenyi(n, p, uint64(seedByte)+1)
+	if err != nil {
+		return nil
+	}
+	lc, _ := graph.LargestComponent(g)
+	if lc.N() < 5 {
+		return nil
+	}
+	return lc
+}
+
+// Property (Lemma 1 invariant): for any graph, seed, heat constant and
+// threshold, HK-Push conserves probability mass between the reserve and the
+// residues, and every reserve entry is a lower bound of the exact HKPR value.
+func TestHKPushInvariantsProperty(t *testing.T) {
+	f := func(seedByte, tByte, rmaxByte uint8) bool {
+		g := randomConnectedGraph(seedByte)
+		if g == nil {
+			return true
+		}
+		heat := 1 + float64(tByte%10)
+		rmax := math.Pow(10, -1-float64(rmaxByte%4))
+		w := heatkernel.MustNew(heat, 1e-15)
+		seed := graph.NodeID(int(seedByte) % g.N())
+		if g.Degree(seed) == 0 {
+			return true
+		}
+		push := HKPush(g, seed, w, rmax, 0)
+
+		reserveMass := 0.0
+		for _, q := range push.Reserve {
+			if q < 0 {
+				return false
+			}
+			reserveMass += q
+		}
+		total := reserveMass + push.Residues.TotalMass()
+		if math.Abs(total-1) > 1e-8 {
+			return false
+		}
+		// Reserve is a lower bound of the exact HKPR vector.
+		exact := exactHKPR(g, seed, heat)
+		for v, q := range push.Reserve {
+			if q > exact[v]+1e-8 {
+				return false
+			}
+		}
+		// Residues are non-negative.
+		ok := true
+		push.Residues.Entries(func(_ int, _ graph.NodeID, r float64) {
+			if r < 0 {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: HK-Push+ respects its budget and also conserves mass, for random
+// parameters.
+func TestHKPushPlusInvariantsProperty(t *testing.T) {
+	f := func(seedByte, kByte, budgetByte uint8) bool {
+		g := randomConnectedGraph(seedByte)
+		if g == nil {
+			return true
+		}
+		w := heatkernel.MustNew(5, 1e-15)
+		seed := graph.NodeID(int(seedByte) % g.N())
+		if g.Degree(seed) == 0 {
+			return true
+		}
+		k := 1 + int(kByte%8)
+		budget := int64(10 + int(budgetByte)*20)
+		push := HKPushPlus(g, seed, w, 0.5, 1.0/float64(g.N()), k, budget)
+
+		if push.PushOperations > budget {
+			return false
+		}
+		reserveMass := 0.0
+		for _, q := range push.Reserve {
+			reserveMass += q
+		}
+		total := reserveMass + push.Residues.TotalMass()
+		if math.Abs(total-1) > 1e-8 {
+			return false
+		}
+		// No residue may live beyond hop k (pushes stop at k-1, so mass can
+		// reach hop k but never beyond).
+		return push.Residues.MaxHopWithMass() <= k
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the sparse estimates produced by TEA+ are non-negative and their
+// total mass never exceeds 1 — the push conserves mass and the residue
+// reduction only removes mass (the per-degree offset compensates per node,
+// not in aggregate).  The offset itself must be within its analytical bound
+// εr·δ/2.
+func TestTEAPlusMassProperty(t *testing.T) {
+	f := func(seedByte uint8) bool {
+		g := randomConnectedGraph(seedByte)
+		if g == nil {
+			return true
+		}
+		seed := graph.NodeID(int(seedByte) % g.N())
+		if g.Degree(seed) == 0 {
+			return true
+		}
+		opts := Options{T: 5, EpsRel: 0.5, Delta: 1.0 / float64(g.N()), FailureProb: 1e-3, Seed: uint64(seedByte) + 1}
+		res, err := TEAPlus(g, seed, opts)
+		if err != nil {
+			return false
+		}
+		mass := 0.0
+		for _, s := range res.Scores {
+			if s < 0 {
+				return false
+			}
+			mass += s
+		}
+		if mass <= 0 || mass > 1+1e-9 {
+			return false
+		}
+		maxOffset := opts.EpsRel*opts.Delta/2 + 1e-15
+		return res.OffsetPerDegree >= 0 && res.OffsetPerDegree <= maxOffset
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

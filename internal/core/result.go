@@ -1,0 +1,90 @@
+package core
+
+import (
+	"time"
+
+	"hkpr/internal/graph"
+)
+
+// Result is the outcome of an approximate-HKPR computation.
+//
+// The estimate for a node v is Scores[v] + OffsetPerDegree·d(v); nodes absent
+// from Scores have estimate OffsetPerDegree·d(v).  TEA+ uses the per-degree
+// offset to implement the εr·δ/2·d(v) correction of Algorithm 5 lines 18-19
+// without touching every node; the offset does not change the normalized
+// ranking, so the sweep can (and does) ignore it.
+type Result struct {
+	// Seed is the query node.
+	Seed graph.NodeID
+	// Scores holds the sparse, un-normalized HKPR estimates ρ̂_s[v] for the
+	// nodes touched by the computation.
+	Scores map[graph.NodeID]float64
+	// OffsetPerDegree is added (times the node degree) to every estimate.
+	OffsetPerDegree float64
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+// Stats captures the cost breakdown of one HKPR query; the benchmark harness
+// aggregates these to regenerate the paper's cost analyses.
+type Stats struct {
+	// PushOperations counts push operations: the paper's unit where pushing a
+	// node v at hop k costs d(v) operations.
+	PushOperations int64
+	// PushedNodes counts (node, hop) entries that were pushed.
+	PushedNodes int64
+	// RandomWalks is the number of random walks performed.
+	RandomWalks int64
+	// WalkSteps is the total number of edge traversals over all walks.
+	WalkSteps int64
+	// ResidueMassBeforeWalks is α, the total residue handed to the walk phase
+	// (after any residue reduction).
+	ResidueMassBeforeWalks float64
+	// MaxHop is the largest hop level holding non-zero residue after pushing.
+	MaxHop int
+	// EarlyTermination is true when TEA+ satisfied Inequality (11) during the
+	// push phase and skipped random walks entirely.
+	EarlyTermination bool
+	// PushTime and WalkTime are the wall-clock durations of the two phases.
+	PushTime time.Duration
+	WalkTime time.Duration
+	// WorkingSetBytes estimates the memory held by the per-query structures
+	// (reserve, residues, alias table, walk counters); the harness adds the
+	// graph size to mirror the paper's Figure 5 accounting.
+	WorkingSetBytes int64
+}
+
+// Estimate returns the HKPR estimate ρ̂_s[v] for node v given its degree.
+func (r *Result) Estimate(v graph.NodeID, degree int32) float64 {
+	return r.Scores[v] + r.OffsetPerDegree*float64(degree)
+}
+
+// NormalizedEstimate returns ρ̂_s[v]/d(v) for node v given its degree.
+// Nodes with zero degree return 0.
+func (r *Result) NormalizedEstimate(v graph.NodeID, degree int32) float64 {
+	if degree == 0 {
+		return 0
+	}
+	return r.Estimate(v, degree) / float64(degree)
+}
+
+// TotalMass returns the sum of all sparse scores (excluding the offset); for
+// an exact HKPR vector this is 1.
+func (r *Result) TotalMass() float64 {
+	total := 0.0
+	for _, s := range r.Scores {
+		total += s
+	}
+	return total
+}
+
+// SupportSize returns the number of nodes with a non-zero sparse score.
+func (r *Result) SupportSize() int { return len(r.Scores) }
+
+// estimatedWorkingSetBytes approximates the bytes held by a map-based sparse
+// vector with the given number of entries (8-byte key + 8-byte value plus map
+// overhead factor).
+func estimatedWorkingSetBytes(entries int) int64 {
+	const bytesPerEntry = 48 // key + value + bucket overhead, empirical
+	return int64(entries) * bytesPerEntry
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hkpr/internal/graph"
+	"hkpr/internal/heatkernel"
+	"hkpr/internal/xrand"
+)
+
+// TEA implements Algorithm 3, the first-cut two-phase estimator: an HK-Push
+// pass with residue threshold rmax = RmaxScale/(ω·t) produces a reserve vector
+// (a lower bound of the exact HKPR vector, Lemma 1) plus hop-indexed residue
+// vectors, and α·ω Poisson-tail random walks seeded from the residues refine
+// the reserve into a (d, εr, δ)-approximate HKPR vector with probability at
+// least 1-pf (Theorem 1).
+func TEA(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSeed(g, seed); err != nil {
+		return nil, err
+	}
+	w, err := heatkernel.New(opts.T, heatkernel.DefaultTailEpsilon)
+	if err != nil {
+		return nil, err
+	}
+	return teaWithWeights(g, seed, opts, w)
+}
+
+// teaWithWeights is the seam used by the benchmark harness to reuse one
+// weight table across many queries with the same heat constant.
+func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights) (*Result, error) {
+	pfAdj := adjustedPf(g, opts)
+	omega := omegaTEA(opts.EpsRel, opts.Delta, pfAdj)
+	rmax := opts.RmaxScale / (omega * opts.T)
+
+	maxHops := opts.MaxPushHops
+	if maxHops <= 0 {
+		maxHops = w.TruncationHop(1e-12)
+	}
+
+	pushStart := time.Now()
+	push := HKPush(g, seed, w, rmax, maxHops)
+	pushTime := time.Since(pushStart)
+
+	scores := push.Reserve
+	alpha := push.Residues.TotalMass()
+	nr := int64(math.Ceil(alpha * omega))
+
+	rng := xrand.New(opts.Seed ^ uint64(seed)*0x9e3779b97f4a7c15)
+	entries, weights := collectWalkEntries(push.Residues)
+
+	walkStart := time.Now()
+	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap)
+	if err != nil {
+		return nil, fmt.Errorf("core: TEA walk phase: %w", err)
+	}
+	walkTime := time.Since(walkStart)
+
+	return &Result{
+		Seed:   seed,
+		Scores: scores,
+		Stats: Stats{
+			PushOperations:         push.PushOperations,
+			PushedNodes:            push.PushedNodes,
+			RandomWalks:            walks,
+			WalkSteps:              steps,
+			ResidueMassBeforeWalks: alpha,
+			MaxHop:                 push.Residues.MaxHopWithMass(),
+			PushTime:               pushTime,
+			WalkTime:               walkTime,
+			WorkingSetBytes: estimatedWorkingSetBytes(len(scores)) +
+				estimatedWorkingSetBytes(push.Residues.NonZeroEntries()) +
+				int64(len(entries))*24,
+		},
+	}, nil
+}
+
+// MonteCarloOnly runs the pure Monte-Carlo estimator described in §3: nr
+// Poisson-length random walks from the seed, each end node receiving 1/nr.
+// It shares the (d, εr, δ) parameterization with TEA/TEA+, using
+// nr = 2(1+εr/3)·log(n/pf)/(εr²·δ) walks, and is both the building block the
+// paper motivates TEA with and the Monte-Carlo baseline of the experiments.
+//
+// It lives in this package (rather than baselines) because TEA degenerates to
+// it when the push phase is disabled, which the ablation benchmarks exploit.
+func MonteCarloOnly(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSeed(g, seed); err != nil {
+		return nil, err
+	}
+	w, err := heatkernel.New(opts.T, heatkernel.DefaultTailEpsilon)
+	if err != nil {
+		return nil, err
+	}
+	// The plain Monte-Carlo analysis uses a union bound over all n nodes, so
+	// the walk count uses log(n/pf) rather than log(1/p'_f).
+	nr := int64(math.Ceil(2 * (1 + opts.EpsRel/3) * math.Log(float64(g.N())/opts.FailureProb) /
+		(opts.EpsRel * opts.EpsRel * opts.Delta)))
+
+	rng := xrand.New(opts.Seed ^ uint64(seed)*0x517cc1b727220a95)
+	scores := make(map[graph.NodeID]float64)
+	start := time.Now()
+	var steps int64
+	increment := 1 / float64(nr)
+	for i := int64(0); i < nr; i++ {
+		end, st := KRandomWalk(g, rng, w, seed, 0, opts.WalkLengthCap)
+		scores[end] += increment
+		steps += int64(st)
+	}
+	walkTime := time.Since(start)
+
+	return &Result{
+		Seed:   seed,
+		Scores: scores,
+		Stats: Stats{
+			RandomWalks:            nr,
+			WalkSteps:              steps,
+			ResidueMassBeforeWalks: 1,
+			WalkTime:               walkTime,
+			WorkingSetBytes:        estimatedWorkingSetBytes(len(scores)),
+		},
+	}, nil
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hkpr/internal/graph"
+	"hkpr/internal/heatkernel"
+	"hkpr/internal/xrand"
+)
+
+// TEAPlus implements Algorithm 5, the optimized estimator.  It runs HK-Push+
+// with a push budget np = ω·t/2 and hop cap K = c·log(1/(εr·δ))/log(d̄); if
+// the push already satisfies Inequality (11) the reserve vector is returned
+// directly (no random walks).  Otherwise every residue is reduced by
+// β_k·εr·δ·d(u) (β_k proportional to the hop's residue mass), the surviving
+// residues seed α·ω random walks exactly as in TEA, and an εr·δ/2·d(v)
+// per-degree offset compensates the reduction, halving its worst-case error.
+// The output is (d, εr, δ)-approximate with probability at least 1-pf
+// (Theorem 3).
+func TEAPlus(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSeed(g, seed); err != nil {
+		return nil, err
+	}
+	w, err := heatkernel.New(opts.T, heatkernel.DefaultTailEpsilon)
+	if err != nil {
+		return nil, err
+	}
+	return teaPlusWithWeights(g, seed, opts, w)
+}
+
+// teaPlusWithWeights is the seam used by the harness to share one weight
+// table across queries.
+func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights) (*Result, error) {
+	pfAdj := adjustedPf(g, opts)
+	omega := omegaTEAPlus(opts.EpsRel, opts.Delta, pfAdj)
+	budget := int64(math.Ceil(omega * opts.T / 2))
+	k := hopCap(opts.C, opts.EpsRel, opts.Delta, g.AverageDegree(), w)
+
+	pushStart := time.Now()
+	push := HKPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget)
+	pushTime := time.Since(pushStart)
+
+	scores := push.Reserve
+	target := opts.EpsRel * opts.Delta
+
+	stats := Stats{
+		PushOperations: push.PushOperations,
+		PushedNodes:    push.PushedNodes,
+		MaxHop:         push.Residues.MaxHopWithMass(),
+		PushTime:       pushTime,
+	}
+
+	// Line 7: if Inequality (11) holds the reserve already is a
+	// (d, εr, δ)-approximate HKPR vector (Theorem 2) — no walks needed.
+	if push.SatisfiedInequality11 || push.Residues.NormalizedMaxSum(g) <= target {
+		stats.EarlyTermination = true
+		stats.WorkingSetBytes = estimatedWorkingSetBytes(len(scores)) +
+			estimatedWorkingSetBytes(push.Residues.NonZeroEntries())
+		return &Result{Seed: seed, Scores: scores, Stats: stats}, nil
+	}
+
+	// Lines 8-11: residue reduction.  β_k is proportional to the residue mass
+	// at hop k, and Σ_k β_k = 1, so the total absolute error introduced in any
+	// ρ̂[v]/d(v) is at most εr·δ (Inequality 19).
+	reduceResidues(g, push.Residues, target)
+
+	alpha := push.Residues.TotalMass()
+	nr := int64(math.Ceil(alpha * omega))
+	entries, weights := collectWalkEntries(push.Residues)
+
+	rng := xrand.New(opts.Seed ^ uint64(seed)*0x2545f4914f6cdd1d)
+	walkStart := time.Now()
+	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap)
+	if err != nil {
+		return nil, fmt.Errorf("core: TEA+ walk phase: %w", err)
+	}
+	walkTime := time.Since(walkStart)
+
+	stats.RandomWalks = walks
+	stats.WalkSteps = steps
+	stats.ResidueMassBeforeWalks = alpha
+	stats.WalkTime = walkTime
+	stats.WorkingSetBytes = estimatedWorkingSetBytes(len(scores)) +
+		estimatedWorkingSetBytes(push.Residues.NonZeroEntries()) +
+		int64(len(entries))*24
+
+	return &Result{
+		Seed:   seed,
+		Scores: scores,
+		// Lines 18-19: add εr·δ/2·d(v) to every estimate.  Stored as a
+		// per-degree offset so it costs O(1); it does not affect the
+		// normalized ranking used by the sweep.
+		OffsetPerDegree: target / 2,
+		Stats:           stats,
+	}, nil
+}
+
+// reduceResidues applies the residue reduction of Algorithm 5 lines 8-11:
+// every residue r^(k)[u] is decreased by β_k·εr·δ·d(u) (floored at zero),
+// where β_k = hop-k residue mass / total residue mass.
+func reduceResidues(g *graph.Graph, res *ResidueVectors, target float64) {
+	total := res.TotalMass()
+	if total <= 0 {
+		return
+	}
+	for k := 0; k < res.NumHops(); k++ {
+		hopMass := res.HopMass(k)
+		if hopMass == 0 {
+			continue
+		}
+		beta := hopMass / total
+		reduction := beta * target
+		hop := res.hops[k]
+		for v, r := range hop {
+			nr := r - reduction*float64(g.Degree(v))
+			if nr <= 0 {
+				delete(hop, v)
+			} else {
+				hop[v] = nr
+			}
+		}
+	}
+}
+
+// TEAPlusNoReduction is an ablation variant of TEA+ that skips the residue
+// reduction (and therefore the offset): it quantifies how much of TEA+'s
+// speed-up comes from the reduction versus the budgeted push.  It keeps the
+// exact same accuracy analysis as TEA applied to HK-Push+'s output.
+func TEAPlusNoReduction(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSeed(g, seed); err != nil {
+		return nil, err
+	}
+	w, err := heatkernel.New(opts.T, heatkernel.DefaultTailEpsilon)
+	if err != nil {
+		return nil, err
+	}
+	pfAdj := adjustedPf(g, opts)
+	omega := omegaTEAPlus(opts.EpsRel, opts.Delta, pfAdj)
+	budget := int64(math.Ceil(omega * opts.T / 2))
+	k := hopCap(opts.C, opts.EpsRel, opts.Delta, g.AverageDegree(), w)
+
+	pushStart := time.Now()
+	push := HKPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget)
+	pushTime := time.Since(pushStart)
+	scores := push.Reserve
+
+	alpha := push.Residues.TotalMass()
+	nr := int64(math.Ceil(alpha * omega))
+	entries, weights := collectWalkEntries(push.Residues)
+	rng := xrand.New(opts.Seed ^ uint64(seed)*0x2545f4914f6cdd1d)
+	walkStart := time.Now()
+	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Seed:   seed,
+		Scores: scores,
+		Stats: Stats{
+			PushOperations:         push.PushOperations,
+			PushedNodes:            push.PushedNodes,
+			RandomWalks:            walks,
+			WalkSteps:              steps,
+			ResidueMassBeforeWalks: alpha,
+			MaxHop:                 push.Residues.MaxHopWithMass(),
+			PushTime:               pushTime,
+			WalkTime:               time.Since(walkStart),
+			WorkingSetBytes: estimatedWorkingSetBytes(len(scores)) +
+				estimatedWorkingSetBytes(push.Residues.NonZeroEntries()),
+		},
+	}, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"sort"
+
+	"hkpr/internal/graph"
+	"hkpr/internal/heatkernel"
+	"hkpr/internal/xrand"
+)
+
+// KRandomWalk implements Algorithm 2.  Starting at node u whose residue was
+// generated at hop k, the walk stops at the current node with probability
+// η(k+ℓ)/ψ(k+ℓ) at its ℓ-th step, and otherwise moves to a uniformly random
+// neighbour.  The returned node is distributed according to h_u^(k), the
+// conditional HKPR end-point distribution given that the walk's k-th hop is
+// at u (Lemma 2); its expected length is O(t) (Lemma 4).
+//
+// lengthCap bounds the number of steps taken (0 means the heat-kernel
+// truncation hop); beyond the table the stop probability is 1, so walks
+// terminate regardless.  The number of edge traversals is returned alongside
+// the end node so callers can account for walk cost.
+func KRandomWalk(g *graph.Graph, rng *xrand.RNG, w *heatkernel.Weights, u graph.NodeID, k int, lengthCap int) (graph.NodeID, int) {
+	if lengthCap <= 0 {
+		lengthCap = w.MaxHop() + 1
+	}
+	cur := u
+	steps := 0
+	for l := 0; l < lengthCap; l++ {
+		if rng.Float64() <= w.Stop(k+l) {
+			return cur, steps
+		}
+		ns := g.Neighbors(cur)
+		if len(ns) == 0 {
+			// Dangling node: the walk has nowhere to go; terminate here.  In a
+			// connected undirected graph this never happens.
+			return cur, steps
+		}
+		cur = ns[rng.Intn(len(ns))]
+		steps++
+	}
+	return cur, steps
+}
+
+// walkEntry is one (node, hop) source for the random-walk phase, weighted by
+// its (possibly reduced) residue.
+type walkEntry struct {
+	node    graph.NodeID
+	hop     int
+	residue float64
+}
+
+// collectWalkEntries flattens the non-zero residues into a slice plus the
+// weight vector used to build the alias table.  Entries are sorted by
+// (hop, node) so results are reproducible for a fixed RNG seed despite Go's
+// randomized map iteration order.
+func collectWalkEntries(res *ResidueVectors) ([]walkEntry, []float64) {
+	entries := make([]walkEntry, 0, res.NonZeroEntries())
+	res.Entries(func(k int, v graph.NodeID, r float64) {
+		if r <= 0 {
+			return
+		}
+		entries = append(entries, walkEntry{node: v, hop: k, residue: r})
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].hop != entries[j].hop {
+			return entries[i].hop < entries[j].hop
+		}
+		return entries[i].node < entries[j].node
+	})
+	weights := make([]float64, len(entries))
+	for i, e := range entries {
+		weights[i] = e.residue
+	}
+	return entries, weights
+}
+
+// runWalkPhase performs nr random walks whose start entries are sampled from
+// the residue-weighted alias table, adding α/nr to the score of each walk's
+// end node (Algorithm 3 lines 9-12, shared by TEA and TEA+).  It returns the
+// number of walks done and the total number of steps taken.
+func runWalkPhase(
+	g *graph.Graph,
+	rng *xrand.RNG,
+	w *heatkernel.Weights,
+	scores map[graph.NodeID]float64,
+	entries []walkEntry,
+	weights []float64,
+	alpha float64,
+	nr int64,
+	lengthCap int,
+) (walks, steps int64, err error) {
+	if nr <= 0 || len(entries) == 0 || alpha <= 0 {
+		return 0, 0, nil
+	}
+	alias, err := xrand.NewAlias(weights)
+	if err != nil {
+		return 0, 0, err
+	}
+	increment := alpha / float64(nr)
+	for i := int64(0); i < nr; i++ {
+		e := entries[alias.Sample(rng)]
+		end, st := KRandomWalk(g, rng, w, e.node, e.hop, lengthCap)
+		scores[end] += increment
+		steps += int64(st)
+	}
+	return nr, steps, nil
+}

@@ -1,0 +1,452 @@
+// Package dataset maps the eight benchmark graphs of the paper's Table 7 to
+// deterministic synthetic stand-ins, generates them on demand, caches them on
+// disk, and provides the seed-selection procedures the experiments use
+// (uniform seeds, ground-truth community seeds, and the density-stratified
+// seeds of §7.7).
+//
+// The real SNAP graphs are not redistributable and range up to 1.8 billion
+// edges; the stand-ins reproduce the structural properties that the paper
+// identifies as driving algorithm behaviour (average degree, degree skew,
+// clustering coefficient, community structure) at laptop scale.  See
+// DESIGN.md §2 for the full substitution argument.
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+	"hkpr/internal/xrand"
+)
+
+// Scale selects how large the generated stand-ins are.
+type Scale string
+
+const (
+	// ScaleTest produces tiny graphs (hundreds to a few thousand nodes) so
+	// the full experiment suite runs in seconds inside `go test -bench`.
+	ScaleTest Scale = "test"
+	// ScaleSmall produces graphs of a few tens of thousands of nodes; the
+	// default for cmd/hkprbench.
+	ScaleSmall Scale = "small"
+	// ScaleFull produces the largest stand-ins (hundreds of thousands of
+	// nodes) and is intended for unattended benchmark runs.
+	ScaleFull Scale = "full"
+)
+
+// factor returns the node-count multiplier of the scale relative to ScaleSmall.
+func (s Scale) factor() float64 {
+	switch s {
+	case ScaleTest:
+		return 0.05
+	case ScaleFull:
+		return 5
+	default:
+		return 1
+	}
+}
+
+// Valid reports whether s is a known scale.
+func (s Scale) Valid() bool {
+	return s == ScaleTest || s == ScaleSmall || s == ScaleFull
+}
+
+// Dataset is a loaded benchmark graph plus its metadata.
+type Dataset struct {
+	// Name is the registry key (lower-case paper dataset name).
+	Name string
+	// PaperName is the name used in the paper's Table 7.
+	PaperName string
+	// Graph is the generated stand-in, restricted to its largest connected
+	// component.
+	Graph *graph.Graph
+	// Communities is the ground-truth community assignment, or nil when the
+	// stand-in has none (grid, RMAT graphs) — mirroring which SNAP datasets
+	// ship ground-truth communities.
+	Communities gen.CommunityAssignment
+	// PaperNodes/PaperEdges/PaperAvgDegree echo Table 7 for EXPERIMENTS.md.
+	PaperNodes     int64
+	PaperEdges     int64
+	PaperAvgDegree float64
+}
+
+// Spec describes how to build one dataset stand-in.
+type Spec struct {
+	Name           string
+	PaperName      string
+	Description    string
+	PaperNodes     int64
+	PaperEdges     int64
+	PaperAvgDegree float64
+	HasGroundTruth bool
+	build          func(scale Scale, seed uint64) (*graph.Graph, gen.CommunityAssignment, error)
+}
+
+// Registry lists the eight stand-ins in the order of Table 7.
+func Registry() []Spec {
+	return []Spec{
+		{
+			Name: "dblp", PaperName: "DBLP", Description: "co-authorship network; high clustering, ground-truth communities",
+			PaperNodes: 317_080, PaperEdges: 1_049_866, PaperAvgDegree: 6.62, HasGroundTruth: true,
+			build: func(scale Scale, seed uint64) (*graph.Graph, gen.CommunityAssignment, error) {
+				n := scaled(20_000, scale)
+				return gen.LFR(gen.LFRConfig{
+					Nodes: n, AvgDegree: 6.6, MaxDegree: 150, DegreeExponent: 2.5,
+					MinCommunitySize: 10, MaxCommunitySize: 120, Mu: 0.15,
+				}, seed)
+			},
+		},
+		{
+			Name: "youtube", PaperName: "Youtube", Description: "social network; low average degree, skewed, ground-truth communities",
+			PaperNodes: 1_134_890, PaperEdges: 2_987_624, PaperAvgDegree: 5.27, HasGroundTruth: true,
+			build: func(scale Scale, seed uint64) (*graph.Graph, gen.CommunityAssignment, error) {
+				n := scaled(25_000, scale)
+				return gen.LFR(gen.LFRConfig{
+					Nodes: n, AvgDegree: 5.3, MaxDegree: 400, DegreeExponent: 2.2,
+					MinCommunitySize: 8, MaxCommunitySize: 300, Mu: 0.35,
+				}, seed)
+			},
+		},
+		{
+			Name: "plc", PaperName: "PLC", Description: "Holme–Kim power-law cluster synthetic graph (as in the paper)",
+			PaperNodes: 2_000_000, PaperEdges: 9_999_961, PaperAvgDegree: 9.99, HasGroundTruth: false,
+			build: func(scale Scale, seed uint64) (*graph.Graph, gen.CommunityAssignment, error) {
+				n := scaled(30_000, scale)
+				g, err := gen.PowerlawCluster(n, 5, 0.5, seed)
+				return g, nil, err
+			},
+		},
+		{
+			Name: "orkut", PaperName: "Orkut", Description: "dense social network; very high average degree, ground-truth communities",
+			PaperNodes: 3_072_441, PaperEdges: 117_185_083, PaperAvgDegree: 76.28, HasGroundTruth: true,
+			build: func(scale Scale, seed uint64) (*graph.Graph, gen.CommunityAssignment, error) {
+				// Dense SBM: ~48 intra + ~12 inter edges per node ≈ d̄ 60.
+				size, comms := 250, 48
+				switch scale {
+				case ScaleTest:
+					size, comms = 150, 14
+				case ScaleFull:
+					size, comms = 400, 150
+				}
+				g, assign, err := gen.SBM(gen.SBMConfig{
+					Communities: comms, CommunitySize: size, AvgInDegree: 48, AvgOutDegree: 12,
+				}, seed)
+				return g, assign, err
+			},
+		},
+		{
+			Name: "livejournal", PaperName: "LiveJournal", Description: "blogging social network; medium degree, ground-truth communities",
+			PaperNodes: 3_997_962, PaperEdges: 34_681_189, PaperAvgDegree: 17.35, HasGroundTruth: true,
+			build: func(scale Scale, seed uint64) (*graph.Graph, gen.CommunityAssignment, error) {
+				n := scaled(25_000, scale)
+				return gen.LFR(gen.LFRConfig{
+					Nodes: n, AvgDegree: 17.3, MaxDegree: 500, DegreeExponent: 2.4,
+					MinCommunitySize: 15, MaxCommunitySize: 250, Mu: 0.25,
+				}, seed)
+			},
+		},
+		{
+			Name: "3d-grid", PaperName: "3D-grid", Description: "3-D torus grid; every node has degree six (as in the paper)",
+			PaperNodes: 9_938_375, PaperEdges: 29_676_450, PaperAvgDegree: 5.97, HasGroundTruth: false,
+			build: func(scale Scale, seed uint64) (*graph.Graph, gen.CommunityAssignment, error) {
+				side := 30
+				switch scale {
+				case ScaleTest:
+					side = 11
+				case ScaleFull:
+					side = 52
+				}
+				g, err := gen.Grid3D(side, side, side)
+				return g, nil, err
+			},
+		},
+		{
+			Name: "twitter", PaperName: "Twitter", Description: "symmetrized follower graph; heavy-tailed, high average degree",
+			PaperNodes: 41_652_231, PaperEdges: 1_202_513_046, PaperAvgDegree: 57.74, HasGroundTruth: false,
+			build: func(scale Scale, seed uint64) (*graph.Graph, gen.CommunityAssignment, error) {
+				sc := 15
+				switch scale {
+				case ScaleTest:
+					sc = 11
+				case ScaleFull:
+					sc = 17
+				}
+				g, err := gen.RMAT(gen.DefaultRMAT(sc, 28), seed)
+				return g, nil, err
+			},
+		},
+		{
+			Name: "friendster", PaperName: "Friendster", Description: "gaming social network; the paper's largest graph",
+			PaperNodes: 65_608_366, PaperEdges: 1_806_067_135, PaperAvgDegree: 55.06, HasGroundTruth: false,
+			build: func(scale Scale, seed uint64) (*graph.Graph, gen.CommunityAssignment, error) {
+				sc := 15
+				switch scale {
+				case ScaleTest:
+					sc = 11
+				case ScaleFull:
+					sc = 17
+				}
+				g, err := gen.RMAT(gen.RMATConfig{Scale: sc, EdgeFactor: 27, A: 0.55, B: 0.2, C: 0.2}, seed)
+				return g, nil, err
+			},
+		},
+	}
+}
+
+// Names returns the registry dataset names in Table 7 order.
+func Names() []string {
+	specs := Registry()
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// Lookup returns the spec for a dataset name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Registry() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("dataset: unknown dataset %q (known: %v)", name, Names())
+}
+
+func scaled(base int, scale Scale) int {
+	n := int(float64(base) * scale.factor())
+	if n < 200 {
+		n = 200
+	}
+	return n
+}
+
+// generationSeed fixes the RNG seed per dataset so every run regenerates the
+// same graphs.
+func generationSeed(name string) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, c := range name {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Load generates (or loads from cacheDir, when non-empty) the named dataset
+// at the given scale.  The graph is restricted to its largest connected
+// component and the community assignment is remapped accordingly.
+func Load(name string, scale Scale, cacheDir string) (*Dataset, error) {
+	if !scale.Valid() {
+		return nil, fmt.Errorf("dataset: invalid scale %q", scale)
+	}
+	spec, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+
+	var cachePath string
+	if cacheDir != "" {
+		cachePath = filepath.Join(cacheDir, fmt.Sprintf("%s-%s.bin", spec.Name, scale))
+		if g, err := graph.LoadBinaryFile(cachePath); err == nil {
+			// Community ground truth is regenerated (it is deterministic and
+			// cheap relative to edge generation); only the graph is cached.
+			ds, err := buildDataset(spec, scale, g, nil)
+			if err == nil {
+				return ds, nil
+			}
+		}
+	}
+
+	g, assign, err := spec.build(scale, generationSeed(spec.Name))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: generating %s: %w", name, err)
+	}
+	ds, err := buildDataset(spec, scale, g, assign)
+	if err != nil {
+		return nil, err
+	}
+	if cachePath != "" {
+		if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+			_ = graph.SaveBinaryFile(cachePath, ds.Graph)
+		}
+	}
+	return ds, nil
+}
+
+func buildDataset(spec Spec, scale Scale, g *graph.Graph, assign gen.CommunityAssignment) (*Dataset, error) {
+	lc, orig := graph.LargestComponent(g)
+	var remapped gen.CommunityAssignment
+	if assign != nil {
+		remapped = make(gen.CommunityAssignment, lc.N())
+		for newID, oldID := range orig {
+			remapped[newID] = assign[oldID]
+		}
+	} else if spec.HasGroundTruth {
+		// Cached load without an assignment: rebuild from scratch so the
+		// ground truth matches the cached graph is not possible; fall back to
+		// regenerating everything.
+		freshG, freshAssign, err := spec.build(scale, generationSeed(spec.Name))
+		if err != nil {
+			return nil, err
+		}
+		lc, orig = graph.LargestComponent(freshG)
+		remapped = make(gen.CommunityAssignment, lc.N())
+		for newID, oldID := range orig {
+			remapped[newID] = freshAssign[oldID]
+		}
+	}
+	return &Dataset{
+		Name:           spec.Name,
+		PaperName:      spec.PaperName,
+		Graph:          lc,
+		Communities:    remapped,
+		PaperNodes:     spec.PaperNodes,
+		PaperEdges:     spec.PaperEdges,
+		PaperAvgDegree: spec.PaperAvgDegree,
+	}, nil
+}
+
+// Seed selection ---------------------------------------------------------------
+
+// UniformSeeds picks count seed nodes uniformly at random (without
+// replacement) among non-isolated nodes, as in §7.1 ("50 seed nodes uniformly
+// at random").
+func UniformSeeds(g *graph.Graph, count int, seed uint64) []graph.NodeID {
+	r := xrand.New(seed)
+	if count > g.N() {
+		count = g.N()
+	}
+	picked := r.SampleWithoutReplacement(g.N(), count)
+	out := make([]graph.NodeID, 0, count)
+	for _, v := range picked {
+		if g.Degree(graph.NodeID(v)) > 0 {
+			out = append(out, graph.NodeID(v))
+		}
+	}
+	// Top up if isolated nodes were skipped.
+	for v := graph.NodeID(0); len(out) < count && int(v) < g.N(); v++ {
+		if g.Degree(v) > 0 && !containsNode(out, v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func containsNode(xs []graph.NodeID, v graph.NodeID) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// CommunitySeeds picks count seeds from distinct ground-truth communities of
+// size at least minSize, as in §7.6 ("100 seed nodes from 100 known
+// communities of size greater than 100").
+func CommunitySeeds(g *graph.Graph, assign gen.CommunityAssignment, minSize, count int, seed uint64) []graph.NodeID {
+	if assign == nil {
+		return nil
+	}
+	comms := assign.Communities()
+	eligible := make([]int, 0, len(comms))
+	for i, c := range comms {
+		if len(c) >= minSize {
+			eligible = append(eligible, i)
+		}
+	}
+	r := xrand.New(seed)
+	r.Shuffle(len(eligible), func(i, j int) { eligible[i], eligible[j] = eligible[j], eligible[i] })
+	out := make([]graph.NodeID, 0, count)
+	for _, ci := range eligible {
+		if len(out) >= count {
+			break
+		}
+		members := comms[ci]
+		v := members[r.Intn(len(members))]
+		if g.Degree(v) > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// DensityBand identifies one of the three seed strata of §7.7.
+type DensityBand string
+
+// Density strata.
+const (
+	HighDensity   DensityBand = "high"
+	MediumDensity DensityBand = "medium"
+	LowDensity    DensityBand = "low"
+)
+
+// DensityStratifiedSeeds reproduces the seed-selection procedure of §7.7:
+// sample numSubgraphs random subgraphs (2-hop balls around random centers),
+// sort them by edge density, and draw seeds from the top, middle and bottom
+// of the ranking.  It returns one seed list per band.
+func DensityStratifiedSeeds(g *graph.Graph, numSubgraphs, seedsPerBand int, seed uint64) map[DensityBand][]graph.NodeID {
+	r := xrand.New(seed)
+	type sub struct {
+		center  graph.NodeID
+		density float64
+		nodes   []graph.NodeID
+	}
+	subs := make([]sub, 0, numSubgraphs)
+	for i := 0; i < numSubgraphs; i++ {
+		c := graph.NodeID(r.Intn(g.N()))
+		if g.Degree(c) == 0 {
+			continue
+		}
+		ball := graph.BFSBall(g, c, 2, 200)
+		if len(ball) < 3 {
+			continue
+		}
+		subs = append(subs, sub{center: c, density: setDensity(g, ball), nodes: ball})
+	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i].density > subs[j].density })
+
+	pick := func(from, to int) []graph.NodeID {
+		if from < 0 {
+			from = 0
+		}
+		if to > len(subs) {
+			to = len(subs)
+		}
+		out := make([]graph.NodeID, 0, seedsPerBand)
+		for i := from; i < to && len(out) < seedsPerBand; i++ {
+			nodes := subs[i].nodes
+			out = append(out, nodes[r.Intn(len(nodes))])
+		}
+		return out
+	}
+	third := len(subs) / 3
+	return map[DensityBand][]graph.NodeID{
+		HighDensity:   pick(0, third),
+		MediumDensity: pick(third, 2*third),
+		LowDensity:    pick(2*third, len(subs)),
+	}
+}
+
+func setDensity(g *graph.Graph, set []graph.NodeID) float64 {
+	if len(set) < 2 {
+		return 0
+	}
+	member := make(map[graph.NodeID]struct{}, len(set))
+	for _, v := range set {
+		member[v] = struct{}{}
+	}
+	var internal int64
+	for v := range member {
+		for _, u := range g.Neighbors(v) {
+			if _, ok := member[u]; ok && u > v {
+				internal++
+			}
+		}
+	}
+	pairs := float64(len(member)) * float64(len(member)-1) / 2
+	return float64(internal) / pairs
+}

@@ -1,0 +1,233 @@
+package dataset
+
+import (
+	"testing"
+
+	"hkpr/internal/graph"
+)
+
+func TestRegistryCoversTable7(t *testing.T) {
+	names := Names()
+	want := []string{"dblp", "youtube", "plc", "orkut", "livejournal", "3d-grid", "twitter", "friendster"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d datasets, want %d", len(names), len(want))
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("registry[%d]=%s want %s", i, names[i], n)
+		}
+	}
+	for _, spec := range Registry() {
+		if spec.PaperNodes <= 0 || spec.PaperEdges <= 0 || spec.PaperAvgDegree <= 0 {
+			t.Errorf("%s: missing Table 7 metadata", spec.Name)
+		}
+		if spec.Description == "" || spec.PaperName == "" {
+			t.Errorf("%s: missing description", spec.Name)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("dblp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("no-such-dataset"); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestScaleValidation(t *testing.T) {
+	for _, s := range []Scale{ScaleTest, ScaleSmall, ScaleFull} {
+		if !s.Valid() {
+			t.Errorf("%s should be valid", s)
+		}
+	}
+	if Scale("huge").Valid() {
+		t.Error("unknown scale should be invalid")
+	}
+	if _, err := Load("dblp", Scale("huge"), ""); err == nil {
+		t.Error("invalid scale should error")
+	}
+	if _, err := Load("nope", ScaleTest, ""); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestLoadAllTestScale(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := Load(name, ScaleTest, "")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Graph.N() < 100 {
+			t.Errorf("%s: only %d nodes", name, ds.Graph.N())
+		}
+		if err := ds.Graph.Validate(); err != nil {
+			t.Errorf("%s: invalid graph: %v", name, err)
+		}
+		// Largest component: connected by construction.
+		_, sizes := graph.ConnectedComponents(ds.Graph)
+		if len(sizes) != 1 {
+			t.Errorf("%s: %d components after LargestComponent", name, len(sizes))
+		}
+		spec, _ := Lookup(name)
+		if spec.HasGroundTruth && ds.Communities == nil {
+			t.Errorf("%s: expected ground-truth communities", name)
+		}
+		if !spec.HasGroundTruth && ds.Communities != nil {
+			t.Errorf("%s: unexpected communities", name)
+		}
+		if ds.Communities != nil && len(ds.Communities) != ds.Graph.N() {
+			t.Errorf("%s: community assignment length mismatch", name)
+		}
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a, err := Load("plc", ScaleTest, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load("plc", ScaleTest, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.N() != b.Graph.N() || a.Graph.M() != b.Graph.M() {
+		t.Error("dataset generation is not deterministic")
+	}
+}
+
+func TestLoadWithCache(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Load("plc", ScaleTest, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second load goes through the cache and must produce the same graph.
+	b, err := Load("plc", ScaleTest, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Graph.N() != b.Graph.N() || a.Graph.M() != b.Graph.M() {
+		t.Error("cached load differs from generated load")
+	}
+	// Ground-truth dataset via cache still gets communities.
+	c, err := Load("dblp", ScaleTest, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Load("dblp", ScaleTest, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Communities == nil || d.Communities == nil {
+		t.Error("communities lost through cache")
+	}
+}
+
+func TestAverageDegreeRoughlyMatchesTarget(t *testing.T) {
+	// Analog graphs should land near the paper's average degree class:
+	// low (~5-10) for DBLP/Youtube/PLC/3D-grid, high (>20) for Orkut-like.
+	lowDegree := []string{"dblp", "youtube", "plc", "3d-grid"}
+	for _, name := range lowDegree {
+		ds, err := Load(name, ScaleTest, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := ds.Graph.AverageDegree(); d < 3 || d > 15 {
+			t.Errorf("%s average degree %v out of the expected low band", name, d)
+		}
+	}
+	orkut, err := Load("orkut", ScaleTest, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := orkut.Graph.AverageDegree(); d < 20 {
+		t.Errorf("orkut analog average degree %v should be high", d)
+	}
+	grid, _ := Load("3d-grid", ScaleTest, "")
+	if d := grid.Graph.AverageDegree(); d != 6 {
+		t.Errorf("3d-grid average degree %v want exactly 6", d)
+	}
+}
+
+func TestUniformSeeds(t *testing.T) {
+	ds, err := Load("plc", ScaleTest, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := UniformSeeds(ds.Graph, 50, 1)
+	if len(seeds) != 50 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	seen := map[graph.NodeID]bool{}
+	for _, s := range seeds {
+		if s < 0 || int(s) >= ds.Graph.N() {
+			t.Fatalf("seed out of range: %d", s)
+		}
+		if ds.Graph.Degree(s) == 0 {
+			t.Fatalf("isolated seed: %d", s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate seed: %d", s)
+		}
+		seen[s] = true
+	}
+	// Determinism.
+	again := UniformSeeds(ds.Graph, 50, 1)
+	for i := range seeds {
+		if seeds[i] != again[i] {
+			t.Fatal("seed selection is not deterministic")
+		}
+	}
+	// Requesting more seeds than nodes degrades gracefully.
+	small := graph.FromEdges(3, [][2]graph.NodeID{{0, 1}, {1, 2}})
+	if got := UniformSeeds(small, 10, 1); len(got) != 3 {
+		t.Errorf("expected all 3 nodes, got %d", len(got))
+	}
+}
+
+func TestCommunitySeeds(t *testing.T) {
+	ds, err := Load("dblp", ScaleTest, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := CommunitySeeds(ds.Graph, ds.Communities, 10, 20, 3)
+	if len(seeds) == 0 {
+		t.Fatal("no community seeds selected")
+	}
+	for _, s := range seeds {
+		if ds.Graph.Degree(s) == 0 {
+			t.Errorf("isolated community seed %d", s)
+		}
+	}
+	// Seeds must come from communities of at least the minimum size.
+	comms := ds.Communities.Communities()
+	for _, s := range seeds {
+		c := ds.Communities[s]
+		if c < 0 || len(comms[c]) < 10 {
+			t.Errorf("seed %d from undersized community", s)
+		}
+	}
+	if CommunitySeeds(ds.Graph, nil, 10, 20, 3) != nil {
+		t.Error("nil assignment should produce nil seeds")
+	}
+}
+
+func TestDensityStratifiedSeeds(t *testing.T) {
+	ds, err := Load("plc", ScaleTest, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bands := DensityStratifiedSeeds(ds.Graph, 60, 10, 7)
+	for _, band := range []DensityBand{HighDensity, MediumDensity, LowDensity} {
+		if len(bands[band]) == 0 {
+			t.Errorf("band %s is empty", band)
+		}
+		for _, s := range bands[band] {
+			if s < 0 || int(s) >= ds.Graph.N() {
+				t.Errorf("band %s seed %d out of range", band, s)
+			}
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"hkpr/internal/cluster"
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+)
+
+func TestDinicTextbook(t *testing.T) {
+	// Classic 6-node example with known max flow 23.
+	nw := NewNetwork(6)
+	s, a, b, c, d, sink := 0, 1, 2, 3, 4, 5
+	nw.AddEdge(s, a, 16)
+	nw.AddEdge(s, b, 13)
+	nw.AddEdge(a, b, 10)
+	nw.AddEdge(b, a, 4)
+	nw.AddEdge(a, c, 12)
+	nw.AddEdge(c, b, 9)
+	nw.AddEdge(b, d, 14)
+	nw.AddEdge(d, c, 7)
+	nw.AddEdge(c, sink, 20)
+	nw.AddEdge(d, sink, 4)
+	got := nw.MaxFlow(s, sink)
+	if math.Abs(got-23) > 1e-9 {
+		t.Fatalf("max flow = %v, want 23", got)
+	}
+	side := nw.MinCutSourceSide(s)
+	if len(side) == 0 || side[0] != s {
+		t.Fatal("min cut source side must contain the source")
+	}
+	// Min cut capacity equals the flow value.
+	inSide := map[int]bool{}
+	for _, v := range side {
+		inSide[v] = true
+	}
+	if inSide[sink] {
+		t.Fatal("sink must not be on the source side")
+	}
+}
+
+func TestDinicDisconnected(t *testing.T) {
+	nw := NewNetwork(4)
+	nw.AddEdge(0, 1, 5)
+	nw.AddEdge(2, 3, 5)
+	if f := nw.MaxFlow(0, 3); f != 0 {
+		t.Errorf("disconnected flow = %v", f)
+	}
+	if f := nw.MaxFlow(1, 1); f != 0 {
+		t.Errorf("source==sink flow = %v", f)
+	}
+}
+
+func TestDinicParallelAndUndirected(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.AddEdge(0, 1, 2)
+	nw.AddEdge(0, 1, 3) // parallel edges accumulate
+	nw.AddUndirectedEdge(1, 2, 4)
+	if f := nw.MaxFlow(0, 2); math.Abs(f-4) > 1e-9 {
+		t.Errorf("flow = %v want 4", f)
+	}
+}
+
+func TestNetworkAddNode(t *testing.T) {
+	nw := NewNetwork(2)
+	id := nw.AddNode()
+	if id != 2 || nw.NumNodes() != 3 {
+		t.Fatalf("AddNode id=%d n=%d", id, nw.NumNodes())
+	}
+	nw.AddEdge(0, id, 1)
+	nw.AddEdge(id, 1, 1)
+	if f := nw.MaxFlow(0, 1); math.Abs(f-1) > 1e-9 {
+		t.Errorf("flow through added node = %v", f)
+	}
+}
+
+func TestNetworkPanics(t *testing.T) {
+	nw := NewNetwork(2)
+	mustPanic(t, func() { nw.AddEdge(0, 5, 1) })
+	mustPanic(t, func() { nw.AddEdge(0, 1, -1) })
+	mustPanic(t, func() { nw.AddUndirectedEdge(0, 7, 1) })
+	mustPanic(t, func() { nw.AddUndirectedEdge(0, 1, math.NaN()) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+// Min cut on the barbell graph separates the two triangles.
+func TestDinicBarbellCut(t *testing.T) {
+	// Nodes 0-2 triangle, 3-5 triangle, bridge 2-3.  Source super-node wired
+	// to 0, sink super-node wired to 5, unit capacities.
+	nw := NewNetwork(8)
+	source, sink := 6, 7
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}, {2, 3}}
+	for _, e := range edges {
+		nw.AddUndirectedEdge(e[0], e[1], 1)
+	}
+	nw.AddEdge(source, 0, 100)
+	nw.AddEdge(5, sink, 100)
+	f := nw.MaxFlow(source, sink)
+	if math.Abs(f-1) > 1e-9 {
+		t.Fatalf("barbell max flow = %v want 1 (the bridge)", f)
+	}
+	side := nw.MinCutSourceSide(source)
+	onSource := map[int]bool{}
+	for _, v := range side {
+		onSource[v] = true
+	}
+	for _, v := range []int{0, 1, 2} {
+		if !onSource[v] {
+			t.Errorf("node %d should be on the source side", v)
+		}
+	}
+	for _, v := range []int{3, 4, 5} {
+		if onSource[v] {
+			t.Errorf("node %d should be on the sink side", v)
+		}
+	}
+}
+
+func sbmGraph(tb testing.TB) (*graph.Graph, gen.CommunityAssignment) {
+	tb.Helper()
+	cfg := gen.SBMConfig{Communities: 5, CommunitySize: 40, AvgInDegree: 10, AvgOutDegree: 1}
+	g, assign, err := gen.SBM(cfg, 77)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lc, orig := graph.LargestComponent(g)
+	remapped := make(gen.CommunityAssignment, lc.N())
+	for newID, oldID := range orig {
+		remapped[newID] = assign[oldID]
+	}
+	return lc, remapped
+}
+
+func TestSimpleLocalRecoversCommunity(t *testing.T) {
+	g, assign := sbmGraph(t)
+	seed := graph.NodeID(0)
+	res, err := SimpleLocal(g, seed, SimpleLocalOptions{Locality: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cluster) == 0 {
+		t.Fatal("empty cluster")
+	}
+	if res.Conductance <= 0 || res.Conductance > 1 {
+		t.Fatalf("conductance out of range: %v", res.Conductance)
+	}
+	// The reported conductance must match a direct computation.
+	direct := cluster.Conductance(g, res.Cluster)
+	if math.Abs(direct-res.Conductance) > 1e-9 {
+		t.Errorf("reported conductance %v != computed %v", res.Conductance, direct)
+	}
+	// It should improve (or match) the conductance of the raw BFS reference.
+	ref := graph.BFSBall(g, seed, 2, 200)
+	if res.Conductance > cluster.Conductance(g, ref)+1e-9 {
+		t.Errorf("SimpleLocal failed to improve on its reference set: %v vs %v",
+			res.Conductance, cluster.Conductance(g, ref))
+	}
+	// Most of the cluster should be inside the seed's planted community.
+	truth := assign.Communities()[assign[seed]]
+	precision, _ := cluster.PrecisionRecall(res.Cluster, truth)
+	if precision < 0.5 {
+		t.Errorf("SimpleLocal precision %v too low", precision)
+	}
+	if res.Iterations <= 0 || res.Runtime <= 0 {
+		t.Error("stats not populated")
+	}
+}
+
+func TestSimpleLocalErrors(t *testing.T) {
+	g, _ := sbmGraph(t)
+	if _, err := SimpleLocal(g, -1, SimpleLocalOptions{}); err == nil {
+		t.Error("bad seed should error")
+	}
+	if _, err := SimpleLocal(g, 0, SimpleLocalOptions{Locality: -1}); err == nil {
+		t.Error("negative locality should error")
+	}
+}
+
+func TestCRDRecoversCommunity(t *testing.T) {
+	g, assign := sbmGraph(t)
+	seed := graph.NodeID(10)
+	res, err := CRD(g, seed, CRDOptions{Iterations: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cluster) == 0 {
+		t.Fatal("empty cluster")
+	}
+	if res.Conductance < 0 || res.Conductance > 1 {
+		t.Fatalf("conductance out of range: %v", res.Conductance)
+	}
+	truth := assign.Communities()[assign[seed]]
+	f1 := cluster.F1Score(res.Cluster, truth)
+	if f1 < 0.3 {
+		t.Errorf("CRD F1=%v too low", f1)
+	}
+	if res.Iterations <= 0 {
+		t.Error("iterations not recorded")
+	}
+}
+
+func TestCRDMoreIterationsGrowsCluster(t *testing.T) {
+	g, _ := sbmGraph(t)
+	seed := graph.NodeID(3)
+	small, err := CRD(g, seed, CRDOptions{Iterations: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := CRD(g, seed, CRDOptions{Iterations: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More rounds release more mass, so the diffusion should reach at least
+	// as many nodes.
+	if len(large.Cluster) < len(small.Cluster)/2 {
+		t.Errorf("more iterations should not shrink the cluster drastically: %d vs %d",
+			len(large.Cluster), len(small.Cluster))
+	}
+}
+
+func TestCRDErrors(t *testing.T) {
+	g, _ := sbmGraph(t)
+	if _, err := CRD(g, -1, CRDOptions{}); err == nil {
+		t.Error("bad seed should error")
+	}
+	if _, err := CRD(g, graph.NodeID(g.N()), CRDOptions{}); err == nil {
+		t.Error("out-of-range seed should error")
+	}
+}
+
+func TestCRDDefaults(t *testing.T) {
+	g, _ := sbmGraph(t)
+	o := CRDOptions{}.withDefaults(g)
+	if o.Iterations <= 0 || o.EdgeCapacity <= 0 || o.HeightLimit <= 0 ||
+		o.InitialMassFactor <= 0 || o.MaxWorkPerRound <= 0 {
+		t.Errorf("defaults missing: %+v", o)
+	}
+}
+
+func TestSimpleLocalDefaults(t *testing.T) {
+	o := SimpleLocalOptions{}.withDefaults()
+	if o.ReferenceHops <= 0 || o.MaxReferenceSize <= 0 || o.MaxLocalSize <= 0 || o.MaxIterations <= 0 {
+		t.Errorf("defaults missing: %+v", o)
+	}
+}

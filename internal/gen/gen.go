@@ -1,0 +1,508 @@
+// Package gen provides deterministic synthetic graph generators.
+//
+// The paper evaluates on six real SNAP graphs plus two synthetic ones (Holme–
+// Kim power-law-cluster "PLC" and a 3-D grid).  The real graphs are not
+// redistributable and are billions of edges, so this repository substitutes
+// synthetic stand-ins that match the structural properties the paper says
+// drive algorithm behaviour: average degree, degree skew, clustering
+// coefficient, and community structure.  See DESIGN.md §2 for the mapping.
+//
+// All generators take an explicit RNG seed and are deterministic given it.
+package gen
+
+import (
+	"fmt"
+
+	"hkpr/internal/graph"
+	"hkpr/internal/xrand"
+)
+
+// Community is a ground-truth community: a set of node IDs.
+type Community []graph.NodeID
+
+// CommunityAssignment maps every node to its ground-truth community index, or
+// -1 if the node belongs to none.
+type CommunityAssignment []int32
+
+// Communities converts an assignment into an explicit list of communities.
+func (a CommunityAssignment) Communities() []Community {
+	max := int32(-1)
+	for _, c := range a {
+		if c > max {
+			max = c
+		}
+	}
+	out := make([]Community, max+1)
+	for v, c := range a {
+		if c >= 0 {
+			out[c] = append(out[c], graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+// ErdosRenyi generates a G(n, p) random graph.  Edges are sampled with the
+// geometric skipping technique, so the cost is proportional to the number of
+// edges produced rather than n².
+func ErdosRenyi(n int, p float64, seed uint64) (*graph.Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs n > 0, got %d", n)
+	}
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("gen: ErdosRenyi needs p in [0,1], got %v", p)
+	}
+	b := graph.NewBuilder(n)
+	if p == 0 {
+		return b.Build(), nil
+	}
+	r := xrand.New(seed)
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+			}
+		}
+		return b.Build(), nil
+	}
+	// Iterate over the pairs (u,v), u<v, skipping geometrically.
+	total := int64(n) * int64(n-1) / 2
+	idx := int64(-1)
+	for {
+		// Skip ~Geometric(p) pairs.
+		skip := geometricSkip(r, p)
+		idx += skip + 1
+		if idx >= total {
+			break
+		}
+		u, v := pairFromIndex(idx, n)
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	return b.Build(), nil
+}
+
+// geometricSkip returns the number of failures before the next success of a
+// Bernoulli(p) process.
+func geometricSkip(r *xrand.RNG, p float64) int64 {
+	u := r.Float64()
+	if u <= 0 {
+		u = 1e-18
+	}
+	// floor(log(u)/log(1-p))
+	l := logOneMinus(p)
+	if l >= 0 {
+		return 0
+	}
+	s := int64(log(u) / l)
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// BarabasiAlbert generates a preferential-attachment graph: each new node
+// attaches to mEdges existing nodes chosen proportionally to degree.
+func BarabasiAlbert(n, mEdges int, seed uint64) (*graph.Graph, error) {
+	if n <= 0 || mEdges <= 0 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs n > 0 and m > 0, got n=%d m=%d", n, mEdges)
+	}
+	if mEdges >= n {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs m < n, got n=%d m=%d", n, mEdges)
+	}
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	// repeated-nodes list: each endpoint of each edge appears once, so
+	// sampling uniformly from it is degree-proportional sampling.
+	repeated := make([]graph.NodeID, 0, 2*n*mEdges)
+	// Start from a star over the first mEdges+1 nodes so early nodes have
+	// non-zero degree.
+	for i := 1; i <= mEdges; i++ {
+		b.AddEdge(0, graph.NodeID(i))
+		repeated = append(repeated, 0, graph.NodeID(i))
+	}
+	for v := mEdges + 1; v < n; v++ {
+		chosen := make(map[graph.NodeID]struct{}, mEdges)
+		for len(chosen) < mEdges {
+			var target graph.NodeID
+			if len(repeated) == 0 {
+				target = graph.NodeID(r.Intn(v))
+			} else {
+				target = repeated[r.Intn(len(repeated))]
+			}
+			if int(target) == v {
+				continue
+			}
+			chosen[target] = struct{}{}
+		}
+		for u := range chosen {
+			b.AddEdge(graph.NodeID(v), u)
+			repeated = append(repeated, graph.NodeID(v), u)
+		}
+	}
+	return b.Build(), nil
+}
+
+// PowerlawCluster generates a Holme–Kim power-law-cluster graph: like
+// Barabási–Albert, but after each preferential attachment a triad is closed
+// with probability triadP, which raises the clustering coefficient.  This is
+// the generator behind the paper's PLC dataset (§7.1).
+func PowerlawCluster(n, mEdges int, triadP float64, seed uint64) (*graph.Graph, error) {
+	if n <= 0 || mEdges <= 0 || mEdges >= n {
+		return nil, fmt.Errorf("gen: PowerlawCluster needs 0 < m < n, got n=%d m=%d", n, mEdges)
+	}
+	if triadP < 0 || triadP > 1 {
+		return nil, fmt.Errorf("gen: PowerlawCluster needs triadP in [0,1], got %v", triadP)
+	}
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	repeated := make([]graph.NodeID, 0, 2*n*mEdges)
+	adjacency := make([]map[graph.NodeID]struct{}, n)
+	for i := range adjacency {
+		adjacency[i] = make(map[graph.NodeID]struct{})
+	}
+	addEdge := func(u, v graph.NodeID) {
+		if u == v {
+			return
+		}
+		if _, ok := adjacency[u][v]; ok {
+			return
+		}
+		adjacency[u][v] = struct{}{}
+		adjacency[v][u] = struct{}{}
+		b.AddEdge(u, v)
+		repeated = append(repeated, u, v)
+	}
+	for i := 1; i <= mEdges; i++ {
+		addEdge(0, graph.NodeID(i))
+	}
+	for v := mEdges + 1; v < n; v++ {
+		var lastTarget graph.NodeID = -1
+		added := 0
+		for added < mEdges {
+			var target graph.NodeID
+			if lastTarget >= 0 && r.Bernoulli(triadP) && len(adjacency[lastTarget]) > 0 {
+				// Triad step: connect to a random neighbour of the last target.
+				target = randomKey(r, adjacency[lastTarget])
+			} else {
+				target = repeated[r.Intn(len(repeated))]
+			}
+			if int(target) == v {
+				continue
+			}
+			if _, dup := adjacency[graph.NodeID(v)][target]; dup {
+				// fall back to a uniform node to guarantee progress
+				target = graph.NodeID(r.Intn(v))
+				if int(target) == v {
+					continue
+				}
+				if _, dup2 := adjacency[graph.NodeID(v)][target]; dup2 {
+					continue
+				}
+			}
+			addEdge(graph.NodeID(v), target)
+			lastTarget = target
+			added++
+		}
+	}
+	return b.Build(), nil
+}
+
+func randomKey(r *xrand.RNG, m map[graph.NodeID]struct{}) graph.NodeID {
+	k := r.Intn(len(m))
+	for v := range m {
+		if k == 0 {
+			return v
+		}
+		k--
+	}
+	// unreachable
+	for v := range m {
+		return v
+	}
+	return -1
+}
+
+// Grid3D generates the paper's 3-D grid: nodes arranged in an x×y×z torus
+// where every node connects to its two neighbours in each dimension, i.e.
+// every node has degree six (§7.1).
+func Grid3D(x, y, z int) (*graph.Graph, error) {
+	if x < 3 || y < 3 || z < 3 {
+		return nil, fmt.Errorf("gen: Grid3D needs each dimension >= 3, got %dx%dx%d", x, y, z)
+	}
+	n := x * y * z
+	id := func(i, j, k int) graph.NodeID {
+		return graph.NodeID((i*y+j)*z + k)
+	}
+	b := graph.NewBuilder(n)
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			for k := 0; k < z; k++ {
+				v := id(i, j, k)
+				b.AddEdge(v, id((i+1)%x, j, k))
+				b.AddEdge(v, id(i, (j+1)%y, k))
+				b.AddEdge(v, id(i, j, (k+1)%z))
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// SBMConfig configures a planted-partition stochastic block model.
+type SBMConfig struct {
+	Communities   int     // number of blocks
+	CommunitySize int     // nodes per block
+	AvgInDegree   float64 // expected intra-community degree per node
+	AvgOutDegree  float64 // expected inter-community degree per node
+}
+
+// SBM generates a planted-partition graph and its ground-truth community
+// assignment.  It is the stand-in for the SNAP graphs with ground-truth
+// communities used in Table 8.
+func SBM(cfg SBMConfig, seed uint64) (*graph.Graph, CommunityAssignment, error) {
+	if cfg.Communities <= 1 || cfg.CommunitySize <= 2 {
+		return nil, nil, fmt.Errorf("gen: SBM needs >=2 communities of size >=3, got %+v", cfg)
+	}
+	if cfg.AvgInDegree <= 0 || cfg.AvgOutDegree < 0 {
+		return nil, nil, fmt.Errorf("gen: SBM needs positive in-degree and non-negative out-degree, got %+v", cfg)
+	}
+	n := cfg.Communities * cfg.CommunitySize
+	pIn := cfg.AvgInDegree / float64(cfg.CommunitySize-1)
+	if pIn > 1 {
+		pIn = 1
+	}
+	pOut := cfg.AvgOutDegree / float64(n-cfg.CommunitySize)
+	if pOut > 1 {
+		pOut = 1
+	}
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	assign := make(CommunityAssignment, n)
+	for v := 0; v < n; v++ {
+		assign[v] = int32(v / cfg.CommunitySize)
+	}
+	// Intra-community edges: dense loop per block (block sizes are modest).
+	for c := 0; c < cfg.Communities; c++ {
+		base := c * cfg.CommunitySize
+		for i := 0; i < cfg.CommunitySize; i++ {
+			for j := i + 1; j < cfg.CommunitySize; j++ {
+				if r.Bernoulli(pIn) {
+					b.AddEdge(graph.NodeID(base+i), graph.NodeID(base+j))
+				}
+			}
+		}
+	}
+	// Inter-community edges via geometric skipping over all cross pairs.
+	if pOut > 0 {
+		expected := pOut * float64(n) * float64(n-cfg.CommunitySize) / 2
+		// Sample approximately `expected` random cross pairs.
+		target := int64(expected + 0.5)
+		for e := int64(0); e < target; e++ {
+			u := r.Intn(n)
+			v := r.Intn(n)
+			if u == v || assign[u] == assign[v] {
+				continue
+			}
+			b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	// Make sure every node has at least one edge (ring within its block) so
+	// that local clustering seeds always have neighbours.
+	g := b.Build()
+	for v := 0; v < n; v++ {
+		if g.Degree(graph.NodeID(v)) == 0 {
+			next := v/cfg.CommunitySize*cfg.CommunitySize + (v%cfg.CommunitySize+1)%cfg.CommunitySize
+			b.AddEdge(graph.NodeID(v), graph.NodeID(next))
+		}
+	}
+	return b.Build(), assign, nil
+}
+
+// RMATConfig configures a recursive-matrix (Kronecker-like) generator, which
+// produces the heavy-tailed degree distributions typical of social networks
+// such as the paper's Twitter and Friendster datasets.
+type RMATConfig struct {
+	Scale      int     // n = 2^Scale nodes
+	EdgeFactor float64 // m ≈ EdgeFactor * n undirected edges
+	A, B, C    float64 // quadrant probabilities; D = 1-A-B-C
+}
+
+// DefaultRMAT returns the standard Graph500 parameters.
+func DefaultRMAT(scale int, edgeFactor float64) RMATConfig {
+	return RMATConfig{Scale: scale, EdgeFactor: edgeFactor, A: 0.57, B: 0.19, C: 0.19}
+}
+
+// RMAT generates a recursive-matrix graph.
+func RMAT(cfg RMATConfig, seed uint64) (*graph.Graph, error) {
+	if cfg.Scale < 2 || cfg.Scale > 30 {
+		return nil, fmt.Errorf("gen: RMAT scale must be in [2,30], got %d", cfg.Scale)
+	}
+	if cfg.EdgeFactor <= 0 {
+		return nil, fmt.Errorf("gen: RMAT edge factor must be positive, got %v", cfg.EdgeFactor)
+	}
+	d := 1 - cfg.A - cfg.B - cfg.C
+	if cfg.A < 0 || cfg.B < 0 || cfg.C < 0 || d < 0 {
+		return nil, fmt.Errorf("gen: RMAT quadrant probabilities must be non-negative and sum to <= 1")
+	}
+	n := 1 << cfg.Scale
+	m := int64(cfg.EdgeFactor * float64(n))
+	r := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	for e := int64(0); e < m; e++ {
+		u, v := 0, 0
+		for bit := 0; bit < cfg.Scale; bit++ {
+			p := r.Float64()
+			switch {
+			case p < cfg.A:
+				// top-left: no bits set
+			case p < cfg.A+cfg.B:
+				v |= 1 << bit
+			case p < cfg.A+cfg.B+cfg.C:
+				u |= 1 << bit
+			default:
+				u |= 1 << bit
+				v |= 1 << bit
+			}
+		}
+		if u == v {
+			continue
+		}
+		b.AddEdge(graph.NodeID(u), graph.NodeID(v))
+	}
+	return b.Build(), nil
+}
+
+// LFRConfig configures the LFR-lite generator: power-law community sizes and
+// degrees with a mixing parameter mu giving the fraction of each node's edges
+// that leave its community.  It is a simplified LFR benchmark sufficient for
+// F1-versus-ground-truth experiments.
+type LFRConfig struct {
+	Nodes            int
+	AvgDegree        float64
+	MaxDegree        int
+	DegreeExponent   float64 // tau1, typically 2-3
+	MinCommunitySize int
+	MaxCommunitySize int
+	Mu               float64 // mixing parameter in [0,1)
+}
+
+// LFR generates an LFR-lite graph with ground-truth communities.
+func LFR(cfg LFRConfig, seed uint64) (*graph.Graph, CommunityAssignment, error) {
+	if cfg.Nodes < 10 {
+		return nil, nil, fmt.Errorf("gen: LFR needs at least 10 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Mu < 0 || cfg.Mu >= 1 {
+		return nil, nil, fmt.Errorf("gen: LFR mixing parameter must be in [0,1), got %v", cfg.Mu)
+	}
+	if cfg.MinCommunitySize < 3 || cfg.MaxCommunitySize < cfg.MinCommunitySize {
+		return nil, nil, fmt.Errorf("gen: LFR community size bounds invalid: %+v", cfg)
+	}
+	if cfg.AvgDegree <= 1 || cfg.MaxDegree < int(cfg.AvgDegree) {
+		return nil, nil, fmt.Errorf("gen: LFR degree settings invalid: %+v", cfg)
+	}
+	if cfg.DegreeExponent <= 1 {
+		return nil, nil, fmt.Errorf("gen: LFR degree exponent must exceed 1, got %v", cfg.DegreeExponent)
+	}
+	r := xrand.New(seed)
+
+	// 1. Sample target degrees from a truncated power law, then rescale to the
+	//    requested average.
+	deg := make([]int, cfg.Nodes)
+	minDeg := 2.0
+	sum := 0.0
+	for i := range deg {
+		d := powerLawSample(r, minDeg, float64(cfg.MaxDegree), cfg.DegreeExponent)
+		deg[i] = int(d)
+		sum += d
+	}
+	scale := cfg.AvgDegree * float64(cfg.Nodes) / sum
+	for i := range deg {
+		d := int(float64(deg[i])*scale + 0.5)
+		if d < 2 {
+			d = 2
+		}
+		if d > cfg.MaxDegree {
+			d = cfg.MaxDegree
+		}
+		deg[i] = d
+	}
+
+	// 2. Carve the node range into communities with sizes from a power law.
+	assign := make(CommunityAssignment, cfg.Nodes)
+	var communityOf [][]graph.NodeID
+	v := 0
+	for v < cfg.Nodes {
+		size := int(powerLawSample(r, float64(cfg.MinCommunitySize), float64(cfg.MaxCommunitySize), 2.0))
+		if v+size > cfg.Nodes {
+			size = cfg.Nodes - v
+		}
+		if size < cfg.MinCommunitySize && len(communityOf) > 0 {
+			// Fold the tail into the previous community.
+			last := len(communityOf) - 1
+			for ; v < cfg.Nodes; v++ {
+				assign[v] = int32(last)
+				communityOf[last] = append(communityOf[last], graph.NodeID(v))
+			}
+			break
+		}
+		c := len(communityOf)
+		members := make([]graph.NodeID, 0, size)
+		for i := 0; i < size && v < cfg.Nodes; i++ {
+			assign[v] = int32(c)
+			members = append(members, graph.NodeID(v))
+			v++
+		}
+		communityOf = append(communityOf, members)
+	}
+
+	// 3. Wire intra-community stubs (1-mu of each degree) via a configuration
+	//    model within each community, and inter-community stubs globally.
+	b := graph.NewBuilder(cfg.Nodes)
+	var globalStubs []graph.NodeID
+	for c, members := range communityOf {
+		var stubs []graph.NodeID
+		for _, u := range members {
+			in := int(float64(deg[u])*(1-cfg.Mu) + 0.5)
+			if in > len(members)-1 {
+				in = len(members) - 1
+			}
+			for i := 0; i < in; i++ {
+				stubs = append(stubs, u)
+			}
+			out := deg[u] - in
+			for i := 0; i < out; i++ {
+				globalStubs = append(globalStubs, u)
+			}
+		}
+		r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		for i := 0; i+1 < len(stubs); i += 2 {
+			if stubs[i] != stubs[i+1] {
+				b.AddEdge(stubs[i], stubs[i+1])
+			}
+		}
+		// Ring within the community to guarantee connectivity of the block.
+		for i := range members {
+			b.AddEdge(members[i], members[(i+1)%len(members)])
+		}
+		_ = c
+	}
+	r.Shuffle(len(globalStubs), func(i, j int) { globalStubs[i], globalStubs[j] = globalStubs[j], globalStubs[i] })
+	for i := 0; i+1 < len(globalStubs); i += 2 {
+		u, w := globalStubs[i], globalStubs[i+1]
+		if u != w && assign[u] != assign[w] {
+			b.AddEdge(u, w)
+		}
+	}
+	return b.Build(), assign, nil
+}
+
+// powerLawSample draws from a truncated power law with exponent gamma on
+// [min, max] via inverse-transform sampling.
+func powerLawSample(r *xrand.RNG, min, max, gamma float64) float64 {
+	if max <= min {
+		return min
+	}
+	u := r.Float64()
+	oneMinus := 1 - gamma
+	a := pow(min, oneMinus)
+	b := pow(max, oneMinus)
+	return pow(a+u*(b-a), 1/oneMinus)
+}

@@ -1,0 +1,389 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hkpr/internal/graph"
+)
+
+func TestErdosRenyiBasic(t *testing.T) {
+	g, err := ErdosRenyi(500, 0.02, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Expected edges ≈ p * n(n-1)/2 ≈ 2495.
+	expected := 0.02 * 500 * 499 / 2
+	if float64(g.M()) < 0.7*expected || float64(g.M()) > 1.3*expected {
+		t.Errorf("M=%d expected ~%v", g.M(), expected)
+	}
+}
+
+func TestErdosRenyiEdgeCases(t *testing.T) {
+	if _, err := ErdosRenyi(0, 0.5, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := ErdosRenyi(10, -0.1, 1); err == nil {
+		t.Error("negative p should error")
+	}
+	if _, err := ErdosRenyi(10, 1.1, 1); err == nil {
+		t.Error("p>1 should error")
+	}
+	g, err := ErdosRenyi(10, 0, 1)
+	if err != nil || g.M() != 0 {
+		t.Errorf("p=0 should produce no edges: %v %d", err, g.M())
+	}
+	g, err = ErdosRenyi(6, 1, 1)
+	if err != nil || g.M() != 15 {
+		t.Errorf("p=1 should produce complete graph: %v %d", err, g.M())
+	}
+}
+
+func TestErdosRenyiDeterministic(t *testing.T) {
+	a, _ := ErdosRenyi(200, 0.05, 7)
+	b, _ := ErdosRenyi(200, 0.05, 7)
+	if a.M() != b.M() {
+		t.Fatal("same seed gave different graphs")
+	}
+	c, _ := ErdosRenyi(200, 0.05, 8)
+	if a.M() == c.M() && graphsEqual(a, c) {
+		t.Fatal("different seeds gave identical graphs")
+	}
+}
+
+func graphsEqual(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := graph.NodeID(0); v < graph.NodeID(a.N()); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	g, err := BarabasiAlbert(2000, 3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Average degree should be close to 2*m = 6.
+	if g.AverageDegree() < 4 || g.AverageDegree() > 7 {
+		t.Errorf("average degree %v, want ~6", g.AverageDegree())
+	}
+	// BA graphs are connected by construction.
+	_, sizes := graph.ConnectedComponents(g)
+	if len(sizes) != 1 {
+		t.Errorf("BA graph should be connected, got %d components", len(sizes))
+	}
+	// Degree skew: max degree should be much larger than average.
+	if float64(g.MaxDegree()) < 3*g.AverageDegree() {
+		t.Errorf("BA graph lacks degree skew: max=%d avg=%v", g.MaxDegree(), g.AverageDegree())
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	if _, err := BarabasiAlbert(0, 1, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := BarabasiAlbert(10, 0, 1); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := BarabasiAlbert(5, 5, 1); err == nil {
+		t.Error("m>=n should error")
+	}
+}
+
+func TestPowerlawCluster(t *testing.T) {
+	g, err := PowerlawCluster(2000, 5, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.AverageDegree() < 6 || g.AverageDegree() > 11 {
+		t.Errorf("PLC average degree %v, want ~10", g.AverageDegree())
+	}
+	_, sizes := graph.ConnectedComponents(g)
+	if len(sizes) != 1 {
+		t.Errorf("PLC graph should be connected, got %d components", len(sizes))
+	}
+	// Triad closure should give noticeably higher clustering than plain BA.
+	ba, _ := BarabasiAlbert(2000, 5, 3)
+	ccPLC := g.AverageClusteringCoefficient(500)
+	ccBA := ba.AverageClusteringCoefficient(500)
+	if ccPLC <= ccBA {
+		t.Errorf("PLC clustering %v should exceed BA clustering %v", ccPLC, ccBA)
+	}
+}
+
+func TestPowerlawClusterErrors(t *testing.T) {
+	if _, err := PowerlawCluster(10, 0, 0.5, 1); err == nil {
+		t.Error("m=0 should error")
+	}
+	if _, err := PowerlawCluster(10, 3, 1.5, 1); err == nil {
+		t.Error("triadP>1 should error")
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g, err := Grid3D(5, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 60 {
+		t.Fatalf("N=%d want 60", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Torus: every node has exactly 6 neighbours.
+	for v := graph.NodeID(0); v < graph.NodeID(g.N()); v++ {
+		if g.Degree(v) != 6 {
+			t.Fatalf("node %d has degree %d, want 6", v, g.Degree(v))
+		}
+	}
+	if _, err := Grid3D(2, 3, 3); err == nil {
+		t.Error("dimension < 3 should error")
+	}
+}
+
+func TestSBM(t *testing.T) {
+	cfg := SBMConfig{Communities: 10, CommunitySize: 50, AvgInDegree: 12, AvgOutDegree: 2}
+	g, assign, err := SBM(cfg, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 || len(assign) != 500 {
+		t.Fatalf("n=%d assign=%d", g.N(), len(assign))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	comms := assign.Communities()
+	if len(comms) != 10 {
+		t.Fatalf("communities=%d", len(comms))
+	}
+	for _, c := range comms {
+		if len(c) != 50 {
+			t.Fatalf("community size %d want 50", len(c))
+		}
+	}
+	// No isolated nodes.
+	for v := graph.NodeID(0); v < graph.NodeID(g.N()); v++ {
+		if g.Degree(v) == 0 {
+			t.Fatalf("node %d isolated", v)
+		}
+	}
+	// Intra-community edges should dominate.
+	intra, inter := 0, 0
+	g.Edges(func(u, v graph.NodeID) bool {
+		if assign[u] == assign[v] {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	if intra <= inter {
+		t.Errorf("SBM should be assortative: intra=%d inter=%d", intra, inter)
+	}
+}
+
+func TestSBMErrors(t *testing.T) {
+	if _, _, err := SBM(SBMConfig{Communities: 1, CommunitySize: 10, AvgInDegree: 5}, 1); err == nil {
+		t.Error("single community should error")
+	}
+	if _, _, err := SBM(SBMConfig{Communities: 3, CommunitySize: 10, AvgInDegree: 0}, 1); err == nil {
+		t.Error("zero in-degree should error")
+	}
+}
+
+func TestRMAT(t *testing.T) {
+	cfg := DefaultRMAT(12, 8)
+	g, err := RMAT(cfg, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4096 {
+		t.Fatalf("N=%d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Heavy tail: max degree far above average.
+	if float64(g.MaxDegree()) < 5*g.AverageDegree() {
+		t.Errorf("RMAT lacks skew: max=%d avg=%v", g.MaxDegree(), g.AverageDegree())
+	}
+}
+
+func TestRMATErrors(t *testing.T) {
+	if _, err := RMAT(RMATConfig{Scale: 1, EdgeFactor: 2, A: 0.5, B: 0.2, C: 0.2}, 1); err == nil {
+		t.Error("tiny scale should error")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 10, EdgeFactor: 0, A: 0.5, B: 0.2, C: 0.2}, 1); err == nil {
+		t.Error("zero edge factor should error")
+	}
+	if _, err := RMAT(RMATConfig{Scale: 10, EdgeFactor: 4, A: 0.8, B: 0.2, C: 0.2}, 1); err == nil {
+		t.Error("probabilities summing over 1 should error")
+	}
+}
+
+func TestLFR(t *testing.T) {
+	cfg := LFRConfig{
+		Nodes:            2000,
+		AvgDegree:        10,
+		MaxDegree:        60,
+		DegreeExponent:   2.5,
+		MinCommunitySize: 20,
+		MaxCommunitySize: 100,
+		Mu:               0.2,
+	}
+	g, assign, err := LFR(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 || len(assign) != 2000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	comms := assign.Communities()
+	if len(comms) < 10 {
+		t.Errorf("too few communities: %d", len(comms))
+	}
+	for i, c := range comms {
+		if len(c) < 3 {
+			t.Errorf("community %d too small: %d", i, len(c))
+		}
+	}
+	// Mixing: most edges should stay within communities for mu=0.2.
+	intra, inter := 0, 0
+	g.Edges(func(u, v graph.NodeID) bool {
+		if assign[u] == assign[v] {
+			intra++
+		} else {
+			inter++
+		}
+		return true
+	})
+	frac := float64(inter) / float64(intra+inter)
+	if frac > 0.45 {
+		t.Errorf("mixing fraction %v too high for mu=0.2", frac)
+	}
+	// Average degree in a sane band.
+	if g.AverageDegree() < 5 || g.AverageDegree() > 16 {
+		t.Errorf("LFR average degree %v", g.AverageDegree())
+	}
+}
+
+func TestLFRErrors(t *testing.T) {
+	base := LFRConfig{Nodes: 1000, AvgDegree: 10, MaxDegree: 50, DegreeExponent: 2.5,
+		MinCommunitySize: 10, MaxCommunitySize: 50, Mu: 0.2}
+	bad := base
+	bad.Nodes = 5
+	if _, _, err := LFR(bad, 1); err == nil {
+		t.Error("tiny n should error")
+	}
+	bad = base
+	bad.Mu = 1.0
+	if _, _, err := LFR(bad, 1); err == nil {
+		t.Error("mu=1 should error")
+	}
+	bad = base
+	bad.MinCommunitySize = 1
+	if _, _, err := LFR(bad, 1); err == nil {
+		t.Error("tiny communities should error")
+	}
+	bad = base
+	bad.DegreeExponent = 1
+	if _, _, err := LFR(bad, 1); err == nil {
+		t.Error("exponent<=1 should error")
+	}
+	bad = base
+	bad.AvgDegree = 1
+	if _, _, err := LFR(bad, 1); err == nil {
+		t.Error("avg degree <=1 should error")
+	}
+}
+
+func TestCommunityAssignmentCommunities(t *testing.T) {
+	a := CommunityAssignment{0, 0, 1, -1, 1, 2}
+	comms := a.Communities()
+	if len(comms) != 3 {
+		t.Fatalf("communities=%d", len(comms))
+	}
+	if len(comms[0]) != 2 || len(comms[1]) != 2 || len(comms[2]) != 1 {
+		t.Fatalf("sizes wrong: %v", comms)
+	}
+}
+
+func TestPairFromIndex(t *testing.T) {
+	n := 7
+	idx := int64(0)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			gu, gv := pairFromIndex(idx, n)
+			if gu != u || gv != v {
+				t.Fatalf("pairFromIndex(%d)=(%d,%d) want (%d,%d)", idx, gu, gv, u, v)
+			}
+			idx++
+		}
+	}
+}
+
+func TestPowerLawSampleRange(t *testing.T) {
+	f := func(seed uint16) bool {
+		r := newTestRNG(uint64(seed))
+		v := powerLawSample(r, 2, 100, 2.5)
+		return v >= 2 && v <= 100.0001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerLawSampleSkew(t *testing.T) {
+	r := newTestRNG(1)
+	small, large := 0, 0
+	for i := 0; i < 10000; i++ {
+		v := powerLawSample(r, 2, 1000, 2.5)
+		if v < 10 {
+			small++
+		}
+		if v > 500 {
+			large++
+		}
+	}
+	if small < 8000 {
+		t.Errorf("power law should concentrate near the minimum: small=%d", small)
+	}
+	if large > 200 {
+		t.Errorf("power law tail too heavy: large=%d", large)
+	}
+	if math.IsNaN(powerLawSample(r, 5, 5, 2.5)) {
+		t.Error("degenerate range should not be NaN")
+	}
+}

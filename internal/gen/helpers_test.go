@@ -1,0 +1,6 @@
+package gen
+
+import "hkpr/internal/xrand"
+
+// newTestRNG keeps test call sites short.
+func newTestRNG(seed uint64) *xrand.RNG { return xrand.New(seed) }

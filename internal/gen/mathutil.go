@@ -1,0 +1,40 @@
+package gen
+
+import "math"
+
+// Thin wrappers keep the generator code readable and give a single place to
+// guard the numerically delicate corner cases used by the edge-skipping
+// samplers.
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+func log(x float64) float64 { return math.Log(x) }
+
+// logOneMinus returns log(1-p) computed stably for small p.
+func logOneMinus(p float64) float64 {
+	return math.Log1p(-p)
+}
+
+// pairFromIndex maps a linear index over the upper-triangular pair ordering
+// (0,1),(0,2),...,(0,n-1),(1,2),... back to the pair (u,v) with u < v.
+func pairFromIndex(idx int64, n int) (int, int) {
+	// Solve for u: the number of pairs with first element < u is
+	// u*n - u*(u+1)/2.  Walk u forward; this is O(n) worst case but in
+	// practice the Erdős–Rényi generator only calls it for sampled edges, so
+	// a binary search keeps it cheap.
+	lo, hi := int64(0), int64(n-1)
+	pairsBefore := func(u int64) int64 {
+		return u*int64(n) - u*(u+1)/2
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if pairsBefore(mid) <= idx {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	u := lo
+	v := idx - pairsBefore(u) + u + 1
+	return int(u), int(v)
+}

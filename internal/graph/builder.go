@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates undirected edges and produces an immutable Graph.
+// Self loops and duplicate edges are silently dropped at Build time, so
+// generators and loaders can add edges without pre-deduplicating.
+//
+// A Builder is not safe for concurrent use.
+type Builder struct {
+	n     int
+	edges [][2]NodeID
+}
+
+// NewBuilder creates a builder for a graph with n nodes (IDs 0..n-1).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n}
+}
+
+// N returns the node count the builder was created with (possibly grown by
+// EnsureNode).
+func (b *Builder) N() int { return b.n }
+
+// EnsureNode grows the node count so that id is a valid node.
+func (b *Builder) EnsureNode(id NodeID) {
+	if int(id) >= b.n {
+		b.n = int(id) + 1
+	}
+}
+
+// AddEdge records the undirected edge {u, v}.  Out-of-range endpoints grow the
+// graph; self loops are recorded but dropped at Build time.
+func (b *Builder) AddEdge(u, v NodeID) {
+	if u < 0 || v < 0 {
+		panic(fmt.Sprintf("graph: negative node id in edge (%d,%d)", u, v))
+	}
+	b.EnsureNode(u)
+	b.EnsureNode(v)
+	b.edges = append(b.edges, [2]NodeID{u, v})
+}
+
+// EdgeCount returns the number of edges recorded so far (before dedup).
+func (b *Builder) EdgeCount() int { return len(b.edges) }
+
+// Build produces the immutable CSR graph.  The builder can be reused
+// afterwards; further AddEdge calls do not affect already-built graphs.
+func (b *Builder) Build() *Graph {
+	n := b.n
+	// Count degrees over deduplicated edges.  Dedup via per-node sorted
+	// neighbour construction: first bucket all (possibly duplicate) arcs,
+	// then sort and compact each bucket.
+	deg := make([]int64, n+1)
+	for _, e := range b.edges {
+		if e[0] == e[1] {
+			continue
+		}
+		deg[e[0]+1]++
+		deg[e[1]+1]++
+	}
+	offsets := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		offsets[i] = offsets[i-1] + deg[i]
+	}
+	adj := make([]NodeID, offsets[n])
+	cursor := make([]int64, n)
+	for i := 0; i < n; i++ {
+		cursor[i] = offsets[i]
+	}
+	for _, e := range b.edges {
+		u, v := e[0], e[1]
+		if u == v {
+			continue
+		}
+		adj[cursor[u]] = v
+		cursor[u]++
+		adj[cursor[v]] = u
+		cursor[v]++
+	}
+
+	// Sort and deduplicate each neighbour list in place, then compact.
+	newOffsets := make([]int64, n+1)
+	write := int64(0)
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		ns := adj[lo:hi]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		newOffsets[v] = write
+		var prev NodeID = -1
+		for _, u := range ns {
+			if u == prev {
+				continue
+			}
+			adj[write] = u
+			write++
+			prev = u
+		}
+	}
+	newOffsets[n] = write
+	compact := make([]NodeID, write)
+	copy(compact, adj[:write])
+
+	return &Graph{
+		offsets: newOffsets,
+		adj:     compact,
+		numEdge: write / 2,
+	}
+}
+
+// FromEdges is a convenience constructor that builds a graph with n nodes from
+// an explicit edge list.
+func FromEdges(n int, edges [][2]NodeID) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// FromAdjacency builds a graph from an adjacency-list description; entry v of
+// adj lists the neighbours of v.  The adjacency may be asymmetric or contain
+// duplicates; Build symmetrizes and deduplicates.
+func FromAdjacency(adj [][]NodeID) *Graph {
+	b := NewBuilder(len(adj))
+	for v, ns := range adj {
+		for _, u := range ns {
+			b.AddEdge(NodeID(v), u)
+		}
+	}
+	return b.Build()
+}
+
+// InducedSubgraph returns the subgraph induced by the given nodes together
+// with the mapping from new IDs to original IDs.  Nodes may contain
+// duplicates; they are ignored.
+func InducedSubgraph(g *Graph, nodes []NodeID) (*Graph, []NodeID) {
+	remap := make(map[NodeID]NodeID, len(nodes))
+	orig := make([]NodeID, 0, len(nodes))
+	for _, v := range nodes {
+		if _, ok := remap[v]; ok {
+			continue
+		}
+		remap[v] = NodeID(len(orig))
+		orig = append(orig, v)
+	}
+	b := NewBuilder(len(orig))
+	for newU, u := range orig {
+		for _, w := range g.Neighbors(u) {
+			if newW, ok := remap[w]; ok && NodeID(newU) < newW {
+				b.AddEdge(NodeID(newU), newW)
+			}
+		}
+	}
+	return b.Build(), orig
+}

@@ -1,0 +1,277 @@
+// Package graph provides the undirected-graph substrate shared by every
+// algorithm in the repository: an immutable compressed-sparse-row (CSR)
+// representation, a mutable builder, text and binary I/O, traversals, and the
+// degree/volume statistics the local-clustering algorithms and the benchmark
+// harness rely on.
+//
+// Graphs are simple (no self loops, no parallel edges), undirected and
+// unweighted, matching the setting of the paper.  Node identifiers are dense
+// int32 values in [0, N()).
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node.  IDs are dense: a graph with n nodes uses IDs
+// 0..n-1.
+type NodeID = int32
+
+// Graph is an immutable undirected graph in CSR form.
+//
+// The zero value is an empty graph; use NewBuilder or the loaders in this
+// package to construct non-trivial graphs.
+type Graph struct {
+	offsets []int64  // len n+1; neighbours of v are adj[offsets[v]:offsets[v+1]]
+	adj     []NodeID // len 2m, each undirected edge appears twice
+	numEdge int64    // m, number of undirected edges
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.offsets) - 1 }
+
+// M returns the number of undirected edges.
+func (g *Graph) M() int64 { return g.numEdge }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int32 {
+	return int32(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the adjacency slice of v.  The returned slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.  Neighbour lists
+// are sorted, so the check is a binary search over the smaller list.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	if g.Degree(u) > g.Degree(v) {
+		u, v = v, u
+	}
+	ns := g.Neighbors(u)
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case ns[mid] < v:
+			lo = mid + 1
+		case ns[mid] > v:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// TotalVolume returns 2m, the sum of all degrees.
+func (g *Graph) TotalVolume() int64 { return 2 * g.numEdge }
+
+// AverageDegree returns 2m/n (0 for an empty graph).  This is the d̄ used by
+// TEA+ to choose the hop cap K (paper Appendix A).
+func (g *Graph) AverageDegree() float64 {
+	if g.N() == 0 {
+		return 0
+	}
+	return float64(g.TotalVolume()) / float64(g.N())
+}
+
+// MaxDegree returns the largest degree in the graph.
+func (g *Graph) MaxDegree() int32 {
+	var max int32
+	for v := NodeID(0); v < NodeID(g.N()); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Volume returns the sum of degrees over the given node set.
+func (g *Graph) Volume(nodes []NodeID) int64 {
+	var vol int64
+	for _, v := range nodes {
+		vol += int64(g.Degree(v))
+	}
+	return vol
+}
+
+// MemoryBytes returns the approximate number of bytes held by the CSR arrays.
+// The benchmark harness uses it as the "input graph" component of the memory
+// figures (paper Figure 5).
+func (g *Graph) MemoryBytes() int64 {
+	return int64(len(g.offsets))*8 + int64(len(g.adj))*4
+}
+
+// AdjustedFailureProbability computes p'_f as defined by Eq. 6 of the paper:
+//
+//	p'_f = p_f                          if Σ_v p_f^{d(v)-1} ≤ 1
+//	p'_f = p_f / Σ_v p_f^{d(v)-1}       otherwise.
+//
+// The paper notes p'_f can be precomputed when the graph is loaded; callers
+// should cache the result per (graph, p_f) pair.
+func (g *Graph) AdjustedFailureProbability(pf float64) float64 {
+	if pf <= 0 || pf >= 1 {
+		return pf
+	}
+	sum := 0.0
+	logPf := math.Log(pf)
+	for v := NodeID(0); v < NodeID(g.N()); v++ {
+		d := float64(g.Degree(v))
+		// pf^{d-1}; for d = 0 this is 1/pf which correctly dominates the sum,
+		// but isolated nodes never appear in benchmark graphs.
+		sum += math.Exp((d - 1) * logPf)
+		if sum > 1e18 {
+			break
+		}
+	}
+	if sum <= 1 {
+		return pf
+	}
+	return pf / sum
+}
+
+// Validate checks structural invariants of the CSR representation: sorted
+// neighbour lists, no self loops, no duplicate edges, and symmetric adjacency.
+// It is used by tests and by the binary loader.
+func (g *Graph) Validate() error {
+	if len(g.offsets) == 0 {
+		return errors.New("graph: missing offsets")
+	}
+	if g.offsets[0] != 0 || g.offsets[g.N()] != int64(len(g.adj)) {
+		return errors.New("graph: offsets do not span adjacency array")
+	}
+	if int64(len(g.adj)) != 2*g.numEdge {
+		return fmt.Errorf("graph: adjacency length %d does not match 2m=%d", len(g.adj), 2*g.numEdge)
+	}
+	n := NodeID(g.N())
+	for v := NodeID(0); v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: decreasing offsets at node %d", v)
+		}
+		ns := g.Neighbors(v)
+		for i, u := range ns {
+			if u < 0 || u >= n {
+				return fmt.Errorf("graph: node %d has out-of-range neighbour %d", v, u)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self loop at node %d", v)
+			}
+			if i > 0 && ns[i-1] >= u {
+				return fmt.Errorf("graph: unsorted or duplicate neighbour list at node %d", v)
+			}
+			if !g.HasEdge(u, v) {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d)", v, u)
+			}
+		}
+	}
+	return nil
+}
+
+// Edges calls fn for every undirected edge exactly once, with u < v.  If fn
+// returns false iteration stops.
+func (g *Graph) Edges(fn func(u, v NodeID) bool) {
+	for u := NodeID(0); u < NodeID(g.N()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				if !fn(u, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// DegreeHistogram returns a map from degree to the number of nodes with that
+// degree.
+func (g *Graph) DegreeHistogram() map[int32]int {
+	h := make(map[int32]int)
+	for v := NodeID(0); v < NodeID(g.N()); v++ {
+		h[g.Degree(v)]++
+	}
+	return h
+}
+
+// Stats summarizes a graph for dataset tables (paper Table 7).
+type Stats struct {
+	Nodes         int
+	Edges         int64
+	AverageDegree float64
+	MaxDegree     int32
+	MinDegree     int32
+	Isolated      int
+}
+
+// ComputeStats returns the Stats summary of g.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		Nodes:         g.N(),
+		Edges:         g.M(),
+		AverageDegree: g.AverageDegree(),
+		MinDegree:     math.MaxInt32,
+	}
+	if g.N() == 0 {
+		s.MinDegree = 0
+		return s
+	}
+	for v := NodeID(0); v < NodeID(g.N()); v++ {
+		d := g.Degree(v)
+		if d > s.MaxDegree {
+			s.MaxDegree = d
+		}
+		if d < s.MinDegree {
+			s.MinDegree = d
+		}
+		if d == 0 {
+			s.Isolated++
+		}
+	}
+	return s
+}
+
+// LocalClusteringCoefficient returns the clustering coefficient of node v:
+// the fraction of pairs of v's neighbours that are themselves adjacent.
+// Nodes of degree < 2 have coefficient 0.
+func (g *Graph) LocalClusteringCoefficient(v NodeID) float64 {
+	ns := g.Neighbors(v)
+	d := len(ns)
+	if d < 2 {
+		return 0
+	}
+	links := 0
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			if g.HasEdge(ns[i], ns[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / (float64(d) * float64(d-1))
+}
+
+// AverageClusteringCoefficient returns the mean local clustering coefficient
+// over a sample of nodes (all nodes if sample <= 0 or >= n).  The paper uses
+// clustering coefficients to explain cross-dataset differences (§7.4).
+func (g *Graph) AverageClusteringCoefficient(sample int) float64 {
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	step := 1
+	if sample > 0 && sample < n {
+		step = n / sample
+		if step < 1 {
+			step = 1
+		}
+	}
+	total, count := 0.0, 0
+	for v := 0; v < n; v += step {
+		total += g.LocalClusteringCoefficient(NodeID(v))
+		count++
+	}
+	return total / float64(count)
+}

@@ -1,0 +1,405 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// triangle plus a pendant: 0-1, 1-2, 2-0, 2-3
+func smallGraph() *Graph {
+	return FromEdges(4, [][2]NodeID{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+}
+
+func TestBuilderBasic(t *testing.T) {
+	g := smallGraph()
+	if g.N() != 4 {
+		t.Fatalf("N=%d want 4", g.N())
+	}
+	if g.M() != 4 {
+		t.Fatalf("M=%d want 4", g.M())
+	}
+	if g.Degree(2) != 3 || g.Degree(3) != 1 {
+		t.Fatalf("degrees wrong: %d %d", g.Degree(2), g.Degree(3))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderDedupAndSelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self loop dropped
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("M=%d want 2 after dedup", g.M())
+	}
+	if g.Degree(2) != 1 {
+		t.Fatalf("self loop not dropped, degree(2)=%d", g.Degree(2))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuilderGrowsNodes(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(5, 9)
+	g := b.Build()
+	if g.N() != 10 {
+		t.Fatalf("N=%d want 10", g.N())
+	}
+	if g.Degree(5) != 1 || g.Degree(0) != 0 {
+		t.Fatal("degrees wrong after growth")
+	}
+}
+
+func TestBuilderNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative node id should panic")
+		}
+	}()
+	NewBuilder(1).AddEdge(-1, 0)
+}
+
+func TestHasEdge(t *testing.T) {
+	g := smallGraph()
+	cases := []struct {
+		u, v NodeID
+		want bool
+	}{
+		{0, 1, true}, {1, 0, true}, {2, 3, true}, {0, 3, false}, {3, 3, false},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d)=%v want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestVolumeAndAverageDegree(t *testing.T) {
+	g := smallGraph()
+	if g.TotalVolume() != 8 {
+		t.Errorf("TotalVolume=%d", g.TotalVolume())
+	}
+	if math.Abs(g.AverageDegree()-2.0) > 1e-12 {
+		t.Errorf("AverageDegree=%v", g.AverageDegree())
+	}
+	if g.Volume([]NodeID{0, 2}) != 5 {
+		t.Errorf("Volume({0,2})=%d", g.Volume([]NodeID{0, 2}))
+	}
+	if g.MaxDegree() != 3 {
+		t.Errorf("MaxDegree=%d", g.MaxDegree())
+	}
+	empty := NewBuilder(0).Build()
+	if empty.AverageDegree() != 0 {
+		t.Error("empty graph average degree should be 0")
+	}
+}
+
+func TestEdgesIteration(t *testing.T) {
+	g := smallGraph()
+	count := 0
+	g.Edges(func(u, v NodeID) bool {
+		if u >= v {
+			t.Errorf("Edges must yield u<v, got (%d,%d)", u, v)
+		}
+		count++
+		return true
+	})
+	if count != 4 {
+		t.Errorf("Edges visited %d, want 4", count)
+	}
+	// Early stop.
+	count = 0
+	g.Edges(func(u, v NodeID) bool { count++; return false })
+	if count != 1 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestComputeStatsAndHistogram(t *testing.T) {
+	g := smallGraph()
+	s := g.ComputeStats()
+	if s.Nodes != 4 || s.Edges != 4 || s.MaxDegree != 3 || s.MinDegree != 1 || s.Isolated != 0 {
+		t.Errorf("stats: %+v", s)
+	}
+	h := g.DegreeHistogram()
+	if h[2] != 2 || h[3] != 1 || h[1] != 1 {
+		t.Errorf("histogram: %v", h)
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	g := smallGraph()
+	// Node 2 has neighbours {0,1,3}; only pair (0,1) is connected => 1/3.
+	if c := g.LocalClusteringCoefficient(2); math.Abs(c-1.0/3.0) > 1e-12 {
+		t.Errorf("cc(2)=%v", c)
+	}
+	if c := g.LocalClusteringCoefficient(3); c != 0 {
+		t.Errorf("cc(3)=%v want 0", c)
+	}
+	if avg := g.AverageClusteringCoefficient(0); avg <= 0 || avg > 1 {
+		t.Errorf("avg cc=%v", avg)
+	}
+}
+
+func TestAdjustedFailureProbability(t *testing.T) {
+	g := smallGraph()
+	pf := 1e-6
+	// Node 3 has degree 1 so pf^{0}=1; other nodes contribute pf^{d-1}<1e-6.
+	// Sum < 1 + 3e-6 ... wait sum = 1 + small > 1? It is > 1 only if > 1.
+	got := g.AdjustedFailureProbability(pf)
+	sum := 0.0
+	for v := NodeID(0); v < 4; v++ {
+		sum += math.Pow(pf, float64(g.Degree(v)-1))
+	}
+	want := pf
+	if sum > 1 {
+		want = pf / sum
+	}
+	if math.Abs(got-want) > 1e-18 {
+		t.Errorf("p'_f=%v want %v", got, want)
+	}
+	// Star graph: many degree-1 leaves -> sum > 1 -> adjusted.
+	star := starGraph(100)
+	got = star.AdjustedFailureProbability(pf)
+	if got >= pf {
+		t.Errorf("star graph should reduce p'_f: got %v", got)
+	}
+	// Degenerate pf values pass through.
+	if star.AdjustedFailureProbability(0) != 0 || star.AdjustedFailureProbability(1) != 1 {
+		t.Error("degenerate pf should pass through")
+	}
+}
+
+func starGraph(leaves int) *Graph {
+	b := NewBuilder(leaves + 1)
+	for i := 1; i <= leaves; i++ {
+		b.AddEdge(0, NodeID(i))
+	}
+	return b.Build()
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := smallGraph()
+	sub, orig := InducedSubgraph(g, []NodeID{0, 1, 2, 2})
+	if sub.N() != 3 || sub.M() != 3 {
+		t.Fatalf("subgraph n=%d m=%d", sub.N(), sub.M())
+	}
+	if len(orig) != 3 {
+		t.Fatalf("orig mapping length %d", len(orig))
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromAdjacency(t *testing.T) {
+	g := FromAdjacency([][]NodeID{{1, 2}, {0}, {0}})
+	if g.N() != 3 || g.M() != 2 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFS(t *testing.T) {
+	g := FromEdges(6, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {4, 5}})
+	dist := BFS(g, 0, -1)
+	want := []int32{0, 1, 2, 3, -1, -1}
+	for i, d := range want {
+		if dist[i] != d {
+			t.Errorf("dist[%d]=%d want %d", i, dist[i], d)
+		}
+	}
+	capped := BFS(g, 0, 1)
+	if capped[2] != -1 || capped[1] != 1 {
+		t.Errorf("maxHops cap not respected: %v", capped)
+	}
+	if d := BFS(g, -1, -1); d[0] != -1 {
+		t.Error("invalid source should return all -1")
+	}
+}
+
+func TestBFSBall(t *testing.T) {
+	g := FromEdges(6, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}})
+	ball := BFSBall(g, 0, 2, 0)
+	if len(ball) != 3 {
+		t.Errorf("2-hop ball size %d want 3", len(ball))
+	}
+	limited := BFSBall(g, 0, -1, 4)
+	if len(limited) != 4 {
+		t.Errorf("node-limited ball size %d want 4", len(limited))
+	}
+	if BFSBall(g, 99, 1, 0) != nil {
+		t.Error("out-of-range source should return nil")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := FromEdges(7, [][2]NodeID{{0, 1}, {1, 2}, {3, 4}})
+	labels, sizes := ConnectedComponents(g)
+	if len(sizes) != 4 { // {0,1,2}, {3,4}, {5}, {6}
+		t.Fatalf("components=%d want 4", len(sizes))
+	}
+	if labels[0] != labels[1] || labels[0] != labels[2] {
+		t.Error("nodes 0,1,2 should share a component")
+	}
+	if labels[3] == labels[0] || labels[5] == labels[0] {
+		t.Error("disconnected nodes share component with 0")
+	}
+	lc, orig := LargestComponent(g)
+	if lc.N() != 3 || len(orig) != 3 {
+		t.Errorf("largest component n=%d", lc.N())
+	}
+	// Already-connected graph is returned as-is.
+	conn := smallGraph()
+	same, ids := LargestComponent(conn)
+	if same.N() != conn.N() || len(ids) != conn.N() {
+		t.Error("connected graph should map to itself")
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := smallGraph()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("round trip mismatch: n=%d m=%d", g2.N(), g2.M())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadEdgeListParsing(t *testing.T) {
+	in := "# comment\n% other comment\n10 20\n20 30\n\n10 30\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if _, err := ReadEdgeList(strings.NewReader("1\n")); err == nil {
+		t.Error("single-field line should error")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("a b\n")); err == nil {
+		t.Error("non-numeric line should error")
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := FromEdges(10, [][2]NodeID{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {5, 6}, {7, 8}})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.N() != g.N() || g2.M() != g.M() {
+		t.Fatalf("binary round trip mismatch")
+	}
+	for v := NodeID(0); v < NodeID(g.N()); v++ {
+		if g.Degree(v) != g2.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Error("garbage input should fail")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	g := smallGraph()
+	binPath := filepath.Join(dir, "g.bin")
+	txtPath := filepath.Join(dir, "g.txt")
+	if err := SaveBinaryFile(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEdgeListFile(txtPath, g); err != nil {
+		t.Fatal(err)
+	}
+	gb, err := LoadBinaryFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, err := LoadEdgeListFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gb.M() != g.M() || gt.M() != g.M() {
+		t.Fatal("file round trips changed edge count")
+	}
+	if _, err := LoadBinaryFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Error("missing file should error")
+	}
+	if _, err := LoadEdgeListFile(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestMemoryBytesPositive(t *testing.T) {
+	g := smallGraph()
+	if g.MemoryBytes() <= 0 {
+		t.Error("MemoryBytes should be positive")
+	}
+}
+
+// Property: building a graph from a random edge list yields a valid CSR whose
+// handshake sum (sum of degrees) equals 2m, and binary round-trips preserve it.
+func TestBuildValidateProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		b := NewBuilder(0)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			u := NodeID(pairs[i] % 200)
+			v := NodeID(pairs[i+1] % 200)
+			b.AddEdge(u, v)
+		}
+		g := b.Build()
+		if err := g.Validate(); err != nil {
+			return false
+		}
+		var degSum int64
+		for v := NodeID(0); v < NodeID(g.N()); v++ {
+			degSum += int64(g.Degree(v))
+		}
+		if degSum != 2*g.M() {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return g2.N() == g.N() && g2.M() == g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+package graph
+
+// CoreDecomposition computes the k-core number of every node using the
+// standard peeling algorithm of Batagelj and Zaveršnik, in O(n + m) time.
+// The core number of a node v is the largest k such that v belongs to a
+// subgraph in which every node has degree at least k.
+//
+// Core numbers are a cheap proxy for how deeply a node is embedded in a dense
+// region; the dataset package uses them to sanity-check density-stratified
+// seed selection, and they are generally useful when choosing seeds for local
+// clustering.
+func CoreDecomposition(g *Graph) []int32 {
+	n := g.N()
+	core := make([]int32, n)
+	if n == 0 {
+		return core
+	}
+	degree := make([]int32, n)
+	maxDeg := int32(0)
+	for v := 0; v < n; v++ {
+		degree[v] = g.Degree(NodeID(v))
+		if degree[v] > maxDeg {
+			maxDeg = degree[v]
+		}
+	}
+
+	// Bucket sort nodes by current degree.
+	binStart := make([]int32, maxDeg+2)
+	for v := 0; v < n; v++ {
+		binStart[degree[v]+1]++
+	}
+	for d := int32(1); d <= maxDeg+1; d++ {
+		binStart[d] += binStart[d-1]
+	}
+	pos := make([]int32, n)     // position of node in the sorted order
+	sorted := make([]NodeID, n) // nodes sorted by current degree
+	fill := make([]int32, maxDeg+1)
+	copy(fill, binStart[:maxDeg+1])
+	for v := 0; v < n; v++ {
+		d := degree[v]
+		pos[v] = fill[d]
+		sorted[pos[v]] = NodeID(v)
+		fill[d]++
+	}
+
+	// Peel nodes in non-decreasing degree order.
+	for i := 0; i < n; i++ {
+		v := sorted[i]
+		core[v] = degree[v]
+		for _, u := range g.Neighbors(v) {
+			if degree[u] > degree[v] {
+				// Move u one bucket down: swap it with the first node of its
+				// current bucket, then shrink the bucket boundary.
+				du := degree[u]
+				pu := pos[u]
+				pw := binStart[du]
+				w := sorted[pw]
+				if u != w {
+					sorted[pu], sorted[pw] = w, u
+					pos[u], pos[w] = pw, pu
+				}
+				binStart[du]++
+				degree[u]--
+			}
+		}
+	}
+	return core
+}
+
+// Degeneracy returns the maximum core number of the graph.
+func Degeneracy(g *Graph) int32 {
+	var max int32
+	for _, c := range CoreDecomposition(g) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// KCore returns the nodes whose core number is at least k.
+func KCore(g *Graph, k int32) []NodeID {
+	core := CoreDecomposition(g)
+	var out []NodeID
+	for v, c := range core {
+		if c >= k {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}

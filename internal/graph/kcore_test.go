@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCoreDecompositionClique(t *testing.T) {
+	// A 5-clique: every node has core number 4.
+	b := NewBuilder(5)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	g := b.Build()
+	core := CoreDecomposition(g)
+	for v, c := range core {
+		if c != 4 {
+			t.Errorf("clique node %d core %d want 4", v, c)
+		}
+	}
+	if Degeneracy(g) != 4 {
+		t.Errorf("degeneracy %d", Degeneracy(g))
+	}
+}
+
+func TestCoreDecompositionCliqueWithTail(t *testing.T) {
+	// 4-clique {0..3} plus a path 3-4-5: core numbers 3,3,3,3,1,1.
+	b := NewBuilder(6)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(NodeID(i), NodeID(j))
+		}
+	}
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	core := CoreDecomposition(g)
+	want := []int32{3, 3, 3, 3, 1, 1}
+	for v, c := range want {
+		if core[v] != c {
+			t.Errorf("node %d core %d want %d", v, core[v], c)
+		}
+	}
+	k3 := KCore(g, 3)
+	if len(k3) != 4 {
+		t.Errorf("3-core size %d want 4", len(k3))
+	}
+}
+
+func TestCoreDecompositionStarAndEmpty(t *testing.T) {
+	star := starGraph(10)
+	core := CoreDecomposition(star)
+	for v, c := range core {
+		if c != 1 {
+			t.Errorf("star node %d core %d want 1", v, c)
+		}
+	}
+	empty := NewBuilder(0).Build()
+	if len(CoreDecomposition(empty)) != 0 {
+		t.Error("empty graph should have empty core array")
+	}
+	isolated := NewBuilder(3).Build()
+	for _, c := range CoreDecomposition(isolated) {
+		if c != 0 {
+			t.Error("isolated nodes should have core 0")
+		}
+	}
+}
+
+// Property: core numbers are a valid core decomposition — every node v has at
+// least core[v] neighbours with core number >= core[v], and core[v] <= d(v).
+func TestCoreDecompositionProperty(t *testing.T) {
+	f := func(pairs []uint16) bool {
+		b := NewBuilder(0)
+		b.EnsureNode(0)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			b.AddEdge(NodeID(pairs[i]%120), NodeID(pairs[i+1]%120))
+		}
+		g := b.Build()
+		core := CoreDecomposition(g)
+		for v := NodeID(0); v < NodeID(g.N()); v++ {
+			if core[v] > g.Degree(v) {
+				return false
+			}
+			count := int32(0)
+			for _, u := range g.Neighbors(v) {
+				if core[u] >= core[v] {
+					count++
+				}
+			}
+			if count < core[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,119 @@
+package graph
+
+// BFS runs a breadth-first search from source and returns the hop distance of
+// every node (-1 for unreachable nodes).  maxHops < 0 means unbounded.
+func BFS(g *Graph, source NodeID, maxHops int) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if int(source) >= g.N() || source < 0 {
+		return dist
+	}
+	dist[source] = 0
+	queue := []NodeID{source}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if maxHops >= 0 && int(dist[v]) >= maxHops {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// BFSBall returns the set of nodes within maxHops hops of source (including
+// source), in BFS order.  Used for seed-neighbourhood extraction and for
+// building reference sets for the flow-based baselines.
+func BFSBall(g *Graph, source NodeID, maxHops int, maxNodes int) []NodeID {
+	if int(source) >= g.N() || source < 0 {
+		return nil
+	}
+	visited := make(map[NodeID]int32)
+	visited[source] = 0
+	order := []NodeID{source}
+	for i := 0; i < len(order); i++ {
+		v := order[i]
+		if maxHops >= 0 && int(visited[v]) >= maxHops {
+			continue
+		}
+		for _, u := range g.Neighbors(v) {
+			if _, ok := visited[u]; !ok {
+				visited[u] = visited[v] + 1
+				order = append(order, u)
+				if maxNodes > 0 && len(order) >= maxNodes {
+					return order
+				}
+			}
+		}
+	}
+	return order
+}
+
+// ConnectedComponents labels every node with a component id (0-based) and
+// returns the labels along with the component sizes.
+func ConnectedComponents(g *Graph) (labels []int32, sizes []int) {
+	n := g.N()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	var comp int32
+	var queue []NodeID
+	for start := NodeID(0); start < NodeID(n); start++ {
+		if labels[start] >= 0 {
+			continue
+		}
+		labels[start] = comp
+		size := 1
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.Neighbors(v) {
+				if labels[u] < 0 {
+					labels[u] = comp
+					size++
+					queue = append(queue, u)
+				}
+			}
+		}
+		sizes = append(sizes, size)
+		comp++
+	}
+	return labels, sizes
+}
+
+// LargestComponent returns the subgraph induced by the largest connected
+// component and the mapping from new IDs to original IDs.  Local-clustering
+// benchmarks run on connected graphs so that every seed has a non-trivial
+// neighbourhood.
+func LargestComponent(g *Graph) (*Graph, []NodeID) {
+	labels, sizes := ConnectedComponents(g)
+	if len(sizes) <= 1 {
+		ids := make([]NodeID, g.N())
+		for i := range ids {
+			ids[i] = NodeID(i)
+		}
+		return g, ids
+	}
+	best := 0
+	for i, s := range sizes {
+		if s > sizes[best] {
+			best = i
+		}
+	}
+	var keep []NodeID
+	for v := NodeID(0); v < NodeID(g.N()); v++ {
+		if labels[v] == int32(best) {
+			keep = append(keep, v)
+		}
+	}
+	return InducedSubgraph(g, keep)
+}

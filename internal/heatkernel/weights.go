@@ -1,0 +1,207 @@
+// Package heatkernel computes the Poisson weight sequence that defines heat
+// kernel PageRank (HKPR).
+//
+// For a heat constant t, the HKPR value from a seed s to a node v is
+//
+//	ρ_s[v] = Σ_{k≥0} η(k) · P^k[s,v],   η(k) = e^{-t} t^k / k!,
+//
+// i.e. the probability that a random walk of Poisson(t)-distributed length
+// starting at s ends at v (paper Eq. 1–2).  Both the push phases and the
+// random-walk phases of TEA/TEA+ need η(k), the tail sums
+// ψ(k) = Σ_{ℓ≥k} η(ℓ) (paper Eq. 3), and the per-hop stop probabilities
+// η(k)/ψ(k).  This package precomputes those sequences with numerically
+// stable recurrences and exposes them as an immutable table.
+package heatkernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultTailEpsilon is the truncation threshold used when the caller does not
+// specify one: the table is extended until ψ(k) drops below this value, so the
+// ignored probability mass of the Poisson length distribution is negligible
+// compared to the approximation thresholds used anywhere in the repository.
+const DefaultTailEpsilon = 1e-15
+
+// Weights holds the truncated Poisson weight table for a fixed heat constant.
+//
+// The table covers hops 0..MaxHop().  Queries beyond MaxHop() return the
+// asymptotic values (η→0, ψ→0, stop probability→1), which is exactly the
+// behaviour the algorithms need: a random walk whose length exceeded the table
+// stops immediately, and a push at such a hop converts its whole residue to
+// reserve.
+type Weights struct {
+	t    float64
+	eta  []float64 // eta[k] = e^{-t} t^k / k!
+	psi  []float64 // psi[k] = sum_{l >= k} eta[l]
+	stop []float64 // stop[k] = eta[k]/psi[k], clamped to [0,1]
+}
+
+// New builds the weight table for heat constant t, truncating the tail once
+// ψ(k) < tailEps.  t must be positive and finite; tailEps must be in (0, 1).
+func New(t, tailEps float64) (*Weights, error) {
+	if !(t > 0) || math.IsInf(t, 0) || math.IsNaN(t) {
+		return nil, fmt.Errorf("heatkernel: heat constant t must be positive and finite, got %v", t)
+	}
+	if !(tailEps > 0 && tailEps < 1) {
+		return nil, fmt.Errorf("heatkernel: tail epsilon must be in (0,1), got %v", tailEps)
+	}
+
+	// Upper bound on the table size: the Poisson(t) distribution has almost
+	// all of its mass below t + c·sqrt(t); 12 standard deviations plus a
+	// constant slack is far beyond any tailEps ≥ 1e-300 we will meet.
+	maxHops := int(t+12*math.Sqrt(t+1)) + 64
+
+	eta := make([]float64, 0, maxHops)
+	// η(0) = e^{-t}. For very large t this underflows; compute in log space
+	// and re-exponentiate per term to stay stable.
+	logEta := -t // log η(0)
+	cum := 0.0   // Σ_{l<k} η(l)
+	for k := 0; k < maxHops; k++ {
+		e := math.Exp(logEta)
+		eta = append(eta, e)
+		cum += e
+		if 1-cum < tailEps && k >= int(math.Ceil(t)) {
+			break
+		}
+		logEta += math.Log(t) - math.Log(float64(k+1))
+	}
+
+	n := len(eta)
+	psi := make([]float64, n)
+	// ψ(k) computed by a backward cumulative sum of η plus the analytic tail
+	// that the truncation dropped; the tail is bounded by tailEps.
+	tail := math.Max(0, 1-sum(eta))
+	acc := tail
+	for k := n - 1; k >= 0; k-- {
+		acc += eta[k]
+		psi[k] = acc
+	}
+
+	stop := make([]float64, n)
+	for k := 0; k < n; k++ {
+		s := 1.0
+		if psi[k] > 0 {
+			s = eta[k] / psi[k]
+		}
+		if s > 1 {
+			s = 1
+		}
+		if s < 0 {
+			s = 0
+		}
+		stop[k] = s
+	}
+
+	return &Weights{t: t, eta: eta, psi: psi, stop: stop}, nil
+}
+
+// MustNew is like New but panics on error.  It is intended for tests and for
+// call sites with compile-time-constant arguments.
+func MustNew(t, tailEps float64) *Weights {
+	w, err := New(t, tailEps)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// T returns the heat constant the table was built for.
+func (w *Weights) T() float64 { return w.t }
+
+// MaxHop returns the largest hop index stored in the table.  Hops beyond it
+// carry negligible probability mass (< the tail epsilon passed to New).
+func (w *Weights) MaxHop() int { return len(w.eta) - 1 }
+
+// Eta returns η(k) = e^{-t} t^k / k!, the probability that a Poisson(t) length
+// equals k.  Hops beyond MaxHop() return 0.
+func (w *Weights) Eta(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= len(w.eta) {
+		return 0
+	}
+	return w.eta[k]
+}
+
+// Psi returns ψ(k) = Σ_{ℓ≥k} η(ℓ), the probability that a Poisson(t) length is
+// at least k.  Hops beyond MaxHop() return 0.
+func (w *Weights) Psi(k int) float64 {
+	if k < 0 {
+		return 1
+	}
+	if k >= len(w.psi) {
+		return 0
+	}
+	return w.psi[k]
+}
+
+// Stop returns the conditional stop probability η(k)/ψ(k): the probability
+// that a walk which has survived k hops terminates at hop k.  Hops beyond
+// MaxHop() return 1, so walks always terminate.
+func (w *Weights) Stop(k int) float64 {
+	if k < 0 {
+		return 0
+	}
+	if k >= len(w.stop) {
+		return 1
+	}
+	return w.stop[k]
+}
+
+// ExpectedLength returns the expected Poisson length, which equals t.
+func (w *Weights) ExpectedLength() float64 { return w.t }
+
+// TruncationHop returns the smallest K such that ψ(K+1) ≤ eps, i.e. a walk
+// longer than K happens with probability at most eps.  If no such K exists
+// within the table, MaxHop() is returned.
+func (w *Weights) TruncationHop(eps float64) int {
+	for k := 0; k < len(w.psi); k++ {
+		if w.Psi(k+1) <= eps {
+			return k
+		}
+	}
+	return w.MaxHop()
+}
+
+// EtaSlice returns a copy of the η table (hops 0..MaxHop()).
+func (w *Weights) EtaSlice() []float64 {
+	out := make([]float64, len(w.eta))
+	copy(out, w.eta)
+	return out
+}
+
+// PsiSlice returns a copy of the ψ table (hops 0..MaxHop()).
+func (w *Weights) PsiSlice() []float64 {
+	out := make([]float64, len(w.psi))
+	copy(out, w.psi)
+	return out
+}
+
+// TaylorDegree returns the smallest N such that the Taylor remainder of
+// e^{-t} Σ_{k>N} t^k/k! is at most eps.  HK-Relax uses this to size its
+// residual blocks; it is also a convenient upper bound on the number of hops
+// any deterministic evaluation needs to consider.
+func (w *Weights) TaylorDegree(eps float64) int {
+	if eps <= 0 {
+		return w.MaxHop()
+	}
+	cum := 0.0
+	for k := 0; k <= w.MaxHop(); k++ {
+		cum += w.eta[k]
+		if 1-cum <= eps {
+			return k
+		}
+	}
+	return w.MaxHop()
+}

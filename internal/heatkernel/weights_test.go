@@ -1,0 +1,223 @@
+package heatkernel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		t, eps float64
+	}{
+		{0, 1e-12},
+		{-1, 1e-12},
+		{math.NaN(), 1e-12},
+		{math.Inf(1), 1e-12},
+		{5, 0},
+		{5, -1},
+		{5, 1},
+		{5, 2},
+	}
+	for _, c := range cases {
+		if _, err := New(c.t, c.eps); err == nil {
+			t.Errorf("New(%v,%v): expected error, got nil", c.t, c.eps)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with invalid t should panic")
+		}
+	}()
+	MustNew(-1, 1e-12)
+}
+
+func TestEtaMatchesClosedForm(t *testing.T) {
+	for _, tc := range []float64{0.5, 1, 3, 5, 10, 40} {
+		w := MustNew(tc, 1e-15)
+		for k := 0; k <= 20 && k <= w.MaxHop(); k++ {
+			want := math.Exp(-tc) * math.Pow(tc, float64(k)) / factorial(k)
+			got := w.Eta(k)
+			if math.Abs(got-want) > 1e-12*math.Max(1, want) {
+				t.Errorf("t=%v eta(%d)=%v want %v", tc, k, got, want)
+			}
+		}
+	}
+}
+
+func factorial(k int) float64 {
+	f := 1.0
+	for i := 2; i <= k; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+func TestEtaSumsToOne(t *testing.T) {
+	for _, tc := range []float64{1, 5, 20, 40} {
+		w := MustNew(tc, 1e-15)
+		s := 0.0
+		for k := 0; k <= w.MaxHop(); k++ {
+			s += w.Eta(k)
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Errorf("t=%v: sum eta = %v, want 1", tc, s)
+		}
+	}
+}
+
+func TestPsiIsTailSum(t *testing.T) {
+	w := MustNew(5, 1e-15)
+	for k := 0; k <= w.MaxHop(); k++ {
+		tail := 0.0
+		for l := k; l <= w.MaxHop(); l++ {
+			tail += w.Eta(l)
+		}
+		if math.Abs(w.Psi(k)-tail) > 1e-10 {
+			t.Errorf("psi(%d)=%v want %v", k, w.Psi(k), tail)
+		}
+	}
+	if math.Abs(w.Psi(0)-1) > 1e-12 {
+		t.Errorf("psi(0)=%v want 1", w.Psi(0))
+	}
+}
+
+func TestPsiMonotoneDecreasing(t *testing.T) {
+	w := MustNew(10, 1e-15)
+	for k := 1; k <= w.MaxHop(); k++ {
+		if w.Psi(k) > w.Psi(k-1)+1e-15 {
+			t.Fatalf("psi not monotone at %d: %v > %v", k, w.Psi(k), w.Psi(k-1))
+		}
+	}
+}
+
+func TestStopProbabilityBounds(t *testing.T) {
+	for _, tc := range []float64{0.5, 5, 40} {
+		w := MustNew(tc, 1e-15)
+		for k := 0; k <= w.MaxHop()+10; k++ {
+			s := w.Stop(k)
+			if s < 0 || s > 1 {
+				t.Fatalf("t=%v stop(%d)=%v out of [0,1]", tc, k, s)
+			}
+		}
+		if w.Stop(w.MaxHop()+1) != 1 {
+			t.Errorf("stop beyond table must be 1")
+		}
+	}
+}
+
+func TestOutOfRangeQueries(t *testing.T) {
+	w := MustNew(5, 1e-15)
+	if w.Eta(-1) != 0 || w.Eta(w.MaxHop()+1) != 0 {
+		t.Error("eta out of range should be 0")
+	}
+	if w.Psi(-1) != 1 {
+		t.Error("psi(-1) should be 1")
+	}
+	if w.Psi(w.MaxHop()+1) != 0 {
+		t.Error("psi beyond table should be 0")
+	}
+	if w.Stop(-1) != 0 {
+		t.Error("stop(-1) should be 0")
+	}
+}
+
+func TestExpectedLengthAndT(t *testing.T) {
+	w := MustNew(7.5, 1e-15)
+	if w.T() != 7.5 || w.ExpectedLength() != 7.5 {
+		t.Errorf("T/ExpectedLength mismatch: %v %v", w.T(), w.ExpectedLength())
+	}
+}
+
+func TestExpectedPoissonMean(t *testing.T) {
+	// Mean of the truncated distribution should be ~t.
+	for _, tc := range []float64{1, 5, 20} {
+		w := MustNew(tc, 1e-15)
+		mean := 0.0
+		for k := 0; k <= w.MaxHop(); k++ {
+			mean += float64(k) * w.Eta(k)
+		}
+		if math.Abs(mean-tc) > 1e-6 {
+			t.Errorf("t=%v mean=%v", tc, mean)
+		}
+	}
+}
+
+func TestTruncationHop(t *testing.T) {
+	w := MustNew(5, 1e-15)
+	k := w.TruncationHop(1e-6)
+	if w.Psi(k+1) > 1e-6 {
+		t.Errorf("TruncationHop returned %d but psi(%d)=%v > 1e-6", k, k+1, w.Psi(k+1))
+	}
+	if k > 0 && w.Psi(k) <= 1e-6 {
+		t.Errorf("TruncationHop %d is not minimal: psi(%d)=%v", k, k, w.Psi(k))
+	}
+}
+
+func TestTaylorDegree(t *testing.T) {
+	w := MustNew(5, 1e-15)
+	n := w.TaylorDegree(1e-4)
+	// Remainder beyond n must be <= 1e-4.
+	rem := 0.0
+	for k := n + 1; k <= w.MaxHop(); k++ {
+		rem += w.Eta(k)
+	}
+	if rem > 1e-4 {
+		t.Errorf("TaylorDegree(1e-4)=%d leaves remainder %v", n, rem)
+	}
+	if w.TaylorDegree(0) != w.MaxHop() {
+		t.Errorf("TaylorDegree(0) should be MaxHop")
+	}
+}
+
+func TestSlicesAreCopies(t *testing.T) {
+	w := MustNew(5, 1e-15)
+	e := w.EtaSlice()
+	p := w.PsiSlice()
+	e[0] = -1
+	p[0] = -1
+	if w.Eta(0) == -1 || w.Psi(0) == -1 {
+		t.Fatal("EtaSlice/PsiSlice must return copies")
+	}
+	if len(e) != w.MaxHop()+1 || len(p) != w.MaxHop()+1 {
+		t.Fatal("slice lengths wrong")
+	}
+}
+
+// Property: for any valid t, psi(k) = eta(k) + psi(k+1) within float tolerance
+// and stop(k)*psi(k) = eta(k).
+func TestPsiRecurrenceProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		tc := 0.1 + float64(raw%80)*0.5 // t in [0.1, 40)
+		w := MustNew(tc, 1e-15)
+		for k := 0; k < w.MaxHop(); k++ {
+			if math.Abs(w.Psi(k)-(w.Eta(k)+w.Psi(k+1))) > 1e-9 {
+				return false
+			}
+			if w.Psi(k) > 0 && math.Abs(w.Stop(k)*w.Psi(k)-w.Eta(k)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: larger t shifts mass to larger hops, so the truncation hop for a
+// fixed epsilon is nondecreasing in t.
+func TestTruncationMonotoneInT(t *testing.T) {
+	prev := 0
+	for _, tc := range []float64{1, 2, 5, 10, 20, 40} {
+		w := MustNew(tc, 1e-15)
+		k := w.TruncationHop(1e-9)
+		if k < prev {
+			t.Fatalf("truncation hop decreased: t=%v k=%d prev=%d", tc, k, prev)
+		}
+		prev = k
+	}
+}

@@ -1,0 +1,305 @@
+// Package xrand provides the deterministic random-number machinery shared by
+// every randomized algorithm in the repository: a seedable xoshiro256++
+// generator, Walker alias tables for O(1) sampling from discrete
+// distributions (used by TEA/TEA+ to pick random-walk start entries, paper
+// §4.2), and Poisson sampling for the Monte-Carlo baselines.
+//
+// Only the standard library is used.  All sources are explicitly seeded so
+// experiments are reproducible bit-for-bit.
+package xrand
+
+import (
+	"errors"
+	"math"
+)
+
+// RNG is a xoshiro256++ pseudo-random generator seeded via splitmix64.  It is
+// not safe for concurrent use; each goroutine should own its own RNG (see
+// Split).
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns an RNG deterministically derived from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 expansion of the seed into the four state words, as
+	// recommended by the xoshiro authors.
+	x := seed
+	for i := 0; i < 4; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		r.s[i] = z
+	}
+	// Avoid the all-zero state (cannot happen with splitmix64, but keep the
+	// invariant explicit).
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n).  It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's multiply-shift
+// rejection method.  It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with n == 0")
+	}
+	// Unbiased bounded generation.
+	for {
+		v := r.Uint64()
+		if v < (-n)%n { // reject the partial bucket
+			continue
+		}
+		return v % n
+	}
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Split returns a new RNG whose stream is independent (for practical
+// purposes) of the parent's, derived deterministically from the parent state
+// and the provided label.  Use it to give worker goroutines their own source.
+func (r *RNG) Split(label uint64) *RNG {
+	return New(r.Uint64() ^ (label*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019))
+}
+
+// Poisson samples a Poisson(lambda) variate.  For small lambda it uses Knuth's
+// product method; for large lambda it uses the PTRS transformed-rejection
+// method of Hörmann (1993), which is accurate and fast for lambda up to 1e9.
+func (r *RNG) Poisson(lambda float64) int {
+	switch {
+	case lambda <= 0:
+		return 0
+	case lambda < 30:
+		return r.poissonKnuth(lambda)
+	default:
+		return r.poissonPTRS(lambda)
+	}
+}
+
+func (r *RNG) poissonKnuth(lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+func (r *RNG) poissonPTRS(lambda float64) int {
+	// Hörmann's PTRS algorithm.
+	b := 0.931 + 2.53*math.Sqrt(lambda)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	logLambda := math.Log(lambda)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + lambda + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(k + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= k*logLambda-lambda-lg {
+			return int(k)
+		}
+	}
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// SampleWithoutReplacement returns k distinct integers drawn uniformly from
+// [0, n).  It panics if k > n or either argument is negative.
+func (r *RNG) SampleWithoutReplacement(n, k int) []int {
+	if k < 0 || n < 0 || k > n {
+		panic("xrand: invalid SampleWithoutReplacement arguments")
+	}
+	if k == 0 {
+		return nil
+	}
+	// Floyd's algorithm: O(k) expected memory, no full permutation.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		v := r.Intn(j + 1)
+		if _, ok := chosen[v]; ok {
+			v = j
+		}
+		chosen[v] = struct{}{}
+		out = append(out, v)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// ErrEmptyDistribution is returned when an alias table is requested over an
+// empty or all-zero weight vector.
+var ErrEmptyDistribution = errors.New("xrand: alias table requires at least one positive weight")
+
+// Alias is a Walker alias table supporting O(1) sampling from an arbitrary
+// discrete distribution over indices 0..n-1.  TEA and TEA+ build one over the
+// non-zero residue entries before launching random walks (paper §4.2, [40]).
+type Alias struct {
+	prob  []float64
+	alias []int32
+	total float64
+}
+
+// NewAlias constructs an alias table from the given non-negative weights.
+// Weights need not be normalized.  It returns ErrEmptyDistribution if no
+// weight is positive, and an error if any weight is negative or non-finite.
+func NewAlias(weights []float64) (*Alias, error) {
+	n := len(weights)
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, errors.New("xrand: alias weights must be finite and non-negative, bad weight at index " +
+				itoa(i))
+		}
+		total += w
+	}
+	if n == 0 || total <= 0 {
+		return nil, ErrEmptyDistribution
+	}
+
+	prob := make([]float64, n)
+	alias := make([]int32, n)
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		prob[s] = scaled[s]
+		alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		prob[l] = 1
+		alias[l] = l
+	}
+	for _, s := range small {
+		prob[s] = 1
+		alias[s] = s
+	}
+	return &Alias{prob: prob, alias: alias, total: total}, nil
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}
+
+// Len returns the number of outcomes in the table.
+func (a *Alias) Len() int { return len(a.prob) }
+
+// Total returns the sum of the weights the table was built from.
+func (a *Alias) Total() float64 { return a.total }
+
+// Sample draws one index according to the weight distribution.
+func (a *Alias) Sample(r *RNG) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return int(a.alias[i])
+}

@@ -1,0 +1,322 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := true
+	a = New(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(7)
+	n := 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	seen := make(map[int]int)
+	for i := 0; i < 60000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 6; v++ {
+		if seen[v] < 8000 || seen[v] > 12000 {
+			t.Errorf("Intn(6) value %d count %d far from uniform", v, seen[v])
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) should panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(11)
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) must be false")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) must be true")
+	}
+	n := 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency %v", p)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	a := parent.Split(1)
+	b := parent.Split(2)
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Errorf("split streams look correlated: %d equal of 64", equal)
+	}
+}
+
+func TestPoissonMeanVariance(t *testing.T) {
+	for _, lambda := range []float64{0.5, 3, 5, 29, 35, 80} {
+		r := New(uint64(lambda*1000) + 5)
+		n := 60000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			k := float64(r.Poisson(lambda))
+			sum += k
+			sumSq += k * k
+		}
+		mean := sum / float64(n)
+		variance := sumSq/float64(n) - mean*mean
+		tol := 4 * math.Sqrt(lambda/float64(n)) * 3
+		if math.Abs(mean-lambda) > math.Max(tol, 0.1) {
+			t.Errorf("lambda=%v sample mean=%v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > math.Max(0.15*lambda, 0.2) {
+			t.Errorf("lambda=%v sample variance=%v", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	r := New(1)
+	if r.Poisson(0) != 0 || r.Poisson(-3) != 0 {
+		t.Error("Poisson of non-positive lambda must be 0")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	r := New(8)
+	s := r.SampleWithoutReplacement(50, 20)
+	if len(s) != 20 {
+		t.Fatalf("want 20 samples, got %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 50 {
+			t.Fatalf("sample out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate sample: %d", v)
+		}
+		seen[v] = true
+	}
+	if got := r.SampleWithoutReplacement(10, 0); got != nil {
+		t.Errorf("k=0 should return nil")
+	}
+	full := r.SampleWithoutReplacement(5, 5)
+	if len(full) != 5 {
+		t.Errorf("k=n should return all")
+	}
+}
+
+func TestSampleWithoutReplacementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k>n should panic")
+		}
+	}()
+	New(1).SampleWithoutReplacement(3, 4)
+}
+
+func TestAliasErrors(t *testing.T) {
+	if _, err := NewAlias(nil); err == nil {
+		t.Error("empty weights should error")
+	}
+	if _, err := NewAlias([]float64{0, 0}); err == nil {
+		t.Error("all-zero weights should error")
+	}
+	if _, err := NewAlias([]float64{1, -1}); err == nil {
+		t.Error("negative weight should error")
+	}
+	if _, err := NewAlias([]float64{1, math.NaN()}); err == nil {
+		t.Error("NaN weight should error")
+	}
+	if _, err := NewAlias([]float64{1, math.Inf(1)}); err == nil {
+		t.Error("Inf weight should error")
+	}
+}
+
+func TestAliasDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 0, 10}
+	a, err := NewAlias(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != len(weights) {
+		t.Fatalf("Len=%d", a.Len())
+	}
+	if math.Abs(a.Total()-20) > 1e-12 {
+		t.Fatalf("Total=%v", a.Total())
+	}
+	r := New(123)
+	n := 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Sample(r)]++
+	}
+	if counts[4] != 0 {
+		t.Errorf("zero-weight outcome sampled %d times", counts[4])
+	}
+	for i, w := range weights {
+		want := w / 20
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("outcome %d frequency %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleOutcome(t *testing.T) {
+	a, err := NewAlias([]float64{3.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(9)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-outcome alias must always return 0")
+		}
+	}
+}
+
+// Property: alias table preserves the empirical distribution for random weight
+// vectors (chi-square-ish loose bound).
+func TestAliasDistributionProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		weights := make([]float64, len(raw))
+		total := 0.0
+		for i, b := range raw {
+			weights[i] = float64(b%16) + 0.25
+			total += weights[i]
+		}
+		a, err := NewAlias(weights)
+		if err != nil {
+			return false
+		}
+		r := New(uint64(len(raw))*7919 + uint64(raw[0]))
+		n := 60000
+		counts := make([]int, len(weights))
+		for i := 0; i < n; i++ {
+			counts[a.Sample(r)]++
+		}
+		for i, w := range weights {
+			want := w / total
+			got := float64(counts[i]) / float64(n)
+			if math.Abs(got-want) > 0.03 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]float64, 1024)
+	r := New(2)
+	for i := range weights {
+		weights[i] = r.Float64() + 0.01
+	}
+	a, _ := NewAlias(weights)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = a.Sample(r)
+	}
+	_ = sink
+}

@@ -1,0 +1,25 @@
+package hkpr
+
+import "hkpr/internal/cluster"
+
+// ClusterStats summarizes a cluster's structural quality (size, volume, cut,
+// internal edges, conductance, internal density, normalized cut,
+// separability).
+type ClusterStats = cluster.Stats
+
+// ComputeClusterStats measures the node set in g.
+func ComputeClusterStats(g *Graph, set []NodeID) ClusterStats {
+	return cluster.ComputeStats(g, set)
+}
+
+// TopRelated returns the k nodes most related to the seed under heat kernel
+// PageRank — the interactive-exploration primitive of the paper's §1 ("who
+// else is in Elon's neighbourhood"): it runs the clusterer's estimator for
+// the seed and returns the top-k nodes by normalized HKPR.
+func (c *Clusterer) TopRelated(seed NodeID, k int) ([]RankedNode, error) {
+	res, err := c.Estimate(seed, Options{})
+	if err != nil {
+		return nil, err
+	}
+	return cluster.TopKNormalized(c.g, res.Scores, k), nil
+}

@@ -1,0 +1,52 @@
+package hkpr_test
+
+import (
+	"math"
+	"testing"
+
+	"hkpr"
+)
+
+func TestComputeClusterStats(t *testing.T) {
+	g, assign := sbmForAPI(t)
+	comm := assign.Communities()[0]
+	stats := hkpr.ComputeClusterStats(g, comm)
+	if stats.Size != len(comm) {
+		t.Fatalf("size %d want %d", stats.Size, len(comm))
+	}
+	if math.Abs(stats.Conductance-hkpr.Conductance(g, comm)) > 1e-12 {
+		t.Error("stats conductance disagrees with Conductance")
+	}
+	if stats.InternalDensity <= 0 || stats.Separability <= 0 {
+		t.Errorf("planted community should be dense and separable: %+v", stats)
+	}
+}
+
+func TestTopRelated(t *testing.T) {
+	g, assign := sbmForAPI(t)
+	c, err := hkpr.NewClusterer(g, hkpr.Options{T: 5, FailureProb: 1e-4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := hkpr.NodeID(10)
+	related, err := c.TopRelated(seed, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(related) != 15 {
+		t.Fatalf("got %d related nodes", len(related))
+	}
+	// Most of the top-related nodes should share the seed's community.
+	same := 0
+	for _, rn := range related {
+		if assign[rn.Node] == assign[seed] {
+			same++
+		}
+	}
+	if same < 10 {
+		t.Errorf("only %d/15 related nodes share the seed's community", same)
+	}
+	if _, err := c.TopRelated(hkpr.NodeID(g.N()+1), 5); err == nil {
+		t.Error("invalid seed should error")
+	}
+}
