@@ -15,6 +15,29 @@
 // The HKPR estimators themselves (TEA, TEA+, Monte-Carlo, and the baselines
 // HK-Relax and ClusterHKPR) are also exposed directly for callers that want
 // the approximate HKPR vector rather than a cluster.
+//
+// # Serving
+//
+// A Clusterer answers one query at a time.  For serving workloads — one
+// loaded graph, many independent low-latency queries from concurrent callers,
+// the paper's §1 interactive-exploration scenario — use Engine instead:
+//
+//	eng, err := hkpr.NewEngine(g, hkpr.Options{}, hkpr.EngineConfig{
+//		Workers:        8,                       // concurrent executions
+//		QueueDepth:     64,                      // bounded admission queue
+//		CacheBytes:     256 << 20,               // LRU result cache budget
+//		DefaultTimeout: 2 * time.Second,         // per-query deadline
+//	})
+//	defer eng.Close()
+//	local, err := eng.LocalCluster(ctx, seed)
+//
+// The engine schedules queries over a worker pool with bounded admission
+// (excess load is shed with ErrOverloaded rather than queued indefinitely),
+// caches results keyed by the resolved query parameters, coalesces concurrent
+// identical queries into one execution, honors per-query context deadlines
+// inside the core push/walk loops, and exports serving metrics
+// (Engine.Stats, Engine.WriteMetrics).  LocalClusterBatch and cmd/hkprserver
+// are built on it.
 package hkpr
 
 import (

@@ -1,8 +1,12 @@
 package hkpr
 
 import (
+	"context"
+	"runtime"
+	"sync"
+
 	"hkpr/internal/cluster"
-	"hkpr/internal/core"
+	"hkpr/internal/serve"
 )
 
 // RankedNode pairs a node with its degree-normalized HKPR score, the quantity
@@ -28,31 +32,65 @@ type BatchLocalCluster struct {
 	Err     error
 }
 
-// LocalClusterBatch runs LocalCluster for every seed using a worker pool.
+// LocalClusterBatch runs LocalCluster for every seed.  It is a thin client
+// of the serving scheduler (internal/serve): an ephemeral engine sized to the
+// batch admits every query at once and the worker pool drains them.  The
+// result cache is bypassed — each query carries its own RNG stream, so
+// cross-query reuse is impossible by construction.
 func (c *Clusterer) LocalClusterBatch(seeds []NodeID, workers int) []BatchLocalCluster {
-	method := core.BatchTEAPlus
-	switch c.method {
-	case MethodTEA:
-		method = core.BatchTEA
-	case MethodMonteCarlo:
-		method = core.BatchMonteCarlo
+	out := make([]BatchLocalCluster, len(seeds))
+	for i, s := range seeds {
+		out[i].Seed = s
 	}
-	items := c.est.Batch(seeds, method, Options{}, workers)
-	out := make([]BatchLocalCluster, len(items))
-	for i, item := range items {
-		out[i].Seed = item.Seed
-		if item.Err != nil {
-			out[i].Err = item.Err
-			continue
-		}
-		sw := cluster.Sweep(c.g, item.Result.Scores)
-		out[i].Cluster = &LocalCluster{
-			Seed:        item.Seed,
-			Cluster:     sw.Cluster,
-			Conductance: sw.Conductance,
-			HKPR:        item.Result,
-			Sweep:       sw,
-		}
+	if len(seeds) == 0 {
+		return out
 	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	eng, err := serve.New(c.est, serve.Config{
+		Workers:    workers,
+		QueueDepth: len(seeds),
+		CacheBytes: -1, // disabled: per-index RNG streams make every key unique
+	})
+	if err != nil {
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	defer eng.Close()
+
+	var wg sync.WaitGroup
+	for i := range seeds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := eng.Do(context.Background(), serve.Request{
+				Seed:   seeds[i],
+				Method: string(c.method),
+				// Give every query its own deterministic RNG stream (the same
+				// derivation the pre-scheduler batch used).
+				Opts:    Options{Seed: uint64(i) + 1},
+				Sweep:   true,
+				NoCache: true,
+			})
+			if err != nil {
+				out[i].Err = err
+				return
+			}
+			out[i].Cluster = &LocalCluster{
+				Seed:        seeds[i],
+				Cluster:     resp.Sweep.Cluster,
+				Conductance: resp.Sweep.Conductance,
+				HKPR:        resp.Result,
+				Sweep:       *resp.Sweep,
+			}
+		}(i)
+	}
+	wg.Wait()
 	return out
 }

@@ -9,6 +9,9 @@
 package hkpr_test
 
 import (
+	"context"
+	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"hkpr"
@@ -175,6 +178,88 @@ func BenchmarkQueryExactPowerMethod(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- serving-path benchmarks -------------------------------------------------
+//
+// These anchor the perf trajectory of the internal/serve engine: the cached
+// path must stay orders of magnitude faster than the cold path, and adding
+// workers must increase throughput on concurrent load.
+
+func benchEngine(b *testing.B, cfg hkpr.EngineConfig) *hkpr.Engine {
+	b.Helper()
+	g := benchGraph(b)
+	eng, err := hkpr.NewEngine(g, benchOpts(g, 1), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	return eng
+}
+
+// BenchmarkServeColdQuery measures the full scheduler+estimator+sweep path
+// with the cache bypassed: every iteration executes the core estimator.
+func BenchmarkServeColdQuery(b *testing.B) {
+	eng := benchEngine(b, hkpr.EngineConfig{Workers: 1, QueueDepth: 4})
+	n := eng.Graph().N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := eng.Do(context.Background(), hkpr.ServeRequest{
+			Seed: hkpr.NodeID(i % n), Sweep: true, NoCache: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeCachedQuery measures the steady-state hot path: after the
+// first execution every identical query is a cache hit.
+func BenchmarkServeCachedQuery(b *testing.B) {
+	eng := benchEngine(b, hkpr.EngineConfig{Workers: 1, QueueDepth: 4})
+	req := hkpr.ServeRequest{Seed: 7, Sweep: true}
+	if _, err := eng.Do(context.Background(), req); err != nil {
+		b.Fatal(err) // warm the cache
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := eng.Do(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i > 0 && !resp.Cached {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+// benchServeParallel drives concurrent uncached queries over a fixed seed
+// set through an engine with the given worker count; compare Workers=1
+// against Workers=GOMAXPROCS for the scheduler's scaling.
+func benchServeParallel(b *testing.B, workers int) {
+	eng := benchEngine(b, hkpr.EngineConfig{
+		Workers: workers, QueueDepth: 1024, CacheBytes: -1,
+	})
+	n := eng.Graph().N()
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			_, err := eng.Do(context.Background(), hkpr.ServeRequest{
+				Seed: hkpr.NodeID(i % int64(n)), NoCache: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkServeThroughput1Worker(b *testing.B) { benchServeParallel(b, 1) }
+
+func BenchmarkServeThroughputMaxWorkers(b *testing.B) {
+	benchServeParallel(b, runtime.GOMAXPROCS(0))
 }
 
 func BenchmarkSweepOnly(b *testing.B) {

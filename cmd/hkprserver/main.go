@@ -2,29 +2,50 @@
 // deployment the paper's interactive-exploration scenario (§1, "Bob explores
 // Twitter around Elon Musk") calls for: the graph is loaded once, the
 // per-graph setup is amortized, and each query returns within interactive
-// latency.
+// latency.  Requests are served through the hkpr.Engine serving subsystem —
+// a worker pool with bounded admission control, an LRU result cache with
+// request coalescing, and per-request cancellation tied to the client
+// connection.
 //
 // Endpoints:
 //
 //	GET /healthz                 → 200 ok
-//	GET /stats                   → graph statistics (JSON)
+//	GET /stats                   → graph + serving statistics (JSON)
+//	GET /metrics                 → serving metrics (Prometheus text format)
 //	GET /cluster?seed=17         → local cluster of node 17 (JSON)
 //	GET /cluster?seed=17&method=tea&eps=0.3
+//	GET /cluster?seed=17&nocache=1
+//
+// Cluster responses carry cached/coalesced flags and queue-wait/elapsed
+// timings alongside the cluster itself.  Overload is reported as 503
+// (admission queue full — back off and retry), a query exceeding its deadline
+// as 504.
+//
+// Tuning flags:
+//
+//	-workers N     concurrent query executions (default GOMAXPROCS)
+//	-queue N       admission-queue depth; excess load is shed (default 4×workers)
+//	-cache-mb N    result-cache budget in MiB; 0 disables (default 64)
+//	-timeout D     per-query execution deadline, e.g. 5s; 0 disables (default 10s)
 //
 // Example:
 //
-//	hkprserver -graph twitter.bin -addr :8080
+//	hkprserver -graph twitter.bin -addr :8080 -workers 16 -cache-mb 256
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"hkpr"
@@ -45,6 +66,10 @@ func run(args []string) error {
 		heat      = fs.Float64("t", 5, "heat constant t")
 		epsRel    = fs.Float64("eps", 0.5, "relative error threshold εr")
 		pf        = fs.Float64("pf", 1e-6, "failure probability")
+		workers   = fs.Int("workers", 0, "concurrent query executions (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 0, "admission queue depth (0 = 4×workers)")
+		cacheMB   = fs.Int("cache-mb", 64, "result cache budget in MiB (0 disables)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-query execution deadline (0 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,32 +89,64 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	srv, err := newServer(g, hkpr.Options{T: *heat, EpsRel: *epsRel, FailureProb: *pf})
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1
+	}
+	srv, err := newServer(g, hkpr.Options{T: *heat, EpsRel: *epsRel, FailureProb: *pf}, hkpr.EngineConfig{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     cacheBytes,
+		DefaultTimeout: *timeout,
+	})
 	if err != nil {
 		return err
 	}
-	log.Printf("serving local clustering on %s (graph: n=%d m=%d)", *addr, g.N(), g.M())
-	return http.ListenAndServe(*addr, srv.routes())
+	defer srv.engine.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	st := srv.engine.Stats()
+	log.Printf("serving local clustering on %s (graph: n=%d m=%d, workers=%d queue=%d cache=%dMiB)",
+		*addr, g.N(), g.M(), st.Workers, st.QueueCapacity, st.CacheCapacity>>20)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		return srv.engine.Close()
+	}
 }
 
-// server holds the long-lived clusterer shared by all requests.
+// server holds the long-lived serving engine shared by all requests.
 type server struct {
-	g         *hkpr.Graph
-	clusterer *hkpr.Clusterer
+	g      *hkpr.Graph
+	engine *hkpr.Engine
 }
 
-func newServer(g *hkpr.Graph, opts hkpr.Options) (*server, error) {
-	c, err := hkpr.NewClusterer(g, opts)
+func newServer(g *hkpr.Graph, opts hkpr.Options, cfg hkpr.EngineConfig) (*server, error) {
+	eng, err := hkpr.NewEngine(g, opts, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &server{g: g, clusterer: c}, nil
+	return &server{g: g, engine: eng}, nil
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /cluster", s.handleCluster)
 	return mux
 }
@@ -100,10 +157,11 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 type statsResponse struct {
-	Nodes         int     `json:"nodes"`
-	Edges         int64   `json:"edges"`
-	AverageDegree float64 `json:"average_degree"`
-	MaxDegree     int32   `json:"max_degree"`
+	Nodes         int             `json:"nodes"`
+	Edges         int64           `json:"edges"`
+	AverageDegree float64         `json:"average_degree"`
+	MaxDegree     int32           `json:"max_degree"`
+	Serving       hkpr.ServeStats `json:"serving"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -113,7 +171,13 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Edges:         st.Edges,
 		AverageDegree: st.AverageDegree,
 		MaxDegree:     st.MaxDegree,
+		Serving:       s.engine.Stats(),
 	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.engine.WriteMetrics(w)
 }
 
 type clusterResponse struct {
@@ -123,6 +187,9 @@ type clusterResponse struct {
 	Size        int     `json:"size"`
 	Conductance float64 `json:"conductance"`
 	ElapsedMS   float64 `json:"elapsed_ms"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	Cached      bool    `json:"cached"`
+	Coalesced   bool    `json:"coalesced"`
 	Pushes      int64   `json:"push_operations"`
 	Walks       int64   `json:"random_walks"`
 }
@@ -143,10 +210,7 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "seed must be a node id in range"})
 		return
 	}
-	method := hkpr.Method(q.Get("method"))
-	if method == "" {
-		method = hkpr.MethodTEAPlus
-	}
+	method := q.Get("method")
 	var query hkpr.Options
 	if epsStr := q.Get("eps"); epsStr != "" {
 		eps, err := strconv.ParseFloat(epsStr, 64)
@@ -157,44 +221,45 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		query.EpsRel = eps
 	}
 
-	start := time.Now()
-	var local *hkpr.LocalCluster
-	switch method {
-	case hkpr.MethodTEAPlus, hkpr.MethodTEA, hkpr.MethodMonteCarlo:
-		// The shared clusterer answers TEA+; other methods get a one-off
-		// clusterer so the estimator matches the request.
-		if method == hkpr.MethodTEAPlus {
-			local, err = s.clusterer.LocalClusterWithOptions(hkpr.NodeID(seed), query)
-		} else {
-			var c *hkpr.Clusterer
-			c, err = hkpr.NewClustererWithMethod(s.g, s.clusterer.Options(), method)
-			if err == nil {
-				local, err = c.LocalClusterWithOptions(hkpr.NodeID(seed), query)
-			}
-		}
-	default:
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "method must be tea+, tea or monte-carlo"})
-		return
-	}
+	resp, err := s.engine.Do(r.Context(), hkpr.ServeRequest{
+		Seed:    hkpr.NodeID(seed),
+		Method:  method,
+		Opts:    query,
+		Sweep:   true,
+		NoCache: q.Get("nocache") != "",
+	})
 	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		switch {
+		case errors.Is(err, hkpr.ErrUnknownMethod):
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "method must be tea+, tea or monte-carlo"})
+		case errors.Is(err, hkpr.ErrOverloaded):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded, retry later"})
+		case errors.Is(err, context.DeadlineExceeded):
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query deadline exceeded"})
+		case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
+			// Client went away; nothing useful to write.
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
 		return
 	}
-	elapsed := time.Since(start)
 
-	members := make([]int64, len(local.Cluster))
-	for i, v := range local.Cluster {
+	members := make([]int64, len(resp.Sweep.Cluster))
+	for i, v := range resp.Sweep.Cluster {
 		members[i] = int64(v)
 	}
 	writeJSON(w, http.StatusOK, clusterResponse{
 		Seed:        seed,
-		Method:      string(method),
+		Method:      resp.Method,
 		Cluster:     members,
 		Size:        len(members),
-		Conductance: local.Conductance,
-		ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
-		Pushes:      local.HKPR.Stats.PushOperations,
-		Walks:       local.HKPR.Stats.RandomWalks,
+		Conductance: resp.Sweep.Conductance,
+		ElapsedMS:   float64(resp.Elapsed.Microseconds()) / 1000,
+		QueueWaitMS: float64(resp.QueueWait.Microseconds()) / 1000,
+		Cached:      resp.Cached,
+		Coalesced:   resp.Coalesced,
+		Pushes:      resp.Result.Stats.PushOperations,
+		Walks:       resp.Result.Stats.RandomWalks,
 	})
 }
 

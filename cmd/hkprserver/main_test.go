@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"hkpr"
@@ -15,10 +17,11 @@ func newTestServer(t *testing.T) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(g, hkpr.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-4})
+	srv, err := newServer(g, hkpr.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-4, Seed: 1}, hkpr.EngineConfig{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { srv.engine.Close() })
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return ts
@@ -46,6 +49,68 @@ func TestHealthAndStats(t *testing.T) {
 	}
 	if stats.Nodes != 120 || stats.Edges <= 0 {
 		t.Errorf("stats: %+v", stats)
+	}
+	if stats.Serving.Workers != 2 || stats.Serving.CacheCapacity <= 0 {
+		t.Errorf("serving stats not populated: %+v", stats.Serving)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	// Serve one query so the counters are non-trivial.
+	resp, err := http.Get(ts.URL + "/cluster?seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"hkpr_serve_requests_total 1",
+		"hkpr_serve_executions_total 1",
+		"# TYPE hkpr_serve_latency_seconds histogram",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestClusterEndpointCaching(t *testing.T) {
+	ts := newTestServer(t)
+	get := func() clusterResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/cluster?seed=7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var cr clusterResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+	first, second := get(), get()
+	if first.Cached {
+		t.Error("first query should not be cached")
+	}
+	if !second.Cached {
+		t.Error("second identical query should be served from cache")
+	}
+	if first.Size != second.Size || first.Conductance != second.Conductance {
+		t.Errorf("cached answer differs: %+v vs %+v", first, second)
 	}
 }
 

@@ -1,0 +1,3 @@
+module hkpr
+
+go 1.24

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"hkpr/internal/xrand"
+)
+
+// DefaultCancelCheckEvery is the number of work units (push operations or walk
+// steps) between cancellation checks when OptionsContext.CheckEvery is zero.
+// Checking costs one non-blocking channel poll, so the default keeps the
+// overhead far below the cost of the work itself while still bounding the
+// latency of a cancellation to a few thousand edge traversals.
+const DefaultCancelCheckEvery = 4096
+
+// OptionsContext bundles the per-query execution controls that are orthogonal
+// to the (d, εr, δ) approximation parameters of Options: the context whose
+// cancellation or deadline aborts the query, and how often the push and walk
+// loops check it.  The zero value means "no cancellation", which is the
+// behaviour of the non-Context entry points.
+//
+// This is the seam the serving layer (internal/serve) uses to enforce
+// per-query deadlines and to stop work for queries whose callers have gone
+// away.
+type OptionsContext struct {
+	// Ctx aborts the query when done.  nil (or a context that can never be
+	// canceled) disables checking entirely.
+	Ctx context.Context
+	// CheckEvery is the number of work units between cancellation checks.
+	// Zero means DefaultCancelCheckEvery.
+	CheckEvery int
+}
+
+// cancelChecker amortizes context polling over work units.  A nil checker is
+// valid and never cancels, so the hot loops pay a single predictable branch
+// when cancellation is disabled.
+type cancelChecker struct {
+	ctx   context.Context
+	every int
+	left  int
+}
+
+// newCancelChecker returns a checker for oc, or nil when oc cannot cancel.
+func newCancelChecker(oc OptionsContext) *cancelChecker {
+	if oc.Ctx == nil || oc.Ctx.Done() == nil {
+		return nil
+	}
+	every := oc.CheckEvery
+	if every <= 0 {
+		every = DefaultCancelCheckEvery
+	}
+	return &cancelChecker{ctx: oc.Ctx, every: every, left: every}
+}
+
+// tick charges cost work units and polls the context once the budget since
+// the previous poll is spent.  It returns the context error when canceled.
+func (c *cancelChecker) tick(cost int) error {
+	if c == nil {
+		return nil
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	c.left -= cost
+	if c.left > 0 {
+		return nil
+	}
+	c.left = c.every
+	return c.err()
+}
+
+// err polls the context immediately (used at phase boundaries).
+func (c *cancelChecker) err() error {
+	if c == nil {
+		return nil
+	}
+	select {
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// Per-query scratch pooling ---------------------------------------------------
+//
+// A serving workload runs the same estimator millions of times on one graph;
+// the RNG and the walk-entry buffers are the per-query allocations that do
+// not escape into the Result, so they are pooled here.  The score and reserve
+// maps are returned to (and cached by) callers and therefore cannot be
+// pooled.
+
+var rngPool = sync.Pool{New: func() any { return xrand.New(0) }}
+
+// getRNG returns a pooled RNG reseeded deterministically for this query.
+func getRNG(seed uint64) *xrand.RNG {
+	r := rngPool.Get().(*xrand.RNG)
+	r.Reseed(seed)
+	return r
+}
+
+func putRNG(r *xrand.RNG) { rngPool.Put(r) }
+
+// walkBuffers holds the flattened residue entries and their weight vector
+// used to build the alias table for the walk phase.
+type walkBuffers struct {
+	entries []walkEntry
+	weights []float64
+}
+
+var walkBufferPool = sync.Pool{New: func() any { return new(walkBuffers) }}
+
+func getWalkBuffers() *walkBuffers { return walkBufferPool.Get().(*walkBuffers) }
+
+// release returns the buffers to the pool.  Callers must not touch the
+// slices afterwards.
+func (b *walkBuffers) release() {
+	b.entries = b.entries[:0]
+	b.weights = b.weights[:0]
+	walkBufferPool.Put(b)
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+)
+
+func contextTestGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerlawCluster(1500, 4, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func contextTestEstimator(t testing.TB, g *graph.Graph) *Estimator {
+	t.Helper()
+	est, err := NewEstimator(g, Options{Delta: 1 / float64(g.N()), FailureProb: 1e-4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+// TestContextMethodsMatchPlainMethods checks the Context variants are pure
+// supersets: with a background context they produce the same output as the
+// plain entry points.  Monte-Carlo is bitwise deterministic for a fixed RNG
+// seed, so it is compared exactly; TEA is compared up to walk-increment
+// noise (TEA+ is excluded here because its budgeted push stops after a
+// map-iteration-order-dependent prefix, so even two plain runs diverge —
+// a pre-existing property of the estimator, not of the context seam).
+func TestContextMethodsMatchPlainMethods(t *testing.T) {
+	g := contextTestGraph(t)
+	est := contextTestEstimator(t, g)
+	oc := OptionsContext{Ctx: context.Background()}
+
+	mcPlain, err := est.MonteCarlo(9, Options{Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcCtx, err := est.MonteCarloContext(oc, 9, Options{Delta: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mcPlain.Scores) != len(mcCtx.Scores) {
+		t.Fatalf("MC support sizes differ: %d vs %d", len(mcPlain.Scores), len(mcCtx.Scores))
+	}
+	for v, s := range mcPlain.Scores {
+		if mcCtx.Scores[v] != s {
+			t.Fatalf("MC score mismatch at %d: %v vs %v", v, s, mcCtx.Scores[v])
+		}
+	}
+
+	teaPlain, err := est.TEA(9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teaCtx, err := est.TEAContext(oc, 9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertScoresClose(t, teaPlain.Scores, teaCtx.Scores)
+}
+
+// assertScoresClose compares two runs of the same query.  Map iteration
+// order perturbs float accumulation at the last bit, which can shift the
+// ceil-boundary walk count by one and hence individual walk endpoints, so two
+// runs agree only up to a few walk increments per node — far below any
+// meaningful score, far above genuine divergence.
+func assertScoresClose(t *testing.T, a, b map[graph.NodeID]float64) {
+	t.Helper()
+	totalA, totalB := 0.0, 0.0
+	for _, s := range a {
+		totalA += s
+	}
+	for _, s := range b {
+		totalB += s
+	}
+	if diff := math.Abs(totalA - totalB); diff > 1e-9 {
+		t.Fatalf("total masses differ: %v vs %v", totalA, totalB)
+	}
+	union := make(map[graph.NodeID]struct{}, len(a))
+	for v := range a {
+		union[v] = struct{}{}
+	}
+	for v := range b {
+		union[v] = struct{}{}
+	}
+	for v := range union {
+		if diff := math.Abs(a[v] - b[v]); diff > 1e-4+1e-6*math.Abs(a[v]) {
+			t.Fatalf("score mismatch at %d: %v vs %v", v, a[v], b[v])
+		}
+	}
+}
+
+// TestAlreadyCanceledContext checks every estimator aborts immediately when
+// handed a context that is already done.
+func TestAlreadyCanceledContext(t *testing.T) {
+	g := contextTestGraph(t)
+	est := contextTestEstimator(t, g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	oc := OptionsContext{Ctx: ctx}
+
+	if _, err := est.TEAContext(oc, 1, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TEA: %v", err)
+	}
+	if _, err := est.TEAPlusContext(oc, 1, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TEA+: %v", err)
+	}
+	if _, err := est.MonteCarloContext(oc, 1, Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Monte-Carlo: %v", err)
+	}
+}
+
+// TestCancellationInterruptsWalkPhase drives a TEA+ configuration whose walk
+// phase would run ~10^11 walks and checks a deadline stops it mid-loop.
+func TestCancellationInterruptsWalkPhase(t *testing.T) {
+	g := contextTestGraph(t)
+	est := contextTestEstimator(t, g)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	_, err := est.TEAPlusContext(OptionsContext{Ctx: ctx}, 2, Options{Delta: 1e-9, C: 1e-3})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("walk-phase cancellation took %v", elapsed)
+	}
+}
+
+// TestCancellationInterruptsMonteCarlo does the same for the pure
+// Monte-Carlo estimator.
+func TestCancellationInterruptsMonteCarlo(t *testing.T) {
+	g := contextTestGraph(t)
+	est := contextTestEstimator(t, g)
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	_, err := est.MonteCarloContext(OptionsContext{Ctx: ctx}, 2, Options{Delta: 1e-9})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Monte-Carlo cancellation took %v", elapsed)
+	}
+}
+
+// TestNilCheckerIsNoop covers the nil-checker fast path used by the plain
+// entry points.
+func TestNilCheckerIsNoop(t *testing.T) {
+	var cc *cancelChecker
+	if err := cc.tick(1 << 30); err != nil {
+		t.Fatal(err)
+	}
+	if err := cc.err(); err != nil {
+		t.Fatal(err)
+	}
+	if newCancelChecker(OptionsContext{}) != nil {
+		t.Fatal("zero OptionsContext should yield a nil checker")
+	}
+	if newCancelChecker(OptionsContext{Ctx: context.Background()}) != nil {
+		t.Fatal("background context cannot cancel; checker should be nil")
+	}
+}

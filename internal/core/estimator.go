@@ -67,8 +67,19 @@ func (e *Estimator) override(q Options) Options {
 	return o
 }
 
+// Resolve returns the options a query with the given per-query overrides
+// would run under (defaults applied, estimator settings merged).  The serving
+// layer uses it to derive cache keys that are insensitive to whether a
+// parameter was set explicitly or inherited.
+func (e *Estimator) Resolve(query Options) Options { return e.override(query) }
+
 // TEA runs Algorithm 3 for the given seed node.
 func (e *Estimator) TEA(seed graph.NodeID, query Options) (*Result, error) {
+	return e.TEAContext(OptionsContext{}, seed, query)
+}
+
+// TEAContext is TEA with cancellation checkpoints driven by oc.
+func (e *Estimator) TEAContext(oc OptionsContext, seed graph.NodeID, query Options) (*Result, error) {
 	o := e.override(query)
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -76,11 +87,16 @@ func (e *Estimator) TEA(seed graph.NodeID, query Options) (*Result, error) {
 	if err := validateSeed(e.g, seed); err != nil {
 		return nil, err
 	}
-	return teaWithWeights(e.g, seed, o, e.w)
+	return teaWithWeights(e.g, seed, o, e.w, newCancelChecker(oc))
 }
 
 // TEAPlus runs Algorithm 5 for the given seed node.
 func (e *Estimator) TEAPlus(seed graph.NodeID, query Options) (*Result, error) {
+	return e.TEAPlusContext(OptionsContext{}, seed, query)
+}
+
+// TEAPlusContext is TEAPlus with cancellation checkpoints driven by oc.
+func (e *Estimator) TEAPlusContext(oc OptionsContext, seed graph.NodeID, query Options) (*Result, error) {
 	o := e.override(query)
 	if err := o.Validate(); err != nil {
 		return nil, err
@@ -88,11 +104,24 @@ func (e *Estimator) TEAPlus(seed graph.NodeID, query Options) (*Result, error) {
 	if err := validateSeed(e.g, seed); err != nil {
 		return nil, err
 	}
-	return teaPlusWithWeights(e.g, seed, o, e.w)
+	return teaPlusWithWeights(e.g, seed, o, e.w, newCancelChecker(oc))
 }
 
 // MonteCarlo runs the pure Monte-Carlo estimator for the given seed node.
 func (e *Estimator) MonteCarlo(seed graph.NodeID, query Options) (*Result, error) {
-	o := e.override(query)
-	return MonteCarloOnly(e.g, seed, o)
+	return e.MonteCarloContext(OptionsContext{}, seed, query)
+}
+
+// MonteCarloContext is MonteCarlo with cancellation checkpoints driven by oc.
+// Unlike the package-level MonteCarloOnly it reuses the estimator's weight
+// table instead of rebuilding it per query.
+func (e *Estimator) MonteCarloContext(oc OptionsContext, seed graph.NodeID, query Options) (*Result, error) {
+	o := e.override(query).withDefaults()
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if err := validateSeed(e.g, seed); err != nil {
+		return nil, err
+	}
+	return monteCarloWithWeights(e.g, seed, o, e.w, newCancelChecker(oc))
 }

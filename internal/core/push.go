@@ -143,6 +143,14 @@ type PushResult struct {
 // The run time and the number of non-zero residue entries are O(1/rmax)
 // (Lemma 3).
 func HKPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops int) *PushResult {
+	res, _ := hkPush(g, seed, w, rmax, maxHops, nil)
+	return res
+}
+
+// hkPush is HKPush with a cancellation checkpoint charged per pushed node
+// (cost d(v), the paper's push-operation unit).  On cancellation the partial
+// result is returned alongside the context error.
+func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops int, cc *cancelChecker) (*PushResult, error) {
 	res := &PushResult{
 		Reserve:  make(map[graph.NodeID]float64),
 		Residues: &ResidueVectors{},
@@ -155,12 +163,14 @@ func HKPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 		maxHops = w.TruncationHop(1e-12)
 	}
 
+	// The frontier slice is reused across hops: deleting while ranging is
+	// legal, but a stable slice keeps the iteration order deterministic for
+	// tests, and reusing it keeps the serving hot path allocation-light.
+	var frontier []graph.NodeID
 	for k := 0; k < res.Residues.NumHops() && k < maxHops; k++ {
 		hop := res.Residues.hops[k]
 		stop := w.Stop(k)
-		// Collect the frontier first: deleting while ranging is legal, but a
-		// stable slice keeps the iteration order deterministic for tests.
-		frontier := make([]graph.NodeID, 0, len(hop))
+		frontier = frontier[:0]
 		for v, r := range hop {
 			if r > rmax*float64(g.Degree(v)) {
 				frontier = append(frontier, v)
@@ -183,9 +193,12 @@ func HKPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 			delete(hop, v)
 			res.PushOperations += int64(deg)
 			res.PushedNodes++
+			if err := cc.tick(int(deg)); err != nil {
+				return res, err
+			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // HKPushPlus implements Algorithm 4, the budgeted push used by TEA+.  It
@@ -194,6 +207,13 @@ func HKPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 // with ε = εr·δ, and only hops below the cap K are ever pushed (hop-K residue
 // is left for the walk phase).
 func HKPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64) *PushResult {
+	res, _ := hkPushPlus(g, seed, w, epsRel, delta, maxHopK, budget, nil)
+	return res
+}
+
+// hkPushPlus is HKPushPlus with a cancellation checkpoint charged per pushed
+// node, mirroring hkPush.
+func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64, cc *cancelChecker) (*PushResult, error) {
 	res := &PushResult{
 		Reserve:  make(map[graph.NodeID]float64),
 		Residues: &ResidueVectors{},
@@ -211,10 +231,11 @@ func HKPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 	const checkEvery = 4096
 	sinceCheck := int64(0)
 
+	var frontier []graph.NodeID
 	for k := 0; k < res.Residues.NumHops() && k < maxHopK; k++ {
 		hop := res.Residues.hops[k]
 		stop := w.Stop(k)
-		frontier := make([]graph.NodeID, 0, len(hop))
+		frontier = frontier[:0]
 		for v, r := range hop {
 			if r > threshold*float64(g.Degree(v)) {
 				frontier = append(frontier, v)
@@ -229,7 +250,7 @@ func HKPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 			if budget > 0 && res.PushOperations+int64(deg) > budget {
 				// Budget exhausted: leave the remaining residues in place and
 				// let TEA+ clean up with random walks.
-				return res
+				return res, nil
 			}
 			res.Reserve[v] += stop * r
 			spread := (1 - stop) * r
@@ -242,20 +263,23 @@ func HKPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 			delete(hop, v)
 			res.PushOperations += int64(deg)
 			res.PushedNodes++
+			if err := cc.tick(int(deg)); err != nil {
+				return res, err
+			}
 			sinceCheck += int64(deg)
 			if sinceCheck >= checkEvery {
 				sinceCheck = 0
 				if res.Residues.NormalizedMaxSum(g) <= target {
 					res.SatisfiedInequality11 = true
-					return res
+					return res, nil
 				}
 			}
 		}
 		if res.Residues.NormalizedMaxSum(g) <= target {
 			res.SatisfiedInequality11 = true
-			return res
+			return res, nil
 		}
 	}
 	res.SatisfiedInequality11 = res.Residues.NormalizedMaxSum(g) <= target
-	return res
+	return res, nil
 }

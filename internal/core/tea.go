@@ -7,7 +7,6 @@ import (
 
 	"hkpr/internal/graph"
 	"hkpr/internal/heatkernel"
-	"hkpr/internal/xrand"
 )
 
 // TEA implements Algorithm 3, the first-cut two-phase estimator: an HK-Push
@@ -28,12 +27,16 @@ func TEA(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return teaWithWeights(g, seed, opts, w)
+	return teaWithWeights(g, seed, opts, w, nil)
 }
 
-// teaWithWeights is the seam used by the benchmark harness to reuse one
-// weight table across many queries with the same heat constant.
-func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights) (*Result, error) {
+// teaWithWeights is the seam used by the benchmark harness and the serving
+// layer to reuse one weight table across many queries with the same heat
+// constant.  cc (nil allowed) carries the query's cancellation checkpoints.
+func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, cc *cancelChecker) (*Result, error) {
+	if err := cc.err(); err != nil {
+		return nil, err
+	}
 	pfAdj := adjustedPf(g, opts)
 	omega := omegaTEA(opts.EpsRel, opts.Delta, pfAdj)
 	rmax := opts.RmaxScale / (omega * opts.T)
@@ -44,18 +47,24 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 	}
 
 	pushStart := time.Now()
-	push := HKPush(g, seed, w, rmax, maxHops)
+	push, err := hkPush(g, seed, w, rmax, maxHops, cc)
+	if err != nil {
+		return nil, fmt.Errorf("core: TEA push phase: %w", err)
+	}
 	pushTime := time.Since(pushStart)
 
 	scores := push.Reserve
 	alpha := push.Residues.TotalMass()
 	nr := int64(math.Ceil(alpha * omega))
 
-	rng := xrand.New(opts.Seed ^ uint64(seed)*0x9e3779b97f4a7c15)
-	entries, weights := collectWalkEntries(push.Residues)
+	rng := getRNG(opts.Seed ^ uint64(seed)*0x9e3779b97f4a7c15)
+	defer putRNG(rng)
+	buf := getWalkBuffers()
+	defer buf.release()
+	entries, weights := collectWalkEntries(push.Residues, buf)
 
 	walkStart := time.Now()
-	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap)
+	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap, cc)
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA walk phase: %w", err)
 	}
@@ -100,12 +109,23 @@ func MonteCarloOnly(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	return monteCarloWithWeights(g, seed, opts, w, nil)
+}
+
+// monteCarloWithWeights is the weight-table-sharing, cancellable seam behind
+// MonteCarloOnly, used by the Estimator so serving workloads do not rebuild
+// the Poisson table on every query.
+func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, cc *cancelChecker) (*Result, error) {
+	if err := cc.err(); err != nil {
+		return nil, err
+	}
 	// The plain Monte-Carlo analysis uses a union bound over all n nodes, so
 	// the walk count uses log(n/pf) rather than log(1/p'_f).
 	nr := int64(math.Ceil(2 * (1 + opts.EpsRel/3) * math.Log(float64(g.N())/opts.FailureProb) /
 		(opts.EpsRel * opts.EpsRel * opts.Delta)))
 
-	rng := xrand.New(opts.Seed ^ uint64(seed)*0x517cc1b727220a95)
+	rng := getRNG(opts.Seed ^ uint64(seed)*0x517cc1b727220a95)
+	defer putRNG(rng)
 	scores := make(map[graph.NodeID]float64)
 	start := time.Now()
 	var steps int64
@@ -114,6 +134,9 @@ func MonteCarloOnly(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, e
 		end, st := KRandomWalk(g, rng, w, seed, 0, opts.WalkLengthCap)
 		scores[end] += increment
 		steps += int64(st)
+		if err := cc.tick(st + 1); err != nil {
+			return nil, fmt.Errorf("core: Monte-Carlo walk phase: %w", err)
+		}
 	}
 	walkTime := time.Since(start)
 

@@ -7,7 +7,6 @@ import (
 
 	"hkpr/internal/graph"
 	"hkpr/internal/heatkernel"
-	"hkpr/internal/xrand"
 )
 
 // TEAPlus implements Algorithm 5, the optimized estimator.  It runs HK-Push+
@@ -31,19 +30,26 @@ func TEAPlus(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return teaPlusWithWeights(g, seed, opts, w)
+	return teaPlusWithWeights(g, seed, opts, w, nil)
 }
 
-// teaPlusWithWeights is the seam used by the harness to share one weight
-// table across queries.
-func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights) (*Result, error) {
+// teaPlusWithWeights is the seam used by the harness and the serving layer to
+// share one weight table across queries.  cc (nil allowed) carries the
+// query's cancellation checkpoints.
+func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, cc *cancelChecker) (*Result, error) {
+	if err := cc.err(); err != nil {
+		return nil, err
+	}
 	pfAdj := adjustedPf(g, opts)
 	omega := omegaTEAPlus(opts.EpsRel, opts.Delta, pfAdj)
 	budget := int64(math.Ceil(omega * opts.T / 2))
 	k := hopCap(opts.C, opts.EpsRel, opts.Delta, g.AverageDegree(), w)
 
 	pushStart := time.Now()
-	push := HKPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget)
+	push, err := hkPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget, cc)
+	if err != nil {
+		return nil, fmt.Errorf("core: TEA+ push phase: %w", err)
+	}
 	pushTime := time.Since(pushStart)
 
 	scores := push.Reserve
@@ -72,11 +78,14 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 
 	alpha := push.Residues.TotalMass()
 	nr := int64(math.Ceil(alpha * omega))
-	entries, weights := collectWalkEntries(push.Residues)
+	buf := getWalkBuffers()
+	defer buf.release()
+	entries, weights := collectWalkEntries(push.Residues, buf)
 
-	rng := xrand.New(opts.Seed ^ uint64(seed)*0x2545f4914f6cdd1d)
+	rng := getRNG(opts.Seed ^ uint64(seed)*0x2545f4914f6cdd1d)
+	defer putRNG(rng)
 	walkStart := time.Now()
-	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap)
+	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap, cc)
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA+ walk phase: %w", err)
 	}
@@ -156,10 +165,13 @@ func TEAPlusNoReduction(g *graph.Graph, seed graph.NodeID, opts Options) (*Resul
 
 	alpha := push.Residues.TotalMass()
 	nr := int64(math.Ceil(alpha * omega))
-	entries, weights := collectWalkEntries(push.Residues)
-	rng := xrand.New(opts.Seed ^ uint64(seed)*0x2545f4914f6cdd1d)
+	buf := getWalkBuffers()
+	defer buf.release()
+	entries, weights := collectWalkEntries(push.Residues, buf)
+	rng := getRNG(opts.Seed ^ uint64(seed)*0x2545f4914f6cdd1d)
+	defer putRNG(rng)
 	walkStart := time.Now()
-	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap)
+	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap, nil)
 	if err != nil {
 		return nil, err
 	}

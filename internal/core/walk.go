@@ -49,12 +49,14 @@ type walkEntry struct {
 	residue float64
 }
 
-// collectWalkEntries flattens the non-zero residues into a slice plus the
-// weight vector used to build the alias table.  Entries are sorted by
-// (hop, node) so results are reproducible for a fixed RNG seed despite Go's
-// randomized map iteration order.
-func collectWalkEntries(res *ResidueVectors) ([]walkEntry, []float64) {
-	entries := make([]walkEntry, 0, res.NonZeroEntries())
+// collectWalkEntries flattens the non-zero residues into buf's entry slice
+// plus the weight vector used to build the alias table.  Entries are sorted
+// by (hop, node) so results are reproducible for a fixed RNG seed despite
+// Go's randomized map iteration order.  The returned slices alias buf and are
+// recycled when buf is released, which keeps the serving hot path from
+// re-allocating them on every query.
+func collectWalkEntries(res *ResidueVectors, buf *walkBuffers) ([]walkEntry, []float64) {
+	entries := buf.entries[:0]
 	res.Entries(func(k int, v graph.NodeID, r float64) {
 		if r <= 0 {
 			return
@@ -67,17 +69,19 @@ func collectWalkEntries(res *ResidueVectors) ([]walkEntry, []float64) {
 		}
 		return entries[i].node < entries[j].node
 	})
-	weights := make([]float64, len(entries))
-	for i, e := range entries {
-		weights[i] = e.residue
+	weights := buf.weights[:0]
+	for _, e := range entries {
+		weights = append(weights, e.residue)
 	}
+	buf.entries, buf.weights = entries, weights
 	return entries, weights
 }
 
 // runWalkPhase performs nr random walks whose start entries are sampled from
 // the residue-weighted alias table, adding α/nr to the score of each walk's
 // end node (Algorithm 3 lines 9-12, shared by TEA and TEA+).  It returns the
-// number of walks done and the total number of steps taken.
+// number of walks done and the total number of steps taken.  The optional
+// cancellation checker is charged per walk with the walk's step count.
 func runWalkPhase(
 	g *graph.Graph,
 	rng *xrand.RNG,
@@ -88,6 +92,7 @@ func runWalkPhase(
 	alpha float64,
 	nr int64,
 	lengthCap int,
+	cc *cancelChecker,
 ) (walks, steps int64, err error) {
 	if nr <= 0 || len(entries) == 0 || alpha <= 0 {
 		return 0, 0, nil
@@ -102,6 +107,9 @@ func runWalkPhase(
 		end, st := KRandomWalk(g, rng, w, e.node, e.hop, lengthCap)
 		scores[end] += increment
 		steps += int64(st)
+		if err := cc.tick(st + 1); err != nil {
+			return i + 1, steps, err
+		}
 	}
 	return nr, steps, nil
 }

@@ -1,0 +1,120 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// numCacheShards spreads lock contention across independent LRU lists; the
+// byte budget is split evenly between shards.  A power of two keeps the
+// shard-picking a mask.
+const numCacheShards = 16
+
+// resultCache is a sharded, byte-budgeted LRU of *Response values.  Each
+// shard owns a fraction of the budget and evicts from its own tail, which
+// approximates global LRU well once keys spread across shards and keeps every
+// operation O(1) under a per-shard mutex.
+type resultCache struct {
+	shards         [numCacheShards]cacheShard
+	budgetPerShard int64
+	capacity       int64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	bytes int64
+}
+
+type cacheEntry struct {
+	key  string
+	resp *Response
+	cost int64
+}
+
+func newResultCache(budget int64) *resultCache {
+	c := &resultCache{
+		budgetPerShard: budget / numCacheShards,
+		capacity:       budget,
+	}
+	if c.budgetPerShard < 1 {
+		c.budgetPerShard = 1
+	}
+	for i := range c.shards {
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+// shardFor picks the shard by FNV-1a of the key.
+func (c *resultCache) shardFor(key string) *cacheShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return &c.shards[h&(numCacheShards-1)]
+}
+
+// get returns the cached response for key, promoting it to most recent.
+func (c *resultCache) get(key string) (*Response, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).resp, true
+}
+
+// set stores resp under key at the given cost, evicting least-recently-used
+// entries until the shard fits its budget.  Entries costlier than a whole
+// shard budget are not stored at all (caching them would flush everything
+// else for a single-entry cache).
+func (c *resultCache) set(key string, resp *Response, cost int64) {
+	if cost > c.budgetPerShard {
+		return
+	}
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		s.bytes += cost - ent.cost
+		ent.resp, ent.cost = resp, cost
+		s.ll.MoveToFront(el)
+	} else {
+		s.items[key] = s.ll.PushFront(&cacheEntry{key: key, resp: resp, cost: cost})
+		s.bytes += cost
+	}
+	for s.bytes > c.budgetPerShard {
+		tail := s.ll.Back()
+		if tail == nil {
+			break
+		}
+		ent := tail.Value.(*cacheEntry)
+		s.ll.Remove(tail)
+		delete(s.items, ent.key)
+		s.bytes -= ent.cost
+	}
+}
+
+// stats returns the total entry count and pinned bytes across shards.
+func (c *resultCache) stats() (entries int64, bytes int64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		entries += int64(s.ll.Len())
+		bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return entries, bytes
+}

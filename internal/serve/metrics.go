@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// numLatencyBuckets spans 1µs..2^25µs (~33.5s) in power-of-two buckets, plus
+// a final overflow bucket.
+const numLatencyBuckets = 27
+
+// Metrics is the engine's counter core.  All fields are updated atomically;
+// read them through Engine.Snapshot (or directly in tests).
+type Metrics struct {
+	// Requests counts every Do call, however it was answered.
+	Requests atomic.Int64
+	// Executions counts queries that actually ran a core estimator.
+	Executions atomic.Int64
+	// Completed counts tasks that finished (successfully or not).
+	Completed atomic.Int64
+	// Errors counts executions that failed for reasons other than
+	// cancellation.
+	Errors atomic.Int64
+	// Canceled counts executions aborted by context cancellation or deadline
+	// (including tasks canceled while still queued).
+	Canceled atomic.Int64
+	// CacheHits / CacheMisses count result-cache lookups.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// Coalesced counts callers that shared another in-flight execution.
+	Coalesced atomic.Int64
+	// Shed counts queries rejected because the admission queue was full.
+	Shed atomic.Int64
+	// Abandoned counts callers whose context ended before their query did.
+	Abandoned atomic.Int64
+	// InFlight is the number of queries currently executing.
+	InFlight atomic.Int64
+
+	latencyBuckets [numLatencyBuckets]atomic.Int64
+	latencyCount   atomic.Int64
+	latencySum     atomic.Int64 // nanoseconds
+}
+
+func newMetrics() *Metrics { return &Metrics{} }
+
+// observeLatency records one execution duration in the histogram.
+func (m *Metrics) observeLatency(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for b < numLatencyBuckets-1 && us > int64(1)<<b {
+		b++
+	}
+	m.latencyBuckets[b].Add(1)
+	m.latencyCount.Add(1)
+	m.latencySum.Add(d.Nanoseconds())
+}
+
+// latencyBucketUpperUS returns bucket b's inclusive upper bound in
+// microseconds, or -1 for the overflow bucket.
+func latencyBucketUpperUS(b int) int64 {
+	if b >= numLatencyBuckets-1 {
+		return -1
+	}
+	return int64(1) << b
+}
+
+// quantileMS extracts an approximate quantile (0..1) from the cumulative
+// histogram, reported as the matching bucket's upper bound in milliseconds.
+func (m *Metrics) quantileMS(q float64) float64 {
+	total := m.latencyCount.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < numLatencyBuckets; b++ {
+		cum += m.latencyBuckets[b].Load()
+		if cum >= rank {
+			upper := latencyBucketUpperUS(b)
+			if upper < 0 {
+				upper = int64(1) << (numLatencyBuckets - 2)
+			}
+			return float64(upper) / 1e3
+		}
+	}
+	return 0
+}
+
+// Snapshot is a point-in-time copy of the engine's serving state, shaped for
+// JSON status endpoints.
+type Snapshot struct {
+	Workers       int   `json:"workers"`
+	QueueDepth    int   `json:"queue_depth"`
+	QueueCapacity int   `json:"queue_capacity"`
+	InFlight      int64 `json:"in_flight"`
+
+	Requests   int64 `json:"requests"`
+	Executions int64 `json:"executions"`
+	Completed  int64 `json:"completed"`
+	Errors     int64 `json:"errors"`
+	Canceled   int64 `json:"canceled"`
+	Coalesced  int64 `json:"coalesced"`
+	Shed       int64 `json:"shed"`
+	Abandoned  int64 `json:"abandoned"`
+
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	CacheEntries  int64 `json:"cache_entries"`
+	CacheBytes    int64 `json:"cache_bytes"`
+	CacheCapacity int64 `json:"cache_capacity"`
+
+	LatencyCount  int64   `json:"latency_count"`
+	LatencyMeanMS float64 `json:"latency_mean_ms"`
+	LatencyP50MS  float64 `json:"latency_p50_ms"`
+	LatencyP90MS  float64 `json:"latency_p90_ms"`
+	LatencyP99MS  float64 `json:"latency_p99_ms"`
+}
+
+// Snapshot captures the current serving state.
+func (e *Engine) Snapshot() Snapshot {
+	m := e.metrics
+	s := Snapshot{
+		Workers:       e.cfg.Workers,
+		QueueDepth:    len(e.queue),
+		QueueCapacity: e.cfg.QueueDepth,
+		InFlight:      m.InFlight.Load(),
+		Requests:      m.Requests.Load(),
+		Executions:    m.Executions.Load(),
+		Completed:     m.Completed.Load(),
+		Errors:        m.Errors.Load(),
+		Canceled:      m.Canceled.Load(),
+		Coalesced:     m.Coalesced.Load(),
+		Shed:          m.Shed.Load(),
+		Abandoned:     m.Abandoned.Load(),
+		CacheHits:     m.CacheHits.Load(),
+		CacheMisses:   m.CacheMisses.Load(),
+		LatencyCount:  m.latencyCount.Load(),
+		LatencyP50MS:  m.quantileMS(0.50),
+		LatencyP90MS:  m.quantileMS(0.90),
+		LatencyP99MS:  m.quantileMS(0.99),
+	}
+	if n := s.LatencyCount; n > 0 {
+		s.LatencyMeanMS = float64(m.latencySum.Load()) / float64(n) / 1e6
+	}
+	if e.cache != nil {
+		s.CacheEntries, s.CacheBytes = e.cache.stats()
+		s.CacheCapacity = e.cache.capacity
+	}
+	return s
+}
+
+// WritePrometheus emits the serving metrics in the Prometheus text exposition
+// format under the hkpr_serve_* namespace.
+func (e *Engine) WritePrometheus(w io.Writer) {
+	m := e.metrics
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP hkpr_serve_%s %s\n# TYPE hkpr_serve_%s counter\nhkpr_serve_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP hkpr_serve_%s %s\n# TYPE hkpr_serve_%s gauge\nhkpr_serve_%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("requests_total", "Queries submitted to the engine.", m.Requests.Load())
+	counter("executions_total", "Queries that ran a core estimator.", m.Executions.Load())
+	counter("errors_total", "Executions failed for non-cancellation reasons.", m.Errors.Load())
+	counter("canceled_total", "Executions aborted by cancellation or deadline.", m.Canceled.Load())
+	counter("cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
+	counter("cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())
+	counter("coalesced_total", "Callers that shared an in-flight execution.", m.Coalesced.Load())
+	counter("shed_total", "Queries rejected by admission control.", m.Shed.Load())
+	counter("abandoned_total", "Callers that left before their query finished.", m.Abandoned.Load())
+	gauge("in_flight", "Queries currently executing.", m.InFlight.Load())
+	gauge("queue_depth", "Queries waiting in the admission queue.", int64(len(e.queue)))
+	gauge("queue_capacity", "Admission queue capacity.", int64(e.cfg.QueueDepth))
+	gauge("workers", "Worker goroutines.", int64(e.cfg.Workers))
+	if e.cache != nil {
+		entries, bytes := e.cache.stats()
+		gauge("cache_entries", "Entries in the result cache.", entries)
+		gauge("cache_bytes", "Bytes pinned by the result cache.", bytes)
+		gauge("cache_capacity_bytes", "Result-cache byte budget.", e.cache.capacity)
+	}
+
+	fmt.Fprintf(w, "# HELP hkpr_serve_latency_seconds Execution latency of served queries.\n")
+	fmt.Fprintf(w, "# TYPE hkpr_serve_latency_seconds histogram\n")
+	var cum int64
+	for b := 0; b < numLatencyBuckets; b++ {
+		cum += m.latencyBuckets[b].Load()
+		if upper := latencyBucketUpperUS(b); upper >= 0 {
+			fmt.Fprintf(w, "hkpr_serve_latency_seconds_bucket{le=\"%g\"} %d\n", float64(upper)/1e6, cum)
+		}
+	}
+	fmt.Fprintf(w, "hkpr_serve_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "hkpr_serve_latency_seconds_sum %g\n", float64(m.latencySum.Load())/1e9)
+	fmt.Fprintf(w, "hkpr_serve_latency_seconds_count %d\n", m.latencyCount.Load())
+}

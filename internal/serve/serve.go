@@ -1,0 +1,512 @@
+// Package serve is the concurrent query-serving engine that sits between the
+// public hkpr API and the internal/core estimators.  It turns the library's
+// one-loaded-graph/many-independent-queries deployment — the paper's §1
+// interactive-exploration scenario at production traffic — into a managed
+// subsystem:
+//
+//   - a worker-pool scheduler with a bounded admission queue: at most Workers
+//     queries execute at once, at most QueueDepth more wait, and anything
+//     beyond that is shed immediately with ErrOverloaded instead of piling up
+//     latency;
+//   - per-query cancellation: every execution runs under a context derived
+//     from the engine's lifetime, the configured DefaultTimeout and the
+//     caller's deadline, threaded into the push/walk loops of internal/core
+//     through the core.OptionsContext seam, so abandoned or timed-out queries
+//     stop consuming CPU within a few thousand edge traversals;
+//   - a sharded, byte-budgeted LRU result cache keyed by the resolved query
+//     parameters (seed, method, t, εr, δ, …), so repeated queries — the common
+//     case when many users explore the same neighbourhood — cost a map lookup;
+//   - request coalescing (singleflight): concurrent identical cacheable
+//     queries execute the underlying estimator once and share the result;
+//   - shared per-graph state: one heat-kernel weight table (via the
+//     core.Estimator) and pooled RNGs and walk buffers inside core, so the
+//     steady-state hot path allocates little beyond the result itself;
+//   - a metrics core (request/execution counters, cache hit/miss, coalesced,
+//     shed, latency histogram, queue depth) exposed as a Snapshot and in
+//     Prometheus text format.
+//
+// Responses handed out by the engine may be shared with the cache and with
+// coalesced callers; treat Response.Result and Response.Sweep as read-only.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hkpr/internal/cluster"
+	"hkpr/internal/core"
+	"hkpr/internal/graph"
+)
+
+// Method identifiers accepted by Request.Method.  They match the public API's
+// clusterer method names; the empty string means MethodTEAPlus.
+const (
+	MethodTEAPlus    = "tea+"
+	MethodTEA        = "tea"
+	MethodMonteCarlo = "monte-carlo"
+)
+
+// Errors returned by Engine.Do.
+var (
+	// ErrOverloaded is returned when the admission queue is full; the caller
+	// should back off (HTTP 503 territory).
+	ErrOverloaded = errors.New("serve: admission queue full")
+	// ErrClosed is returned for queries submitted to (or still queued in) an
+	// engine that has been closed.
+	ErrClosed = errors.New("serve: engine closed")
+	// ErrUnknownMethod is returned (wrapped) for a Request.Method outside the
+	// supported set; callers can errors.Is against it to map to a 4xx.
+	ErrUnknownMethod = errors.New("serve: unknown method")
+)
+
+// DefaultCacheBytes is the result-cache budget when Config.CacheBytes is 0.
+const DefaultCacheBytes int64 = 64 << 20
+
+// Config tunes an Engine.  The zero value gives GOMAXPROCS workers, a queue
+// of 4× that, a 64 MiB cache and no default timeout.
+type Config struct {
+	// Workers is the number of concurrently executing queries.  <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue (queries admitted but not yet
+	// executing).  <= 0 means 4×Workers.
+	QueueDepth int
+	// CacheBytes is the result-cache budget in bytes.  0 means
+	// DefaultCacheBytes; negative disables caching (and with it coalescing,
+	// which is keyed the same way).
+	CacheBytes int64
+	// DefaultTimeout bounds each query's execution when the caller's context
+	// carries no deadline.  0 means no timeout.
+	DefaultTimeout time.Duration
+	// CancelCheckEvery is the number of work units (push operations or walk
+	// steps) between cancellation checks inside core.  0 means
+	// core.DefaultCancelCheckEvery.
+	CancelCheckEvery int
+}
+
+// withDefaults resolves the zero fields of c.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.CacheBytes == 0 {
+		c.CacheBytes = DefaultCacheBytes
+	}
+	return c
+}
+
+// Request describes one HKPR query.
+type Request struct {
+	// Seed is the query node.
+	Seed graph.NodeID
+	// Method is one of MethodTEAPlus, MethodTEA, MethodMonteCarlo; ""
+	// means MethodTEAPlus.
+	Method string
+	// Opts carries per-query overrides (RNG Seed, EpsRel, Delta, …); zero
+	// fields inherit the engine's estimator settings.
+	Opts core.Options
+	// Sweep requests the sweep cut over the HKPR vector in addition to the
+	// vector itself.
+	Sweep bool
+	// NoCache bypasses the result cache and coalescing for this request
+	// (it neither reads nor populates the cache).
+	NoCache bool
+}
+
+// Response is the outcome of one query.  Result and Sweep may be shared with
+// the cache and with coalesced callers and must be treated as read-only.
+type Response struct {
+	// Seed echoes the query node.
+	Seed graph.NodeID
+	// Method is the resolved method identifier.
+	Method string
+	// Result is the approximate HKPR vector.
+	Result *core.Result
+	// Sweep is the sweep-cut outcome, present when Request.Sweep was set.
+	Sweep *cluster.SweepResult
+	// Cached reports that the response was served from the result cache.
+	Cached bool
+	// Coalesced reports that this caller shared another in-flight execution
+	// of the same query.
+	Coalesced bool
+	// QueueWait is the time the query spent in the admission queue (zero for
+	// cache hits and coalesced callers).
+	QueueWait time.Duration
+	// Elapsed is the execution time of the estimator (and sweep), zero for
+	// cache hits.
+	Elapsed time.Duration
+}
+
+// Engine is the query-serving subsystem.  Create one per loaded graph with
+// New, issue queries with Do, and release its workers with Close.  All
+// methods are safe for concurrent use.
+type Engine struct {
+	est *core.Estimator
+	g   *graph.Graph
+	cfg Config
+
+	cache   *resultCache // nil when disabled
+	metrics *Metrics
+
+	queue   chan *task
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu         sync.Mutex
+	flight     map[string]*task // in-flight cacheable executions, by cache key
+	closed     bool             // guarded by mu; authoritative for admission
+	closedFast atomic.Bool      // mirrors closed for the lock-free fast path
+
+	// execGate, when set (tests only), runs in the worker immediately before
+	// the estimator call, letting tests hold executions in flight.
+	execGate func(*Request)
+}
+
+// New builds an Engine over a prepared estimator (whose graph, weight table
+// and adjusted failure probability are shared by every query) and starts its
+// workers.
+func New(est *core.Estimator, cfg Config) (*Engine, error) {
+	if est == nil {
+		return nil, errors.New("serve: nil estimator")
+	}
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		est:     est,
+		g:       est.Graph(),
+		cfg:     cfg,
+		metrics: newMetrics(),
+		queue:   make(chan *task, cfg.QueueDepth),
+		baseCtx: ctx,
+		cancel:  cancel,
+		flight:  make(map[string]*task),
+	}
+	if cfg.CacheBytes > 0 {
+		e.cache = newResultCache(cfg.CacheBytes)
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e, nil
+}
+
+// Graph returns the graph the engine serves.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Options returns the estimator's resolved default options.
+func (e *Engine) Options() core.Options { return e.est.Options() }
+
+// Close stops the workers, aborts in-flight executions and fails any queries
+// still queued with ErrClosed.  It is idempotent; queries submitted after
+// Close fail with ErrClosed.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.closedFast.Store(true)
+	e.mu.Unlock()
+	e.cancel()
+	e.wg.Wait()
+	for {
+		select {
+		case t := <-e.queue:
+			t.cancel()
+			e.finish(t, nil, ErrClosed)
+		default:
+			return nil
+		}
+	}
+}
+
+// Do answers one query.  It blocks until the query completes, is shed
+// (ErrOverloaded), or ctx is done — in which case the underlying execution is
+// aborted too, unless other coalesced callers still want the result.
+func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.closedFast.Load() {
+		return nil, ErrClosed
+	}
+	method, err := normalizeMethod(req.Method)
+	if err != nil {
+		return nil, err
+	}
+	req.Method = method
+	e.metrics.Requests.Add(1)
+
+	key := cacheKey(method, req.Seed, req.Sweep, e.est.Resolve(req.Opts))
+	cacheable := !req.NoCache && e.cache != nil
+	if cacheable {
+		if resp, ok := e.cache.get(key); ok {
+			e.metrics.CacheHits.Add(1)
+			out := *resp
+			out.Cached = true
+			out.QueueWait, out.Elapsed = 0, 0
+			return &out, nil
+		}
+		e.metrics.CacheMisses.Add(1)
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if cacheable {
+		// Join an in-flight execution only if it is still live: a task whose
+		// last waiter abandoned it has been (or is about to be) canceled, and
+		// joining it would surface a context error the new caller never
+		// caused.  The waiter count going 0→1 detects the racing case.
+		if t, ok := e.flight[key]; ok && t.ctx.Err() == nil {
+			if t.waiters.Add(1) > 1 {
+				e.mu.Unlock()
+				e.metrics.Coalesced.Add(1)
+				return e.wait(ctx, t, true)
+			}
+			t.waiters.Add(-1)
+		}
+	}
+	t := e.newTask(ctx, key, req)
+	var admitted bool
+	select {
+	case e.queue <- t:
+		admitted = true
+		if cacheable {
+			e.flight[key] = t
+		}
+	default:
+	}
+	e.mu.Unlock()
+	if !admitted {
+		t.cancel()
+		e.metrics.Shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	return e.wait(ctx, t, false)
+}
+
+// task is one admitted execution, possibly shared by several coalesced
+// callers.
+type task struct {
+	key      string
+	req      Request
+	enqueued time.Time
+
+	// ctx governs the execution; it is canceled when the engine closes, the
+	// deadline passes, or every interested caller has abandoned the query.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	waiters atomic.Int32
+
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// newTask derives the execution context: engine lifetime, then the caller's
+// deadline if any, else the configured default timeout.
+func (e *Engine) newTask(callerCtx context.Context, key string, req Request) *task {
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if dl, ok := callerCtx.Deadline(); ok {
+		ctx, cancel = context.WithDeadline(e.baseCtx, dl)
+	} else if e.cfg.DefaultTimeout > 0 {
+		ctx, cancel = context.WithTimeout(e.baseCtx, e.cfg.DefaultTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(e.baseCtx)
+	}
+	t := &task{
+		key:      key,
+		req:      req,
+		enqueued: time.Now(),
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+	t.waiters.Add(1)
+	return t
+}
+
+// wait blocks until t completes or ctx is done.  A caller that gives up
+// detaches from the task; the last caller to leave cancels the execution.
+func (e *Engine) wait(ctx context.Context, t *task, coalesced bool) (*Response, error) {
+	select {
+	case <-t.done:
+		if t.err != nil {
+			return nil, t.err
+		}
+		out := *t.resp
+		out.Coalesced = coalesced
+		return &out, nil
+	case <-ctx.Done():
+		if t.waiters.Add(-1) == 0 {
+			t.cancel()
+			// Retire the abandoned task from the flight table so later
+			// identical queries start fresh instead of inheriting its
+			// cancellation.
+			e.mu.Lock()
+			if e.flight[t.key] == t {
+				delete(e.flight, t.key)
+			}
+			e.mu.Unlock()
+		}
+		e.metrics.Abandoned.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// worker pulls tasks off the admission queue until the engine closes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.baseCtx.Done():
+			return
+		case t := <-e.queue:
+			e.run(t)
+		}
+	}
+}
+
+// run executes one task and publishes its outcome.
+func (e *Engine) run(t *task) {
+	defer t.cancel()
+	wait := time.Since(t.enqueued)
+	if err := t.ctx.Err(); err != nil {
+		// Canceled or timed out while queued; don't waste a core on it.
+		e.metrics.Canceled.Add(1)
+		e.finish(t, nil, err)
+		return
+	}
+	if gate := e.execGate; gate != nil {
+		gate(&t.req)
+	}
+	e.metrics.Executions.Add(1)
+	e.metrics.InFlight.Add(1)
+	start := time.Now()
+	res, err := e.execute(t)
+	elapsed := time.Since(start)
+	e.metrics.InFlight.Add(-1)
+	e.metrics.observeLatency(elapsed)
+	if err != nil {
+		if t.ctx.Err() != nil {
+			e.metrics.Canceled.Add(1)
+		} else {
+			e.metrics.Errors.Add(1)
+		}
+		e.finish(t, nil, err)
+		return
+	}
+	resp := &Response{
+		Seed:      t.req.Seed,
+		Method:    t.req.Method,
+		Result:    res,
+		QueueWait: wait,
+		Elapsed:   elapsed,
+	}
+	if t.req.Sweep {
+		sw := cluster.Sweep(e.g, res.Scores)
+		resp.Sweep = &sw
+	}
+	if !t.req.NoCache && e.cache != nil {
+		e.cache.set(t.key, resp, responseCost(t.key, resp))
+	}
+	e.finish(t, resp, nil)
+}
+
+// execute dispatches to the estimator with the task's cancellation context.
+func (e *Engine) execute(t *task) (*core.Result, error) {
+	oc := core.OptionsContext{Ctx: t.ctx, CheckEvery: e.cfg.CancelCheckEvery}
+	switch t.req.Method {
+	case MethodTEA:
+		return e.est.TEAContext(oc, t.req.Seed, t.req.Opts)
+	case MethodMonteCarlo:
+		return e.est.MonteCarloContext(oc, t.req.Seed, t.req.Opts)
+	default:
+		return e.est.TEAPlusContext(oc, t.req.Seed, t.req.Opts)
+	}
+}
+
+// finish records the outcome, retires the task from the flight table (after
+// any cache population, so there is no window where neither serves the key)
+// and wakes every waiter.
+func (e *Engine) finish(t *task, resp *Response, err error) {
+	t.resp, t.err = resp, err
+	e.mu.Lock()
+	if e.flight[t.key] == t {
+		delete(e.flight, t.key)
+	}
+	e.mu.Unlock()
+	close(t.done)
+	e.metrics.Completed.Add(1)
+}
+
+// normalizeMethod validates a request method, resolving "" to TEA+.
+func normalizeMethod(m string) (string, error) {
+	switch m {
+	case "", MethodTEAPlus:
+		return MethodTEAPlus, nil
+	case MethodTEA, MethodMonteCarlo:
+		return m, nil
+	default:
+		return "", fmt.Errorf("%w: must be %q, %q or %q, got %q",
+			ErrUnknownMethod, MethodTEAPlus, MethodTEA, MethodMonteCarlo, m)
+	}
+}
+
+// cacheKey derives the cache/coalescing identity of a query from its resolved
+// parameters.  Two requests with the same key are guaranteed to produce the
+// same Response (the estimators are deterministic in these inputs).
+func cacheKey(method string, seed graph.NodeID, sweep bool, o core.Options) string {
+	b := make([]byte, 0, 128)
+	b = append(b, method...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(seed), 10)
+	b = append(b, '|')
+	if sweep {
+		b = append(b, '1')
+	} else {
+		b = append(b, '0')
+	}
+	for _, f := range [...]float64{o.T, o.EpsRel, o.Delta, o.FailureProb, o.C, o.RmaxScale} {
+		b = append(b, '|')
+		b = strconv.AppendFloat(b, f, 'g', -1, 64)
+	}
+	b = append(b, '|')
+	b = strconv.AppendUint(b, o.Seed, 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(o.MaxPushHops), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(o.WalkLengthCap), 10)
+	return string(b)
+}
+
+// responseCost estimates the bytes a cached response pins: the sparse score
+// map, the sweep slices, and fixed struct overhead.
+func responseCost(key string, r *Response) int64 {
+	const mapEntryBytes = 48 // 8-byte key + 8-byte value + bucket overhead
+	c := int64(256) + int64(len(key))
+	if r.Result != nil {
+		c += int64(len(r.Result.Scores)) * mapEntryBytes
+	}
+	if r.Sweep != nil {
+		c += int64(len(r.Sweep.Cluster)+len(r.Sweep.Order)) * 4
+		c += int64(len(r.Sweep.Profile)) * 8
+	}
+	return c
+}

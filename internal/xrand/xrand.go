@@ -23,6 +23,14 @@ type RNG struct {
 // New returns an RNG deterministically derived from seed.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the generator to the state New(seed) would produce.  It lets
+// callers (notably the serving layer's sync.Pool of RNGs) reuse an RNG
+// allocation across queries while keeping each query's stream deterministic.
+func (r *RNG) Reseed(seed uint64) {
 	// splitmix64 expansion of the seed into the four state words, as
 	// recommended by the xoshiro authors.
 	x := seed
@@ -39,7 +47,6 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 1
 	}
-	return r
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

@@ -320,3 +320,18 @@ func BenchmarkAliasSample(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestReseedMatchesNew(t *testing.T) {
+	r := New(1)
+	// Burn some state, then reseed: the stream must match a fresh generator.
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	r.Reseed(42)
+	fresh := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := r.Uint64(), fresh.Uint64(); got != want {
+			t.Fatalf("step %d: reseeded stream %d != fresh stream %d", i, got, want)
+		}
+	}
+}

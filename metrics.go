@@ -1,6 +1,16 @@
 package hkpr
 
-import "hkpr/internal/cluster"
+import (
+	"hkpr/internal/cluster"
+	"hkpr/internal/serve"
+)
+
+// ServeStats is a point-in-time snapshot of an Engine's serving metrics:
+// request/execution/error counters, cache hits and misses, coalesced and
+// shed queries, queue depth and capacity, and a latency-histogram summary
+// (mean, p50, p90, p99).  Obtain one with Engine.Stats; the Prometheus text
+// form of the same counters is written by Engine.WriteMetrics.
+type ServeStats = serve.Snapshot
 
 // ClusterStats summarizes a cluster's structural quality (size, volume, cut,
 // internal edges, conductance, internal density, normalized cut,

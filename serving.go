@@ -1,0 +1,131 @@
+package hkpr
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"hkpr/internal/core"
+	"hkpr/internal/serve"
+)
+
+// Serving-layer re-exports.  The concrete implementations live in
+// internal/serve; the aliases make the types nameable by callers.
+type (
+	// EngineConfig tunes an Engine: worker count, admission-queue depth,
+	// result-cache byte budget, default per-query timeout and the
+	// cancellation check interval.
+	EngineConfig = serve.Config
+	// ServeRequest is a raw serving-layer query (seed, method, per-query
+	// option overrides, sweep and cache directives).
+	ServeRequest = serve.Request
+	// ServeResponse is a raw serving-layer answer.  Its Result and Sweep may
+	// be shared with the engine's cache and must be treated as read-only.
+	ServeResponse = serve.Response
+)
+
+// Serving-layer errors.
+var (
+	// ErrOverloaded reports that the engine's admission queue was full and
+	// the query was shed; callers should back off and retry.
+	ErrOverloaded = serve.ErrOverloaded
+	// ErrEngineClosed reports a query issued against a closed Engine.
+	ErrEngineClosed = serve.ErrClosed
+	// ErrUnknownMethod reports a serving request whose method is not one of
+	// tea+, tea or monte-carlo.
+	ErrUnknownMethod = serve.ErrUnknownMethod
+)
+
+// Engine is the concurrent query-serving subsystem: a worker-pool scheduler
+// with bounded admission, a byte-budgeted LRU result cache with request
+// coalescing, per-query cancellation threaded into the core estimators, and
+// a metrics core.  Create one per loaded graph with NewEngine; it amortizes
+// the same per-graph state as a Clusterer and is safe for concurrent use by
+// any number of goroutines.
+type Engine struct {
+	eng *serve.Engine
+	g   *Graph
+}
+
+// NewEngine builds a serving engine for g.  Options.Delta defaults to 1/N()
+// if zero, as in NewClusterer; cfg's zero value gives GOMAXPROCS workers, a
+// 4×-deep admission queue and a 64 MiB result cache.
+func NewEngine(g *Graph, opts Options, cfg EngineConfig) (*Engine, error) {
+	if opts.Delta == 0 {
+		if g.N() > 1 {
+			opts.Delta = 1 / float64(g.N())
+		} else {
+			return nil, fmt.Errorf("hkpr: graph too small for local clustering")
+		}
+	}
+	est, err := core.NewEstimator(g, opts)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := serve.New(est, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, g: g}, nil
+}
+
+// Graph returns the graph the engine serves.
+func (e *Engine) Graph() *Graph { return e.g }
+
+// Options returns the engine's resolved default estimation options.
+func (e *Engine) Options() Options { return e.eng.Options() }
+
+// Close stops the workers, aborts in-flight queries and fails queued ones
+// with ErrEngineClosed.  It is idempotent.
+func (e *Engine) Close() error { return e.eng.Close() }
+
+// Do issues a raw serving-layer request.  It blocks until the query
+// completes, is shed (ErrOverloaded), or ctx is done.
+func (e *Engine) Do(ctx context.Context, req ServeRequest) (*ServeResponse, error) {
+	return e.eng.Do(ctx, req)
+}
+
+// LocalCluster answers one local clustering query (TEA+ then sweep) through
+// the scheduler and cache.
+func (e *Engine) LocalCluster(ctx context.Context, seed NodeID) (*LocalCluster, error) {
+	return e.LocalClusterWithOptions(ctx, seed, Options{}, MethodTEAPlus)
+}
+
+// LocalClusterWithOptions is LocalCluster with per-query option overrides and
+// an explicit method (tea+, tea or monte-carlo).
+func (e *Engine) LocalClusterWithOptions(ctx context.Context, seed NodeID, query Options, method Method) (*LocalCluster, error) {
+	resp, err := e.Do(ctx, ServeRequest{Seed: seed, Method: string(method), Opts: query, Sweep: true})
+	if err != nil {
+		return nil, err
+	}
+	return localClusterFromResponse(resp), nil
+}
+
+// Estimate computes the approximate HKPR vector for seed through the
+// scheduler and cache, without the sweep.  The returned Result may be shared
+// with the cache; treat it as read-only.
+func (e *Engine) Estimate(ctx context.Context, seed NodeID, method Method, query Options) (*Result, error) {
+	resp, err := e.Do(ctx, ServeRequest{Seed: seed, Method: string(method), Opts: query})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// Stats snapshots the engine's serving metrics.
+func (e *Engine) Stats() ServeStats { return e.eng.Snapshot() }
+
+// WriteMetrics writes the serving metrics in Prometheus text format.
+func (e *Engine) WriteMetrics(w io.Writer) { e.eng.WritePrometheus(w) }
+
+// localClusterFromResponse adapts a serving-layer response (which always
+// carries a sweep here) to the public LocalCluster shape.
+func localClusterFromResponse(resp *ServeResponse) *LocalCluster {
+	return &LocalCluster{
+		Seed:        resp.Seed,
+		Cluster:     resp.Sweep.Cluster,
+		Conductance: resp.Sweep.Conductance,
+		HKPR:        resp.Result,
+		Sweep:       *resp.Sweep,
+	}
+}

@@ -1,0 +1,113 @@
+package hkpr_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hkpr"
+)
+
+func TestEngineLocalCluster(t *testing.T) {
+	g, assign := sbmForAPI(t)
+	eng, err := hkpr.NewEngine(g, hkpr.Options{T: 5, FailureProb: 1e-4, Seed: 2}, hkpr.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	local, err := eng.LocalCluster(context.Background(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(local.Cluster) == 0 {
+		t.Fatal("empty cluster")
+	}
+	truth := assign.Communities()[assign[17]]
+	if f1 := hkpr.F1Score(local.Cluster, truth); f1 < 0.4 {
+		t.Errorf("F1=%v too low", f1)
+	}
+
+	// Identical query again: served from cache, same answer.
+	again, err := eng.LocalCluster(context.Background(), 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Conductance != local.Conductance || len(again.Cluster) != len(local.Cluster) {
+		t.Error("cached answer differs")
+	}
+	st := eng.Stats()
+	if st.CacheHits != 1 || st.Executions != 1 {
+		t.Errorf("hits=%d executions=%d, want 1/1", st.CacheHits, st.Executions)
+	}
+}
+
+func TestEngineEstimateAndMethods(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	eng, err := hkpr.NewEngine(g, hkpr.Options{T: 5, FailureProb: 1e-4, Delta: 0.01, Seed: 2}, hkpr.EngineConfig{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, m := range []hkpr.Method{hkpr.MethodTEAPlus, hkpr.MethodTEA, hkpr.MethodMonteCarlo} {
+		res, err := eng.Estimate(context.Background(), 3, m, hkpr.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if res.SupportSize() == 0 {
+			t.Fatalf("%s: empty result", m)
+		}
+	}
+	if _, err := eng.Estimate(context.Background(), 3, hkpr.MethodExact, hkpr.Options{}); err == nil {
+		t.Fatal("exact method should be rejected by the serving engine")
+	}
+}
+
+func TestEngineDeadline(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	eng, err := hkpr.NewEngine(g, hkpr.Options{T: 5, FailureProb: 1e-4, Seed: 2}, hkpr.EngineConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	// Tiny δ and hop cap make the walk phase effectively unbounded.
+	_, err = eng.LocalClusterWithOptions(ctx, 5, hkpr.Options{Delta: 1e-9, C: 1e-3}, hkpr.MethodTEAPlus)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expected DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestEngineCloseRejects(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	eng, err := hkpr.NewEngine(g, hkpr.Options{T: 5, FailureProb: 1e-4, Seed: 2}, hkpr.EngineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.LocalCluster(context.Background(), 1); !errors.Is(err, hkpr.ErrEngineClosed) {
+		t.Fatalf("expected ErrEngineClosed, got %v", err)
+	}
+}
+
+func TestEngineWriteMetrics(t *testing.T) {
+	g, _ := sbmForAPI(t)
+	eng, err := hkpr.NewEngine(g, hkpr.Options{T: 5, FailureProb: 1e-4, Seed: 2}, hkpr.EngineConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if _, err := eng.LocalCluster(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	eng.WriteMetrics(&sb)
+	if !strings.Contains(sb.String(), "hkpr_serve_requests_total 1") {
+		t.Errorf("metrics output missing request counter:\n%s", sb.String())
+	}
+}
