@@ -38,6 +38,18 @@
 // inside the core push/walk loops, and exports serving metrics
 // (Engine.Stats, Engine.WriteMetrics).  LocalClusterBatch and cmd/hkprserver
 // are built on it.
+//
+// # Parallelism
+//
+// The estimators' Monte-Carlo walk stage — where TEA/TEA+ spend nearly all
+// their time — can run sharded over Options.Parallelism goroutines.  For a
+// fixed Options.Seed the result is bit-identical at any parallelism (walks
+// are split over a fixed shard set with per-shard RNGs and merged in shard
+// order), so parallelism is purely a latency knob.  Inside an Engine,
+// workers and walk shards share the EngineConfig.CPUTokens budget: a lone
+// heavy query fans out across idle cores, a loaded engine degrades to one
+// core per query.  Use Options.WithSeed to pin a query's RNG seed — the
+// SeedSet field makes an explicit seed of 0 distinguishable from "inherit".
 package hkpr
 
 import (

@@ -256,6 +256,43 @@ func benchServeParallel(b *testing.B, workers int) {
 	})
 }
 
+// benchServeWalkHeavy measures cold-query latency of a walk-dominated TEA
+// query (loose rmax leaves ~all mass to the Monte-Carlo walk stage) at the
+// given intra-query parallelism.  Comparing the P=1 and P=4 variants shows
+// the sharded walk stage's latency win on multi-core hardware; results are
+// bit-identical across the variants, so this is purely a latency knob.
+func benchServeWalkHeavy(b *testing.B, parallelism int) {
+	g, err := hkpr.GeneratePLC(50000, 5, 0.5, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := hkpr.NewEngine(g, benchOpts(g, 1), hkpr.EngineConfig{
+		Workers: 1, QueueDepth: 4, Parallelism: parallelism, CPUTokens: parallelism,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	n := g.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := eng.Do(context.Background(), hkpr.ServeRequest{
+			Seed: hkpr.NodeID(i % n), Method: string(hkpr.MethodTEA), NoCache: true,
+			Opts: hkpr.Options{RmaxScale: 20},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && resp.Result.Stats.WalkShards < 2 {
+			b.Fatalf("walk stage not sharded (%d shards); benchmark is vacuous", resp.Result.Stats.WalkShards)
+		}
+	}
+}
+
+func BenchmarkServeColdWalkHeavyP1(b *testing.B) { benchServeWalkHeavy(b, 1) }
+
+func BenchmarkServeColdWalkHeavyP4(b *testing.B) { benchServeWalkHeavy(b, 4) }
+
 func BenchmarkServeThroughput1Worker(b *testing.B) { benchServeParallel(b, 1) }
 
 func BenchmarkServeThroughputMaxWorkers(b *testing.B) {

@@ -8,6 +8,14 @@
 //	hkprbench -list
 //	hkprbench -exp fig4 -scale small -seeds 20
 //	hkprbench -exp all -scale test -out results.txt
+//
+// The -perf mode instead benchmarks raw cold-query latency of the core
+// estimators at one or more walk-stage parallelism levels and writes a
+// machine-readable BENCH_<name>.json per estimator (ns/op, allocs/op,
+// walk-phase share, parallelism), which CI archives to track the repo's
+// perf trajectory across PRs:
+//
+//	hkprbench -perf -parallel 1,4 -bench-dir bench-out
 package main
 
 import (
@@ -39,9 +47,31 @@ func run(args []string, stdout io.Writer) error {
 		outPath  = fs.String("out", "", "also write the reports to this file")
 		heat     = fs.Float64("t", 5, "heat constant t")
 		verbose  = fs.Bool("v", true, "log progress to stderr")
+
+		perf      = fs.Bool("perf", false, "run the estimator latency benchmark and write BENCH_<name>.json files")
+		parallel  = fs.String("parallel", "1,4", "comma-separated walk-stage parallelism levels for -perf")
+		benchDir  = fs.String("bench-dir", ".", "output directory for -perf JSON files")
+		perfNodes = fs.Int("perf-nodes", 20000, "PLC graph size for -perf")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *perf {
+		levels, err := parseParallelismList(*parallel)
+		if err != nil {
+			return err
+		}
+		cfg := perfConfig{
+			nodes:       *perfNodes,
+			edgesPer:    5,
+			parallelism: levels,
+			outDir:      *benchDir,
+		}
+		if *verbose {
+			cfg.log = os.Stderr
+		}
+		return runPerf(cfg)
 	}
 
 	if *list {

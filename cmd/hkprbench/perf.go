@@ -1,0 +1,193 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hkpr"
+)
+
+// The -perf mode tracks the repo's raw query-latency trajectory across PRs:
+// for each core estimator it runs a Go benchmark (via testing.Benchmark) of
+// cold queries on a generated walk-heavy PLC graph at each requested
+// parallelism, measures the walk-phase share from the estimator's own Stats,
+// and writes one machine-readable BENCH_<name>.json per estimator.  CI
+// uploads these as artifacts so regressions are visible in diffs between
+// runs.
+
+// perfConfig parameterizes one -perf run.
+type perfConfig struct {
+	nodes       int
+	edgesPer    int
+	parallelism []int
+	outDir      string
+	log         io.Writer
+}
+
+// perfPoint is one (estimator, parallelism) measurement.
+type perfPoint struct {
+	Parallelism    int     `json:"parallelism"`
+	NsPerOp        int64   `json:"ns_per_op"`
+	AllocsPerOp    int64   `json:"allocs_per_op"`
+	BytesPerOp     int64   `json:"bytes_per_op"`
+	WalkPhaseShare float64 `json:"walk_phase_share"`
+	RandomWalks    int64   `json:"random_walks"`
+	WalkShards     int     `json:"walk_shards"`
+	Iterations     int     `json:"iterations"`
+}
+
+// perfReport is the BENCH_<name>.json payload.
+type perfReport struct {
+	Name       string      `json:"name"`
+	Graph      string      `json:"graph"`
+	Nodes      int         `json:"nodes"`
+	Edges      int64       `json:"edges"`
+	Options    string      `json:"options"`
+	Points     []perfPoint `json:"points"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Timestamp  string      `json:"timestamp"`
+}
+
+// perfMethods are the estimators tracked by -perf.  The file-name slug avoids
+// the '+' that MethodTEAPlus carries.  Each method tweaks the shared options
+// so its walk phase actually runs — the stage the parallelism points exist to
+// monitor: TEA+ would otherwise early-terminate during its budgeted push
+// (walk share 0% at every P), so a hop cap of 1 (tiny C) stops its push
+// almost immediately; TEA gets a loose rmax for the same reason.
+var perfMethods = []struct {
+	slug   string
+	method hkpr.Method
+	tune   func(hkpr.Options) hkpr.Options
+}{
+	{"teaplus", hkpr.MethodTEAPlus, func(o hkpr.Options) hkpr.Options { o.C = 1e-3; return o }},
+	{"tea", hkpr.MethodTEA, func(o hkpr.Options) hkpr.Options { o.RmaxScale = 20; return o }},
+}
+
+// runPerf executes the -perf mode and writes one JSON file per estimator.
+func runPerf(cfg perfConfig) error {
+	g, err := hkpr.GeneratePLC(cfg.nodes, cfg.edgesPer, 0.5, 13)
+	if err != nil {
+		return err
+	}
+	opts := hkpr.Options{
+		T: 5, EpsRel: 0.5, Delta: 1 / float64(g.N()), FailureProb: 1e-6,
+		Seed: 1,
+	}
+
+	if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
+		return err
+	}
+	for _, m := range perfMethods {
+		mOpts := m.tune(opts)
+		rep := perfReport{
+			Name:       m.slug,
+			Graph:      fmt.Sprintf("plc-n%d-m%d", cfg.nodes, cfg.edgesPer),
+			Nodes:      g.N(),
+			Edges:      g.M(),
+			Options:    fmt.Sprintf("t=%g eps=%g delta=%.3g rmax-scale=%g c=%g", mOpts.T, mOpts.EpsRel, mOpts.Delta, mOpts.RmaxScale, mOpts.C),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		}
+		for _, p := range cfg.parallelism {
+			point, err := perfMeasure(g, m.method, mOpts, p)
+			if err != nil {
+				return fmt.Errorf("perf %s P=%d: %w", m.slug, p, err)
+			}
+			rep.Points = append(rep.Points, point)
+			if cfg.log != nil {
+				fmt.Fprintf(cfg.log, "perf %-8s P=%d  %.2f ms/op  walk-share %.0f%%  (%d iters)\n",
+					m.slug, p, float64(point.NsPerOp)/1e6, 100*point.WalkPhaseShare, point.Iterations)
+			}
+		}
+		path := filepath.Join(cfg.outDir, "BENCH_"+m.slug+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// perfMeasure benchmarks one estimator at one parallelism and extracts the
+// walk-phase share from a representative query's Stats.
+func perfMeasure(g *hkpr.Graph, method hkpr.Method, opts hkpr.Options, parallelism int) (perfPoint, error) {
+	opts.Parallelism = parallelism
+	c, err := hkpr.NewClustererWithMethod(g, opts, method)
+	if err != nil {
+		return perfPoint{}, err
+	}
+
+	// One instrumented query for the cost breakdown (outside the timing).
+	probe, err := c.Estimate(7, hkpr.Options{})
+	if err != nil {
+		return perfPoint{}, err
+	}
+	share := 0.0
+	if total := probe.Stats.PushTime + probe.Stats.WalkTime; total > 0 {
+		share = float64(probe.Stats.WalkTime) / float64(total)
+	}
+
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Estimate(hkpr.NodeID(i%g.N()), hkpr.Options{}); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return perfPoint{}, benchErr
+	}
+	if res.N == 0 {
+		return perfPoint{}, fmt.Errorf("benchmark did not run")
+	}
+	return perfPoint{
+		Parallelism:    parallelism,
+		NsPerOp:        res.NsPerOp(),
+		AllocsPerOp:    res.AllocsPerOp(),
+		BytesPerOp:     res.AllocedBytesPerOp(),
+		WalkPhaseShare: share,
+		RandomWalks:    probe.Stats.RandomWalks,
+		WalkShards:     probe.Stats.WalkShards,
+		Iterations:     res.N,
+	}, nil
+}
+
+// parseParallelismList parses a comma-separated list of parallelism values.
+func parseParallelismList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad parallelism value %q", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty parallelism list")
+	}
+	return out, nil
+}

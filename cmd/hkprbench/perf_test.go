@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseParallelismList(t *testing.T) {
+	got, err := parseParallelismList("1, 4,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[2] != 8 {
+		t.Fatalf("parseParallelismList: %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "x", "-2"} {
+		if _, err := parseParallelismList(bad); err == nil {
+			t.Errorf("%q should be rejected", bad)
+		}
+	}
+}
+
+// TestPerfWritesBenchJSON runs the -perf mode at a tiny scale and checks
+// every estimator gets a parseable BENCH_<name>.json with the fields the
+// perf-trajectory tooling relies on.
+func TestPerfWritesBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real benchmarks")
+	}
+	dir := t.TempDir()
+	err := run([]string{
+		"-perf", "-parallel", "2", "-perf-nodes", "1000", "-bench-dir", dir, "-v=false",
+	}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range perfMethods {
+		path := filepath.Join(dir, "BENCH_"+m.slug+".json")
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing bench JSON: %v", err)
+		}
+		var rep perfReport
+		if err := json.Unmarshal(raw, &rep); err != nil {
+			t.Fatalf("%s: bad JSON: %v", path, err)
+		}
+		if rep.Name != m.slug || len(rep.Points) != 1 {
+			t.Fatalf("%s: unexpected report %+v", path, rep)
+		}
+		p := rep.Points[0]
+		if p.Parallelism != 2 || p.NsPerOp <= 0 || p.Iterations <= 0 {
+			t.Fatalf("%s: unexpected point %+v", path, p)
+		}
+		if p.WalkPhaseShare <= 0 || p.WalkPhaseShare > 1 {
+			t.Fatalf("%s: walk share out of range: %v", path, p.WalkPhaseShare)
+		}
+		if p.RandomWalks == 0 {
+			t.Fatalf("%s: walk stage did not run; the perf point monitors nothing", path)
+		}
+	}
+}

@@ -27,10 +27,14 @@
 //	-queue N       admission-queue depth; excess load is shed (default 4×workers)
 //	-cache-mb N    result-cache budget in MiB; 0 disables (default 64)
 //	-timeout D     per-query execution deadline, e.g. 5s; 0 disables (default 10s)
+//	-parallel N    per-query walk-stage parallelism; results are bit-identical
+//	               at any value, so it is purely a latency knob (default 1)
+//	-cpu-tokens N  shared CPU budget for workers + walk shards
+//	               (default max(workers, GOMAXPROCS))
 //
 // Example:
 //
-//	hkprserver -graph twitter.bin -addr :8080 -workers 16 -cache-mb 256
+//	hkprserver -graph twitter.bin -addr :8080 -workers 16 -cache-mb 256 -parallel 4
 package main
 
 import (
@@ -70,6 +74,8 @@ func run(args []string) error {
 		queue     = fs.Int("queue", 0, "admission queue depth (0 = 4×workers)")
 		cacheMB   = fs.Int("cache-mb", 64, "result cache budget in MiB (0 disables)")
 		timeout   = fs.Duration("timeout", 10*time.Second, "per-query execution deadline (0 disables)")
+		parallel  = fs.Int("parallel", 1, "per-query walk-stage parallelism (subject to free CPU tokens)")
+		cpuTokens = fs.Int("cpu-tokens", 0, "shared CPU token budget for workers and walk shards (0 = max(workers, GOMAXPROCS))")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -98,6 +104,8 @@ func run(args []string) error {
 		QueueDepth:     *queue,
 		CacheBytes:     cacheBytes,
 		DefaultTimeout: *timeout,
+		Parallelism:    *parallel,
+		CPUTokens:      *cpuTokens,
 	})
 	if err != nil {
 		return err
@@ -111,8 +119,8 @@ func run(args []string) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	st := srv.engine.Stats()
-	log.Printf("serving local clustering on %s (graph: n=%d m=%d, workers=%d queue=%d cache=%dMiB)",
-		*addr, g.N(), g.M(), st.Workers, st.QueueCapacity, st.CacheCapacity>>20)
+	log.Printf("serving local clustering on %s (graph: n=%d m=%d, workers=%d queue=%d cache=%dMiB parallel=%d cpu-tokens=%d)",
+		*addr, g.N(), g.M(), st.Workers, st.QueueCapacity, st.CacheCapacity>>20, st.Parallelism, st.CPUTokens)
 
 	select {
 	case err := <-errCh:

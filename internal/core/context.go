@@ -30,6 +30,37 @@ type OptionsContext struct {
 	// CheckEvery is the number of work units between cancellation checks.
 	// Zero means DefaultCancelCheckEvery.
 	CheckEvery int
+	// CPU, when non-nil, coordinates the walk stage's extra goroutines with
+	// a CPU budget shared across queries: a query always runs on the calling
+	// goroutine, and borrows up to Options.Parallelism-1 extra tokens from
+	// the gate for the duration of its walk stage.  The serving layer passes
+	// its worker token pool here so intra-query shards and inter-query
+	// workers draw from one core budget instead of oversubscribing.  nil
+	// grants Options.Parallelism unconditionally.
+	CPU CPUGate
+}
+
+// CPUGate is a shared CPU-token budget.  Implementations must be safe for
+// concurrent use.  TryAcquire never blocks: it hands out as many of the n
+// requested tokens as are free right now (possibly 0); every acquired token
+// must be returned with Release.
+type CPUGate interface {
+	TryAcquire(n int) int
+	Release(n int)
+}
+
+// execCtl bundles the per-query execution controls threaded through the
+// pipeline seams: the cancellation checker and the CPU gate.  The zero value
+// means "no cancellation, unbounded parallelism", the behaviour of the
+// package-level entry points.
+type execCtl struct {
+	cc  *cancelChecker
+	cpu CPUGate
+}
+
+// newExecCtl derives the execution controls from an OptionsContext.
+func newExecCtl(oc OptionsContext) execCtl {
+	return execCtl{cc: newCancelChecker(oc), cpu: oc.CPU}
 }
 
 // cancelChecker amortizes context polling over work units.  A nil checker is
@@ -68,6 +99,16 @@ func (c *cancelChecker) tick(cost int) error {
 	}
 	c.left = c.every
 	return c.err()
+}
+
+// fork returns an independent checker over the same context and budget, for
+// walk shards that poll concurrently.  A cancelChecker is not safe for
+// concurrent use, so every shard gets its own fork.
+func (c *cancelChecker) fork() *cancelChecker {
+	if c == nil {
+		return nil
+	}
+	return &cancelChecker{ctx: c.ctx, every: c.every, left: c.every}
 }
 
 // err polls the context immediately (used at phase boundaries).

@@ -45,12 +45,17 @@ func (e *Estimator) Graph() *graph.Graph { return e.g }
 // Weights exposes the shared heat-kernel weight table.
 func (e *Estimator) Weights() *heatkernel.Weights { return e.w }
 
-// override merges per-query overrides (seed, thresholds) into the cached
-// options.  Zero fields keep the estimator's values.
+// override merges per-query overrides (seed, thresholds, parallelism) into
+// the cached options.  Zero fields keep the estimator's values; a zero RNG
+// seed can be requested explicitly via Options.SeedSet (see WithSeed).
 func (e *Estimator) override(q Options) Options {
 	o := e.opts
-	if q.Seed != 0 {
+	if q.SeedSet || q.Seed != 0 {
 		o.Seed = q.Seed
+		o.SeedSet = true
+	}
+	if q.Parallelism != 0 {
+		o.Parallelism = q.Parallelism
 	}
 	if q.EpsRel != 0 {
 		o.EpsRel = q.EpsRel
@@ -87,7 +92,7 @@ func (e *Estimator) TEAContext(oc OptionsContext, seed graph.NodeID, query Optio
 	if err := validateSeed(e.g, seed); err != nil {
 		return nil, err
 	}
-	return teaWithWeights(e.g, seed, o, e.w, newCancelChecker(oc))
+	return teaWithWeights(e.g, seed, o, e.w, newExecCtl(oc))
 }
 
 // TEAPlus runs Algorithm 5 for the given seed node.
@@ -104,7 +109,7 @@ func (e *Estimator) TEAPlusContext(oc OptionsContext, seed graph.NodeID, query O
 	if err := validateSeed(e.g, seed); err != nil {
 		return nil, err
 	}
-	return teaPlusWithWeights(e.g, seed, o, e.w, newCancelChecker(oc))
+	return teaPlusWithWeights(e.g, seed, o, e.w, newExecCtl(oc))
 }
 
 // MonteCarlo runs the pure Monte-Carlo estimator for the given seed node.
@@ -123,5 +128,5 @@ func (e *Estimator) MonteCarloContext(oc OptionsContext, seed graph.NodeID, quer
 	if err := validateSeed(e.g, seed); err != nil {
 		return nil, err
 	}
-	return monteCarloWithWeights(e.g, seed, o, e.w, newCancelChecker(oc))
+	return monteCarloWithWeights(e.g, seed, o, e.w, newExecCtl(oc))
 }

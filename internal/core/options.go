@@ -53,8 +53,22 @@ type Options struct {
 	// paper tunes rmax per dataset (§7.3); 1 balances push and walk cost.
 	// Defaults to 1.
 	RmaxScale float64
-	// Seed seeds the random walks.  The same seed reproduces the same output.
+	// Seed seeds the random walks.  The same seed reproduces the same output
+	// bit-for-bit, for any Parallelism.  When merging per-query overrides an
+	// Estimator cannot tell an explicit Seed of 0 from "unset"; set SeedSet
+	// (or use WithSeed) to request seed 0 explicitly.
 	Seed uint64
+	// SeedSet marks Seed as explicitly chosen, so a per-query override of
+	// Seed == 0 is honored instead of inheriting the estimator's seed.
+	SeedSet bool
+	// Parallelism is the maximum number of goroutines the Monte-Carlo walk
+	// stage may use for one query.  0 or 1 runs the walks serially; the
+	// result is bit-identical for a given Seed regardless of this knob,
+	// because walks are split over a fixed set of shards with per-shard RNGs
+	// derived from (Seed, shard index) and merged in shard order.  When the
+	// query runs under a serving engine the effective parallelism is further
+	// limited by the shared CPU-token budget (OptionsContext.CPU).
+	Parallelism int
 	// AdjustedFailureProb optionally carries a precomputed p'_f (Eq. 6).  If
 	// zero it is computed from the graph, which costs one pass over the
 	// degree sequence; the dataset registry caches it.
@@ -109,7 +123,18 @@ func (o Options) Validate() error {
 	if o.RmaxScale < 0 {
 		return fmt.Errorf("core: rmax scale must be non-negative, got %v", o.RmaxScale)
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("core: parallelism must be non-negative, got %v", o.Parallelism)
+	}
 	return nil
+}
+
+// WithSeed returns a copy of o with the RNG seed explicitly set to s, marking
+// it so that per-query override merging honors s even when it is 0.
+func (o Options) WithSeed(s uint64) Options {
+	o.Seed = s
+	o.SeedSet = true
+	return o
 }
 
 // validateSeed checks the seed node is a valid non-isolated node of g.

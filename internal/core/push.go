@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"hkpr/internal/graph"
 	"hkpr/internal/heatkernel"
 )
@@ -43,25 +45,37 @@ func (r *ResidueVectors) set(k int, v graph.NodeID, x float64) {
 	r.hops[k][v] = x
 }
 
-// TotalMass returns α = Σ_k Σ_u r^(k)[u].
+// TotalMass returns α = Σ_k Σ_u r^(k)[u], summed in (hop, node) order.
+// Float addition is not associative, so summing in Go's randomized map
+// iteration order would perturb α — and with it the walk budget and every
+// walk increment — between otherwise identical runs; the fixed order keeps
+// the estimator pipeline bit-reproducible for a fixed RNG seed.
 func (r *ResidueVectors) TotalMass() float64 {
 	total := 0.0
-	for _, hop := range r.hops {
-		for _, x := range hop {
-			total += x
-		}
+	for k := range r.hops {
+		total += r.HopMass(k)
 	}
 	return total
 }
 
-// HopMass returns Σ_u r^(k)[u].
+// HopMass returns Σ_u r^(k)[u], summed in ascending node order (see
+// TotalMass for why the order is fixed).
 func (r *ResidueVectors) HopMass(k int) float64 {
 	if k < 0 || k >= len(r.hops) {
 		return 0
 	}
+	hop := r.hops[k]
+	if len(hop) == 0 {
+		return 0
+	}
+	nodes := make([]graph.NodeID, 0, len(hop))
+	for v := range hop {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	total := 0.0
-	for _, x := range r.hops[k] {
-		total += x
+	for _, v := range nodes {
+		total += hop[v]
 	}
 	return total
 }
@@ -163,9 +177,11 @@ func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 		maxHops = w.TruncationHop(1e-12)
 	}
 
-	// The frontier slice is reused across hops: deleting while ranging is
-	// legal, but a stable slice keeps the iteration order deterministic for
-	// tests, and reusing it keeps the serving hot path allocation-light.
+	// The frontier slice is reused across hops and sorted before processing:
+	// Go's randomized map iteration would otherwise vary the float
+	// accumulation order of reserves and residues between runs, and the
+	// pipeline promises bit-identical results for a fixed Options.Seed.
+	// Reusing the slice keeps the serving hot path allocation-light.
 	var frontier []graph.NodeID
 	for k := 0; k < res.Residues.NumHops() && k < maxHops; k++ {
 		hop := res.Residues.hops[k]
@@ -176,6 +192,7 @@ func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 				frontier = append(frontier, v)
 			}
 		}
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
 		for _, v := range frontier {
 			r := hop[v]
 			if r == 0 {
@@ -231,6 +248,8 @@ func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 	const checkEvery = 4096
 	sinceCheck := int64(0)
 
+	// Sorted for run-to-run determinism, exactly as in hkPush; the budget
+	// cut-off therefore also lands on a deterministic frontier prefix.
 	var frontier []graph.NodeID
 	for k := 0; k < res.Residues.NumHops() && k < maxHopK; k++ {
 		hop := res.Residues.hops[k]
@@ -241,6 +260,7 @@ func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 				frontier = append(frontier, v)
 			}
 		}
+		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
 		for _, v := range frontier {
 			r := hop[v]
 			if r == 0 {

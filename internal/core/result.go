@@ -45,6 +45,12 @@ type Stats struct {
 	// EarlyTermination is true when TEA+ satisfied Inequality (11) during the
 	// push phase and skipped random walks entirely.
 	EarlyTermination bool
+	// WalkShards is the number of shards the walk budget was split into
+	// (deterministic in the budget; 0 when no walks ran).
+	WalkShards int
+	// WalkParallelism is the number of goroutines the walk stage actually
+	// used after consulting the CPU gate.  It does not affect Scores.
+	WalkParallelism int
 	// PushTime and WalkTime are the wall-clock durations of the two phases.
 	PushTime time.Duration
 	WalkTime time.Duration

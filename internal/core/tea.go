@@ -9,6 +9,21 @@ import (
 	"hkpr/internal/heatkernel"
 )
 
+// RNG stream separators: each estimator mixes its own constant into the walk
+// seed so the same (Options.Seed, query node) pair gives the three estimators
+// independent walk streams.
+const (
+	teaSeedMix        = 0x9e3779b97f4a7c15
+	teaPlusSeedMix    = 0x2545f4914f6cdd1d
+	monteCarloSeedMix = 0x517cc1b727220a95
+)
+
+// walkSeed derives the query-level walk seed the shard RNGs are fanned out
+// from.
+func walkSeed(optsSeed uint64, node graph.NodeID, mix uint64) uint64 {
+	return optsSeed ^ uint64(node)*mix
+}
+
 // TEA implements Algorithm 3, the first-cut two-phase estimator: an HK-Push
 // pass with residue threshold rmax = RmaxScale/(ω·t) produces a reserve vector
 // (a lower bound of the exact HKPR vector, Lemma 1) plus hop-indexed residue
@@ -27,14 +42,17 @@ func TEA(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return teaWithWeights(g, seed, opts, w, nil)
+	return teaWithWeights(g, seed, opts, w, execCtl{})
 }
 
 // teaWithWeights is the seam used by the benchmark harness and the serving
 // layer to reuse one weight table across many queries with the same heat
-// constant.  cc (nil allowed) carries the query's cancellation checkpoints.
-func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, cc *cancelChecker) (*Result, error) {
-	if err := cc.err(); err != nil {
+// constant.  ctl carries the query's cancellation checkpoints and CPU gate.
+//
+// The body is the four-stage pipeline: push → collect → sharded walks →
+// deterministic merge.
+func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, ctl execCtl) (*Result, error) {
+	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
 	pfAdj := adjustedPf(g, opts)
@@ -46,29 +64,38 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 		maxHops = w.TruncationHop(1e-12)
 	}
 
+	// Stage 1: push.
 	pushStart := time.Now()
-	push, err := hkPush(g, seed, w, rmax, maxHops, cc)
+	push, err := hkPush(g, seed, w, rmax, maxHops, ctl.cc)
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA push phase: %w", err)
 	}
 	pushTime := time.Since(pushStart)
 
 	scores := push.Reserve
-	alpha := push.Residues.TotalMass()
-	nr := int64(math.Ceil(alpha * omega))
 
-	rng := getRNG(opts.Seed ^ uint64(seed)*0x9e3779b97f4a7c15)
-	defer putRNG(rng)
+	// Stage 2: residual/source collection.  α is summed over the sorted
+	// entries, the one pass that already exists for the alias table.
 	buf := getWalkBuffers()
 	defer buf.release()
 	entries, weights := collectWalkEntries(push.Residues, buf)
+	alpha := sumWeights(weights)
+	nr := int64(math.Ceil(alpha * omega))
+	plan, err := planWalkStage(entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaSeedMix))
+	if err != nil {
+		return nil, fmt.Errorf("core: TEA walk phase: %w", err)
+	}
 
+	// Stage 3: sharded Monte-Carlo walks.
 	walkStart := time.Now()
-	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap, cc)
+	walked, err := runWalkStage(g, w, plan, opts.Parallelism, ctl)
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA walk phase: %w", err)
 	}
 	walkTime := time.Since(walkStart)
+
+	// Stage 4: deterministic merge.
+	mergeWalkStage(scores, walked)
 
 	return &Result{
 		Seed:   seed,
@@ -76,10 +103,12 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 		Stats: Stats{
 			PushOperations:         push.PushOperations,
 			PushedNodes:            push.PushedNodes,
-			RandomWalks:            walks,
-			WalkSteps:              steps,
+			RandomWalks:            walked.walks,
+			WalkSteps:              walked.steps,
 			ResidueMassBeforeWalks: alpha,
 			MaxHop:                 push.Residues.MaxHopWithMass(),
+			WalkShards:             walked.shards,
+			WalkParallelism:        walked.workers,
 			PushTime:               pushTime,
 			WalkTime:               walkTime,
 			WorkingSetBytes: estimatedWorkingSetBytes(len(scores)) +
@@ -109,14 +138,17 @@ func MonteCarloOnly(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	return monteCarloWithWeights(g, seed, opts, w, nil)
+	return monteCarloWithWeights(g, seed, opts, w, execCtl{})
 }
 
 // monteCarloWithWeights is the weight-table-sharing, cancellable seam behind
 // MonteCarloOnly, used by the Estimator so serving workloads do not rebuild
-// the Poisson table on every query.
-func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, cc *cancelChecker) (*Result, error) {
-	if err := cc.err(); err != nil {
+// the Poisson table on every query.  It degenerates the pipeline to a walk
+// plan with the seed node as the single hop-0 source of weight 1, which gives
+// the Monte-Carlo estimator the same sharded, parallel walk stage as TEA and
+// TEA+.
+func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, ctl execCtl) (*Result, error) {
+	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
 	// The plain Monte-Carlo analysis uses a union bound over all n nodes, so
@@ -124,29 +156,31 @@ func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *h
 	nr := int64(math.Ceil(2 * (1 + opts.EpsRel/3) * math.Log(float64(g.N())/opts.FailureProb) /
 		(opts.EpsRel * opts.EpsRel * opts.Delta)))
 
-	rng := getRNG(opts.Seed ^ uint64(seed)*0x517cc1b727220a95)
-	defer putRNG(rng)
-	scores := make(map[graph.NodeID]float64)
+	entries := []walkEntry{{node: seed, hop: 0, residue: 1}}
+	plan, err := planWalkStage(entries, []float64{1}, 1, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, monteCarloSeedMix))
+	if err != nil {
+		return nil, fmt.Errorf("core: Monte-Carlo walk phase: %w", err)
+	}
+
 	start := time.Now()
-	var steps int64
-	increment := 1 / float64(nr)
-	for i := int64(0); i < nr; i++ {
-		end, st := KRandomWalk(g, rng, w, seed, 0, opts.WalkLengthCap)
-		scores[end] += increment
-		steps += int64(st)
-		if err := cc.tick(st + 1); err != nil {
-			return nil, fmt.Errorf("core: Monte-Carlo walk phase: %w", err)
-		}
+	walked, err := runWalkStage(g, w, plan, opts.Parallelism, ctl)
+	if err != nil {
+		return nil, fmt.Errorf("core: Monte-Carlo walk phase: %w", err)
 	}
 	walkTime := time.Since(start)
+
+	scores := make(map[graph.NodeID]float64)
+	mergeWalkStage(scores, walked)
 
 	return &Result{
 		Seed:   seed,
 		Scores: scores,
 		Stats: Stats{
-			RandomWalks:            nr,
-			WalkSteps:              steps,
+			RandomWalks:            walked.walks,
+			WalkSteps:              walked.steps,
 			ResidueMassBeforeWalks: 1,
+			WalkShards:             walked.shards,
+			WalkParallelism:        walked.workers,
 			WalkTime:               walkTime,
 			WorkingSetBytes:        estimatedWorkingSetBytes(len(scores)),
 		},

@@ -30,14 +30,16 @@ func TEAPlus(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return teaPlusWithWeights(g, seed, opts, w, nil)
+	return teaPlusWithWeights(g, seed, opts, w, execCtl{})
 }
 
 // teaPlusWithWeights is the seam used by the harness and the serving layer to
-// share one weight table across queries.  cc (nil allowed) carries the
-// query's cancellation checkpoints.
-func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, cc *cancelChecker) (*Result, error) {
-	if err := cc.err(); err != nil {
+// share one weight table across queries.  ctl carries the query's
+// cancellation checkpoints and CPU gate.  Like teaWithWeights it is the
+// four-stage pipeline, with the residue-reduction step between the push and
+// collection stages.
+func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, ctl execCtl) (*Result, error) {
+	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
 	pfAdj := adjustedPf(g, opts)
@@ -46,7 +48,7 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	k := hopCap(opts.C, opts.EpsRel, opts.Delta, g.AverageDegree(), w)
 
 	pushStart := time.Now()
-	push, err := hkPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget, cc)
+	push, err := hkPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget, ctl.cc)
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA+ push phase: %w", err)
 	}
@@ -76,24 +78,29 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	// ρ̂[v]/d(v) is at most εr·δ (Inequality 19).
 	reduceResidues(g, push.Residues, target)
 
-	alpha := push.Residues.TotalMass()
-	nr := int64(math.Ceil(alpha * omega))
 	buf := getWalkBuffers()
 	defer buf.release()
 	entries, weights := collectWalkEntries(push.Residues, buf)
+	alpha := sumWeights(weights)
+	nr := int64(math.Ceil(alpha * omega))
+	plan, err := planWalkStage(entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaPlusSeedMix))
+	if err != nil {
+		return nil, fmt.Errorf("core: TEA+ walk phase: %w", err)
+	}
 
-	rng := getRNG(opts.Seed ^ uint64(seed)*0x2545f4914f6cdd1d)
-	defer putRNG(rng)
 	walkStart := time.Now()
-	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap, cc)
+	walked, err := runWalkStage(g, w, plan, opts.Parallelism, ctl)
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA+ walk phase: %w", err)
 	}
 	walkTime := time.Since(walkStart)
+	mergeWalkStage(scores, walked)
 
-	stats.RandomWalks = walks
-	stats.WalkSteps = steps
+	stats.RandomWalks = walked.walks
+	stats.WalkSteps = walked.steps
 	stats.ResidueMassBeforeWalks = alpha
+	stats.WalkShards = walked.shards
+	stats.WalkParallelism = walked.workers
 	stats.WalkTime = walkTime
 	stats.WorkingSetBytes = estimatedWorkingSetBytes(len(scores)) +
 		estimatedWorkingSetBytes(push.Residues.NonZeroEntries()) +
@@ -112,14 +119,21 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 
 // reduceResidues applies the residue reduction of Algorithm 5 lines 8-11:
 // every residue r^(k)[u] is decreased by β_k·εr·δ·d(u) (floored at zero),
-// where β_k = hop-k residue mass / total residue mass.
+// where β_k = hop-k residue mass / total residue mass.  Hop masses are
+// computed once up front (each HopMass call sorts its hop's nodes for
+// determinism, so recomputing per use would double that cost).
 func reduceResidues(g *graph.Graph, res *ResidueVectors, target float64) {
-	total := res.TotalMass()
+	masses := make([]float64, res.NumHops())
+	total := 0.0
+	for k := range masses {
+		masses[k] = res.HopMass(k)
+		total += masses[k]
+	}
 	if total <= 0 {
 		return
 	}
 	for k := 0; k < res.NumHops(); k++ {
-		hopMass := res.HopMass(k)
+		hopMass := masses[k]
 		if hopMass == 0 {
 			continue
 		}
@@ -163,28 +177,33 @@ func TEAPlusNoReduction(g *graph.Graph, seed graph.NodeID, opts Options) (*Resul
 	pushTime := time.Since(pushStart)
 	scores := push.Reserve
 
-	alpha := push.Residues.TotalMass()
-	nr := int64(math.Ceil(alpha * omega))
 	buf := getWalkBuffers()
 	defer buf.release()
 	entries, weights := collectWalkEntries(push.Residues, buf)
-	rng := getRNG(opts.Seed ^ uint64(seed)*0x2545f4914f6cdd1d)
-	defer putRNG(rng)
-	walkStart := time.Now()
-	walks, steps, err := runWalkPhase(g, rng, w, scores, entries, weights, alpha, nr, opts.WalkLengthCap, nil)
+	alpha := sumWeights(weights)
+	nr := int64(math.Ceil(alpha * omega))
+	plan, err := planWalkStage(entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaPlusSeedMix))
 	if err != nil {
 		return nil, err
 	}
+	walkStart := time.Now()
+	walked, err := runWalkStage(g, w, plan, opts.Parallelism, execCtl{})
+	if err != nil {
+		return nil, err
+	}
+	mergeWalkStage(scores, walked)
 	return &Result{
 		Seed:   seed,
 		Scores: scores,
 		Stats: Stats{
 			PushOperations:         push.PushOperations,
 			PushedNodes:            push.PushedNodes,
-			RandomWalks:            walks,
-			WalkSteps:              steps,
+			RandomWalks:            walked.walks,
+			WalkSteps:              walked.steps,
 			ResidueMassBeforeWalks: alpha,
 			MaxHop:                 push.Residues.MaxHopWithMass(),
+			WalkShards:             walked.shards,
+			WalkParallelism:        walked.workers,
 			PushTime:               pushTime,
 			WalkTime:               time.Since(walkStart),
 			WorkingSetBytes: estimatedWorkingSetBytes(len(scores)) +

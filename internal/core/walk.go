@@ -2,11 +2,30 @@ package core
 
 import (
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"hkpr/internal/graph"
 	"hkpr/internal/heatkernel"
 	"hkpr/internal/xrand"
 )
+
+// This file implements stages 2-4 of the estimator pipeline shared by TEA,
+// TEA+ and the pure Monte-Carlo estimator:
+//
+//	push phase (push.go)
+//	  → residual/source collection (collectWalkEntries + planWalkStage)
+//	  → sharded Monte-Carlo walk stage (runWalkStage)
+//	  → deterministic merge (mergeWalkStage)
+//
+// The walk stage splits the query's walk budget over a fixed number of
+// shards determined only by the budget itself — never by the parallelism —
+// and gives shard i an RNG derived from (walk seed, i).  Shards execute on
+// up to Options.Parallelism goroutines, each accumulating into a private
+// score map, and the merge folds the shard maps into the reserve vector in
+// shard order.  Because shard contents and merge order are independent of
+// how shards were scheduled, the result is bit-identical for a given seed
+// at any parallelism; a serial run is simply parallelism 1.
 
 // KRandomWalk implements Algorithm 2.  Starting at node u whose residue was
 // generated at hop k, the walk stops at the current node with probability
@@ -77,39 +96,221 @@ func collectWalkEntries(res *ResidueVectors, buf *walkBuffers) ([]walkEntry, []f
 	return entries, weights
 }
 
-// runWalkPhase performs nr random walks whose start entries are sampled from
-// the residue-weighted alias table, adding α/nr to the score of each walk's
-// end node (Algorithm 3 lines 9-12, shared by TEA and TEA+).  It returns the
-// number of walks done and the total number of steps taken.  The optional
-// cancellation checker is charged per walk with the walk's step count.
-func runWalkPhase(
-	g *graph.Graph,
-	rng *xrand.RNG,
-	w *heatkernel.Weights,
-	scores map[graph.NodeID]float64,
-	entries []walkEntry,
-	weights []float64,
-	alpha float64,
-	nr int64,
-	lengthCap int,
-	cc *cancelChecker,
-) (walks, steps int64, err error) {
+// sumWeights returns α, the total residue mass handed to the walk stage,
+// summed over the sorted entry order so it is bit-reproducible run to run.
+// Computing it from the already-sorted weights avoids a second sorted pass
+// over the residue maps (ResidueVectors.TotalMass sorts per hop).
+func sumWeights(weights []float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	return total
+}
+
+// Sharding constants.  The shard count is a pure function of the walk budget
+// so that it — and with it the result — cannot depend on the parallelism.
+const (
+	// maxWalkShards bounds the shards (and hence the useful parallelism) of
+	// one query's walk stage.
+	maxWalkShards = 32
+	// minWalksPerShard keeps tiny walk phases unsharded: below this budget a
+	// shard's fixed costs (RNG seeding, map allocation) outweigh the walks.
+	minWalksPerShard = 512
+)
+
+// walkShardCount returns the number of shards the walk budget nr is split
+// into.  Deterministic in nr only.
+func walkShardCount(nr int64) int {
+	s := nr / minWalksPerShard
+	if s < 1 {
+		return 1
+	}
+	if s > maxWalkShards {
+		return maxWalkShards
+	}
+	return int(s)
+}
+
+// shardSeed derives shard i's RNG seed from the query's walk seed with a
+// splitmix64-style finalizer, so shard streams are decorrelated even for
+// adjacent indices and seeds.
+func shardSeed(base uint64, shard int) uint64 {
+	x := base + 0x9e3779b97f4a7c15*uint64(shard+1)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// walkPlan is the immutable output of the source-collection stage: everything
+// the sharded walk stage needs, with the sharding fixed up front.
+type walkPlan struct {
+	entries   []walkEntry
+	alias     *xrand.Alias // shared, read-only during sampling
+	alpha     float64
+	nr        int64
+	lengthCap int
+	shards    int
+	seed      uint64 // query-level walk seed; shard i uses shardSeed(seed, i)
+}
+
+// planWalkStage builds the walk plan from the collected sources.  It returns
+// (nil, nil) when no walks are needed, which short-circuits stages 3-4.
+func planWalkStage(entries []walkEntry, weights []float64, alpha float64, nr int64, lengthCap int, seed uint64) (*walkPlan, error) {
 	if nr <= 0 || len(entries) == 0 || alpha <= 0 {
-		return 0, 0, nil
+		return nil, nil
 	}
 	alias, err := xrand.NewAlias(weights)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	increment := alpha / float64(nr)
-	for i := int64(0); i < nr; i++ {
-		e := entries[alias.Sample(rng)]
-		end, st := KRandomWalk(g, rng, w, e.node, e.hop, lengthCap)
-		scores[end] += increment
-		steps += int64(st)
-		if err := cc.tick(st + 1); err != nil {
-			return i + 1, steps, err
+	return &walkPlan{
+		entries:   entries,
+		alias:     alias,
+		alpha:     alpha,
+		nr:        nr,
+		lengthCap: lengthCap,
+		shards:    walkShardCount(nr),
+		seed:      seed,
+	}, nil
+}
+
+// shardWalks returns shard i's walk budget: nr split as evenly as possible,
+// the first nr mod shards shards taking one extra walk.
+func (p *walkPlan) shardWalks(i int) int64 {
+	base := p.nr / int64(p.shards)
+	if int64(i) < p.nr%int64(p.shards) {
+		return base + 1
+	}
+	return base
+}
+
+// walkStageResult carries the sharded walk stage's output into the merge
+// stage plus the counters for Stats.
+type walkStageResult struct {
+	shardScores []map[graph.NodeID]float64
+	walks       int64
+	steps       int64
+	shards      int
+	workers     int
+}
+
+// runWalkStage executes the plan's shards on up to parallelism goroutines.
+// When ctl carries a CPUGate, extra goroutines beyond the first are borrowed
+// from (and returned to) the shared token budget, so a busy serving engine
+// degrades each query toward serial execution instead of oversubscribing the
+// cores.  Each shard walks with its own RNG and cancellation checker and
+// accumulates into a private score map; shard contents depend only on the
+// plan, never on scheduling.
+func runWalkStage(g *graph.Graph, w *heatkernel.Weights, p *walkPlan, parallelism int, ctl execCtl) (walkStageResult, error) {
+	if p == nil {
+		return walkStageResult{}, nil
+	}
+	workers := parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > p.shards {
+		workers = p.shards
+	}
+	if workers > 1 && ctl.cpu != nil {
+		extra := ctl.cpu.TryAcquire(workers - 1)
+		defer ctl.cpu.Release(extra)
+		workers = 1 + extra
+	}
+
+	out := walkStageResult{
+		shardScores: make([]map[graph.NodeID]float64, p.shards),
+		shards:      p.shards,
+		workers:     workers,
+	}
+	shardErrs := make([]error, p.shards)
+	shardWalks := make([]int64, p.shards)
+	shardSteps := make([]int64, p.shards)
+	var failed atomic.Bool
+
+	increment := p.alpha / float64(p.nr)
+	runShard := func(i int) {
+		if failed.Load() {
+			// Another shard hit cancellation; skip the remaining shards — the
+			// query is being abandoned and partial scores are discarded.
+			return
+		}
+		budget := p.shardWalks(i)
+		if budget == 0 {
+			return
+		}
+		rng := getRNG(shardSeed(p.seed, i))
+		defer putRNG(rng)
+		cc := ctl.cc.fork()
+		hint := budget
+		if hint > 4096 {
+			hint = 4096
+		}
+		scores := make(map[graph.NodeID]float64, hint)
+		var steps int64
+		for n := int64(0); n < budget; n++ {
+			e := p.entries[p.alias.Sample(rng)]
+			end, st := KRandomWalk(g, rng, w, e.node, e.hop, p.lengthCap)
+			scores[end] += increment
+			steps += int64(st)
+			if err := cc.tick(st + 1); err != nil {
+				shardErrs[i] = err
+				shardWalks[i], shardSteps[i] = n+1, steps
+				failed.Store(true)
+				return
+			}
+		}
+		out.shardScores[i] = scores
+		shardWalks[i], shardSteps[i] = budget, steps
+	}
+
+	if workers <= 1 {
+		for i := 0; i < p.shards; i++ {
+			runShard(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for wkr := 0; wkr < workers; wkr++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= p.shards {
+						return
+					}
+					runShard(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i := 0; i < p.shards; i++ {
+		out.walks += shardWalks[i]
+		out.steps += shardSteps[i]
+	}
+	for _, err := range shardErrs {
+		if err != nil {
+			return out, err
 		}
 	}
-	return nr, steps, nil
+	return out, nil
+}
+
+// mergeWalkStage folds the per-shard score deltas into the reserve vector in
+// shard order.  Every node's final score is reserve + Σ_i shard_i in a fixed
+// float-addition order, which is what makes the pipeline's output
+// parallelism-independent.
+func mergeWalkStage(scores map[graph.NodeID]float64, res walkStageResult) {
+	for _, shard := range res.shardScores {
+		for v, s := range shard {
+			scores[v] += s
+		}
+	}
 }

@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"bytes"
+	"compress/gzip"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReadEdgeListGzip checks that gzip-compressed edge lists are sniffed by
+// magic bytes and decompressed transparently, both from a reader and through
+// LoadEdgeListFile, and that they decode to the same graph as the plain text.
+func TestReadEdgeListGzip(t *testing.T) {
+	plain := "# a comment\n0 1\n1 2\n2 0\n2 3\n"
+	want, err := ReadEdgeList(bytes.NewReader([]byte(plain)))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte(plain)); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadEdgeList(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("gzip edge list: %v", err)
+	}
+	if got.N() != want.N() || got.M() != want.M() {
+		t.Fatalf("gzip decode mismatch: n=%d m=%d, want n=%d m=%d", got.N(), got.M(), want.N(), want.M())
+	}
+
+	path := filepath.Join(t.TempDir(), "graph.txt.gz")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := LoadEdgeListFile(path)
+	if err != nil {
+		t.Fatalf("LoadEdgeListFile(.gz): %v", err)
+	}
+	if fromFile.N() != want.N() || fromFile.M() != want.M() {
+		t.Fatalf("file decode mismatch: n=%d m=%d", fromFile.N(), fromFile.M())
+	}
+}
+
+// TestReadEdgeListGzipTruncated checks a corrupted gzip stream surfaces an
+// error instead of a silently truncated graph.
+func TestReadEdgeListGzipTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if _, err := zw.Write([]byte("0 1\n1 2\n2 3\n3 4\n4 5\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-6] // chop the checksum trailer
+	if _, err := ReadEdgeList(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated gzip edge list should error")
+	}
+}

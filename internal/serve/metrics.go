@@ -99,6 +99,9 @@ type Snapshot struct {
 	QueueDepth    int   `json:"queue_depth"`
 	QueueCapacity int   `json:"queue_capacity"`
 	InFlight      int64 `json:"in_flight"`
+	Parallelism   int   `json:"parallelism"`
+	CPUTokens     int   `json:"cpu_tokens"`
+	CPUTokensFree int   `json:"cpu_tokens_free"`
 
 	Requests   int64 `json:"requests"`
 	Executions int64 `json:"executions"`
@@ -130,6 +133,9 @@ func (e *Engine) Snapshot() Snapshot {
 		QueueDepth:    len(e.queue),
 		QueueCapacity: e.cfg.QueueDepth,
 		InFlight:      m.InFlight.Load(),
+		Parallelism:   e.cfg.Parallelism,
+		CPUTokens:     e.cfg.CPUTokens,
+		CPUTokensFree: e.cpu.freeTokens(),
 		Requests:      m.Requests.Load(),
 		Executions:    m.Executions.Load(),
 		Completed:     m.Completed.Load(),
@@ -180,6 +186,8 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	gauge("queue_depth", "Queries waiting in the admission queue.", int64(len(e.queue)))
 	gauge("queue_capacity", "Admission queue capacity.", int64(e.cfg.QueueDepth))
 	gauge("workers", "Worker goroutines.", int64(e.cfg.Workers))
+	gauge("cpu_tokens", "Shared CPU-token budget for workers and walk shards.", int64(e.cfg.CPUTokens))
+	gauge("cpu_tokens_free", "CPU tokens currently free.", int64(e.cpu.freeTokens()))
 	if e.cache != nil {
 		entries, bytes := e.cache.stats()
 		gauge("cache_entries", "Entries in the result cache.", entries)

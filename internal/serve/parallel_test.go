@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"hkpr/internal/core"
+	"hkpr/internal/graph"
+)
+
+// TestParallelismBitIdenticalThroughEngine checks that the engine-level
+// Parallelism knob does not change results: the same request served by a
+// serial engine and a parallel engine (and via a per-query override) yields
+// bit-identical score vectors, which is also why Parallelism is excluded
+// from the cache key.
+func TestParallelismBitIdenticalThroughEngine(t *testing.T) {
+	g := testGraph(t)
+	req := Request{Seed: 23, Method: MethodTEA, NoCache: true,
+		Opts: core.Options{RmaxScale: 20}}
+
+	serial, err := New(testEstimator(t, g), Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	parallel, err := New(testEstimator(t, g), Config{Workers: 1, Parallelism: 8, CPUTokens: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer parallel.Close()
+
+	a, err := serial.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := parallel.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result.Stats.WalkShards < 2 {
+		t.Fatalf("walk stage too small to shard (%d shards); test is vacuous", a.Result.Stats.WalkShards)
+	}
+	if b.Result.Stats.WalkParallelism < 2 {
+		t.Fatalf("parallel engine ran serially (P=%d)", b.Result.Stats.WalkParallelism)
+	}
+	if len(a.Result.Scores) != len(b.Result.Scores) {
+		t.Fatalf("support sizes differ: %d vs %d", len(a.Result.Scores), len(b.Result.Scores))
+	}
+	for v, s := range a.Result.Scores {
+		if b.Result.Scores[v] != s {
+			t.Fatalf("parallelism changed the result at node %d: %v vs %v", v, s, b.Result.Scores[v])
+		}
+	}
+
+	// Per-query override through the same serial engine.
+	reqP := req
+	reqP.Opts.Parallelism = 4
+	c, err := serial.Do(context.Background(), reqP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range a.Result.Scores {
+		if c.Result.Scores[v] != s {
+			t.Fatalf("per-query parallelism changed the result at node %d", v)
+		}
+	}
+}
+
+// TestCPUTokenAccounting drives concurrent walk-heavy queries through an
+// engine whose CPU budget equals its worker count and checks the token pool
+// is balanced afterwards: all tokens return, and queries never saw more
+// goroutines than the budget allows.
+func TestCPUTokenAccounting(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2, QueueDepth: 64, CPUTokens: 4, Parallelism: 8, CacheBytes: -1})
+	if e.cfg.CPUTokens != 4 {
+		t.Fatalf("CPUTokens config not honored: %d", e.cfg.CPUTokens)
+	}
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	maxP := 0
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			resp, err := e.Do(context.Background(), Request{
+				Seed: graph.NodeID(seed), Method: MethodTEA, NoCache: true,
+				Opts: core.Options{RmaxScale: 20},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			if p := resp.Result.Stats.WalkParallelism; p > maxP {
+				maxP = p
+			}
+			mu.Unlock()
+		}(int64(i))
+	}
+	wg.Wait()
+
+	if free := e.cpu.freeTokens(); free != 4 {
+		t.Fatalf("token pool leaked: %d/4 free after drain", free)
+	}
+	// A query holds 1 worker token and can borrow at most CPUTokens-1 = 3
+	// extras, so observed walk parallelism can never exceed the budget.
+	if maxP > 4 {
+		t.Fatalf("walk parallelism %d exceeded the CPU budget 4", maxP)
+	}
+
+	snap := e.Snapshot()
+	if snap.CPUTokens != 4 || snap.CPUTokensFree != 4 || snap.Parallelism != 8 {
+		t.Fatalf("snapshot token fields wrong: %+v", snap)
+	}
+}

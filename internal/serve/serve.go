@@ -8,6 +8,15 @@
 //     queries execute at once, at most QueueDepth more wait, and anything
 //     beyond that is shed immediately with ErrOverloaded instead of piling up
 //     latency;
+//   - token-based CPU accounting: workers and each query's parallel
+//     Monte-Carlo walk shards (core's sharded walk stage, enabled by
+//     Config.Parallelism) draw from one CPUTokens budget, so an idle engine
+//     spends its whole budget on a single heavy query while a loaded engine
+//     degrades gracefully to one token per query; walk shards never push
+//     combined concurrency past the budget (set CPUTokens to the core count
+//     to make that a strict no-oversubscription guarantee — the default,
+//     max(Workers, GOMAXPROCS), deliberately keeps a Workers > GOMAXPROCS
+//     configuration's inter-query concurrency intact);
 //   - per-query cancellation: every execution runs under a context derived
 //     from the engine's lifetime, the configured DefaultTimeout and the
 //     caller's deadline, threaded into the push/walk loops of internal/core
@@ -69,7 +78,8 @@ var (
 const DefaultCacheBytes int64 = 64 << 20
 
 // Config tunes an Engine.  The zero value gives GOMAXPROCS workers, a queue
-// of 4× that, a 64 MiB cache and no default timeout.
+// of 4× that, a 64 MiB cache, serial queries over a GOMAXPROCS-sized CPU
+// token budget, and no default timeout.
 type Config struct {
 	// Workers is the number of concurrently executing queries.  <= 0 means
 	// GOMAXPROCS.
@@ -88,6 +98,23 @@ type Config struct {
 	// steps) between cancellation checks inside core.  0 means
 	// core.DefaultCancelCheckEvery.
 	CancelCheckEvery int
+	// Parallelism is the default per-query walk-stage parallelism: queries
+	// whose Opts.Parallelism is zero run their Monte-Carlo walk shards on up
+	// to this many goroutines, subject to free CPU tokens.  <= 1 keeps
+	// queries serial.  Results are bit-identical for a given RNG seed at any
+	// parallelism, so this knob (and per-query overrides of it) does not
+	// fragment the result cache.
+	Parallelism int
+	// CPUTokens is the shared CPU budget (in goroutine tokens) that
+	// inter-query workers and intra-query walk shards draw from.  Each
+	// executing query holds one token; its walk stage borrows up to
+	// Parallelism-1 extras only while they are free, so combined
+	// concurrency never exceeds the budget and a loaded engine degrades
+	// toward one token per query.  <= 0 means max(Workers, GOMAXPROCS),
+	// which preserves the configured worker concurrency even when Workers
+	// exceeds the core count; set CPUTokens = GOMAXPROCS explicitly if you
+	// want a strict never-more-goroutines-than-cores guarantee.
+	CPUTokens int
 }
 
 // withDefaults resolves the zero fields of c.
@@ -101,8 +128,63 @@ func (c Config) withDefaults() Config {
 	if c.CacheBytes == 0 {
 		c.CacheBytes = DefaultCacheBytes
 	}
+	if c.CPUTokens <= 0 {
+		c.CPUTokens = c.Workers
+		if p := runtime.GOMAXPROCS(0); p > c.CPUTokens {
+			c.CPUTokens = p
+		}
+	}
 	return c
 }
+
+// cpuTokens is the shared CPU budget implementing core.CPUGate: a buffered
+// channel holding the free tokens.  Workers block for their one token per
+// query; walk shards borrow extras non-blockingly.
+type cpuTokens struct {
+	free chan struct{}
+}
+
+func newCPUTokens(n int) *cpuTokens {
+	p := &cpuTokens{free: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		p.free <- struct{}{}
+	}
+	return p
+}
+
+// acquire blocks for one token, giving up when ctx is done.
+func (p *cpuTokens) acquire(ctx context.Context) bool {
+	select {
+	case <-p.free:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// TryAcquire hands out as many of the n requested tokens as are free.
+func (p *cpuTokens) TryAcquire(n int) int {
+	got := 0
+	for got < n {
+		select {
+		case <-p.free:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// Release returns n tokens to the pool.
+func (p *cpuTokens) Release(n int) {
+	for i := 0; i < n; i++ {
+		p.free <- struct{}{}
+	}
+}
+
+// freeTokens reports the tokens currently available.
+func (p *cpuTokens) freeTokens() int { return len(p.free) }
 
 // Request describes one HKPR query.
 type Request struct {
@@ -156,6 +238,7 @@ type Engine struct {
 
 	cache   *resultCache // nil when disabled
 	metrics *Metrics
+	cpu     *cpuTokens
 
 	queue   chan *task
 	baseCtx context.Context
@@ -186,6 +269,7 @@ func New(est *core.Estimator, cfg Config) (*Engine, error) {
 		g:       est.Graph(),
 		cfg:     cfg,
 		metrics: newMetrics(),
+		cpu:     newCPUTokens(cfg.CPUTokens),
 		queue:   make(chan *task, cfg.QueueDepth),
 		baseCtx: ctx,
 		cancel:  cancel,
@@ -386,13 +470,23 @@ func (e *Engine) worker() {
 // run executes one task and publishes its outcome.
 func (e *Engine) run(t *task) {
 	defer t.cancel()
-	wait := time.Since(t.enqueued)
 	if err := t.ctx.Err(); err != nil {
 		// Canceled or timed out while queued; don't waste a core on it.
 		e.metrics.Canceled.Add(1)
 		e.finish(t, nil, err)
 		return
 	}
+	// Every executing query holds one CPU token; its walk stage borrows
+	// extras from the same pool (threaded through as the core.CPUGate), so
+	// intra-query shards and inter-query workers share one core budget.
+	// Waiting for the token counts as queue time.
+	if !e.cpu.acquire(t.ctx) {
+		e.metrics.Canceled.Add(1)
+		e.finish(t, nil, t.ctx.Err())
+		return
+	}
+	defer e.cpu.Release(1)
+	wait := time.Since(t.enqueued)
 	if gate := e.execGate; gate != nil {
 		gate(&t.req)
 	}
@@ -429,16 +523,22 @@ func (e *Engine) run(t *task) {
 	e.finish(t, resp, nil)
 }
 
-// execute dispatches to the estimator with the task's cancellation context.
+// execute dispatches to the estimator with the task's cancellation context
+// and the engine's CPU-token gate.  A request that does not pin its own
+// Opts.Parallelism inherits the engine default.
 func (e *Engine) execute(t *task) (*core.Result, error) {
-	oc := core.OptionsContext{Ctx: t.ctx, CheckEvery: e.cfg.CancelCheckEvery}
+	oc := core.OptionsContext{Ctx: t.ctx, CheckEvery: e.cfg.CancelCheckEvery, CPU: e.cpu}
+	opts := t.req.Opts
+	if opts.Parallelism == 0 && e.cfg.Parallelism > 1 {
+		opts.Parallelism = e.cfg.Parallelism
+	}
 	switch t.req.Method {
 	case MethodTEA:
-		return e.est.TEAContext(oc, t.req.Seed, t.req.Opts)
+		return e.est.TEAContext(oc, t.req.Seed, opts)
 	case MethodMonteCarlo:
-		return e.est.MonteCarloContext(oc, t.req.Seed, t.req.Opts)
+		return e.est.MonteCarloContext(oc, t.req.Seed, opts)
 	default:
-		return e.est.TEAPlusContext(oc, t.req.Seed, t.req.Opts)
+		return e.est.TEAPlusContext(oc, t.req.Seed, opts)
 	}
 }
 
@@ -472,6 +572,9 @@ func normalizeMethod(m string) (string, error) {
 // cacheKey derives the cache/coalescing identity of a query from its resolved
 // parameters.  Two requests with the same key are guaranteed to produce the
 // same Response (the estimators are deterministic in these inputs).
+// Options.Parallelism is deliberately excluded: the sharded walk stage makes
+// results bit-identical at any parallelism, so differing parallelism hints
+// must share one cache entry.
 func cacheKey(method string, seed graph.NodeID, sweep bool, o core.Options) string {
 	b := make([]byte, 0, 128)
 	b = append(b, method...)

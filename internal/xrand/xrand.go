@@ -13,9 +13,11 @@ import (
 	"math"
 )
 
-// RNG is a xoshiro256++ pseudo-random generator seeded via splitmix64.  It is
-// not safe for concurrent use; each goroutine should own its own RNG (see
-// Split).
+// RNG is a xoshiro256++ pseudo-random generator seeded via splitmix64.  It
+// is not safe for concurrent use; each goroutine should own its own RNG,
+// seeded by a deterministic derivation from (query seed, worker index) so
+// streams stay reproducible regardless of scheduling — see the walk stage's
+// shard-seed derivation in internal/core for the sanctioned pattern.
 type RNG struct {
 	s [4]uint64
 }
@@ -103,13 +105,6 @@ func (r *RNG) Bernoulli(p float64) bool {
 		return true
 	}
 	return r.Float64() < p
-}
-
-// Split returns a new RNG whose stream is independent (for practical
-// purposes) of the parent's, derived deterministically from the parent state
-// and the provided label.  Use it to give worker goroutines their own source.
-func (r *RNG) Split(label uint64) *RNG {
-	return New(r.Uint64() ^ (label*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019))
 }
 
 // Poisson samples a Poisson(lambda) variate.  For small lambda it uses Knuth's

@@ -106,21 +106,6 @@ func TestBernoulli(t *testing.T) {
 	}
 }
 
-func TestSplitIndependence(t *testing.T) {
-	parent := New(99)
-	a := parent.Split(1)
-	b := parent.Split(2)
-	equal := 0
-	for i := 0; i < 64; i++ {
-		if a.Uint64() == b.Uint64() {
-			equal++
-		}
-	}
-	if equal > 2 {
-		t.Errorf("split streams look correlated: %d equal of 64", equal)
-	}
-}
-
 func TestPoissonMeanVariance(t *testing.T) {
 	for _, lambda := range []float64{0.5, 3, 5, 29, 35, 80} {
 		r := New(uint64(lambda*1000) + 5)

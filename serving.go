@@ -13,8 +13,10 @@ import (
 // internal/serve; the aliases make the types nameable by callers.
 type (
 	// EngineConfig tunes an Engine: worker count, admission-queue depth,
-	// result-cache byte budget, default per-query timeout and the
-	// cancellation check interval.
+	// result-cache byte budget, default per-query timeout, the cancellation
+	// check interval, the per-query walk-stage parallelism, and the shared
+	// CPU-token budget that keeps workers plus walk shards from
+	// oversubscribing cores.
 	EngineConfig = serve.Config
 	// ServeRequest is a raw serving-layer query (seed, method, per-query
 	// option overrides, sweep and cache directives).
