@@ -41,15 +41,19 @@
 //
 // # Parallelism
 //
-// The estimators' Monte-Carlo walk stage — where TEA/TEA+ spend nearly all
-// their time — can run sharded over Options.Parallelism goroutines.  For a
-// fixed Options.Seed the result is bit-identical at any parallelism (walks
-// are split over a fixed shard set with per-shard RNGs and merged in shard
-// order), so parallelism is purely a latency knob.  Inside an Engine,
-// workers and walk shards share the EngineConfig.CPUTokens budget: a lone
+// Both compute stages of the estimators parallelize within a single query
+// over Options.Parallelism goroutines: the Monte-Carlo walk stage runs
+// sharded (a fixed shard set with per-shard RNGs, merged in shard order),
+// and the push phase scans each hop's sorted frontier in contiguous chunks
+// (a chunk set fixed by the frontier size, merged in chunk order).  For a
+// fixed Options.Seed the result is bit-identical at any parallelism, so
+// parallelism is purely a latency knob.  Inside an Engine, workers, push
+// chunks and walk shards share the EngineConfig.CPUTokens budget: a lone
 // heavy query fans out across idle cores, a loaded engine degrades to one
-// core per query.  Use Options.WithSeed to pin a query's RNG seed — the
-// SeedSet field makes an explicit seed of 0 distinguishable from "inherit".
+// core per query.  With EngineConfig.Adaptive the engine picks each query's
+// parallelism from the live queue depth and free tokens instead of a static
+// default.  Use Options.WithSeed to pin a query's RNG seed — the SeedSet
+// field makes an explicit seed of 0 distinguishable from "inherit".
 package hkpr
 
 import (

@@ -293,6 +293,44 @@ func BenchmarkServeColdWalkHeavyP1(b *testing.B) { benchServeWalkHeavy(b, 1) }
 
 func BenchmarkServeColdWalkHeavyP4(b *testing.B) { benchServeWalkHeavy(b, 4) }
 
+// benchServePushHeavy measures cold-query latency of a push-dominated TEA
+// query (the default tight rmax keeps nearly all the work in HK-Push's
+// per-hop frontier scans) at the given intra-query parallelism.  Comparing
+// the P=1 and P=4 variants anchors the chunked push phase's latency win on
+// multi-core hardware; results are bit-identical across the variants, so —
+// like the walk-heavy pair above — this is purely a latency knob.
+func benchServePushHeavy(b *testing.B, parallelism int) {
+	g, err := hkpr.GeneratePLC(50000, 5, 0.5, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := hkpr.NewEngine(g, benchOpts(g, 1), hkpr.EngineConfig{
+		Workers: 1, QueueDepth: 4, Parallelism: parallelism, CPUTokens: parallelism,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() })
+	n := g.N()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := eng.Do(context.Background(), hkpr.ServeRequest{
+			Seed: hkpr.NodeID(i % n), Method: string(hkpr.MethodTEA), NoCache: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 && resp.Result.Stats.PushChunks <= int64(resp.Result.Stats.MaxHop) {
+			b.Fatalf("push phase not chunked (%d chunks over %d hops); benchmark is vacuous",
+				resp.Result.Stats.PushChunks, resp.Result.Stats.MaxHop)
+		}
+	}
+}
+
+func BenchmarkServeColdPushHeavyP1(b *testing.B) { benchServePushHeavy(b, 1) }
+
+func BenchmarkServeColdPushHeavyP4(b *testing.B) { benchServePushHeavy(b, 4) }
+
 func BenchmarkServeThroughput1Worker(b *testing.B) { benchServeParallel(b, 1) }
 
 func BenchmarkServeThroughputMaxWorkers(b *testing.B) {

@@ -39,8 +39,10 @@ type perfPoint struct {
 	AllocsPerOp    int64   `json:"allocs_per_op"`
 	BytesPerOp     int64   `json:"bytes_per_op"`
 	WalkPhaseShare float64 `json:"walk_phase_share"`
+	PushPhaseShare float64 `json:"push_phase_share"`
 	RandomWalks    int64   `json:"random_walks"`
 	WalkShards     int     `json:"walk_shards"`
+	PushChunks     int64   `json:"push_chunks"`
 	Iterations     int     `json:"iterations"`
 }
 
@@ -58,10 +60,12 @@ type perfReport struct {
 
 // perfMethods are the estimators tracked by -perf.  The file-name slug avoids
 // the '+' that MethodTEAPlus carries.  Each method tweaks the shared options
-// so its walk phase actually runs — the stage the parallelism points exist to
-// monitor: TEA+ would otherwise early-terminate during its budgeted push
-// (walk share 0% at every P), so a hop cap of 1 (tiny C) stops its push
-// almost immediately; TEA gets a loose rmax for the same reason.
+// so the stage its parallelism points monitor actually dominates: TEA+ would
+// otherwise early-terminate during its budgeted push (walk share 0% at every
+// P), so a hop cap of 1 (tiny C) stops its push almost immediately; TEA gets
+// a loose rmax for the same reason.  "teapush" is the push-phase counterpart:
+// TEA at its default tight rmax is push-dominated, so its P trajectory tracks
+// the chunked parallel frontier scans rather than the walk shards.
 var perfMethods = []struct {
 	slug   string
 	method hkpr.Method
@@ -69,6 +73,7 @@ var perfMethods = []struct {
 }{
 	{"teaplus", hkpr.MethodTEAPlus, func(o hkpr.Options) hkpr.Options { o.C = 1e-3; return o }},
 	{"tea", hkpr.MethodTEA, func(o hkpr.Options) hkpr.Options { o.RmaxScale = 20; return o }},
+	{"teapush", hkpr.MethodTEA, func(o hkpr.Options) hkpr.Options { return o }},
 }
 
 // runPerf executes the -perf mode and writes one JSON file per estimator.
@@ -139,9 +144,10 @@ func perfMeasure(g *hkpr.Graph, method hkpr.Method, opts hkpr.Options, paralleli
 	if err != nil {
 		return perfPoint{}, err
 	}
-	share := 0.0
+	walkShare, pushShare := 0.0, 0.0
 	if total := probe.Stats.PushTime + probe.Stats.WalkTime; total > 0 {
-		share = float64(probe.Stats.WalkTime) / float64(total)
+		walkShare = float64(probe.Stats.WalkTime) / float64(total)
+		pushShare = float64(probe.Stats.PushTime) / float64(total)
 	}
 
 	var benchErr error
@@ -165,9 +171,11 @@ func perfMeasure(g *hkpr.Graph, method hkpr.Method, opts hkpr.Options, paralleli
 		NsPerOp:        res.NsPerOp(),
 		AllocsPerOp:    res.AllocsPerOp(),
 		BytesPerOp:     res.AllocedBytesPerOp(),
-		WalkPhaseShare: share,
+		WalkPhaseShare: walkShare,
+		PushPhaseShare: pushShare,
 		RandomWalks:    probe.Stats.RandomWalks,
 		WalkShards:     probe.Stats.WalkShards,
+		PushChunks:     probe.Stats.PushChunks,
 		Iterations:     res.N,
 	}, nil
 }

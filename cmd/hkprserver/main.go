@@ -16,10 +16,11 @@
 //	GET /cluster?seed=17&method=tea&eps=0.3
 //	GET /cluster?seed=17&nocache=1
 //
-// Cluster responses carry cached/coalesced flags and queue-wait/elapsed
-// timings alongside the cluster itself.  Overload is reported as 503
-// (admission queue full — back off and retry), a query exceeding its deadline
-// as 504.
+// Cluster responses carry cached/coalesced flags, the chosen per-query
+// parallelism, and queue-wait/elapsed timings alongside the cluster itself.
+// Overload is reported as 503 (admission queue full — back off and retry), as
+// is a server that is shutting down; a query exceeding its deadline returns
+// 504.
 //
 // Tuning flags:
 //
@@ -27,14 +28,19 @@
 //	-queue N       admission-queue depth; excess load is shed (default 4×workers)
 //	-cache-mb N    result-cache budget in MiB; 0 disables (default 64)
 //	-timeout D     per-query execution deadline, e.g. 5s; 0 disables (default 10s)
-//	-parallel N    per-query walk-stage parallelism; results are bit-identical
-//	               at any value, so it is purely a latency knob (default 1)
-//	-cpu-tokens N  shared CPU budget for workers + walk shards
+//	-parallel N    per-query push/walk parallelism; results are bit-identical
+//	               at any value, so it is purely a latency knob (default 0 =
+//	               serial unless -adaptive)
+//	-adaptive      choose per-query parallelism from live load instead: idle
+//	               engine → whole CPU budget per query, saturated queue → serial
+//	               (an explicit -parallel value caps the adaptive choice;
+//	               leaving it unset leaves adaptivity uncapped)
+//	-cpu-tokens N  shared CPU budget for workers + push chunks + walk shards
 //	               (default max(workers, GOMAXPROCS))
 //
 // Example:
 //
-//	hkprserver -graph twitter.bin -addr :8080 -workers 16 -cache-mb 256 -parallel 4
+//	hkprserver -graph twitter.bin -addr :8080 -workers 16 -cache-mb 256 -adaptive
 package main
 
 import (
@@ -74,8 +80,9 @@ func run(args []string) error {
 		queue     = fs.Int("queue", 0, "admission queue depth (0 = 4×workers)")
 		cacheMB   = fs.Int("cache-mb", 64, "result cache budget in MiB (0 disables)")
 		timeout   = fs.Duration("timeout", 10*time.Second, "per-query execution deadline (0 disables)")
-		parallel  = fs.Int("parallel", 1, "per-query walk-stage parallelism (subject to free CPU tokens)")
-		cpuTokens = fs.Int("cpu-tokens", 0, "shared CPU token budget for workers and walk shards (0 = max(workers, GOMAXPROCS))")
+		parallel  = fs.Int("parallel", 0, "per-query push/walk parallelism (0 = serial unless -adaptive; subject to free CPU tokens)")
+		adaptive  = fs.Bool("adaptive", false, "choose per-query parallelism adaptively from queue depth and free CPU tokens (an explicit -parallel caps it)")
+		cpuTokens = fs.Int("cpu-tokens", 0, "shared CPU token budget for workers, push chunks and walk shards (0 = max(workers, GOMAXPROCS))")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,6 +112,7 @@ func run(args []string) error {
 		CacheBytes:     cacheBytes,
 		DefaultTimeout: *timeout,
 		Parallelism:    *parallel,
+		Adaptive:       *adaptive,
 		CPUTokens:      *cpuTokens,
 	})
 	if err != nil {
@@ -119,8 +127,8 @@ func run(args []string) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	st := srv.engine.Stats()
-	log.Printf("serving local clustering on %s (graph: n=%d m=%d, workers=%d queue=%d cache=%dMiB parallel=%d cpu-tokens=%d)",
-		*addr, g.N(), g.M(), st.Workers, st.QueueCapacity, st.CacheCapacity>>20, st.Parallelism, st.CPUTokens)
+	log.Printf("serving local clustering on %s (graph: n=%d m=%d, workers=%d queue=%d cache=%dMiB parallel=%d adaptive=%v cpu-tokens=%d)",
+		*addr, g.N(), g.M(), st.Workers, st.QueueCapacity, st.CacheCapacity>>20, st.Parallelism, st.Adaptive, st.CPUTokens)
 
 	select {
 	case err := <-errCh:
@@ -198,6 +206,7 @@ type clusterResponse struct {
 	QueueWaitMS float64 `json:"queue_wait_ms"`
 	Cached      bool    `json:"cached"`
 	Coalesced   bool    `json:"coalesced"`
+	Parallelism int     `json:"parallelism"`
 	Pushes      int64   `json:"push_operations"`
 	Walks       int64   `json:"random_walks"`
 }
@@ -242,6 +251,10 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "method must be tea+, tea or monte-carlo"})
 		case errors.Is(err, hkpr.ErrOverloaded):
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded, retry later"})
+		case errors.Is(err, hkpr.ErrEngineClosed):
+			// The engine drains during graceful shutdown; tell clients to
+			// retry elsewhere rather than reporting an internal error.
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
 		case errors.Is(err, context.DeadlineExceeded):
 			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query deadline exceeded"})
 		case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
@@ -266,6 +279,7 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		QueueWaitMS: float64(resp.QueueWait.Microseconds()) / 1000,
 		Cached:      resp.Cached,
 		Coalesced:   resp.Coalesced,
+		Parallelism: resp.Parallelism,
 		Pushes:      resp.Result.Stats.PushOperations,
 		Walks:       resp.Result.Stats.RandomWalks,
 	})

@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"hkpr"
 )
@@ -150,6 +151,50 @@ func TestClusterEndpointMethodsAndOverrides(t *testing.T) {
 		if resp.StatusCode != http.StatusOK {
 			t.Errorf("method %s status %d", m, resp.StatusCode)
 		}
+	}
+}
+
+// TestClusterEndpointStatusMapping covers the error→status mapping: 400 for
+// malformed requests, 504 for queries that outlive their deadline, and 503
+// for a server that is shutting down (ErrEngineClosed must not surface as a
+// 500).
+func TestClusterEndpointStatusMapping(t *testing.T) {
+	g, _, err := hkpr.GenerateSBM(4, 30, 8, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(g, hkpr.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-4, Seed: 1},
+		hkpr.EngineConfig{Workers: 2, DefaultTimeout: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("/cluster?seed=1&method=bogus"); got != http.StatusBadRequest {
+		t.Errorf("bad method: status %d, want 400", got)
+	}
+	// Monte-Carlo with a tight εr needs tens of millions of walks and cannot
+	// early-terminate, so the 1ms deadline always fires first.
+	if got := status("/cluster?seed=1&method=monte-carlo&eps=0.01&nocache=1"); got != http.StatusGatewayTimeout {
+		t.Errorf("deadline: status %d, want 504", got)
+	}
+
+	if err := srv.engine.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := status("/cluster?seed=1"); got != http.StatusServiceUnavailable {
+		t.Errorf("closed engine: status %d, want 503", got)
 	}
 }
 

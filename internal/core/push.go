@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"sort"
+	"sync/atomic"
 
 	"hkpr/internal/graph"
 	"hkpr/internal/heatkernel"
@@ -141,6 +143,296 @@ type PushResult struct {
 	// SatisfiedInequality11 records whether Σ_k max_u r^(k)[u]/d(u) ≤ ε was
 	// established during the push (only HK-Push+ checks it).
 	SatisfiedInequality11 bool
+	// FrontierChunks counts the frontier chunks processed across all hops
+	// (one per hop when frontiers stay below the chunking threshold).
+	FrontierChunks int64
+	// MaxHopChunks is the largest number of chunks any single hop's frontier
+	// was split into; values above 1 mean the chunked (parallelizable) path
+	// actually ran.
+	MaxHopChunks int
+	// PushParallelism is the maximum number of goroutines used to scan any
+	// hop's frontier after consulting the CPU gate.  It never affects the
+	// output (see the chunking notes on hkPush).
+	PushParallelism int
+}
+
+// hopMaxes incrementally tracks max_u r^(k)[u]/d(u) per hop — the per-hop
+// terms of Inequality (11) — so HK-Push+'s periodic re-check costs O(hops)
+// instead of rescanning every residue entry.  Hops ahead of the drain only
+// ever receive adds, which observe keeps exact; for the hop currently
+// draining, the caller re-seats its term with set from a precomputed
+// suffix-maximum over the still-unpushed frontier tail (see hkPushPlus), so
+// the sum is exact at every checkpoint and mid-hop early termination still
+// fires as soon as the dominant entries have been pushed.
+type hopMaxes struct {
+	max []float64
+}
+
+// observe accounts for residue value r landing on a node of degree d at hop k.
+func (h *hopMaxes) observe(k int, r, d float64) {
+	if d <= 0 {
+		return
+	}
+	for len(h.max) <= k {
+		h.max = append(h.max, 0)
+	}
+	if norm := r / d; norm > h.max[k] {
+		h.max[k] = norm
+	}
+}
+
+// set overwrites hop k's term with an exactly-known maximum.
+func (h *hopMaxes) set(k int, v float64) {
+	for len(h.max) <= k {
+		h.max = append(h.max, 0)
+	}
+	h.max[k] = v
+}
+
+// sum returns Σ_k max(k) = NormalizedMaxSum at every checkpoint (each term
+// is exact there), so sum() ≤ ε is exactly Inequality (11).
+func (h *hopMaxes) sum() float64 {
+	total := 0.0
+	for _, m := range h.max {
+		total += m
+	}
+	return total
+}
+
+// Frontier chunking constants.  The chunk count is a pure function of the
+// frontier size so that it — and with it the result — cannot depend on the
+// parallelism, mirroring the walk stage's budget-only sharding.
+const (
+	// maxPushChunks bounds the chunks (and hence the useful parallelism) of
+	// one hop's frontier scan.
+	maxPushChunks = 32
+	// minFrontierPerChunk keeps small frontiers on the serial fast path: below
+	// this size a chunk's fixed costs (delta map, goroutine handoff) outweigh
+	// the scan.
+	minFrontierPerChunk = 128
+	// inequalityCheckEvery is the number of push operations between
+	// Inequality-11 re-checks on the serial path (the chunked path checks at
+	// chunk boundaries instead, which is what keeps it order-deterministic).
+	inequalityCheckEvery = 4096
+)
+
+// pushChunkCount returns the number of contiguous chunks a frontier of the
+// given size is split into.  Deterministic in the frontier size only.
+func pushChunkCount(frontierLen int) int {
+	c := frontierLen / minFrontierPerChunk
+	if c < 1 {
+		return 1
+	}
+	if c > maxPushChunks {
+		return maxPushChunks
+	}
+	return int(c)
+}
+
+// pushChunk is one contiguous slice [lo, hi) of a hop's sorted frontier plus
+// the deltas its scan produced: the hop-(k+1) residue mass its pushes spread,
+// and the work counters.  Scans are read-only with respect to the shared
+// residue state; the caller merges chunks in index order.
+type pushChunk struct {
+	lo, hi int
+	delta  map[graph.NodeID]float64
+	ops    int64
+	nodes  int64
+	err    error
+}
+
+// scanFrontierChunks scans the frontier's chunks on up to workers goroutines.
+// Each chunk accumulates its spread into a private delta map in frontier
+// order, so chunk contents depend only on the frontier split — never on
+// scheduling.  A chunk that hits cancellation records the error and flags the
+// remaining chunks to bail out.
+func scanFrontierChunks(g *graph.Graph, hop map[graph.NodeID]float64, frontier []graph.NodeID, stop float64, nChunks, workers int, cc *cancelChecker) []pushChunk {
+	chunks := make([]pushChunk, nChunks)
+	for i := range chunks {
+		chunks[i].lo = i * len(frontier) / nChunks
+		chunks[i].hi = (i + 1) * len(frontier) / nChunks
+	}
+	var failed atomic.Bool
+	scan := func(i int) {
+		c := &chunks[i]
+		if failed.Load() {
+			// Another chunk hit cancellation; the merge stops at the first
+			// errored chunk, so this chunk's work would be discarded anyway.
+			if err := cc.err(); err != nil {
+				c.err = err
+			} else {
+				c.err = context.Canceled
+			}
+			return
+		}
+		fork := cc.fork()
+		hint := (c.hi - c.lo) * 4
+		if hint > 4096 {
+			hint = 4096
+		}
+		delta := make(map[graph.NodeID]float64, hint)
+		for _, v := range frontier[c.lo:c.hi] {
+			r := hop[v]
+			if r == 0 {
+				continue
+			}
+			deg := g.Degree(v)
+			spread := (1 - stop) * r
+			if spread > 0 && deg > 0 {
+				share := spread / float64(deg)
+				for _, u := range g.Neighbors(v) {
+					delta[u] += share
+				}
+			}
+			c.ops += int64(deg)
+			c.nodes++
+			if err := fork.tick(int(deg)); err != nil {
+				c.err = err
+				failed.Store(true)
+				return
+			}
+		}
+		c.delta = delta
+	}
+	runSharded(nChunks, workers, scan)
+	return chunks
+}
+
+// drainFrontier pushes every node of one hop's sorted frontier, spreading the
+// hop-(k+1) residue and accumulating reserves, counters and (when track is
+// non-nil) the incremental Inequality-11 bound against target.
+//
+// Small frontiers run a serial fast path that writes residues directly.  A
+// frontier at or above the chunking threshold is split into
+// pushChunkCount(len) contiguous chunks scanned on up to parallelism
+// goroutines (extra goroutines beyond the first are borrowed from ctl's CPU
+// gate), and the per-chunk deltas are merged strictly in chunk order.  The
+// hop-(k+1) residue map is empty when a hop starts, so the one-chunk case and
+// the serial path accumulate in the identical float order, and chunk counts
+// depend only on the frontier — which together make the result bit-identical
+// for any parallelism, the same guarantee the walk stage provides.
+//
+// It returns satisfied=true as soon as the Inequality-11 sum drops to target
+// or below.  The check runs at deterministic points only (every
+// inequalityCheckEvery operations on the serial path, at chunk boundaries on
+// the chunked path), so early termination is also parallelism-independent.
+// At each checkpoint the draining hop's own term is re-seated exactly from
+// suffixMax — suffixMax[i] is the maximum residue norm over frontier[i:],
+// and restMax the maximum over the hop's entries outside the frontier — so
+// the test can fire mid-hop once the dominant entries have been pushed.
+func drainFrontier(res *PushResult, g *graph.Graph, hop map[graph.NodeID]float64, frontier []graph.NodeID, stop float64, k, parallelism int, ctl execCtl, track *hopMaxes, target float64, suffixMax []float64, restMax float64) (satisfied bool, err error) {
+	nChunks := pushChunkCount(len(frontier))
+	res.FrontierChunks += int64(nChunks)
+	if nChunks > res.MaxHopChunks {
+		res.MaxHopChunks = nChunks
+	}
+
+	if nChunks == 1 {
+		sinceCheck := int64(0)
+		for idx, v := range frontier {
+			r := hop[v]
+			if r == 0 {
+				continue
+			}
+			deg := g.Degree(v)
+			res.Reserve[v] += stop * r
+			spread := (1 - stop) * r
+			if spread > 0 && deg > 0 {
+				share := spread / float64(deg)
+				for _, u := range g.Neighbors(v) {
+					res.Residues.add(k+1, u, share)
+					if track != nil {
+						track.observe(k+1, res.Residues.hops[k+1][u], float64(g.Degree(u)))
+					}
+				}
+			}
+			delete(hop, v)
+			res.PushOperations += int64(deg)
+			res.PushedNodes++
+			if err := ctl.cc.tick(int(deg)); err != nil {
+				return false, err
+			}
+			if track != nil {
+				sinceCheck += int64(deg)
+				if sinceCheck >= inequalityCheckEvery {
+					sinceCheck = 0
+					remaining := restMax
+					if s := suffixMax[idx+1]; s > remaining {
+						remaining = s
+					}
+					track.set(k, remaining)
+					if track.sum() <= target {
+						return true, nil
+					}
+				}
+			}
+		}
+		return false, nil
+	}
+
+	workers := parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > nChunks {
+		workers = nChunks
+	}
+	if workers > 1 && ctl.cpu != nil {
+		extra := ctl.cpu.TryAcquire(workers - 1)
+		defer ctl.cpu.Release(extra)
+		workers = 1 + extra
+	}
+	if workers > res.PushParallelism {
+		res.PushParallelism = workers
+	}
+
+	chunks := scanFrontierChunks(g, hop, frontier, stop, nChunks, workers, ctl.cc)
+	for i := range chunks {
+		c := &chunks[i]
+		if c.err == nil {
+			// Chunk boundaries double as cancellation checkpoints: the merge
+			// itself is O(hop edges) and would otherwise hold the worker (and
+			// its CPU tokens) long after the caller is gone.
+			c.err = ctl.cc.err()
+		}
+		if c.err != nil {
+			// Chunks before i are fully merged, chunks from i on are
+			// discarded, so the partial state is a consistent prefix.
+			return false, c.err
+		}
+		for _, v := range frontier[c.lo:c.hi] {
+			r := hop[v]
+			if r == 0 {
+				continue
+			}
+			res.Reserve[v] += stop * r
+			delete(hop, v)
+		}
+		// Each node appears in at most one chunk delta per merge step, so
+		// map iteration order within a chunk cannot perturb float bits; the
+		// chunk-order outer loop fixes the accumulation order per node.
+		for u, x := range c.delta {
+			res.Residues.add(k+1, u, x)
+			if track != nil {
+				track.observe(k+1, res.Residues.hops[k+1][u], float64(g.Degree(u)))
+			}
+		}
+		res.PushOperations += c.ops
+		res.PushedNodes += c.nodes
+		if track != nil {
+			remaining := restMax
+			if s := suffixMax[c.hi]; s > remaining {
+				remaining = s
+			}
+			track.set(k, remaining)
+			if track.sum() <= target {
+				// Later chunks were scanned but their deltas are dropped — at
+				// every parallelism, since the merge order is fixed.
+				return true, nil
+			}
+		}
+	}
+	return false, nil
 }
 
 // HKPush implements Algorithm 1.  Starting from r^(0)[s] = 1 it repeatedly
@@ -157,17 +449,20 @@ type PushResult struct {
 // The run time and the number of non-zero residue entries are O(1/rmax)
 // (Lemma 3).
 func HKPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops int) *PushResult {
-	res, _ := hkPush(g, seed, w, rmax, maxHops, nil)
+	res, _ := hkPush(g, seed, w, rmax, maxHops, 1, execCtl{})
 	return res
 }
 
 // hkPush is HKPush with a cancellation checkpoint charged per pushed node
-// (cost d(v), the paper's push-operation unit).  On cancellation the partial
+// (cost d(v), the paper's push-operation unit) and per-hop frontier scans
+// parallelized over up to parallelism goroutines (see drainFrontier; the
+// output is bit-identical at any parallelism).  On cancellation the partial
 // result is returned alongside the context error.
-func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops int, cc *cancelChecker) (*PushResult, error) {
+func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops, parallelism int, ctl execCtl) (*PushResult, error) {
 	res := &PushResult{
-		Reserve:  make(map[graph.NodeID]float64),
-		Residues: &ResidueVectors{},
+		Reserve:         make(map[graph.NodeID]float64),
+		Residues:        &ResidueVectors{},
+		PushParallelism: 1,
 	}
 	res.Residues.set(0, seed, 1)
 	if rmax <= 0 {
@@ -193,26 +488,8 @@ func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 			}
 		}
 		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
-		for _, v := range frontier {
-			r := hop[v]
-			if r == 0 {
-				continue
-			}
-			res.Reserve[v] += stop * r
-			spread := (1 - stop) * r
-			deg := g.Degree(v)
-			if spread > 0 && deg > 0 {
-				share := spread / float64(deg)
-				for _, u := range g.Neighbors(v) {
-					res.Residues.add(k+1, u, share)
-				}
-			}
-			delete(hop, v)
-			res.PushOperations += int64(deg)
-			res.PushedNodes++
-			if err := cc.tick(int(deg)); err != nil {
-				return res, err
-			}
+		if _, err := drainFrontier(res, g, hop, frontier, stop, k, parallelism, ctl, nil, 0, nil, 0); err != nil {
+			return res, err
 		}
 	}
 	return res, nil
@@ -224,16 +501,22 @@ func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 // with ε = εr·δ, and only hops below the cap K are ever pushed (hop-K residue
 // is left for the walk phase).
 func HKPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64) *PushResult {
-	res, _ := hkPushPlus(g, seed, w, epsRel, delta, maxHopK, budget, nil)
+	res, _ := hkPushPlus(g, seed, w, epsRel, delta, maxHopK, budget, 1, execCtl{})
 	return res
 }
 
 // hkPushPlus is HKPushPlus with a cancellation checkpoint charged per pushed
-// node, mirroring hkPush.
-func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64, cc *cancelChecker) (*PushResult, error) {
+// node and parallel per-hop frontier scans, mirroring hkPush.  The
+// Inequality-11 test is maintained incrementally (hopMaxes) so each re-check
+// costs O(hops), and it runs only at deterministic points — every
+// inequalityCheckEvery operations on the serial path, at chunk and hop
+// boundaries otherwise — so early termination, like the residue state, is
+// bit-identical at any parallelism.
+func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64, parallelism int, ctl execCtl) (*PushResult, error) {
 	res := &PushResult{
-		Reserve:  make(map[graph.NodeID]float64),
-		Residues: &ResidueVectors{},
+		Reserve:         make(map[graph.NodeID]float64),
+		Residues:        &ResidueVectors{},
+		PushParallelism: 1,
 	}
 	res.Residues.set(0, seed, 1)
 	if maxHopK < 1 {
@@ -242,64 +525,99 @@ func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 	target := epsRel * delta
 	threshold := target / float64(maxHopK)
 
-	// checkEvery controls how often the (exact but linear-time) Inequality-11
-	// test runs during a hop; the authoritative test also runs when each hop
-	// drains, and TEA+ re-checks after the push returns.
-	const checkEvery = 4096
-	sinceCheck := int64(0)
+	track := &hopMaxes{}
+	track.observe(0, 1, float64(g.Degree(seed)))
 
 	// Sorted for run-to-run determinism, exactly as in hkPush; the budget
 	// cut-off therefore also lands on a deterministic frontier prefix.
 	var frontier []graph.NodeID
+	var suffixMax []float64
 	for k := 0; k < res.Residues.NumHops() && k < maxHopK; k++ {
 		hop := res.Residues.hops[k]
 		stop := w.Stop(k)
+		// restMax tracks the exact maximum residue norm over this hop's
+		// entries that will NOT be pushed (below threshold, or cut by the
+		// budget); a hop receives no new residue while it drains, so the
+		// hop's exact remaining maximum at any point of the drain is
+		// max(restMax, suffix maximum of the unpushed frontier tail).
+		restMax := 0.0
 		frontier = frontier[:0]
 		for v, r := range hop {
-			if r > threshold*float64(g.Degree(v)) {
+			d := float64(g.Degree(v))
+			if r > threshold*d {
 				frontier = append(frontier, v)
+			} else if d > 0 {
+				if norm := r / d; norm > restMax {
+					restMax = norm
+				}
 			}
 		}
 		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
-		for _, v := range frontier {
-			r := hop[v]
-			if r == 0 {
-				continue
+
+		// The budget cut is resolved before any push: the first frontier node
+		// whose degree would take PushOperations past the budget truncates the
+		// frontier, so the cut is a deterministic prefix at any parallelism.
+		truncated := false
+		if budget > 0 {
+			running := res.PushOperations
+			cut := len(frontier)
+			for i, v := range frontier {
+				deg := int64(g.Degree(v))
+				if running+deg > budget {
+					cut, truncated = i, true
+					break
+				}
+				running += deg
 			}
-			deg := g.Degree(v)
-			if budget > 0 && res.PushOperations+int64(deg) > budget {
-				// Budget exhausted: leave the remaining residues in place and
-				// let TEA+ clean up with random walks.
-				return res, nil
-			}
-			res.Reserve[v] += stop * r
-			spread := (1 - stop) * r
-			if spread > 0 && deg > 0 {
-				share := spread / float64(deg)
-				for _, u := range g.Neighbors(v) {
-					res.Residues.add(k+1, u, share)
+			for _, v := range frontier[cut:] {
+				if d := float64(g.Degree(v)); d > 0 {
+					if norm := hop[v] / d; norm > restMax {
+						restMax = norm
+					}
 				}
 			}
-			delete(hop, v)
-			res.PushOperations += int64(deg)
-			res.PushedNodes++
-			if err := cc.tick(int(deg)); err != nil {
-				return res, err
-			}
-			sinceCheck += int64(deg)
-			if sinceCheck >= checkEvery {
-				sinceCheck = 0
-				if res.Residues.NormalizedMaxSum(g) <= target {
-					res.SatisfiedInequality11 = true
-					return res, nil
-				}
-			}
+			frontier = frontier[:cut]
 		}
-		if res.Residues.NormalizedMaxSum(g) <= target {
+
+		// suffixMax[i] = max residue norm over frontier[i:], so checkpoints
+		// inside drainFrontier re-seat hop k's Inequality-11 term exactly.
+		if cap(suffixMax) < len(frontier)+1 {
+			suffixMax = make([]float64, len(frontier)+1)
+		}
+		suffixMax = suffixMax[:len(frontier)+1]
+		suffixMax[len(frontier)] = 0
+		for i := len(frontier) - 1; i >= 0; i-- {
+			m := suffixMax[i+1]
+			if d := float64(g.Degree(frontier[i])); d > 0 {
+				if norm := hop[frontier[i]] / d; norm > m {
+					m = norm
+				}
+			}
+			suffixMax[i] = m
+		}
+
+		satisfied, err := drainFrontier(res, g, hop, frontier, stop, k, parallelism, ctl, track, target, suffixMax, restMax)
+		if err != nil {
+			return res, err
+		}
+		if satisfied {
+			res.SatisfiedInequality11 = true
+			return res, nil
+		}
+		if truncated {
+			// Budget exhausted: leave the remaining residues in place and
+			// let TEA+ clean up with random walks.
+			return res, nil
+		}
+		// The hop has fully drained, so its exact maximum is restMax.
+		track.set(k, restMax)
+		if track.sum() <= target {
 			res.SatisfiedInequality11 = true
 			return res, nil
 		}
 	}
-	res.SatisfiedInequality11 = res.Residues.NormalizedMaxSum(g) <= target
+	// Every drained hop's term was re-seated exactly and later hops only ever
+	// received adds, so the incremental sum equals NormalizedMaxSum here.
+	res.SatisfiedInequality11 = track.sum() <= target
 	return res, nil
 }

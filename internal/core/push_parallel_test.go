@@ -1,0 +1,301 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+	"hkpr/internal/heatkernel"
+)
+
+// residueKey flattens a (hop, node) residue coordinate for exact comparison.
+type residueKey struct {
+	hop  int
+	node graph.NodeID
+}
+
+func residueMap(res *ResidueVectors) map[residueKey]float64 {
+	out := make(map[residueKey]float64)
+	res.Entries(func(k int, v graph.NodeID, r float64) {
+		out[residueKey{k, v}] = r
+	})
+	return out
+}
+
+// assertPushResultsIdentical compares two push results bit for bit: reserves,
+// residues, counters and the Inequality-11 verdict.
+func assertPushResultsIdentical(t *testing.T, label string, a, b *PushResult) {
+	t.Helper()
+	if len(a.Reserve) != len(b.Reserve) {
+		t.Fatalf("%s: reserve support %d != %d", label, len(a.Reserve), len(b.Reserve))
+	}
+	for v, q := range a.Reserve {
+		if bq, ok := b.Reserve[v]; !ok || bq != q {
+			t.Fatalf("%s: reserve at node %d: %v != %v (bit-identity violated)", label, v, q, bq)
+		}
+	}
+	ra, rb := residueMap(a.Residues), residueMap(b.Residues)
+	if len(ra) != len(rb) {
+		t.Fatalf("%s: residue support %d != %d", label, len(ra), len(rb))
+	}
+	for k, r := range ra {
+		if br, ok := rb[k]; !ok || br != r {
+			t.Fatalf("%s: residue at hop %d node %d: %v != %v", label, k.hop, k.node, r, br)
+		}
+	}
+	if a.PushOperations != b.PushOperations || a.PushedNodes != b.PushedNodes {
+		t.Fatalf("%s: counters (%d,%d) != (%d,%d)", label,
+			a.PushOperations, a.PushedNodes, b.PushOperations, b.PushedNodes)
+	}
+	if a.FrontierChunks != b.FrontierChunks || a.MaxHopChunks != b.MaxHopChunks {
+		t.Fatalf("%s: chunking diverged: (%d,%d) != (%d,%d)", label,
+			a.FrontierChunks, a.MaxHopChunks, b.FrontierChunks, b.MaxHopChunks)
+	}
+	if a.SatisfiedInequality11 != b.SatisfiedInequality11 {
+		t.Fatalf("%s: Inequality-11 verdict diverged: %v != %v", label,
+			a.SatisfiedInequality11, b.SatisfiedInequality11)
+	}
+}
+
+// TestHKPushSerialParallelBitIdentity is the push phase's core property: the
+// chunk set depends only on each hop's frontier, chunks are merged in chunk
+// order, and therefore the full push state is bit-identical at any
+// parallelism.
+func TestHKPushSerialParallelBitIdentity(t *testing.T) {
+	g := parallelTestGraph(t)
+	w := heatkernel.MustNew(5, 1e-15)
+	// rmax small enough that mid-hop frontiers far exceed the chunking
+	// threshold, so the parallel path actually runs.
+	const rmax = 1e-8
+
+	serial, err := hkPush(g, 7, w, rmax, 0, 1, execCtl{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.MaxHopChunks < 2 {
+		t.Fatalf("no hop was chunked (max %d chunks); test is vacuous", serial.MaxHopChunks)
+	}
+	for _, p := range []int{2, 8} {
+		par, err := hkPush(g, 7, w, rmax, 0, p, execCtl{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertPushResultsIdentical(t, "HK-Push", serial, par)
+	}
+}
+
+// TestHKPushPlusSerialParallelBitIdentity covers HK-Push+ both with the
+// budget cut landing mid-push (the cut is resolved on a deterministic
+// frontier prefix before any chunk runs) and with an effectively unlimited
+// budget.
+func TestHKPushPlusSerialParallelBitIdentity(t *testing.T) {
+	g := parallelTestGraph(t)
+	w := heatkernel.MustNew(5, 1e-15)
+	delta := 1 / float64(g.N())
+
+	for _, tc := range []struct {
+		name   string
+		budget int64
+	}{
+		{"unbounded", 1 << 40},
+		{"budget-cut", 40_000},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, err := hkPushPlus(g, 7, w, 0.5, delta, 20, tc.budget, 1, execCtl{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.MaxHopChunks < 2 {
+				t.Fatalf("no hop was chunked (max %d chunks); test is vacuous", serial.MaxHopChunks)
+			}
+			for _, p := range []int{2, 8} {
+				par, err := hkPushPlus(g, 7, w, 0.5, delta, 20, tc.budget, p, execCtl{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertPushResultsIdentical(t, "HK-Push+/"+tc.name, serial, par)
+			}
+			if tc.budget > 0 && serial.PushOperations > tc.budget {
+				t.Fatalf("push operations %d exceed budget %d", serial.PushOperations, tc.budget)
+			}
+		})
+	}
+}
+
+// TestPushHeavyEstimatorBitIdentity runs the full TEA pipeline with a tight
+// rmax (push-dominated) and checks the end-to-end scores stay bit-identical
+// across parallelism, now that the push phase parallelizes too.
+func TestPushHeavyEstimatorBitIdentity(t *testing.T) {
+	g := parallelTestGraph(t)
+	opts := Options{
+		Delta:       1 / float64(g.N()),
+		FailureProb: 1e-4,
+		RmaxScale:   0.02, // tight rmax → big frontiers, push-dominated
+		Seed:        42,
+	}
+
+	run := func(p int) *Result {
+		o := opts
+		o.Parallelism = p
+		res, err := TEA(g, 7, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	if serial.Stats.PushChunks <= int64(serial.Stats.MaxHop) {
+		t.Fatalf("push never chunked (%d chunks over max hop %d); test is vacuous",
+			serial.Stats.PushChunks, serial.Stats.MaxHop)
+	}
+	for _, p := range []int{2, 8} {
+		par := run(p)
+		if len(par.Scores) != len(serial.Scores) {
+			t.Fatalf("P=%d support %d != serial %d", p, len(par.Scores), len(serial.Scores))
+		}
+		for v, s := range serial.Scores {
+			if ps, ok := par.Scores[v]; !ok || ps != s {
+				t.Fatalf("P=%d score at node %d: %v != serial %v", p, v, ps, s)
+			}
+		}
+		if par.Stats.PushOperations != serial.Stats.PushOperations {
+			t.Fatalf("P=%d push ops %d != serial %d", p, par.Stats.PushOperations, serial.Stats.PushOperations)
+		}
+	}
+}
+
+// TestPushChunkCountDeterminism pins the chunking function: chunk count
+// depends only on the frontier size.
+func TestPushChunkCountDeterminism(t *testing.T) {
+	if got := pushChunkCount(0); got != 1 {
+		t.Errorf("pushChunkCount(0)=%d", got)
+	}
+	if got := pushChunkCount(minFrontierPerChunk - 1); got != 1 {
+		t.Errorf("small frontiers must not chunk, got %d", got)
+	}
+	if got := pushChunkCount(10 * minFrontierPerChunk); got != 10 {
+		t.Errorf("pushChunkCount(10*min)=%d", got)
+	}
+	if got := pushChunkCount(1 << 30); got != maxPushChunks {
+		t.Errorf("huge frontiers must cap at %d, got %d", maxPushChunks, got)
+	}
+}
+
+// TestInequality11IncrementalSoundness checks the O(hops) incremental bound:
+// whenever HK-Push+ reports SatisfiedInequality11, the exact (rescan-based)
+// NormalizedMaxSum must indeed be at or below the target, for a spread of
+// graphs and thresholds.
+func TestInequality11IncrementalSoundness(t *testing.T) {
+	w := heatkernel.MustNew(5, 1e-15)
+	sawSatisfied := false
+	for _, n := range []int{60, 200, 800} {
+		for _, deltaScale := range []float64{0.05, 1, 20} {
+			g, err := gen.ErdosRenyi(n, 0.1, uint64(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, _ = graph.LargestComponent(g)
+			delta := deltaScale / float64(g.N())
+			if delta >= 1 {
+				continue
+			}
+			push := HKPushPlus(g, 0, w, 0.5, delta, 8, 1<<40)
+			target := 0.5 * delta
+			exact := push.Residues.NormalizedMaxSum(g)
+			if push.SatisfiedInequality11 {
+				sawSatisfied = true
+				if exact > target {
+					t.Fatalf("n=%d δ=%g: reported satisfied but exact sum %v > target %v",
+						n, delta, exact, target)
+				}
+			} else if exact <= target {
+				// The bound is allowed to be loose only before the push
+				// finishes; a completed push must be exact.
+				t.Fatalf("n=%d δ=%g: exact sum %v ≤ target %v but not reported", n, delta, exact, target)
+			}
+		}
+	}
+	if !sawSatisfied {
+		t.Fatal("no configuration satisfied Inequality 11; soundness test is vacuous")
+	}
+}
+
+// TestPushCPUGateLimitsWorkersAndIsBalanced checks the push phase borrows at
+// most Parallelism-1 extra tokens per hop, returns every token, degrades to
+// serial when starved, and that the gate grant never changes the result.
+func TestPushCPUGateLimitsWorkersAndIsBalanced(t *testing.T) {
+	g := parallelTestGraph(t)
+	est, err := NewEstimator(g, Options{
+		Delta: 1 / float64(g.N()), FailureProb: 1e-4, RmaxScale: 0.02, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	gate := &countingGate{free: 2}
+	res, err := est.TEAContext(OptionsContext{Ctx: ctx, CPU: gate}, 7, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.PushChunks <= int64(res.Stats.MaxHop) {
+		t.Fatalf("push never chunked; gate test is vacuous (chunks=%d maxhop=%d)",
+			res.Stats.PushChunks, res.Stats.MaxHop)
+	}
+	if res.Stats.PushParallelism != 3 {
+		t.Fatalf("gate granted 2 extras, so push parallelism should be 3, got %d", res.Stats.PushParallelism)
+	}
+	if gate.acquired != gate.released {
+		t.Fatalf("gate leak: acquired %d released %d", gate.acquired, gate.released)
+	}
+	if gate.free != 2 {
+		t.Fatalf("gate budget not restored: %d", gate.free)
+	}
+
+	starved := &countingGate{free: 0}
+	serialRes, err := est.TEAContext(OptionsContext{Ctx: ctx, CPU: starved}, 7, Options{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serialRes.Stats.PushParallelism != 1 {
+		t.Fatalf("starved gate should force serial pushes, got P=%d", serialRes.Stats.PushParallelism)
+	}
+	if len(serialRes.Scores) != len(res.Scores) {
+		t.Fatalf("gated results diverge in support: %d vs %d", len(serialRes.Scores), len(res.Scores))
+	}
+	for v, s := range res.Scores {
+		if serialRes.Scores[v] != s {
+			t.Fatalf("gated results diverge at node %d", v)
+		}
+	}
+}
+
+// TestCancellationMidPushChunk aborts a parallel push mid-flight and checks
+// the context error propagates out of every layer.  Run under -race (as CI
+// does) this exercises the chunk goroutines' synchronization.
+func TestCancellationMidPushChunk(t *testing.T) {
+	g := parallelTestGraph(t)
+	est, err := NewEstimator(g, Options{Delta: 1 / float64(g.N()), FailureProb: 1e-4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	// A tiny delta makes ω enormous and rmax tiny, so the push alone would
+	// run effectively forever without cancellation.
+	_, err = est.TEAContext(OptionsContext{Ctx: ctx}, 2, Options{Delta: 1e-10, Parallelism: 8})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("expected context.Canceled, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("parallel push cancellation took %v", elapsed)
+	}
+}

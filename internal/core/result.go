@@ -51,6 +51,14 @@ type Stats struct {
 	// WalkParallelism is the number of goroutines the walk stage actually
 	// used after consulting the CPU gate.  It does not affect Scores.
 	WalkParallelism int
+	// PushChunks counts the frontier chunks the push phase processed across
+	// all hops (deterministic in the frontier sizes; one per hop when every
+	// frontier stays below the chunking threshold).
+	PushChunks int64
+	// PushParallelism is the maximum number of goroutines the push phase used
+	// for any hop's frontier scan after consulting the CPU gate.  Like
+	// WalkParallelism it never affects Scores.
+	PushParallelism int
 	// PushTime and WalkTime are the wall-clock durations of the two phases.
 	PushTime time.Duration
 	WalkTime time.Duration

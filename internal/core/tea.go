@@ -64,9 +64,11 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 		maxHops = w.TruncationHop(1e-12)
 	}
 
-	// Stage 1: push.
+	// Stage 1: push, with per-hop frontier scans parallelized the same way
+	// the walk stage is (chunk set depends only on the frontier, so the
+	// result is bit-identical at any parallelism).
 	pushStart := time.Now()
-	push, err := hkPush(g, seed, w, rmax, maxHops, ctl.cc)
+	push, err := hkPush(g, seed, w, rmax, maxHops, opts.Parallelism, ctl)
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA push phase: %w", err)
 	}
@@ -109,6 +111,8 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 			MaxHop:                 push.Residues.MaxHopWithMass(),
 			WalkShards:             walked.shards,
 			WalkParallelism:        walked.workers,
+			PushChunks:             push.FrontierChunks,
+			PushParallelism:        push.PushParallelism,
 			PushTime:               pushTime,
 			WalkTime:               walkTime,
 			WorkingSetBytes: estimatedWorkingSetBytes(len(scores)) +

@@ -48,7 +48,7 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	k := hopCap(opts.C, opts.EpsRel, opts.Delta, g.AverageDegree(), w)
 
 	pushStart := time.Now()
-	push, err := hkPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget, ctl.cc)
+	push, err := hkPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget, opts.Parallelism, ctl)
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA+ push phase: %w", err)
 	}
@@ -58,10 +58,12 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	target := opts.EpsRel * opts.Delta
 
 	stats := Stats{
-		PushOperations: push.PushOperations,
-		PushedNodes:    push.PushedNodes,
-		MaxHop:         push.Residues.MaxHopWithMass(),
-		PushTime:       pushTime,
+		PushOperations:  push.PushOperations,
+		PushedNodes:     push.PushedNodes,
+		MaxHop:          push.Residues.MaxHopWithMass(),
+		PushChunks:      push.FrontierChunks,
+		PushParallelism: push.PushParallelism,
+		PushTime:        pushTime,
 	}
 
 	// Line 7: if Inequality (11) holds the reserve already is a
@@ -173,7 +175,10 @@ func TEAPlusNoReduction(g *graph.Graph, seed graph.NodeID, opts Options) (*Resul
 	k := hopCap(opts.C, opts.EpsRel, opts.Delta, g.AverageDegree(), w)
 
 	pushStart := time.Now()
-	push := HKPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget)
+	push, err := hkPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget, opts.Parallelism, execCtl{})
+	if err != nil {
+		return nil, err
+	}
 	pushTime := time.Since(pushStart)
 	scores := push.Reserve
 
@@ -204,6 +209,8 @@ func TEAPlusNoReduction(g *graph.Graph, seed graph.NodeID, opts Options) (*Resul
 			MaxHop:                 push.Residues.MaxHopWithMass(),
 			WalkShards:             walked.shards,
 			WalkParallelism:        walked.workers,
+			PushChunks:             push.FrontierChunks,
+			PushParallelism:        push.PushParallelism,
 			PushTime:               pushTime,
 			WalkTime:               time.Since(walkStart),
 			WorkingSetBytes: estimatedWorkingSetBytes(len(scores)) +

@@ -45,7 +45,10 @@ func KRandomWalk(g *graph.Graph, rng *xrand.RNG, w *heatkernel.Weights, u graph.
 	cur := u
 	steps := 0
 	for l := 0; l < lengthCap; l++ {
-		if rng.Float64() <= w.Stop(k+l) {
+		// Strict <: Float64 is uniform on [0,1), so a stop weight of exactly 0
+		// must never terminate the walk (<= would stop with probability 2⁻⁵³),
+		// and a stop weight of 1 (beyond the table) always does.
+		if rng.Float64() < w.Stop(k+l) {
 			return cur, steps
 		}
 		ns := g.Neighbors(cur)
@@ -188,6 +191,36 @@ func (p *walkPlan) shardWalks(i int) int64 {
 	return base
 }
 
+// runSharded executes run(i) for every i in [0, n) on up to workers
+// goroutines, stealing indices from a shared atomic counter.  It is the
+// scheduling substrate shared by the walk stage's shards and the push
+// phase's frontier chunks; unit contents must depend only on i so that
+// scheduling can never leak into results.
+func runSharded(n, workers int, run func(int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // walkStageResult carries the sharded walk stage's output into the merge
 // stage plus the counters for Stats.
 type walkStageResult struct {
@@ -268,28 +301,7 @@ func runWalkStage(g *graph.Graph, w *heatkernel.Weights, p *walkPlan, parallelis
 		shardWalks[i], shardSteps[i] = budget, steps
 	}
 
-	if workers <= 1 {
-		for i := 0; i < p.shards; i++ {
-			runShard(i)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(workers)
-		for wkr := 0; wkr < workers; wkr++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= p.shards {
-						return
-					}
-					runShard(i)
-				}
-			}()
-		}
-		wg.Wait()
-	}
+	runSharded(p.shards, workers, runShard)
 
 	for i := 0; i < p.shards; i++ {
 		out.walks += shardWalks[i]

@@ -38,6 +38,11 @@ type Metrics struct {
 	Abandoned atomic.Int64
 	// InFlight is the number of queries currently executing.
 	InFlight atomic.Int64
+	// LastParallelism is the parallelism resolved for the most recently
+	// started execution (the request's pin, the adaptive choice, or the
+	// engine default); it is how adaptive engines expose their current
+	// width choice.
+	LastParallelism atomic.Int64
 
 	latencyBuckets [numLatencyBuckets]atomic.Int64
 	latencyCount   atomic.Int64
@@ -100,8 +105,13 @@ type Snapshot struct {
 	QueueCapacity int   `json:"queue_capacity"`
 	InFlight      int64 `json:"in_flight"`
 	Parallelism   int   `json:"parallelism"`
-	CPUTokens     int   `json:"cpu_tokens"`
-	CPUTokensFree int   `json:"cpu_tokens_free"`
+	Adaptive      bool  `json:"adaptive"`
+	// LastParallelism is the per-query parallelism chosen for the most
+	// recently started execution; under Adaptive it tracks how wide the
+	// engine is currently willing to run queries.
+	LastParallelism int64 `json:"last_parallelism"`
+	CPUTokens       int   `json:"cpu_tokens"`
+	CPUTokensFree   int   `json:"cpu_tokens_free"`
 
 	Requests   int64 `json:"requests"`
 	Executions int64 `json:"executions"`
@@ -129,27 +139,29 @@ type Snapshot struct {
 func (e *Engine) Snapshot() Snapshot {
 	m := e.metrics
 	s := Snapshot{
-		Workers:       e.cfg.Workers,
-		QueueDepth:    len(e.queue),
-		QueueCapacity: e.cfg.QueueDepth,
-		InFlight:      m.InFlight.Load(),
-		Parallelism:   e.cfg.Parallelism,
-		CPUTokens:     e.cfg.CPUTokens,
-		CPUTokensFree: e.cpu.freeTokens(),
-		Requests:      m.Requests.Load(),
-		Executions:    m.Executions.Load(),
-		Completed:     m.Completed.Load(),
-		Errors:        m.Errors.Load(),
-		Canceled:      m.Canceled.Load(),
-		Coalesced:     m.Coalesced.Load(),
-		Shed:          m.Shed.Load(),
-		Abandoned:     m.Abandoned.Load(),
-		CacheHits:     m.CacheHits.Load(),
-		CacheMisses:   m.CacheMisses.Load(),
-		LatencyCount:  m.latencyCount.Load(),
-		LatencyP50MS:  m.quantileMS(0.50),
-		LatencyP90MS:  m.quantileMS(0.90),
-		LatencyP99MS:  m.quantileMS(0.99),
+		Workers:         e.cfg.Workers,
+		QueueDepth:      len(e.queue),
+		QueueCapacity:   e.cfg.QueueDepth,
+		InFlight:        m.InFlight.Load(),
+		Parallelism:     e.cfg.Parallelism,
+		Adaptive:        e.cfg.Adaptive,
+		LastParallelism: m.LastParallelism.Load(),
+		CPUTokens:       e.cfg.CPUTokens,
+		CPUTokensFree:   e.cpu.freeTokens(),
+		Requests:        m.Requests.Load(),
+		Executions:      m.Executions.Load(),
+		Completed:       m.Completed.Load(),
+		Errors:          m.Errors.Load(),
+		Canceled:        m.Canceled.Load(),
+		Coalesced:       m.Coalesced.Load(),
+		Shed:            m.Shed.Load(),
+		Abandoned:       m.Abandoned.Load(),
+		CacheHits:       m.CacheHits.Load(),
+		CacheMisses:     m.CacheMisses.Load(),
+		LatencyCount:    m.latencyCount.Load(),
+		LatencyP50MS:    m.quantileMS(0.50),
+		LatencyP90MS:    m.quantileMS(0.90),
+		LatencyP99MS:    m.quantileMS(0.99),
 	}
 	if n := s.LatencyCount; n > 0 {
 		s.LatencyMeanMS = float64(m.latencySum.Load()) / float64(n) / 1e6
@@ -186,8 +198,14 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	gauge("queue_depth", "Queries waiting in the admission queue.", int64(len(e.queue)))
 	gauge("queue_capacity", "Admission queue capacity.", int64(e.cfg.QueueDepth))
 	gauge("workers", "Worker goroutines.", int64(e.cfg.Workers))
-	gauge("cpu_tokens", "Shared CPU-token budget for workers and walk shards.", int64(e.cfg.CPUTokens))
+	gauge("cpu_tokens", "Shared CPU-token budget for workers, push chunks and walk shards.", int64(e.cfg.CPUTokens))
 	gauge("cpu_tokens_free", "CPU tokens currently free.", int64(e.cpu.freeTokens()))
+	adaptive := int64(0)
+	if e.cfg.Adaptive {
+		adaptive = 1
+	}
+	gauge("adaptive", "Whether per-query parallelism adapts to load (1) or is static (0).", adaptive)
+	gauge("last_parallelism", "Parallelism chosen for the most recently started execution.", m.LastParallelism.Load())
 	if e.cache != nil {
 		entries, bytes := e.cache.stats()
 		gauge("cache_entries", "Entries in the result cache.", entries)

@@ -8,15 +8,21 @@
 //     queries execute at once, at most QueueDepth more wait, and anything
 //     beyond that is shed immediately with ErrOverloaded instead of piling up
 //     latency;
-//   - token-based CPU accounting: workers and each query's parallel
-//     Monte-Carlo walk shards (core's sharded walk stage, enabled by
-//     Config.Parallelism) draw from one CPUTokens budget, so an idle engine
-//     spends its whole budget on a single heavy query while a loaded engine
-//     degrades gracefully to one token per query; walk shards never push
-//     combined concurrency past the budget (set CPUTokens to the core count
-//     to make that a strict no-oversubscription guarantee — the default,
+//   - token-based CPU accounting: workers and each query's parallel push
+//     chunks and Monte-Carlo walk shards (core's chunked push and sharded
+//     walk stages, enabled by Config.Parallelism) draw from one CPUTokens
+//     budget, so an idle engine spends its whole budget on a single heavy
+//     query while a loaded engine degrades gracefully to one token per
+//     query; intra-query stages never push combined concurrency past the
+//     budget (set CPUTokens to the core count to make that a strict
+//     no-oversubscription guarantee — the default,
 //     max(Workers, GOMAXPROCS), deliberately keeps a Workers > GOMAXPROCS
 //     configuration's inter-query concurrency intact);
+//   - adaptive per-query parallelism (Config.Adaptive): requests that do not
+//     pin their own parallelism get one chosen from the live admission-queue
+//     depth and free CPU tokens — an idle engine runs wide queries, a
+//     saturated one degrades them to serial — with the choice surfaced in
+//     Response.Parallelism, the stats snapshot and the Prometheus gauges;
 //   - per-query cancellation: every execution runs under a context derived
 //     from the engine's lifetime, the configured DefaultTimeout and the
 //     caller's deadline, threaded into the push/walk loops of internal/core
@@ -106,15 +112,32 @@ type Config struct {
 	// fragment the result cache.
 	Parallelism int
 	// CPUTokens is the shared CPU budget (in goroutine tokens) that
-	// inter-query workers and intra-query walk shards draw from.  Each
-	// executing query holds one token; its walk stage borrows up to
-	// Parallelism-1 extras only while they are free, so combined
-	// concurrency never exceeds the budget and a loaded engine degrades
-	// toward one token per query.  <= 0 means max(Workers, GOMAXPROCS),
-	// which preserves the configured worker concurrency even when Workers
-	// exceeds the core count; set CPUTokens = GOMAXPROCS explicitly if you
-	// want a strict never-more-goroutines-than-cores guarantee.
+	// inter-query workers and intra-query push chunks and walk shards draw
+	// from.  Each executing query holds one token; its push and walk stages
+	// borrow up to Parallelism-1 extras only while they are free, so
+	// combined concurrency never exceeds the budget and a loaded engine
+	// degrades toward one token per query.  <= 0 means
+	// max(Workers, GOMAXPROCS), which preserves the configured worker
+	// concurrency even when Workers exceeds the core count; set
+	// CPUTokens = GOMAXPROCS explicitly if you want a strict
+	// never-more-goroutines-than-cores guarantee.
 	CPUTokens int
+	// Adaptive, when true, picks each query's parallelism from the engine's
+	// current load instead of the static Parallelism default: a request that
+	// does not pin Opts.Parallelism gets
+	//
+	//	P = 1 + freeCPUTokens / (queueDepth + 1)
+	//
+	// so an idle engine fans a lone query across the whole token budget
+	// while a saturated admission queue degrades queries to P = 1.
+	// Parallelism, when set (>= 1, including an explicit 1 for
+	// always-serial), acts as a ceiling on the adaptive choice; 0 leaves it
+	// uncapped.  The
+	// chosen P is only a hint threaded through the CPU gate — actual extra
+	// goroutines are still borrowed token by token, so adaptivity can never
+	// oversubscribe the budget.  Because results are bit-identical at any
+	// parallelism, adaptivity never fragments the cache or changes output.
+	Adaptive bool
 }
 
 // withDefaults resolves the zero fields of c.
@@ -226,6 +249,12 @@ type Response struct {
 	// Elapsed is the execution time of the estimator (and sweep), zero for
 	// cache hits.
 	Elapsed time.Duration
+	// Parallelism is the per-query parallelism the engine resolved for this
+	// execution: the request's own pin, the adaptive choice, or the engine
+	// default.  The goroutines actually used additionally depend on free CPU
+	// tokens (see Result.Stats.WalkParallelism / PushParallelism).  For
+	// cached responses it reports the value used when the entry was computed.
+	Parallelism int
 }
 
 // Engine is the query-serving subsystem.  Create one per loaded graph with
@@ -343,7 +372,9 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 			out.QueueWait, out.Elapsed = 0, 0
 			return &out, nil
 		}
-		e.metrics.CacheMisses.Add(1)
+		// A miss is counted below, only once a new execution is actually
+		// admitted: callers that coalesce onto an in-flight execution (or are
+		// shed) would otherwise inflate the miss rate.
 	}
 
 	e.mu.Lock()
@@ -372,6 +403,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 		admitted = true
 		if cacheable {
 			e.flight[key] = t
+			e.metrics.CacheMisses.Add(1)
 		}
 	default:
 	}
@@ -485,18 +517,48 @@ func (e *Engine) run(t *task) {
 		e.finish(t, nil, t.ctx.Err())
 		return
 	}
-	defer e.cpu.Release(1)
-	wait := time.Since(t.enqueued)
-	if gate := e.execGate; gate != nil {
-		gate(&t.req)
-	}
-	e.metrics.Executions.Add(1)
-	e.metrics.InFlight.Add(1)
-	start := time.Now()
-	res, err := e.execute(t)
-	elapsed := time.Since(start)
-	e.metrics.InFlight.Add(-1)
-	e.metrics.observeLatency(elapsed)
+	// The worker's token (and any extras borrowed inside execute) must be
+	// back in the pool before finish wakes the caller, so a caller that
+	// observed completion also observes a settled CPU budget.
+	resp, err := func() (*Response, error) {
+		defer e.cpu.Release(1)
+		wait := time.Since(t.enqueued)
+		if gate := e.execGate; gate != nil {
+			gate(&t.req)
+		}
+		e.metrics.Executions.Add(1)
+		e.metrics.InFlight.Add(1)
+		start := time.Now()
+		res, chosenP, err := e.execute(t)
+		var sweep *cluster.SweepResult
+		if err == nil && t.req.Sweep {
+			// The sweep is part of the query's work, so it runs inside the
+			// timed window (Response.Elapsed and the latency histogram would
+			// otherwise under-report sweep-heavy queries) and is skipped when
+			// the deadline already passed or the caller is gone.
+			if cerr := t.ctx.Err(); cerr != nil {
+				err = cerr
+			} else {
+				sw := cluster.Sweep(e.g, res.Scores)
+				sweep = &sw
+			}
+		}
+		elapsed := time.Since(start)
+		e.metrics.InFlight.Add(-1)
+		e.metrics.observeLatency(elapsed)
+		if err != nil {
+			return nil, err
+		}
+		return &Response{
+			Seed:        t.req.Seed,
+			Method:      t.req.Method,
+			Result:      res,
+			Sweep:       sweep,
+			QueueWait:   wait,
+			Elapsed:     elapsed,
+			Parallelism: chosenP,
+		}, nil
+	}()
 	if err != nil {
 		if t.ctx.Err() != nil {
 			e.metrics.Canceled.Add(1)
@@ -506,40 +568,63 @@ func (e *Engine) run(t *task) {
 		e.finish(t, nil, err)
 		return
 	}
-	resp := &Response{
-		Seed:      t.req.Seed,
-		Method:    t.req.Method,
-		Result:    res,
-		QueueWait: wait,
-		Elapsed:   elapsed,
-	}
-	if t.req.Sweep {
-		sw := cluster.Sweep(e.g, res.Scores)
-		resp.Sweep = &sw
-	}
 	if !t.req.NoCache && e.cache != nil {
 		e.cache.set(t.key, resp, responseCost(t.key, resp))
 	}
 	e.finish(t, resp, nil)
 }
 
+// chooseParallelism resolves the parallelism hint for one query: the
+// request's own pin wins; otherwise an adaptive engine derives it from the
+// current load (free CPU tokens spread over the queued queries, wide when
+// idle, serial when saturated) and a static engine falls back to the
+// configured default.  A return of 0 means "inherit the estimator default".
+func (e *Engine) chooseParallelism(pinned int) int {
+	if pinned != 0 {
+		return pinned
+	}
+	if e.cfg.Adaptive {
+		p := 1 + e.cpu.freeTokens()/(len(e.queue)+1)
+		if max := e.cfg.Parallelism; max >= 1 && p > max {
+			p = max
+		}
+		if p < 1 {
+			p = 1
+		}
+		return p
+	}
+	if e.cfg.Parallelism > 1 {
+		return e.cfg.Parallelism
+	}
+	return 0
+}
+
 // execute dispatches to the estimator with the task's cancellation context
-// and the engine's CPU-token gate.  A request that does not pin its own
-// Opts.Parallelism inherits the engine default.
-func (e *Engine) execute(t *task) (*core.Result, error) {
+// and the engine's CPU-token gate, and reports the parallelism it resolved
+// for the query (surfaced in Response, /stats and the Prometheus gauges).
+func (e *Engine) execute(t *task) (*core.Result, int, error) {
 	oc := core.OptionsContext{Ctx: t.ctx, CheckEvery: e.cfg.CancelCheckEvery, CPU: e.cpu}
 	opts := t.req.Opts
-	if opts.Parallelism == 0 && e.cfg.Parallelism > 1 {
-		opts.Parallelism = e.cfg.Parallelism
+	opts.Parallelism = e.chooseParallelism(opts.Parallelism)
+	chosen := opts.Parallelism
+	if chosen == 0 {
+		chosen = e.est.Options().Parallelism
 	}
+	if chosen < 1 {
+		chosen = 1
+	}
+	e.metrics.LastParallelism.Store(int64(chosen))
+	var res *core.Result
+	var err error
 	switch t.req.Method {
 	case MethodTEA:
-		return e.est.TEAContext(oc, t.req.Seed, opts)
+		res, err = e.est.TEAContext(oc, t.req.Seed, opts)
 	case MethodMonteCarlo:
-		return e.est.MonteCarloContext(oc, t.req.Seed, opts)
+		res, err = e.est.MonteCarloContext(oc, t.req.Seed, opts)
 	default:
-		return e.est.TEAPlusContext(oc, t.req.Seed, opts)
+		res, err = e.est.TEAPlusContext(oc, t.req.Seed, opts)
 	}
+	return res, chosen, err
 }
 
 // finish records the outcome, retires the task from the flight table (after

@@ -14,9 +14,9 @@ import (
 type (
 	// EngineConfig tunes an Engine: worker count, admission-queue depth,
 	// result-cache byte budget, default per-query timeout, the cancellation
-	// check interval, the per-query walk-stage parallelism, and the shared
-	// CPU-token budget that keeps workers plus walk shards from
-	// oversubscribing cores.
+	// check interval, the per-query push/walk parallelism (static default or
+	// load-adaptive via Adaptive), and the shared CPU-token budget that keeps
+	// workers plus push chunks plus walk shards from oversubscribing cores.
 	EngineConfig = serve.Config
 	// ServeRequest is a raw serving-layer query (seed, method, per-query
 	// option overrides, sweep and cache directives).
