@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -29,8 +30,24 @@ type perfConfig struct {
 	edgesPer    int
 	parallelism []int
 	outDir      string
+	// baselineDir, when non-empty, holds committed BENCH_<name>.json files
+	// the fresh measurements are compared against; a point whose
+	// allocs_per_op regresses by more than allocsRegressionFactor fails the
+	// run (after all files are written, so artifacts survive for diffing).
+	baselineDir string
 	log         io.Writer
 }
+
+// allocsRegressionFactor is the allowed multiplicative slack between a
+// baseline point's allocs_per_op and a fresh measurement before the -perf
+// run fails.  Allocation counts are near-deterministic, but pool warm-up is
+// amortized over the benchmark's iteration count, which varies by machine.
+const allocsRegressionFactor = 2.0
+
+// allocsRegressionFloor ignores regressions below this absolute count, so
+// near-zero baselines (the whole point of the workspace hot path) don't turn
+// a 5→11 allocs jitter into a CI failure.
+const allocsRegressionFloor = 64
 
 // perfPoint is one (estimator, parallelism) measurement.
 type perfPoint struct {
@@ -76,7 +93,9 @@ var perfMethods = []struct {
 	{"teapush", hkpr.MethodTEA, func(o hkpr.Options) hkpr.Options { return o }},
 }
 
-// runPerf executes the -perf mode and writes one JSON file per estimator.
+// runPerf executes the -perf mode and writes one JSON file per estimator
+// (plus BENCH_serve.json for the full serving hot path).  With a baseline
+// directory configured it then fails on allocs_per_op regressions.
 func runPerf(cfg perfConfig) error {
 	g, err := hkpr.GeneratePLC(cfg.nodes, cfg.edgesPer, 0.5, 13)
 	if err != nil {
@@ -90,6 +109,30 @@ func runPerf(cfg perfConfig) error {
 	if err := os.MkdirAll(cfg.outDir, 0o755); err != nil {
 		return err
 	}
+	var regressions []error
+	finish := func(rep perfReport) error {
+		// Compare before writing: with -bench-dir and -perf-baseline pointing
+		// at the same directory the fresh file would otherwise clobber the
+		// baseline first and the gate would compare it against itself.
+		if cfg.baselineDir != "" {
+			if err := checkPerfBaseline(cfg.baselineDir, rep); err != nil {
+				regressions = append(regressions, err)
+			}
+		}
+		path := filepath.Join(cfg.outDir, "BENCH_"+rep.Name+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+
 	for _, m := range perfMethods {
 		mOpts := m.tune(opts)
 		rep := perfReport{
@@ -108,26 +151,133 @@ func runPerf(cfg perfConfig) error {
 			}
 			rep.Points = append(rep.Points, point)
 			if cfg.log != nil {
-				fmt.Fprintf(cfg.log, "perf %-8s P=%d  %.2f ms/op  walk-share %.0f%%  (%d iters)\n",
-					m.slug, p, float64(point.NsPerOp)/1e6, 100*point.WalkPhaseShare, point.Iterations)
+				fmt.Fprintf(cfg.log, "perf %-8s P=%d  %.2f ms/op  %d allocs/op  walk-share %.0f%%  (%d iters)\n",
+					m.slug, p, float64(point.NsPerOp)/1e6, point.AllocsPerOp, 100*point.WalkPhaseShare, point.Iterations)
 			}
 		}
-		path := filepath.Join(cfg.outDir, "BENCH_"+m.slug+".json")
-		f, err := os.Create(path)
-		if err != nil {
-			return err
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := finish(rep); err != nil {
 			return err
 		}
 	}
+
+	// The serve entry measures the full serving hot path — admission, CPU
+	// gate, pooled workspace, estimator, result materialization — on the
+	// same graph, with the result cache disabled so every iteration
+	// executes.  Its allocs_per_op is the acceptance metric of the
+	// zero-allocation workspace work.
+	serveRep := perfReport{
+		Name:       "serve",
+		Graph:      fmt.Sprintf("plc-n%d-m%d", cfg.nodes, cfg.edgesPer),
+		Nodes:      g.N(),
+		Edges:      g.M(),
+		Options:    fmt.Sprintf("t=%g eps=%g delta=%.3g method=tea nocache", opts.T, opts.EpsRel, opts.Delta),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, p := range cfg.parallelism {
+		point, err := perfMeasureServe(g, opts, p)
+		if err != nil {
+			return fmt.Errorf("perf serve P=%d: %w", p, err)
+		}
+		serveRep.Points = append(serveRep.Points, point)
+		if cfg.log != nil {
+			fmt.Fprintf(cfg.log, "perf %-8s P=%d  %.2f ms/op  %d allocs/op  (%d iters)\n",
+				"serve", p, float64(point.NsPerOp)/1e6, point.AllocsPerOp, point.Iterations)
+		}
+	}
+	if err := finish(serveRep); err != nil {
+		return err
+	}
+
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "perf regression:", r)
+		}
+		return fmt.Errorf("perf: %d allocs_per_op regression(s) against baseline in %s", len(regressions), cfg.baselineDir)
+	}
 	return nil
+}
+
+// checkPerfBaseline compares a fresh report against the committed baseline
+// of the same name, failing on a >allocsRegressionFactor allocs_per_op
+// regression at any matching parallelism.  A missing baseline file is not an
+// error (new benchmarks need a first commit).
+func checkPerfBaseline(dir string, rep perfReport) error {
+	path := filepath.Join(dir, "BENCH_"+rep.Name+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	var base perfReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseByP := make(map[int]perfPoint, len(base.Points))
+	for _, p := range base.Points {
+		baseByP[p.Parallelism] = p
+	}
+	for _, p := range rep.Points {
+		b, ok := baseByP[p.Parallelism]
+		if !ok {
+			continue
+		}
+		limit := int64(float64(b.AllocsPerOp) * allocsRegressionFactor)
+		if p.AllocsPerOp > limit && p.AllocsPerOp-b.AllocsPerOp > allocsRegressionFloor {
+			return fmt.Errorf("%s P=%d: allocs_per_op %d exceeds %gx baseline %d",
+				rep.Name, p.Parallelism, p.AllocsPerOp, allocsRegressionFactor, b.AllocsPerOp)
+		}
+	}
+	return nil
+}
+
+// perfMeasureServe benchmarks uncached queries through a serving engine at
+// one per-query parallelism.
+func perfMeasureServe(g *hkpr.Graph, opts hkpr.Options, parallelism int) (perfPoint, error) {
+	eng, err := hkpr.NewEngine(g, opts, hkpr.EngineConfig{
+		Workers: 1, CacheBytes: -1, Parallelism: parallelism,
+	})
+	if err != nil {
+		return perfPoint{}, err
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	req := hkpr.ServeRequest{Seed: 7, Method: "tea", NoCache: true}
+
+	probe, err := eng.Do(ctx, req)
+	if err != nil {
+		return perfPoint{}, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := req
+			r.Seed = hkpr.NodeID(i % g.N())
+			if _, err := eng.Do(ctx, r); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	if benchErr != nil {
+		return perfPoint{}, benchErr
+	}
+	if res.N == 0 {
+		return perfPoint{}, fmt.Errorf("benchmark did not run")
+	}
+	return perfPoint{
+		Parallelism: parallelism,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		RandomWalks: probe.Result.Stats.RandomWalks,
+		WalkShards:  probe.Result.Stats.WalkShards,
+		PushChunks:  probe.Result.Stats.PushChunks,
+		Iterations:  res.N,
+	}, nil
 }
 
 // perfMeasure benchmarks one estimator at one parallelism and extracts the

@@ -34,8 +34,13 @@ func TestPerfWritesBenchJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	slugs := make([]string, 0, len(perfMethods)+1)
 	for _, m := range perfMethods {
-		path := filepath.Join(dir, "BENCH_"+m.slug+".json")
+		slugs = append(slugs, m.slug)
+	}
+	slugs = append(slugs, "serve")
+	for _, slug := range slugs {
+		path := filepath.Join(dir, "BENCH_"+slug+".json")
 		raw, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatalf("missing bench JSON: %v", err)
@@ -44,18 +49,60 @@ func TestPerfWritesBenchJSON(t *testing.T) {
 		if err := json.Unmarshal(raw, &rep); err != nil {
 			t.Fatalf("%s: bad JSON: %v", path, err)
 		}
-		if rep.Name != m.slug || len(rep.Points) != 1 {
+		if rep.Name != slug || len(rep.Points) != 1 {
 			t.Fatalf("%s: unexpected report %+v", path, rep)
 		}
 		p := rep.Points[0]
 		if p.Parallelism != 2 || p.NsPerOp <= 0 || p.Iterations <= 0 {
 			t.Fatalf("%s: unexpected point %+v", path, p)
 		}
-		if p.WalkPhaseShare <= 0 || p.WalkPhaseShare > 1 {
-			t.Fatalf("%s: walk share out of range: %v", path, p.WalkPhaseShare)
+		if slug != "serve" {
+			if p.WalkPhaseShare <= 0 || p.WalkPhaseShare > 1 {
+				t.Fatalf("%s: walk share out of range: %v", path, p.WalkPhaseShare)
+			}
+			if p.RandomWalks == 0 {
+				t.Fatalf("%s: walk stage did not run; the perf point monitors nothing", path)
+			}
 		}
-		if p.RandomWalks == 0 {
-			t.Fatalf("%s: walk stage did not run; the perf point monitors nothing", path)
+	}
+}
+
+// TestCheckPerfBaseline pins the CI regression gate: a fresh report passes
+// against a matching baseline, fails on a >2x allocs_per_op blow-up above
+// the absolute floor, and tolerates missing baselines and parallelism points.
+func TestCheckPerfBaseline(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, allocs int64) {
+		rep := perfReport{Name: name, Points: []perfPoint{{Parallelism: 1, AllocsPerOp: allocs}}}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
 		}
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("tea", 100)
+
+	fresh := func(allocs int64) perfReport {
+		return perfReport{Name: "tea", Points: []perfPoint{{Parallelism: 1, AllocsPerOp: allocs}}}
+	}
+	if err := checkPerfBaseline(dir, fresh(150)); err != nil {
+		t.Fatalf("within-budget point flagged: %v", err)
+	}
+	if err := checkPerfBaseline(dir, fresh(300)); err == nil {
+		t.Fatal("3x allocs regression not flagged")
+	}
+	// Points and files absent from the baseline are not failures.
+	if err := checkPerfBaseline(dir, perfReport{Name: "tea", Points: []perfPoint{{Parallelism: 8, AllocsPerOp: 1e6}}}); err != nil {
+		t.Fatalf("unknown parallelism point flagged: %v", err)
+	}
+	if err := checkPerfBaseline(dir, perfReport{Name: "nonexistent"}); err != nil {
+		t.Fatalf("missing baseline file flagged: %v", err)
+	}
+	// Near-zero baselines tolerate small absolute jitter even past 2x.
+	write("serve", 10)
+	if err := checkPerfBaseline(dir, perfReport{Name: "serve", Points: []perfPoint{{Parallelism: 1, AllocsPerOp: 40}}}); err != nil {
+		t.Fatalf("sub-floor jitter flagged: %v", err)
 	}
 }

@@ -35,6 +35,10 @@
 //	               engine → whole CPU budget per query, saturated queue → serial
 //	               (an explicit -parallel value caps the adaptive choice;
 //	               leaving it unset leaves adaptivity uncapped)
+//	-adaptive-ewma α   smooth the queue depth the adaptive choice sees with an
+//	               exponentially weighted moving average (α ∈ (0,1], default 1
+//	               = instantaneous); small α stops P oscillating under bursty
+//	               load
 //	-cpu-tokens N  shared CPU budget for workers + push chunks + walk shards
 //	               (default max(workers, GOMAXPROCS))
 //
@@ -82,6 +86,7 @@ func run(args []string) error {
 		timeout   = fs.Duration("timeout", 10*time.Second, "per-query execution deadline (0 disables)")
 		parallel  = fs.Int("parallel", 0, "per-query push/walk parallelism (0 = serial unless -adaptive; subject to free CPU tokens)")
 		adaptive  = fs.Bool("adaptive", false, "choose per-query parallelism adaptively from queue depth and free CPU tokens (an explicit -parallel caps it)")
+		adaptEWMA = fs.Float64("adaptive-ewma", 1, "EWMA smoothing factor α in (0,1] for the queue depth the adaptive choice sees; 1 = instantaneous, smaller = smoother under bursty load")
 		cpuTokens = fs.Int("cpu-tokens", 0, "shared CPU token budget for workers, push chunks and walk shards (0 = max(workers, GOMAXPROCS))")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -113,6 +118,7 @@ func run(args []string) error {
 		DefaultTimeout: *timeout,
 		Parallelism:    *parallel,
 		Adaptive:       *adaptive,
+		AdaptiveEWMA:   *adaptEWMA,
 		CPUTokens:      *cpuTokens,
 	})
 	if err != nil {

@@ -16,18 +16,36 @@ import (
 // graph (or is the whole graph); by convention an empty or full set has
 // conductance 1, the worst possible value, so sweeps never select it.
 func Conductance(g *graph.Graph, set []graph.NodeID) float64 {
-	if len(set) == 0 || len(set) >= g.N() {
+	if len(set) == 0 {
 		return 1
 	}
-	member := make(map[graph.NodeID]struct{}, len(set))
+	member := getNodeSet(g.N())
+	defer member.release()
+	uniq := 0
 	for _, v := range set {
-		member[v] = struct{}{}
+		if !member.has(v) {
+			member.add(v)
+			uniq++
+		}
 	}
+	// The empty/full convention keys on the deduplicated size, so duplicate
+	// entries cannot make a proper subset look like the whole graph.
+	if uniq >= g.N() {
+		return 1
+	}
+	// processed guards against duplicate entries in set, which the map-based
+	// implementation deduplicated implicitly.
+	processed := getNodeSet(g.N())
+	defer processed.release()
 	var vol, cut int64
-	for v := range member {
+	for _, v := range set {
+		if processed.has(v) {
+			continue
+		}
+		processed.add(v)
 		vol += int64(g.Degree(v))
 		for _, u := range g.Neighbors(v) {
-			if _, in := member[u]; !in {
+			if !member.has(u) {
 				cut++
 			}
 		}
@@ -115,7 +133,11 @@ func sweepImpl(g *graph.Graph, scores map[graph.NodeID]float64, normalize bool) 
 	}
 
 	totalVol := g.TotalVolume()
-	inSet := make(map[graph.NodeID]struct{}, len(order))
+	// Membership during the incremental sweep is a pooled dense stamp slab:
+	// each of the O(vol(S*)) neighbour probes is an array read instead of a
+	// hash lookup, and the slab is recycled across queries.
+	inSet := getNodeSet(g.N())
+	defer inSet.release()
 	var vol, cut int64
 	bestIdx, bestPhi := -1, math.Inf(1)
 	var bestVol, bestCut int64
@@ -127,13 +149,13 @@ func sweepImpl(g *graph.Graph, scores map[graph.NodeID]float64, normalize bool) 
 		sweepOrder = append(sweepOrder, v)
 		vol += int64(g.Degree(v))
 		for _, u := range g.Neighbors(v) {
-			if _, in := inSet[u]; in {
+			if inSet.has(u) {
 				cut--
 			} else {
 				cut++
 			}
 		}
-		inSet[v] = struct{}{}
+		inSet.add(v)
 
 		denom := vol
 		if other := totalVol - vol; other < denom {

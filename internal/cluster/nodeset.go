@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"sync"
+
+	"hkpr/internal/graph"
+)
+
+// nodeSet is an epoch-versioned dense membership set over node IDs, the
+// clustering side's counterpart of internal/core's workspace slabs: add/has
+// are O(1) array reads with no hashing, and clearing is an O(1) epoch bump.
+// Sweep-cut and conductance evaluation run once per served query (often over
+// thousands of candidate nodes), so replacing their per-call hash maps with
+// pooled stamp slabs removes the allocation and hashing from that hot path
+// too.
+//
+// Not safe for concurrent use; each caller checks one out of the pool.
+type nodeSet struct {
+	stamp []uint32
+	epoch uint32
+}
+
+var nodeSetPool = sync.Pool{New: func() any { return &nodeSet{} }}
+
+// getNodeSet returns an empty set covering node IDs [0, n).
+func getNodeSet(n int) *nodeSet {
+	s := nodeSetPool.Get().(*nodeSet)
+	if len(s.stamp) < n {
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // uint32 wraparound: ancient stamps could alias
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+	return s
+}
+
+// release returns the set to the pool.  The caller must not use it after.
+func (s *nodeSet) release() { nodeSetPool.Put(s) }
+
+// add inserts v.
+func (s *nodeSet) add(v graph.NodeID) { s.stamp[v] = s.epoch }
+
+// has reports membership of v.
+func (s *nodeSet) has(v graph.NodeID) bool { return s.stamp[v] == s.epoch }

@@ -30,20 +30,27 @@ type Stats struct {
 
 // ComputeStats measures the node set S in g.
 func ComputeStats(g *graph.Graph, set []graph.NodeID) Stats {
-	member := make(map[graph.NodeID]struct{}, len(set))
-	for _, v := range set {
-		member[v] = struct{}{}
-	}
 	var s Stats
-	s.Size = len(member)
-	if s.Size == 0 {
+	if len(set) == 0 {
 		s.Conductance = 1
 		return s
 	}
-	for v := range member {
+	member := getNodeSet(g.N())
+	defer member.release()
+	for _, v := range set {
+		member.add(v)
+	}
+	processed := getNodeSet(g.N())
+	defer processed.release()
+	for _, v := range set {
+		if processed.has(v) {
+			continue
+		}
+		processed.add(v)
+		s.Size++
 		s.Volume += int64(g.Degree(v))
 		for _, u := range g.Neighbors(v) {
-			if _, in := member[u]; in {
+			if member.has(u) {
 				s.InternalEdges++ // counted twice, halved below
 			} else {
 				s.Cut++

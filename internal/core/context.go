@@ -2,9 +2,6 @@ package core
 
 import (
 	"context"
-	"sync"
-
-	"hkpr/internal/xrand"
 )
 
 // DefaultCancelCheckEvery is the number of work units (push operations or walk
@@ -38,6 +35,13 @@ type OptionsContext struct {
 	// workers draw from one core budget instead of oversubscribing.  nil
 	// grants Options.Parallelism unconditionally.
 	CPU CPUGate
+	// Workspace, when non-nil, is the pooled per-query scratch state (dense
+	// reserve/residue slabs, chunk/shard accumulators, collection buffers)
+	// the query runs on.  The serving layer checks one out per admitted
+	// query and returns it when the query completes or is canceled; nil
+	// falls back to this package's internal workspace pool.  A workspace
+	// must not be shared by concurrent queries.
+	Workspace *Workspace
 }
 
 // CPUGate is a shared CPU-token budget.  Implementations must be safe for
@@ -50,17 +54,18 @@ type CPUGate interface {
 }
 
 // execCtl bundles the per-query execution controls threaded through the
-// pipeline seams: the cancellation checker and the CPU gate.  The zero value
-// means "no cancellation, unbounded parallelism", the behaviour of the
-// package-level entry points.
+// pipeline seams: the cancellation checker, the CPU gate and the workspace.
+// The zero value means "no cancellation, unbounded parallelism, pooled
+// workspace", the behaviour of the package-level entry points.
 type execCtl struct {
 	cc  *cancelChecker
 	cpu CPUGate
+	ws  *Workspace
 }
 
 // newExecCtl derives the execution controls from an OptionsContext.
 func newExecCtl(oc OptionsContext) execCtl {
-	return execCtl{cc: newCancelChecker(oc), cpu: oc.CPU}
+	return execCtl{cc: newCancelChecker(oc), cpu: oc.CPU, ws: oc.Workspace}
 }
 
 // cancelChecker amortizes context polling over work units.  A nil checker is
@@ -101,14 +106,14 @@ func (c *cancelChecker) tick(cost int) error {
 	return c.err()
 }
 
-// fork returns an independent checker over the same context and budget, for
-// walk shards that poll concurrently.  A cancelChecker is not safe for
-// concurrent use, so every shard gets its own fork.
-func (c *cancelChecker) fork() *cancelChecker {
-	if c == nil {
-		return nil
-	}
-	return &cancelChecker{ctx: c.ctx, every: c.every, left: c.every}
+// forkValue returns an independent checker (by value, so concurrent stages
+// can place forks in pre-grown workspace slots without allocating) over the
+// same context and budget, for walk shards and push chunks that poll
+// concurrently.  A cancelChecker is not safe for concurrent use, so every
+// shard gets its own fork.  Must not be called on a nil checker; callers
+// keep a nil *cancelChecker when cancellation is disabled.
+func (c *cancelChecker) forkValue() cancelChecker {
+	return cancelChecker{ctx: c.ctx, every: c.every, left: c.every}
 }
 
 // err polls the context immediately (used at phase boundaries).
@@ -124,40 +129,6 @@ func (c *cancelChecker) err() error {
 	}
 }
 
-// Per-query scratch pooling ---------------------------------------------------
-//
-// A serving workload runs the same estimator millions of times on one graph;
-// the RNG and the walk-entry buffers are the per-query allocations that do
-// not escape into the Result, so they are pooled here.  The score and reserve
-// maps are returned to (and cached by) callers and therefore cannot be
-// pooled.
-
-var rngPool = sync.Pool{New: func() any { return xrand.New(0) }}
-
-// getRNG returns a pooled RNG reseeded deterministically for this query.
-func getRNG(seed uint64) *xrand.RNG {
-	r := rngPool.Get().(*xrand.RNG)
-	r.Reseed(seed)
-	return r
-}
-
-func putRNG(r *xrand.RNG) { rngPool.Put(r) }
-
-// walkBuffers holds the flattened residue entries and their weight vector
-// used to build the alias table for the walk phase.
-type walkBuffers struct {
-	entries []walkEntry
-	weights []float64
-}
-
-var walkBufferPool = sync.Pool{New: func() any { return new(walkBuffers) }}
-
-func getWalkBuffers() *walkBuffers { return walkBufferPool.Get().(*walkBuffers) }
-
-// release returns the buffers to the pool.  Callers must not touch the
-// slices afterwards.
-func (b *walkBuffers) release() {
-	b.entries = b.entries[:0]
-	b.weights = b.weights[:0]
-	walkBufferPool.Put(b)
-}
+// Per-query scratch state (RNGs, walk-entry buffers, score and residue
+// slabs) lives in the pooled Workspace — see workspace.go.  Only the Result
+// maps handed across the API boundary are freshly allocated per query.

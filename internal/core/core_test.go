@@ -136,21 +136,18 @@ func TestHKPushMassConservationAndLowerBound(t *testing.T) {
 	seed := graph.NodeID(0)
 	push := HKPush(g, seed, w, 1e-4, 0)
 
-	reserveMass := 0.0
-	for _, q := range push.Reserve {
-		reserveMass += q
-	}
+	reserveMass := push.Reserve.TotalMass()
 	total := reserveMass + push.Residues.TotalMass()
 	if math.Abs(total-1) > 1e-9 {
 		t.Errorf("mass not conserved: reserve+residue=%v", total)
 	}
 
 	exact := exactHKPR(g, seed, 5)
-	for v, q := range push.Reserve {
+	push.Reserve.Entries(func(v graph.NodeID, q float64) {
 		if q > exact[v]+1e-9 {
 			t.Errorf("reserve exceeds exact HKPR at node %d: %v > %v", v, q, exact[v])
 		}
-	}
+	})
 }
 
 func TestHKPushThresholdRespected(t *testing.T) {
@@ -203,11 +200,7 @@ func TestHKPushPlusMassConservation(t *testing.T) {
 	g, _ := testGraph(t)
 	w := heatkernel.MustNew(5, 1e-15)
 	push := HKPushPlus(g, 0, w, 0.5, 1.0/float64(g.N()), 6, 1<<20)
-	reserveMass := 0.0
-	for _, q := range push.Reserve {
-		reserveMass += q
-	}
-	total := reserveMass + push.Residues.TotalMass()
+	total := push.Reserve.TotalMass() + push.Residues.TotalMass()
 	if math.Abs(total-1) > 1e-9 {
 		t.Errorf("mass not conserved: %v", total)
 	}
@@ -246,7 +239,7 @@ func TestTheorem2AbsoluteError(t *testing.T) {
 	bound := epsRel * delta
 	for v := 0; v < g.N(); v++ {
 		d := float64(g.Degree(graph.NodeID(v)))
-		got := push.Reserve[graph.NodeID(v)] / d
+		got := push.Reserve.Get(graph.NodeID(v)) / d
 		want := exact[v] / d
 		if math.Abs(got-want) > bound+1e-12 {
 			t.Errorf("node %d normalized error %v exceeds bound %v", v, math.Abs(got-want), bound)
@@ -482,6 +475,7 @@ func TestResultHelpers(t *testing.T) {
 
 func TestResidueVectorsBasics(t *testing.T) {
 	rv := &ResidueVectors{}
+	rv.begin(10)
 	rv.add(2, 5, 0.5)
 	rv.add(0, 1, 0.25)
 	rv.add(2, 5, 0.25)

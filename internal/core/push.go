@@ -2,7 +2,7 @@ package core
 
 import (
 	"context"
-	"sort"
+	"slices"
 	"sync/atomic"
 
 	"hkpr/internal/graph"
@@ -10,74 +10,86 @@ import (
 )
 
 // ResidueVectors holds the k-hop residue vectors r^(0)..r^(K) produced by the
-// push phase, stored sparsely per hop.
+// push phase.  Each hop level is an epoch-versioned dense slab (see
+// workspace.go) indexed by NodeID with an insertion-order touched list, so
+// lookups and accumulation are O(1) without hashing and building the sorted
+// frontier is a flat sort over the touched nodes.  Levels are activated on
+// demand and recycled with the owning Workspace.
 type ResidueVectors struct {
-	hops []map[graph.NodeID]float64
+	n      int
+	active int
+	levels []denseVec
 }
 
-// NumHops returns K+1, the number of hop levels stored (possibly including
-// empty trailing levels).
-func (r *ResidueVectors) NumHops() int { return len(r.hops) }
+// begin rebinds the vectors to a graph of n nodes with no active hop levels.
+func (r *ResidueVectors) begin(n int) {
+	r.n = n
+	r.active = 0
+}
+
+// level returns hop k's slab, activating (and clearing) levels up to k.
+func (r *ResidueVectors) level(k int) *denseVec {
+	for r.active <= k {
+		if r.active == len(r.levels) {
+			r.levels = append(r.levels, denseVec{})
+		}
+		d := &r.levels[r.active]
+		d.grow(r.n)
+		d.reset()
+		r.active++
+	}
+	return &r.levels[k]
+}
+
+// NumHops returns K+1, the number of hop levels activated (possibly including
+// levels whose residues have all been pushed away).
+func (r *ResidueVectors) NumHops() int { return r.active }
 
 // Get returns r^(k)[v].
 func (r *ResidueVectors) Get(k int, v graph.NodeID) float64 {
-	if k < 0 || k >= len(r.hops) {
+	if k < 0 || k >= r.active {
 		return 0
 	}
-	return r.hops[k][v]
+	return r.levels[k].get(v)
 }
 
-// add accumulates x onto r^(k)[v], allocating hop levels as needed.
+// add accumulates x onto r^(k)[v], activating hop levels as needed.
 func (r *ResidueVectors) add(k int, v graph.NodeID, x float64) {
-	for len(r.hops) <= k {
-		r.hops = append(r.hops, make(map[graph.NodeID]float64))
-	}
-	r.hops[k][v] += x
+	r.level(k).add(v, x)
 }
 
-// set overwrites r^(k)[v]; a zero value removes the entry.
+// set overwrites r^(k)[v]; a zero value removes the entry from the non-zero
+// support (the slab keeps the node on its touched list, which readers skip).
 func (r *ResidueVectors) set(k int, v graph.NodeID, x float64) {
-	for len(r.hops) <= k {
-		r.hops = append(r.hops, make(map[graph.NodeID]float64))
-	}
-	if x == 0 {
-		delete(r.hops[k], v)
-		return
-	}
-	r.hops[k][v] = x
+	r.level(k).set(v, x)
 }
 
 // TotalMass returns α = Σ_k Σ_u r^(k)[u], summed in (hop, node) order.
-// Float addition is not associative, so summing in Go's randomized map
-// iteration order would perturb α — and with it the walk budget and every
-// walk increment — between otherwise identical runs; the fixed order keeps
-// the estimator pipeline bit-reproducible for a fixed RNG seed.
+// Float addition is not associative, so summing in an arbitrary order would
+// perturb α — and with it the walk budget and every walk increment — between
+// otherwise identical runs; the fixed order keeps the estimator pipeline
+// bit-reproducible for a fixed RNG seed.
 func (r *ResidueVectors) TotalMass() float64 {
 	total := 0.0
-	for k := range r.hops {
+	for k := 0; k < r.active; k++ {
 		total += r.HopMass(k)
 	}
 	return total
 }
 
 // HopMass returns Σ_u r^(k)[u], summed in ascending node order (see
-// TotalMass for why the order is fixed).
+// TotalMass for why the order is fixed).  It sorts the hop's touched list in
+// place; by the time HopMass is used (residue reduction, mass accounting) the
+// insertion order is no longer needed.
 func (r *ResidueVectors) HopMass(k int) float64 {
-	if k < 0 || k >= len(r.hops) {
+	if k < 0 || k >= r.active {
 		return 0
 	}
-	hop := r.hops[k]
-	if len(hop) == 0 {
-		return 0
-	}
-	nodes := make([]graph.NodeID, 0, len(hop))
-	for v := range hop {
-		nodes = append(nodes, v)
-	}
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	hop := &r.levels[k]
+	slices.Sort(hop.touched)
 	total := 0.0
-	for _, v := range nodes {
-		total += hop[v]
+	for _, v := range hop.touched {
+		total += hop.vals[v]
 	}
 	return total
 }
@@ -85,8 +97,8 @@ func (r *ResidueVectors) HopMass(k int) float64 {
 // NonZeroEntries returns the number of non-zero (node, hop) residue entries.
 func (r *ResidueVectors) NonZeroEntries() int {
 	n := 0
-	for _, hop := range r.hops {
-		n += len(hop)
+	for k := 0; k < r.active; k++ {
+		n += r.levels[k].nonZero()
 	}
 	return n
 }
@@ -94,8 +106,8 @@ func (r *ResidueVectors) NonZeroEntries() int {
 // MaxHopWithMass returns the largest k such that r^(k) has a non-zero entry,
 // or -1 if all residues are zero.
 func (r *ResidueVectors) MaxHopWithMass() int {
-	for k := len(r.hops) - 1; k >= 0; k-- {
-		if len(r.hops[k]) > 0 {
+	for k := r.active - 1; k >= 0; k-- {
+		if r.levels[k].nonZero() > 0 {
 			return k
 		}
 	}
@@ -107,9 +119,11 @@ func (r *ResidueVectors) MaxHopWithMass() int {
 // as the decision of whether random walks are needed at all.
 func (r *ResidueVectors) NormalizedMaxSum(g *graph.Graph) float64 {
 	total := 0.0
-	for _, hop := range r.hops {
+	for k := 0; k < r.active; k++ {
+		hop := &r.levels[k]
 		max := 0.0
-		for v, x := range hop {
+		for _, v := range hop.touched {
+			x := hop.vals[v]
 			d := float64(g.Degree(v))
 			if d == 0 {
 				continue
@@ -125,18 +139,57 @@ func (r *ResidueVectors) NormalizedMaxSum(g *graph.Graph) float64 {
 
 // Entries calls fn for every non-zero residue entry (hop, node, value).
 func (r *ResidueVectors) Entries(fn func(k int, v graph.NodeID, residue float64)) {
-	for k, hop := range r.hops {
-		for v, x := range hop {
-			fn(k, v, x)
+	for k := 0; k < r.active; k++ {
+		hop := &r.levels[k]
+		for _, v := range hop.touched {
+			if x := hop.vals[v]; x != 0 {
+				fn(k, v, x)
+			}
 		}
 	}
 }
 
+// ReserveVector is a read-only view of the reserve vector q_s, backed by the
+// workspace's dense score slab.  It stays valid until the owning workspace
+// starts its next query; long-lived consumers materialize it with ToMap.
+type ReserveVector struct {
+	vec *denseVec
+}
+
+// Get returns q_s[v].
+func (q ReserveVector) Get(v graph.NodeID) float64 { return q.vec.get(v) }
+
+// Len returns the number of entries, mirroring len() of the former map form
+// (explicitly written zero entries count, as they did in the map).
+func (q ReserveVector) Len() int { return len(q.vec.touched) }
+
+// Entries calls fn for every entry in insertion order.
+func (q ReserveVector) Entries(fn func(v graph.NodeID, reserve float64)) {
+	for _, v := range q.vec.touched {
+		fn(v, q.vec.vals[v])
+	}
+}
+
+// TotalMass returns Σ_v q_s[v] in ascending node order (fixed for
+// bit-reproducibility, matching ResidueVectors.HopMass).
+func (q ReserveVector) TotalMass() float64 {
+	slices.Sort(q.vec.touched)
+	total := 0.0
+	for _, v := range q.vec.touched {
+		total += q.vec.vals[v]
+	}
+	return total
+}
+
+// ToMap materializes the reserve into the public sparse map form.
+func (q ReserveVector) ToMap() map[graph.NodeID]float64 { return q.vec.toMap() }
+
 // PushResult is the output of HK-Push / HK-Push+: the reserve vector q_s and
 // the residue vectors r^(0)..r^(K), together with the work counters used by
-// the complexity accounting.
+// the complexity accounting.  Both vectors alias the workspace the push ran
+// on and stay valid until that workspace's next query.
 type PushResult struct {
-	Reserve        map[graph.NodeID]float64
+	Reserve        ReserveVector
 	Residues       *ResidueVectors
 	PushOperations int64 // Σ d(v) over pushed (v,k) entries
 	PushedNodes    int64 // number of pushed (v,k) entries
@@ -207,8 +260,8 @@ const (
 	// one hop's frontier scan.
 	maxPushChunks = 32
 	// minFrontierPerChunk keeps small frontiers on the serial fast path: below
-	// this size a chunk's fixed costs (delta map, goroutine handoff) outweigh
-	// the scan.
+	// this size a chunk's fixed costs (scratch slab, goroutine handoff)
+	// outweigh the scan.
 	minFrontierPerChunk = 128
 	// inequalityCheckEvery is the number of push operations between
 	// Inequality-11 re-checks on the serial path (the chunked path checks at
@@ -235,44 +288,76 @@ func pushChunkCount(frontierLen int) int {
 // residue state; the caller merges chunks in index order.
 type pushChunk struct {
 	lo, hi int
-	delta  map[graph.NodeID]float64
+	delta  *denseVec
 	ops    int64
 	nodes  int64
 	err    error
 }
 
-// scanFrontierChunks scans the frontier's chunks on up to workers goroutines.
-// Each chunk accumulates its spread into a private delta map in frontier
-// order, so chunk contents depend only on the frontier split — never on
-// scheduling.  A chunk that hits cancellation records the error and flags the
-// remaining chunks to bail out.
-func scanFrontierChunks(g *graph.Graph, hop map[graph.NodeID]float64, frontier []graph.NodeID, stop float64, nChunks, workers int, cc *cancelChecker) []pushChunk {
-	chunks := make([]pushChunk, nChunks)
-	for i := range chunks {
-		chunks[i].lo = i * len(frontier) / nChunks
-		chunks[i].hi = (i + 1) * len(frontier) / nChunks
+// chunkFrontierByDegree splits the sorted frontier into len(chunks)
+// contiguous ranges balanced by Σ (1 + degree) — the actual scan cost of a
+// chunk — instead of node count, so a frontier dominated by a few hubs no
+// longer serializes behind the chunk that drew them.  The boundaries are a
+// pure function of the frontier and the graph's degrees (never of the
+// parallelism), so the chunked merge order — and with it the result —
+// remains bit-identical at any P.  Chunks may be empty when a single node
+// outweighs a whole chunk share.
+func chunkFrontierByDegree(g *graph.Graph, frontier []graph.NodeID, chunks []pushChunk) {
+	nChunks := len(chunks)
+	var total int64
+	for _, v := range frontier {
+		total += 1 + int64(g.Degree(v))
 	}
+	var cum int64
+	j := 0
+	for i := range chunks {
+		chunks[i].lo = j
+		target := total * int64(i+1) / int64(nChunks)
+		for j < len(frontier) && cum < target {
+			cum += 1 + int64(g.Degree(frontier[j]))
+			j++
+		}
+		chunks[i].hi = j
+	}
+	chunks[nChunks-1].hi = len(frontier)
+}
+
+// scanFrontierChunks scans the frontier's chunks on up to workers goroutines.
+// Each chunk accumulates its spread into a private workspace scratch slab in
+// frontier order, so chunk contents depend only on the frontier split — never
+// on scheduling.  A chunk that hits cancellation records the error and flags
+// the remaining chunks to bail out.
+func scanFrontierChunks(g *graph.Graph, hop *denseVec, frontier []graph.NodeID, stop float64, nChunks, workers int, ctl execCtl) []pushChunk {
+	ws := ctl.ws
+	chunks := ws.chunkSlots(nChunks)
+	chunkFrontierByDegree(g, frontier, chunks)
+	slabs := ws.scratchSlabs(nChunks)
 	var failed atomic.Bool
 	scan := func(i int) {
 		c := &chunks[i]
 		if failed.Load() {
 			// Another chunk hit cancellation; the merge stops at the first
 			// errored chunk, so this chunk's work would be discarded anyway.
-			if err := cc.err(); err != nil {
+			if err := ctl.cc.err(); err != nil {
 				c.err = err
 			} else {
 				c.err = context.Canceled
 			}
 			return
 		}
-		fork := cc.fork()
-		hint := (c.hi - c.lo) * 4
-		if hint > 4096 {
-			hint = 4096
+		// Goroutine-local fork: its tick counter is decremented per pushed
+		// node, so a shared slice of forks would false-share cache lines
+		// between chunks.
+		var fork *cancelChecker
+		if ctl.cc != nil {
+			f := ctl.cc.forkValue()
+			fork = &f
 		}
-		delta := make(map[graph.NodeID]float64, hint)
+		delta := &slabs[i]
+		delta.grow(ws.n)
+		delta.reset()
 		for _, v := range frontier[c.lo:c.hi] {
-			r := hop[v]
+			r := hop.get(v)
 			if r == 0 {
 				continue
 			}
@@ -281,7 +366,7 @@ func scanFrontierChunks(g *graph.Graph, hop map[graph.NodeID]float64, frontier [
 			if spread > 0 && deg > 0 {
 				share := spread / float64(deg)
 				for _, u := range g.Neighbors(v) {
-					delta[u] += share
+					delta.add(u, share)
 				}
 			}
 			c.ops += int64(deg)
@@ -304,13 +389,14 @@ func scanFrontierChunks(g *graph.Graph, hop map[graph.NodeID]float64, frontier [
 //
 // Small frontiers run a serial fast path that writes residues directly.  A
 // frontier at or above the chunking threshold is split into
-// pushChunkCount(len) contiguous chunks scanned on up to parallelism
-// goroutines (extra goroutines beyond the first are borrowed from ctl's CPU
-// gate), and the per-chunk deltas are merged strictly in chunk order.  The
-// hop-(k+1) residue map is empty when a hop starts, so the one-chunk case and
-// the serial path accumulate in the identical float order, and chunk counts
-// depend only on the frontier — which together make the result bit-identical
-// for any parallelism, the same guarantee the walk stage provides.
+// pushChunkCount(len) contiguous chunks balanced by degree sum (see
+// chunkFrontierByDegree) scanned on up to parallelism goroutines (extra
+// goroutines beyond the first are borrowed from ctl's CPU gate), and the
+// per-chunk deltas are merged strictly in chunk order.  The hop-(k+1) residue
+// slab is empty when a hop starts, so the one-chunk case and the serial path
+// accumulate in the identical float order, and chunk boundaries depend only
+// on the frontier — which together make the result bit-identical for any
+// parallelism, the same guarantee the walk stage provides.
 //
 // It returns satisfied=true as soon as the Inequality-11 sum drops to target
 // or below.  The check runs at deterministic points only (every
@@ -320,33 +406,38 @@ func scanFrontierChunks(g *graph.Graph, hop map[graph.NodeID]float64, frontier [
 // suffixMax — suffixMax[i] is the maximum residue norm over frontier[i:],
 // and restMax the maximum over the hop's entries outside the frontier — so
 // the test can fire mid-hop once the dominant entries have been pushed.
-func drainFrontier(res *PushResult, g *graph.Graph, hop map[graph.NodeID]float64, frontier []graph.NodeID, stop float64, k, parallelism int, ctl execCtl, track *hopMaxes, target float64, suffixMax []float64, restMax float64) (satisfied bool, err error) {
+func drainFrontier(res *PushResult, g *graph.Graph, hop *denseVec, frontier []graph.NodeID, stop float64, k, parallelism int, ctl execCtl, track *hopMaxes, target float64, suffixMax []float64, restMax float64) (satisfied bool, err error) {
 	nChunks := pushChunkCount(len(frontier))
 	res.FrontierChunks += int64(nChunks)
 	if nChunks > res.MaxHopChunks {
 		res.MaxHopChunks = nChunks
 	}
+	reserve := &ctl.ws.reserve
 
 	if nChunks == 1 {
+		var next *denseVec
 		sinceCheck := int64(0)
 		for idx, v := range frontier {
-			r := hop[v]
+			r := hop.get(v)
 			if r == 0 {
 				continue
 			}
 			deg := g.Degree(v)
-			res.Reserve[v] += stop * r
+			reserve.add(v, stop*r)
 			spread := (1 - stop) * r
 			if spread > 0 && deg > 0 {
+				if next == nil {
+					next = res.Residues.level(k + 1)
+				}
 				share := spread / float64(deg)
 				for _, u := range g.Neighbors(v) {
-					res.Residues.add(k+1, u, share)
+					nv := next.add(u, share)
 					if track != nil {
-						track.observe(k+1, res.Residues.hops[k+1][u], float64(g.Degree(u)))
+						track.observe(k+1, nv, float64(g.Degree(u)))
 					}
 				}
 			}
-			delete(hop, v)
+			hop.set(v, 0)
 			res.PushOperations += int64(deg)
 			res.PushedNodes++
 			if err := ctl.cc.tick(int(deg)); err != nil {
@@ -386,7 +477,8 @@ func drainFrontier(res *PushResult, g *graph.Graph, hop map[graph.NodeID]float64
 		res.PushParallelism = workers
 	}
 
-	chunks := scanFrontierChunks(g, hop, frontier, stop, nChunks, workers, ctl.cc)
+	chunks := scanFrontierChunks(g, hop, frontier, stop, nChunks, workers, ctl)
+	next := res.Residues.level(k + 1)
 	for i := range chunks {
 		c := &chunks[i]
 		if c.err == nil {
@@ -401,20 +493,22 @@ func drainFrontier(res *PushResult, g *graph.Graph, hop map[graph.NodeID]float64
 			return false, c.err
 		}
 		for _, v := range frontier[c.lo:c.hi] {
-			r := hop[v]
+			r := hop.get(v)
 			if r == 0 {
 				continue
 			}
-			res.Reserve[v] += stop * r
-			delete(hop, v)
+			reserve.add(v, stop*r)
+			hop.set(v, 0)
 		}
-		// Each node appears in at most one chunk delta per merge step, so
-		// map iteration order within a chunk cannot perturb float bits; the
-		// chunk-order outer loop fixes the accumulation order per node.
-		for u, x := range c.delta {
-			res.Residues.add(k+1, u, x)
+		// Each node appears at most once on a chunk delta's touched list, so
+		// the within-chunk order cannot perturb a node's accumulated float
+		// bits; the chunk-order outer loop fixes the accumulation order per
+		// node.
+		delta := c.delta
+		for _, u := range delta.touched {
+			nv := next.add(u, delta.vals[u])
 			if track != nil {
-				track.observe(k+1, res.Residues.hops[k+1][u], float64(g.Degree(u)))
+				track.observe(k+1, nv, float64(g.Degree(u)))
 			}
 		}
 		res.PushOperations += c.ops
@@ -446,22 +540,28 @@ func drainFrontier(res *PushResult, g *graph.Graph, hop map[graph.NodeID]float64
 // (residue at the cap is left in place for the walk phase); pass a value at
 // least the heat-kernel truncation hop for full fidelity.
 //
+// The returned PushResult owns a private workspace (it is not recycled), so
+// it stays valid indefinitely; the pipeline seams instead run on pooled
+// workspaces and materialize maps at the API boundary.
+//
 // The run time and the number of non-zero residue entries are O(1/rmax)
 // (Lemma 3).
 func HKPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops int) *PushResult {
-	res, _ := hkPush(g, seed, w, rmax, maxHops, 1, execCtl{})
+	res, _ := hkPush(g, seed, w, rmax, maxHops, 1, execCtl{ws: NewWorkspace(g.N())})
 	return res
 }
 
 // hkPush is HKPush with a cancellation checkpoint charged per pushed node
 // (cost d(v), the paper's push-operation unit) and per-hop frontier scans
 // parallelized over up to parallelism goroutines (see drainFrontier; the
-// output is bit-identical at any parallelism).  On cancellation the partial
-// result is returned alongside the context error.
+// output is bit-identical at any parallelism).  ctl.ws must be non-nil and
+// already bound to g.  On cancellation the partial result is returned
+// alongside the context error.
 func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops, parallelism int, ctl execCtl) (*PushResult, error) {
+	ws := ctl.ws
 	res := &PushResult{
-		Reserve:         make(map[graph.NodeID]float64),
-		Residues:        &ResidueVectors{},
+		Reserve:         ReserveVector{vec: &ws.reserve},
+		Residues:        &ws.resid,
 		PushParallelism: 1,
 	}
 	res.Residues.set(0, seed, 1)
@@ -472,22 +572,25 @@ func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 		maxHops = w.TruncationHop(1e-12)
 	}
 
-	// The frontier slice is reused across hops and sorted before processing:
-	// Go's randomized map iteration would otherwise vary the float
-	// accumulation order of reserves and residues between runs, and the
-	// pipeline promises bit-identical results for a fixed Options.Seed.
-	// Reusing the slice keeps the serving hot path allocation-light.
-	var frontier []graph.NodeID
+	// The frontier buffer is reused across hops and sorted before processing:
+	// residues and reserves must accumulate in a run-to-run deterministic
+	// order for the pipeline's bit-identical-results promise, and the touched
+	// list's insertion order depends on the (deterministic but arbitrary)
+	// push order of the previous hop.  Filtering the flat touched list
+	// replaces the map iteration + key extraction of the map-based
+	// implementation with an allocation-free scan.
+	frontier := ws.frontier[:0]
+	defer func() { ws.frontier = frontier }()
 	for k := 0; k < res.Residues.NumHops() && k < maxHops; k++ {
-		hop := res.Residues.hops[k]
+		hop := res.Residues.level(k)
 		stop := w.Stop(k)
 		frontier = frontier[:0]
-		for v, r := range hop {
-			if r > rmax*float64(g.Degree(v)) {
+		for _, v := range hop.touched {
+			if hop.vals[v] > rmax*float64(g.Degree(v)) {
 				frontier = append(frontier, v)
 			}
 		}
-		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		slices.Sort(frontier)
 		if _, err := drainFrontier(res, g, hop, frontier, stop, k, parallelism, ctl, nil, 0, nil, 0); err != nil {
 			return res, err
 		}
@@ -499,9 +602,9 @@ func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 // differs from HKPush in three ways: the push threshold is εr·δ/K·d(v), push
 // operations stop once the budget np is exhausted or Inequality (11) holds
 // with ε = εr·δ, and only hops below the cap K are ever pushed (hop-K residue
-// is left for the walk phase).
+// is left for the walk phase).  Like HKPush it runs on a private workspace.
 func HKPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64) *PushResult {
-	res, _ := hkPushPlus(g, seed, w, epsRel, delta, maxHopK, budget, 1, execCtl{})
+	res, _ := hkPushPlus(g, seed, w, epsRel, delta, maxHopK, budget, 1, execCtl{ws: NewWorkspace(g.N())})
 	return res
 }
 
@@ -513,9 +616,10 @@ func HKPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 // boundaries otherwise — so early termination, like the residue state, is
 // bit-identical at any parallelism.
 func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64, parallelism int, ctl execCtl) (*PushResult, error) {
+	ws := ctl.ws
 	res := &PushResult{
-		Reserve:         make(map[graph.NodeID]float64),
-		Residues:        &ResidueVectors{},
+		Reserve:         ReserveVector{vec: &ws.reserve},
+		Residues:        &ws.resid,
 		PushParallelism: 1,
 	}
 	res.Residues.set(0, seed, 1)
@@ -525,15 +629,17 @@ func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 	target := epsRel * delta
 	threshold := target / float64(maxHopK)
 
-	track := &hopMaxes{}
+	track := &hopMaxes{max: ws.hopMax[:0]}
+	defer func() { ws.hopMax = track.max }()
 	track.observe(0, 1, float64(g.Degree(seed)))
 
 	// Sorted for run-to-run determinism, exactly as in hkPush; the budget
 	// cut-off therefore also lands on a deterministic frontier prefix.
-	var frontier []graph.NodeID
-	var suffixMax []float64
+	frontier := ws.frontier[:0]
+	suffixMax := ws.suffixMax
+	defer func() { ws.frontier, ws.suffixMax = frontier, suffixMax }()
 	for k := 0; k < res.Residues.NumHops() && k < maxHopK; k++ {
-		hop := res.Residues.hops[k]
+		hop := res.Residues.level(k)
 		stop := w.Stop(k)
 		// restMax tracks the exact maximum residue norm over this hop's
 		// entries that will NOT be pushed (below threshold, or cut by the
@@ -542,7 +648,11 @@ func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 		// max(restMax, suffix maximum of the unpushed frontier tail).
 		restMax := 0.0
 		frontier = frontier[:0]
-		for v, r := range hop {
+		for _, v := range hop.touched {
+			r := hop.vals[v]
+			if r == 0 {
+				continue
+			}
 			d := float64(g.Degree(v))
 			if r > threshold*d {
 				frontier = append(frontier, v)
@@ -552,7 +662,7 @@ func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 				}
 			}
 		}
-		sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+		slices.Sort(frontier)
 
 		// The budget cut is resolved before any push: the first frontier node
 		// whose degree would take PushOperations past the budget truncates the
@@ -571,7 +681,7 @@ func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 			}
 			for _, v := range frontier[cut:] {
 				if d := float64(g.Degree(v)); d > 0 {
-					if norm := hop[v] / d; norm > restMax {
+					if norm := hop.get(v) / d; norm > restMax {
 						restMax = norm
 					}
 				}
@@ -589,7 +699,7 @@ func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 		for i := len(frontier) - 1; i >= 0; i-- {
 			m := suffixMax[i+1]
 			if d := float64(g.Degree(frontier[i])); d > 0 {
-				if norm := hop[frontier[i]] / d; norm > m {
+				if norm := hop.get(frontier[i]) / d; norm > m {
 					m = norm
 				}
 			}

@@ -29,14 +29,14 @@ func residueMap(res *ResidueVectors) map[residueKey]float64 {
 // residues, counters and the Inequality-11 verdict.
 func assertPushResultsIdentical(t *testing.T, label string, a, b *PushResult) {
 	t.Helper()
-	if len(a.Reserve) != len(b.Reserve) {
-		t.Fatalf("%s: reserve support %d != %d", label, len(a.Reserve), len(b.Reserve))
+	if a.Reserve.Len() != b.Reserve.Len() {
+		t.Fatalf("%s: reserve support %d != %d", label, a.Reserve.Len(), b.Reserve.Len())
 	}
-	for v, q := range a.Reserve {
-		if bq, ok := b.Reserve[v]; !ok || bq != q {
+	a.Reserve.Entries(func(v graph.NodeID, q float64) {
+		if bq := b.Reserve.Get(v); bq != q {
 			t.Fatalf("%s: reserve at node %d: %v != %v (bit-identity violated)", label, v, q, bq)
 		}
-	}
+	})
 	ra, rb := residueMap(a.Residues), residueMap(b.Residues)
 	if len(ra) != len(rb) {
 		t.Fatalf("%s: residue support %d != %d", label, len(ra), len(rb))
@@ -71,7 +71,7 @@ func TestHKPushSerialParallelBitIdentity(t *testing.T) {
 	// threshold, so the parallel path actually runs.
 	const rmax = 1e-8
 
-	serial, err := hkPush(g, 7, w, rmax, 0, 1, execCtl{})
+	serial, err := hkPush(g, 7, w, rmax, 0, 1, execCtl{ws: NewWorkspace(g.N())})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestHKPushSerialParallelBitIdentity(t *testing.T) {
 		t.Fatalf("no hop was chunked (max %d chunks); test is vacuous", serial.MaxHopChunks)
 	}
 	for _, p := range []int{2, 8} {
-		par, err := hkPush(g, 7, w, rmax, 0, p, execCtl{})
+		par, err := hkPush(g, 7, w, rmax, 0, p, execCtl{ws: NewWorkspace(g.N())})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestHKPushPlusSerialParallelBitIdentity(t *testing.T) {
 		{"budget-cut", 40_000},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			serial, err := hkPushPlus(g, 7, w, 0.5, delta, 20, tc.budget, 1, execCtl{})
+			serial, err := hkPushPlus(g, 7, w, 0.5, delta, 20, tc.budget, 1, execCtl{ws: NewWorkspace(g.N())})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -112,7 +112,7 @@ func TestHKPushPlusSerialParallelBitIdentity(t *testing.T) {
 				t.Fatalf("no hop was chunked (max %d chunks); test is vacuous", serial.MaxHopChunks)
 			}
 			for _, p := range []int{2, 8} {
-				par, err := hkPushPlus(g, 7, w, 0.5, delta, 20, tc.budget, p, execCtl{})
+				par, err := hkPushPlus(g, 7, w, 0.5, delta, 20, tc.budget, p, execCtl{ws: NewWorkspace(g.N())})
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -44,23 +44,29 @@ func TestHKPushInvariantsProperty(t *testing.T) {
 		}
 		push := HKPush(g, seed, w, rmax, 0)
 
-		reserveMass := 0.0
-		for _, q := range push.Reserve {
+		nonNeg := true
+		push.Reserve.Entries(func(_ graph.NodeID, q float64) {
 			if q < 0 {
-				return false
+				nonNeg = false
 			}
-			reserveMass += q
+		})
+		if !nonNeg {
+			return false
 		}
-		total := reserveMass + push.Residues.TotalMass()
+		total := push.Reserve.TotalMass() + push.Residues.TotalMass()
 		if math.Abs(total-1) > 1e-8 {
 			return false
 		}
 		// Reserve is a lower bound of the exact HKPR vector.
 		exact := exactHKPR(g, seed, heat)
-		for v, q := range push.Reserve {
+		lower := true
+		push.Reserve.Entries(func(v graph.NodeID, q float64) {
 			if q > exact[v]+1e-8 {
-				return false
+				lower = false
 			}
+		})
+		if !lower {
+			return false
 		}
 		// Residues are non-negative.
 		ok := true
@@ -96,11 +102,7 @@ func TestHKPushPlusInvariantsProperty(t *testing.T) {
 		if push.PushOperations > budget {
 			return false
 		}
-		reserveMass := 0.0
-		for _, q := range push.Reserve {
-			reserveMass += q
-		}
-		total := reserveMass + push.Residues.TotalMass()
+		total := push.Reserve.TotalMass() + push.Residues.TotalMass()
 		if math.Abs(total-1) > 1e-8 {
 			return false
 		}

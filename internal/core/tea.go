@@ -55,6 +55,8 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
+	release := acquireWorkspace(&ctl, g.N())
+	defer release()
 	pfAdj := adjustedPf(g, opts)
 	omega := omegaTEA(opts.EpsRel, opts.Delta, pfAdj)
 	rmax := opts.RmaxScale / (omega * opts.T)
@@ -74,16 +76,12 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 	}
 	pushTime := time.Since(pushStart)
 
-	scores := push.Reserve
-
 	// Stage 2: residual/source collection.  α is summed over the sorted
 	// entries, the one pass that already exists for the alias table.
-	buf := getWalkBuffers()
-	defer buf.release()
-	entries, weights := collectWalkEntries(push.Residues, buf)
+	entries, weights := collectWalkEntries(push.Residues, ctl.ws)
 	alpha := sumWeights(weights)
 	nr := int64(math.Ceil(alpha * omega))
-	plan, err := planWalkStage(entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaSeedMix))
+	plan, err := planWalkStage(ctl.ws, entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaSeedMix))
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA walk phase: %w", err)
 	}
@@ -96,8 +94,11 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 	}
 	walkTime := time.Since(walkStart)
 
-	// Stage 4: deterministic merge.
-	mergeWalkStage(scores, walked)
+	// Stage 4: deterministic merge into the reserve slab, then one
+	// materialization into the public map form — the only point the sparse
+	// vector leaves the pooled workspace.
+	mergeWalkStage(&ctl.ws.reserve, walked)
+	scores := ctl.ws.reserve.toMap()
 
 	return &Result{
 		Seed:   seed,
@@ -155,13 +156,18 @@ func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *h
 	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
+	release := acquireWorkspace(&ctl, g.N())
+	defer release()
 	// The plain Monte-Carlo analysis uses a union bound over all n nodes, so
 	// the walk count uses log(n/pf) rather than log(1/p'_f).
 	nr := int64(math.Ceil(2 * (1 + opts.EpsRel/3) * math.Log(float64(g.N())/opts.FailureProb) /
 		(opts.EpsRel * opts.EpsRel * opts.Delta)))
 
-	entries := []walkEntry{{node: seed, hop: 0, residue: 1}}
-	plan, err := planWalkStage(entries, []float64{1}, 1, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, monteCarloSeedMix))
+	ws := ctl.ws
+	entries := append(ws.entries[:0], walkEntry{node: seed, hop: 0, residue: 1})
+	weights := append(ws.weights[:0], 1)
+	ws.entries, ws.weights = entries, weights
+	plan, err := planWalkStage(ws, entries, weights, 1, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, monteCarloSeedMix))
 	if err != nil {
 		return nil, fmt.Errorf("core: Monte-Carlo walk phase: %w", err)
 	}
@@ -173,8 +179,8 @@ func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *h
 	}
 	walkTime := time.Since(start)
 
-	scores := make(map[graph.NodeID]float64)
-	mergeWalkStage(scores, walked)
+	mergeWalkStage(&ws.reserve, walked)
+	scores := ws.reserve.toMap()
 
 	return &Result{
 		Seed:   seed,

@@ -42,6 +42,8 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
+	release := acquireWorkspace(&ctl, g.N())
+	defer release()
 	pfAdj := adjustedPf(g, opts)
 	omega := omegaTEAPlus(opts.EpsRel, opts.Delta, pfAdj)
 	budget := int64(math.Ceil(omega * opts.T / 2))
@@ -54,7 +56,6 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	}
 	pushTime := time.Since(pushStart)
 
-	scores := push.Reserve
 	target := opts.EpsRel * opts.Delta
 
 	stats := Stats{
@@ -69,6 +70,7 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	// Line 7: if Inequality (11) holds the reserve already is a
 	// (d, εr, δ)-approximate HKPR vector (Theorem 2) — no walks needed.
 	if push.SatisfiedInequality11 || push.Residues.NormalizedMaxSum(g) <= target {
+		scores := push.Reserve.ToMap()
 		stats.EarlyTermination = true
 		stats.WorkingSetBytes = estimatedWorkingSetBytes(len(scores)) +
 			estimatedWorkingSetBytes(push.Residues.NonZeroEntries())
@@ -80,12 +82,10 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	// ρ̂[v]/d(v) is at most εr·δ (Inequality 19).
 	reduceResidues(g, push.Residues, target)
 
-	buf := getWalkBuffers()
-	defer buf.release()
-	entries, weights := collectWalkEntries(push.Residues, buf)
+	entries, weights := collectWalkEntries(push.Residues, ctl.ws)
 	alpha := sumWeights(weights)
 	nr := int64(math.Ceil(alpha * omega))
-	plan, err := planWalkStage(entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaPlusSeedMix))
+	plan, err := planWalkStage(ctl.ws, entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaPlusSeedMix))
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA+ walk phase: %w", err)
 	}
@@ -96,7 +96,8 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 		return nil, fmt.Errorf("core: TEA+ walk phase: %w", err)
 	}
 	walkTime := time.Since(walkStart)
-	mergeWalkStage(scores, walked)
+	mergeWalkStage(&ctl.ws.reserve, walked)
+	scores := ctl.ws.reserve.toMap()
 
 	stats.RandomWalks = walked.walks
 	stats.WalkSteps = walked.steps
@@ -141,14 +142,17 @@ func reduceResidues(g *graph.Graph, res *ResidueVectors, target float64) {
 		}
 		beta := hopMass / total
 		reduction := beta * target
-		hop := res.hops[k]
-		for v, r := range hop {
+		hop := &res.levels[k]
+		for _, v := range hop.touched {
+			r := hop.vals[v]
+			if r == 0 {
+				continue
+			}
 			nr := r - reduction*float64(g.Degree(v))
 			if nr <= 0 {
-				delete(hop, v)
-			} else {
-				hop[v] = nr
+				nr = 0
 			}
+			hop.vals[v] = nr
 		}
 	}
 }
@@ -174,29 +178,31 @@ func TEAPlusNoReduction(g *graph.Graph, seed graph.NodeID, opts Options) (*Resul
 	budget := int64(math.Ceil(omega * opts.T / 2))
 	k := hopCap(opts.C, opts.EpsRel, opts.Delta, g.AverageDegree(), w)
 
+	ctl := execCtl{}
+	release := acquireWorkspace(&ctl, g.N())
+	defer release()
+
 	pushStart := time.Now()
-	push, err := hkPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget, opts.Parallelism, execCtl{})
+	push, err := hkPushPlus(g, seed, w, opts.EpsRel, opts.Delta, k, budget, opts.Parallelism, ctl)
 	if err != nil {
 		return nil, err
 	}
 	pushTime := time.Since(pushStart)
-	scores := push.Reserve
 
-	buf := getWalkBuffers()
-	defer buf.release()
-	entries, weights := collectWalkEntries(push.Residues, buf)
+	entries, weights := collectWalkEntries(push.Residues, ctl.ws)
 	alpha := sumWeights(weights)
 	nr := int64(math.Ceil(alpha * omega))
-	plan, err := planWalkStage(entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaPlusSeedMix))
+	plan, err := planWalkStage(ctl.ws, entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaPlusSeedMix))
 	if err != nil {
 		return nil, err
 	}
 	walkStart := time.Now()
-	walked, err := runWalkStage(g, w, plan, opts.Parallelism, execCtl{})
+	walked, err := runWalkStage(g, w, plan, opts.Parallelism, ctl)
 	if err != nil {
 		return nil, err
 	}
-	mergeWalkStage(scores, walked)
+	mergeWalkStage(&ctl.ws.reserve, walked)
+	scores := ctl.ws.reserve.toMap()
 	return &Result{
 		Seed:   seed,
 		Scores: scores,

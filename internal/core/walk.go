@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -22,10 +22,10 @@ import (
 // shards determined only by the budget itself — never by the parallelism —
 // and gives shard i an RNG derived from (walk seed, i).  Shards execute on
 // up to Options.Parallelism goroutines, each accumulating into a private
-// score map, and the merge folds the shard maps into the reserve vector in
-// shard order.  Because shard contents and merge order are independent of
-// how shards were scheduled, the result is bit-identical for a given seed
-// at any parallelism; a serial run is simply parallelism 1.
+// workspace scratch slab, and the merge folds the shard slabs into the
+// reserve slab in shard order.  Because shard contents and merge order are
+// independent of how shards were scheduled, the result is bit-identical for
+// a given seed at any parallelism; a serial run is simply parallelism 1.
 
 // KRandomWalk implements Algorithm 2.  Starting at node u whose residue was
 // generated at hop k, the walk stops at the current node with probability
@@ -71,38 +71,38 @@ type walkEntry struct {
 	residue float64
 }
 
-// collectWalkEntries flattens the non-zero residues into buf's entry slice
-// plus the weight vector used to build the alias table.  Entries are sorted
-// by (hop, node) so results are reproducible for a fixed RNG seed despite
-// Go's randomized map iteration order.  The returned slices alias buf and are
-// recycled when buf is released, which keeps the serving hot path from
-// re-allocating them on every query.
-func collectWalkEntries(res *ResidueVectors, buf *walkBuffers) ([]walkEntry, []float64) {
-	entries := buf.entries[:0]
+// collectWalkEntries flattens the non-zero residues into the workspace's
+// entry buffer plus the weight vector used to build the alias table.
+// Entries are sorted by (hop, node) so results are reproducible for a fixed
+// RNG seed regardless of the touched lists' insertion order.  The returned
+// slices alias the workspace and are recycled with it, which keeps the
+// serving hot path from re-allocating them on every query.
+func collectWalkEntries(res *ResidueVectors, ws *Workspace) ([]walkEntry, []float64) {
+	entries := ws.entries[:0]
 	res.Entries(func(k int, v graph.NodeID, r float64) {
 		if r <= 0 {
 			return
 		}
 		entries = append(entries, walkEntry{node: v, hop: k, residue: r})
 	})
-	sort.Slice(entries, func(i, j int) bool {
-		if entries[i].hop != entries[j].hop {
-			return entries[i].hop < entries[j].hop
+	slices.SortFunc(entries, func(a, b walkEntry) int {
+		if a.hop != b.hop {
+			return a.hop - b.hop
 		}
-		return entries[i].node < entries[j].node
+		return int(a.node) - int(b.node)
 	})
-	weights := buf.weights[:0]
+	weights := ws.weights[:0]
 	for _, e := range entries {
 		weights = append(weights, e.residue)
 	}
-	buf.entries, buf.weights = entries, weights
+	ws.entries, ws.weights = entries, weights
 	return entries, weights
 }
 
 // sumWeights returns α, the total residue mass handed to the walk stage,
 // summed over the sorted entry order so it is bit-reproducible run to run.
 // Computing it from the already-sorted weights avoids a second sorted pass
-// over the residue maps (ResidueVectors.TotalMass sorts per hop).
+// over the residue slabs (ResidueVectors.TotalMass sorts per hop).
 func sumWeights(weights []float64) float64 {
 	total := 0.0
 	for _, w := range weights {
@@ -118,7 +118,7 @@ const (
 	// one query's walk stage.
 	maxWalkShards = 32
 	// minWalksPerShard keeps tiny walk phases unsharded: below this budget a
-	// shard's fixed costs (RNG seeding, map allocation) outweigh the walks.
+	// shard's fixed costs (RNG seeding, slab reset) outweigh the walks.
 	minWalksPerShard = 512
 )
 
@@ -149,7 +149,8 @@ func shardSeed(base uint64, shard int) uint64 {
 }
 
 // walkPlan is the immutable output of the source-collection stage: everything
-// the sharded walk stage needs, with the sharding fixed up front.
+// the sharded walk stage needs, with the sharding fixed up front.  It lives
+// in (and aliases) the query's workspace.
 type walkPlan struct {
 	entries   []walkEntry
 	alias     *xrand.Alias // shared, read-only during sampling
@@ -160,25 +161,26 @@ type walkPlan struct {
 	seed      uint64 // query-level walk seed; shard i uses shardSeed(seed, i)
 }
 
-// planWalkStage builds the walk plan from the collected sources.  It returns
-// (nil, nil) when no walks are needed, which short-circuits stages 3-4.
-func planWalkStage(entries []walkEntry, weights []float64, alpha float64, nr int64, lengthCap int, seed uint64) (*walkPlan, error) {
+// planWalkStage builds the walk plan from the collected sources into ws's
+// plan slot.  It returns (nil, nil) when no walks are needed, which
+// short-circuits stages 3-4.
+func planWalkStage(ws *Workspace, entries []walkEntry, weights []float64, alpha float64, nr int64, lengthCap int, seed uint64) (*walkPlan, error) {
 	if nr <= 0 || len(entries) == 0 || alpha <= 0 {
 		return nil, nil
 	}
-	alias, err := xrand.NewAlias(weights)
-	if err != nil {
+	if err := ws.alias.Rebuild(weights); err != nil {
 		return nil, err
 	}
-	return &walkPlan{
+	ws.plan = walkPlan{
 		entries:   entries,
-		alias:     alias,
+		alias:     &ws.alias,
 		alpha:     alpha,
 		nr:        nr,
 		lengthCap: lengthCap,
 		shards:    walkShardCount(nr),
 		seed:      seed,
-	}, nil
+	}
+	return &ws.plan, nil
 }
 
 // shardWalks returns shard i's walk budget: nr split as evenly as possible,
@@ -222,9 +224,10 @@ func runSharded(n, workers int, run func(int)) {
 }
 
 // walkStageResult carries the sharded walk stage's output into the merge
-// stage plus the counters for Stats.
+// stage plus the counters for Stats.  shardScores aliases the workspace's
+// scratch slabs.
 type walkStageResult struct {
-	shardScores []map[graph.NodeID]float64
+	shardScores []denseVec
 	walks       int64
 	steps       int64
 	shards      int
@@ -236,8 +239,8 @@ type walkStageResult struct {
 // from (and returned to) the shared token budget, so a busy serving engine
 // degrades each query toward serial execution instead of oversubscribing the
 // cores.  Each shard walks with its own RNG and cancellation checker and
-// accumulates into a private score map; shard contents depend only on the
-// plan, never on scheduling.
+// accumulates into a private workspace scratch slab; shard contents depend
+// only on the plan, never on scheduling.
 func runWalkStage(g *graph.Graph, w *heatkernel.Weights, p *walkPlan, parallelism int, ctl execCtl) (walkStageResult, error) {
 	if p == nil {
 		return walkStageResult{}, nil
@@ -255,14 +258,13 @@ func runWalkStage(g *graph.Graph, w *heatkernel.Weights, p *walkPlan, parallelis
 		workers = 1 + extra
 	}
 
+	ws := ctl.ws
 	out := walkStageResult{
-		shardScores: make([]map[graph.NodeID]float64, p.shards),
+		shardScores: ws.scratchSlabs(p.shards),
 		shards:      p.shards,
 		workers:     workers,
 	}
-	shardErrs := make([]error, p.shards)
-	shardWalks := make([]int64, p.shards)
-	shardSteps := make([]int64, p.shards)
+	shardWalks, shardSteps, shardErrs := ws.shardCounters(p.shards)
 	var failed atomic.Bool
 
 	increment := p.alpha / float64(p.nr)
@@ -272,23 +274,30 @@ func runWalkStage(g *graph.Graph, w *heatkernel.Weights, p *walkPlan, parallelis
 			// query is being abandoned and partial scores are discarded.
 			return
 		}
+		scores := &out.shardScores[i]
+		scores.grow(ws.n)
+		scores.reset()
 		budget := p.shardWalks(i)
 		if budget == 0 {
 			return
 		}
-		rng := getRNG(shardSeed(p.seed, i))
-		defer putRNG(rng)
-		cc := ctl.cc.fork()
-		hint := budget
-		if hint > 4096 {
-			hint = 4096
+		// The RNG and the cancellation fork are goroutine-local values: both
+		// mutate on every walk (RNG state, tick counter), so packing them
+		// into shared per-shard slices would false-share cache lines between
+		// shards running on different cores.
+		var rngVal xrand.RNG
+		rngVal.Reseed(shardSeed(p.seed, i))
+		rng := &rngVal
+		var cc *cancelChecker
+		if ctl.cc != nil {
+			fork := ctl.cc.forkValue()
+			cc = &fork
 		}
-		scores := make(map[graph.NodeID]float64, hint)
 		var steps int64
 		for n := int64(0); n < budget; n++ {
 			e := p.entries[p.alias.Sample(rng)]
 			end, st := KRandomWalk(g, rng, w, e.node, e.hop, p.lengthCap)
-			scores[end] += increment
+			scores.add(end, increment)
 			steps += int64(st)
 			if err := cc.tick(st + 1); err != nil {
 				shardErrs[i] = err
@@ -297,7 +306,6 @@ func runWalkStage(g *graph.Graph, w *heatkernel.Weights, p *walkPlan, parallelis
 				return
 			}
 		}
-		out.shardScores[i] = scores
 		shardWalks[i], shardSteps[i] = budget, steps
 	}
 
@@ -315,14 +323,15 @@ func runWalkStage(g *graph.Graph, w *heatkernel.Weights, p *walkPlan, parallelis
 	return out, nil
 }
 
-// mergeWalkStage folds the per-shard score deltas into the reserve vector in
+// mergeWalkStage folds the per-shard score deltas into the reserve slab in
 // shard order.  Every node's final score is reserve + Σ_i shard_i in a fixed
-// float-addition order, which is what makes the pipeline's output
-// parallelism-independent.
-func mergeWalkStage(scores map[graph.NodeID]float64, res walkStageResult) {
-	for _, shard := range res.shardScores {
-		for v, s := range shard {
-			scores[v] += s
+// float-addition order (each node appears at most once on a shard's touched
+// list), which is what makes the pipeline's output parallelism-independent.
+func mergeWalkStage(scores *denseVec, res walkStageResult) {
+	for i := range res.shardScores {
+		shard := &res.shardScores[i]
+		for _, v := range shard.touched {
+			scores.add(v, shard.vals[v])
 		}
 	}
 }

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"sync"
+
+	"hkpr/internal/graph"
+	"hkpr/internal/xrand"
+)
+
+// This file implements the zero-allocation hot path of the estimator
+// pipeline: epoch-versioned dense accumulators ("sparse-set slabs") that
+// replace the per-query hash maps the push and walk stages used to allocate.
+//
+// A Workspace bundles every per-query accumulator — the reserve slab, the
+// per-hop residue slabs, the per-chunk/per-shard scratch slabs and the small
+// flat buffers (frontier, suffix maxima, walk entries, RNGs) — sized to the
+// graph once and reused across queries via pooling.  Clearing a slab between
+// queries (or hops) is O(touched): the slab's epoch is bumped and stale
+// entries are recognized by their out-of-date stamp, so a million-node slab
+// costs nothing to "empty" after a query that touched a few thousand nodes.
+//
+// Determinism: the slabs change only the storage, never the float-addition
+// order.  Every accumulation the map-based implementation performed in a
+// deterministic order (frontier order, chunk-merge order, shard-merge order)
+// happens in the identical order on slabs, so results remain bit-identical
+// for a fixed Options.Seed at any parallelism, and bit-identical to what a
+// fresh set of maps would produce.
+
+// denseVec is an epoch-versioned dense float accumulator over node IDs with
+// an insertion-order list of touched nodes.  get/add/set are O(1) with no
+// hashing; reset is O(1) amortized (an epoch bump).  The zero value is ready
+// after grow+reset.  Not safe for concurrent use; concurrent stages give each
+// goroutine its own denseVec.
+type denseVec struct {
+	vals  []float64
+	stamp []uint32
+	epoch uint32
+	// touched lists the live nodes in first-touch order.  It may contain
+	// nodes whose value was later set to zero ("deleted"); readers that need
+	// the non-zero support skip zeros.
+	touched []graph.NodeID
+}
+
+// grow ensures the slab covers node IDs [0, n).  Growing discards the slab's
+// contents (fresh stamps are all stale); callers reset afterwards.
+func (d *denseVec) grow(n int) {
+	if len(d.vals) >= n {
+		return
+	}
+	d.vals = make([]float64, n)
+	d.stamp = make([]uint32, n)
+	d.epoch = 0 // fresh stamps are zero; reset bumps past them
+	d.touched = d.touched[:0]
+}
+
+// reset empties the accumulator in O(1) by bumping the epoch.  On the (rare)
+// uint32 wraparound the stamp slab is zero-filled so stamps from 2^32 resets
+// ago cannot alias the new epoch.
+func (d *denseVec) reset() {
+	d.touched = d.touched[:0]
+	d.epoch++
+	if d.epoch == 0 {
+		for i := range d.stamp {
+			d.stamp[i] = 0
+		}
+		d.epoch = 1
+	}
+}
+
+// get returns the accumulated value for v (0 when untouched).
+func (d *denseVec) get(v graph.NodeID) float64 {
+	if d.stamp[v] != d.epoch {
+		return 0
+	}
+	return d.vals[v]
+}
+
+// add accumulates x onto v and returns the new value.
+func (d *denseVec) add(v graph.NodeID, x float64) float64 {
+	if d.stamp[v] != d.epoch {
+		d.stamp[v] = d.epoch
+		d.vals[v] = x
+		d.touched = append(d.touched, v)
+		return x
+	}
+	d.vals[v] += x
+	return d.vals[v]
+}
+
+// set overwrites v's value.  Setting zero "deletes" the entry for readers
+// that skip zeros; the node stays on the touched list either way.
+func (d *denseVec) set(v graph.NodeID, x float64) {
+	if d.stamp[v] != d.epoch {
+		d.stamp[v] = d.epoch
+		d.touched = append(d.touched, v)
+	}
+	d.vals[v] = x
+}
+
+// nonZero returns the number of touched entries with a non-zero value.
+func (d *denseVec) nonZero() int {
+	n := 0
+	for _, v := range d.touched {
+		if d.vals[v] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// toMap materializes the accumulator into a freshly allocated map, the public
+// sparse-vector form handed across the API boundary.  Every touched entry is
+// copied (zeros included), matching the map-based implementation, which also
+// kept explicitly written zero entries.
+func (d *denseVec) toMap() map[graph.NodeID]float64 {
+	m := make(map[graph.NodeID]float64, len(d.touched))
+	for _, v := range d.touched {
+		m[v] = d.vals[v]
+	}
+	return m
+}
+
+// Workspace is the pooled per-query scratch state of the estimator pipeline:
+// dense reserve/residue slabs indexed by NodeID, per-chunk and per-shard
+// scratch accumulators, and the flat buffers of the collection stage.  Slabs
+// are sized to the graph on first use (the serving layer sizes them at graph
+// load time via NewWorkspace) and reused for every subsequent query, so a
+// steady-state query performs no heap allocation and no hashing until its
+// result is materialized into map form at the API boundary.
+//
+// A Workspace must not be shared by concurrent queries.  The pipeline's
+// internal parallel stages are fine: chunk and shard goroutines each own a
+// distinct scratch slab and are joined before the query returns.
+type Workspace struct {
+	n int // bound graph size
+
+	reserve denseVec       // reserve q_s, later the merged score vector
+	resid   ResidueVectors // per-hop residue slabs
+
+	// scratch holds the private accumulators of parallel stages: push chunk
+	// i and walk shard i both use scratch[i] (the stages never overlap).
+	// Bounded by max(maxPushChunks, maxWalkShards).
+	scratch []denseVec
+
+	// Flat per-query buffers reused across hops/queries.
+	frontier  []graph.NodeID
+	suffixMax []float64
+	hopMax    []float64
+	chunks    []pushChunk
+	entries   []walkEntry
+	weights   []float64
+	alias     xrand.Alias
+	plan      walkPlan
+	shardW    []int64
+	shardS    []int64
+	shardErr  []error
+}
+
+// NewWorkspace returns a workspace bound to graphs of n nodes.  The reserve
+// slab is allocated eagerly (the serving layer calls this at graph load
+// time); residue and scratch slabs are allocated on first use, each sized n.
+func NewWorkspace(n int) *Workspace {
+	ws := &Workspace{}
+	ws.begin(n)
+	return ws
+}
+
+// begin binds the workspace to a graph of n nodes and clears all per-query
+// state in O(touched).
+func (ws *Workspace) begin(n int) {
+	ws.n = n
+	ws.reserve.grow(n)
+	ws.reserve.reset()
+	ws.resid.begin(n)
+}
+
+// scratchSlabs returns k private scratch accumulators.  The outer slice is
+// grown here, single-threaded, so parallel stages can lazily grow and reset
+// their own element without racing on the slice header.
+func (ws *Workspace) scratchSlabs(k int) []denseVec {
+	for len(ws.scratch) < k {
+		ws.scratch = append(ws.scratch, denseVec{})
+	}
+	return ws.scratch[:k]
+}
+
+// chunkSlots returns k pushChunk slots, zeroed.
+func (ws *Workspace) chunkSlots(k int) []pushChunk {
+	if cap(ws.chunks) < k {
+		ws.chunks = make([]pushChunk, k)
+	}
+	ws.chunks = ws.chunks[:k]
+	for i := range ws.chunks {
+		ws.chunks[i] = pushChunk{}
+	}
+	return ws.chunks
+}
+
+// shardCounters returns the per-shard walk/step/error slices, zeroed.
+func (ws *Workspace) shardCounters(k int) (walks, steps []int64, errs []error) {
+	if cap(ws.shardW) < k {
+		ws.shardW = make([]int64, k)
+		ws.shardS = make([]int64, k)
+		ws.shardErr = make([]error, k)
+	}
+	ws.shardW, ws.shardS, ws.shardErr = ws.shardW[:k], ws.shardS[:k], ws.shardErr[:k]
+	for i := 0; i < k; i++ {
+		ws.shardW[i], ws.shardS[i], ws.shardErr[i] = 0, 0, nil
+	}
+	return ws.shardW, ws.shardS, ws.shardErr
+}
+
+// workspacePool recycles workspaces for callers that do not bring their own
+// (package-level TEA/TEAPlus/MonteCarloOnly and estimators used outside a
+// serving engine).  Slabs regrow if a bigger graph comes along; the pool is
+// keyed by nothing, so mixed graph sizes simply converge to the largest.
+var workspacePool = sync.Pool{New: func() any { return &Workspace{} }}
+
+// acquireWorkspace resolves the query's workspace: the caller-provided one
+// (serving layer) bound to n, or a pooled one plus its release function.
+func acquireWorkspace(ctl *execCtl, n int) func() {
+	if ctl.ws != nil {
+		ctl.ws.begin(n)
+		return func() {}
+	}
+	ws := workspacePool.Get().(*Workspace)
+	ws.begin(n)
+	ctl.ws = ws
+	return func() { workspacePool.Put(ws) }
+}

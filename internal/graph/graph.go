@@ -187,11 +187,28 @@ func (g *Graph) Edges(fn func(u, v NodeID) bool) {
 }
 
 // DegreeHistogram returns a map from degree to the number of nodes with that
-// degree.
+// degree.  Counting runs over a dense slice indexed by degree (one array
+// increment per node instead of a hash-map update); the map is materialized
+// once at the end, sized to the exact number of distinct degrees.
 func (g *Graph) DegreeHistogram() map[int32]int {
-	h := make(map[int32]int)
-	for v := NodeID(0); v < NodeID(g.N()); v++ {
-		h[g.Degree(v)]++
+	n := NodeID(g.N())
+	if n == 0 {
+		return map[int32]int{}
+	}
+	counts := make([]int, g.MaxDegree()+1)
+	distinct := 0
+	for v := NodeID(0); v < n; v++ {
+		d := g.Degree(v)
+		if counts[d] == 0 {
+			distinct++
+		}
+		counts[d]++
+	}
+	h := make(map[int32]int, distinct)
+	for d, c := range counts {
+		if c > 0 {
+			h[int32(d)] = c
+		}
 	}
 	return h
 }

@@ -110,8 +110,19 @@ type Snapshot struct {
 	// recently started execution; under Adaptive it tracks how wide the
 	// engine is currently willing to run queries.
 	LastParallelism int64 `json:"last_parallelism"`
-	CPUTokens       int   `json:"cpu_tokens"`
-	CPUTokensFree   int   `json:"cpu_tokens_free"`
+	// QueueDepthEWMA is the exponentially smoothed queue depth the adaptive
+	// parallelism formula sees.  It is sampled (and therefore only updated)
+	// at adaptive admissions: with Config.AdaptiveEWMA = 1 each sample equals
+	// the instantaneous depth at that admission, and on a non-adaptive
+	// engine no samples are taken and the field stays 0 — read QueueDepth
+	// for live depth there.
+	QueueDepthEWMA float64 `json:"queue_depth_ewma"`
+	CPUTokens      int     `json:"cpu_tokens"`
+	CPUTokensFree  int     `json:"cpu_tokens_free"`
+	// WorkspacesInUse is the number of pooled query workspaces currently
+	// checked out by executing queries; an idle engine reports 0 (a leak
+	// here means a canceled query failed to return its workspace).
+	WorkspacesInUse int64 `json:"workspaces_in_use"`
 
 	Requests   int64 `json:"requests"`
 	Executions int64 `json:"executions"`
@@ -146,8 +157,10 @@ func (e *Engine) Snapshot() Snapshot {
 		Parallelism:     e.cfg.Parallelism,
 		Adaptive:        e.cfg.Adaptive,
 		LastParallelism: m.LastParallelism.Load(),
+		QueueDepthEWMA:  e.smoothedQueueDepth(),
 		CPUTokens:       e.cfg.CPUTokens,
 		CPUTokensFree:   e.cpu.freeTokens(),
+		WorkspacesInUse: e.wsOut.Load(),
 		Requests:        m.Requests.Load(),
 		Executions:      m.Executions.Load(),
 		Completed:       m.Completed.Load(),
@@ -206,6 +219,9 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	}
 	gauge("adaptive", "Whether per-query parallelism adapts to load (1) or is static (0).", adaptive)
 	gauge("last_parallelism", "Parallelism chosen for the most recently started execution.", m.LastParallelism.Load())
+	fmt.Fprintf(w, "# HELP hkpr_serve_queue_depth_ewma Smoothed admission-queue depth seen by adaptive parallelism.\n# TYPE hkpr_serve_queue_depth_ewma gauge\nhkpr_serve_queue_depth_ewma %g\n",
+		e.smoothedQueueDepth())
+	gauge("workspaces_in_use", "Pooled query workspaces currently checked out.", e.wsOut.Load())
 	if e.cache != nil {
 		entries, bytes := e.cache.stats()
 		gauge("cache_entries", "Entries in the result cache.", entries)

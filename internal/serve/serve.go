@@ -48,6 +48,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"strconv"
 	"sync"
@@ -138,6 +139,16 @@ type Config struct {
 	// oversubscribe the budget.  Because results are bit-identical at any
 	// parallelism, adaptivity never fragments the cache or changes output.
 	Adaptive bool
+	// AdaptiveEWMA is the smoothing factor α ∈ (0, 1] applied to the queue
+	// depth the adaptive formula sees: each admission observes
+	//
+	//	smoothed = α·depth + (1-α)·smoothed
+	//
+	// so bursty arrivals no longer whipsaw P between serial and full-width
+	// query to query — the engine reacts at a time constant of roughly 1/α
+	// admissions.  0 (the default) means 1, i.e. the raw instantaneous
+	// depth, preserving the historical behaviour.  Ignored unless Adaptive.
+	AdaptiveEWMA float64
 }
 
 // withDefaults resolves the zero fields of c.
@@ -156,6 +167,9 @@ func (c Config) withDefaults() Config {
 		if p := runtime.GOMAXPROCS(0); p > c.CPUTokens {
 			c.CPUTokens = p
 		}
+	}
+	if c.AdaptiveEWMA <= 0 || c.AdaptiveEWMA > 1 {
+		c.AdaptiveEWMA = 1
 	}
 	return c
 }
@@ -269,6 +283,22 @@ type Engine struct {
 	metrics *Metrics
 	cpu     *cpuTokens
 
+	// workspaces recycles the per-query dense scratch state (core.Workspace:
+	// reserve/residue slabs, chunk/shard accumulators, collection buffers),
+	// sized to the graph when the engine is built.  One workspace is checked
+	// out per admitted execution and returned when the execution finishes —
+	// including canceled and timed-out queries, whose internal goroutines
+	// are joined before the estimator returns — so steady-state queries
+	// perform no slab allocation.  wsOut tracks checkouts for the hygiene
+	// metric (it should fall back to 0 whenever the engine is idle).
+	workspaces sync.Pool
+	wsOut      atomic.Int64
+
+	// queueEWMA holds the exponentially smoothed admission-queue depth (as
+	// math.Float64bits) the adaptive parallelism choice reads; see
+	// Config.AdaptiveEWMA.
+	queueEWMA atomic.Uint64
+
 	queue   chan *task
 	baseCtx context.Context
 	cancel  context.CancelFunc
@@ -307,6 +337,8 @@ func New(est *core.Estimator, cfg Config) (*Engine, error) {
 	if cfg.CacheBytes > 0 {
 		e.cache = newResultCache(cfg.CacheBytes)
 	}
+	n := est.Graph().N()
+	e.workspaces.New = func() any { return core.NewWorkspace(n) }
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -584,14 +616,7 @@ func (e *Engine) chooseParallelism(pinned int) int {
 		return pinned
 	}
 	if e.cfg.Adaptive {
-		p := 1 + e.cpu.freeTokens()/(len(e.queue)+1)
-		if max := e.cfg.Parallelism; max >= 1 && p > max {
-			p = max
-		}
-		if p < 1 {
-			p = 1
-		}
-		return p
+		return e.adaptiveP(e.cpu.freeTokens(), len(e.queue))
 	}
 	if e.cfg.Parallelism > 1 {
 		return e.cfg.Parallelism
@@ -599,11 +624,59 @@ func (e *Engine) chooseParallelism(pinned int) int {
 	return 0
 }
 
-// execute dispatches to the estimator with the task's cancellation context
-// and the engine's CPU-token gate, and reports the parallelism it resolved
-// for the query (surfaced in Response, /stats and the Prometheus gauges).
+// adaptiveP folds one queue-depth observation into the EWMA and returns the
+// adaptive parallelism choice P = 1 + free/(smoothedDepth+1), capped by the
+// configured ceiling.  With AdaptiveEWMA = 1 (the default) the smoothed
+// depth equals the instantaneous one and the formula reduces exactly to the
+// historical integer arithmetic.
+func (e *Engine) adaptiveP(free, depth int) int {
+	sm := e.observeQueueDepth(depth)
+	p := 1 + int(float64(free)/(sm+1))
+	if max := e.cfg.Parallelism; max >= 1 && p > max {
+		p = max
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// observeQueueDepth updates the smoothed queue depth with one observation
+// and returns the new value.  Lock-free: concurrent workers CAS-loop on the
+// float bits.
+func (e *Engine) observeQueueDepth(depth int) float64 {
+	alpha := e.cfg.AdaptiveEWMA
+	for {
+		oldBits := e.queueEWMA.Load()
+		sm := alpha*float64(depth) + (1-alpha)*math.Float64frombits(oldBits)
+		if e.queueEWMA.CompareAndSwap(oldBits, math.Float64bits(sm)) {
+			return sm
+		}
+	}
+}
+
+// smoothedQueueDepth reports the current EWMA of the admission-queue depth
+// without folding in a new observation (for stats and metrics).
+func (e *Engine) smoothedQueueDepth() float64 {
+	return math.Float64frombits(e.queueEWMA.Load())
+}
+
+// execute dispatches to the estimator with the task's cancellation context,
+// the engine's CPU-token gate and a pooled workspace, and reports the
+// parallelism it resolved for the query (surfaced in Response, /stats and
+// the Prometheus gauges).
 func (e *Engine) execute(t *task) (*core.Result, int, error) {
-	oc := core.OptionsContext{Ctx: t.ctx, CheckEvery: e.cfg.CancelCheckEvery, CPU: e.cpu}
+	// Check out a workspace for the execution.  The estimator joins all of
+	// its chunk/shard goroutines before returning — on success, error and
+	// cancellation alike — so the deferred return can never recycle slabs a
+	// stale goroutine still touches.
+	ws := e.workspaces.Get().(*core.Workspace)
+	e.wsOut.Add(1)
+	defer func() {
+		e.wsOut.Add(-1)
+		e.workspaces.Put(ws)
+	}()
+	oc := core.OptionsContext{Ctx: t.ctx, CheckEvery: e.cfg.CancelCheckEvery, CPU: e.cpu, Workspace: ws}
 	opts := t.req.Opts
 	opts.Parallelism = e.chooseParallelism(opts.Parallelism)
 	chosen := opts.Parallelism

@@ -208,34 +208,57 @@ var ErrEmptyDistribution = errors.New("xrand: alias table requires at least one 
 // Alias is a Walker alias table supporting O(1) sampling from an arbitrary
 // discrete distribution over indices 0..n-1.  TEA and TEA+ build one over the
 // non-zero residue entries before launching random walks (paper §4.2, [40]).
+// A table can be Rebuilt in place, reusing its buffers, so serving hot paths
+// keep one Alias per query workspace and pay zero steady-state allocation.
 type Alias struct {
 	prob  []float64
 	alias []int32
 	total float64
+	// construction scratch, retained across Rebuilds
+	scaled       []float64
+	small, large []int32
 }
 
 // NewAlias constructs an alias table from the given non-negative weights.
 // Weights need not be normalized.  It returns ErrEmptyDistribution if no
 // weight is positive, and an error if any weight is negative or non-finite.
 func NewAlias(weights []float64) (*Alias, error) {
+	a := &Alias{}
+	if err := a.Rebuild(weights); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Rebuild reconstructs the table over new weights in place, reusing the
+// table's buffers when they are large enough.  On error the table contents
+// are unspecified and must not be sampled.
+func (a *Alias) Rebuild(weights []float64) error {
 	n := len(weights)
 	total := 0.0
 	for i, w := range weights {
 		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
-			return nil, errors.New("xrand: alias weights must be finite and non-negative, bad weight at index " +
+			return errors.New("xrand: alias weights must be finite and non-negative, bad weight at index " +
 				itoa(i))
 		}
 		total += w
 	}
 	if n == 0 || total <= 0 {
-		return nil, ErrEmptyDistribution
+		return ErrEmptyDistribution
 	}
 
-	prob := make([]float64, n)
-	alias := make([]int32, n)
-	scaled := make([]float64, n)
-	small := make([]int32, 0, n)
-	large := make([]int32, 0, n)
+	if cap(a.prob) < n {
+		a.prob = make([]float64, n)
+		a.alias = make([]int32, n)
+		a.scaled = make([]float64, n)
+		a.small = make([]int32, 0, n)
+		a.large = make([]int32, 0, n)
+	}
+	prob := a.prob[:n]
+	alias := a.alias[:n]
+	scaled := a.scaled[:n]
+	small := a.small[:0]
+	large := a.large[:0]
 	for i, w := range weights {
 		scaled[i] = w * float64(n) / total
 		if scaled[i] < 1 {
@@ -266,7 +289,9 @@ func NewAlias(weights []float64) (*Alias, error) {
 		prob[s] = 1
 		alias[s] = s
 	}
-	return &Alias{prob: prob, alias: alias, total: total}, nil
+	a.prob, a.alias, a.total = prob, alias, total
+	a.small, a.large = small, large
+	return nil
 }
 
 func itoa(i int) string {
