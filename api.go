@@ -78,6 +78,11 @@ type (
 	Options = core.Options
 	// Result is a sparse approximate HKPR vector plus cost statistics.
 	Result = core.Result
+	// ScoreVector is the flat, node-sorted sparse score representation every
+	// estimator returns (binary-search lookup, Map() escape hatch).
+	ScoreVector = core.ScoreVector
+	// ScoredNode is one (node, score) entry of a ScoreVector or ranking.
+	ScoredNode = core.ScoredNode
 	// SweepResult is the outcome of a sweep cut over HKPR scores.
 	SweepResult = cluster.SweepResult
 	// CommunityAssignment maps nodes to ground-truth community indices.
@@ -175,7 +180,11 @@ func NDCG(predicted []NodeID, truth map[NodeID]float64, k int) float64 {
 }
 
 // Sweep performs the sweep-cut of §2.2 over un-normalized HKPR scores.
-func Sweep(g *Graph, scores map[NodeID]float64) SweepResult { return cluster.Sweep(g, scores) }
+func Sweep(g *Graph, scores ScoreVector) SweepResult { return cluster.Sweep(g, scores) }
+
+// SweepK is Sweep bounded to the k best-ranked candidate nodes: only the
+// top-k prefixes are inspected, skipping the ranking tail entirely.
+func SweepK(g *Graph, scores ScoreVector, k int) SweepResult { return cluster.SweepK(g, scores, k) }
 
 // Clusterer -------------------------------------------------------------------
 

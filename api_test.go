@@ -140,10 +140,10 @@ func TestEstimateHKPRAllMethods(t *testing.T) {
 		// large estimate (within a factor).
 		var bestNode hkpr.NodeID
 		best := -1.0
-		for v, s := range exact.Scores {
-			if s > best {
-				best = s
-				bestNode = v
+		for _, e := range exact.Scores {
+			if e.Score > best {
+				best = e.Score
+				bestNode = e.Node
 			}
 		}
 		got := res.Estimate(bestNode, g.Degree(bestNode))
@@ -222,8 +222,8 @@ func TestSweepAndNDCGReexports(t *testing.T) {
 		t.Fatal(err)
 	}
 	truth := make(map[hkpr.NodeID]float64)
-	for v, s := range exact.Scores {
-		truth[v] = s / float64(g.Degree(v))
+	for _, e := range exact.Scores {
+		truth[e.Node] = e.Score / float64(g.Degree(e.Node))
 	}
 	ndcg := hkpr.NDCG(sw.Order, truth, 50)
 	if ndcg < 0.8 {

@@ -52,7 +52,7 @@ func run(args []string, stdout io.Writer) error {
 		parallel  = fs.String("parallel", "1,4", "comma-separated walk-stage parallelism levels for -perf")
 		benchDir  = fs.String("bench-dir", ".", "output directory for -perf JSON files")
 		perfNodes = fs.Int("perf-nodes", 20000, "PLC graph size for -perf")
-		perfBase  = fs.String("perf-baseline", "", "directory of committed BENCH_*.json baselines; fail on a >2x allocs_per_op regression")
+		perfBase  = fs.String("perf-baseline", "", "directory of committed BENCH_*.json baselines; fail on a >2x allocs_per_op or bytes_per_op regression")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

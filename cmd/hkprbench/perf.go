@@ -32,8 +32,9 @@ type perfConfig struct {
 	outDir      string
 	// baselineDir, when non-empty, holds committed BENCH_<name>.json files
 	// the fresh measurements are compared against; a point whose
-	// allocs_per_op regresses by more than allocsRegressionFactor fails the
-	// run (after all files are written, so artifacts survive for diffing).
+	// allocs_per_op (or bytes_per_op) regresses by more than its factor
+	// fails the run (after all files are written, so artifacts survive for
+	// diffing).
 	baselineDir string
 	log         io.Writer
 }
@@ -48,6 +49,17 @@ const allocsRegressionFactor = 2.0
 // near-zero baselines (the whole point of the workspace hot path) don't turn
 // a 5→11 allocs jitter into a CI failure.
 const allocsRegressionFloor = 64
+
+// bytesRegressionFactor is the allowed multiplicative slack between a
+// baseline point's bytes_per_op and a fresh measurement.  Heap bytes track
+// the flat score-vector representation (one support-sized slab per query);
+// a >2x growth means a defensive copy or a map crept back into the hot path.
+const bytesRegressionFactor = 2.0
+
+// bytesRegressionFloor ignores byte regressions below this absolute growth
+// (support sizes vary a little run to run; 64 KiB is far above that noise
+// and far below any reintroduced O(support) copy on the bench graph).
+const bytesRegressionFloor = 64 << 10
 
 // perfPoint is one (estimator, parallelism) measurement.
 type perfPoint struct {
@@ -193,7 +205,7 @@ func runPerf(cfg perfConfig) error {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "perf regression:", r)
 		}
-		return fmt.Errorf("perf: %d allocs_per_op regression(s) against baseline in %s", len(regressions), cfg.baselineDir)
+		return fmt.Errorf("perf: %d allocs_per_op/bytes_per_op regression(s) against baseline in %s", len(regressions), cfg.baselineDir)
 	}
 	return nil
 }
@@ -228,6 +240,11 @@ func checkPerfBaseline(dir string, rep perfReport) error {
 		if p.AllocsPerOp > limit && p.AllocsPerOp-b.AllocsPerOp > allocsRegressionFloor {
 			return fmt.Errorf("%s P=%d: allocs_per_op %d exceeds %gx baseline %d",
 				rep.Name, p.Parallelism, p.AllocsPerOp, allocsRegressionFactor, b.AllocsPerOp)
+		}
+		byteLimit := int64(float64(b.BytesPerOp) * bytesRegressionFactor)
+		if b.BytesPerOp > 0 && p.BytesPerOp > byteLimit && p.BytesPerOp-b.BytesPerOp > bytesRegressionFloor {
+			return fmt.Errorf("%s P=%d: bytes_per_op %d exceeds %gx baseline %d",
+				rep.Name, p.Parallelism, p.BytesPerOp, bytesRegressionFactor, b.BytesPerOp)
 		}
 	}
 	return nil

@@ -106,3 +106,41 @@ func TestCheckPerfBaseline(t *testing.T) {
 		t.Fatalf("sub-floor jitter flagged: %v", err)
 	}
 }
+
+// TestCheckPerfBaselineBytes pins the bytes_per_op half of the gate: a >2x
+// heap-bytes blow-up above the absolute floor fails, within-budget growth
+// and sub-floor jitter pass, and a zero-bytes baseline (older JSON without
+// the field) never trips.
+func TestCheckPerfBaselineBytes(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, allocs, bytesPerOp int64) {
+		rep := perfReport{Name: name, Points: []perfPoint{{Parallelism: 1, AllocsPerOp: allocs, BytesPerOp: bytesPerOp}}}
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "BENCH_"+name+".json"), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := func(bytesPerOp int64) perfReport {
+		return perfReport{Name: "tea", Points: []perfPoint{{Parallelism: 1, AllocsPerOp: 100, BytesPerOp: bytesPerOp}}}
+	}
+	write("tea", 100, 1<<20)
+	if err := checkPerfBaseline(dir, fresh(3<<19)); err != nil {
+		t.Fatalf("1.5x bytes growth flagged: %v", err)
+	}
+	if err := checkPerfBaseline(dir, fresh(3<<20)); err == nil {
+		t.Fatal("3x bytes_per_op regression not flagged")
+	}
+	// Small absolute growth below the floor passes even past 2x.
+	write("tea", 100, 1<<10)
+	if err := checkPerfBaseline(dir, fresh(16<<10)); err != nil {
+		t.Fatalf("sub-floor bytes jitter flagged: %v", err)
+	}
+	// Legacy baseline without bytes_per_op never trips the bytes gate.
+	write("tea", 100, 0)
+	if err := checkPerfBaseline(dir, fresh(1<<30)); err != nil {
+		t.Fatalf("zero-bytes baseline flagged: %v", err)
+	}
+}

@@ -15,6 +15,10 @@
 //	GET /cluster?seed=17         → local cluster of node 17 (JSON)
 //	GET /cluster?seed=17&method=tea&eps=0.3
 //	GET /cluster?seed=17&nocache=1
+//	GET /cluster?seed=17&topk=10    → additionally render the 10 best
+//	                                  normalized HKPR scores (flat vector,
+//	                                  truncated per request; the cached full
+//	                                  vector is shared zero-copy)
 //
 // Cluster responses carry cached/coalesced flags, the chosen per-query
 // parallelism, and queue-wait/elapsed timings alongside the cluster itself.
@@ -202,19 +206,26 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.engine.WriteMetrics(w)
 }
 
+// scoredNodeJSON is one entry of the optional top-k score rendering.
+type scoredNodeJSON struct {
+	Node  int64   `json:"node"`
+	Score float64 `json:"score"`
+}
+
 type clusterResponse struct {
-	Seed        int64   `json:"seed"`
-	Method      string  `json:"method"`
-	Cluster     []int64 `json:"cluster"`
-	Size        int     `json:"size"`
-	Conductance float64 `json:"conductance"`
-	ElapsedMS   float64 `json:"elapsed_ms"`
-	QueueWaitMS float64 `json:"queue_wait_ms"`
-	Cached      bool    `json:"cached"`
-	Coalesced   bool    `json:"coalesced"`
-	Parallelism int     `json:"parallelism"`
-	Pushes      int64   `json:"push_operations"`
-	Walks       int64   `json:"random_walks"`
+	Seed        int64            `json:"seed"`
+	Method      string           `json:"method"`
+	Cluster     []int64          `json:"cluster"`
+	Size        int              `json:"size"`
+	Conductance float64          `json:"conductance"`
+	Scores      []scoredNodeJSON `json:"scores,omitempty"`
+	ElapsedMS   float64          `json:"elapsed_ms"`
+	QueueWaitMS float64          `json:"queue_wait_ms"`
+	Cached      bool             `json:"cached"`
+	Coalesced   bool             `json:"coalesced"`
+	Parallelism int              `json:"parallelism"`
+	Pushes      int64            `json:"push_operations"`
+	Walks       int64            `json:"random_walks"`
 }
 
 type errorResponse struct {
@@ -234,6 +245,15 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	method := q.Get("method")
+	topK := 0
+	if tkStr := q.Get("topk"); tkStr != "" {
+		tk, err := strconv.Atoi(tkStr)
+		if err != nil || tk < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "topk must be a positive integer"})
+			return
+		}
+		topK = tk
+	}
 	var query hkpr.Options
 	if epsStr := q.Get("eps"); epsStr != "" {
 		eps, err := strconv.ParseFloat(epsStr, 64)
@@ -249,6 +269,7 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		Method:  method,
 		Opts:    query,
 		Sweep:   true,
+		TopK:    topK,
 		NoCache: q.Get("nocache") != "",
 	})
 	if err != nil {
@@ -275,12 +296,20 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	for i, v := range resp.Sweep.Cluster {
 		members[i] = int64(v)
 	}
+	var topScores []scoredNodeJSON
+	if len(resp.Top) > 0 {
+		topScores = make([]scoredNodeJSON, len(resp.Top))
+		for i, sn := range resp.Top {
+			topScores[i] = scoredNodeJSON{Node: int64(sn.Node), Score: sn.Score}
+		}
+	}
 	writeJSON(w, http.StatusOK, clusterResponse{
 		Seed:        seed,
 		Method:      resp.Method,
 		Cluster:     members,
 		Size:        len(members),
 		Conductance: resp.Sweep.Conductance,
+		Scores:      topScores,
 		ElapsedMS:   float64(resp.Elapsed.Microseconds()) / 1000,
 		QueueWaitMS: float64(resp.QueueWait.Microseconds()) / 1000,
 		Cached:      resp.Cached,

@@ -219,3 +219,57 @@ func TestClusterEndpointErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestClusterEndpointTopK(t *testing.T) {
+	ts := newTestServer(t)
+
+	resp, err := http.Get(ts.URL + "/cluster?seed=3&topk=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var cr clusterResponse
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Scores) != 5 {
+		t.Fatalf("topk=5 rendered %d scores", len(cr.Scores))
+	}
+	for i := 1; i < len(cr.Scores); i++ {
+		a, b := cr.Scores[i-1], cr.Scores[i]
+		if a.Score < b.Score || (a.Score == b.Score && a.Node >= b.Node) {
+			t.Fatalf("scores not in (score desc, node asc) order: %+v then %+v", a, b)
+		}
+	}
+
+	// A repeat without topk must hit the cache (topk does not fragment the
+	// key) and omit the scores array.
+	resp2, err := http.Get(ts.URL + "/cluster?seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var cr2 clusterResponse
+	if err := json.NewDecoder(resp2.Body).Decode(&cr2); err != nil {
+		t.Fatal(err)
+	}
+	if !cr2.Cached {
+		t.Error("repeat query without topk missed the cache: topk fragmented the key")
+	}
+	if cr2.Scores != nil {
+		t.Errorf("scores rendered without topk: %+v", cr2.Scores)
+	}
+
+	// Invalid topk is a 400.
+	resp3, err := http.Get(ts.URL + "/cluster?seed=3&topk=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("topk=0 status %d, want 400", resp3.StatusCode)
+	}
+}

@@ -31,8 +31,8 @@ func main() {
 		log.Fatal(err)
 	}
 	truth := make(map[hkpr.NodeID]float64, exact.SupportSize())
-	for v, s := range exact.Scores {
-		truth[v] = s / float64(g.Degree(v))
+	for _, e := range exact.Scores {
+		truth[e.Node] = e.Score / float64(g.Degree(e.Node))
 	}
 
 	fmt.Printf("\n%-14s %12s %10s %12s\n", "method", "time (ms)", "NDCG@100", "support")

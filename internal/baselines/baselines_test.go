@@ -54,13 +54,13 @@ func TestExactMatchesIndependentPowerIteration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(res.Scores[1]-res.Scores[3]) > 1e-12 {
-		t.Errorf("symmetry violated: %v vs %v", res.Scores[1], res.Scores[3])
+	if math.Abs(res.Scores.Score(1)-res.Scores.Score(3)) > 1e-12 {
+		t.Errorf("symmetry violated: %v vs %v", res.Scores.Score(1), res.Scores.Score(3))
 	}
-	if math.Abs(res.Scores[0]-res.Scores[4]) > 1e-12 {
+	if math.Abs(res.Scores.Score(0)-res.Scores.Score(4)) > 1e-12 {
 		t.Errorf("symmetry violated at ends")
 	}
-	if res.Scores[2] <= res.Scores[1] {
+	if res.Scores.Score(2) <= res.Scores.Score(1) {
 		t.Error("seed should hold the most mass for small t")
 	}
 }
@@ -73,7 +73,7 @@ func TestExactNormalized(t *testing.T) {
 	}
 	raw, _ := Exact(g, 3, ExactOptions{T: 5})
 	for v, nv := range norm {
-		want := raw.Scores[v] / float64(g.Degree(v))
+		want := raw.Scores.Score(v) / float64(g.Degree(v))
 		if math.Abs(nv-want) > 1e-15 {
 			t.Fatalf("normalization wrong at %d", v)
 		}
@@ -103,13 +103,14 @@ func TestClusterHKPRAccuracy(t *testing.T) {
 	exact, _ := Exact(g, seed, ExactOptions{T: 5})
 	// With ε=0.1 the guarantee is coarse; check estimates are in the right
 	// ballpark for nodes with large exact values.
-	for v, want := range exact.Scores {
+	for _, e := range exact.Scores {
+		want := e.Score
 		if want < 0.05 {
 			continue
 		}
-		got := res.Scores[v]
+		got := res.Scores.Score(e.Node)
 		if math.Abs(got-want) > 0.5*want+0.1 {
-			t.Errorf("node %d: got %v want %v", v, got, want)
+			t.Errorf("node %d: got %v want %v", e.Node, got, want)
 		}
 	}
 	if res.Stats.RandomWalks <= 0 {
@@ -159,7 +160,7 @@ func TestHKRelaxAbsoluteErrorGuarantee(t *testing.T) {
 		if d == 0 {
 			continue
 		}
-		diff := math.Abs(res.Scores[v]/d - exact.Scores[v]/d)
+		diff := math.Abs(res.Scores.Score(v)/d - exact.Scores.Score(v)/d)
 		if diff > worst {
 			worst = diff
 		}

@@ -78,7 +78,7 @@ func ClusterHKPR(g *graph.Graph, seed graph.NodeID, opts ClusterHKPROptions) (*c
 
 	return &core.Result{
 		Seed:   seed,
-		Scores: scores,
+		Scores: core.ScoreVectorFromMap(scores),
 		Stats: core.Stats{
 			RandomWalks:     nr,
 			WalkSteps:       steps,

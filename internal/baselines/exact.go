@@ -89,7 +89,7 @@ func Exact(g *graph.Graph, seed graph.NodeID, opts ExactOptions) (*core.Result, 
 
 	return &core.Result{
 		Seed:   seed,
-		Scores: scores,
+		Scores: core.ScoreVectorFromMap(scores),
 		Stats: core.Stats{
 			PushOperations:  ops,
 			MaxHop:          maxK,
@@ -106,10 +106,10 @@ func ExactNormalized(g *graph.Graph, seed graph.NodeID, opts ExactOptions) (map[
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[graph.NodeID]float64, len(res.Scores))
-	for v, s := range res.Scores {
-		if d := g.Degree(v); d > 0 {
-			out[v] = s / float64(d)
+	out := make(map[graph.NodeID]float64, res.Scores.Len())
+	for _, e := range res.Scores {
+		if d := g.Degree(e.Node); d > 0 {
+			out[e.Node] = e.Score / float64(d)
 		}
 	}
 	return out, nil

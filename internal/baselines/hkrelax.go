@@ -133,7 +133,7 @@ func HKRelax(g *graph.Graph, seed graph.NodeID, opts HKRelaxOptions) (*core.Resu
 
 	return &core.Result{
 		Seed:   seed,
-		Scores: scores,
+		Scores: core.ScoreVectorFromMap(scores),
 		Stats: core.Stats{
 			PushOperations:  pushOps,
 			PushedNodes:     pops,

@@ -78,7 +78,7 @@ func PRNibble(g *graph.Graph, seed graph.NodeID, opts PRNibbleOptions) (*core.Re
 
 	return &core.Result{
 		Seed:   seed,
-		Scores: p,
+		Scores: core.ScoreVectorFromMap(p),
 		Stats: core.Stats{
 			PushOperations:  pushOps,
 			PushedNodes:     pops,
@@ -143,7 +143,7 @@ func Nibble(g *graph.Graph, seed graph.NodeID, opts NibbleOptions) (*core.Result
 
 	return &core.Result{
 		Seed:   seed,
-		Scores: cur,
+		Scores: core.ScoreVectorFromMap(cur),
 		Stats: core.Stats{
 			PushOperations:  ops,
 			PushTime:        elapsed,

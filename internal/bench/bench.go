@@ -209,7 +209,7 @@ type queryOutcome struct {
 	conductance float64
 	clusterSize int
 	memoryBytes int64
-	scores      map[graph.NodeID]float64
+	scores      core.ScoreVector
 	result      *core.Result
 }
 

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 
+	"hkpr/internal/core"
 	"hkpr/internal/graph"
 )
 
@@ -60,11 +61,10 @@ func Conductance(g *graph.Graph, set []graph.NodeID) float64 {
 	return float64(cut) / float64(denom)
 }
 
-// ScoredNode pairs a node with its (already degree-normalized) score.
-type ScoredNode struct {
-	Node  graph.NodeID
-	Score float64
-}
+// ScoredNode pairs a node with its (here: degree-normalized) score.  It is
+// the same flat entry type the core estimators emit, so sweep and top-k
+// consume core.ScoreVector slices without conversion.
+type ScoredNode = core.ScoredNode
 
 // SweepResult reports the outcome of a sweep cut.
 type SweepResult struct {
@@ -85,49 +85,67 @@ type SweepResult struct {
 	Order []graph.NodeID
 }
 
+// sweepBatchSize is the initial batch the sweep's incremental selection
+// draws; batches double from there, so a full sweep degenerates to a handful
+// of quickselect rounds while a bounded sweep (SweepK) never sorts past its
+// prefix.
+const sweepBatchSize = 128
+
 // Sweep performs the sweep-cut of §2.2: nodes with non-zero approximate HKPR
-// are sorted in descending order of ρ̂[v]/d(v), prefixes are inspected in
+// are ranked in descending order of ρ̂[v]/d(v), prefixes are inspected in
 // order, and the prefix with the smallest conductance is returned.
 //
-// scores maps nodes to un-normalized HKPR estimates ρ̂[v]; normalization by
-// degree happens here.  Nodes with non-positive degree or score are ignored.
-// The sweep runs in O(|S*| log |S*| + vol(S*)) time using incremental cut and
-// volume maintenance.
-func Sweep(g *graph.Graph, scores map[graph.NodeID]float64) SweepResult {
-	return sweepImpl(g, scores, true)
+// scores is the flat node-sorted vector of un-normalized HKPR estimates
+// ρ̂[v] produced by the core estimators; normalization by degree happens
+// here, directly over the flat slice (no map is materialized or key-sorted).
+// Nodes with non-positive degree or score are ignored.  Ranking uses
+// incremental top-k selection — quickselect batches of doubling size — so
+// the candidates are never fully sorted up front, and a bounded sweep pays
+// only for the prefix it inspects.  The sweep runs in
+// O(|S*| log |S*| + vol(S*)) time using incremental cut and volume
+// maintenance, and its output is identical to a full-sort implementation
+// (the ranking order is a strict total order: score desc, node asc).
+func Sweep(g *graph.Graph, scores core.ScoreVector) SweepResult {
+	return sweepImpl(g, scores, true, 0)
+}
+
+// SweepK is Sweep bounded to the top-k ranked candidates: only the first k
+// prefixes are inspected (Profile and Order have length ≤ k), which is the
+// right call when the caller wants a cluster of bounded size and skips the
+// O(|S*| log |S*|) tail of the ranking entirely.  k <= 0 sweeps everything.
+// For the prefixes it inspects, the profile is identical to Sweep's.
+func SweepK(g *graph.Graph, scores core.ScoreVector, k int) SweepResult {
+	return sweepImpl(g, scores, true, k)
 }
 
 // SweepPreNormalized is identical to Sweep but treats the provided scores as
 // already degree-normalized (ρ̂[v]/d(v)).
-func SweepPreNormalized(g *graph.Graph, scores map[graph.NodeID]float64) SweepResult {
-	return sweepImpl(g, scores, false)
+func SweepPreNormalized(g *graph.Graph, scores core.ScoreVector) SweepResult {
+	return sweepImpl(g, scores, false, 0)
 }
 
-func sweepImpl(g *graph.Graph, scores map[graph.NodeID]float64, normalize bool) SweepResult {
+func sweepImpl(g *graph.Graph, scores core.ScoreVector, normalize bool, limit int) SweepResult {
 	order := make([]ScoredNode, 0, len(scores))
-	for v, s := range scores {
-		if s <= 0 {
+	for _, e := range scores {
+		if e.Score <= 0 {
 			continue
 		}
-		d := float64(g.Degree(v))
+		d := float64(g.Degree(e.Node))
 		if d <= 0 {
 			continue
 		}
-		score := s
+		score := e.Score
 		if normalize {
-			score = s / d
+			score = e.Score / d
 		}
-		order = append(order, ScoredNode{Node: v, Score: score})
+		order = append(order, ScoredNode{Node: e.Node, Score: score})
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].Score != order[j].Score {
-			return order[i].Score > order[j].Score
-		}
-		return order[i].Node < order[j].Node
-	})
+	if limit <= 0 || limit > len(order) {
+		limit = len(order)
+	}
 
-	res := SweepResult{SweepSize: len(order)}
-	if len(order) == 0 {
+	res := SweepResult{SweepSize: limit}
+	if limit == 0 {
 		res.Conductance = 1
 		return res
 	}
@@ -141,42 +159,61 @@ func sweepImpl(g *graph.Graph, scores map[graph.NodeID]float64, normalize bool) 
 	var vol, cut int64
 	bestIdx, bestPhi := -1, math.Inf(1)
 	var bestVol, bestCut int64
-	profile := make([]float64, 0, len(order))
-	sweepOrder := make([]graph.NodeID, 0, len(order))
+	profile := make([]float64, 0, limit)
+	sweepOrder := make([]graph.NodeID, 0, limit)
 
-	for i, sn := range order {
-		v := sn.Node
-		sweepOrder = append(sweepOrder, v)
-		vol += int64(g.Degree(v))
-		for _, u := range g.Neighbors(v) {
-			if inSet.has(u) {
-				cut--
-			} else {
-				cut++
+	// Incremental selection: quickselect the next batch of candidates to the
+	// front of the remaining slice, sort only that batch, sweep it, repeat
+	// with a doubled batch.  The concatenation of the sorted batches is
+	// exactly the fully sorted order (the comparator is a strict total
+	// order), so the profile — and every downstream field — matches a
+	// full-sort sweep bit for bit.
+	rest := order
+	batch := sweepBatchSize
+	for i := 0; i < limit; {
+		b := batch
+		if b > limit-i {
+			b = limit - i
+		}
+		core.SelectTopScored(rest, b)
+		core.SortScoredDesc(rest[:b])
+		for _, sn := range rest[:b] {
+			v := sn.Node
+			sweepOrder = append(sweepOrder, v)
+			vol += int64(g.Degree(v))
+			for _, u := range g.Neighbors(v) {
+				if inSet.has(u) {
+					cut--
+				} else {
+					cut++
+				}
 			}
-		}
-		inSet.add(v)
+			inSet.add(v)
 
-		denom := vol
-		if other := totalVol - vol; other < denom {
-			denom = other
+			denom := vol
+			if other := totalVol - vol; other < denom {
+				denom = other
+			}
+			phi := 1.0
+			if denom > 0 {
+				phi = float64(cut) / float64(denom)
+			}
+			profile = append(profile, phi)
+			// Ignore the degenerate prefix that swallows the whole graph.
+			if phi < bestPhi && vol < totalVol {
+				bestPhi = phi
+				bestIdx = i
+				bestVol = vol
+				bestCut = cut
+			}
+			i++
 		}
-		phi := 1.0
-		if denom > 0 {
-			phi = float64(cut) / float64(denom)
-		}
-		profile = append(profile, phi)
-		// Ignore the degenerate prefix that swallows the whole graph.
-		if phi < bestPhi && vol < totalVol {
-			bestPhi = phi
-			bestIdx = i
-			bestVol = vol
-			bestCut = cut
-		}
+		rest = rest[b:]
+		batch *= 2
 	}
 
 	if bestIdx < 0 {
-		bestIdx = len(order) - 1
+		bestIdx = limit - 1
 		bestPhi = profile[bestIdx]
 		bestVol = vol
 		bestCut = cut
@@ -290,21 +327,16 @@ func NDCG(predicted []graph.NodeID, truth map[graph.NodeID]float64, k int) float
 
 // RankByNormalizedScore returns the nodes of scores sorted in descending order
 // of score/degree, the ranking the sweep and the NDCG evaluation use.
-func RankByNormalizedScore(g *graph.Graph, scores map[graph.NodeID]float64) []graph.NodeID {
+func RankByNormalizedScore(g *graph.Graph, scores core.ScoreVector) []graph.NodeID {
 	order := make([]ScoredNode, 0, len(scores))
-	for v, s := range scores {
-		d := float64(g.Degree(v))
+	for _, e := range scores {
+		d := float64(g.Degree(e.Node))
 		if d == 0 {
 			continue
 		}
-		order = append(order, ScoredNode{Node: v, Score: s / d})
+		order = append(order, ScoredNode{Node: e.Node, Score: e.Score / d})
 	}
-	sort.Slice(order, func(i, j int) bool {
-		if order[i].Score != order[j].Score {
-			return order[i].Score > order[j].Score
-		}
-		return order[i].Node < order[j].Node
-	})
+	core.SortScoredDesc(order)
 	out := make([]graph.NodeID, len(order))
 	for i, sn := range order {
 		out[i] = sn.Node
@@ -313,15 +345,16 @@ func RankByNormalizedScore(g *graph.Graph, scores map[graph.NodeID]float64) []gr
 }
 
 // NormalizedScores divides every score by the node's degree, producing the
-// ρ̂[v]/d(v) values used for ranking.
-func NormalizedScores(g *graph.Graph, scores map[graph.NodeID]float64) map[graph.NodeID]float64 {
-	out := make(map[graph.NodeID]float64, len(scores))
-	for v, s := range scores {
-		d := float64(g.Degree(v))
+// ρ̂[v]/d(v) vector used for ranking.  Filtering preserves the input's node
+// order, so the result is again a valid node-sorted ScoreVector.
+func NormalizedScores(g *graph.Graph, scores core.ScoreVector) core.ScoreVector {
+	out := make(core.ScoreVector, 0, len(scores))
+	for _, e := range scores {
+		d := float64(g.Degree(e.Node))
 		if d == 0 {
 			continue
 		}
-		out[v] = s / d
+		out = append(out, ScoredNode{Node: e.Node, Score: e.Score / d})
 	}
 	return out
 }

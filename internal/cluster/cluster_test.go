@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"hkpr/internal/core"
 	"hkpr/internal/gen"
 	"hkpr/internal/graph"
 )
@@ -71,7 +72,7 @@ func TestSweepFindsBarbellCut(t *testing.T) {
 	scores := map[graph.NodeID]float64{
 		0: 0.4, 1: 0.3, 2: 0.25, 3: 0.03, 4: 0.01, 5: 0.01,
 	}
-	res := Sweep(g, scores)
+	res := Sweep(g, core.ScoreVectorFromMap(scores))
 	if len(res.Cluster) != 3 {
 		t.Fatalf("cluster size %d want 3: %v", len(res.Cluster), res.Cluster)
 	}
@@ -98,7 +99,7 @@ func TestSweepEmptyAndNegativeScores(t *testing.T) {
 	if res.Conductance != 1 || len(res.Cluster) != 0 {
 		t.Errorf("empty sweep should be degenerate: %+v", res)
 	}
-	res = Sweep(g, map[graph.NodeID]float64{0: -1, 1: 0})
+	res = Sweep(g, core.ScoreVectorFromMap(map[graph.NodeID]float64{0: -1, 1: 0}))
 	if res.SweepSize != 0 {
 		t.Errorf("non-positive scores should be ignored")
 	}
@@ -107,8 +108,9 @@ func TestSweepEmptyAndNegativeScores(t *testing.T) {
 func TestSweepPreNormalizedMatchesManual(t *testing.T) {
 	g := barbell()
 	raw := map[graph.NodeID]float64{0: 0.4, 1: 0.3, 2: 0.25, 3: 0.03}
-	norm := NormalizedScores(g, raw)
-	a := Sweep(g, raw)
+	rawVec := core.ScoreVectorFromMap(raw)
+	norm := NormalizedScores(g, rawVec)
+	a := Sweep(g, rawVec)
 	b := SweepPreNormalized(g, norm)
 	if a.Conductance != b.Conductance || len(a.Cluster) != len(b.Cluster) {
 		t.Errorf("normalized and pre-normalized sweeps disagree: %v vs %v", a, b)
@@ -126,7 +128,7 @@ func TestSweepIsBestPrefix(t *testing.T) {
 	for v := graph.NodeID(0); v < 20; v++ {
 		scores[v] = 1.0 / float64(v+1)
 	}
-	res := Sweep(g, scores)
+	res := Sweep(g, core.ScoreVectorFromMap(scores))
 	for i := range res.Order {
 		phi := Conductance(g, res.Order[:i+1])
 		if phi < res.Conductance-1e-12 && int64(volumeOf(g, res.Order[:i+1])) < g.TotalVolume() {
@@ -228,7 +230,7 @@ func TestRankByNormalizedScore(t *testing.T) {
 	g := barbell()
 	scores := map[graph.NodeID]float64{0: 0.2, 2: 0.9, 3: 0.3}
 	// degrees: 0->2, 2->3, 3->3. normalized: 0.1, 0.3, 0.1.
-	rank := RankByNormalizedScore(g, scores)
+	rank := RankByNormalizedScore(g, core.ScoreVectorFromMap(scores))
 	if len(rank) != 3 || rank[0] != 2 {
 		t.Errorf("rank=%v", rank)
 	}
@@ -268,7 +270,7 @@ func TestSweepOnSBM(t *testing.T) {
 			scores[v] = 1 + float64(g.Degree(v))
 		}
 	}
-	res := Sweep(g, scores)
+	res := Sweep(g, core.ScoreVectorFromMap(scores))
 	if res.Conductance > 0.35 {
 		t.Errorf("sweep on planted community should find low conductance, got %v", res.Conductance)
 	}

@@ -1,9 +1,7 @@
 package cluster
 
 import (
-	"container/heap"
-	"sort"
-
+	"hkpr/internal/core"
 	"hkpr/internal/graph"
 )
 
@@ -13,62 +11,27 @@ import (
 // accuracy on a prefix (NDCG@k).  Ties are broken by node ID for
 // determinism.  k <= 0 or k larger than the support returns the full ranking.
 //
-// The selection runs in O(n log k) using a bounded min-heap, so asking for a
-// short prefix of a large sparse vector does not pay for a full sort.
-func TopKNormalized(g *graph.Graph, scores map[graph.NodeID]float64, k int) []ScoredNode {
-	if k <= 0 || k > len(scores) {
-		k = len(scores)
+// The selection runs over the flat score vector in expected O(n + k log k):
+// a quickselect partitions the k best entries to the front and only that
+// prefix is sorted, so asking for a short prefix of a large sparse vector
+// does not pay for a full sort.
+func TopKNormalized(g *graph.Graph, scores core.ScoreVector, k int) []ScoredNode {
+	order := make([]ScoredNode, 0, len(scores))
+	for _, e := range scores {
+		d := float64(g.Degree(e.Node))
+		if d <= 0 {
+			continue
+		}
+		order = append(order, ScoredNode{Node: e.Node, Score: e.Score / d})
+	}
+	if k <= 0 || k > len(order) {
+		k = len(order)
 	}
 	if k == 0 {
 		return nil
 	}
-	h := &scoredMinHeap{}
-	heap.Init(h)
-	for v, s := range scores {
-		d := float64(g.Degree(v))
-		if d <= 0 {
-			continue
-		}
-		sn := ScoredNode{Node: v, Score: s / d}
-		if h.Len() < k {
-			heap.Push(h, sn)
-			continue
-		}
-		if less((*h)[0], sn) {
-			(*h)[0] = sn
-			heap.Fix(h, 0)
-		}
-	}
-	out := make([]ScoredNode, h.Len())
-	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = heap.Pop(h).(ScoredNode)
-	}
-	// The heap yields ascending order reversed into descending; make the tie
-	// order deterministic.
-	sort.SliceStable(out, func(i, j int) bool { return less(out[j], out[i]) })
-	return out
-}
-
-// less orders ScoredNodes ascending by (score, then reversed node id) so that
-// the min-heap evicts the smallest score and, among equal scores, the larger
-// node ID — matching the descending (score, node asc) order of the output.
-func less(a, b ScoredNode) bool {
-	if a.Score != b.Score {
-		return a.Score < b.Score
-	}
-	return a.Node > b.Node
-}
-
-type scoredMinHeap []ScoredNode
-
-func (h scoredMinHeap) Len() int            { return len(h) }
-func (h scoredMinHeap) Less(i, j int) bool  { return less(h[i], h[j]) }
-func (h scoredMinHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *scoredMinHeap) Push(x interface{}) { *h = append(*h, x.(ScoredNode)) }
-func (h *scoredMinHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	*h = old[:n-1]
-	return item
+	core.SelectTopScored(order, k)
+	order = order[:k]
+	core.SortScoredDesc(order)
+	return order
 }

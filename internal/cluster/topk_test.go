@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"hkpr/internal/core"
 	"hkpr/internal/gen"
 	"hkpr/internal/graph"
 )
@@ -16,7 +17,8 @@ func TestTopKNormalizedBasic(t *testing.T) {
 		3: 0.3, // degree 3 -> 0.1
 		5: 0.6, // degree 2 -> 0.3
 	}
-	top := TopKNormalized(g, scores, 2)
+	sv := core.ScoreVectorFromMap(scores)
+	top := TopKNormalized(g, sv, 2)
 	if len(top) != 2 {
 		t.Fatalf("len=%d", len(top))
 	}
@@ -24,12 +26,12 @@ func TestTopKNormalizedBasic(t *testing.T) {
 	if top[0].Node != 2 || top[1].Node != 5 {
 		t.Errorf("top-2 = %v", top)
 	}
-	full := TopKNormalized(g, scores, 0)
+	full := TopKNormalized(g, sv, 0)
 	if len(full) != 4 {
 		t.Fatalf("full ranking length %d", len(full))
 	}
 	// Must match RankByNormalizedScore exactly.
-	rank := RankByNormalizedScore(g, scores)
+	rank := RankByNormalizedScore(g, sv)
 	for i := range rank {
 		if rank[i] != full[i].Node {
 			t.Fatalf("TopK full ranking disagrees with RankByNormalizedScore at %d: %v vs %v", i, full, rank)
@@ -42,7 +44,7 @@ func TestTopKNormalizedEdgeCases(t *testing.T) {
 	if TopKNormalized(g, nil, 5) != nil {
 		t.Error("empty scores should return nil")
 	}
-	over := TopKNormalized(g, map[graph.NodeID]float64{1: 0.5}, 100)
+	over := TopKNormalized(g, core.ScoreVectorFromMap(map[graph.NodeID]float64{1: 0.5}), 100)
 	if len(over) != 1 {
 		t.Errorf("k beyond support: %v", over)
 	}
@@ -68,8 +70,9 @@ func TestTopKMatchesFullSortProperty(t *testing.T) {
 			return true
 		}
 		k := int(kRaw%uint8(len(scores))) + 1
-		top := TopKNormalized(g, scores, k)
-		rank := RankByNormalizedScore(g, scores)
+		sv := core.ScoreVectorFromMap(scores)
+		top := TopKNormalized(g, sv, k)
+		rank := RankByNormalizedScore(g, sv)
 		// Drop non-positive scores which RankByNormalizedScore keeps but
 		// shouldn't matter: compare only the node order prefix.
 		if len(top) != k {

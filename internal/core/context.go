@@ -130,5 +130,6 @@ func (c *cancelChecker) err() error {
 }
 
 // Per-query scratch state (RNGs, walk-entry buffers, score and residue
-// slabs) lives in the pooled Workspace — see workspace.go.  Only the Result
-// maps handed across the API boundary are freshly allocated per query.
+// slabs) lives in the pooled Workspace — see workspace.go.  Only the flat
+// Result score vector handed across the API boundary is freshly allocated
+// per query.

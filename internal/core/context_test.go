@@ -52,9 +52,9 @@ func TestContextMethodsMatchPlainMethods(t *testing.T) {
 	if len(mcPlain.Scores) != len(mcCtx.Scores) {
 		t.Fatalf("MC support sizes differ: %d vs %d", len(mcPlain.Scores), len(mcCtx.Scores))
 	}
-	for v, s := range mcPlain.Scores {
-		if mcCtx.Scores[v] != s {
-			t.Fatalf("MC score mismatch at %d: %v vs %v", v, s, mcCtx.Scores[v])
+	for _, e := range mcPlain.Scores {
+		if got := mcCtx.Scores.Score(e.Node); got != e.Score {
+			t.Fatalf("MC score mismatch at %d: %v vs %v", e.Node, e.Score, got)
 		}
 	}
 
@@ -74,8 +74,9 @@ func TestContextMethodsMatchPlainMethods(t *testing.T) {
 // ceil-boundary walk count by one and hence individual walk endpoints, so two
 // runs agree only up to a few walk increments per node — far below any
 // meaningful score, far above genuine divergence.
-func assertScoresClose(t *testing.T, a, b map[graph.NodeID]float64) {
+func assertScoresClose(t *testing.T, av, bv ScoreVector) {
 	t.Helper()
+	a, b := av.Map(), bv.Map()
 	totalA, totalB := 0.0, 0.0
 	for _, s := range a {
 		totalA += s

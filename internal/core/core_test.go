@@ -441,16 +441,16 @@ func TestTEADeterministicGivenSeed(t *testing.T) {
 	if len(a.Scores) != len(b.Scores) {
 		t.Fatalf("support sizes differ: %d vs %d", len(a.Scores), len(b.Scores))
 	}
-	for v, s := range a.Scores {
-		if math.Abs(b.Scores[v]-s) > 1e-15 {
-			t.Fatalf("scores differ at %d", v)
+	for _, e := range a.Scores {
+		if math.Abs(b.Scores.Score(e.Node)-e.Score) > 1e-15 {
+			t.Fatalf("scores differ at %d", e.Node)
 		}
 	}
 }
 
 func TestResultHelpers(t *testing.T) {
 	r := &Result{
-		Scores:          map[graph.NodeID]float64{1: 0.5, 2: 0.25},
+		Scores:          ScoreVector{{Node: 1, Score: 0.5}, {Node: 2, Score: 0.25}},
 		OffsetPerDegree: 0.01,
 	}
 	if got := r.Estimate(1, 3); math.Abs(got-0.53) > 1e-12 {
@@ -637,11 +637,11 @@ func TestTEAPlusRecoversPlantedCommunityMass(t *testing.T) {
 	}
 	seedCommunity := assign[seed]
 	inMass, outMass := 0.0, 0.0
-	for v, s := range res.Scores {
-		if assign[v] == seedCommunity {
-			inMass += s
+	for _, e := range res.Scores {
+		if assign[e.Node] == seedCommunity {
+			inMass += e.Score
 		} else {
-			outMass += s
+			outMass += e.Score
 		}
 	}
 	if inMass < 2*outMass {

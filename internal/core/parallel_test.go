@@ -88,9 +88,9 @@ func TestSerialParallelEquivalence(t *testing.T) {
 				if len(par.Scores) != len(serial.Scores) {
 					t.Fatalf("P=%d support %d != serial %d", p, len(par.Scores), len(serial.Scores))
 				}
-				for v, s := range serial.Scores {
-					if ps, ok := par.Scores[v]; !ok || ps != s {
-						t.Fatalf("P=%d score at node %d: %v != serial %v (bit-identity violated)", p, v, ps, s)
+				for i, e := range serial.Scores {
+					if par.Scores[i] != e {
+						t.Fatalf("P=%d score at node %d: %v != serial %v (bit-identity violated)", p, e.Node, par.Scores[i], e)
 					}
 				}
 				if par.OffsetPerDegree != serial.OffsetPerDegree {
@@ -168,9 +168,9 @@ func TestSeedZeroOverride(t *testing.T) {
 	if len(got.Scores) != len(want.Scores) {
 		t.Fatalf("seed-0 override: support %d != %d", len(got.Scores), len(want.Scores))
 	}
-	for v, s := range want.Scores {
-		if got.Scores[v] != s {
-			t.Fatalf("seed-0 override not honored: score mismatch at %d", v)
+	for i, e := range want.Scores {
+		if got.Scores[i] != e {
+			t.Fatalf("seed-0 override not honored: score mismatch at %d", e.Node)
 		}
 	}
 
@@ -180,8 +180,8 @@ func TestSeedZeroOverride(t *testing.T) {
 	}
 	same := len(inherited.Scores) == len(want.Scores)
 	if same {
-		for v, s := range want.Scores {
-			if inherited.Scores[v] != s {
+		for i, e := range want.Scores {
+			if inherited.Scores[i] != e {
 				same = false
 				break
 			}
@@ -289,9 +289,9 @@ func TestCPUGateLimitsWorkersAndIsBalanced(t *testing.T) {
 	if serialRes.Stats.WalkParallelism != 1 {
 		t.Fatalf("starved gate should force serial, got P=%d", serialRes.Stats.WalkParallelism)
 	}
-	for v, s := range res.Scores {
-		if serialRes.Scores[v] != s {
-			t.Fatalf("gated results diverge at node %d", v)
+	for i, e := range res.Scores {
+		if serialRes.Scores[i] != e {
+			t.Fatalf("gated results diverge at node %d", e.Node)
 		}
 	}
 }

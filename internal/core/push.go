@@ -151,7 +151,8 @@ func (r *ResidueVectors) Entries(fn func(k int, v graph.NodeID, residue float64)
 
 // ReserveVector is a read-only view of the reserve vector q_s, backed by the
 // workspace's dense score slab.  It stays valid until the owning workspace
-// starts its next query; long-lived consumers materialize it with ToMap.
+// starts its next query; long-lived consumers materialize it with
+// ToScoreVector.
 type ReserveVector struct {
 	vec *denseVec
 }
@@ -181,8 +182,11 @@ func (q ReserveVector) TotalMass() float64 {
 	return total
 }
 
-// ToMap materializes the reserve into the public sparse map form.
-func (q ReserveVector) ToMap() map[graph.NodeID]float64 { return q.vec.toMap() }
+// ToScoreVector materializes the reserve into the public flat node-sorted
+// vector form (sorting the slab's touched list in place; see
+// denseVec.toScoreVector).  Long-lived consumers that want a mutable map
+// call .Map() on the result.
+func (q ReserveVector) ToScoreVector() ScoreVector { return q.vec.toScoreVector() }
 
 // PushResult is the output of HK-Push / HK-Push+: the reserve vector q_s and
 // the residue vectors r^(0)..r^(K), together with the work counters used by

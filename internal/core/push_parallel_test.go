@@ -156,9 +156,9 @@ func TestPushHeavyEstimatorBitIdentity(t *testing.T) {
 		if len(par.Scores) != len(serial.Scores) {
 			t.Fatalf("P=%d support %d != serial %d", p, len(par.Scores), len(serial.Scores))
 		}
-		for v, s := range serial.Scores {
-			if ps, ok := par.Scores[v]; !ok || ps != s {
-				t.Fatalf("P=%d score at node %d: %v != serial %v", p, v, ps, s)
+		for i, e := range serial.Scores {
+			if par.Scores[i] != e {
+				t.Fatalf("P=%d score at node %d: %v != serial %v", p, e.Node, par.Scores[i], e)
 			}
 		}
 		if par.Stats.PushOperations != serial.Stats.PushOperations {
@@ -266,9 +266,9 @@ func TestPushCPUGateLimitsWorkersAndIsBalanced(t *testing.T) {
 	if len(serialRes.Scores) != len(res.Scores) {
 		t.Fatalf("gated results diverge in support: %d vs %d", len(serialRes.Scores), len(res.Scores))
 	}
-	for v, s := range res.Scores {
-		if serialRes.Scores[v] != s {
-			t.Fatalf("gated results diverge at node %d", v)
+	for i, e := range res.Scores {
+		if serialRes.Scores[i] != e {
+			t.Fatalf("gated results diverge at node %d", e.Node)
 		}
 	}
 }

@@ -136,11 +136,11 @@ func TestTEAPlusMassProperty(t *testing.T) {
 			return false
 		}
 		mass := 0.0
-		for _, s := range res.Scores {
-			if s < 0 {
+		for _, e := range res.Scores {
+			if e.Score < 0 {
 				return false
 			}
-			mass += s
+			mass += e.Score
 		}
 		if mass <= 0 || mass > 1+1e-9 {
 			return false

@@ -17,8 +17,11 @@ type Result struct {
 	// Seed is the query node.
 	Seed graph.NodeID
 	// Scores holds the sparse, un-normalized HKPR estimates ρ̂_s[v] for the
-	// nodes touched by the computation.
-	Scores map[graph.NodeID]float64
+	// nodes touched by the computation, as a flat node-sorted vector built
+	// directly from the workspace's touched list (no map is ever
+	// constructed).  Use Scores.Score/Lookup for point reads and Scores.Map
+	// for callers that need the legacy mutable map form.
+	Scores ScoreVector
 	// OffsetPerDegree is added (times the node degree) to every estimate.
 	OffsetPerDegree float64
 	// Stats describes the work performed.
@@ -70,7 +73,7 @@ type Stats struct {
 
 // Estimate returns the HKPR estimate ρ̂_s[v] for node v given its degree.
 func (r *Result) Estimate(v graph.NodeID, degree int32) float64 {
-	return r.Scores[v] + r.OffsetPerDegree*float64(degree)
+	return r.Scores.Score(v) + r.OffsetPerDegree*float64(degree)
 }
 
 // NormalizedEstimate returns ρ̂_s[v]/d(v) for node v given its degree.
@@ -84,21 +87,22 @@ func (r *Result) NormalizedEstimate(v graph.NodeID, degree int32) float64 {
 
 // TotalMass returns the sum of all sparse scores (excluding the offset); for
 // an exact HKPR vector this is 1.
-func (r *Result) TotalMass() float64 {
-	total := 0.0
-	for _, s := range r.Scores {
-		total += s
-	}
-	return total
+func (r *Result) TotalMass() float64 { return r.Scores.TotalMass() }
+
+// SupportSize returns the number of entries in the sparse score vector
+// (explicitly written zeros included, as in the former map form).
+func (r *Result) SupportSize() int { return r.Scores.Len() }
+
+// estimatedWorkingSetBytes approximates the bytes held by a dense-slab-backed
+// sparse accumulator with the given number of live entries (value slab share
+// plus touched-list entry).
+func estimatedWorkingSetBytes(entries int) int64 {
+	const bytesPerEntry = 16 // float64 value + stamp + touched-list entry
+	return int64(entries) * bytesPerEntry
 }
 
-// SupportSize returns the number of nodes with a non-zero sparse score.
-func (r *Result) SupportSize() int { return len(r.Scores) }
-
-// estimatedWorkingSetBytes approximates the bytes held by a map-based sparse
-// vector with the given number of entries (8-byte key + 8-byte value plus map
-// overhead factor).
-func estimatedWorkingSetBytes(entries int) int64 {
-	const bytesPerEntry = 48 // key + value + bucket overhead, empirical
-	return int64(entries) * bytesPerEntry
+// scoreVectorWorkingSetBytes is the exact footprint of a materialized flat
+// score vector with the given number of entries.
+func scoreVectorWorkingSetBytes(entries int) int64 {
+	return ScoreVectorHeaderBytes + int64(entries)*ScoredNodeBytes
 }

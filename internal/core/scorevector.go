@@ -1,0 +1,172 @@
+package core
+
+import (
+	"slices"
+	"unsafe"
+
+	"hkpr/internal/graph"
+)
+
+// ScoredNode pairs a node with a score.  In a Result's ScoreVector the score
+// is the un-normalized HKPR estimate ρ̂_s[v]; ranking helpers (sweep, top-k)
+// also use it for the degree-normalized form ρ̂_s[v]/d(v).
+type ScoredNode struct {
+	Node  graph.NodeID
+	Score float64
+}
+
+// ScoredNodeBytes is the exact per-entry footprint of a ScoreVector, the unit
+// of the serving layer's cache byte accounting.
+const ScoredNodeBytes = int64(unsafe.Sizeof(ScoredNode{}))
+
+// ScoreVectorHeaderBytes is the footprint of the slice header itself.
+const ScoreVectorHeaderBytes = int64(unsafe.Sizeof(ScoreVector(nil)))
+
+// ScoreVector is the flat sparse-vector form of an approximate HKPR result:
+// entries sorted by ascending NodeID, each node appearing exactly once.  It
+// replaces the map[NodeID]float64 the estimators used to materialize at the
+// API boundary — a single contiguous slab that is cheaper to build (one
+// allocation, no hashing), cheaper to cache (exact 16-byte-per-entry
+// accounting, shared zero-copy between the cache and all readers) and cheaper
+// to consume (the sweep and top-k selection iterate it directly).
+//
+// A ScoreVector handed out by an Engine may be shared with its result cache
+// and with coalesced callers; treat it as read-only.  Use Map for callers
+// that genuinely need a mutable map.
+//
+// Like the map representation before it, a vector may contain explicitly
+// written zero entries; they count toward Len but not toward the non-zero
+// support.
+type ScoreVector []ScoredNode
+
+// Len returns the number of entries (zeros included), mirroring len() of the
+// former map form.
+func (sv ScoreVector) Len() int { return len(sv) }
+
+// Lookup returns the score of v and whether v has an entry, via binary search
+// over the node-sorted entries — the flat-vector replacement for the map's
+// two-value read.
+func (sv ScoreVector) Lookup(v graph.NodeID) (float64, bool) {
+	i, ok := slices.BinarySearchFunc(sv, v, func(e ScoredNode, node graph.NodeID) int {
+		return int(e.Node) - int(node)
+	})
+	if !ok {
+		return 0, false
+	}
+	return sv[i].Score, true
+}
+
+// Score returns the score of v, zero when absent — the flat-vector
+// counterpart of the map's one-value read.
+func (sv ScoreVector) Score(v graph.NodeID) float64 {
+	s, _ := sv.Lookup(v)
+	return s
+}
+
+// Map materializes the vector into a freshly allocated mutable map, the
+// escape hatch for callers that relied on the pre-flat-vector representation.
+// The copy is independent: mutating it cannot corrupt a cached vector.
+func (sv ScoreVector) Map() map[graph.NodeID]float64 {
+	m := make(map[graph.NodeID]float64, len(sv))
+	for _, e := range sv {
+		m[e.Node] = e.Score
+	}
+	return m
+}
+
+// TotalMass returns the sum of all scores in ascending node order (a fixed,
+// reproducible order; for an exact HKPR vector the sum is 1).
+func (sv ScoreVector) TotalMass() float64 {
+	total := 0.0
+	for _, e := range sv {
+		total += e.Score
+	}
+	return total
+}
+
+// ScoreVectorFromMap converts a sparse score map into the canonical
+// node-sorted flat form.  It is the boundary constructor for the baseline
+// estimators (and tests) that still accumulate into maps; the core pipeline
+// builds its vectors directly from workspace touched-lists and never
+// constructs a map.
+func ScoreVectorFromMap(m map[graph.NodeID]float64) ScoreVector {
+	sv := make(ScoreVector, 0, len(m))
+	for v, s := range m {
+		sv = append(sv, ScoredNode{Node: v, Score: s})
+	}
+	slices.SortFunc(sv, func(a, b ScoredNode) int { return int(a.Node) - int(b.Node) })
+	return sv
+}
+
+// scoredMore is the strict total order used for score-ranked selection:
+// descending score, ties broken by ascending node ID.  Being total, any
+// selection or sort under it yields one unique order, so partial selection
+// cannot perturb results relative to a full sort.
+func scoredMore(a, b ScoredNode) bool {
+	if a.Score != b.Score {
+		return a.Score > b.Score
+	}
+	return a.Node < b.Node
+}
+
+// SortScoredDesc sorts s by descending score (ties by ascending node ID).
+func SortScoredDesc(s []ScoredNode) {
+	slices.SortFunc(s, func(a, b ScoredNode) int {
+		if a.Score != b.Score {
+			if a.Score > b.Score {
+				return -1
+			}
+			return 1
+		}
+		return int(a.Node) - int(b.Node)
+	})
+}
+
+// SelectTopScored partially partitions s so that s[:k] holds the k highest
+// entries under the (score desc, node asc) order, in unspecified order, in
+// expected O(len(s)) time — the quickselect primitive behind the sweep's and
+// top-k's incremental selection.  The resulting top-k SET is unique (the
+// order is total), so pivot choices cannot leak into results.
+func SelectTopScored(s []ScoredNode, k int) {
+	if k <= 0 || k >= len(s) {
+		return
+	}
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		p := partitionScored(s, lo, hi)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+// partitionScored partitions s[lo..hi] around a median-of-three pivot under
+// the descending scoredMore order and returns the pivot's final index.
+func partitionScored(s []ScoredNode, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if scoredMore(s[mid], s[lo]) {
+		s[mid], s[lo] = s[lo], s[mid]
+	}
+	if scoredMore(s[hi], s[lo]) {
+		s[hi], s[lo] = s[lo], s[hi]
+	}
+	if scoredMore(s[hi], s[mid]) {
+		s[hi], s[mid] = s[mid], s[hi]
+	}
+	pivot := s[mid]
+	s[mid], s[hi] = s[hi], s[mid]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if scoredMore(s[j], pivot) {
+			s[i], s[j] = s[j], s[i]
+			i++
+		}
+	}
+	s[i], s[hi] = s[hi], s[i]
+	return i
+}

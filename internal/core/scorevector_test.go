@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hkpr/internal/graph"
+)
+
+// TestScoreVectorLookupMatchesMapOracle drives random sparse vectors through
+// the binary-search lookup and checks every answer (hits and misses) against
+// a plain map oracle.
+func TestScoreVectorLookupMatchesMapOracle(t *testing.T) {
+	f := func(keys []uint16, vals []float64) bool {
+		m := map[graph.NodeID]float64{}
+		for i, k := range keys {
+			v := 0.5
+			if i < len(vals) {
+				v = vals[i]
+			}
+			m[graph.NodeID(k)] = v
+		}
+		sv := ScoreVectorFromMap(m)
+		if sv.Len() != len(m) {
+			return false
+		}
+		// Every present node must be found with its exact value.
+		for v, s := range m {
+			got, ok := sv.Lookup(v)
+			if !ok || got != s {
+				return false
+			}
+			if sv.Score(v) != s {
+				return false
+			}
+		}
+		// A spread of absent nodes must miss.
+		for probe := graph.NodeID(0); probe < 1<<16; probe += 997 {
+			_, inMap := m[probe]
+			if _, ok := sv.Lookup(probe); ok != inMap {
+				return false
+			}
+			if !inMap && sv.Score(probe) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScoreVectorMapRoundTrip checks Map() is a faithful, independent copy:
+// equal to the source map, and mutating it leaves the vector untouched.
+func TestScoreVectorMapRoundTrip(t *testing.T) {
+	src := map[graph.NodeID]float64{3: 0.5, 1: 0.25, 9: 0, 7: -1e-9}
+	sv := ScoreVectorFromMap(src)
+	back := sv.Map()
+	if len(back) != len(src) {
+		t.Fatalf("round-trip size %d != %d", len(back), len(src))
+	}
+	for v, s := range src {
+		if back[v] != s {
+			t.Fatalf("round-trip value at %d: %v != %v", v, back[v], s)
+		}
+	}
+	back[3] = 42
+	if sv.Score(3) != 0.5 {
+		t.Fatal("mutating the Map() copy reached the vector")
+	}
+}
+
+// TestScoreVectorSortedInvariant checks ScoreVectorFromMap emits strictly
+// ascending node IDs (the invariant binary search relies on).
+func TestScoreVectorSortedInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := map[graph.NodeID]float64{}
+	for i := 0; i < 500; i++ {
+		m[graph.NodeID(rng.Intn(10_000))] = rng.Float64()
+	}
+	sv := ScoreVectorFromMap(m)
+	for i := 1; i < len(sv); i++ {
+		if sv[i-1].Node >= sv[i].Node {
+			t.Fatalf("nodes not strictly ascending at %d: %d >= %d", i, sv[i-1].Node, sv[i].Node)
+		}
+	}
+}
+
+// topKOf is the production truncation compose (copy → SelectTopScored →
+// truncate → SortScoredDesc), exactly as cluster.TopKNormalized and the
+// serve TopK knob apply it over a score vector.
+func topKOf(sv ScoreVector, k int) []ScoredNode {
+	if k <= 0 || k > len(sv) {
+		k = len(sv)
+	}
+	scratch := append([]ScoredNode(nil), sv...)
+	SelectTopScored(scratch, k)
+	scratch = scratch[:k]
+	SortScoredDesc(scratch)
+	return scratch
+}
+
+// TestScoreVectorTopKDeterminism checks top-k truncation over a score vector
+// is deterministic, equals the prefix of a full descending sort, breaks ties
+// by node ID, and leaves the input vector unmodified.
+func TestScoreVectorTopKDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := map[graph.NodeID]float64{}
+	for i := 0; i < 400; i++ {
+		// Coarse values force plenty of score ties.
+		m[graph.NodeID(i)] = float64(rng.Intn(20)) / 10
+	}
+	sv := ScoreVectorFromMap(m)
+	snapshot := append(ScoreVector(nil), sv...)
+
+	full := topKOf(sv, 0)
+	for i := 1; i < len(full); i++ {
+		if !scoredMore(full[i-1], full[i]) {
+			t.Fatalf("full ranking not strictly descending at %d: %v then %v", i, full[i-1], full[i])
+		}
+	}
+	for _, k := range []int{1, 7, 128, 399, 400, 1000} {
+		a := topKOf(sv, k)
+		b := topKOf(sv, k)
+		want := k
+		if want > len(sv) {
+			want = len(sv)
+		}
+		if len(a) != want || len(b) != want {
+			t.Fatalf("topK(%d) lengths %d/%d, want %d", k, len(a), len(b), want)
+		}
+		for i := range a {
+			if a[i] != b[i] || a[i] != full[i] {
+				t.Fatalf("topK(%d) nondeterministic or diverges from full sort at %d: %v vs %v vs %v",
+					k, i, a[i], b[i], full[i])
+			}
+		}
+	}
+	for i := range sv {
+		if sv[i] != snapshot[i] {
+			t.Fatalf("truncation mutated the input vector at %d", i)
+		}
+	}
+}
+
+// TestSelectTopScoredPartitions pins the quickselect primitive: after
+// SelectTopScored(s, k), s[:k] must be exactly the k best entries under the
+// (score desc, node asc) total order, for adversarially tied inputs.
+func TestSelectTopScoredPartitions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(60)
+		s := make([]ScoredNode, n)
+		for i := range s {
+			s[i] = ScoredNode{Node: graph.NodeID(i), Score: float64(rng.Intn(4))}
+		}
+		rng.Shuffle(n, func(i, j int) { s[i], s[j] = s[j], s[i] })
+		ref := append([]ScoredNode(nil), s...)
+		SortScoredDesc(ref)
+		k := 1 + rng.Intn(n)
+		SelectTopScored(s, k)
+		got := append([]ScoredNode(nil), s[:k]...)
+		SortScoredDesc(got)
+		for i := 0; i < k; i++ {
+			if got[i] != ref[i] {
+				t.Fatalf("trial %d: SelectTopScored(%d) top set diverges at %d: %v != %v", trial, k, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestResultScoresMatchMapEscapeHatch runs one estimator end to end and
+// checks the flat vector and its Map() escape hatch describe the identical
+// sparse vector the pre-refactor map representation exposed (same support,
+// same values, one entry per touched node).
+func TestResultScoresMatchMapEscapeHatch(t *testing.T) {
+	g, _ := testGraph(t)
+	res, err := TEAPlus(g, 3, defaultOpts(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Scores.Map()
+	if len(m) != res.Scores.Len() || len(m) != res.SupportSize() {
+		t.Fatalf("Map() size %d != vector len %d", len(m), res.Scores.Len())
+	}
+	for _, e := range res.Scores {
+		if m[e.Node] != e.Score {
+			t.Fatalf("Map() diverges at node %d", e.Node)
+		}
+	}
+	// TotalMass must agree whichever representation sums it (same order:
+	// ascending node).
+	total := 0.0
+	for _, e := range res.Scores {
+		total += e.Score
+	}
+	if total != res.TotalMass() {
+		t.Fatalf("TotalMass %v != manual sum %v", res.TotalMass(), total)
+	}
+}

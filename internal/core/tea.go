@@ -55,7 +55,7 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
-	release := acquireWorkspace(&ctl, g.N())
+	release := acquireWorkspace(&ctl, g)
 	defer release()
 	pfAdj := adjustedPf(g, opts)
 	omega := omegaTEA(opts.EpsRel, opts.Delta, pfAdj)
@@ -95,10 +95,11 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 	walkTime := time.Since(walkStart)
 
 	// Stage 4: deterministic merge into the reserve slab, then one
-	// materialization into the public map form — the only point the sparse
-	// vector leaves the pooled workspace.
+	// materialization into the public flat score-vector form — the only point
+	// the sparse vector leaves the pooled workspace, and the query's only
+	// O(support) allocation.
 	mergeWalkStage(&ctl.ws.reserve, walked)
-	scores := ctl.ws.reserve.toMap()
+	scores := ctl.ws.reserve.toScoreVector()
 
 	return &Result{
 		Seed:   seed,
@@ -116,7 +117,7 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 			PushParallelism:        push.PushParallelism,
 			PushTime:               pushTime,
 			WalkTime:               walkTime,
-			WorkingSetBytes: estimatedWorkingSetBytes(len(scores)) +
+			WorkingSetBytes: scoreVectorWorkingSetBytes(len(scores)) +
 				estimatedWorkingSetBytes(push.Residues.NonZeroEntries()) +
 				int64(len(entries))*24,
 		},
@@ -156,7 +157,7 @@ func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *h
 	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
-	release := acquireWorkspace(&ctl, g.N())
+	release := acquireWorkspace(&ctl, g)
 	defer release()
 	// The plain Monte-Carlo analysis uses a union bound over all n nodes, so
 	// the walk count uses log(n/pf) rather than log(1/p'_f).
@@ -180,7 +181,7 @@ func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *h
 	walkTime := time.Since(start)
 
 	mergeWalkStage(&ws.reserve, walked)
-	scores := ws.reserve.toMap()
+	scores := ws.reserve.toScoreVector()
 
 	return &Result{
 		Seed:   seed,
@@ -192,7 +193,7 @@ func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *h
 			WalkShards:             walked.shards,
 			WalkParallelism:        walked.workers,
 			WalkTime:               walkTime,
-			WorkingSetBytes:        estimatedWorkingSetBytes(len(scores)),
+			WorkingSetBytes:        scoreVectorWorkingSetBytes(len(scores)),
 		},
 	}, nil
 }

@@ -42,7 +42,7 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
-	release := acquireWorkspace(&ctl, g.N())
+	release := acquireWorkspace(&ctl, g)
 	defer release()
 	pfAdj := adjustedPf(g, opts)
 	omega := omegaTEAPlus(opts.EpsRel, opts.Delta, pfAdj)
@@ -70,9 +70,9 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	// Line 7: if Inequality (11) holds the reserve already is a
 	// (d, εr, δ)-approximate HKPR vector (Theorem 2) — no walks needed.
 	if push.SatisfiedInequality11 || push.Residues.NormalizedMaxSum(g) <= target {
-		scores := push.Reserve.ToMap()
+		scores := push.Reserve.ToScoreVector()
 		stats.EarlyTermination = true
-		stats.WorkingSetBytes = estimatedWorkingSetBytes(len(scores)) +
+		stats.WorkingSetBytes = scoreVectorWorkingSetBytes(len(scores)) +
 			estimatedWorkingSetBytes(push.Residues.NonZeroEntries())
 		return &Result{Seed: seed, Scores: scores, Stats: stats}, nil
 	}
@@ -97,7 +97,7 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	}
 	walkTime := time.Since(walkStart)
 	mergeWalkStage(&ctl.ws.reserve, walked)
-	scores := ctl.ws.reserve.toMap()
+	scores := ctl.ws.reserve.toScoreVector()
 
 	stats.RandomWalks = walked.walks
 	stats.WalkSteps = walked.steps
@@ -105,7 +105,7 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	stats.WalkShards = walked.shards
 	stats.WalkParallelism = walked.workers
 	stats.WalkTime = walkTime
-	stats.WorkingSetBytes = estimatedWorkingSetBytes(len(scores)) +
+	stats.WorkingSetBytes = scoreVectorWorkingSetBytes(len(scores)) +
 		estimatedWorkingSetBytes(push.Residues.NonZeroEntries()) +
 		int64(len(entries))*24
 
@@ -179,7 +179,7 @@ func TEAPlusNoReduction(g *graph.Graph, seed graph.NodeID, opts Options) (*Resul
 	k := hopCap(opts.C, opts.EpsRel, opts.Delta, g.AverageDegree(), w)
 
 	ctl := execCtl{}
-	release := acquireWorkspace(&ctl, g.N())
+	release := acquireWorkspace(&ctl, g)
 	defer release()
 
 	pushStart := time.Now()
@@ -202,7 +202,7 @@ func TEAPlusNoReduction(g *graph.Graph, seed graph.NodeID, opts Options) (*Resul
 		return nil, err
 	}
 	mergeWalkStage(&ctl.ws.reserve, walked)
-	scores := ctl.ws.reserve.toMap()
+	scores := ctl.ws.reserve.toScoreVector()
 	return &Result{
 		Seed:   seed,
 		Scores: scores,
@@ -219,7 +219,7 @@ func TEAPlusNoReduction(g *graph.Graph, seed graph.NodeID, opts Options) (*Resul
 			PushParallelism:        push.PushParallelism,
 			PushTime:               pushTime,
 			WalkTime:               time.Since(walkStart),
-			WorkingSetBytes: estimatedWorkingSetBytes(len(scores)) +
+			WorkingSetBytes: scoreVectorWorkingSetBytes(len(scores)) +
 				estimatedWorkingSetBytes(push.Residues.NonZeroEntries()),
 		},
 	}, nil

@@ -1,7 +1,10 @@
 package core
 
 import (
+	"runtime"
+	"slices"
 	"sync"
+	"weak"
 
 	"hkpr/internal/graph"
 	"hkpr/internal/xrand"
@@ -108,16 +111,20 @@ func (d *denseVec) nonZero() int {
 	return n
 }
 
-// toMap materializes the accumulator into a freshly allocated map, the public
-// sparse-vector form handed across the API boundary.  Every touched entry is
-// copied (zeros included), matching the map-based implementation, which also
-// kept explicitly written zero entries.
-func (d *denseVec) toMap() map[graph.NodeID]float64 {
-	m := make(map[graph.NodeID]float64, len(d.touched))
-	for _, v := range d.touched {
-		m[v] = d.vals[v]
+// toScoreVector materializes the accumulator into a freshly allocated flat
+// score vector sorted by node ID — the public sparse-vector form handed
+// across the API boundary.  It sorts the touched list in place (the
+// accumulator's insertion order is dead once a query materializes) and copies
+// every touched entry, zeros included, exactly as the former map
+// materialization did; only the container changes, never the accumulated
+// float values, so results stay bit-identical to the map representation.
+func (d *denseVec) toScoreVector() ScoreVector {
+	slices.Sort(d.touched)
+	out := make(ScoreVector, len(d.touched))
+	for i, v := range d.touched {
+		out[i] = ScoredNode{Node: v, Score: d.vals[v]}
 	}
-	return m
+	return out
 }
 
 // Workspace is the pooled per-query scratch state of the estimator pipeline:
@@ -126,7 +133,7 @@ func (d *denseVec) toMap() map[graph.NodeID]float64 {
 // are sized to the graph on first use (the serving layer sizes them at graph
 // load time via NewWorkspace) and reused for every subsequent query, so a
 // steady-state query performs no heap allocation and no hashing until its
-// result is materialized into map form at the API boundary.
+// result is materialized into the flat score-vector form at the API boundary.
 //
 // A Workspace must not be shared by concurrent queries.  The pipeline's
 // internal parallel stages are fine: chunk and shard goroutines each own a
@@ -210,21 +217,45 @@ func (ws *Workspace) shardCounters(k int) (walks, steps []int64, errs []error) {
 	return ws.shardW, ws.shardS, ws.shardErr
 }
 
-// workspacePool recycles workspaces for callers that do not bring their own
+// workspacePools recycles workspaces for callers that do not bring their own
 // (package-level TEA/TEAPlus/MonteCarloOnly and estimators used outside a
-// serving engine).  Slabs regrow if a bigger graph comes along; the pool is
-// keyed by nothing, so mixed graph sizes simply converge to the largest.
-var workspacePool = sync.Pool{New: func() any { return &Workspace{} }}
+// serving engine).  Pools are keyed by graph identity — a weak pointer, so a
+// pool entry neither keeps its graph alive nor outlives it (a cleanup drops
+// the entry once the graph is collected).  Per-graph keying means a process
+// querying several graphs keeps one slab set sized to each graph instead of
+// converging every pooled slab to the largest graph, which is what the old
+// single shared pool did.
+var workspacePools sync.Map // weak.Pointer[graph.Graph] -> *sync.Pool
+
+// workspacePoolFor returns the workspace pool bound to g's identity,
+// creating (and registering the cleanup for) it on first use.
+func workspacePoolFor(g *graph.Graph) *sync.Pool {
+	key := weak.Make(g)
+	if p, ok := workspacePools.Load(key); ok {
+		return p.(*sync.Pool)
+	}
+	pool := &sync.Pool{New: func() any { return &Workspace{} }}
+	actual, loaded := workspacePools.LoadOrStore(key, pool)
+	if loaded {
+		return actual.(*sync.Pool)
+	}
+	runtime.AddCleanup(g, func(k weak.Pointer[graph.Graph]) {
+		workspacePools.Delete(k)
+	}, key)
+	return pool
+}
 
 // acquireWorkspace resolves the query's workspace: the caller-provided one
-// (serving layer) bound to n, or a pooled one plus its release function.
-func acquireWorkspace(ctl *execCtl, n int) func() {
+// (serving layer) bound to g, or one from g's per-graph pool plus its release
+// function.
+func acquireWorkspace(ctl *execCtl, g *graph.Graph) func() {
 	if ctl.ws != nil {
-		ctl.ws.begin(n)
+		ctl.ws.begin(g.N())
 		return func() {}
 	}
-	ws := workspacePool.Get().(*Workspace)
-	ws.begin(n)
+	pool := workspacePoolFor(g)
+	ws := pool.Get().(*Workspace)
+	ws.begin(g.N())
 	ctl.ws = ws
-	return func() { workspacePool.Put(ws) }
+	return func() { pool.Put(ws) }
 }

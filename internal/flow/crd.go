@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"hkpr/internal/cluster"
+	"hkpr/internal/core"
 	"hkpr/internal/graph"
 )
 
@@ -119,7 +120,7 @@ func CRD(g *graph.Graph, seed graph.NodeID, opts CRDOptions) (*ClusterResult, er
 			scores[v] = m
 		}
 	}
-	sw := cluster.Sweep(g, scores)
+	sw := cluster.Sweep(g, core.ScoreVectorFromMap(scores))
 	clusterNodes := sw.Cluster
 	phi := sw.Conductance
 	if len(clusterNodes) == 0 {

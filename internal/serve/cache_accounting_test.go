@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"hkpr/internal/core"
+)
+
+// TestCacheSizeBytesIsExact populates the cache through real queries and
+// checks the cache's reported byte usage equals the sum of the stored
+// responses' exact footprints (Response/Result/SweepResult structs — slice
+// headers included — plus the flat vector at 16 bytes per entry, the sweep
+// backing arrays and the key) — no heuristic map overhead factor anywhere.
+func TestCacheSizeBytesIsExact(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	var want int64
+	for seed := int32(0); seed < 6; seed++ {
+		req := Request{Seed: seed, Method: MethodTEA, Sweep: seed%2 == 0}
+		resp, err := e.Do(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := cacheKey(req.Method, req.Seed, req.Sweep, e.est.Resolve(req.Opts))
+		// Recompute the footprint from the response the caller saw: the
+		// cached response shares the same vector and sweep slices.  Struct
+		// sizes already include their slices' headers, so only the backing
+		// arrays are added on top.
+		cost := responseStructBytes + int64(len(key))
+		cost += resultStructBytes + int64(len(resp.Result.Scores))*core.ScoredNodeBytes
+		if resp.Sweep != nil {
+			cost += sweepStructBytes
+			cost += int64(len(resp.Sweep.Cluster)+len(resp.Sweep.Order)) * nodeIDBytes
+			cost += int64(len(resp.Sweep.Profile)) * float64Bytes
+		}
+		want += cost
+	}
+
+	entries, bytes := e.cache.stats()
+	if entries != 6 {
+		t.Fatalf("expected 6 cached entries, have %d", entries)
+	}
+	if bytes != want {
+		t.Fatalf("cache SizeBytes %d != sum of stored vector footprints %d", bytes, want)
+	}
+	if snap := e.Snapshot(); snap.CacheBytes != want {
+		t.Fatalf("snapshot CacheBytes %d != %d", snap.CacheBytes, want)
+	}
+}
+
+// TestCacheHitIsZeroCopy checks a hit hands back the cached flat vector
+// itself — same backing array, no defensive copy — and that the per-entry
+// cost the cache charged matches ScoredNodeBytes exactly.
+func TestCacheHitIsZeroCopy(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	ctx := context.Background()
+	req := Request{Seed: 7, Method: MethodTEA}
+	first, err := e.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Result.Scores) == 0 {
+		t.Fatal("empty result")
+	}
+	hit, err := e.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("expected cache hit")
+	}
+	if &hit.Result.Scores[0] != &first.Result.Scores[0] {
+		t.Fatal("cache hit copied the score vector")
+	}
+	if core.ScoredNodeBytes != 16 {
+		t.Fatalf("ScoredNode footprint %d, accounting assumes 16", core.ScoredNodeBytes)
+	}
+}
+
+// TestCachedVectorImmutableUnderConcurrentReaders hammers one cached entry
+// from many goroutines — concurrent binary searches, iterations and top-k
+// renderings over the shared vector — under the race detector, and then
+// checks the vector still matches a fresh uncached execution bit for bit.
+// This is the immutability half of the zero-copy contract: shared views must
+// be safe precisely because nobody writes them.
+func TestCachedVectorImmutableUnderConcurrentReaders(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	ctx := context.Background()
+	req := Request{Seed: 7, Method: MethodTEA}
+	warm, err := e.Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(core.ScoreVector(nil), warm.Result.Scores...)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r := req
+				if w%2 == 0 {
+					r.TopK = 1 + i%10 // top-k renders from the shared vector
+				}
+				resp, err := e.Do(ctx, r)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				sv := resp.Result.Scores
+				total := 0.0
+				for _, entry := range sv {
+					total += entry.Score
+				}
+				if total <= 0 {
+					t.Errorf("reader %d: non-positive mass %v", w, total)
+					return
+				}
+				if got := sv.Score(want[i%len(want)].Node); got != want[i%len(want)].Score {
+					t.Errorf("reader %d: lookup diverged", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	after, err := e.Do(ctx, Request{Seed: 7, Method: MethodTEA, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Result.Scores) != len(want) {
+		t.Fatalf("support drifted: %d != %d", len(after.Result.Scores), len(want))
+	}
+	for i, entry := range want {
+		if after.Result.Scores[i] != entry {
+			t.Fatalf("cached vector was mutated at %d", i)
+		}
+	}
+}
+
+// TestTopKRequestKnob checks the rendering knob end to end: Top is filled
+// with the k best normalized scores, computed per caller (a hit and a miss
+// with different k get different prefixes of the same cached vector), and
+// TopK does not fragment the cache key.
+func TestTopKRequestKnob(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	full, err := e.Do(ctx, Request{Seed: 7, Method: MethodTEA, TopK: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Top) != 5 {
+		t.Fatalf("TopK=5 rendered %d entries", len(full.Top))
+	}
+	for i := 1; i < len(full.Top); i++ {
+		a, b := full.Top[i-1], full.Top[i]
+		if a.Score < b.Score || (a.Score == b.Score && a.Node >= b.Node) {
+			t.Fatalf("Top not in (score desc, node asc) order at %d: %v then %v", i, a, b)
+		}
+	}
+	// The top entries must be the degree-normalized view of the vector.
+	for _, sn := range full.Top {
+		d := float64(e.g.Degree(sn.Node))
+		if d <= 0 {
+			t.Fatalf("top entry with non-positive degree: %v", sn)
+		}
+		if want := full.Result.Scores.Score(sn.Node) / d; sn.Score != want {
+			t.Fatalf("top score at %d: %v != normalized %v", sn.Node, sn.Score, want)
+		}
+	}
+
+	// A different TopK must hit the same cache entry and render its own k.
+	hit, err := e.Do(ctx, Request{Seed: 7, Method: MethodTEA, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("TopK fragmented the cache key: expected a hit")
+	}
+	if len(hit.Top) != 2 || hit.Top[0] != full.Top[0] || hit.Top[1] != full.Top[1] {
+		t.Fatalf("hit rendered wrong prefix: %v vs %v", hit.Top, full.Top[:2])
+	}
+
+	// TopK=0 leaves Top empty (and stays on the ≤3-alloc hit path).
+	plain, err := e.Do(ctx, Request{Seed: 7, Method: MethodTEA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Cached || plain.Top != nil {
+		t.Fatalf("plain hit carries Top=%v cached=%v", plain.Top, plain.Cached)
+	}
+}

@@ -47,9 +47,9 @@ func TestParallelismBitIdenticalThroughEngine(t *testing.T) {
 	if len(a.Result.Scores) != len(b.Result.Scores) {
 		t.Fatalf("support sizes differ: %d vs %d", len(a.Result.Scores), len(b.Result.Scores))
 	}
-	for v, s := range a.Result.Scores {
-		if b.Result.Scores[v] != s {
-			t.Fatalf("parallelism changed the result at node %d: %v vs %v", v, s, b.Result.Scores[v])
+	for i, e := range a.Result.Scores {
+		if b.Result.Scores[i] != e {
+			t.Fatalf("parallelism changed the result at node %d: %v vs %v", e.Node, e, b.Result.Scores[i])
 		}
 	}
 
@@ -60,9 +60,9 @@ func TestParallelismBitIdenticalThroughEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for v, s := range a.Result.Scores {
-		if c.Result.Scores[v] != s {
-			t.Fatalf("per-query parallelism changed the result at node %d", v)
+	for i, e := range a.Result.Scores {
+		if c.Result.Scores[i] != e {
+			t.Fatalf("per-query parallelism changed the result at node %d", e.Node)
 		}
 	}
 }

@@ -1,0 +1,9 @@
+//go:build !race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this test
+// binary.  The AllocsPerRun hygiene guards pin tight floors only in normal
+// builds: -race adds bookkeeping allocations that would otherwise force the
+// floors high enough for real regressions to hide under them.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; see race_off_test.go.
+const raceEnabled = true

@@ -30,7 +30,10 @@
 //     stop consuming CPU within a few thousand edge traversals;
 //   - a sharded, byte-budgeted LRU result cache keyed by the resolved query
 //     parameters (seed, method, t, εr, δ, …), so repeated queries — the common
-//     case when many users explore the same neighbourhood — cost a map lookup;
+//     case when many users explore the same neighbourhood — cost a map lookup.
+//     Cached responses hold immutable flat score vectors (core.ScoreVector)
+//     with exact byte accounting and are served zero-copy: callers get a
+//     read-only view of the cached vector, never a defensive copy;
 //   - request coalescing (singleflight): concurrent identical cacheable
 //     queries execute the underlying estimator once and share the result;
 //   - shared per-graph state: one heat-kernel weight table (via the
@@ -54,6 +57,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"hkpr/internal/cluster"
 	"hkpr/internal/core"
@@ -236,6 +240,12 @@ type Request struct {
 	// Sweep requests the sweep cut over the HKPR vector in addition to the
 	// vector itself.
 	Sweep bool
+	// TopK, when > 0, asks for the k best degree-normalized scores rendered
+	// into Response.Top (descending, ties by node ID).  It is a pure
+	// rendering knob: the full vector is still computed and cached, the
+	// truncation happens per caller, and TopK is deliberately excluded from
+	// the cache key so requests differing only in TopK share one entry.
+	TopK int
 	// NoCache bypasses the result cache and coalescing for this request
 	// (it neither reads nor populates the cache).
 	NoCache bool
@@ -252,6 +262,10 @@ type Response struct {
 	Result *core.Result
 	// Sweep is the sweep-cut outcome, present when Request.Sweep was set.
 	Sweep *cluster.SweepResult
+	// Top holds the Request.TopK best degree-normalized scores (descending,
+	// ties by node ID), present when TopK was > 0.  Unlike Result and Sweep
+	// it is computed per caller and owned by the caller.
+	Top []cluster.ScoredNode
 	// Cached reports that the response was served from the result cache.
 	Cached bool
 	// Coalesced reports that this caller shared another in-flight execution
@@ -402,6 +416,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 			out := *resp
 			out.Cached = true
 			out.QueueWait, out.Elapsed = 0, 0
+			e.renderTop(&out, req.TopK)
 			return &out, nil
 		}
 		// A miss is counted below, only once a new execution is actually
@@ -423,7 +438,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 			if t.waiters.Add(1) > 1 {
 				e.mu.Unlock()
 				e.metrics.Coalesced.Add(1)
-				return e.wait(ctx, t, true)
+				return e.wait(ctx, t, true, req.TopK)
 			}
 			t.waiters.Add(-1)
 		}
@@ -445,7 +460,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 		e.metrics.Shed.Add(1)
 		return nil, ErrOverloaded
 	}
-	return e.wait(ctx, t, false)
+	return e.wait(ctx, t, false, req.TopK)
 }
 
 // task is one admitted execution, possibly shared by several coalesced
@@ -492,7 +507,9 @@ func (e *Engine) newTask(callerCtx context.Context, key string, req Request) *ta
 
 // wait blocks until t completes or ctx is done.  A caller that gives up
 // detaches from the task; the last caller to leave cancels the execution.
-func (e *Engine) wait(ctx context.Context, t *task, coalesced bool) (*Response, error) {
+// topK is the waiting caller's own rendering request — coalesced callers may
+// each ask for a different prefix of the shared result.
+func (e *Engine) wait(ctx context.Context, t *task, coalesced bool, topK int) (*Response, error) {
 	select {
 	case <-t.done:
 		if t.err != nil {
@@ -500,6 +517,7 @@ func (e *Engine) wait(ctx context.Context, t *task, coalesced bool) (*Response, 
 		}
 		out := *t.resp
 		out.Coalesced = coalesced
+		e.renderTop(&out, topK)
 		return &out, nil
 	case <-ctx.Done():
 		if t.waiters.Add(-1) == 0 {
@@ -757,17 +775,44 @@ func cacheKey(method string, seed graph.NodeID, sweep bool, o core.Options) stri
 	return string(b)
 }
 
-// responseCost estimates the bytes a cached response pins: the sparse score
-// map, the sweep slices, and fixed struct overhead.
+// renderTop fills out.Top for a caller that asked for a top-k rendering.
+// It runs on the caller's private Response copy — the shared cached Response
+// never carries a Top — so coalesced callers and cache hits can each request
+// a different prefix without touching the shared vector.
+func (e *Engine) renderTop(out *Response, topK int) {
+	if topK <= 0 || out.Result == nil {
+		return
+	}
+	out.Top = cluster.TopKNormalized(e.g, out.Result.Scores, topK)
+}
+
+// Exact per-object footprints used by the cache's byte accounting.  With the
+// flat score-vector representation every cached slice is accounted at
+// unsafe.Sizeof-derived precision rather than the heuristic map-overhead
+// factor the map era used.
+const (
+	responseStructBytes = int64(unsafe.Sizeof(Response{}))
+	resultStructBytes   = int64(unsafe.Sizeof(core.Result{}))
+	sweepStructBytes    = int64(unsafe.Sizeof(cluster.SweepResult{}))
+	nodeIDBytes         = int64(unsafe.Sizeof(graph.NodeID(0)))
+	float64Bytes        = int64(unsafe.Sizeof(float64(0)))
+)
+
+// responseCost returns the exact bytes a cached response pins: the Response,
+// Result and SweepResult structs (whose sizes already include their slices'
+// headers), the flat score vector's 16 bytes per entry, the sweep slices'
+// backing arrays, and the cache key.  serve's cache tests assert that the
+// cache's SizeBytes equals the sum of these footprints, so keep this in sync
+// with what set() actually stores.
 func responseCost(key string, r *Response) int64 {
-	const mapEntryBytes = 48 // 8-byte key + 8-byte value + bucket overhead
-	c := int64(256) + int64(len(key))
+	c := responseStructBytes + int64(len(key))
 	if r.Result != nil {
-		c += int64(len(r.Result.Scores)) * mapEntryBytes
+		c += resultStructBytes + int64(len(r.Result.Scores))*core.ScoredNodeBytes
 	}
 	if r.Sweep != nil {
-		c += int64(len(r.Sweep.Cluster)+len(r.Sweep.Order)) * 4
-		c += int64(len(r.Sweep.Profile)) * 8
+		c += sweepStructBytes
+		c += int64(len(r.Sweep.Cluster)+len(r.Sweep.Order)) * nodeIDBytes
+		c += int64(len(r.Sweep.Profile)) * float64Bytes
 	}
 	return c
 }

@@ -500,7 +500,7 @@ func TestSnapshotCountersAdd(t *testing.T) {
 // RNG seed) yields identical results through two separate engines.
 func TestDeterministicAcrossEngines(t *testing.T) {
 	g := testGraph(t)
-	run := func() map[graph.NodeID]float64 {
+	run := func() core.ScoreVector {
 		e, err := New(testEstimator(t, g), Config{Workers: 3})
 		if err != nil {
 			t.Fatal(err)
@@ -518,9 +518,9 @@ func TestDeterministicAcrossEngines(t *testing.T) {
 	if len(a) != len(b) {
 		t.Fatalf("support sizes differ: %d vs %d", len(a), len(b))
 	}
-	for v, s := range a {
-		if b[v] != s {
-			t.Fatalf("nondeterministic score at %d: %v vs %v", v, s, b[v])
+	for i, e := range a {
+		if b[i] != e {
+			t.Fatalf("nondeterministic score at %d: %v vs %v", e.Node, e, b[i])
 		}
 	}
 }
@@ -530,8 +530,9 @@ func TestDeterministicAcrossEngines(t *testing.T) {
 // ceil-boundary walk count by one and hence individual walk endpoints, so
 // two runs agree only up to a few walk increments per node — far below any
 // meaningful score, far above genuine divergence.
-func assertScoresClose(t *testing.T, a, b map[graph.NodeID]float64) {
+func assertScoresClose(t *testing.T, av, bv core.ScoreVector) {
 	t.Helper()
+	a, b := av.Map(), bv.Map()
 	totalA, totalB := 0.0, 0.0
 	for _, s := range a {
 		totalA += s

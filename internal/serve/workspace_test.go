@@ -31,15 +31,20 @@ func BenchmarkServeCachedGraphQuery(b *testing.B) {
 	}
 }
 
-// BenchmarkServeCacheHit is the same query answered from the result cache —
-// the true steady state for repeated identical queries.
-func BenchmarkServeCacheHit(b *testing.B) {
+// BenchmarkServeCachedHitZeroCopy is the same query answered from the result
+// cache — the true steady state for repeated identical queries, and the
+// anchor for the zero-copy hit contract: every hit shares the one cached
+// flat score vector (asserted via backing-array identity), so the hit path
+// allocates only the caller's Response copy.
+func BenchmarkServeCachedHitZeroCopy(b *testing.B) {
 	e := newTestEngine(b, Config{Workers: 1})
 	ctx := context.Background()
 	req := Request{Seed: 7, Method: MethodTEA}
-	if _, err := e.Do(ctx, req); err != nil {
+	first, err := e.Do(ctx, req)
+	if err != nil {
 		b.Fatal(err)
 	}
+	shared := &first.Result.Scores[0]
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -49,6 +54,9 @@ func BenchmarkServeCacheHit(b *testing.B) {
 		}
 		if !resp.Cached {
 			b.Fatal("expected a cache hit")
+		}
+		if &resp.Result.Scores[0] != shared {
+			b.Fatal("cache hit copied the score vector; zero-copy contract broken")
 		}
 	}
 }
@@ -74,8 +82,15 @@ func TestServeSteadyStateAllocations(t *testing.T) {
 			t.Fatal("expected cache hit")
 		}
 	})
-	if hitAllocs > 10 {
-		t.Fatalf("cache-hit allocations = %v, want O(1) (≤ 10)", hitAllocs)
+	// Zero-copy contract: a hit shares the cached flat vector, so the only
+	// allocations left are the caller's private Response copy.  Measured 2;
+	// the guard leaves one alloc of slack and no more.
+	hitLimit := 3.0
+	if raceEnabled {
+		hitLimit = 12 // race-detector bookkeeping inflates the count
+	}
+	if hitAllocs > hitLimit {
+		t.Fatalf("cache-hit allocations = %v, want zero-copy (≤ %v)", hitAllocs, hitLimit)
 	}
 
 	miss := Request{Seed: 7, Method: MethodTEA, NoCache: true}
@@ -87,10 +102,17 @@ func TestServeSteadyStateAllocations(t *testing.T) {
 			t.Fatal(err)
 		}
 	})
-	// Full execution: Result + score map materialization + task/context/
-	// response plumbing.  The map-based implementation sat in the thousands.
-	if missAllocs > 300 {
-		t.Fatalf("NoCache execution allocations = %v, want small constant (≤ 300)", missAllocs)
+	// Full execution: Result + flat score-vector materialization + task/
+	// context/response plumbing.  The map-based implementation sat in the
+	// thousands, the map-at-the-boundary era at 42; the flat vector measures
+	// 33, and the guard is pinned tight so regressions cannot hide under an
+	// old ceiling.
+	missLimit := 36.0
+	if raceEnabled {
+		missLimit = 200 // race-detector bookkeeping inflates the count
+	}
+	if missAllocs > missLimit {
+		t.Fatalf("NoCache execution allocations = %v, want small constant (≤ %v)", missAllocs, missLimit)
 	}
 	t.Logf("cache-hit allocs/op = %v, execution allocs/op = %v", hitAllocs, missAllocs)
 }
@@ -107,13 +129,10 @@ func TestResponseMapsAreIndependentCopies(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := make(map[int32]float64, len(first.Result.Scores))
-	for v, s := range first.Result.Scores {
-		want[v] = s
-	}
+	want := append(core.ScoreVector(nil), first.Result.Scores...)
 	// Vandalize everything the caller can reach.
-	for v := range first.Result.Scores {
-		first.Result.Scores[v] = -1
+	for i := range first.Result.Scores {
+		first.Result.Scores[i].Score = -1
 	}
 	for i := range first.Sweep.Order {
 		first.Sweep.Order[i] = -1
@@ -126,9 +145,9 @@ func TestResponseMapsAreIndependentCopies(t *testing.T) {
 	if len(second.Result.Scores) != len(want) {
 		t.Fatalf("support changed after caller mutation: %d != %d", len(second.Result.Scores), len(want))
 	}
-	for v, s := range want {
-		if got := second.Result.Scores[v]; got != s {
-			t.Fatalf("score at node %d corrupted by caller mutation: %v != %v", v, got, s)
+	for i, e := range want {
+		if got := second.Result.Scores[i]; got != e {
+			t.Fatalf("score at node %d corrupted by caller mutation: %v != %v", e.Node, got, e)
 		}
 	}
 }
