@@ -12,6 +12,9 @@
 //	GET /healthz                 → 200 ok
 //	GET /stats                   → graph + serving statistics (JSON)
 //	GET /metrics                 → serving metrics (Prometheus text format)
+//	GET /debug/queries           → the most recently completed query traces,
+//	                               newest first (JSON; ring sized by
+//	                               -trace-buffer)
 //	GET /cluster?seed=17         → local cluster of node 17 (JSON)
 //	GET /cluster?seed=17&method=tea&eps=0.3
 //	GET /cluster?seed=17&nocache=1
@@ -19,12 +22,18 @@
 //	                                  normalized HKPR scores (flat vector,
 //	                                  truncated per request; the cached full
 //	                                  vector is shared zero-copy)
+//	GET /cluster?seed=17&sweepk=50  → sweep only the 50 best-ranked nodes
+//	                                  (bounded conductance scan; like topk, a
+//	                                  per-request rendering over the shared
+//	                                  cached vector)
+//	GET /cluster?seed=17&trace=1    → include the per-stage execution trace
+//	                                  inline in the response
 //
 // Cluster responses carry cached/coalesced flags, the chosen per-query
 // parallelism, and queue-wait/elapsed timings alongside the cluster itself.
 // Overload is reported as 503 (admission queue full — back off and retry), as
 // is a server that is shutting down; a query exceeding its deadline returns
-// 504.
+// 504, and -strict-invariants turns a failed self-verification into a 500.
 //
 // Tuning flags:
 //
@@ -46,6 +55,17 @@
 //	-cpu-tokens N  shared CPU budget for workers + push chunks + walk shards
 //	               (default max(workers, GOMAXPROCS))
 //
+// Observability flags:
+//
+//	-trace-buffer N      completed-query trace ring served at /debug/queries;
+//	                     0 disables (default 256)
+//	-slow-query D        log queries slower than D with a per-stage breakdown;
+//	                     0 disables (default 0)
+//	-strict-invariants   fail queries (HTTP 500) whose inline invariant
+//	                     self-verification fails, instead of only counting
+//	                     the violation in /metrics
+//	-pprof               expose net/http/pprof profiling under /debug/pprof/
+//
 // Example:
 //
 //	hkprserver -graph twitter.bin -addr :8080 -workers 16 -cache-mb 256 -adaptive
@@ -59,6 +79,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -92,6 +113,10 @@ func run(args []string) error {
 		adaptive  = fs.Bool("adaptive", false, "choose per-query parallelism adaptively from queue depth and free CPU tokens (an explicit -parallel caps it)")
 		adaptEWMA = fs.Float64("adaptive-ewma", 1, "EWMA smoothing factor α in (0,1] for the queue depth the adaptive choice sees; 1 = instantaneous, smaller = smoother under bursty load")
 		cpuTokens = fs.Int("cpu-tokens", 0, "shared CPU token budget for workers, push chunks and walk shards (0 = max(workers, GOMAXPROCS))")
+		traceBuf  = fs.Int("trace-buffer", 256, "completed-query trace ring capacity served at /debug/queries (0 disables)")
+		slowQuery = fs.Duration("slow-query", 0, "log queries slower than this with a per-stage breakdown (0 disables)")
+		strictInv = fs.Bool("strict-invariants", false, "fail queries whose inline invariant self-verification fails (HTTP 500) instead of only counting the violation")
+		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,11 +149,16 @@ func run(args []string) error {
 		Adaptive:       *adaptive,
 		AdaptiveEWMA:   *adaptEWMA,
 		CPUTokens:      *cpuTokens,
+
+		TraceBuffer:        *traceBuf,
+		SlowQueryThreshold: *slowQuery,
+		StrictInvariants:   *strictInv,
 	})
 	if err != nil {
 		return err
 	}
 	defer srv.engine.Close()
+	srv.pprof = *pprofOn
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -158,6 +188,7 @@ func run(args []string) error {
 type server struct {
 	g      *hkpr.Graph
 	engine *hkpr.Engine
+	pprof  bool
 }
 
 func newServer(g *hkpr.Graph, opts hkpr.Options, cfg hkpr.EngineConfig) (*server, error) {
@@ -174,6 +205,16 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /cluster", s.handleCluster)
+	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
+	if s.pprof {
+		// Registered explicitly instead of importing the package for its
+		// DefaultServeMux side effect, so profiling stays opt-in.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -206,26 +247,21 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	s.engine.WriteMetrics(w)
 }
 
-// scoredNodeJSON is one entry of the optional top-k score rendering.
-type scoredNodeJSON struct {
-	Node  int64   `json:"node"`
-	Score float64 `json:"score"`
-}
-
 type clusterResponse struct {
-	Seed        int64            `json:"seed"`
-	Method      string           `json:"method"`
-	Cluster     []int64          `json:"cluster"`
-	Size        int              `json:"size"`
-	Conductance float64          `json:"conductance"`
-	Scores      []scoredNodeJSON `json:"scores,omitempty"`
-	ElapsedMS   float64          `json:"elapsed_ms"`
-	QueueWaitMS float64          `json:"queue_wait_ms"`
-	Cached      bool             `json:"cached"`
-	Coalesced   bool             `json:"coalesced"`
-	Parallelism int              `json:"parallelism"`
-	Pushes      int64            `json:"push_operations"`
-	Walks       int64            `json:"random_walks"`
+	Seed        int64             `json:"seed"`
+	Method      string            `json:"method"`
+	Cluster     []int64           `json:"cluster"`
+	Size        int               `json:"size"`
+	Conductance float64           `json:"conductance"`
+	Scores      hkpr.ScoreVector  `json:"scores,omitempty"`
+	ElapsedMS   float64           `json:"elapsed_ms"`
+	QueueWaitMS float64           `json:"queue_wait_ms"`
+	Cached      bool              `json:"cached"`
+	Coalesced   bool              `json:"coalesced"`
+	Parallelism int               `json:"parallelism"`
+	Pushes      int64             `json:"push_operations"`
+	Walks       int64             `json:"random_walks"`
+	Trace       *hkpr.TraceRecord `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -254,6 +290,15 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		}
 		topK = tk
 	}
+	sweepK := 0
+	if skStr := q.Get("sweepk"); skStr != "" {
+		sk, err := strconv.Atoi(skStr)
+		if err != nil || sk < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "sweepk must be a positive integer"})
+			return
+		}
+		sweepK = sk
+	}
 	var query hkpr.Options
 	if epsStr := q.Get("eps"); epsStr != "" {
 		eps, err := strconv.ParseFloat(epsStr, 64)
@@ -265,30 +310,27 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp, err := s.engine.Do(r.Context(), hkpr.ServeRequest{
-		Seed:    hkpr.NodeID(seed),
-		Method:  method,
-		Opts:    query,
-		Sweep:   true,
+		Seed:   hkpr.NodeID(seed),
+		Method: method,
+		Opts:   query,
+		// A bounded sweepk replaces the full sweep; both produce a cluster.
+		Sweep:   sweepK == 0,
+		SweepK:  sweepK,
 		TopK:    topK,
+		Trace:   q.Get("trace") != "",
 		NoCache: q.Get("nocache") != "",
 	})
 	if err != nil {
-		switch {
-		case errors.Is(err, hkpr.ErrUnknownMethod):
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "method must be tea+, tea or monte-carlo"})
-		case errors.Is(err, hkpr.ErrOverloaded):
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "overloaded, retry later"})
-		case errors.Is(err, hkpr.ErrEngineClosed):
-			// The engine drains during graceful shutdown; tell clients to
-			// retry elsewhere rather than reporting an internal error.
-			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server shutting down"})
-		case errors.Is(err, context.DeadlineExceeded):
-			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "query deadline exceeded"})
-		case errors.Is(err, context.Canceled) && r.Context().Err() != nil:
-			// Client went away; nothing useful to write.
-		default:
-			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		status, msg := statusForError(err)
+		if status == 0 {
+			if r.Context().Err() != nil {
+				// Client went away; nothing useful to write.
+				return
+			}
+			// Canceled for some other reason: surface it.
+			status, msg = http.StatusInternalServerError, err.Error()
 		}
+		writeJSON(w, status, errorResponse{Error: msg})
 		return
 	}
 
@@ -296,20 +338,13 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	for i, v := range resp.Sweep.Cluster {
 		members[i] = int64(v)
 	}
-	var topScores []scoredNodeJSON
-	if len(resp.Top) > 0 {
-		topScores = make([]scoredNodeJSON, len(resp.Top))
-		for i, sn := range resp.Top {
-			topScores[i] = scoredNodeJSON{Node: int64(sn.Node), Score: sn.Score}
-		}
-	}
 	writeJSON(w, http.StatusOK, clusterResponse{
 		Seed:        seed,
 		Method:      resp.Method,
 		Cluster:     members,
 		Size:        len(members),
 		Conductance: resp.Sweep.Conductance,
-		Scores:      topScores,
+		Scores:      hkpr.ScoreVector(resp.Top),
 		ElapsedMS:   float64(resp.Elapsed.Microseconds()) / 1000,
 		QueueWaitMS: float64(resp.QueueWait.Microseconds()) / 1000,
 		Cached:      resp.Cached,
@@ -317,7 +352,48 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		Parallelism: resp.Parallelism,
 		Pushes:      resp.Result.Stats.PushOperations,
 		Walks:       resp.Result.Stats.RandomWalks,
+		Trace:       resp.Trace,
 	})
+}
+
+// statusForError maps a serving-layer error to its HTTP status and client
+// message.  Status 0 means the query was canceled — the caller decides
+// whether the client is gone (write nothing) or the cancellation deserves a
+// 500.
+func statusForError(err error) (int, string) {
+	switch {
+	case errors.Is(err, hkpr.ErrUnknownMethod):
+		return http.StatusBadRequest, "method must be tea+, tea or monte-carlo"
+	case errors.Is(err, hkpr.ErrOverloaded):
+		return http.StatusServiceUnavailable, "overloaded, retry later"
+	case errors.Is(err, hkpr.ErrEngineClosed):
+		// The engine drains during graceful shutdown; tell clients to retry
+		// elsewhere rather than reporting an internal error.
+		return http.StatusServiceUnavailable, "server shutting down"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "query deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		return 0, ""
+	case errors.Is(err, hkpr.ErrInvariantViolation):
+		// Strict self-verification failed: the computed result violated a
+		// conservation or bound invariant and was withheld.
+		return http.StatusInternalServerError, err.Error()
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+// debugQueriesResponse wraps /debug/queries so the payload stays extensible.
+type debugQueriesResponse struct {
+	Queries []*hkpr.TraceRecord `json:"queries"`
+}
+
+func (s *server) handleDebugQueries(w http.ResponseWriter, _ *http.Request) {
+	recs := s.engine.Traces()
+	if recs == nil {
+		recs = []*hkpr.TraceRecord{}
+	}
+	writeJSON(w, http.StatusOK, debugQueriesResponse{Queries: recs})
 }
 
 func writeJSON(w http.ResponseWriter, status int, payload any) {

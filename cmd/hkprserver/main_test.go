@@ -1,7 +1,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -271,5 +274,228 @@ func TestClusterEndpointTopK(t *testing.T) {
 	resp3.Body.Close()
 	if resp3.StatusCode != http.StatusBadRequest {
 		t.Errorf("topk=0 status %d, want 400", resp3.StatusCode)
+	}
+}
+
+func TestClusterEndpointSweepK(t *testing.T) {
+	ts := newTestServer(t)
+
+	get := func(path string) clusterResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		var cr clusterResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+
+	cr := get("/cluster?seed=4&sweepk=10")
+	if cr.Size == 0 || cr.Size > 10 {
+		t.Fatalf("sweepk=10 cluster size %d", cr.Size)
+	}
+	if cr.Conductance <= 0 || cr.Conductance > 1 {
+		t.Fatalf("conductance %v", cr.Conductance)
+	}
+	// sweepk is a per-request rendering over the shared score vector, so a
+	// different k must hit the same cache entry rather than re-executing.
+	again := get("/cluster?seed=4&sweepk=5")
+	if !again.Cached {
+		t.Error("second sweepk request missed the cache: sweepk fragmented the key")
+	}
+	if again.Size == 0 || again.Size > 5 {
+		t.Fatalf("sweepk=5 cluster size %d", again.Size)
+	}
+	// The full sweep scans every prefix, so its best conductance can only be
+	// at least as good as a bounded scan's.
+	full := get("/cluster?seed=4")
+	if full.Conductance > cr.Conductance {
+		t.Fatalf("full sweep conductance %v worse than sweepk=10's %v", full.Conductance, cr.Conductance)
+	}
+
+	// Invalid sweepk values are 400s.
+	for _, path := range []string{
+		"/cluster?seed=4&sweepk=0",
+		"/cluster?seed=4&sweepk=-3",
+		"/cluster?seed=4&sweepk=lots",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), "sweepk must be a positive integer") {
+			t.Errorf("%s: body %q", path, body)
+		}
+	}
+}
+
+func TestClusterEndpointTrace(t *testing.T) {
+	ts := newTestServer(t)
+
+	get := func(path string) clusterResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+		var cr clusterResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+
+	// method=tea so the walk stage always runs (TEA+ may early-terminate).
+	cr := get("/cluster?seed=6&method=tea&trace=1")
+	if cr.Trace == nil {
+		t.Fatal("trace=1 returned no inline trace")
+	}
+	if cr.Trace.Seed != 6 || cr.Trace.CacheOutcome != "miss" {
+		t.Fatalf("trace: %+v", cr.Trace)
+	}
+	for _, stage := range []string{"push", "walk", "merge", "sweep"} {
+		if _, ok := cr.Trace.StageDuration(stage); !ok {
+			t.Fatalf("trace missing stage %q: %s", stage, cr.Trace.StageSummary())
+		}
+	}
+	if cr.Trace.InvariantChecks == 0 {
+		t.Fatal("trace carries no invariant checks")
+	}
+
+	// A traced repeat is served from cache and traces the lookup.
+	hit := get("/cluster?seed=6&method=tea&trace=1")
+	if !hit.Cached || hit.Trace == nil || hit.Trace.CacheOutcome != "hit" {
+		t.Fatalf("traced repeat: cached=%v trace=%+v", hit.Cached, hit.Trace)
+	}
+
+	// Untraced requests omit the field entirely.
+	if plain := get("/cluster?seed=6&method=tea"); plain.Trace != nil {
+		t.Fatalf("untraced request carries a trace: %+v", plain.Trace)
+	}
+}
+
+func TestDebugQueriesEndpoint(t *testing.T) {
+	g, _, err := hkpr.GenerateSBM(4, 30, 8, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(g, hkpr.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-4, Seed: 1},
+		hkpr.EngineConfig{Workers: 2, TraceBuffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.engine.Close() })
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+
+	// Empty ring: still a valid JSON document with an empty array.
+	resp, err := http.Get(ts.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dq debugQueriesResponse
+	err = json.NewDecoder(resp.Body).Decode(&dq)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dq.Queries == nil || len(dq.Queries) != 0 {
+		t.Fatalf("empty ring: %+v", dq.Queries)
+	}
+
+	for _, seed := range []string{"2", "9"} {
+		resp, err := http.Get(ts.URL + "/cluster?seed=" + seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	resp, err = http.Get(ts.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&dq); err != nil {
+		t.Fatal(err)
+	}
+	if len(dq.Queries) != 2 {
+		t.Fatalf("%d recorded queries, want 2", len(dq.Queries))
+	}
+	// Newest first.
+	if dq.Queries[0].Seed != 9 || dq.Queries[1].Seed != 2 {
+		t.Fatalf("order: %d then %d", dq.Queries[0].Seed, dq.Queries[1].Seed)
+	}
+	rec := dq.Queries[0]
+	if _, ok := rec.StageDuration("push"); !ok {
+		t.Fatalf("recorded trace missing push span: %s", rec.StageSummary())
+	}
+	if rec.TotalNS <= 0 || rec.InvariantChecks == 0 {
+		t.Fatalf("record not populated: %+v", rec)
+	}
+}
+
+func TestStatusForError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{hkpr.ErrUnknownMethod, http.StatusBadRequest},
+		{hkpr.ErrOverloaded, http.StatusServiceUnavailable},
+		{hkpr.ErrEngineClosed, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, 0},
+		{fmt.Errorf("wrapped: %w", hkpr.ErrInvariantViolation), http.StatusInternalServerError},
+		{errors.New("anything else"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got, _ := statusForError(tc.err); got != tc.want {
+			t.Errorf("statusForError(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	g, _, err := hkpr.GenerateSBM(4, 30, 8, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(g, hkpr.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-4, Seed: 1}, hkpr.EngineConfig{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.engine.Close() })
+
+	status := func(h http.Handler) int {
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := status(srv.routes()); got != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", got)
+	}
+	srv.pprof = true
+	if got := status(srv.routes()); got != http.StatusOK {
+		t.Errorf("pprof on: status %d, want 200", got)
 	}
 }

@@ -1,0 +1,45 @@
+// Command promcheck validates Prometheus text-format exposition payloads: it
+// reads stdin (or each file argument), checks that every sample belongs to a
+// family with HELP and TYPE metadata, that every value parses, and that
+// histogram series are cumulative, monotone and +Inf-terminated with matching
+// counts.  It exits non-zero on the first violation, so CI can pipe a live
+// server's /metrics straight through it:
+//
+//	curl -s localhost:8080/metrics | promcheck
+//	promcheck metrics-dump.txt
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"hkpr/internal/promtext"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		if err := promtext.Validate(os.Stdin); err != nil {
+			return fmt.Errorf("stdin: %w", err)
+		}
+		return nil
+	}
+	for _, path := range args {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = promtext.Validate(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}

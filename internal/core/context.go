@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+
+	"hkpr/internal/trace"
 )
 
 // DefaultCancelCheckEvery is the number of work units (push operations or walk
@@ -42,6 +44,17 @@ type OptionsContext struct {
 	// falls back to this package's internal workspace pool.  A workspace
 	// must not be shared by concurrent queries.
 	Workspace *Workspace
+	// Trace, when non-nil, receives the per-stage spans (push, walk, merge)
+	// of this query; the serving layer anchors it at request arrival and
+	// freezes it into a trace.Record after the query completes.  nil
+	// disables tracing at the cost of one nil check per stage.
+	Trace *trace.QueryTrace
+	// Audit, when non-nil, enables the inline invariant checks (mass
+	// conservation, score bounds, Inequality-11 verification) at the
+	// pipeline's deterministic checkpoints, accumulating their outcome into
+	// the struct.  With Audit.Strict set a violation aborts the query with
+	// an error wrapping ErrInvariantViolation.  nil skips all checks.
+	Audit *InvariantAudit
 }
 
 // CPUGate is a shared CPU-token budget.  Implementations must be safe for
@@ -58,14 +71,16 @@ type CPUGate interface {
 // The zero value means "no cancellation, unbounded parallelism, pooled
 // workspace", the behaviour of the package-level entry points.
 type execCtl struct {
-	cc  *cancelChecker
-	cpu CPUGate
-	ws  *Workspace
+	cc    *cancelChecker
+	cpu   CPUGate
+	ws    *Workspace
+	tr    *trace.QueryTrace // nil-safe: Observe on nil is a no-op
+	audit *InvariantAudit   // nil disables invariant checks
 }
 
 // newExecCtl derives the execution controls from an OptionsContext.
 func newExecCtl(oc OptionsContext) execCtl {
-	return execCtl{cc: newCancelChecker(oc), cpu: oc.CPU, ws: oc.Workspace}
+	return execCtl{cc: newCancelChecker(oc), cpu: oc.CPU, ws: oc.Workspace, tr: oc.Trace, audit: oc.Audit}
 }
 
 // cancelChecker amortizes context polling over work units.  A nil checker is

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvariantViolation is the sentinel wrapped by every strict-mode audit
+// failure; callers map it with errors.Is (the HTTP server turns it into a
+// 500).
+var ErrInvariantViolation = errors.New("core: invariant violation")
+
+// InvariantKind identifies one of the paper-level invariants the estimators
+// self-verify while executing.
+type InvariantKind uint8
+
+const (
+	// InvariantMassConservation: after the push phase, reserve mass plus
+	// residue mass must equal the unit of probability mass injected at the
+	// seed (push operations only move mass, never create or destroy it).
+	// Checked before TEA+'s residue reduction, which removes mass on purpose.
+	InvariantMassConservation InvariantKind = iota
+	// InvariantScoreNegative: every score in the final vector must be finite
+	// and non-negative (HKPR is a probability distribution; NaN and ±Inf
+	// count as violations).
+	InvariantScoreNegative
+	// InvariantTotalMass: the final vector's total mass must not exceed 1
+	// (walks redistribute residue mass, they cannot amplify it), and the
+	// per-degree offset must be finite and non-negative.
+	InvariantTotalMass
+	// InvariantInequality11: when HK-Push+ claims Inequality (11) held —
+	// Σ_k max_u r^(k)[u]/d(u) ≤ εr·δ, the early-termination condition of
+	// Theorem 2 — a direct recomputation of the left-hand side must agree.
+	InvariantInequality11
+	// NumInvariantKinds is the number of kinds; valid kinds are smaller.
+	NumInvariantKinds
+)
+
+var invariantKindNames = [NumInvariantKinds]string{
+	"mass-conservation",
+	"score-negative",
+	"total-mass",
+	"inequality11",
+}
+
+// String returns the kebab-case kind name used in metric labels.
+func (k InvariantKind) String() string {
+	if k < NumInvariantKinds {
+		return invariantKindNames[k]
+	}
+	return fmt.Sprintf("invariant(%d)", uint8(k))
+}
+
+// Audit tolerances.  Checks must never fire on float rounding: the pipeline
+// performs up to tens of millions of additions on O(1)-magnitude mass, whose
+// accumulated error stays below ~1e-9, so 1e-6 leaves three orders of
+// magnitude of headroom while still catching any structural bug (a lost or
+// duplicated push, a mis-scaled walk increment) whose error is at least one
+// push/walk quantum.
+const (
+	massConservationTol = 1e-6
+	totalMassTol        = 1e-6
+	// inequality11RelTol covers the rounding difference between the
+	// incrementally tracked bound and its direct recomputation.
+	inequality11RelTol = 1e-9
+)
+
+// InvariantAudit collects the outcome of one query's inline invariant checks.
+// A nil *InvariantAudit disables checking entirely (the library entry points
+// pass none); the serving layer embeds one per admitted task — by value, so
+// always-on auditing costs no allocation — and folds the counters into its
+// metrics after the query completes.
+//
+// An audit is owned by a single query; it is not safe for concurrent use.
+type InvariantAudit struct {
+	// Strict makes a violation abort the query with an error wrapping
+	// ErrInvariantViolation instead of only counting it.
+	Strict bool
+	// Checks counts invariant evaluations (violated or not).
+	Checks int64
+	// Violations counts failures per kind.
+	Violations [NumInvariantKinds]int64
+	// FirstViolation describes the first failure, for logs and errors.
+	FirstViolation string
+}
+
+// TotalViolations sums the per-kind violation counts.
+func (a *InvariantAudit) TotalViolations() int64 {
+	if a == nil {
+		return 0
+	}
+	total := int64(0)
+	for _, v := range a.Violations {
+		total += v
+	}
+	return total
+}
+
+// violation records one failure and, under Strict, returns the aborting
+// error.  The description is only built here, so healthy checks never format
+// (or allocate) anything.
+func (a *InvariantAudit) violation(kind InvariantKind, format string, args ...any) error {
+	a.Violations[kind]++
+	msg := fmt.Sprintf(format, args...)
+	if a.FirstViolation == "" {
+		a.FirstViolation = kind.String() + ": " + msg
+	}
+	if a.Strict {
+		return fmt.Errorf("%w: %s: %s", ErrInvariantViolation, kind, msg)
+	}
+	return nil
+}
+
+// auditMassConservation checks reserve+residue mass against the unit injected
+// at the seed.  It runs right after the push phase — before TEA+'s residue
+// reduction, which removes mass by design — at which point every push has
+// only converted residue into reserve or spread it to the next hop.
+func auditMassConservation(a *InvariantAudit, reserveMass, residueMass float64) error {
+	if a == nil {
+		return nil
+	}
+	a.Checks++
+	total := reserveMass + residueMass
+	if math.Abs(total-1) <= massConservationTol { // NaN fails the comparison
+		return nil
+	}
+	return a.violation(InvariantMassConservation,
+		"reserve %.12g + residue %.12g = %.12g, want 1 ± %g",
+		reserveMass, residueMass, total, massConservationTol)
+}
+
+// auditInequality11 re-derives Inequality (11)'s left-hand side directly and
+// checks it against the early-termination target the incremental tracker
+// claimed to have met.
+func auditInequality11(a *InvariantAudit, lhs, target float64) error {
+	if a == nil {
+		return nil
+	}
+	a.Checks++
+	if lhs <= target*(1+inequality11RelTol) { // NaN fails the comparison
+		return nil
+	}
+	return a.violation(InvariantInequality11,
+		"recomputed Σ_k max_u r^(k)[u]/d(u) = %.12g exceeds claimed bound %.12g", lhs, target)
+}
+
+// auditResult checks the finished score vector: finiteness and
+// non-negativity of every entry, and the total-mass bound (including the
+// per-degree offset's sign).  One pass over the vector, two checks.
+func auditResult(a *InvariantAudit, scores ScoreVector, offsetPerDegree float64) error {
+	if a == nil {
+		return nil
+	}
+	var badNode int64
+	badScore := 0.0
+	bad := false
+	total := 0.0
+	for _, e := range scores {
+		s := e.Score
+		if !bad && (!(s >= 0) || math.IsInf(s, 0)) { // !(s>=0) catches NaN
+			bad = true
+			badNode, badScore = int64(e.Node), s
+		}
+		total += s
+	}
+	a.Checks++
+	if bad {
+		if err := a.violation(InvariantScoreNegative,
+			"score[%d] = %g, want finite and ≥ 0", badNode, badScore); err != nil {
+			return err
+		}
+	}
+	a.Checks++
+	if !(total <= 1+totalMassTol) || !(offsetPerDegree >= 0) || math.IsInf(offsetPerDegree, 0) {
+		return a.violation(InvariantTotalMass,
+			"total mass %.12g (offset/degree %g), want ≤ 1 + %g and offset ≥ 0",
+			total, offsetPerDegree, totalMassTol)
+	}
+	return nil
+}
+
+// massUnordered sums the accumulator's entries in touched-list (insertion)
+// order, without the determinism sort the public TotalMass performs: the
+// audits run mid-pipeline, where the insertion order is still live input to
+// later stages, and a read-only pass is the only way to observe the state
+// without perturbing it.  The order-dependent rounding difference is ~1e-16
+// relative, far below the audit tolerances.
+func (d *denseVec) massUnordered() float64 {
+	total := 0.0
+	for _, v := range d.touched {
+		total += d.vals[v]
+	}
+	return total
+}
+
+// massUnordered sums all hop residues in (hop, insertion) order; see
+// denseVec.massUnordered for why no sorting happens here.
+func (r *ResidueVectors) massUnordered() float64 {
+	total := 0.0
+	for k := 0; k < r.active; k++ {
+		total += r.levels[k].massUnordered()
+	}
+	return total
+}

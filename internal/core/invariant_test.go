@@ -1,0 +1,246 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"hkpr/internal/graph"
+	"hkpr/internal/trace"
+)
+
+// TestInvariantAuditHealthyQueries soaks all three estimators over many seeds
+// with auditing enabled and requires every inline check to pass: the
+// estimators must self-verify cleanly on healthy executions, and the check
+// counter must advance so the serve-layer metrics have signal.
+func TestInvariantAuditHealthyQueries(t *testing.T) {
+	g, _ := testGraph(t)
+	est, err := NewEstimator(g, defaultOpts(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(name string, f func(oc OptionsContext, seed graph.NodeID) (*Result, error)) {
+		audit := &InvariantAudit{}
+		oc := OptionsContext{Audit: audit}
+		queries := 0
+		for seed := graph.NodeID(0); int(seed) < g.N(); seed += 7 {
+			if _, err := f(oc, seed); err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			queries++
+		}
+		if audit.Checks < int64(queries) {
+			t.Fatalf("%s: %d checks over %d queries, want at least one per query", name, audit.Checks, queries)
+		}
+		if v := audit.TotalViolations(); v != 0 {
+			t.Fatalf("%s: %d violations on healthy queries (first: %s)", name, v, audit.FirstViolation)
+		}
+		if audit.FirstViolation != "" {
+			t.Fatalf("%s: FirstViolation set without violations: %q", name, audit.FirstViolation)
+		}
+	}
+	run("TEA", func(oc OptionsContext, seed graph.NodeID) (*Result, error) {
+		return est.TEAContext(oc, seed, Options{})
+	})
+	run("TEA+", func(oc OptionsContext, seed graph.NodeID) (*Result, error) {
+		return est.TEAPlusContext(oc, seed, Options{})
+	})
+	run("MC", func(oc OptionsContext, seed graph.NodeID) (*Result, error) {
+		return est.MonteCarloContext(oc, seed, Options{})
+	})
+}
+
+// TestInvariantAuditStrictHealthy checks Strict mode does not abort healthy
+// queries: strictness only changes what happens on a violation.
+func TestInvariantAuditStrictHealthy(t *testing.T) {
+	g, _ := testGraph(t)
+	est, err := NewEstimator(g, defaultOpts(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	audit := &InvariantAudit{Strict: true}
+	if _, err := est.TEAPlusContext(OptionsContext{Audit: audit}, 3, Options{}); err != nil {
+		t.Fatalf("strict audit aborted a healthy query: %v", err)
+	}
+	if audit.Checks == 0 {
+		t.Fatal("no checks ran")
+	}
+}
+
+// TestTraceSpansMatchStats attaches a QueryTrace through OptionsContext and
+// requires the push/walk/merge span durations to equal the estimator's own
+// Stats timings exactly (both sides record the same time.Since result, in
+// nanoseconds, with no rounding anywhere between).
+func TestTraceSpansMatchStats(t *testing.T) {
+	g, _ := testGraph(t)
+	est, err := NewEstimator(g, defaultOpts(g.N()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	begin := time.Now()
+	qt := trace.Get(begin)
+	defer trace.Put(qt)
+	res, err := est.TEAContext(OptionsContext{Trace: qt}, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := qt.Finish(time.Now(), "")
+	want := map[string]time.Duration{
+		"push":  res.Stats.PushTime,
+		"walk":  res.Stats.WalkTime,
+		"merge": res.Stats.MergeTime,
+	}
+	for stage, d := range want {
+		got, ok := rec.StageDuration(stage)
+		if !ok {
+			t.Fatalf("stage %q not observed; record: %s", stage, rec.StageSummary())
+		}
+		if got != d {
+			t.Fatalf("stage %q duration %v != Stats %v", stage, got, d)
+		}
+	}
+	// Spans must be anchored inside the trace window.
+	for _, s := range rec.Stages {
+		if s.StartNS < 0 || s.StartNS+s.DurationNS > rec.TotalNS {
+			t.Fatalf("stage %q span [%d, %d] escapes trace window [0, %d]",
+				s.Stage, s.StartNS, s.StartNS+s.DurationNS, rec.TotalNS)
+		}
+	}
+}
+
+// TestAuditMassConservation pins the helper's pass/fail behaviour, counting,
+// first-violation capture and strict-mode error wrapping.
+func TestAuditMassConservation(t *testing.T) {
+	a := &InvariantAudit{}
+	if err := auditMassConservation(a, 0.6, 0.4); err != nil {
+		t.Fatal(err)
+	}
+	if a.Checks != 1 || a.TotalViolations() != 0 {
+		t.Fatalf("healthy check miscounted: checks=%d violations=%d", a.Checks, a.TotalViolations())
+	}
+	// Non-strict: violation counted and described, no error.
+	if err := auditMassConservation(a, 0.6, 0.3); err != nil {
+		t.Fatalf("non-strict violation returned error: %v", err)
+	}
+	if a.Violations[InvariantMassConservation] != 1 {
+		t.Fatalf("violation not counted: %v", a.Violations)
+	}
+	if !strings.HasPrefix(a.FirstViolation, "mass-conservation:") {
+		t.Fatalf("FirstViolation = %q", a.FirstViolation)
+	}
+	// NaN must fail.
+	if err := auditMassConservation(a, math.NaN(), 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if a.Violations[InvariantMassConservation] != 2 {
+		t.Fatal("NaN mass passed conservation")
+	}
+	// Strict: the same violation aborts with the sentinel.
+	s := &InvariantAudit{Strict: true}
+	err := auditMassConservation(s, 0.6, 0.3)
+	if !errors.Is(err, ErrInvariantViolation) {
+		t.Fatalf("strict violation error = %v, want ErrInvariantViolation", err)
+	}
+}
+
+// TestAuditInequality11 pins the recomputation check and its relative
+// tolerance.
+func TestAuditInequality11(t *testing.T) {
+	a := &InvariantAudit{}
+	if err := auditInequality11(a, 0.001, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if err := auditInequality11(a, 0.001*(1+1e-12), 0.001); err != nil {
+		t.Fatal("within-tolerance excess flagged")
+	}
+	if a.TotalViolations() != 0 {
+		t.Fatalf("tolerated excess counted as violation")
+	}
+	if err := auditInequality11(a, 0.002, 0.001); err != nil {
+		t.Fatalf("non-strict violation returned error: %v", err)
+	}
+	if a.Violations[InvariantInequality11] != 1 {
+		t.Fatal("violation not counted")
+	}
+	s := &InvariantAudit{Strict: true}
+	if err := auditInequality11(s, 0.002, 0.001); !errors.Is(err, ErrInvariantViolation) {
+		t.Fatalf("strict error = %v", err)
+	}
+}
+
+// TestAuditResult pins the final-vector checks: negative/NaN/Inf entries,
+// the total-mass bound, and the offset's sign and finiteness.
+func TestAuditResult(t *testing.T) {
+	healthy := ScoreVector{{Node: 1, Score: 0.3}, {Node: 2, Score: 0.7}}
+	a := &InvariantAudit{}
+	if err := auditResult(a, healthy, 0.001); err != nil {
+		t.Fatal(err)
+	}
+	if a.Checks != 2 || a.TotalViolations() != 0 {
+		t.Fatalf("healthy result miscounted: checks=%d violations=%d", a.Checks, a.TotalViolations())
+	}
+
+	cases := []struct {
+		name   string
+		scores ScoreVector
+		offset float64
+		kind   InvariantKind
+	}{
+		{"negative score", ScoreVector{{Node: 1, Score: -1e-9}}, 0, InvariantScoreNegative},
+		{"NaN score", ScoreVector{{Node: 1, Score: math.NaN()}}, 0, InvariantScoreNegative},
+		{"Inf score", ScoreVector{{Node: 1, Score: math.Inf(1)}}, 0, InvariantScoreNegative},
+		{"total mass", ScoreVector{{Node: 1, Score: 0.9}, {Node: 2, Score: 0.2}}, 0, InvariantTotalMass},
+		{"negative offset", healthy, -0.001, InvariantTotalMass},
+		{"Inf offset", healthy, math.Inf(1), InvariantTotalMass},
+	}
+	for _, tc := range cases {
+		a := &InvariantAudit{}
+		if err := auditResult(a, tc.scores, tc.offset); err != nil {
+			t.Fatalf("%s: non-strict returned error: %v", tc.name, err)
+		}
+		if a.Violations[tc.kind] == 0 {
+			t.Fatalf("%s: expected %v violation, got %v", tc.name, tc.kind, a.Violations)
+		}
+		s := &InvariantAudit{Strict: true}
+		if err := auditResult(s, tc.scores, tc.offset); !errors.Is(err, ErrInvariantViolation) {
+			t.Fatalf("%s: strict error = %v, want ErrInvariantViolation", tc.name, err)
+		}
+	}
+}
+
+// TestAuditNilSafe checks a nil audit disables everything without error.
+func TestAuditNilSafe(t *testing.T) {
+	if err := auditMassConservation(nil, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := auditInequality11(nil, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := auditResult(nil, ScoreVector{{Node: 1, Score: -1}}, -1); err != nil {
+		t.Fatal(err)
+	}
+	var a *InvariantAudit
+	if a.TotalViolations() != 0 {
+		t.Fatal("nil TotalViolations != 0")
+	}
+}
+
+// TestInvariantKindString pins the metric label names.
+func TestInvariantKindString(t *testing.T) {
+	want := map[InvariantKind]string{
+		InvariantMassConservation: "mass-conservation",
+		InvariantScoreNegative:    "score-negative",
+		InvariantTotalMass:        "total-mass",
+		InvariantInequality11:     "inequality11",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Fatalf("kind %d = %q, want %q", k, k.String(), name)
+		}
+	}
+	if s := NumInvariantKinds.String(); !strings.Contains(s, "invariant(") {
+		t.Fatalf("out-of-range String() = %q", s)
+	}
+}

@@ -29,46 +29,51 @@ type Result struct {
 }
 
 // Stats captures the cost breakdown of one HKPR query; the benchmark harness
-// aggregates these to regenerate the paper's cost analyses.
+// aggregates these to regenerate the paper's cost analyses, and the serving
+// layer embeds it in query traces (hence the JSON tags; durations marshal as
+// nanoseconds).
 type Stats struct {
 	// PushOperations counts push operations: the paper's unit where pushing a
 	// node v at hop k costs d(v) operations.
-	PushOperations int64
+	PushOperations int64 `json:"push_operations"`
 	// PushedNodes counts (node, hop) entries that were pushed.
-	PushedNodes int64
+	PushedNodes int64 `json:"pushed_nodes"`
 	// RandomWalks is the number of random walks performed.
-	RandomWalks int64
+	RandomWalks int64 `json:"random_walks"`
 	// WalkSteps is the total number of edge traversals over all walks.
-	WalkSteps int64
+	WalkSteps int64 `json:"walk_steps"`
 	// ResidueMassBeforeWalks is α, the total residue handed to the walk phase
 	// (after any residue reduction).
-	ResidueMassBeforeWalks float64
+	ResidueMassBeforeWalks float64 `json:"residue_mass_before_walks"`
 	// MaxHop is the largest hop level holding non-zero residue after pushing.
-	MaxHop int
+	MaxHop int `json:"max_hop"`
 	// EarlyTermination is true when TEA+ satisfied Inequality (11) during the
 	// push phase and skipped random walks entirely.
-	EarlyTermination bool
+	EarlyTermination bool `json:"early_termination"`
 	// WalkShards is the number of shards the walk budget was split into
 	// (deterministic in the budget; 0 when no walks ran).
-	WalkShards int
+	WalkShards int `json:"walk_shards"`
 	// WalkParallelism is the number of goroutines the walk stage actually
 	// used after consulting the CPU gate.  It does not affect Scores.
-	WalkParallelism int
+	WalkParallelism int `json:"walk_parallelism"`
 	// PushChunks counts the frontier chunks the push phase processed across
 	// all hops (deterministic in the frontier sizes; one per hop when every
 	// frontier stays below the chunking threshold).
-	PushChunks int64
+	PushChunks int64 `json:"push_chunks"`
 	// PushParallelism is the maximum number of goroutines the push phase used
 	// for any hop's frontier scan after consulting the CPU gate.  Like
 	// WalkParallelism it never affects Scores.
-	PushParallelism int
-	// PushTime and WalkTime are the wall-clock durations of the two phases.
-	PushTime time.Duration
-	WalkTime time.Duration
+	PushParallelism int `json:"push_parallelism"`
+	// PushTime, WalkTime and MergeTime are the wall-clock durations of the
+	// pipeline phases: the push, the sharded walks, and the deterministic
+	// walk merge plus score-vector materialization.
+	PushTime  time.Duration `json:"push_time_ns"`
+	WalkTime  time.Duration `json:"walk_time_ns"`
+	MergeTime time.Duration `json:"merge_time_ns"`
 	// WorkingSetBytes estimates the memory held by the per-query structures
 	// (reserve, residues, alias table, walk counters); the harness adds the
 	// graph size to mirror the paper's Figure 5 accounting.
-	WorkingSetBytes int64
+	WorkingSetBytes int64 `json:"working_set_bytes"`
 }
 
 // Estimate returns the HKPR estimate ρ̂_s[v] for node v given its degree.

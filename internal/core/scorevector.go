@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
+	"math"
 	"slices"
+	"strconv"
 	"unsafe"
 
 	"hkpr/internal/graph"
@@ -82,6 +85,37 @@ func (sv ScoreVector) TotalMass() float64 {
 		total += e.Score
 	}
 	return total
+}
+
+// MarshalJSON streams the vector as a JSON array of {"node","score"} objects
+// directly from the flat slab, so the HTTP render path never materializes an
+// intermediate slice of per-entry structs.  The output is append-built with
+// strconv (scores in the same shortest-round-trip form encoding/json uses), at
+// roughly 24 bytes per entry of working buffer instead of a parallel struct
+// slice plus reflection.  A nil vector marshals as null, matching the slice
+// behaviour of encoding/json.
+func (sv ScoreVector) MarshalJSON() ([]byte, error) {
+	if sv == nil {
+		return []byte("null"), nil
+	}
+	// `{"node":…,"score":…},` is ~30 bytes for typical magnitudes.
+	buf := make([]byte, 0, 2+32*len(sv))
+	buf = append(buf, '[')
+	for i, e := range sv {
+		if math.IsNaN(e.Score) || math.IsInf(e.Score, 0) {
+			return nil, fmt.Errorf("core: ScoreVector entry %d (node %d): unsupported value: %g", i, e.Node, e.Score)
+		}
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"node":`...)
+		buf = strconv.AppendInt(buf, int64(e.Node), 10)
+		buf = append(buf, `,"score":`...)
+		buf = strconv.AppendFloat(buf, e.Score, 'g', -1, 64)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, ']')
+	return buf, nil
 }
 
 // ScoreVectorFromMap converts a sparse score map into the canonical

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -84,6 +87,145 @@ func TestScoreVectorSortedInvariant(t *testing.T) {
 	for i := 1; i < len(sv); i++ {
 		if sv[i-1].Node >= sv[i].Node {
 			t.Fatalf("nodes not strictly ascending at %d: %d >= %d", i, sv[i-1].Node, sv[i].Node)
+		}
+	}
+}
+
+// marshalViaIntermediate is the pre-streaming render path: materialize a
+// parallel slice of per-entry structs and hand it to encoding/json.  Kept as
+// the oracle the streaming marshaler is compared (and benchmarked) against.
+func marshalViaIntermediate(sv ScoreVector) ([]byte, error) {
+	type scoredNodeJSON struct {
+		Node  int64   `json:"node"`
+		Score float64 `json:"score"`
+	}
+	if sv == nil {
+		return []byte("null"), nil
+	}
+	out := make([]scoredNodeJSON, len(sv))
+	for i, e := range sv {
+		out[i] = scoredNodeJSON{Node: int64(e.Node), Score: e.Score}
+	}
+	return json.Marshal(out)
+}
+
+// TestScoreVectorMarshalJSON checks the streaming marshaler produces valid
+// JSON that decodes back to the exact entries, agrees with the intermediate
+// -slice oracle value-for-value, and handles the nil/empty edge cases the
+// encoding/json slice rules define.
+func TestScoreVectorMarshalJSON(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	sv := ScoreVector{{Node: 0, Score: 0}, {Node: 3, Score: 0.25}, {Node: 41, Score: 1e-17}}
+	for i := 0; i < 300; i++ {
+		sv = append(sv, ScoredNode{
+			Node:  sv[len(sv)-1].Node + 1 + graph.NodeID(rng.Intn(50)),
+			Score: rng.Float64() * math.Pow(10, float64(rng.Intn(20)-10)),
+		})
+	}
+
+	got, err := json.Marshal(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		Node  int64   `json:"node"`
+		Score float64 `json:"score"`
+	}
+	if err := json.Unmarshal(got, &decoded); err != nil {
+		t.Fatalf("streamed output is not valid JSON: %v", err)
+	}
+	if len(decoded) != len(sv) {
+		t.Fatalf("decoded %d entries, want %d", len(decoded), len(sv))
+	}
+	for i, d := range decoded {
+		if d.Node != int64(sv[i].Node) || d.Score != sv[i].Score {
+			t.Fatalf("entry %d round-trips as {%d,%v}, want {%d,%v}", i, d.Node, d.Score, sv[i].Node, sv[i].Score)
+		}
+	}
+
+	// The oracle path must agree on the decoded values too.
+	oracle, err := marshalViaIntermediate(sv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oracleDecoded []struct {
+		Node  int64   `json:"node"`
+		Score float64 `json:"score"`
+	}
+	if err := json.Unmarshal(oracle, &oracleDecoded); err != nil {
+		t.Fatal(err)
+	}
+	for i := range oracleDecoded {
+		if oracleDecoded[i] != decoded[i] {
+			t.Fatalf("entry %d: streamed %v != intermediate %v", i, decoded[i], oracleDecoded[i])
+		}
+	}
+
+	if got, _ := json.Marshal(ScoreVector(nil)); string(got) != "null" {
+		t.Fatalf("nil vector marshals as %q, want null", got)
+	}
+	if got, _ := json.Marshal(ScoreVector{}); string(got) != "[]" {
+		t.Fatalf("empty vector marshals as %q, want []", got)
+	}
+	// omitempty (used by the HTTP response struct) must still drop nil scores:
+	// it checks emptiness before consulting the marshaler.
+	wrapped, err := json.Marshal(struct {
+		Scores ScoreVector `json:"scores,omitempty"`
+	}{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(wrapped, []byte("scores")) {
+		t.Fatalf("omitempty did not drop the nil vector: %s", wrapped)
+	}
+}
+
+// TestScoreVectorMarshalJSONRejectsNonFinite pins the error behaviour on
+// values JSON cannot represent, matching encoding/json's stance on ±Inf/NaN.
+func TestScoreVectorMarshalJSONRejectsNonFinite(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		sv := ScoreVector{{Node: 1, Score: 0.5}, {Node: 2, Score: bad}}
+		if _, err := json.Marshal(sv); err == nil {
+			t.Fatalf("marshaling score %v succeeded, want error", bad)
+		}
+	}
+}
+
+// benchScoreVector builds a deterministic ~5k-entry vector shaped like a real
+// query result (sparse ascending nodes, sub-1 scores).
+func benchScoreVector() ScoreVector {
+	rng := rand.New(rand.NewSource(23))
+	sv := make(ScoreVector, 0, 5000)
+	node := graph.NodeID(0)
+	for i := 0; i < 5000; i++ {
+		node += 1 + graph.NodeID(rng.Intn(40))
+		sv = append(sv, ScoredNode{Node: node, Score: rng.Float64() * 1e-2})
+	}
+	return sv
+}
+
+// BenchmarkScoreVectorMarshalStream measures the streaming render path the
+// HTTP server uses.
+func BenchmarkScoreVectorMarshalStream(b *testing.B) {
+	sv := benchScoreVector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.MarshalJSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScoreVectorMarshalIntermediate measures the replaced path
+// (materialize []scoredNodeJSON, reflect-marshal it) for comparison.
+func BenchmarkScoreVectorMarshalIntermediate(b *testing.B) {
+	sv := benchScoreVector()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := marshalViaIntermediate(sv); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

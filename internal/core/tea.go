@@ -7,6 +7,7 @@ import (
 
 	"hkpr/internal/graph"
 	"hkpr/internal/heatkernel"
+	"hkpr/internal/trace"
 )
 
 // RNG stream separators: each estimator mixes its own constant into the walk
@@ -75,6 +76,12 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 		return nil, fmt.Errorf("core: TEA push phase: %w", err)
 	}
 	pushTime := time.Since(pushStart)
+	ctl.tr.Observe(trace.StagePush, pushStart, pushTime)
+	// Push only moves mass between reserve and residues, so their sum must
+	// still be the unit injected at the seed.
+	if err := auditMassConservation(ctl.audit, ctl.ws.reserve.massUnordered(), push.Residues.massUnordered()); err != nil {
+		return nil, fmt.Errorf("core: TEA push phase: %w", err)
+	}
 
 	// Stage 2: residual/source collection.  α is summed over the sorted
 	// entries, the one pass that already exists for the alias table.
@@ -93,13 +100,20 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 		return nil, fmt.Errorf("core: TEA walk phase: %w", err)
 	}
 	walkTime := time.Since(walkStart)
+	ctl.tr.Observe(trace.StageWalk, walkStart, walkTime)
 
 	// Stage 4: deterministic merge into the reserve slab, then one
 	// materialization into the public flat score-vector form — the only point
 	// the sparse vector leaves the pooled workspace, and the query's only
 	// O(support) allocation.
+	mergeStart := time.Now()
 	mergeWalkStage(&ctl.ws.reserve, walked)
 	scores := ctl.ws.reserve.toScoreVector()
+	mergeTime := time.Since(mergeStart)
+	ctl.tr.Observe(trace.StageMerge, mergeStart, mergeTime)
+	if err := auditResult(ctl.audit, scores, 0); err != nil {
+		return nil, fmt.Errorf("core: TEA merge phase: %w", err)
+	}
 
 	return &Result{
 		Seed:   seed,
@@ -117,6 +131,7 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 			PushParallelism:        push.PushParallelism,
 			PushTime:               pushTime,
 			WalkTime:               walkTime,
+			MergeTime:              mergeTime,
 			WorkingSetBytes: scoreVectorWorkingSetBytes(len(scores)) +
 				estimatedWorkingSetBytes(push.Residues.NonZeroEntries()) +
 				int64(len(entries))*24,
@@ -179,9 +194,16 @@ func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *h
 		return nil, fmt.Errorf("core: Monte-Carlo walk phase: %w", err)
 	}
 	walkTime := time.Since(start)
+	ctl.tr.Observe(trace.StageWalk, start, walkTime)
 
+	mergeStart := time.Now()
 	mergeWalkStage(&ws.reserve, walked)
 	scores := ws.reserve.toScoreVector()
+	mergeTime := time.Since(mergeStart)
+	ctl.tr.Observe(trace.StageMerge, mergeStart, mergeTime)
+	if err := auditResult(ctl.audit, scores, 0); err != nil {
+		return nil, fmt.Errorf("core: Monte-Carlo merge phase: %w", err)
+	}
 
 	return &Result{
 		Seed:   seed,
@@ -193,6 +215,7 @@ func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *h
 			WalkShards:             walked.shards,
 			WalkParallelism:        walked.workers,
 			WalkTime:               walkTime,
+			MergeTime:              mergeTime,
 			WorkingSetBytes:        scoreVectorWorkingSetBytes(len(scores)),
 		},
 	}, nil

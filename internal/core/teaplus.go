@@ -7,6 +7,7 @@ import (
 
 	"hkpr/internal/graph"
 	"hkpr/internal/heatkernel"
+	"hkpr/internal/trace"
 )
 
 // TEAPlus implements Algorithm 5, the optimized estimator.  It runs HK-Push+
@@ -55,6 +56,12 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 		return nil, fmt.Errorf("core: TEA+ push phase: %w", err)
 	}
 	pushTime := time.Since(pushStart)
+	ctl.tr.Observe(trace.StagePush, pushStart, pushTime)
+	// The conservation audit must run before reduceResidues below, which
+	// removes residue mass by design.
+	if err := auditMassConservation(ctl.audit, ctl.ws.reserve.massUnordered(), push.Residues.massUnordered()); err != nil {
+		return nil, fmt.Errorf("core: TEA+ push phase: %w", err)
+	}
 
 	target := opts.EpsRel * opts.Delta
 
@@ -70,7 +77,20 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 	// Line 7: if Inequality (11) holds the reserve already is a
 	// (d, εr, δ)-approximate HKPR vector (Theorem 2) — no walks needed.
 	if push.SatisfiedInequality11 || push.Residues.NormalizedMaxSum(g) <= target {
+		// When the incremental tracker claimed the bound, verify the claim
+		// against a direct recomputation of Inequality (11)'s left-hand side.
+		if push.SatisfiedInequality11 {
+			if err := auditInequality11(ctl.audit, push.Residues.NormalizedMaxSum(g), target); err != nil {
+				return nil, fmt.Errorf("core: TEA+ push phase: %w", err)
+			}
+		}
+		mergeStart := time.Now()
 		scores := push.Reserve.ToScoreVector()
+		stats.MergeTime = time.Since(mergeStart)
+		ctl.tr.Observe(trace.StageMerge, mergeStart, stats.MergeTime)
+		if err := auditResult(ctl.audit, scores, 0); err != nil {
+			return nil, fmt.Errorf("core: TEA+ merge phase: %w", err)
+		}
 		stats.EarlyTermination = true
 		stats.WorkingSetBytes = scoreVectorWorkingSetBytes(len(scores)) +
 			estimatedWorkingSetBytes(push.Residues.NonZeroEntries())
@@ -96,8 +116,17 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 		return nil, fmt.Errorf("core: TEA+ walk phase: %w", err)
 	}
 	walkTime := time.Since(walkStart)
+	ctl.tr.Observe(trace.StageWalk, walkStart, walkTime)
+	mergeStart := time.Now()
 	mergeWalkStage(&ctl.ws.reserve, walked)
 	scores := ctl.ws.reserve.toScoreVector()
+	stats.MergeTime = time.Since(mergeStart)
+	ctl.tr.Observe(trace.StageMerge, mergeStart, stats.MergeTime)
+	// target/2 is the per-degree offset applied below; the audit folds its
+	// sign and finiteness into the total-mass check.
+	if err := auditResult(ctl.audit, scores, target/2); err != nil {
+		return nil, fmt.Errorf("core: TEA+ merge phase: %w", err)
+	}
 
 	stats.RandomWalks = walked.walks
 	stats.WalkSteps = walked.steps

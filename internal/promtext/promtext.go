@@ -1,0 +1,326 @@
+// Package promtext validates Prometheus text exposition output.  The serving
+// layer hand-writes its /metrics payload (no client library dependency), so
+// this package provides the independent checker the tests and the CI
+// live-server probe run against it: every sample must belong to a family with
+// HELP and TYPE metadata, every value must parse, and histogram bucket series
+// must be cumulative, monotone and +Inf-terminated with a matching count.
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// family is the accumulated metadata and samples of one metric family.
+type family struct {
+	name    string
+	help    bool
+	typ     string
+	samples []sample
+}
+
+type sample struct {
+	line   int
+	name   string // full sample name, including _bucket/_sum/_count suffixes
+	labels string // raw label block without braces, "" when none
+	value  float64
+}
+
+// Validate reads one text-format exposition and returns the first violation
+// found, or nil when the payload is well-formed.
+func Validate(r io.Reader) error {
+	families := map[string]*family{}
+	order := []string{}
+	get := func(name string) *family {
+		f, ok := families[name]
+		if !ok {
+			f = &family{name: name}
+			families[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			kind, name, rest, err := parseComment(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if kind == "" { // plain comment
+				continue
+			}
+			f := get(name)
+			switch kind {
+			case "HELP":
+				f.help = true
+			case "TYPE":
+				if len(f.samples) > 0 {
+					return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+				}
+				if f.typ != "" {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				f.typ = rest
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		s.line = lineNo
+		f := get(familyOf(s.name))
+		f.samples = append(f.samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	for _, name := range order {
+		f := families[name]
+		if len(f.samples) == 0 {
+			continue
+		}
+		if !f.help {
+			return fmt.Errorf("line %d: metric %q has samples but no HELP", f.samples[0].line, name)
+		}
+		if f.typ == "" {
+			return fmt.Errorf("line %d: metric %q has samples but no TYPE", f.samples[0].line, name)
+		}
+		if f.typ == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// familyOf strips the histogram/summary sample suffixes so _bucket/_sum/_count
+// samples attach to their family's metadata.
+func familyOf(sampleName string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(sampleName, suffix) {
+			return strings.TrimSuffix(sampleName, suffix)
+		}
+	}
+	return sampleName
+}
+
+// parseComment dissects a "# HELP name text" / "# TYPE name kind" line.  It
+// returns kind "" for plain comments.
+func parseComment(line string) (kind, name, rest string, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+		return "", "", "", nil
+	}
+	kind = fields[1]
+	if len(fields) < 3 {
+		return "", "", "", fmt.Errorf("%s without a metric name", kind)
+	}
+	name = fields[2]
+	if kind == "TYPE" {
+		if len(fields) < 4 {
+			return "", "", "", fmt.Errorf("TYPE for %q without a kind", name)
+		}
+		rest = fields[3]
+		switch rest {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return "", "", "", fmt.Errorf("TYPE for %q has unknown kind %q", name, rest)
+		}
+	}
+	return kind, name, rest, nil
+}
+
+// parseSample dissects one sample line: name, optional {labels}, value, and
+// an optional timestamp.
+func parseSample(line string) (sample, error) {
+	var s sample
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		s.name = strings.TrimSpace(rest[:i])
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return s, fmt.Errorf("unterminated label block in %q", line)
+		}
+		s.labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		s.name = fields[0]
+		rest = strings.Join(fields[1:], " ")
+	}
+	if s.name == "" {
+		return s, fmt.Errorf("sample %q has no metric name", line)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return s, fmt.Errorf("sample %q has %d value fields, want 1 or 2", line, len(fields))
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %q has unparsable value %q", line, fields[0])
+	}
+	s.value = v
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return s, fmt.Errorf("sample %q has unparsable timestamp %q", line, fields[1])
+		}
+	}
+	return s, nil
+}
+
+// labelPair is one parsed label.
+type labelPair struct{ key, value string }
+
+// parseLabels splits a raw label block into pairs.  The exposition grammar
+// allows escaped quotes inside values; the serve emitter only writes %q
+// strings, which this unescape handles.
+func parseLabels(raw string) ([]labelPair, error) {
+	var out []labelPair
+	rest := raw
+	for strings.TrimSpace(rest) != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label block %q: missing '='", raw)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = strings.TrimSpace(rest[eq+1:])
+		if len(rest) == 0 || rest[0] != '"' {
+			return nil, fmt.Errorf("label block %q: unquoted value for %q", raw, key)
+		}
+		// Find the closing quote, honoring backslash escapes.
+		end := -1
+		for i := 1; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return nil, fmt.Errorf("label block %q: unterminated value for %q", raw, key)
+		}
+		val, err := strconv.Unquote(rest[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("label block %q: bad value for %q: %v", raw, key, err)
+		}
+		out = append(out, labelPair{key: key, value: val})
+		rest = strings.TrimSpace(rest[end+1:])
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return out, nil
+}
+
+// seriesKey renders the label set minus the le label in a canonical order, so
+// bucket samples of one histogram series group together.
+func seriesKey(labels []labelPair) string {
+	kept := make([]string, 0, len(labels))
+	for _, l := range labels {
+		if l.key == "le" {
+			continue
+		}
+		kept = append(kept, l.key+"="+l.value)
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, ",")
+}
+
+// bucketSample is one _bucket sample's le bound and cumulative count.
+type bucketSample struct {
+	line  int
+	le    float64
+	value float64
+}
+
+// validateHistogram checks every series of one histogram family: ascending le
+// bounds, monotone non-decreasing cumulative buckets, a +Inf bucket, and a
+// _count sample equal to the +Inf bucket.
+func validateHistogram(f *family) error {
+	buckets := map[string][]bucketSample{}
+	counts := map[string]float64{}
+	hasSum := map[string]bool{}
+	for _, s := range f.samples {
+		labels, err := parseLabels(s.labels)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", s.line, err)
+		}
+		key := seriesKey(labels)
+		switch {
+		case strings.HasSuffix(s.name, "_bucket"):
+			le := math.NaN()
+			for _, l := range labels {
+				if l.key == "le" {
+					if l.value == "+Inf" {
+						le = math.Inf(1)
+					} else if v, err := strconv.ParseFloat(l.value, 64); err == nil {
+						le = v
+					} else {
+						return fmt.Errorf("line %d: histogram %q has unparsable le %q", s.line, f.name, l.value)
+					}
+				}
+			}
+			if math.IsNaN(le) {
+				return fmt.Errorf("line %d: histogram %q bucket without le label", s.line, f.name)
+			}
+			buckets[key] = append(buckets[key], bucketSample{line: s.line, le: le, value: s.value})
+		case strings.HasSuffix(s.name, "_count"):
+			counts[key] = s.value
+		case strings.HasSuffix(s.name, "_sum"):
+			hasSum[key] = true
+		default:
+			return fmt.Errorf("line %d: histogram %q has non-histogram sample %q", s.line, f.name, s.name)
+		}
+	}
+	if len(buckets) == 0 {
+		return fmt.Errorf("histogram %q has no bucket samples", f.name)
+	}
+	for key, bs := range buckets {
+		for i := 1; i < len(bs); i++ {
+			if bs[i].le <= bs[i-1].le {
+				return fmt.Errorf("line %d: histogram %q{%s}: le bounds not ascending (%g after %g)",
+					bs[i].line, f.name, key, bs[i].le, bs[i-1].le)
+			}
+			if bs[i].value < bs[i-1].value {
+				return fmt.Errorf("line %d: histogram %q{%s}: cumulative bucket decreases (%g after %g)",
+					bs[i].line, f.name, key, bs[i].value, bs[i-1].value)
+			}
+		}
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("line %d: histogram %q{%s}: missing +Inf bucket", last.line, f.name, key)
+		}
+		count, ok := counts[key]
+		if !ok {
+			return fmt.Errorf("histogram %q{%s}: missing _count sample", f.name, key)
+		}
+		if count != last.value {
+			return fmt.Errorf("histogram %q{%s}: _count %g != +Inf bucket %g", f.name, key, count, last.value)
+		}
+		if !hasSum[key] {
+			return fmt.Errorf("histogram %q{%s}: missing _sum sample", f.name, key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,130 @@
+package promtext
+
+import (
+	"strings"
+	"testing"
+)
+
+const goodExposition = `# HELP demo_requests_total Requests served.
+# TYPE demo_requests_total counter
+demo_requests_total 42
+# HELP demo_depth Current depth.
+# TYPE demo_depth gauge
+demo_depth 3
+# HELP demo_latency_seconds Latency.
+# TYPE demo_latency_seconds histogram
+demo_latency_seconds_bucket{le="0.1"} 1
+demo_latency_seconds_bucket{le="0.5"} 4
+demo_latency_seconds_bucket{le="+Inf"} 5
+demo_latency_seconds_sum 1.25
+demo_latency_seconds_count 5
+# HELP demo_stage_seconds Per-stage latency.
+# TYPE demo_stage_seconds histogram
+demo_stage_seconds_bucket{stage="push",le="0.1"} 2
+demo_stage_seconds_bucket{stage="push",le="+Inf"} 2
+demo_stage_seconds_sum{stage="push"} 0.01
+demo_stage_seconds_count{stage="push"} 2
+demo_stage_seconds_bucket{stage="walk",le="0.1"} 0
+demo_stage_seconds_bucket{stage="walk",le="+Inf"} 1
+demo_stage_seconds_sum{stage="walk"} 0.2
+demo_stage_seconds_count{stage="walk"} 1
+`
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := Validate(strings.NewReader(goodExposition)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+		want  string
+	}{
+		{
+			"missing HELP",
+			"# TYPE x counter\nx 1\n",
+			"no HELP",
+		},
+		{
+			"missing TYPE",
+			"# HELP x Help.\nx 1\n",
+			"no TYPE",
+		},
+		{
+			"bad value",
+			"# HELP x Help.\n# TYPE x counter\nx nope\n",
+			"unparsable value",
+		},
+		{
+			"bad type kind",
+			"# HELP x Help.\n# TYPE x rainbow\nx 1\n",
+			"unknown kind",
+		},
+		{
+			"TYPE after samples",
+			"# HELP x Help.\nx 1\n# TYPE x counter\n",
+			"after its samples",
+		},
+		{
+			"non-monotone buckets",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"cumulative bucket decreases",
+		},
+		{
+			"descending le",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+			"not ascending",
+		},
+		{
+			"missing +Inf",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"missing +Inf",
+		},
+		{
+			"count mismatch",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+			"_count 3 != +Inf bucket 2",
+		},
+		{
+			"missing sum",
+			"# HELP h H.\n# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\n",
+			"missing _sum",
+		},
+		{
+			"unterminated labels",
+			"# HELP x Help.\n# TYPE x counter\nx{a=\"b\" 1\n",
+			"unterminated",
+		},
+	}
+	for _, tc := range cases {
+		err := Validate(strings.NewReader(tc.input))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidatePerSeriesIsolation checks labeled histogram series validate
+// independently: one healthy series must not mask a broken sibling.
+func TestValidatePerSeriesIsolation(t *testing.T) {
+	input := `# HELP h H.
+# TYPE h histogram
+h_bucket{stage="a",le="1"} 1
+h_bucket{stage="a",le="+Inf"} 1
+h_sum{stage="a"} 1
+h_count{stage="a"} 1
+h_bucket{stage="b",le="1"} 4
+h_bucket{stage="b",le="+Inf"} 2
+h_sum{stage="b"} 1
+h_count{stage="b"} 2
+`
+	err := Validate(strings.NewReader(input))
+	if err == nil || !strings.Contains(err.Error(), "decreases") {
+		t.Fatalf("broken sibling series not caught: %v", err)
+	}
+}

@@ -6,11 +6,101 @@ import (
 	"math"
 	"sync/atomic"
 	"time"
+
+	"hkpr/internal/core"
+	"hkpr/internal/trace"
 )
 
 // numLatencyBuckets spans 1µs..2^25µs (~33.5s) in power-of-two buckets, plus
 // a final overflow bucket.
 const numLatencyBuckets = 27
+
+// histogram is a fixed-bucket, power-of-two-microsecond latency histogram.
+// All updates are atomic and allocation-free, so per-stage observation can
+// stay on the query hot path; reads (quantiles, Prometheus emission) take no
+// locks and tolerate racing writers.
+type histogram struct {
+	buckets [numLatencyBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for b < numLatencyBuckets-1 && us > int64(1)<<b {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// latencyBucketUpperUS returns bucket b's inclusive upper bound in
+// microseconds, or -1 for the overflow bucket.
+func latencyBucketUpperUS(b int) int64 {
+	if b >= numLatencyBuckets-1 {
+		return -1
+	}
+	return int64(1) << b
+}
+
+// quantileMS extracts an approximate quantile (0..1) from the cumulative
+// histogram, reported as the matching bucket's upper bound in milliseconds.
+func (h *histogram) quantileMS(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < numLatencyBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum >= rank {
+			upper := latencyBucketUpperUS(b)
+			if upper < 0 {
+				upper = int64(1) << (numLatencyBuckets - 2)
+			}
+			return float64(upper) / 1e3
+		}
+	}
+	return 0
+}
+
+// writeProm emits the histogram's sample series (bucket/sum/count) for the
+// fully qualified metric name; labels, when non-empty, is a label list
+// (`stage="push"`) merged into every series (the le label stays last).  The
+// caller writes the HELP/TYPE header — shared across labeled series of one
+// family — itself.
+func (h *histogram) writeProm(w io.Writer, name, labels string) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum int64
+	for b := 0; b < numLatencyBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if upper := latencyBucketUpperUS(b); upper >= 0 {
+			fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, float64(upper)/1e6, cum)
+		}
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	// _count is derived from the bucket reads, not the separate count atomic:
+	// under concurrent observes the two can diverge transiently, and the
+	// exposition must stay internally consistent (+Inf bucket == count) for
+	// every snapshot.
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sum.Load())/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", name, cum)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, float64(h.sum.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, cum)
+	}
+}
 
 // Metrics is the engine's counter core.  All fields are updated atomically;
 // read them through Engine.Snapshot (or directly in tests).
@@ -43,58 +133,37 @@ type Metrics struct {
 	// engine default); it is how adaptive engines expose their current
 	// width choice.
 	LastParallelism atomic.Int64
+	// InvariantChecks counts the inline invariant evaluations the estimators
+	// performed while serving queries; InvariantViolations counts failures
+	// per core.InvariantKind.  On a healthy engine checks advance with every
+	// execution and every violation counter stays 0.
+	InvariantChecks     atomic.Int64
+	InvariantViolations [core.NumInvariantKinds]atomic.Int64
 
-	latencyBuckets [numLatencyBuckets]atomic.Int64
-	latencyCount   atomic.Int64
-	latencySum     atomic.Int64 // nanoseconds
+	// latency is the end-to-end execution histogram; stage holds one
+	// histogram per pipeline stage (queue wait, cache lookup, workspace
+	// checkout, push, walk, merge, sweep, render), always on — stage timings
+	// come from measurements the engine and estimators already take.
+	latency histogram
+	stage   [trace.NumStages]histogram
 }
 
 func newMetrics() *Metrics { return &Metrics{} }
 
-// observeLatency records one execution duration in the histogram.
-func (m *Metrics) observeLatency(d time.Duration) {
-	us := d.Microseconds()
-	b := 0
-	for b < numLatencyBuckets-1 && us > int64(1)<<b {
-		b++
-	}
-	m.latencyBuckets[b].Add(1)
-	m.latencyCount.Add(1)
-	m.latencySum.Add(d.Nanoseconds())
-}
+// observeLatency records one execution duration in the end-to-end histogram.
+func (m *Metrics) observeLatency(d time.Duration) { m.latency.observe(d) }
 
-// latencyBucketUpperUS returns bucket b's inclusive upper bound in
-// microseconds, or -1 for the overflow bucket.
-func latencyBucketUpperUS(b int) int64 {
-	if b >= numLatencyBuckets-1 {
-		return -1
-	}
-	return int64(1) << b
-}
+// observeStage records one stage duration in that stage's histogram.
+func (m *Metrics) observeStage(s trace.Stage, d time.Duration) { m.stage[s].observe(d) }
 
-// quantileMS extracts an approximate quantile (0..1) from the cumulative
-// histogram, reported as the matching bucket's upper bound in milliseconds.
-func (m *Metrics) quantileMS(q float64) float64 {
-	total := m.latencyCount.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := int64(math.Ceil(q * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	var cum int64
-	for b := 0; b < numLatencyBuckets; b++ {
-		cum += m.latencyBuckets[b].Load()
-		if cum >= rank {
-			upper := latencyBucketUpperUS(b)
-			if upper < 0 {
-				upper = int64(1) << (numLatencyBuckets - 2)
-			}
-			return float64(upper) / 1e3
+// foldAudit adds one query's invariant counters into the engine totals.
+func (m *Metrics) foldAudit(a *core.InvariantAudit) {
+	m.InvariantChecks.Add(a.Checks)
+	for kind, v := range a.Violations {
+		if v != 0 {
+			m.InvariantViolations[kind].Add(v)
 		}
 	}
-	return 0
 }
 
 // Snapshot is a point-in-time copy of the engine's serving state, shaped for
@@ -110,12 +179,12 @@ type Snapshot struct {
 	// recently started execution; under Adaptive it tracks how wide the
 	// engine is currently willing to run queries.
 	LastParallelism int64 `json:"last_parallelism"`
-	// QueueDepthEWMA is the exponentially smoothed queue depth the adaptive
-	// parallelism formula sees.  It is sampled (and therefore only updated)
-	// at adaptive admissions: with Config.AdaptiveEWMA = 1 each sample equals
-	// the instantaneous depth at that admission, and on a non-adaptive
-	// engine no samples are taken and the field stays 0 — read QueueDepth
-	// for live depth there.
+	// QueueDepthEWMA is the smoothed admission-queue depth the adaptive
+	// parallelism formula sees, sampled at adaptive admissions (with
+	// Config.AdaptiveEWMA = 1 each sample equals the instantaneous depth at
+	// that admission).  On a non-adaptive engine no samples are taken, so the
+	// field mirrors the live QueueDepth instead of sticking at a meaningless
+	// 0.
 	QueueDepthEWMA float64 `json:"queue_depth_ewma"`
 	CPUTokens      int     `json:"cpu_tokens"`
 	CPUTokensFree  int     `json:"cpu_tokens_free"`
@@ -139,11 +208,28 @@ type Snapshot struct {
 	CacheBytes    int64 `json:"cache_bytes"`
 	CacheCapacity int64 `json:"cache_capacity"`
 
+	// InvariantChecks totals the inline invariant evaluations across all
+	// executions; InvariantViolations maps each kind that has failed at
+	// least once to its count (empty on a healthy engine).
+	InvariantChecks     int64            `json:"invariant_checks"`
+	InvariantViolations map[string]int64 `json:"invariant_violations,omitempty"`
+
 	LatencyCount  int64   `json:"latency_count"`
 	LatencyMeanMS float64 `json:"latency_mean_ms"`
 	LatencyP50MS  float64 `json:"latency_p50_ms"`
 	LatencyP90MS  float64 `json:"latency_p90_ms"`
 	LatencyP99MS  float64 `json:"latency_p99_ms"`
+}
+
+// effectiveQueueDepthEWMA is the queue-depth figure surfaced by Snapshot and
+// WritePrometheus: the adaptive EWMA when adaptivity maintains one, else the
+// live queue depth (a non-adaptive engine never samples the EWMA, which would
+// otherwise read 0 forever).
+func (e *Engine) effectiveQueueDepthEWMA() float64 {
+	if e.cfg.Adaptive {
+		return e.smoothedQueueDepth()
+	}
+	return float64(len(e.queue))
 }
 
 // Snapshot captures the current serving state.
@@ -157,7 +243,7 @@ func (e *Engine) Snapshot() Snapshot {
 		Parallelism:     e.cfg.Parallelism,
 		Adaptive:        e.cfg.Adaptive,
 		LastParallelism: m.LastParallelism.Load(),
-		QueueDepthEWMA:  e.smoothedQueueDepth(),
+		QueueDepthEWMA:  e.effectiveQueueDepthEWMA(),
 		CPUTokens:       e.cfg.CPUTokens,
 		CPUTokensFree:   e.cpu.freeTokens(),
 		WorkspacesInUse: e.wsOut.Load(),
@@ -171,13 +257,22 @@ func (e *Engine) Snapshot() Snapshot {
 		Abandoned:       m.Abandoned.Load(),
 		CacheHits:       m.CacheHits.Load(),
 		CacheMisses:     m.CacheMisses.Load(),
-		LatencyCount:    m.latencyCount.Load(),
-		LatencyP50MS:    m.quantileMS(0.50),
-		LatencyP90MS:    m.quantileMS(0.90),
-		LatencyP99MS:    m.quantileMS(0.99),
+		InvariantChecks: m.InvariantChecks.Load(),
+		LatencyCount:    m.latency.count.Load(),
+		LatencyP50MS:    m.latency.quantileMS(0.50),
+		LatencyP90MS:    m.latency.quantileMS(0.90),
+		LatencyP99MS:    m.latency.quantileMS(0.99),
+	}
+	for kind := core.InvariantKind(0); kind < core.NumInvariantKinds; kind++ {
+		if v := m.InvariantViolations[kind].Load(); v != 0 {
+			if s.InvariantViolations == nil {
+				s.InvariantViolations = make(map[string]int64, int(core.NumInvariantKinds))
+			}
+			s.InvariantViolations[kind.String()] = v
+		}
 	}
 	if n := s.LatencyCount; n > 0 {
-		s.LatencyMeanMS = float64(m.latencySum.Load()) / float64(n) / 1e6
+		s.LatencyMeanMS = float64(m.latency.sum.Load()) / float64(n) / 1e6
 	}
 	if e.cache != nil {
 		s.CacheEntries, s.CacheBytes = e.cache.stats()
@@ -207,6 +302,13 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	counter("coalesced_total", "Callers that shared an in-flight execution.", m.Coalesced.Load())
 	counter("shed_total", "Queries rejected by admission control.", m.Shed.Load())
 	counter("abandoned_total", "Callers that left before their query finished.", m.Abandoned.Load())
+	counter("invariant_checks_total", "Inline invariant evaluations performed while serving queries.", m.InvariantChecks.Load())
+	fmt.Fprintf(w, "# HELP hkpr_serve_invariant_violations_total Inline invariant checks that failed, by invariant kind.\n")
+	fmt.Fprintf(w, "# TYPE hkpr_serve_invariant_violations_total counter\n")
+	for kind := core.InvariantKind(0); kind < core.NumInvariantKinds; kind++ {
+		fmt.Fprintf(w, "hkpr_serve_invariant_violations_total{kind=%q} %d\n",
+			kind.String(), m.InvariantViolations[kind].Load())
+	}
 	gauge("in_flight", "Queries currently executing.", m.InFlight.Load())
 	gauge("queue_depth", "Queries waiting in the admission queue.", int64(len(e.queue)))
 	gauge("queue_capacity", "Admission queue capacity.", int64(e.cfg.QueueDepth))
@@ -219,8 +321,8 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	}
 	gauge("adaptive", "Whether per-query parallelism adapts to load (1) or is static (0).", adaptive)
 	gauge("last_parallelism", "Parallelism chosen for the most recently started execution.", m.LastParallelism.Load())
-	fmt.Fprintf(w, "# HELP hkpr_serve_queue_depth_ewma Smoothed admission-queue depth seen by adaptive parallelism.\n# TYPE hkpr_serve_queue_depth_ewma gauge\nhkpr_serve_queue_depth_ewma %g\n",
-		e.smoothedQueueDepth())
+	fmt.Fprintf(w, "# HELP hkpr_serve_queue_depth_ewma Smoothed admission-queue depth seen by adaptive parallelism (live depth on non-adaptive engines).\n# TYPE hkpr_serve_queue_depth_ewma gauge\nhkpr_serve_queue_depth_ewma %g\n",
+		e.effectiveQueueDepthEWMA())
 	gauge("workspaces_in_use", "Pooled query workspaces currently checked out.", e.wsOut.Load())
 	if e.cache != nil {
 		entries, bytes := e.cache.stats()
@@ -228,17 +330,17 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 		gauge("cache_bytes", "Bytes pinned by the result cache.", bytes)
 		gauge("cache_capacity_bytes", "Result-cache byte budget.", e.cache.capacity)
 	}
+	if e.ring != nil {
+		gauge("trace_ring_capacity", "Completed-query trace ring capacity.", int64(len(e.ring.slots)))
+	}
 
 	fmt.Fprintf(w, "# HELP hkpr_serve_latency_seconds Execution latency of served queries.\n")
 	fmt.Fprintf(w, "# TYPE hkpr_serve_latency_seconds histogram\n")
-	var cum int64
-	for b := 0; b < numLatencyBuckets; b++ {
-		cum += m.latencyBuckets[b].Load()
-		if upper := latencyBucketUpperUS(b); upper >= 0 {
-			fmt.Fprintf(w, "hkpr_serve_latency_seconds_bucket{le=\"%g\"} %d\n", float64(upper)/1e6, cum)
-		}
+	m.latency.writeProm(w, "hkpr_serve_latency_seconds", "")
+
+	fmt.Fprintf(w, "# HELP hkpr_serve_stage_seconds Duration of each query pipeline stage.\n")
+	fmt.Fprintf(w, "# TYPE hkpr_serve_stage_seconds histogram\n")
+	for s := trace.Stage(0); s < trace.NumStages; s++ {
+		m.stage[s].writeProm(w, "hkpr_serve_stage_seconds", fmt.Sprintf("stage=%q", s.String()))
 	}
-	fmt.Fprintf(w, "hkpr_serve_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "hkpr_serve_latency_seconds_sum %g\n", float64(m.latencySum.Load())/1e9)
-	fmt.Fprintf(w, "hkpr_serve_latency_seconds_count %d\n", m.latencyCount.Load())
 }

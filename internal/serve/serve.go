@@ -51,6 +51,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"runtime"
 	"strconv"
@@ -62,6 +63,7 @@ import (
 	"hkpr/internal/cluster"
 	"hkpr/internal/core"
 	"hkpr/internal/graph"
+	"hkpr/internal/trace"
 )
 
 // Method identifiers accepted by Request.Method.  They match the public API's
@@ -153,6 +155,21 @@ type Config struct {
 	// admissions.  0 (the default) means 1, i.e. the raw instantaneous
 	// depth, preserving the historical behaviour.  Ignored unless Adaptive.
 	AdaptiveEWMA float64
+	// TraceBuffer is the capacity of the ring buffer holding the most
+	// recently completed query traces, read through Engine.TraceRecords (the
+	// HTTP server's /debug/queries endpoint).  <= 0 (the default) disables
+	// the ring; individual requests can still ask for their own trace with
+	// Request.Trace.
+	TraceBuffer int
+	// SlowQueryThreshold, when > 0, logs a one-line per-stage breakdown for
+	// every execution whose elapsed time reaches the threshold.  0 disables
+	// the slow-query log.
+	SlowQueryThreshold time.Duration
+	// StrictInvariants makes the always-on inline invariant checks (mass
+	// conservation, score bounds, Inequality-11 verification) abort a
+	// violating query with an error wrapping core.ErrInvariantViolation
+	// instead of only counting the violation in the metrics.
+	StrictInvariants bool
 }
 
 // withDefaults resolves the zero fields of c.
@@ -246,6 +263,17 @@ type Request struct {
 	// truncation happens per caller, and TopK is deliberately excluded from
 	// the cache key so requests differing only in TopK share one entry.
 	TopK int
+	// SweepK, when > 0, asks for a sweep cut bounded to the k best
+	// degree-normalized nodes, rendered into Response.Sweep.  Like TopK it
+	// is a per-caller rendering knob excluded from the cache key: the
+	// cached entry holds only the vector, and the bounded sweep runs on the
+	// caller's copy.  Ignored when Sweep already requested the full sweep
+	// (which is part of the cached result).
+	SweepK int
+	// Trace, when true, attaches the per-stage execution trace to
+	// Response.Trace.  Like TopK it is excluded from the cache key; a cache
+	// hit returns a trace of the lookup itself.
+	Trace bool
 	// NoCache bypasses the result cache and coalescing for this request
 	// (it neither reads nor populates the cache).
 	NoCache bool
@@ -283,6 +311,11 @@ type Response struct {
 	// tokens (see Result.Stats.WalkParallelism / PushParallelism).  For
 	// cached responses it reports the value used when the entry was computed.
 	Parallelism int
+	// Trace is the per-stage execution trace, present when Request.Trace was
+	// set.  Like Result it may be shared (with the trace ring) and must be
+	// treated as read-only.  Never stored in the cache: a cache hit carries
+	// a fresh trace of the lookup itself.
+	Trace *trace.Record
 }
 
 // Engine is the query-serving subsystem.  Create one per loaded graph with
@@ -318,6 +351,12 @@ type Engine struct {
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 
+	// ring holds the most recently completed query traces (nil when
+	// Config.TraceBuffer <= 0); slowLog receives the slow-query log lines
+	// (log.Printf by default, replaceable in tests).
+	ring    *traceRing
+	slowLog func(format string, args ...any)
+
 	mu         sync.Mutex
 	flight     map[string]*task // in-flight cacheable executions, by cache key
 	closed     bool             // guarded by mu; authoritative for admission
@@ -326,6 +365,10 @@ type Engine struct {
 	// execGate, when set (tests only), runs in the worker immediately before
 	// the estimator call, letting tests hold executions in flight.
 	execGate func(*Request)
+	// auditHook, when set (tests only), runs over the task's invariant audit
+	// after execution and before its counters are folded into the metrics,
+	// letting tests inject violations.
+	auditHook func(*core.InvariantAudit)
 }
 
 // New builds an Engine over a prepared estimator (whose graph, weight table
@@ -351,6 +394,10 @@ func New(est *core.Estimator, cfg Config) (*Engine, error) {
 	if cfg.CacheBytes > 0 {
 		e.cache = newResultCache(cfg.CacheBytes)
 	}
+	if cfg.TraceBuffer > 0 {
+		e.ring = newTraceRing(cfg.TraceBuffer)
+	}
+	e.slowLog = log.Printf
 	n := est.Graph().N()
 	e.workspaces.New = func() any { return core.NewWorkspace(n) }
 	for i := 0; i < cfg.Workers; i++ {
@@ -407,16 +454,35 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	}
 	req.Method = method
 	e.metrics.Requests.Add(1)
+	reqStart := time.Now()
 
 	key := cacheKey(method, req.Seed, req.Sweep, e.est.Resolve(req.Opts))
 	cacheable := !req.NoCache && e.cache != nil
+	var lookupStart time.Time
+	var lookupD time.Duration
 	if cacheable {
-		if resp, ok := e.cache.get(key); ok {
+		lookupStart = time.Now()
+		resp, ok := e.cache.get(key)
+		lookupD = time.Since(lookupStart)
+		e.metrics.observeStage(trace.StageCacheLookup, lookupD)
+		if ok {
 			e.metrics.CacheHits.Add(1)
 			out := *resp
 			out.Cached = true
 			out.QueueWait, out.Elapsed = 0, 0
-			e.renderTop(&out, req.TopK)
+			renderStart, renderD := e.render(&out, req)
+			if req.Trace {
+				qt := trace.Get(reqStart)
+				qt.Seed = int64(req.Seed)
+				qt.Method = method
+				qt.CacheOutcome = trace.OutcomeHit
+				qt.Observe(trace.StageCacheLookup, lookupStart, lookupD)
+				if renderD > 0 {
+					qt.Observe(trace.StageRender, renderStart, renderD)
+				}
+				out.Trace = qt.Finish(time.Now(), "")
+				trace.Put(qt)
+			}
 			return &out, nil
 		}
 		// A miss is counted below, only once a new execution is actually
@@ -438,12 +504,27 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 			if t.waiters.Add(1) > 1 {
 				e.mu.Unlock()
 				e.metrics.Coalesced.Add(1)
-				return e.wait(ctx, t, true, req.TopK)
+				return e.wait(ctx, t, true, req)
 			}
 			t.waiters.Add(-1)
 		}
 	}
 	t := e.newTask(ctx, key, req)
+	if req.Trace || e.ring != nil || e.cfg.SlowQueryThreshold > 0 {
+		// The execution will be traced: for the requesting caller, the debug
+		// ring, or the slow-query log.  Anchored at request arrival so queue
+		// wait and cache lookup land inside the trace window.
+		qt := trace.Get(reqStart)
+		qt.Seed = int64(req.Seed)
+		qt.Method = method
+		if cacheable {
+			qt.CacheOutcome = trace.OutcomeMiss
+			qt.Observe(trace.StageCacheLookup, lookupStart, lookupD)
+		} else {
+			qt.CacheOutcome = trace.OutcomeUncached
+		}
+		t.qt = qt
+	}
 	var admitted bool
 	select {
 	case e.queue <- t:
@@ -457,10 +538,12 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	e.mu.Unlock()
 	if !admitted {
 		t.cancel()
+		trace.Put(t.qt)
+		t.qt = nil
 		e.metrics.Shed.Add(1)
 		return nil, ErrOverloaded
 	}
-	return e.wait(ctx, t, false, req.TopK)
+	return e.wait(ctx, t, false, req)
 }
 
 // task is one admitted execution, possibly shared by several coalesced
@@ -475,6 +558,16 @@ type task struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
 	waiters atomic.Int32
+
+	// qt accumulates the execution's stage spans when this query is traced
+	// (for the caller, the ring, or the slow-query log); nil otherwise.  rec
+	// is the frozen record, written by the worker before done is closed, so
+	// every waiter that observes completion also observes the record.  audit
+	// collects the estimator's inline invariant checks — embedded by value so
+	// always-on auditing costs no allocation.
+	qt    *trace.QueryTrace
+	rec   *trace.Record
+	audit core.InvariantAudit
 
 	done chan struct{}
 	resp *Response
@@ -501,15 +594,17 @@ func (e *Engine) newTask(callerCtx context.Context, key string, req Request) *ta
 		cancel:   cancel,
 		done:     make(chan struct{}),
 	}
+	t.audit.Strict = e.cfg.StrictInvariants
 	t.waiters.Add(1)
 	return t
 }
 
 // wait blocks until t completes or ctx is done.  A caller that gives up
 // detaches from the task; the last caller to leave cancels the execution.
-// topK is the waiting caller's own rendering request — coalesced callers may
-// each ask for a different prefix of the shared result.
-func (e *Engine) wait(ctx context.Context, t *task, coalesced bool, topK int) (*Response, error) {
+// req carries the waiting caller's own rendering knobs (TopK, SweepK, Trace) —
+// coalesced callers may each ask for a different rendering of the shared
+// result.
+func (e *Engine) wait(ctx context.Context, t *task, coalesced bool, req Request) (*Response, error) {
 	select {
 	case <-t.done:
 		if t.err != nil {
@@ -517,7 +612,16 @@ func (e *Engine) wait(ctx context.Context, t *task, coalesced bool, topK int) (*
 		}
 		out := *t.resp
 		out.Coalesced = coalesced
-		e.renderTop(&out, topK)
+		renderStart, renderD := e.render(&out, req)
+		if req.Trace && t.rec != nil {
+			rec := t.rec
+			if renderD > 0 {
+				// Rendering is per caller and happens after the shared record
+				// froze; extend a private copy.
+				rec = rec.WithStage(trace.StageRender, renderStart, renderD)
+			}
+			out.Trace = rec
+		}
 		return &out, nil
 	case <-ctx.Done():
 		if t.waiters.Add(-1) == 0 {
@@ -553,8 +657,11 @@ func (e *Engine) worker() {
 func (e *Engine) run(t *task) {
 	defer t.cancel()
 	if err := t.ctx.Err(); err != nil {
-		// Canceled or timed out while queued; don't waste a core on it.
+		// Canceled or timed out while queued; don't waste a core on it.  The
+		// trace (if any) never froze into a record, so recycle it here.
 		e.metrics.Canceled.Add(1)
+		trace.Put(t.qt)
+		t.qt = nil
 		e.finish(t, nil, err)
 		return
 	}
@@ -564,22 +671,30 @@ func (e *Engine) run(t *task) {
 	// Waiting for the token counts as queue time.
 	if !e.cpu.acquire(t.ctx) {
 		e.metrics.Canceled.Add(1)
+		trace.Put(t.qt)
+		t.qt = nil
 		e.finish(t, nil, t.ctx.Err())
 		return
 	}
 	// The worker's token (and any extras borrowed inside execute) must be
 	// back in the pool before finish wakes the caller, so a caller that
 	// observed completion also observes a settled CPU budget.
+	var elapsed time.Duration
+	var res *core.Result
+	var chosenP int
 	resp, err := func() (*Response, error) {
 		defer e.cpu.Release(1)
 		wait := time.Since(t.enqueued)
+		e.metrics.observeStage(trace.StageQueueWait, wait)
+		t.qt.Observe(trace.StageQueueWait, t.enqueued, wait)
 		if gate := e.execGate; gate != nil {
 			gate(&t.req)
 		}
 		e.metrics.Executions.Add(1)
 		e.metrics.InFlight.Add(1)
 		start := time.Now()
-		res, chosenP, err := e.execute(t)
+		var err error
+		res, chosenP, err = e.execute(t)
 		var sweep *cluster.SweepResult
 		if err == nil && t.req.Sweep {
 			// The sweep is part of the query's work, so it runs inside the
@@ -589,11 +704,15 @@ func (e *Engine) run(t *task) {
 			if cerr := t.ctx.Err(); cerr != nil {
 				err = cerr
 			} else {
+				sweepStart := time.Now()
 				sw := cluster.Sweep(e.g, res.Scores)
 				sweep = &sw
+				sweepD := time.Since(sweepStart)
+				e.metrics.observeStage(trace.StageSweep, sweepD)
+				t.qt.Observe(trace.StageSweep, sweepStart, sweepD)
 			}
 		}
-		elapsed := time.Since(start)
+		elapsed = time.Since(start)
 		e.metrics.InFlight.Add(-1)
 		e.metrics.observeLatency(elapsed)
 		if err != nil {
@@ -609,6 +728,59 @@ func (e *Engine) run(t *task) {
 			Parallelism: chosenP,
 		}, nil
 	}()
+	// Estimator-phase histograms come straight from the timings core already
+	// took (the per-query trace reuses the same measurements, so traces and
+	// histograms agree exactly).  Zero durations are skipped: a Monte-Carlo
+	// query has no push phase and must not pollute that stage's buckets.
+	if res != nil {
+		st := &res.Stats
+		if st.PushTime > 0 {
+			e.metrics.observeStage(trace.StagePush, st.PushTime)
+		}
+		if st.WalkTime > 0 {
+			e.metrics.observeStage(trace.StageWalk, st.WalkTime)
+		}
+		if st.MergeTime > 0 {
+			e.metrics.observeStage(trace.StageMerge, st.MergeTime)
+		}
+	}
+	// Invariant bookkeeping: the test hook may inject violations, then the
+	// per-query counters fold into the engine totals, then strict mode turns
+	// any violation into a failure (violations surfaced by the hook didn't
+	// abort inside core, so they are enforced here).
+	if hook := e.auditHook; hook != nil {
+		hook(&t.audit)
+	}
+	e.metrics.foldAudit(&t.audit)
+	if err == nil && e.cfg.StrictInvariants && t.audit.TotalViolations() > 0 {
+		err = fmt.Errorf("%w: %s", core.ErrInvariantViolation, t.audit.FirstViolation)
+		resp = nil
+	}
+	// Freeze the trace into the shared record before finish wakes waiters.
+	if t.qt != nil {
+		qt := t.qt
+		t.qt = nil
+		qt.Parallelism = chosenP
+		if res != nil {
+			qt.Stats = res.Stats
+		}
+		errMsg := ""
+		if err != nil {
+			errMsg = err.Error()
+		}
+		rec := qt.Finish(time.Now(), errMsg)
+		trace.Put(qt)
+		rec.InvariantChecks = t.audit.Checks
+		rec.InvariantViolations = t.audit.TotalViolations()
+		t.rec = rec
+		if e.ring != nil {
+			e.ring.add(rec)
+		}
+		if thr := e.cfg.SlowQueryThreshold; thr > 0 && elapsed >= thr {
+			e.slowLog("hkpr: slow query seed=%d method=%s elapsed=%s stages: %s",
+				t.req.Seed, t.req.Method, elapsed.Round(time.Microsecond), rec.StageSummary())
+		}
+	}
 	if err != nil {
 		if t.ctx.Err() != nil {
 			e.metrics.Canceled.Add(1)
@@ -688,13 +860,27 @@ func (e *Engine) execute(t *task) (*core.Result, int, error) {
 	// its chunk/shard goroutines before returning — on success, error and
 	// cancellation alike — so the deferred return can never recycle slabs a
 	// stale goroutine still touches.
+	wsStart := time.Now()
 	ws := e.workspaces.Get().(*core.Workspace)
+	wsD := time.Since(wsStart)
+	e.metrics.observeStage(trace.StageWorkspace, wsD)
+	t.qt.Observe(trace.StageWorkspace, wsStart, wsD)
 	e.wsOut.Add(1)
 	defer func() {
 		e.wsOut.Add(-1)
 		e.workspaces.Put(ws)
 	}()
-	oc := core.OptionsContext{Ctx: t.ctx, CheckEvery: e.cfg.CancelCheckEvery, CPU: e.cpu, Workspace: ws}
+	// The audit is always attached: the inline invariant checks are cheap
+	// (one extra pass over the touched entries) and their counters feed the
+	// hkpr_serve_invariant_* metrics on every execution.
+	oc := core.OptionsContext{
+		Ctx:        t.ctx,
+		CheckEvery: e.cfg.CancelCheckEvery,
+		CPU:        e.cpu,
+		Workspace:  ws,
+		Trace:      t.qt,
+		Audit:      &t.audit,
+	}
 	opts := t.req.Opts
 	opts.Parallelism = e.chooseParallelism(opts.Parallelism)
 	chosen := opts.Parallelism
@@ -775,15 +961,40 @@ func cacheKey(method string, seed graph.NodeID, sweep bool, o core.Options) stri
 	return string(b)
 }
 
-// renderTop fills out.Top for a caller that asked for a top-k rendering.
-// It runs on the caller's private Response copy — the shared cached Response
-// never carries a Top — so coalesced callers and cache hits can each request
-// a different prefix without touching the shared vector.
-func (e *Engine) renderTop(out *Response, topK int) {
-	if topK <= 0 || out.Result == nil {
-		return
+// render fills the per-caller rendering knobs — TopK into out.Top, SweepK
+// into out.Sweep — on the caller's private Response copy: the shared cached
+// Response never carries a Top or a bounded sweep, so coalesced callers and
+// cache hits can each request a different rendering without touching the
+// shared vector.  It returns the render span for trace attachment (zero when
+// nothing was rendered).
+func (e *Engine) render(out *Response, req Request) (time.Time, time.Duration) {
+	if out.Result == nil || (req.TopK <= 0 && req.SweepK <= 0) {
+		return time.Time{}, 0
 	}
-	out.Top = cluster.TopKNormalized(e.g, out.Result.Scores, topK)
+	start := time.Now()
+	if req.TopK > 0 {
+		out.Top = cluster.TopKNormalized(e.g, out.Result.Scores, req.TopK)
+	}
+	if req.SweepK > 0 && out.Sweep == nil {
+		// A bounded sweep only renders when the full sweep isn't already part
+		// of the shared result.
+		sw := cluster.SweepK(e.g, out.Result.Scores, req.SweepK)
+		out.Sweep = &sw
+	}
+	d := time.Since(start)
+	e.metrics.observeStage(trace.StageRender, d)
+	return start, d
+}
+
+// TraceRecords returns the most recently completed query traces, newest
+// first.  It returns nil when the trace ring is disabled
+// (Config.TraceBuffer <= 0).  The records are immutable and shared with the
+// ring; treat them as read-only.
+func (e *Engine) TraceRecords() []*trace.Record {
+	if e.ring == nil {
+		return nil
+	}
+	return e.ring.snapshot()
 }
 
 // Exact per-object footprints used by the cache's byte accounting.  With the

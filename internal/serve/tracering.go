@@ -1,0 +1,44 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"hkpr/internal/trace"
+)
+
+// traceRing is a fixed-size, lock-free ring of the most recently completed
+// query traces.  Writers claim a slot with one atomic increment and publish
+// the (immutable) record with one atomic pointer store, so recording a trace
+// never contends with readers; snapshot walks the slots newest-first and
+// tolerates concurrent writers (a racing write simply replaces an older
+// record with a newer one).
+type traceRing struct {
+	slots []atomic.Pointer[trace.Record]
+	next  atomic.Uint64
+}
+
+func newTraceRing(n int) *traceRing {
+	return &traceRing{slots: make([]atomic.Pointer[trace.Record], n)}
+}
+
+// add publishes one completed trace, overwriting the oldest slot.
+func (r *traceRing) add(rec *trace.Record) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(rec)
+}
+
+// snapshot returns the recorded traces newest-first.  The records themselves
+// are immutable and shared; only the returned slice is fresh.
+func (r *traceRing) snapshot() []*trace.Record {
+	n := uint64(len(r.slots))
+	out := make([]*trace.Record, 0, n)
+	head := r.next.Load()
+	for off := uint64(0); off < n; off++ {
+		// Walk backwards from the most recently claimed slot.
+		i := (head + n - 1 - off) % n
+		if rec := r.slots[i].Load(); rec != nil {
+			out = append(out, rec)
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@ import (
 
 	"hkpr/internal/core"
 	"hkpr/internal/serve"
+	"hkpr/internal/trace"
 )
 
 // Serving-layer re-exports.  The concrete implementations live in
@@ -24,6 +25,13 @@ type (
 	// ServeResponse is a raw serving-layer answer.  Its Result and Sweep may
 	// be shared with the engine's cache and must be treated as read-only.
 	ServeResponse = serve.Response
+	// TraceRecord is one completed query's immutable per-stage trace: stage
+	// spans (queue wait, cache lookup, workspace, push, walk, merge, sweep,
+	// render), the resolved parallelism, the cache outcome, the estimator's
+	// execution statistics and the query's invariant-check counters.  Records
+	// are returned by Engine.Traces and on ServeResponse.Trace when a request
+	// sets Trace; they marshal directly to JSON.
+	TraceRecord = trace.Record
 )
 
 // Serving-layer errors.
@@ -36,6 +44,12 @@ var (
 	// ErrUnknownMethod reports a serving request whose method is not one of
 	// tea+, tea or monte-carlo.
 	ErrUnknownMethod = serve.ErrUnknownMethod
+	// ErrInvariantViolation reports that a query's inline self-verification
+	// (mass conservation, score non-negativity, total-mass bounds, the
+	// paper's Inequality 11) failed.  Queries only fail with it when
+	// EngineConfig.StrictInvariants is set; otherwise violations are counted
+	// in the serving metrics without affecting results.
+	ErrInvariantViolation = core.ErrInvariantViolation
 )
 
 // Engine is the concurrent query-serving subsystem: a worker-pool scheduler
@@ -116,6 +130,11 @@ func (e *Engine) Estimate(ctx context.Context, seed NodeID, method Method, query
 
 // Stats snapshots the engine's serving metrics.
 func (e *Engine) Stats() ServeStats { return e.eng.Snapshot() }
+
+// Traces returns the most recently completed query traces, newest first, or
+// nil when EngineConfig.TraceBuffer left the trace ring disabled.  The
+// records are immutable and safe to retain.
+func (e *Engine) Traces() []*TraceRecord { return e.eng.TraceRecords() }
 
 // WriteMetrics writes the serving metrics in Prometheus text format.
 func (e *Engine) WriteMetrics(w io.Writer) { e.eng.WritePrometheus(w) }
