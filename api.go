@@ -36,8 +36,19 @@
 // caches results keyed by the resolved query parameters, coalesces concurrent
 // identical queries into one execution, honors per-query context deadlines
 // inside the core push/walk loops, and exports serving metrics
-// (Engine.Stats, Engine.WriteMetrics).  LocalClusterBatch and cmd/hkprserver
-// are built on it.
+// (Engine.Stats, Engine.WriteMetrics).  With EngineConfig.BatchWindow set it
+// additionally holds admitted queries for a short window and executes
+// same-options queries as one batched multi-source pass.  cmd/hkprserver is
+// built on it.
+//
+// # Batching
+//
+// Many queries with shared options are cheaper together: EstimateMany and
+// Clusterer.EstimateMany push groups of seeds through one shared frontier
+// scan per hop on a single pooled workspace, amortizing the graph pass across
+// the batch while demultiplexing results bit-identical to independent
+// single-seed calls.  Clusterer.LocalClusterBatch layers concurrent sweep
+// cuts on top.
 //
 // # Parallelism
 //

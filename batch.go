@@ -1,13 +1,24 @@
 package hkpr
 
 import (
-	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"hkpr/internal/cluster"
-	"hkpr/internal/serve"
+	"hkpr/internal/core"
 )
+
+// EstimateMany is the one-shot batched estimator: it runs TEA+ for every seed
+// through one shared execution on g and returns one result per seed, in
+// order, bit-identical to len(seeds) independent EstimateHKPR calls with the
+// same Options.  Any invalid seed fails the whole call; runtime per-seed
+// failures are joined into the returned error while the remaining results are
+// still returned.  For per-seed errors or a different method, build a
+// Clusterer and use Clusterer.EstimateMany.
+func EstimateMany(g *Graph, seeds []NodeID, opts Options) ([]*Result, error) {
+	return core.EstimateMany(g, seeds, opts)
+}
 
 // RankedNode pairs a node with its degree-normalized HKPR score, the quantity
 // local clustering ranks by.
@@ -19,10 +30,29 @@ func TopK(g *Graph, res *Result, k int) []RankedNode {
 	return cluster.TopKNormalized(g, res.Scores, k)
 }
 
-// BatchLocalCluster answers many local clustering queries concurrently.  The
-// graph and all per-graph setup are shared read-only; each query receives an
-// independent deterministic RNG stream, so results do not depend on
-// scheduling.  workers <= 0 uses GOMAXPROCS.
+// EstimateMany computes the approximate HKPR vector of every seed through one
+// batched execution: groups of seeds share a single frontier scan per push
+// hop and one pooled workspace, so the per-query graph traversal cost is
+// amortized across the batch.  Results are bit-identical to len(seeds)
+// independent Estimate calls with the same query options — each seed's walk
+// streams derive from its own seed node — and come back one per seed, in
+// order (results[i] is nil exactly when errs[i] is non-nil).  The final error
+// is non-nil only when the batch as a whole could not start.
+func (c *Clusterer) EstimateMany(seeds []NodeID, query Options) ([]*Result, []error, error) {
+	switch c.method {
+	case MethodTEA:
+		return c.est.TEAMany(seeds, query)
+	case MethodMonteCarlo:
+		return c.est.MonteCarloMany(seeds, query)
+	default:
+		return c.est.TEAPlusMany(seeds, query)
+	}
+}
+
+// BatchLocalCluster answers many local clustering queries through one batched
+// execution.  The graph and all per-graph setup are shared read-only; every
+// seed's RNG stream derives from the seed node itself, so results do not
+// depend on scheduling or batch composition.
 //
 // The error of one query does not abort the batch: failed items carry a nil
 // cluster and their error.
@@ -32,11 +62,14 @@ type BatchLocalCluster struct {
 	Err     error
 }
 
-// LocalClusterBatch runs LocalCluster for every seed.  It is a thin client
-// of the serving scheduler (internal/serve): an ephemeral engine sized to the
-// batch admits every query at once and the worker pool drains them.  The
-// result cache is bypassed — each query carries its own RNG stream, so
-// cross-query reuse is impossible by construction.
+// LocalClusterBatch runs LocalCluster for every seed.  Estimation goes
+// through EstimateMany — one batched core execution whose shared frontier
+// scan amortizes the graph pass across the batch — and the sweep cuts then
+// run concurrently over a worker pool.  workers <= 0 uses GOMAXPROCS.
+//
+// Each item is bit-identical to a standalone LocalCluster call for its seed
+// (batching changes throughput, never answers); consequently duplicate seeds
+// in one batch produce identical results.
 func (c *Clusterer) LocalClusterBatch(seeds []NodeID, workers int) []BatchLocalCluster {
 	out := make([]BatchLocalCluster, len(seeds))
 	for i, s := range seeds {
@@ -51,45 +84,39 @@ func (c *Clusterer) LocalClusterBatch(seeds []NodeID, workers int) []BatchLocalC
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
-	eng, err := serve.New(c.est, serve.Config{
-		Workers:    workers,
-		QueueDepth: len(seeds),
-		CacheBytes: -1, // disabled: per-index RNG streams make every key unique
-	})
+	results, errs, err := c.EstimateMany(seeds, Options{Parallelism: workers})
 	if err != nil {
 		for i := range out {
 			out[i].Err = err
 		}
 		return out
 	}
-	defer eng.Close()
-
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := range seeds {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			resp, err := eng.Do(context.Background(), serve.Request{
-				Seed:   seeds[i],
-				Method: string(c.method),
-				// Give every query its own deterministic RNG stream (the same
-				// derivation the pre-scheduler batch used).
-				Opts:    Options{Seed: uint64(i) + 1},
-				Sweep:   true,
-				NoCache: true,
-			})
-			if err != nil {
-				out[i].Err = err
-				return
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seeds) {
+					return
+				}
+				if errs[i] != nil {
+					out[i].Err = errs[i]
+					continue
+				}
+				res := results[i]
+				sw := cluster.Sweep(c.g, res.Scores)
+				out[i].Cluster = &LocalCluster{
+					Seed:        seeds[i],
+					Cluster:     sw.Cluster,
+					Conductance: sw.Conductance,
+					HKPR:        res,
+					Sweep:       sw,
+				}
 			}
-			out[i].Cluster = &LocalCluster{
-				Seed:        seeds[i],
-				Cluster:     resp.Sweep.Cluster,
-				Conductance: resp.Sweep.Conductance,
-				HKPR:        resp.Result,
-				Sweep:       *resp.Sweep,
-			}
-		}(i)
+		}()
 	}
 	wg.Wait()
 	return out

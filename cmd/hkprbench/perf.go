@@ -61,12 +61,18 @@ const bytesRegressionFactor = 2.0
 // and far below any reintroduced O(support) copy on the bench graph).
 const bytesRegressionFloor = 64 << 10
 
-// perfPoint is one (estimator, parallelism) measurement.
+// perfPoint is one (estimator, parallelism) measurement.  For the batch
+// entry, BatchK is the number of seeds per EstimateMany call and every
+// per-op figure (ns, allocs, bytes) is per *query* — the batched call's cost
+// divided by BatchK — so the regression gate and cross-k comparisons read the
+// amortization directly.
 type perfPoint struct {
 	Parallelism    int     `json:"parallelism"`
+	BatchK         int     `json:"batch_k,omitempty"`
 	NsPerOp        int64   `json:"ns_per_op"`
 	AllocsPerOp    int64   `json:"allocs_per_op"`
 	BytesPerOp     int64   `json:"bytes_per_op"`
+	QueriesPerSec  float64 `json:"queries_per_sec,omitempty"`
 	WalkPhaseShare float64 `json:"walk_phase_share"`
 	PushPhaseShare float64 `json:"push_phase_share"`
 	RandomWalks    int64   `json:"random_walks"`
@@ -201,6 +207,37 @@ func runPerf(cfg perfConfig) error {
 		return err
 	}
 
+	// The batch entry measures the multi-source amortization: EstimateMany
+	// over k seeds at a time, serial, TEA (push-dominated at its default
+	// tight rmax, so the shared frontier scan is what k amortizes).  The
+	// k=1 point is the unbatched baseline — the single-query Estimate API a
+	// client without a batching window issues — so queries/sec at k=8 vs
+	// k=1 reads the end-to-end speedup of turning batching on.  Every
+	// per-op figure is per query.
+	batchRep := perfReport{
+		Name:       "batch",
+		Graph:      fmt.Sprintf("plc-n%d-m%d", cfg.nodes, cfg.edgesPer),
+		Nodes:      g.N(),
+		Edges:      g.M(),
+		Options:    fmt.Sprintf("t=%g eps=%g delta=%.3g method=tea batched", opts.T, opts.EpsRel, opts.Delta),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, k := range []int{1, 8, 64} {
+		point, err := perfMeasureBatch(g, opts, k)
+		if err != nil {
+			return fmt.Errorf("perf batch k=%d: %w", k, err)
+		}
+		batchRep.Points = append(batchRep.Points, point)
+		if cfg.log != nil {
+			fmt.Fprintf(cfg.log, "perf %-8s k=%-2d %.2f ms/query  %d allocs/query  %.1f queries/sec  (%d iters)\n",
+				"batch", k, float64(point.NsPerOp)/1e6, point.AllocsPerOp, point.QueriesPerSec, point.Iterations)
+		}
+	}
+	if err := finish(batchRep); err != nil {
+		return err
+	}
+
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "perf regression:", r)
@@ -227,27 +264,88 @@ func checkPerfBaseline(dir string, rep perfReport) error {
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("baseline %s: %w", path, err)
 	}
-	baseByP := make(map[int]perfPoint, len(base.Points))
+	// Points are keyed by (parallelism, batch k): the batch entry holds
+	// several k values at one parallelism.
+	type pointKey struct{ parallelism, batchK int }
+	baseByP := make(map[pointKey]perfPoint, len(base.Points))
 	for _, p := range base.Points {
-		baseByP[p.Parallelism] = p
+		baseByP[pointKey{p.Parallelism, p.BatchK}] = p
 	}
 	for _, p := range rep.Points {
-		b, ok := baseByP[p.Parallelism]
+		b, ok := baseByP[pointKey{p.Parallelism, p.BatchK}]
 		if !ok {
 			continue
 		}
 		limit := int64(float64(b.AllocsPerOp) * allocsRegressionFactor)
 		if p.AllocsPerOp > limit && p.AllocsPerOp-b.AllocsPerOp > allocsRegressionFloor {
-			return fmt.Errorf("%s P=%d: allocs_per_op %d exceeds %gx baseline %d",
-				rep.Name, p.Parallelism, p.AllocsPerOp, allocsRegressionFactor, b.AllocsPerOp)
+			return fmt.Errorf("%s P=%d k=%d: allocs_per_op %d exceeds %gx baseline %d",
+				rep.Name, p.Parallelism, p.BatchK, p.AllocsPerOp, allocsRegressionFactor, b.AllocsPerOp)
 		}
 		byteLimit := int64(float64(b.BytesPerOp) * bytesRegressionFactor)
 		if b.BytesPerOp > 0 && p.BytesPerOp > byteLimit && p.BytesPerOp-b.BytesPerOp > bytesRegressionFloor {
-			return fmt.Errorf("%s P=%d: bytes_per_op %d exceeds %gx baseline %d",
-				rep.Name, p.Parallelism, p.BytesPerOp, bytesRegressionFactor, b.BytesPerOp)
+			return fmt.Errorf("%s P=%d k=%d: bytes_per_op %d exceeds %gx baseline %d",
+				rep.Name, p.Parallelism, p.BatchK, p.BytesPerOp, bytesRegressionFactor, b.BytesPerOp)
 		}
 	}
 	return nil
+}
+
+// perfMeasureBatch benchmarks one batch size, reporting per-query cost (the
+// batched call's cost divided by k).  k=1 runs the single-query Estimate API
+// — the unbatched baseline — while k>1 runs EstimateMany.
+func perfMeasureBatch(g *hkpr.Graph, opts hkpr.Options, k int) (perfPoint, error) {
+	opts.Parallelism = 1
+	c, err := hkpr.NewClustererWithMethod(g, opts, hkpr.MethodTEA)
+	if err != nil {
+		return perfPoint{}, err
+	}
+	seeds := make([]hkpr.NodeID, k)
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := range seeds {
+				seeds[j] = hkpr.NodeID((i*k + j) % g.N())
+			}
+			if k == 1 {
+				if _, err := c.Estimate(seeds[0], hkpr.Options{}); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+				continue
+			}
+			_, errs, err := c.EstimateMany(seeds, hkpr.Options{})
+			if err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+			for _, e := range errs {
+				if e != nil {
+					benchErr = e
+					b.FailNow()
+				}
+			}
+		}
+	})
+	if benchErr != nil {
+		return perfPoint{}, benchErr
+	}
+	if res.N == 0 {
+		return perfPoint{}, fmt.Errorf("benchmark did not run")
+	}
+	perQueryNs := res.NsPerOp() / int64(k)
+	if perQueryNs == 0 {
+		perQueryNs = 1
+	}
+	return perfPoint{
+		Parallelism:   1,
+		BatchK:        k,
+		NsPerOp:       perQueryNs,
+		AllocsPerOp:   res.AllocsPerOp() / int64(k),
+		BytesPerOp:    res.AllocedBytesPerOp() / int64(k),
+		QueriesPerSec: 1e9 / float64(perQueryNs),
+		Iterations:    res.N,
+	}, nil
 }
 
 // perfMeasureServe benchmarks uncached queries through a serving engine at

@@ -1,10 +1,16 @@
-// Command hkprquery runs a single local clustering query: it loads a graph,
-// estimates the heat kernel PageRank vector of a seed node with the chosen
-// algorithm, performs the sweep cut, and prints the resulting cluster.
+// Command hkprquery runs local clustering queries: it loads a graph,
+// estimates the heat kernel PageRank vector of one or more seed nodes with
+// the chosen algorithm, performs the sweep cut, and prints the resulting
+// cluster of every seed.
+//
+// Multiple comma-separated seeds execute as one batched call (EstimateMany):
+// the seeds share a single multi-source graph pass, and every seed's result
+// is bit-identical to a standalone single-seed run.
 //
 // Example:
 //
 //	hkprquery -graph plc.txt -seed 17 -method tea+ -t 5 -eps 0.5
+//	hkprquery -graph plc.txt -seed 17,42,101 -method tea+
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,11 +33,30 @@ func main() {
 	}
 }
 
+// parseSeeds splits a comma-separated seed list; every element must be a
+// non-negative integer.
+func parseSeeds(s string) ([]hkpr.NodeID, error) {
+	parts := strings.Split(s, ",")
+	seeds := make([]hkpr.NodeID, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("invalid -seed list %q: empty element", s)
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("invalid -seed list %q: %q is not a non-negative node id", s, p)
+		}
+		seeds = append(seeds, hkpr.NodeID(v))
+	}
+	return seeds, nil
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hkprquery", flag.ContinueOnError)
 	var (
 		graphPath = fs.String("graph", "", "path to the graph (edge list or binary, by extension)")
-		seed      = fs.Int("seed", 0, "seed node id")
+		seedList  = fs.String("seed", "0", "seed node id, or a comma-separated list queried as one batch")
 		method    = fs.String("method", string(hkpr.MethodTEAPlus), "estimator: tea+ | tea | monte-carlo | hk-relax | cluster-hkpr | exact")
 		heat      = fs.Float64("t", 5, "heat constant t")
 		epsRel    = fs.Float64("eps", 0.5, "relative error threshold εr")
@@ -45,6 +71,10 @@ func run(args []string, out io.Writer) error {
 	if *graphPath == "" {
 		return fmt.Errorf("missing -graph path")
 	}
+	seeds, err := parseSeeds(*seedList)
+	if err != nil {
+		return err
+	}
 
 	g, err := loadGraph(*graphPath)
 	if err != nil {
@@ -57,32 +87,74 @@ func run(args []string, out io.Writer) error {
 		d = 1 / float64(g.N())
 	}
 	opts := hkpr.Options{T: *heat, EpsRel: *epsRel, Delta: d, FailureProb: *pf, Seed: *rngSeed}
+	fmt.Fprintf(out, "method: %s  heat t=%.1f  εr=%.2f  δ=%.2e\n", *method, *heat, *epsRel, d)
 
 	start := time.Now()
-	res, err := hkpr.EstimateHKPR(g, hkpr.NodeID(*seed), hkpr.Method(*method), opts)
+	results, err := estimate(g, seeds, hkpr.Method(*method), opts)
 	if err != nil {
 		return err
 	}
-	sweep := hkpr.Sweep(g, res.Scores)
 	elapsed := time.Since(start)
-
-	fmt.Fprintf(out, "method: %s  heat t=%.1f  εr=%.2f  δ=%.2e\n", *method, *heat, *epsRel, d)
-	fmt.Fprintf(out, "query time: %v  (pushes=%d walks=%d)\n",
-		elapsed, res.Stats.PushOperations, res.Stats.RandomWalks)
-	fmt.Fprintf(out, "cluster: %d nodes, conductance %.4f, volume %d, cut %d\n",
-		len(sweep.Cluster), sweep.Conductance, sweep.Volume, sweep.Cut)
-
-	members := append([]hkpr.NodeID(nil), sweep.Cluster...)
-	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
-	if len(members) > *topK {
-		members = members[:*topK]
+	if len(seeds) > 1 {
+		fmt.Fprintf(out, "batch: %d seeds in one multi-source pass, total %v (%.1f queries/sec)\n",
+			len(seeds), elapsed, float64(len(seeds))/elapsed.Seconds())
 	}
-	strs := make([]string, len(members))
-	for i, v := range members {
-		strs[i] = fmt.Sprintf("%d", v)
+
+	for i, seed := range seeds {
+		res := results[i]
+		sweep := hkpr.Sweep(g, res.Scores)
+		if len(seeds) > 1 {
+			fmt.Fprintf(out, "--- seed %d ---\n", seed)
+		}
+		fmt.Fprintf(out, "query time: %v  (pushes=%d walks=%d)\n",
+			elapsed, res.Stats.PushOperations, res.Stats.RandomWalks)
+		fmt.Fprintf(out, "cluster: %d nodes, conductance %.4f, volume %d, cut %d\n",
+			len(sweep.Cluster), sweep.Conductance, sweep.Volume, sweep.Cut)
+
+		members := append([]hkpr.NodeID(nil), sweep.Cluster...)
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		if len(members) > *topK {
+			members = members[:*topK]
+		}
+		strs := make([]string, len(members))
+		for i, v := range members {
+			strs[i] = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(out, "members (first %d): %s\n", len(members), strings.Join(strs, " "))
 	}
-	fmt.Fprintf(out, "members (first %d): %s\n", len(members), strings.Join(strs, " "))
 	return nil
+}
+
+// estimate runs the query: a single seed goes through the standalone
+// estimator (which supports the baseline methods too); several seeds run as
+// one batched multi-source call, available for the core methods.
+func estimate(g *hkpr.Graph, seeds []hkpr.NodeID, method hkpr.Method, opts hkpr.Options) ([]*hkpr.Result, error) {
+	if len(seeds) == 1 {
+		res, err := hkpr.EstimateHKPR(g, seeds[0], method, opts)
+		if err != nil {
+			return nil, err
+		}
+		return []*hkpr.Result{res}, nil
+	}
+	switch method {
+	case hkpr.MethodTEAPlus, hkpr.MethodTEA, hkpr.MethodMonteCarlo:
+	default:
+		return nil, fmt.Errorf("batched -seed lists support tea+, tea and monte-carlo, got %q", method)
+	}
+	c, err := hkpr.NewClustererWithMethod(g, opts, method)
+	if err != nil {
+		return nil, err
+	}
+	results, errs, err := c.EstimateMany(seeds, hkpr.Options{})
+	if err != nil {
+		return nil, err
+	}
+	for i, serr := range errs {
+		if serr != nil {
+			return nil, fmt.Errorf("seed %d: %w", seeds[i], serr)
+		}
+	}
+	return results, nil
 }
 
 func loadGraph(path string) (*hkpr.Graph, error) {

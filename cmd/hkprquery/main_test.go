@@ -47,6 +47,43 @@ func TestRunQueryAllMethods(t *testing.T) {
 	}
 }
 
+func TestRunQueryBatchedSeeds(t *testing.T) {
+	path := writeTestGraph(t)
+	var out bytes.Buffer
+	if err := run([]string{"-graph", path, "-seed", "3,7,11", "-method", "tea"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "batch: 3 seeds") {
+		t.Errorf("output missing batch summary:\n%s", text)
+	}
+	for _, want := range []string{"--- seed 3 ---", "--- seed 7 ---", "--- seed 11 ---"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing per-seed block %q:\n%s", want, text)
+		}
+	}
+	if got := strings.Count(text, "cluster:"); got != 3 {
+		t.Errorf("expected 3 cluster lines, got %d:\n%s", got, text)
+	}
+}
+
+func TestRunQuerySeedListErrors(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, bad := range []string{"1,x", "1,,2", "-3", "1, 2, three"} {
+		if err := run([]string{"-graph", path, "-seed", bad}, &bytes.Buffer{}); err == nil {
+			t.Errorf("seed list %q should be a usage error", bad)
+		}
+	}
+	// Out-of-range members of a batch fail with the offending seed named.
+	if err := run([]string{"-graph", path, "-seed", "1,999999"}, &bytes.Buffer{}); err == nil {
+		t.Error("out-of-range batched seed should error")
+	}
+	// The baseline estimators have no batched form.
+	if err := run([]string{"-graph", path, "-seed", "1,2", "-method", "hk-relax"}, &bytes.Buffer{}); err == nil {
+		t.Error("batched seeds with a baseline method should error")
+	}
+}
+
 func TestRunQueryErrors(t *testing.T) {
 	if err := run([]string{"-seed", "1"}, &bytes.Buffer{}); err == nil {
 		t.Error("missing graph should error")

@@ -113,6 +113,8 @@ func run(args []string) error {
 		adaptive  = fs.Bool("adaptive", false, "choose per-query parallelism adaptively from queue depth and free CPU tokens (an explicit -parallel caps it)")
 		adaptEWMA = fs.Float64("adaptive-ewma", 1, "EWMA smoothing factor α in (0,1] for the queue depth the adaptive choice sees; 1 = instantaneous, smaller = smoother under bursty load")
 		cpuTokens = fs.Int("cpu-tokens", 0, "shared CPU token budget for workers, push chunks and walk shards (0 = max(workers, GOMAXPROCS))")
+		batchWin  = fs.Duration("batch-window", 0, "hold admitted queries up to this long so same-options queries share one batched multi-source execution (0 disables)")
+		batchMaxK = fs.Int("batch-max-k", 0, "flush a batching-window group early at this many queries (0 = 8)")
 		traceBuf  = fs.Int("trace-buffer", 256, "completed-query trace ring capacity served at /debug/queries (0 disables)")
 		slowQuery = fs.Duration("slow-query", 0, "log queries slower than this with a per-stage breakdown (0 disables)")
 		strictInv = fs.Bool("strict-invariants", false, "fail queries whose inline invariant self-verification fails (HTTP 500) instead of only counting the violation")
@@ -149,6 +151,8 @@ func run(args []string) error {
 		Adaptive:       *adaptive,
 		AdaptiveEWMA:   *adaptEWMA,
 		CPUTokens:      *cpuTokens,
+		BatchWindow:    *batchWin,
+		BatchMaxK:      *batchMaxK,
 
 		TraceBuffer:        *traceBuf,
 		SlowQueryThreshold: *slowQuery,

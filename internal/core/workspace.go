@@ -161,6 +161,10 @@ type Workspace struct {
 	shardW    []int64
 	shardS    []int64
 	shardErr  []error
+
+	// batch holds the k-lane slabs of the batched multi-source mode
+	// (EstimateMany), allocated on first batched query; see batchvec.go.
+	batch *batchState
 }
 
 // NewWorkspace returns a workspace bound to graphs of n nodes.  The reserve

@@ -102,6 +102,42 @@ func (h *histogram) writeProm(w io.Writer, name, labels string) {
 	}
 }
 
+// numBatchSizeBuckets spans batch sizes 1..64 in power-of-two buckets plus an
+// overflow bucket.
+const numBatchSizeBuckets = 8
+
+// batchSizeHistogram buckets batched-execution sizes by powers of two.
+type batchSizeHistogram struct {
+	buckets [numBatchSizeBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// observe records one batched execution of k sources.
+func (h *batchSizeHistogram) observe(k int) {
+	b := 0
+	for b < numBatchSizeBuckets-1 && k > 1<<b {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(k))
+}
+
+// writeProm emits the batch-size histogram's sample series.
+func (h *batchSizeHistogram) writeProm(w io.Writer, name string) {
+	var cum int64
+	for b := 0; b < numBatchSizeBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if b < numBatchSizeBuckets-1 {
+			fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, 1<<b, cum)
+		}
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %d\n", name, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
 // Metrics is the engine's counter core.  All fields are updated atomically;
 // read them through Engine.Snapshot (or directly in tests).
 type Metrics struct {
@@ -139,6 +175,15 @@ type Metrics struct {
 	// execution and every violation counter stays 0.
 	InvariantChecks     atomic.Int64
 	InvariantViolations [core.NumInvariantKinds]atomic.Int64
+
+	// BatchExecutions counts batched core executions (each one shared
+	// EstimateMany call); BatchedQueries counts the queries they served, so
+	// BatchedQueries/BatchExecutions is the realized mean batch size.  Both
+	// stay 0 with the batching window disabled.  batchSize buckets the
+	// per-execution sizes.
+	BatchExecutions atomic.Int64
+	BatchedQueries  atomic.Int64
+	batchSize       batchSizeHistogram
 
 	// latency is the end-to-end execution histogram; stage holds one
 	// histogram per pipeline stage (queue wait, cache lookup, workspace
@@ -214,6 +259,13 @@ type Snapshot struct {
 	InvariantChecks     int64            `json:"invariant_checks"`
 	InvariantViolations map[string]int64 `json:"invariant_violations,omitempty"`
 
+	// BatchExecutions counts batched core executions and BatchedQueries the
+	// queries they served; BatchPending is the number of queries currently
+	// waiting in the batching window.  All zero when batching is disabled.
+	BatchExecutions int64 `json:"batch_executions"`
+	BatchedQueries  int64 `json:"batched_queries"`
+	BatchPending    int64 `json:"batch_pending"`
+
 	LatencyCount  int64   `json:"latency_count"`
 	LatencyMeanMS float64 `json:"latency_mean_ms"`
 	LatencyP50MS  float64 `json:"latency_p50_ms"`
@@ -258,6 +310,8 @@ func (e *Engine) Snapshot() Snapshot {
 		CacheHits:       m.CacheHits.Load(),
 		CacheMisses:     m.CacheMisses.Load(),
 		InvariantChecks: m.InvariantChecks.Load(),
+		BatchExecutions: m.BatchExecutions.Load(),
+		BatchedQueries:  m.BatchedQueries.Load(),
 		LatencyCount:    m.latency.count.Load(),
 		LatencyP50MS:    m.latency.quantileMS(0.50),
 		LatencyP90MS:    m.latency.quantileMS(0.90),
@@ -277,6 +331,9 @@ func (e *Engine) Snapshot() Snapshot {
 	if e.cache != nil {
 		s.CacheEntries, s.CacheBytes = e.cache.stats()
 		s.CacheCapacity = e.cache.capacity
+	}
+	if e.batch != nil {
+		s.BatchPending = e.batch.pending.Load()
 	}
 	return s
 }
@@ -303,6 +360,8 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	counter("shed_total", "Queries rejected by admission control.", m.Shed.Load())
 	counter("abandoned_total", "Callers that left before their query finished.", m.Abandoned.Load())
 	counter("invariant_checks_total", "Inline invariant evaluations performed while serving queries.", m.InvariantChecks.Load())
+	counter("batch_executions_total", "Batched core executions (shared multi-source estimator calls).", m.BatchExecutions.Load())
+	counter("batch_queries_total", "Queries served through batched executions.", m.BatchedQueries.Load())
 	fmt.Fprintf(w, "# HELP hkpr_serve_invariant_violations_total Inline invariant checks that failed, by invariant kind.\n")
 	fmt.Fprintf(w, "# TYPE hkpr_serve_invariant_violations_total counter\n")
 	for kind := core.InvariantKind(0); kind < core.NumInvariantKinds; kind++ {
@@ -332,6 +391,12 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	}
 	if e.ring != nil {
 		gauge("trace_ring_capacity", "Completed-query trace ring capacity.", int64(len(e.ring.slots)))
+	}
+	if e.batch != nil {
+		gauge("batch_pending", "Queries currently waiting in the batching window.", e.batch.pending.Load())
+		fmt.Fprintf(w, "# HELP hkpr_serve_batch_size Sources per batched execution.\n")
+		fmt.Fprintf(w, "# TYPE hkpr_serve_batch_size histogram\n")
+		m.batchSize.writeProm(w, "hkpr_serve_batch_size")
 	}
 
 	fmt.Fprintf(w, "# HELP hkpr_serve_latency_seconds Execution latency of served queries.\n")

@@ -170,6 +170,21 @@ type Config struct {
 	// violating query with an error wrapping core.ErrInvariantViolation
 	// instead of only counting the violation in the metrics.
 	StrictInvariants bool
+	// BatchWindow, when > 0, holds each admitted executable query for up to
+	// this long so concurrent queries with identical resolved options (any
+	// seed node) can share one batched core execution
+	// (core.EstimateMany's shared frontier scan) instead of running k separate
+	// estimator passes.  Results are bit-identical to unbatched execution;
+	// the window trades up to BatchWindow of added latency for amortized
+	// per-query cost under concurrent load.  Cache hits and coalesced callers
+	// never wait; with batching enabled, admission control counts queries
+	// waiting in the window against QueueDepth.  0 disables batching.
+	BatchWindow time.Duration
+	// BatchMaxK caps the sources of one batched execution; a window flushes
+	// early when it fills.  <= 0 means 8 (the core batch engine's lane-group
+	// width, so a full window runs as exactly one shared scan).  Ignored
+	// unless BatchWindow > 0.
+	BatchMaxK int
 }
 
 // withDefaults resolves the zero fields of c.
@@ -191,6 +206,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AdaptiveEWMA <= 0 || c.AdaptiveEWMA > 1 {
 		c.AdaptiveEWMA = 1
+	}
+	if c.BatchWindow > 0 && c.BatchMaxK <= 0 {
+		c.BatchMaxK = defaultBatchMaxK
 	}
 	return c
 }
@@ -329,6 +347,7 @@ type Engine struct {
 	cache   *resultCache // nil when disabled
 	metrics *Metrics
 	cpu     *cpuTokens
+	batch   *batcher // nil unless Config.BatchWindow > 0
 
 	// workspaces recycles the per-query dense scratch state (core.Workspace:
 	// reserve/residue slabs, chunk/shard accumulators, collection buffers),
@@ -400,6 +419,11 @@ func New(est *core.Estimator, cfg Config) (*Engine, error) {
 	e.slowLog = log.Printf
 	n := est.Graph().N()
 	e.workspaces.New = func() any { return core.NewWorkspace(n) }
+	if cfg.BatchWindow > 0 {
+		e.batch = newBatcher(e, cfg.BatchWindow, cfg.BatchMaxK)
+		e.wg.Add(1)
+		go e.batch.flusher()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -426,11 +450,23 @@ func (e *Engine) Close() error {
 	e.closedFast.Store(true)
 	e.mu.Unlock()
 	e.cancel()
+	if e.batch != nil {
+		e.batch.shutdown()
+	}
 	e.wg.Wait()
 	for {
 		select {
 		case t := <-e.queue:
 			t.cancel()
+			if t.batch != nil {
+				// A batching-window container: fail its members; the container
+				// itself has no waiters.
+				for _, m := range t.batch {
+					m.cancel()
+					e.finish(m, nil, ErrClosed)
+				}
+				continue
+			}
 			e.finish(t, nil, ErrClosed)
 		default:
 			return nil
@@ -456,7 +492,16 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	e.metrics.Requests.Add(1)
 	reqStart := time.Now()
 
-	key := cacheKey(method, req.Seed, req.Sweep, e.est.Resolve(req.Opts))
+	resolved := e.est.Resolve(req.Opts)
+	key := cacheKey(method, req.Seed, req.Sweep, resolved)
+	var batchKey string
+	if e.batch != nil {
+		// The batching-group identity: the resolved options with the seed and
+		// sweep stripped — any seeds sharing these options can share one core
+		// execution (the seed placeholder -1 never collides; group keys live
+		// in their own map).
+		batchKey = cacheKey(method, -1, false, resolved)
+	}
 	cacheable := !req.NoCache && e.cache != nil
 	var lookupStart time.Time
 	var lookupD time.Duration
@@ -526,16 +571,27 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 		t.qt = qt
 	}
 	var admitted bool
-	select {
-	case e.queue <- t:
-		admitted = true
-		if cacheable {
-			e.flight[key] = t
-			e.metrics.CacheMisses.Add(1)
+	var flush *task
+	if e.batch != nil {
+		// Batching window: the task joins (or opens) its options group instead
+		// of entering the queue directly; a group filled to BatchMaxK flushes
+		// here, outside the engine lock.
+		flush, admitted = e.batch.add(batchKey, t)
+	} else {
+		select {
+		case e.queue <- t:
+			admitted = true
+		default:
 		}
-	default:
+	}
+	if admitted && cacheable {
+		e.flight[key] = t
+		e.metrics.CacheMisses.Add(1)
 	}
 	e.mu.Unlock()
+	if flush != nil {
+		e.enqueueFlush(flush)
+	}
 	if !admitted {
 		t.cancel()
 		trace.Put(t.qt)
@@ -568,6 +624,11 @@ type task struct {
 	qt    *trace.QueryTrace
 	rec   *trace.Record
 	audit core.InvariantAudit
+
+	// batch, when non-nil, marks this task as a batching-window container:
+	// the member tasks execute as one batched core call (runBatch) and this
+	// task itself never completes through finish.
+	batch []*task
 
 	done chan struct{}
 	resp *Response
@@ -655,6 +716,10 @@ func (e *Engine) worker() {
 
 // run executes one task and publishes its outcome.
 func (e *Engine) run(t *task) {
+	if t.batch != nil {
+		e.runBatch(t)
+		return
+	}
 	defer t.cancel()
 	if err := t.ctx.Err(); err != nil {
 		// Canceled or timed out while queued; don't waste a core on it.  The

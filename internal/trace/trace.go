@@ -102,6 +102,9 @@ type QueryTrace struct {
 	Method       string
 	CacheOutcome string
 	Parallelism  int
+	// Batch is the number of sources sharing this query's core execution
+	// (the serving layer's batching window); 0 marks an unbatched execution.
+	Batch int
 	// Stats is the estimator's cost breakdown (a core.Stats value); typed
 	// loosely because trace is a leaf package.
 	Stats any
@@ -152,6 +155,7 @@ func (t *QueryTrace) Finish(end time.Time, errMsg string) *Record {
 		Method:       t.Method,
 		CacheOutcome: t.CacheOutcome,
 		Parallelism:  t.Parallelism,
+		Batch:        t.Batch,
 		TotalNS:      end.Sub(t.begin).Nanoseconds(),
 		Error:        errMsg,
 		Stats:        t.Stats,
@@ -199,6 +203,9 @@ type Record struct {
 	CacheOutcome string `json:"cache,omitempty"`
 	// Parallelism is the per-query parallelism the engine resolved.
 	Parallelism int `json:"parallelism,omitempty"`
+	// Batch is the number of sources that shared this query's core execution
+	// through the serving layer's batching window; 0 means unbatched.
+	Batch int `json:"batch,omitempty"`
 	// TotalNS is the end-to-end duration from Start to completion.
 	TotalNS int64 `json:"total_ns"`
 	// Error is the failure, empty on success.
