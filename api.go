@@ -83,6 +83,23 @@ import (
 type (
 	// Graph is an immutable undirected graph in CSR form.
 	Graph = graph.Graph
+	// GraphSnapshot is an immutable epoch-versioned view of a graph: a CSR
+	// base plus a merged delta overlay.  Static graphs expose a single
+	// epoch-0 snapshot; Dynamic graphs publish a new snapshot per update
+	// batch while readers of older epochs stay valid.
+	GraphSnapshot = graph.Snapshot
+	// GraphSource is anything that can produce the current GraphSnapshot: a
+	// *Graph (always its one static snapshot), a *Dynamic (the latest
+	// published epoch), or a *GraphSnapshot itself (pinning that epoch).
+	GraphSource = graph.Source
+	// Dynamic is a live-updatable graph: an atomically published chain of
+	// epoch snapshots with background compaction of accumulated deltas.
+	Dynamic = graph.Dynamic
+	// DynamicOptions tunes a Dynamic (compaction threshold).
+	DynamicOptions = graph.DynamicOptions
+	// UpdateBatch is one atomic set of graph mutations: node additions, edge
+	// insertions and edge deletions, validated all-or-nothing.
+	UpdateBatch = graph.UpdateBatch
 	// NodeID identifies a node (dense IDs 0..N()-1).
 	NodeID = graph.NodeID
 	// Options configures the (d, εr, δ)-approximate HKPR computation.
@@ -175,10 +192,32 @@ func GenerateRMAT(scale int, edgeFactor float64, seed uint64) (*Graph, error) {
 // the mapping from new to original node IDs.
 func LargestComponent(g *Graph) (*Graph, []NodeID) { return graph.LargestComponent(g) }
 
+// Dynamic graphs --------------------------------------------------------------
+
+// NewDynamic wraps an immutable base graph as a live-updatable Dynamic.  Apply
+// batches with Dynamic.ApplyUpdates (or, behind a serving engine, with
+// Engine.ApplyUpdates, which additionally scopes cache invalidation).
+func NewDynamic(g *Graph, opts DynamicOptions) *Dynamic { return graph.NewDynamic(g, opts) }
+
+// Typed validation errors surfaced (wrapped) by update-batch application and
+// Builder.AddEdgeStrict; match them with errors.Is.
+var (
+	// ErrSelfLoop rejects an edge whose endpoints coincide.
+	ErrSelfLoop = graph.ErrSelfLoop
+	// ErrDuplicateEdge rejects an edge that already exists (in the graph or
+	// earlier in the same batch).
+	ErrDuplicateEdge = graph.ErrDuplicateEdge
+	// ErrEdgeNotFound rejects the removal of an absent edge.
+	ErrEdgeNotFound = graph.ErrEdgeNotFound
+	// ErrInvalidNode rejects an out-of-range node ID.
+	ErrInvalidNode = graph.ErrInvalidNode
+)
+
 // Clustering metrics ----------------------------------------------------------
 
-// Conductance returns Φ(S) of the node set S in g.
-func Conductance(g *Graph, set []NodeID) float64 { return cluster.Conductance(g, set) }
+// Conductance returns Φ(S) of the node set S in g (any graph source: static
+// graph, dynamic graph, or pinned snapshot).
+func Conductance(g GraphSource, set []NodeID) float64 { return cluster.Conductance(g, set) }
 
 // F1Score returns the F1-measure of a predicted node set against a
 // ground-truth set.
@@ -191,11 +230,13 @@ func NDCG(predicted []NodeID, truth map[NodeID]float64, k int) float64 {
 }
 
 // Sweep performs the sweep-cut of §2.2 over un-normalized HKPR scores.
-func Sweep(g *Graph, scores ScoreVector) SweepResult { return cluster.Sweep(g, scores) }
+func Sweep(g GraphSource, scores ScoreVector) SweepResult { return cluster.Sweep(g, scores) }
 
 // SweepK is Sweep bounded to the k best-ranked candidate nodes: only the
 // top-k prefixes are inspected, skipping the ranking tail entirely.
-func SweepK(g *Graph, scores ScoreVector, k int) SweepResult { return cluster.SweepK(g, scores, k) }
+func SweepK(g GraphSource, scores ScoreVector, k int) SweepResult {
+	return cluster.SweepK(g, scores, k)
+}
 
 // Clusterer -------------------------------------------------------------------
 
@@ -218,42 +259,51 @@ type LocalCluster struct {
 // probability) across queries, which is what an interactive application — the
 // paper's motivating "explore Twitter around Elon Musk" scenario — needs.
 type Clusterer struct {
-	g      *Graph
+	src    GraphSource
+	g      *Graph // non-nil only when built over a static *Graph
 	est    *core.Estimator
 	method Method
 }
 
 // NewClusterer builds a Clusterer using MethodTEAPlus.  Options.Delta
 // defaults to 1/N() if zero.
-func NewClusterer(g *Graph, opts Options) (*Clusterer, error) {
-	return NewClustererWithMethod(g, opts, MethodTEAPlus)
+func NewClusterer(src GraphSource, opts Options) (*Clusterer, error) {
+	return NewClustererWithMethod(src, opts, MethodTEAPlus)
 }
 
-// NewClustererWithMethod builds a Clusterer using the given estimation
-// method.  Only TEA+, TEA and Monte-Carlo are supported here; the baseline
-// estimators have their own entry points (EstimateHKPR).
-func NewClustererWithMethod(g *Graph, opts Options, method Method) (*Clusterer, error) {
+// NewClustererWithMethod builds a Clusterer over any graph source — a static
+// *Graph, a live-updatable *Dynamic, or a pinned *GraphSnapshot — using the
+// given estimation method.  Only TEA+, TEA and Monte-Carlo are supported
+// here; the baseline estimators have their own entry points (EstimateHKPR).
+// Over a Dynamic each query resolves the latest published epoch.
+func NewClustererWithMethod(src GraphSource, opts Options, method Method) (*Clusterer, error) {
 	switch method {
 	case MethodTEAPlus, MethodTEA, MethodMonteCarlo:
 	default:
 		return nil, fmt.Errorf("hkpr: clusterer supports tea+, tea and monte-carlo, got %q", method)
 	}
 	if opts.Delta == 0 {
-		if g.N() > 1 {
-			opts.Delta = 1 / float64(g.N())
+		if n := src.Snapshot().N(); n > 1 {
+			opts.Delta = 1 / float64(n)
 		} else {
 			return nil, fmt.Errorf("hkpr: graph too small for local clustering")
 		}
 	}
-	est, err := core.NewEstimator(g, opts)
+	est, err := core.NewEstimator(src, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Clusterer{g: g, est: est, method: method}, nil
+	g, _ := src.(*Graph)
+	return &Clusterer{src: src, g: g, est: est, method: method}, nil
 }
 
-// Graph returns the underlying graph.
+// Graph returns the underlying static graph, or nil when the clusterer was
+// built over a dynamic source; use Snapshot for a view that always exists.
 func (c *Clusterer) Graph() *Graph { return c.g }
+
+// Snapshot returns the current immutable snapshot of the clusterer's graph
+// source (the latest published epoch for a Dynamic).
+func (c *Clusterer) Snapshot() *GraphSnapshot { return c.src.Snapshot() }
 
 // Options returns the resolved estimation options (defaults applied, p'_f
 // cached) shared by every query issued through this clusterer.
@@ -285,7 +335,7 @@ func (c *Clusterer) LocalClusterWithOptions(seed NodeID, query Options) (*LocalC
 	if err != nil {
 		return nil, err
 	}
-	sw := cluster.Sweep(c.g, res.Scores)
+	sw := cluster.Sweep(c.src, res.Scores)
 	return &LocalCluster{
 		Seed:        seed,
 		Cluster:     sw.Cluster,
@@ -301,14 +351,24 @@ func (c *Clusterer) LocalClusterWithOptions(seed NodeID, query Options) (*LocalC
 // threshold is taken as opts.EpsRel·opts.Delta (the setting under which its
 // guarantee matches (d, εr, δ)-approximation, §3); for MethodClusterHKPR the
 // ε parameter is opts.EpsRel·opts.Delta as well.
-func EstimateHKPR(g *Graph, seed NodeID, method Method, opts Options) (*Result, error) {
+//
+// The core methods (TEA+, TEA, Monte-Carlo) run directly on any graph source;
+// the baselines operate on plain CSR graphs, so a dynamic source is
+// materialized into one (an O(n+m) copy) before the baseline runs.
+func EstimateHKPR(src GraphSource, seed NodeID, method Method, opts Options) (*Result, error) {
 	switch method {
 	case MethodTEAPlus:
-		return core.TEAPlus(g, seed, opts)
+		return core.TEAPlus(src, seed, opts)
 	case MethodTEA:
-		return core.TEA(g, seed, opts)
+		return core.TEA(src, seed, opts)
 	case MethodMonteCarlo:
-		return core.MonteCarloOnly(g, seed, opts)
+		return core.MonteCarloOnly(src, seed, opts)
+	}
+	g, ok := src.(*Graph)
+	if !ok {
+		g = src.Snapshot().Materialize()
+	}
+	switch method {
 	case MethodHKRelax:
 		t := opts.T
 		if t == 0 {

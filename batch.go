@@ -16,8 +16,8 @@ import (
 // failures are joined into the returned error while the remaining results are
 // still returned.  For per-seed errors or a different method, build a
 // Clusterer and use Clusterer.EstimateMany.
-func EstimateMany(g *Graph, seeds []NodeID, opts Options) ([]*Result, error) {
-	return core.EstimateMany(g, seeds, opts)
+func EstimateMany(src GraphSource, seeds []NodeID, opts Options) ([]*Result, error) {
+	return core.EstimateMany(src, seeds, opts)
 }
 
 // RankedNode pairs a node with its degree-normalized HKPR score, the quantity
@@ -26,7 +26,7 @@ type RankedNode = cluster.ScoredNode
 
 // TopK returns the k nodes with the largest normalized HKPR estimates in res
 // (descending; ties broken by node ID).  k <= 0 returns the full ranking.
-func TopK(g *Graph, res *Result, k int) []RankedNode {
+func TopK(g GraphSource, res *Result, k int) []RankedNode {
 	return cluster.TopKNormalized(g, res.Scores, k)
 }
 
@@ -91,6 +91,9 @@ func (c *Clusterer) LocalClusterBatch(seeds []NodeID, workers int) []BatchLocalC
 		}
 		return out
 	}
+	// Pin one snapshot for every sweep so a batch on a dynamic source never
+	// straddles an epoch publish across its worker goroutines.
+	snap := c.src.Snapshot()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -107,7 +110,7 @@ func (c *Clusterer) LocalClusterBatch(seeds []NodeID, workers int) []BatchLocalC
 					continue
 				}
 				res := results[i]
-				sw := cluster.Sweep(c.g, res.Scores)
+				sw := cluster.Sweep(snap, res.Scores)
 				out[i].Cluster = &LocalCluster{
 					Seed:        seeds[i],
 					Cluster:     sw.Cluster,

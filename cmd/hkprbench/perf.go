@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -79,6 +80,12 @@ type perfPoint struct {
 	WalkShards     int     `json:"walk_shards"`
 	PushChunks     int64   `json:"push_chunks"`
 	Iterations     int     `json:"iterations"`
+	// Update-entry extras: batches a concurrent writer published during the
+	// measurement, background compactions that ran, and the p99 of the
+	// compaction publish pause (the lock-held window writers see).
+	UpdatesApplied    int64 `json:"updates_applied,omitempty"`
+	Compactions       int   `json:"compactions,omitempty"`
+	CompactPauseP99Ns int64 `json:"compact_pause_p99_ns,omitempty"`
 }
 
 // perfReport is the BENCH_<name>.json payload.
@@ -238,6 +245,36 @@ func runPerf(cfg perfConfig) error {
 		return err
 	}
 
+	// The update entry measures the live-update serve path: sustained query
+	// throughput through an engine over a Dynamic graph while a background
+	// writer keeps publishing edge-toggle batches (each remove+add pair is two
+	// epochs), with background compaction folding the delta overlay back into
+	// CSR.  Its allocs_per_op guards the snapshot-resolution hot path, and
+	// compact_pause_p99_ns tracks the writer-visible compaction pause.
+	updateRep := perfReport{
+		Name:       "update",
+		Graph:      fmt.Sprintf("plc-n%d-m%d", cfg.nodes, cfg.edgesPer),
+		Nodes:      g.N(),
+		Edges:      g.M(),
+		Options:    fmt.Sprintf("t=%g eps=%g delta=%.3g method=tea nocache live-updates", opts.T, opts.EpsRel, opts.Delta),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	point, err := perfMeasureUpdate(g, opts)
+	if err != nil {
+		return fmt.Errorf("perf update: %w", err)
+	}
+	updateRep.Points = append(updateRep.Points, point)
+	if cfg.log != nil {
+		fmt.Fprintf(cfg.log, "perf %-8s P=%d  %.2f ms/op  %d allocs/op  %.1f queries/sec  %d updates  %d compactions  pause-p99 %.2fms  (%d iters)\n",
+			"update", point.Parallelism, float64(point.NsPerOp)/1e6, point.AllocsPerOp,
+			point.QueriesPerSec, point.UpdatesApplied, point.Compactions,
+			float64(point.CompactPauseP99Ns)/1e6, point.Iterations)
+	}
+	if err := finish(updateRep); err != nil {
+		return err
+	}
+
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "perf regression:", r)
@@ -346,6 +383,127 @@ func perfMeasureBatch(g *hkpr.Graph, opts hkpr.Options, k int) (perfPoint, error
 		QueriesPerSec: 1e9 / float64(perQueryNs),
 		Iterations:    res.N,
 	}, nil
+}
+
+// perfMeasureUpdate benchmarks uncached serial queries through an engine over
+// a Dynamic graph while a background writer toggles base edges (one remove
+// batch, one re-add batch, a short breath) through Engine.ApplyUpdates.  The
+// small compaction threshold forces frequent background compactions so their
+// publish pauses are actually sampled.
+func perfMeasureUpdate(g *hkpr.Graph, opts hkpr.Options) (perfPoint, error) {
+	// Threshold is low enough that even a GOMAXPROCS=1 CI box — where the
+	// query worker crowds out the writer goroutine — accumulates several
+	// compactions during the ~1s measurement.
+	d := hkpr.NewDynamic(g, hkpr.DynamicOptions{CompactThreshold: 32})
+	eng, err := hkpr.NewEngine(d, opts, hkpr.EngineConfig{
+		Workers: 1, CacheBytes: -1, Parallelism: 1,
+	})
+	if err != nil {
+		return perfPoint{}, err
+	}
+	defer eng.Close()
+	ctx := context.Background()
+	req := hkpr.ServeRequest{Seed: 7, Method: "tea", NoCache: true}
+	if _, err := eng.Do(ctx, req); err != nil {
+		return perfPoint{}, err
+	}
+
+	// Toggle edges spread across the graph; each stays absent only between
+	// its own remove and re-add, so every batch validates.
+	var toggles [][2]hkpr.NodeID
+	snap := g.Snapshot()
+	for u := hkpr.NodeID(0); u < hkpr.NodeID(g.N()) && len(toggles) < 32; u += 101 {
+		if nbrs := snap.Neighbors(u); len(nbrs) > 1 {
+			toggles = append(toggles, [2]hkpr.NodeID{u, nbrs[0]})
+		}
+	}
+	if len(toggles) == 0 {
+		return perfPoint{}, fmt.Errorf("no toggleable edges found")
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	var updates int64
+	var updateErr error
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e := toggles[i%len(toggles)]
+			if _, err := eng.ApplyUpdates(hkpr.UpdateBatch{RemoveEdges: [][2]hkpr.NodeID{e}}); err != nil {
+				updateErr = err
+				return
+			}
+			if _, err := eng.ApplyUpdates(hkpr.UpdateBatch{AddEdges: [][2]hkpr.NodeID{e}}); err != nil {
+				updateErr = err
+				return
+			}
+			updates += 2
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := req
+			r.Seed = hkpr.NodeID(i % g.N())
+			if _, err := eng.Do(ctx, r); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	close(stop)
+	<-done
+	d.WaitCompaction()
+	if benchErr != nil {
+		return perfPoint{}, benchErr
+	}
+	if updateErr != nil {
+		return perfPoint{}, fmt.Errorf("background writer: %w", updateErr)
+	}
+	if res.N == 0 {
+		return perfPoint{}, fmt.Errorf("benchmark did not run")
+	}
+	pauses := d.CompactionPauses()
+	return perfPoint{
+		Parallelism:       1,
+		NsPerOp:           res.NsPerOp(),
+		AllocsPerOp:       res.AllocsPerOp(),
+		BytesPerOp:        res.AllocedBytesPerOp(),
+		QueriesPerSec:     1e9 / float64(max64(res.NsPerOp(), 1)),
+		Iterations:        res.N,
+		UpdatesApplied:    updates,
+		Compactions:       len(pauses),
+		CompactPauseP99Ns: durationP99(pauses).Nanoseconds(),
+	}, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// durationP99 returns the 99th-percentile entry (nearest-rank) of ds.
+func durationP99(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (99*len(s)+99)/100 - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
 }
 
 // perfMeasureServe benchmarks uncached queries through a serving engine at

@@ -65,6 +65,27 @@ func TestPerfWritesBenchJSON(t *testing.T) {
 			}
 		}
 	}
+
+	// The update entry measures query throughput under a live background
+	// writer; its point is always serial and must record the writer's work.
+	raw, err := os.ReadFile(filepath.Join(dir, "BENCH_update.json"))
+	if err != nil {
+		t.Fatalf("missing update bench JSON: %v", err)
+	}
+	var rep perfReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("BENCH_update.json: bad JSON: %v", err)
+	}
+	if rep.Name != "update" || len(rep.Points) != 1 {
+		t.Fatalf("BENCH_update.json: unexpected report %+v", rep)
+	}
+	p := rep.Points[0]
+	if p.Parallelism != 1 || p.NsPerOp <= 0 || p.QueriesPerSec <= 0 {
+		t.Fatalf("BENCH_update.json: unexpected point %+v", p)
+	}
+	if p.UpdatesApplied == 0 {
+		t.Fatal("BENCH_update.json: background writer applied no update batches; the point measured a static graph")
+	}
 }
 
 // TestCheckPerfBaseline pins the CI regression gate: a fresh report passes

@@ -7,10 +7,19 @@
 // the seeds share a single multi-source graph pass, and every seed's result
 // is bit-identical to a standalone single-seed run.
 //
+// With -updates the graph is wrapped as a live-updatable Dynamic and an
+// edge-list delta is applied before querying: each line is "u v" (add an
+// edge), "+ u v" / "add u v" (add), or "- u v" / "del u v" (remove); '#'
+// starts a comment.  Added edges may reference nodes beyond the loaded
+// graph — the node range grows to cover them.  The query then runs on the
+// base CSR plus the delta overlay, bit-identical to a from-scratch rebuild
+// of the updated edge set.
+//
 // Example:
 //
 //	hkprquery -graph plc.txt -seed 17 -method tea+ -t 5 -eps 0.5
 //	hkprquery -graph plc.txt -seed 17,42,101 -method tea+
+//	hkprquery -graph plc.txt -updates delta.txt -seed 17
 package main
 
 import (
@@ -64,6 +73,7 @@ func run(args []string, out io.Writer) error {
 		pf        = fs.Float64("pf", 1e-6, "failure probability")
 		rngSeed   = fs.Uint64("rng", 1, "random seed")
 		topK      = fs.Int("top", 20, "print at most this many cluster members")
+		updates   = fs.String("updates", "", "edge-list delta applied before querying: 'u v' or '+ u v' adds an edge, '- u v' (or 'del u v') removes one")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,15 +92,31 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "graph: n=%d m=%d avg-degree=%.2f\n", g.N(), g.M(), g.AverageDegree())
 
+	var src hkpr.GraphSource = g
+	if *updates != "" {
+		batch, err := parseUpdates(*updates, g.N())
+		if err != nil {
+			return err
+		}
+		dyn := hkpr.NewDynamic(g, hkpr.DynamicOptions{})
+		if _, err := dyn.ApplyUpdates(batch); err != nil {
+			return fmt.Errorf("applying %s: %w", *updates, err)
+		}
+		snap := dyn.Snapshot()
+		fmt.Fprintf(out, "updates: +%d nodes +%d edges -%d edges → epoch %d (n=%d m=%d)\n",
+			batch.AddNodes, len(batch.AddEdges), len(batch.RemoveEdges), snap.Epoch(), snap.N(), snap.M())
+		src = dyn
+	}
+
 	d := *delta
 	if d == 0 {
-		d = 1 / float64(g.N())
+		d = 1 / float64(src.Snapshot().N())
 	}
 	opts := hkpr.Options{T: *heat, EpsRel: *epsRel, Delta: d, FailureProb: *pf, Seed: *rngSeed}
 	fmt.Fprintf(out, "method: %s  heat t=%.1f  εr=%.2f  δ=%.2e\n", *method, *heat, *epsRel, d)
 
 	start := time.Now()
-	results, err := estimate(g, seeds, hkpr.Method(*method), opts)
+	results, err := estimate(src, seeds, hkpr.Method(*method), opts)
 	if err != nil {
 		return err
 	}
@@ -102,7 +128,7 @@ func run(args []string, out io.Writer) error {
 
 	for i, seed := range seeds {
 		res := results[i]
-		sweep := hkpr.Sweep(g, res.Scores)
+		sweep := hkpr.Sweep(src, res.Scores)
 		if len(seeds) > 1 {
 			fmt.Fprintf(out, "--- seed %d ---\n", seed)
 		}
@@ -128,9 +154,9 @@ func run(args []string, out io.Writer) error {
 // estimate runs the query: a single seed goes through the standalone
 // estimator (which supports the baseline methods too); several seeds run as
 // one batched multi-source call, available for the core methods.
-func estimate(g *hkpr.Graph, seeds []hkpr.NodeID, method hkpr.Method, opts hkpr.Options) ([]*hkpr.Result, error) {
+func estimate(src hkpr.GraphSource, seeds []hkpr.NodeID, method hkpr.Method, opts hkpr.Options) ([]*hkpr.Result, error) {
 	if len(seeds) == 1 {
-		res, err := hkpr.EstimateHKPR(g, seeds[0], method, opts)
+		res, err := hkpr.EstimateHKPR(src, seeds[0], method, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +167,7 @@ func estimate(g *hkpr.Graph, seeds []hkpr.NodeID, method hkpr.Method, opts hkpr.
 	default:
 		return nil, fmt.Errorf("batched -seed lists support tea+, tea and monte-carlo, got %q", method)
 	}
-	c, err := hkpr.NewClustererWithMethod(g, opts, method)
+	c, err := hkpr.NewClustererWithMethod(src, opts, method)
 	if err != nil {
 		return nil, err
 	}
@@ -162,4 +188,59 @@ func loadGraph(path string) (*hkpr.Graph, error) {
 		return hkpr.LoadBinaryFile(path)
 	}
 	return hkpr.LoadEdgeListFile(path)
+}
+
+// parseUpdates reads an edge-list delta file into one UpdateBatch.  A line is
+// "u v" or "+ u v" / "add u v" (insert an edge) or "- u v" / "del u v"
+// (remove one); '#' starts a comment.  Added edges may reference node IDs at
+// or beyond n — AddNodes grows the node range to cover the largest one.
+func parseUpdates(path string, n int) (hkpr.UpdateBatch, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return hkpr.UpdateBatch{}, err
+	}
+	var batch hkpr.UpdateBatch
+	maxID := hkpr.NodeID(n - 1)
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		op := "+"
+		switch len(fields) {
+		case 2:
+		case 3:
+			op = fields[0]
+			fields = fields[1:]
+		default:
+			return hkpr.UpdateBatch{}, fmt.Errorf("%s:%d: want 'u v' or 'op u v', got %q", path, lineNo+1, line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		if err1 != nil || err2 != nil {
+			return hkpr.UpdateBatch{}, fmt.Errorf("%s:%d: non-integer node id in %q", path, lineNo+1, line)
+		}
+		e := [2]hkpr.NodeID{hkpr.NodeID(u), hkpr.NodeID(v)}
+		switch op {
+		case "+", "add":
+			batch.AddEdges = append(batch.AddEdges, e)
+			if e[0] > maxID {
+				maxID = e[0]
+			}
+			if e[1] > maxID {
+				maxID = e[1]
+			}
+		case "-", "del":
+			batch.RemoveEdges = append(batch.RemoveEdges, e)
+		default:
+			return hkpr.UpdateBatch{}, fmt.Errorf("%s:%d: unknown op %q (want +, -, add or del)", path, lineNo+1, op)
+		}
+	}
+	if grow := int(maxID) - (n - 1); grow > 0 {
+		batch.AddNodes = grow
+	}
+	return batch, nil
 }

@@ -12,6 +12,13 @@
 //	GET /healthz                 → 200 ok
 //	GET /stats                   → graph + serving statistics (JSON)
 //	GET /metrics                 → serving metrics (Prometheus text format)
+//	POST /update                 → apply one graph update batch as a new
+//	                               epoch (JSON body: {"add_nodes":N,
+//	                               "add_edges":[[u,v],…],
+//	                               "remove_edges":[[u,v],…]}); all-or-nothing
+//	                               validation (self-loops, duplicates, absent
+//	                               removals → 400), returns the new epoch and
+//	                               the scoped cache-invalidation summary
 //	GET /debug/queries           → the most recently completed query traces,
 //	                               newest first (JSON; ring sized by
 //	                               -trace-buffer)
@@ -54,6 +61,9 @@
 //	               load
 //	-cpu-tokens N  shared CPU budget for workers + push chunks + walk shards
 //	               (default max(workers, GOMAXPROCS))
+//	-compact-delta N   background-compact the delta overlay back into CSR
+//	               after N accumulated update operations (0 = library
+//	               default, negative disables compaction)
 //
 // Observability flags:
 //
@@ -119,6 +129,7 @@ func run(args []string) error {
 		slowQuery = fs.Duration("slow-query", 0, "log queries slower than this with a per-stage breakdown (0 disables)")
 		strictInv = fs.Bool("strict-invariants", false, "fail queries whose inline invariant self-verification fails (HTTP 500) instead of only counting the violation")
 		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
+		compactTh = fs.Int("compact-delta", 0, "compact the update delta overlay back into CSR after this many accumulated operations (0 = library default, negative disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -142,7 +153,11 @@ func run(args []string) error {
 	if *cacheMB <= 0 {
 		cacheBytes = -1
 	}
-	srv, err := newServer(g, hkpr.Options{T: *heat, EpsRel: *epsRel, FailureProb: *pf}, hkpr.EngineConfig{
+	// The graph is always served through a Dynamic wrapper so POST /update
+	// works out of the box; an untouched Dynamic reads exactly like the
+	// static graph it wraps.
+	dyn := hkpr.NewDynamic(g, hkpr.DynamicOptions{CompactThreshold: *compactTh})
+	srv, err := newServer(dyn, hkpr.Options{T: *heat, EpsRel: *epsRel, FailureProb: *pf}, hkpr.EngineConfig{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		CacheBytes:     cacheBytes,
@@ -190,17 +205,16 @@ func run(args []string) error {
 
 // server holds the long-lived serving engine shared by all requests.
 type server struct {
-	g      *hkpr.Graph
 	engine *hkpr.Engine
 	pprof  bool
 }
 
-func newServer(g *hkpr.Graph, opts hkpr.Options, cfg hkpr.EngineConfig) (*server, error) {
-	eng, err := hkpr.NewEngine(g, opts, cfg)
+func newServer(src hkpr.GraphSource, opts hkpr.Options, cfg hkpr.EngineConfig) (*server, error) {
+	eng, err := hkpr.NewEngine(src, opts, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &server{g: g, engine: eng}, nil
+	return &server{engine: eng}, nil
 }
 
 func (s *server) routes() http.Handler {
@@ -209,6 +223,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /cluster", s.handleCluster)
+	mux.HandleFunc("POST /update", s.handleUpdate)
 	mux.HandleFunc("GET /debug/queries", s.handleDebugQueries)
 	if s.pprof {
 		// Registered explicitly instead of importing the package for its
@@ -232,16 +247,18 @@ type statsResponse struct {
 	Edges         int64           `json:"edges"`
 	AverageDegree float64         `json:"average_degree"`
 	MaxDegree     int32           `json:"max_degree"`
+	Epoch         uint64          `json:"epoch"`
 	Serving       hkpr.ServeStats `json:"serving"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.g.ComputeStats()
+	snap := s.engine.Graph()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Nodes:         st.Nodes,
-		Edges:         st.Edges,
-		AverageDegree: st.AverageDegree,
-		MaxDegree:     st.MaxDegree,
+		Nodes:         snap.N(),
+		Edges:         snap.M(),
+		AverageDegree: snap.AverageDegree(),
+		MaxDegree:     snap.MaxDegree(),
+		Epoch:         snap.Epoch(),
 		Serving:       s.engine.Stats(),
 	})
 }
@@ -262,6 +279,7 @@ type clusterResponse struct {
 	QueueWaitMS float64           `json:"queue_wait_ms"`
 	Cached      bool              `json:"cached"`
 	Coalesced   bool              `json:"coalesced"`
+	Epoch       uint64            `json:"epoch"`
 	Parallelism int               `json:"parallelism"`
 	Pushes      int64             `json:"push_operations"`
 	Walks       int64             `json:"random_walks"`
@@ -280,7 +298,7 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	seed, err := strconv.ParseInt(seedStr, 10, 64)
-	if err != nil || seed < 0 || seed >= int64(s.g.N()) {
+	if err != nil || seed < 0 || seed >= int64(s.engine.Graph().N()) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "seed must be a node id in range"})
 		return
 	}
@@ -353,11 +371,58 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		QueueWaitMS: float64(resp.QueueWait.Microseconds()) / 1000,
 		Cached:      resp.Cached,
 		Coalesced:   resp.Coalesced,
+		Epoch:       resp.Epoch,
 		Parallelism: resp.Parallelism,
 		Pushes:      resp.Result.Stats.PushOperations,
 		Walks:       resp.Result.Stats.RandomWalks,
 		Trace:       resp.Trace,
 	})
+}
+
+// updateRequest is the POST /update JSON body: one atomic graph update batch.
+type updateRequest struct {
+	AddNodes    int              `json:"add_nodes"`
+	AddEdges    [][2]hkpr.NodeID `json:"add_edges"`
+	RemoveEdges [][2]hkpr.NodeID `json:"remove_edges"`
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad update body: " + err.Error()})
+		return
+	}
+	res, err := s.engine.ApplyUpdates(hkpr.UpdateBatch{
+		AddNodes:    req.AddNodes,
+		AddEdges:    req.AddEdges,
+		RemoveEdges: req.RemoveEdges,
+	})
+	if err != nil {
+		writeJSON(w, updateStatusForError(err), errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// updateStatusForError maps ApplyUpdates failures to HTTP statuses: batch
+// validation errors are the client's fault (400), a static engine cannot
+// accept updates at all (409), a closing engine mirrors query shedding (503).
+func updateStatusForError(err error) int {
+	switch {
+	case errors.Is(err, hkpr.ErrSelfLoop),
+		errors.Is(err, hkpr.ErrDuplicateEdge),
+		errors.Is(err, hkpr.ErrEdgeNotFound),
+		errors.Is(err, hkpr.ErrInvalidNode):
+		return http.StatusBadRequest
+	case errors.Is(err, hkpr.ErrStaticGraph):
+		return http.StatusConflict
+	case errors.Is(err, hkpr.ErrEngineClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 // statusForError maps a serving-layer error to its HTTP status and client

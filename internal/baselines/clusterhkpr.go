@@ -69,8 +69,9 @@ func ClusterHKPR(g *graph.Graph, seed graph.NodeID, opts ClusterHKPROptions) (*c
 	start := time.Now()
 	var steps int64
 	inc := 1 / float64(nr)
+	snap := g.Snapshot()
 	for i := int64(0); i < nr; i++ {
-		end, st := core.KRandomWalk(g, rng, w, seed, 0, maxLen)
+		end, st := core.KRandomWalk(snap, rng, w, seed, 0, maxLen)
 		scores[end] += inc
 		steps += int64(st)
 	}

@@ -16,7 +16,8 @@ import (
 // S.  A conductance of 0 means the set is disconnected from the rest of the
 // graph (or is the whole graph); by convention an empty or full set has
 // conductance 1, the worst possible value, so sweeps never select it.
-func Conductance(g *graph.Graph, set []graph.NodeID) float64 {
+func Conductance(src graph.Source, set []graph.NodeID) float64 {
+	g := src.Snapshot()
 	if len(set) == 0 {
 		return 1
 	}
@@ -105,8 +106,8 @@ const sweepBatchSize = 128
 // O(|S*| log |S*| + vol(S*)) time using incremental cut and volume
 // maintenance, and its output is identical to a full-sort implementation
 // (the ranking order is a strict total order: score desc, node asc).
-func Sweep(g *graph.Graph, scores core.ScoreVector) SweepResult {
-	return sweepImpl(g, scores, true, 0)
+func Sweep(src graph.Source, scores core.ScoreVector) SweepResult {
+	return sweepImpl(src.Snapshot(), scores, true, 0)
 }
 
 // SweepK is Sweep bounded to the top-k ranked candidates: only the first k
@@ -114,17 +115,17 @@ func Sweep(g *graph.Graph, scores core.ScoreVector) SweepResult {
 // right call when the caller wants a cluster of bounded size and skips the
 // O(|S*| log |S*|) tail of the ranking entirely.  k <= 0 sweeps everything.
 // For the prefixes it inspects, the profile is identical to Sweep's.
-func SweepK(g *graph.Graph, scores core.ScoreVector, k int) SweepResult {
-	return sweepImpl(g, scores, true, k)
+func SweepK(src graph.Source, scores core.ScoreVector, k int) SweepResult {
+	return sweepImpl(src.Snapshot(), scores, true, k)
 }
 
 // SweepPreNormalized is identical to Sweep but treats the provided scores as
 // already degree-normalized (ρ̂[v]/d(v)).
-func SweepPreNormalized(g *graph.Graph, scores core.ScoreVector) SweepResult {
-	return sweepImpl(g, scores, false, 0)
+func SweepPreNormalized(src graph.Source, scores core.ScoreVector) SweepResult {
+	return sweepImpl(src.Snapshot(), scores, false, 0)
 }
 
-func sweepImpl(g *graph.Graph, scores core.ScoreVector, normalize bool, limit int) SweepResult {
+func sweepImpl(g *graph.Snapshot, scores core.ScoreVector, normalize bool, limit int) SweepResult {
 	order := make([]ScoredNode, 0, len(scores))
 	for _, e := range scores {
 		if e.Score <= 0 {
@@ -327,7 +328,8 @@ func NDCG(predicted []graph.NodeID, truth map[graph.NodeID]float64, k int) float
 
 // RankByNormalizedScore returns the nodes of scores sorted in descending order
 // of score/degree, the ranking the sweep and the NDCG evaluation use.
-func RankByNormalizedScore(g *graph.Graph, scores core.ScoreVector) []graph.NodeID {
+func RankByNormalizedScore(src graph.Source, scores core.ScoreVector) []graph.NodeID {
+	g := src.Snapshot()
 	order := make([]ScoredNode, 0, len(scores))
 	for _, e := range scores {
 		d := float64(g.Degree(e.Node))
@@ -347,7 +349,8 @@ func RankByNormalizedScore(g *graph.Graph, scores core.ScoreVector) []graph.Node
 // NormalizedScores divides every score by the node's degree, producing the
 // ρ̂[v]/d(v) vector used for ranking.  Filtering preserves the input's node
 // order, so the result is again a valid node-sorted ScoreVector.
-func NormalizedScores(g *graph.Graph, scores core.ScoreVector) core.ScoreVector {
+func NormalizedScores(src graph.Source, scores core.ScoreVector) core.ScoreVector {
+	g := src.Snapshot()
 	out := make(core.ScoreVector, 0, len(scores))
 	for _, e := range scores {
 		d := float64(g.Degree(e.Node))
@@ -362,7 +365,8 @@ func NormalizedScores(g *graph.Graph, scores core.ScoreVector) core.ScoreVector 
 // SetDensity returns the edge density of the subgraph induced by the node
 // set: |E(S)| / (|S| (|S|-1) / 2).  The paper stratifies seed sets by the
 // density of the subgraph they are drawn from (§7.7).
-func SetDensity(g *graph.Graph, set []graph.NodeID) float64 {
+func SetDensity(src graph.Source, set []graph.NodeID) float64 {
+	g := src.Snapshot()
 	if len(set) < 2 {
 		return 0
 	}

@@ -29,7 +29,8 @@ type Stats struct {
 }
 
 // ComputeStats measures the node set S in g.
-func ComputeStats(g *graph.Graph, set []graph.NodeID) Stats {
+func ComputeStats(src graph.Source, set []graph.NodeID) Stats {
+	g := src.Snapshot()
 	var s Stats
 	if len(set) == 0 {
 		s.Conductance = 1

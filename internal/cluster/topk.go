@@ -15,7 +15,8 @@ import (
 // a quickselect partitions the k best entries to the front and only that
 // prefix is sorted, so asking for a short prefix of a large sparse vector
 // does not pay for a full sort.
-func TopKNormalized(g *graph.Graph, scores core.ScoreVector, k int) []ScoredNode {
+func TopKNormalized(src graph.Source, scores core.ScoreVector, k int) []ScoredNode {
+	g := src.Snapshot()
 	order := make([]ScoredNode, 0, len(scores))
 	for _, e := range scores {
 		d := float64(g.Degree(e.Node))

@@ -74,7 +74,8 @@ func (bc *BatchContext) laneAudit(idx int) *InvariantAudit {
 // are joined into the returned error while the remaining results are still
 // returned.  For the method-resolved, per-source-error form used by the
 // serving layer, see Estimator.TEAManyContext and friends.
-func EstimateMany(g *graph.Graph, seeds []graph.NodeID, opts Options) ([]*Result, error) {
+func EstimateMany(src graph.Source, seeds []graph.NodeID, opts Options) ([]*Result, error) {
+	g := src.Snapshot()
 	est, err := NewEstimator(g, opts)
 	if err != nil {
 		return nil, err
@@ -106,21 +107,22 @@ func (e *Estimator) TEAMany(seeds []graph.NodeID, query Options) ([]*Result, []e
 // error per seed (results[i] is nil exactly when errs[i] is non-nil); the
 // final error is non-nil only when the batch as a whole could not start.
 func (e *Estimator) TEAManyContext(bc BatchContext, seeds []graph.NodeID, query Options) ([]*Result, []error, error) {
-	o := e.override(query)
+	g := e.snapshotFor(bc.OptionsContext)
+	o := e.optsFor(g, query)
 	if err := o.Validate(); err != nil {
 		return nil, nil, err
 	}
 	results := make([]*Result, len(seeds))
 	errs := make([]error, len(seeds))
 	ctl := newExecCtl(bc.OptionsContext)
-	release := acquireWorkspace(&ctl, e.g)
+	release := acquireWorkspace(&ctl, g)
 	defer release()
 	for lo := 0; lo < len(seeds); lo += maxBatchLanes {
 		hi := lo + maxBatchLanes
 		if hi > len(seeds) {
 			hi = len(seeds)
 		}
-		teaGroup(e.g, o, e.w, ctl, bc, lo, seeds[lo:hi], results, errs)
+		teaGroup(g, o, e.w, ctl, bc, lo, seeds[lo:hi], results, errs)
 	}
 	return results, errs, nil
 }
@@ -135,11 +137,12 @@ func (e *Estimator) TEAPlusMany(seeds []graph.NodeID, query Options) ([]*Result,
 // early-termination control flow are per-source; see the file comment), each
 // with its own cancellation and audit.
 func (e *Estimator) TEAPlusManyContext(bc BatchContext, seeds []graph.NodeID, query Options) ([]*Result, []error, error) {
-	o := e.override(query)
+	g := e.snapshotFor(bc.OptionsContext)
+	o := e.optsFor(g, query)
 	if err := o.Validate(); err != nil {
 		return nil, nil, err
 	}
-	return runManySequential(e.g, seeds, o, e.w, bc, teaPlusWithWeights)
+	return runManySequential(g, seeds, o, e.w, bc, teaPlusWithWeights)
 }
 
 // MonteCarloMany runs the pure Monte-Carlo estimator for every seed on one
@@ -150,17 +153,18 @@ func (e *Estimator) MonteCarloMany(seeds []graph.NodeID, query Options) ([]*Resu
 
 // MonteCarloManyContext is the batched counterpart of MonteCarloContext.
 func (e *Estimator) MonteCarloManyContext(bc BatchContext, seeds []graph.NodeID, query Options) ([]*Result, []error, error) {
-	o := e.override(query).withDefaults()
+	g := e.snapshotFor(bc.OptionsContext)
+	o := e.optsFor(g, query).withDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, nil, err
 	}
-	return runManySequential(e.g, seeds, o, e.w, bc, monteCarloWithWeights)
+	return runManySequential(g, seeds, o, e.w, bc, monteCarloWithWeights)
 }
 
 // runManySequential executes one single-source estimator seam per seed on a
 // shared workspace, with per-source cancellation, audits and errors.
-func runManySequential(g *graph.Graph, seeds []graph.NodeID, o Options, w *heatkernel.Weights,
-	bc BatchContext, fn func(*graph.Graph, graph.NodeID, Options, *heatkernel.Weights, execCtl) (*Result, error)) ([]*Result, []error, error) {
+func runManySequential(g *graph.Snapshot, seeds []graph.NodeID, o Options, w *heatkernel.Weights,
+	bc BatchContext, fn func(*graph.Snapshot, graph.NodeID, Options, *heatkernel.Weights, execCtl) (*Result, error)) ([]*Result, []error, error) {
 	results := make([]*Result, len(seeds))
 	errs := make([]error, len(seeds))
 	ctl := newExecCtl(bc.OptionsContext)
@@ -191,7 +195,7 @@ func runManySequential(g *graph.Graph, seeds []graph.NodeID, o Options, w *heatk
 // per-lane collection and sharded walks (unchanged per-source RNG streams),
 // and a demultiplexing merge.  Results and per-source errors land at
 // results/errs[base+i].
-func teaGroup(g *graph.Graph, o Options, w *heatkernel.Weights, ctl execCtl, bc BatchContext,
+func teaGroup(g *graph.Snapshot, o Options, w *heatkernel.Weights, ctl execCtl, bc BatchContext,
 	base int, seeds []graph.NodeID, results []*Result, errs []error) {
 	kk := len(seeds)
 	ws := ctl.ws

@@ -97,7 +97,7 @@ func liveMask(lanes []batchLane) uint64 {
 // shared scan per hop.  Lane state (counters, residues, reserve lanes,
 // errors) is left on the lanes and the batch slabs; a lane that hits
 // cancellation dies individually without aborting the others.
-func batchPushTEA(g *graph.Graph, st *batchState, lanes []batchLane, w *heatkernel.Weights, rmax float64, maxHops int) {
+func batchPushTEA(g *graph.Snapshot, st *batchState, lanes []batchLane, w *heatkernel.Weights, rmax float64, maxHops int) {
 	live := liveMask(lanes)
 	for k := 0; k < maxHops && live != 0; k++ {
 		// Lanes participate in hop k only while their emulated NumHops

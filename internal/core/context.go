@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"hkpr/internal/graph"
 	"hkpr/internal/trace"
 )
 
@@ -55,6 +56,12 @@ type OptionsContext struct {
 	// the struct.  With Audit.Strict set a violation aborts the query with
 	// an error wrapping ErrInvariantViolation.  nil skips all checks.
 	Audit *InvariantAudit
+	// Snapshot, when non-nil, pins the query to one published epoch of a
+	// dynamic graph: the estimator runs on exactly this view regardless of
+	// updates applied concurrently.  The serving layer pins the snapshot it
+	// resolves at admission so estimation, sweep and rendering all see the
+	// same epoch.  nil resolves the source's current snapshot per call.
+	Snapshot *graph.Snapshot
 }
 
 // CPUGate is a shared CPU-token budget.  Implementations must be safe for

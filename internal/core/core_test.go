@@ -218,10 +218,10 @@ func TestHKPushPlusEarlyTermination(t *testing.T) {
 	push := HKPushPlus(g, 0, w, 0.5, 0.01, 8, 1<<30)
 	if !push.SatisfiedInequality11 {
 		t.Errorf("expected Inequality 11 to be satisfied; NormalizedMaxSum=%v",
-			push.Residues.NormalizedMaxSum(g))
+			push.Residues.NormalizedMaxSum(g.Snapshot()))
 	}
-	if push.Residues.NormalizedMaxSum(g) > 0.5*0.01 {
-		t.Errorf("reported satisfied but sum=%v > %v", push.Residues.NormalizedMaxSum(g), 0.5*0.01)
+	if push.Residues.NormalizedMaxSum(g.Snapshot()) > 0.5*0.01 {
+		t.Errorf("reported satisfied but sum=%v > %v", push.Residues.NormalizedMaxSum(g.Snapshot()), 0.5*0.01)
 	}
 }
 
@@ -290,7 +290,7 @@ func TestKRandomWalkDistribution(t *testing.T) {
 	counts := make([]int, n)
 	totalSteps := 0
 	for i := 0; i < samples; i++ {
-		end, steps := KRandomWalk(g, rng, w, start, k, 0)
+		end, steps := KRandomWalk(g.Snapshot(), rng, w, start, k, 0)
 		counts[end]++
 		totalSteps += steps
 	}
@@ -316,7 +316,7 @@ func TestKRandomWalkDanglingNode(t *testing.T) {
 	g := b.Build()
 	w := heatkernel.MustNew(5, 1e-15)
 	rng := xrand.New(1)
-	end, _ := KRandomWalk(g, rng, w, 1, 0, 0)
+	end, _ := KRandomWalk(g.Snapshot(), rng, w, 1, 0, 0)
 	if end != 1 {
 		t.Errorf("walk from isolated node should stay there, got %d", end)
 	}
@@ -516,7 +516,7 @@ func TestReduceResiduesBounds(t *testing.T) {
 	push := HKPushPlus(g, 0, w, 0.5, 1.0/float64(g.N()), 4, 200)
 	before := push.Residues.TotalMass()
 	target := 0.5 / float64(g.N())
-	reduceResidues(g, push.Residues, target)
+	reduceResidues(g.Snapshot(), push.Residues, target)
 	after := push.Residues.TotalMass()
 	if after > before+1e-12 {
 		t.Errorf("reduction increased residue mass: %v -> %v", before, after)
@@ -535,7 +535,7 @@ func TestEstimatorReuse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if est.Graph() != g || est.Weights() == nil {
+	if est.Graph() != g.Snapshot() || est.Weights() == nil {
 		t.Fatal("estimator accessors broken")
 	}
 	if est.Options().AdjustedFailureProb <= 0 {

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+	"hkpr/internal/xrand"
+)
+
+// rebuildSnapshot materializes snap's exact edge set into a from-scratch CSR
+// graph — the reference a delta-overlay query must be bit-identical to.
+func rebuildSnapshot(snap *graph.Snapshot) *graph.Graph {
+	var edges [][2]graph.NodeID
+	snap.Edges(func(u, v graph.NodeID) bool {
+		edges = append(edges, [2]graph.NodeID{u, v})
+		return true
+	})
+	return graph.FromEdges(snap.N(), edges)
+}
+
+// assertResultsBitIdentical fails unless the two results carry byte-for-byte
+// equal score vectors.
+func assertResultsBitIdentical(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	gs, ws := got.Scores, want.Scores
+	if len(gs) != len(ws) {
+		t.Fatalf("%s: support %d != %d", label, len(gs), len(ws))
+	}
+	for i := range gs {
+		if gs[i] != ws[i] {
+			t.Fatalf("%s: entry %d: (%d,%v) != (%d,%v) — overlay query must be bit-identical to the rebuilt CSR",
+				label, i, gs[i].Node, gs[i].Score, ws[i].Node, ws[i].Score)
+		}
+	}
+}
+
+// dynamicPropertyBase builds a power-law base graph and a random-but-seeded
+// update batch against it: edge removals sampled from existing edges, edge
+// and node insertions wired back into the component.
+func dynamicPropertyBase(t testing.TB) (*graph.Graph, graph.UpdateBatch) {
+	t.Helper()
+	g, err := gen.PowerlawCluster(600, 3, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(42)
+	snap := g.Snapshot()
+	batch := graph.UpdateBatch{AddNodes: 3}
+	// Remove a handful of existing edges (each node keeps degree >= 1: only
+	// drop an edge when both endpoints have degree > 1 in the base).
+	removed := map[[2]graph.NodeID]bool{}
+	snap.Edges(func(u, v graph.NodeID) bool {
+		if len(batch.RemoveEdges) < 12 && rng.Uint64()%7 == 0 &&
+			snap.Degree(u) > 2 && snap.Degree(v) > 2 {
+			batch.RemoveEdges = append(batch.RemoveEdges, [2]graph.NodeID{u, v})
+			removed[[2]graph.NodeID{u, v}] = true
+		}
+		return true
+	})
+	// Add fresh edges, including ones touching the new nodes.
+	n := graph.NodeID(g.N())
+	batch.AddEdges = [][2]graph.NodeID{
+		{n, n + 1}, {n + 1, n + 2}, {0, n}, {1, n + 2},
+	}
+	for len(batch.AddEdges) < 16 {
+		u := graph.NodeID(rng.Uint64() % uint64(g.N()))
+		v := graph.NodeID(rng.Uint64() % uint64(g.N()))
+		if u == v || snap.HasEdge(u, v) {
+			continue
+		}
+		dup := false
+		for _, e := range batch.AddEdges {
+			if (e[0] == u && e[1] == v) || (e[0] == v && e[1] == u) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			batch.AddEdges = append(batch.AddEdges, [2]graph.NodeID{u, v})
+		}
+	}
+	return g, batch
+}
+
+// TestDynamicQueryBitIdenticalToRebuild is the tentpole equivalence property:
+// for every method, batch size k ∈ {1, 8} and parallelism P ∈ {1, 8}, a query
+// against (base CSR + applied delta overlay) is bit-identical to the same
+// query against a from-scratch rebuilt CSR of the updated edge set.
+func TestDynamicQueryBitIdenticalToRebuild(t *testing.T) {
+	base, batch := dynamicPropertyBase(t)
+	d := graph.NewDynamic(base, graph.DynamicOptions{CompactThreshold: -1})
+	if _, err := d.ApplyUpdates(batch); err != nil {
+		t.Fatal(err)
+	}
+	snap := d.Snapshot()
+	rebuilt := rebuildSnapshot(snap)
+
+	seeds := []graph.NodeID{0, 1, 7, 33, 100, 250, 400, graph.NodeID(base.N())}
+	for _, k := range []int{1, 8} {
+		for _, p := range []int{1, 8} {
+			opts := Options{
+				T: 5, EpsRel: 0.6, Delta: 1 / float64(snap.N()),
+				FailureProb: 1e-3, Seed: 9, Parallelism: p,
+			}
+			t.Run(fmt.Sprintf("k=%d/P=%d", k, p), func(t *testing.T) {
+				if k == 1 {
+					for _, seed := range seeds {
+						over, err := TEAPlus(d, seed, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						ref, err := TEAPlus(rebuilt, seed, opts)
+						if err != nil {
+							t.Fatal(err)
+						}
+						assertResultsBitIdentical(t, fmt.Sprintf("tea+ seed=%d", seed), over, ref)
+					}
+					return
+				}
+				over, err := EstimateMany(d, seeds, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := EstimateMany(rebuilt, seeds, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, seed := range seeds {
+					assertResultsBitIdentical(t, fmt.Sprintf("many seed=%d", seed), over[i], ref[i])
+				}
+			})
+		}
+	}
+}
+
+// TestDynamicQueriesStableAcrossEpochPublishes pins the snapshot-isolation
+// half of the property: queries running while a concurrent writer publishes
+// new epochs (and compaction republishes representations) stay bit-identical
+// to the rebuilt CSR of the epoch they pinned — mid-query publishes never
+// tear or perturb a running query.  Run under -race this also proves the
+// reader/writer paths share no unsynchronized state.
+func TestDynamicQueriesStableAcrossEpochPublishes(t *testing.T) {
+	base, batch := dynamicPropertyBase(t)
+	// A tiny compaction threshold makes background republishes happen
+	// mid-test, interleaved with the epoch publishes.
+	d := graph.NewDynamic(base, graph.DynamicOptions{CompactThreshold: 8})
+
+	// Pin epoch 0 and precompute its reference results.
+	pinned := d.Snapshot()
+	rebuilt := rebuildSnapshot(pinned)
+	opts := Options{
+		T: 5, EpsRel: 0.6, Delta: 1 / float64(pinned.N()),
+		FailureProb: 1e-3, Seed: 13, Parallelism: 4,
+	}
+	seeds := []graph.NodeID{0, 3, 55, 123, 321}
+	refs := make([]*Result, len(seeds))
+	for i, seed := range seeds {
+		ref, err := TEAPlus(rebuilt, seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		b := batch
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := d.ApplyUpdates(b); err != nil {
+				// The batch can only be applied once; afterwards keep churning
+				// epochs by toggling one edge present in it.
+				e := b.AddEdges[0]
+				if _, err := d.ApplyUpdates(graph.UpdateBatch{RemoveEdges: [][2]graph.NodeID{e}}); err != nil {
+					panic(err)
+				}
+				if _, err := d.ApplyUpdates(graph.UpdateBatch{AddEdges: [][2]graph.NodeID{e}}); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func(w int) {
+			defer readers.Done()
+			for iter := 0; iter < 6; iter++ {
+				i := (w + iter) % len(seeds)
+				// Querying the pinned snapshot directly (a *Snapshot is a
+				// Source pinning itself) while the writer races ahead.
+				got, err := TEAPlus(pinned, seeds[i], opts)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				assertResultsBitIdentical(t, fmt.Sprintf("pinned seed=%d", seeds[i]), got, refs[i])
+			}
+		}(w)
+	}
+	readers.Wait()
+	close(stop)
+	writer.Wait()
+	d.WaitCompaction()
+
+	// After the dust settles the live snapshot still matches its own rebuild.
+	final := d.Snapshot()
+	finalRebuilt := rebuildSnapshot(final)
+	for _, seed := range seeds {
+		got, err := TEAPlus(final, seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := TEAPlus(finalRebuilt, seed, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsBitIdentical(t, fmt.Sprintf("final seed=%d", seed), got, want)
+	}
+}

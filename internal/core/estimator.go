@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync/atomic"
+
 	"hkpr/internal/graph"
 	"hkpr/internal/heatkernel"
 )
@@ -11,17 +13,36 @@ import (
 // their queries through an Estimator; the package-level TEA/TEAPlus functions
 // remain available for one-off use.
 //
+// An Estimator is built over a graph.Source, so it serves static graphs and
+// live-updated Dynamic graphs alike: each query resolves the source's current
+// snapshot once (or uses the snapshot pinned in OptionsContext.Snapshot) and
+// runs entirely on that epoch, unaffected by concurrent update publishes.
+// p'_f depends on the degree sequence, so it is recomputed when the epoch
+// changes and cached per epoch.
+//
 // An Estimator is safe for concurrent use as long as each call passes a
 // distinct Options.Seed (the RNG is created per call).
 type Estimator struct {
-	g    *graph.Graph
+	src  graph.Source
 	w    *heatkernel.Weights
 	opts Options
+
+	// pfUser marks a caller-provided Options.AdjustedFailureProb, which is
+	// honored verbatim and never recomputed.  Otherwise pf caches the Eq. 6
+	// value for the most recently queried epoch.
+	pfUser bool
+	pf     atomic.Pointer[pfEpoch]
+}
+
+// pfEpoch is one epoch's cached adjusted failure probability.
+type pfEpoch struct {
+	epoch uint64
+	pf    float64
 }
 
 // NewEstimator validates opts, builds the weight table for opts.T and
-// precomputes p'_f for opts.FailureProb on g.
-func NewEstimator(g *graph.Graph, opts Options) (*Estimator, error) {
+// precomputes p'_f for opts.FailureProb on the source's current snapshot.
+func NewEstimator(src graph.Source, opts Options) (*Estimator, error) {
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -30,20 +51,69 @@ func NewEstimator(g *graph.Graph, opts Options) (*Estimator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opts.AdjustedFailureProb == 0 {
-		opts.AdjustedFailureProb = g.AdjustedFailureProbability(opts.FailureProb)
+	e := &Estimator{src: src, w: w, opts: opts, pfUser: opts.AdjustedFailureProb != 0}
+	if !e.pfUser {
+		snap := src.Snapshot()
+		e.pf.Store(&pfEpoch{epoch: snap.Epoch(), pf: snap.AdjustedFailureProbability(opts.FailureProb)})
 	}
-	return &Estimator{g: g, w: w, opts: opts}, nil
+	return e, nil
 }
 
-// Options returns the resolved options (defaults applied, p'_f cached).
-func (e *Estimator) Options() Options { return e.opts }
+// Options returns the resolved options (defaults applied), with
+// AdjustedFailureProb stamped for the current graph epoch — p'_f is a
+// function of the degree sequence, so on a dynamic graph it tracks the latest
+// published snapshot.
+func (e *Estimator) Options() Options {
+	o := e.opts
+	o.AdjustedFailureProb = e.adjustedPfFor(e.src.Snapshot())
+	return o
+}
 
-// Graph returns the graph the estimator was built for.
-func (e *Estimator) Graph() *graph.Graph { return e.g }
+// Graph returns the current immutable snapshot of the estimator's graph.
+// Callers can hold the returned snapshot indefinitely; it never mutates even
+// if the underlying source keeps publishing new epochs.
+func (e *Estimator) Graph() *graph.Snapshot { return e.src.Snapshot() }
+
+// Source returns the graph source the estimator was built over.
+func (e *Estimator) Source() graph.Source { return e.src }
 
 // Weights exposes the shared heat-kernel weight table.
 func (e *Estimator) Weights() *heatkernel.Weights { return e.w }
+
+// snapshotFor resolves the snapshot a query runs on: the one pinned in oc by
+// the caller (the serving layer pins estimator + sweep + render to one
+// epoch), or the source's current snapshot.
+func (e *Estimator) snapshotFor(oc OptionsContext) *graph.Snapshot {
+	if oc.Snapshot != nil {
+		return oc.Snapshot
+	}
+	return e.src.Snapshot()
+}
+
+// adjustedPfFor returns p'_f for the given epoch: the user-provided value,
+// the per-epoch cache, or a fresh Eq. 6 computation (cached for next time).
+// The cache is a single slot — concurrent queries against two epochs at once
+// only cost a recompute, never a wrong value, because p'_f is a pure function
+// of the epoch's degree sequence.
+func (e *Estimator) adjustedPfFor(snap *graph.Snapshot) float64 {
+	if e.pfUser {
+		return e.opts.AdjustedFailureProb
+	}
+	if p := e.pf.Load(); p != nil && p.epoch == snap.Epoch() {
+		return p.pf
+	}
+	pf := snap.AdjustedFailureProbability(e.opts.FailureProb)
+	e.pf.Store(&pfEpoch{epoch: snap.Epoch(), pf: pf})
+	return pf
+}
+
+// optsFor merges per-query overrides and stamps the snapshot's p'_f, so the
+// estimator seams never pay the O(n) Eq. 6 sum per query.
+func (e *Estimator) optsFor(snap *graph.Snapshot, query Options) Options {
+	o := e.override(query)
+	o.AdjustedFailureProb = e.adjustedPfFor(snap)
+	return o
+}
 
 // override merges per-query overrides (seed, thresholds, parallelism) into
 // the cached options.  Zero fields keep the estimator's values; a zero RNG
@@ -75,7 +145,9 @@ func (e *Estimator) override(q Options) Options {
 // Resolve returns the options a query with the given per-query overrides
 // would run under (defaults applied, estimator settings merged).  The serving
 // layer uses it to derive cache keys that are insensitive to whether a
-// parameter was set explicitly or inherited.
+// parameter was set explicitly or inherited.  Epoch-dependent derived values
+// (p'_f) are deliberately not resolved here: cache keys must not depend on
+// the epoch, which is tracked separately.
 func (e *Estimator) Resolve(query Options) Options { return e.override(query) }
 
 // TEA runs Algorithm 3 for the given seed node.
@@ -85,14 +157,15 @@ func (e *Estimator) TEA(seed graph.NodeID, query Options) (*Result, error) {
 
 // TEAContext is TEA with cancellation checkpoints driven by oc.
 func (e *Estimator) TEAContext(oc OptionsContext, seed graph.NodeID, query Options) (*Result, error) {
-	o := e.override(query)
+	g := e.snapshotFor(oc)
+	o := e.optsFor(g, query)
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	if err := validateSeed(e.g, seed); err != nil {
+	if err := validateSeed(g, seed); err != nil {
 		return nil, err
 	}
-	return teaWithWeights(e.g, seed, o, e.w, newExecCtl(oc))
+	return teaWithWeights(g, seed, o, e.w, newExecCtl(oc))
 }
 
 // TEAPlus runs Algorithm 5 for the given seed node.
@@ -102,14 +175,15 @@ func (e *Estimator) TEAPlus(seed graph.NodeID, query Options) (*Result, error) {
 
 // TEAPlusContext is TEAPlus with cancellation checkpoints driven by oc.
 func (e *Estimator) TEAPlusContext(oc OptionsContext, seed graph.NodeID, query Options) (*Result, error) {
-	o := e.override(query)
+	g := e.snapshotFor(oc)
+	o := e.optsFor(g, query)
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	if err := validateSeed(e.g, seed); err != nil {
+	if err := validateSeed(g, seed); err != nil {
 		return nil, err
 	}
-	return teaPlusWithWeights(e.g, seed, o, e.w, newExecCtl(oc))
+	return teaPlusWithWeights(g, seed, o, e.w, newExecCtl(oc))
 }
 
 // MonteCarlo runs the pure Monte-Carlo estimator for the given seed node.
@@ -121,12 +195,13 @@ func (e *Estimator) MonteCarlo(seed graph.NodeID, query Options) (*Result, error
 // Unlike the package-level MonteCarloOnly it reuses the estimator's weight
 // table instead of rebuilding it per query.
 func (e *Estimator) MonteCarloContext(oc OptionsContext, seed graph.NodeID, query Options) (*Result, error) {
-	o := e.override(query).withDefaults()
+	g := e.snapshotFor(oc)
+	o := e.optsFor(g, query).withDefaults()
 	if err := o.Validate(); err != nil {
 		return nil, err
 	}
-	if err := validateSeed(e.g, seed); err != nil {
+	if err := validateSeed(g, seed); err != nil {
 		return nil, err
 	}
-	return monteCarloWithWeights(e.g, seed, o, e.w, newExecCtl(oc))
+	return monteCarloWithWeights(g, seed, o, e.w, newExecCtl(oc))
 }

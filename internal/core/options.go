@@ -141,7 +141,7 @@ func (o Options) WithSeed(s uint64) Options {
 }
 
 // validateSeed checks the seed node is a valid non-isolated node of g.
-func validateSeed(g *graph.Graph, s graph.NodeID) error {
+func validateSeed(g *graph.Snapshot, s graph.NodeID) error {
 	if s < 0 || int(s) >= g.N() {
 		return fmt.Errorf("core: seed node %d out of range [0,%d)", s, g.N())
 	}
@@ -184,7 +184,7 @@ func hopCap(c, epsRel, delta, avgDegree float64, w *heatkernel.Weights) int {
 
 // adjustedPf resolves the p'_f to use: a caller-provided cached value, or the
 // graph-derived one from Eq. 6.
-func adjustedPf(g *graph.Graph, o Options) float64 {
+func adjustedPf(g *graph.Snapshot, o Options) float64 {
 	if o.AdjustedFailureProb > 0 && o.AdjustedFailureProb < 1 {
 		return o.AdjustedFailureProb
 	}

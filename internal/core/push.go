@@ -117,7 +117,7 @@ func (r *ResidueVectors) MaxHopWithMass() int {
 // NormalizedMaxSum returns Σ_k max_u r^(k)[u]/d(u), the left-hand side of
 // Inequality (11); TEA+ uses it both as HK-Push+'s early-termination test and
 // as the decision of whether random walks are needed at all.
-func (r *ResidueVectors) NormalizedMaxSum(g *graph.Graph) float64 {
+func (r *ResidueVectors) NormalizedMaxSum(g *graph.Snapshot) float64 {
 	total := 0.0
 	for k := 0; k < r.active; k++ {
 		hop := &r.levels[k]
@@ -306,7 +306,7 @@ type pushChunk struct {
 // parallelism), so the chunked merge order — and with it the result —
 // remains bit-identical at any P.  Chunks may be empty when a single node
 // outweighs a whole chunk share.
-func chunkFrontierByDegree(g *graph.Graph, frontier []graph.NodeID, chunks []pushChunk) {
+func chunkFrontierByDegree(g *graph.Snapshot, frontier []graph.NodeID, chunks []pushChunk) {
 	nChunks := len(chunks)
 	var total int64
 	for _, v := range frontier {
@@ -331,7 +331,7 @@ func chunkFrontierByDegree(g *graph.Graph, frontier []graph.NodeID, chunks []pus
 // frontier order, so chunk contents depend only on the frontier split — never
 // on scheduling.  A chunk that hits cancellation records the error and flags
 // the remaining chunks to bail out.
-func scanFrontierChunks(g *graph.Graph, hop *denseVec, frontier []graph.NodeID, stop float64, nChunks, workers int, ctl execCtl) []pushChunk {
+func scanFrontierChunks(g *graph.Snapshot, hop *denseVec, frontier []graph.NodeID, stop float64, nChunks, workers int, ctl execCtl) []pushChunk {
 	ws := ctl.ws
 	chunks := ws.chunkSlots(nChunks)
 	chunkFrontierByDegree(g, frontier, chunks)
@@ -410,7 +410,7 @@ func scanFrontierChunks(g *graph.Graph, hop *denseVec, frontier []graph.NodeID, 
 // suffixMax — suffixMax[i] is the maximum residue norm over frontier[i:],
 // and restMax the maximum over the hop's entries outside the frontier — so
 // the test can fire mid-hop once the dominant entries have been pushed.
-func drainFrontier(res *PushResult, g *graph.Graph, hop *denseVec, frontier []graph.NodeID, stop float64, k, parallelism int, ctl execCtl, track *hopMaxes, target float64, suffixMax []float64, restMax float64) (satisfied bool, err error) {
+func drainFrontier(res *PushResult, g *graph.Snapshot, hop *denseVec, frontier []graph.NodeID, stop float64, k, parallelism int, ctl execCtl, track *hopMaxes, target float64, suffixMax []float64, restMax float64) (satisfied bool, err error) {
 	nChunks := pushChunkCount(len(frontier))
 	res.FrontierChunks += int64(nChunks)
 	if nChunks > res.MaxHopChunks {
@@ -550,7 +550,8 @@ func drainFrontier(res *PushResult, g *graph.Graph, hop *denseVec, frontier []gr
 //
 // The run time and the number of non-zero residue entries are O(1/rmax)
 // (Lemma 3).
-func HKPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops int) *PushResult {
+func HKPush(src graph.Source, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops int) *PushResult {
+	g := src.Snapshot()
 	res, _ := hkPush(g, seed, w, rmax, maxHops, 1, execCtl{ws: NewWorkspace(g.N())})
 	return res
 }
@@ -561,7 +562,7 @@ func HKPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 // output is bit-identical at any parallelism).  ctl.ws must be non-nil and
 // already bound to g.  On cancellation the partial result is returned
 // alongside the context error.
-func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops, parallelism int, ctl execCtl) (*PushResult, error) {
+func hkPush(g *graph.Snapshot, seed graph.NodeID, w *heatkernel.Weights, rmax float64, maxHops, parallelism int, ctl execCtl) (*PushResult, error) {
 	ws := ctl.ws
 	res := &PushResult{
 		Reserve:         ReserveVector{vec: &ws.reserve},
@@ -607,7 +608,8 @@ func hkPush(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, rmax float
 // operations stop once the budget np is exhausted or Inequality (11) holds
 // with ε = εr·δ, and only hops below the cap K are ever pushed (hop-K residue
 // is left for the walk phase).  Like HKPush it runs on a private workspace.
-func HKPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64) *PushResult {
+func HKPushPlus(src graph.Source, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64) *PushResult {
+	g := src.Snapshot()
 	res, _ := hkPushPlus(g, seed, w, epsRel, delta, maxHopK, budget, 1, execCtl{ws: NewWorkspace(g.N())})
 	return res
 }
@@ -619,7 +621,7 @@ func HKPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel
 // inequalityCheckEvery operations on the serial path, at chunk and hop
 // boundaries otherwise — so early termination, like the residue state, is
 // bit-identical at any parallelism.
-func hkPushPlus(g *graph.Graph, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64, parallelism int, ctl execCtl) (*PushResult, error) {
+func hkPushPlus(g *graph.Snapshot, seed graph.NodeID, w *heatkernel.Weights, epsRel, delta float64, maxHopK int, budget int64, parallelism int, ctl execCtl) (*PushResult, error) {
 	ws := ctl.ws
 	res := &PushResult{
 		Reserve:         ReserveVector{vec: &ws.reserve},

@@ -71,7 +71,7 @@ func TestHKPushSerialParallelBitIdentity(t *testing.T) {
 	// threshold, so the parallel path actually runs.
 	const rmax = 1e-8
 
-	serial, err := hkPush(g, 7, w, rmax, 0, 1, execCtl{ws: NewWorkspace(g.N())})
+	serial, err := hkPush(g.Snapshot(), 7, w, rmax, 0, 1, execCtl{ws: NewWorkspace(g.N())})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestHKPushSerialParallelBitIdentity(t *testing.T) {
 		t.Fatalf("no hop was chunked (max %d chunks); test is vacuous", serial.MaxHopChunks)
 	}
 	for _, p := range []int{2, 8} {
-		par, err := hkPush(g, 7, w, rmax, 0, p, execCtl{ws: NewWorkspace(g.N())})
+		par, err := hkPush(g.Snapshot(), 7, w, rmax, 0, p, execCtl{ws: NewWorkspace(g.N())})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +104,7 @@ func TestHKPushPlusSerialParallelBitIdentity(t *testing.T) {
 		{"budget-cut", 40_000},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			serial, err := hkPushPlus(g, 7, w, 0.5, delta, 20, tc.budget, 1, execCtl{ws: NewWorkspace(g.N())})
+			serial, err := hkPushPlus(g.Snapshot(), 7, w, 0.5, delta, 20, tc.budget, 1, execCtl{ws: NewWorkspace(g.N())})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -112,7 +112,7 @@ func TestHKPushPlusSerialParallelBitIdentity(t *testing.T) {
 				t.Fatalf("no hop was chunked (max %d chunks); test is vacuous", serial.MaxHopChunks)
 			}
 			for _, p := range []int{2, 8} {
-				par, err := hkPushPlus(g, 7, w, 0.5, delta, 20, tc.budget, p, execCtl{ws: NewWorkspace(g.N())})
+				par, err := hkPushPlus(g.Snapshot(), 7, w, 0.5, delta, 20, tc.budget, p, execCtl{ws: NewWorkspace(g.N())})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -204,7 +204,7 @@ func TestInequality11IncrementalSoundness(t *testing.T) {
 			}
 			push := HKPushPlus(g, 0, w, 0.5, delta, 8, 1<<40)
 			target := 0.5 * delta
-			exact := push.Residues.NormalizedMaxSum(g)
+			exact := push.Residues.NormalizedMaxSum(g.Snapshot())
 			if push.SatisfiedInequality11 {
 				sawSatisfied = true
 				if exact > target {

@@ -31,7 +31,8 @@ func walkSeed(optsSeed uint64, node graph.NodeID, mix uint64) uint64 {
 // vectors, and α·ω Poisson-tail random walks seeded from the residues refine
 // the reserve into a (d, εr, δ)-approximate HKPR vector with probability at
 // least 1-pf (Theorem 1).
-func TEA(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
+func TEA(src graph.Source, seed graph.NodeID, opts Options) (*Result, error) {
+	g := src.Snapshot()
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -52,7 +53,7 @@ func TEA(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
 //
 // The body is the four-stage pipeline: push → collect → sharded walks →
 // deterministic merge.
-func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, ctl execCtl) (*Result, error) {
+func teaWithWeights(g *graph.Snapshot, seed graph.NodeID, opts Options, w *heatkernel.Weights, ctl execCtl) (*Result, error) {
 	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
@@ -147,7 +148,8 @@ func teaWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkern
 //
 // It lives in this package (rather than baselines) because TEA degenerates to
 // it when the push phase is disabled, which the ablation benchmarks exploit.
-func MonteCarloOnly(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
+func MonteCarloOnly(src graph.Source, seed graph.NodeID, opts Options) (*Result, error) {
+	g := src.Snapshot()
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -168,7 +170,7 @@ func MonteCarloOnly(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, e
 // plan with the seed node as the single hop-0 source of weight 1, which gives
 // the Monte-Carlo estimator the same sharded, parallel walk stage as TEA and
 // TEA+.
-func monteCarloWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, ctl execCtl) (*Result, error) {
+func monteCarloWithWeights(g *graph.Snapshot, seed graph.NodeID, opts Options, w *heatkernel.Weights, ctl execCtl) (*Result, error) {
 	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}

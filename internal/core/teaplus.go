@@ -19,7 +19,8 @@ import (
 // per-degree offset compensates the reduction, halving its worst-case error.
 // The output is (d, εr, δ)-approximate with probability at least 1-pf
 // (Theorem 3).
-func TEAPlus(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
+func TEAPlus(src graph.Source, seed graph.NodeID, opts Options) (*Result, error) {
+	g := src.Snapshot()
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -39,7 +40,7 @@ func TEAPlus(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
 // cancellation checkpoints and CPU gate.  Like teaWithWeights it is the
 // four-stage pipeline, with the residue-reduction step between the push and
 // collection stages.
-func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heatkernel.Weights, ctl execCtl) (*Result, error) {
+func teaPlusWithWeights(g *graph.Snapshot, seed graph.NodeID, opts Options, w *heatkernel.Weights, ctl execCtl) (*Result, error) {
 	if err := ctl.cc.err(); err != nil {
 		return nil, err
 	}
@@ -154,7 +155,7 @@ func teaPlusWithWeights(g *graph.Graph, seed graph.NodeID, opts Options, w *heat
 // where β_k = hop-k residue mass / total residue mass.  Hop masses are
 // computed once up front (each HopMass call sorts its hop's nodes for
 // determinism, so recomputing per use would double that cost).
-func reduceResidues(g *graph.Graph, res *ResidueVectors, target float64) {
+func reduceResidues(g *graph.Snapshot, res *ResidueVectors, target float64) {
 	masses := make([]float64, res.NumHops())
 	total := 0.0
 	for k := range masses {
@@ -190,7 +191,8 @@ func reduceResidues(g *graph.Graph, res *ResidueVectors, target float64) {
 // reduction (and therefore the offset): it quantifies how much of TEA+'s
 // speed-up comes from the reduction versus the budgeted push.  It keeps the
 // exact same accuracy analysis as TEA applied to HK-Push+'s output.
-func TEAPlusNoReduction(g *graph.Graph, seed graph.NodeID, opts Options) (*Result, error) {
+func TEAPlusNoReduction(src graph.Source, seed graph.NodeID, opts Options) (*Result, error) {
+	g := src.Snapshot()
 	opts = opts.withDefaults()
 	if err := opts.Validate(); err != nil {
 		return nil, err

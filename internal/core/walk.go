@@ -38,7 +38,7 @@ import (
 // truncation hop); beyond the table the stop probability is 1, so walks
 // terminate regardless.  The number of edge traversals is returned alongside
 // the end node so callers can account for walk cost.
-func KRandomWalk(g *graph.Graph, rng *xrand.RNG, w *heatkernel.Weights, u graph.NodeID, k int, lengthCap int) (graph.NodeID, int) {
+func KRandomWalk(g *graph.Snapshot, rng *xrand.RNG, w *heatkernel.Weights, u graph.NodeID, k int, lengthCap int) (graph.NodeID, int) {
 	if lengthCap <= 0 {
 		lengthCap = w.MaxHop() + 1
 	}
@@ -241,7 +241,7 @@ type walkStageResult struct {
 // cores.  Each shard walks with its own RNG and cancellation checker and
 // accumulates into a private workspace scratch slab; shard contents depend
 // only on the plan, never on scheduling.
-func runWalkStage(g *graph.Graph, w *heatkernel.Weights, p *walkPlan, parallelism int, ctl execCtl) (walkStageResult, error) {
+func runWalkStage(g *graph.Snapshot, w *heatkernel.Weights, p *walkPlan, parallelism int, ctl execCtl) (walkStageResult, error) {
 	if p == nil {
 		return walkStageResult{}, nil
 	}

@@ -44,14 +44,25 @@ type denseVec struct {
 	touched []graph.NodeID
 }
 
-// grow ensures the slab covers node IDs [0, n).  Growing discards the slab's
-// contents (fresh stamps are all stale); callers reset afterwards.
+// grow ensures the slab covers node IDs [0, n).  When spare capacity from an
+// earlier allocation covers n (dynamic graphs grow N a few nodes per epoch),
+// the slab extends in place: the extension region holds fresh zero stamps,
+// which are stale against any post-reset epoch (reset never leaves epoch at
+// 0), so existing contents stay valid and callers need no extra reset.  Only
+// a true reallocation discards contents — and over-allocates ~25% so the next
+// few epochs' growth stays allocation-free.
 func (d *denseVec) grow(n int) {
 	if len(d.vals) >= n {
 		return
 	}
-	d.vals = make([]float64, n)
-	d.stamp = make([]uint32, n)
+	if cap(d.vals) >= n && cap(d.stamp) >= n {
+		d.vals = d.vals[:n]
+		d.stamp = d.stamp[:n]
+		return
+	}
+	c := n + n/4 + 8
+	d.vals = make([]float64, n, c)
+	d.stamp = make([]uint32, n, c)
 	d.epoch = 0 // fresh stamps are zero; reset bumps past them
 	d.touched = d.touched[:0]
 }
@@ -223,18 +234,22 @@ func (ws *Workspace) shardCounters(k int) (walks, steps []int64, errs []error) {
 
 // workspacePools recycles workspaces for callers that do not bring their own
 // (package-level TEA/TEAPlus/MonteCarloOnly and estimators used outside a
-// serving engine).  Pools are keyed by graph identity — a weak pointer, so a
-// pool entry neither keeps its graph alive nor outlives it (a cleanup drops
-// the entry once the graph is collected).  Per-graph keying means a process
-// querying several graphs keeps one slab set sized to each graph instead of
-// converging every pooled slab to the largest graph, which is what the old
-// single shared pool did.
-var workspacePools sync.Map // weak.Pointer[graph.Graph] -> *sync.Pool
+// serving engine).  Pools are keyed by logical-graph identity (graph.Ident) —
+// every epoch and representation of one dynamic graph shares one Ident, so
+// publishing updates or compacting never strands pooled slabs; they simply
+// grow with N on the next begin.  The key is a weak pointer, so a pool entry
+// neither keeps its graph alive nor outlives it (a cleanup drops the entry
+// once the identity is collected).  Per-graph keying means a process querying
+// several graphs keeps one slab set sized to each graph instead of converging
+// every pooled slab to the largest graph, which is what the old single shared
+// pool did.
+var workspacePools sync.Map // weak.Pointer[graph.Ident] -> *sync.Pool
 
-// workspacePoolFor returns the workspace pool bound to g's identity,
-// creating (and registering the cleanup for) it on first use.
-func workspacePoolFor(g *graph.Graph) *sync.Pool {
-	key := weak.Make(g)
+// workspacePoolFor returns the workspace pool bound to g's logical-graph
+// identity, creating (and registering the cleanup for) it on first use.
+func workspacePoolFor(g *graph.Snapshot) *sync.Pool {
+	id := g.Ident()
+	key := weak.Make(id)
 	if p, ok := workspacePools.Load(key); ok {
 		return p.(*sync.Pool)
 	}
@@ -243,7 +258,7 @@ func workspacePoolFor(g *graph.Graph) *sync.Pool {
 	if loaded {
 		return actual.(*sync.Pool)
 	}
-	runtime.AddCleanup(g, func(k weak.Pointer[graph.Graph]) {
+	runtime.AddCleanup(id, func(k weak.Pointer[graph.Ident]) {
 		workspacePools.Delete(k)
 	}, key)
 	return pool
@@ -252,7 +267,7 @@ func workspacePoolFor(g *graph.Graph) *sync.Pool {
 // acquireWorkspace resolves the query's workspace: the caller-provided one
 // (serving layer) bound to g, or one from g's per-graph pool plus its release
 // function.
-func acquireWorkspace(ctl *execCtl, g *graph.Graph) func() {
+func acquireWorkspace(ctl *execCtl, g *graph.Snapshot) func() {
 	if ctl.ws != nil {
 		ctl.ws.begin(g.N())
 		return func() {}

@@ -80,7 +80,7 @@ func TestWorkspaceReuseIsDeterministic(t *testing.T) {
 	// original query on it explicitly.
 	ws := NewWorkspace(g.N())
 	for _, seed := range []graph.NodeID{1, 2, 3, 11} {
-		if _, err := hkPushPlus(g, seed, w, 0.5, 0.01, 6, 1<<20, 2, execCtl{ws: ws}); err != nil {
+		if _, err := hkPushPlus(g.Snapshot(), seed, w, 0.5, 0.01, 6, 1<<20, 2, execCtl{ws: ws}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -156,7 +156,7 @@ func TestChunkFrontierByDegree(t *testing.T) {
 	}
 	nChunks := 4
 	chunks := make([]pushChunk, nChunks)
-	chunkFrontierByDegree(g, frontier, chunks)
+	chunkFrontierByDegree(g.Snapshot(), frontier, chunks)
 
 	if chunks[0].lo != 0 || chunks[nChunks-1].hi != len(frontier) {
 		t.Fatalf("boundaries do not span the frontier: %+v", chunks)
@@ -258,16 +258,20 @@ func TestPerGraphWorkspacePools(t *testing.T) {
 	}
 
 	// Pools must be distinct objects...
-	if workspacePoolFor(small) == workspacePoolFor(big) {
+	if workspacePoolFor(small.Snapshot()) == workspacePoolFor(big.Snapshot()) {
 		t.Fatal("small and big graphs share a workspace pool")
 	}
 	// ...and nothing in the small graph's pool may carry big-graph slabs.
 	// (sync.Pool may have dropped entries; drain whatever is there.)
-	pool := workspacePoolFor(small)
+	pool := workspacePoolFor(small.Snapshot())
+	// Slabs carry the incremental-growth headroom (n + n/4 + 8) so live
+	// updates that add nodes rarely force a realloc; anything beyond that
+	// bound means a big-graph slab leaked into the small graph's pool.
+	maxCap := small.N() + small.N()/4 + 8
 	for i := 0; i < 8; i++ {
 		ws := pool.Get().(*Workspace)
-		if got := cap(ws.reserve.vals); got > small.N() {
-			t.Fatalf("small graph's pool holds a slab of capacity %d (> n=%d): per-graph keying broken", got, small.N())
+		if got := cap(ws.reserve.vals); got > maxCap {
+			t.Fatalf("small graph's pool holds a slab of capacity %d (> n=%d plus headroom): per-graph keying broken", got, small.N())
 		}
 	}
 }
@@ -280,8 +284,8 @@ func TestWorkspacePoolReusesSlabsPerGraph(t *testing.T) {
 	if _, err := TEA(g, 1, opts); err != nil {
 		t.Fatal(err)
 	}
-	ws := workspacePoolFor(g).Get().(*Workspace)
-	defer workspacePoolFor(g).Put(ws)
+	ws := workspacePoolFor(g.Snapshot()).Get().(*Workspace)
+	defer workspacePoolFor(g.Snapshot()).Put(ws)
 	// sync.Pool gives no hard guarantee an entry survived, but within one
 	// goroutine with no GC in between the just-released workspace is there;
 	// tolerate a fresh one only if its slabs are unallocated (not oversized).

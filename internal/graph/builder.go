@@ -1,8 +1,26 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+)
+
+// Typed edge-validation errors.  Load-time construction (Builder.Build)
+// silently drops self loops and duplicates to stay forgiving with messy input
+// files; update batches (Builder.AddEdgeStrict, Dynamic.ApplyUpdates) reject
+// them with these errors instead, so a live writer learns its batch was
+// malformed rather than having edges quietly vanish.  Match with errors.Is.
+var (
+	// ErrSelfLoop reports an edge {v, v}.
+	ErrSelfLoop = errors.New("graph: self loop")
+	// ErrDuplicateEdge reports an edge that already exists (in the graph or
+	// earlier in the same batch).
+	ErrDuplicateEdge = errors.New("graph: duplicate edge")
+	// ErrEdgeNotFound reports a removal of an edge that does not exist.
+	ErrEdgeNotFound = errors.New("graph: edge not found")
+	// ErrInvalidNode reports an out-of-range or negative node ID.
+	ErrInvalidNode = errors.New("graph: invalid node id")
 )
 
 // Builder accumulates undirected edges and produces an immutable Graph.
@@ -13,6 +31,7 @@ import (
 type Builder struct {
 	n     int
 	edges [][2]NodeID
+	seen  map[[2]NodeID]struct{} // normalized (u<v) keys; built lazily by AddEdgeStrict
 }
 
 // NewBuilder creates a builder for a graph with n nodes (IDs 0..n-1).
@@ -43,6 +62,47 @@ func (b *Builder) AddEdge(u, v NodeID) {
 	b.EnsureNode(u)
 	b.EnsureNode(v)
 	b.edges = append(b.edges, [2]NodeID{u, v})
+	if b.seen != nil && u != v {
+		b.seen[normEdge(u, v)] = struct{}{}
+	}
+}
+
+// normEdge returns the canonical (u < v) key for an undirected edge.
+func normEdge(u, v NodeID) [2]NodeID {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]NodeID{u, v}
+}
+
+// AddEdgeStrict records the undirected edge {u, v}, rejecting self loops,
+// duplicates (against everything recorded so far, strict or not), and
+// negative IDs with typed errors instead of the silent drop-at-Build
+// semantics of AddEdge.  This is the validation update batches get.
+func (b *Builder) AddEdgeStrict(u, v NodeID) error {
+	if u < 0 || v < 0 {
+		return fmt.Errorf("%w: edge (%d,%d)", ErrInvalidNode, u, v)
+	}
+	if u == v {
+		return fmt.Errorf("%w: edge (%d,%d)", ErrSelfLoop, u, v)
+	}
+	if b.seen == nil {
+		b.seen = make(map[[2]NodeID]struct{}, len(b.edges))
+		for _, e := range b.edges {
+			if e[0] != e[1] {
+				b.seen[normEdge(e[0], e[1])] = struct{}{}
+			}
+		}
+	}
+	key := normEdge(u, v)
+	if _, dup := b.seen[key]; dup {
+		return fmt.Errorf("%w: edge (%d,%d)", ErrDuplicateEdge, u, v)
+	}
+	b.EnsureNode(u)
+	b.EnsureNode(v)
+	b.edges = append(b.edges, [2]NodeID{u, v})
+	b.seen[key] = struct{}{}
+	return nil
 }
 
 // EdgeCount returns the number of edges recorded so far (before dedup).

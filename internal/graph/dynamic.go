@@ -1,0 +1,310 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultCompactThreshold is the number of accumulated overlay operations
+// (edge adds/removes plus node adds since the last compaction) at which a
+// Dynamic schedules background compaction of the overlay back into a pure
+// CSR.
+const DefaultCompactThreshold = 4096
+
+// DynamicOptions configures a Dynamic graph.
+type DynamicOptions struct {
+	// CompactThreshold is the overlay-operation count that triggers
+	// background compaction.  0 means DefaultCompactThreshold; a negative
+	// value disables compaction entirely.
+	CompactThreshold int
+}
+
+// UpdateBatch describes one atomic set of graph mutations: node additions
+// followed by edge insertions and deletions.  Added nodes receive the next
+// AddNodes dense IDs (N() .. N()+AddNodes-1) and may be referenced by
+// AddEdges in the same batch.  Batches are validated against the current
+// snapshot before anything is applied — a batch either applies in full or
+// not at all.
+type UpdateBatch struct {
+	AddNodes    int
+	AddEdges    [][2]NodeID
+	RemoveEdges [][2]NodeID
+}
+
+// empty reports whether the batch contains no mutations.
+func (b UpdateBatch) empty() bool {
+	return b.AddNodes == 0 && len(b.AddEdges) == 0 && len(b.RemoveEdges) == 0
+}
+
+// Dynamic is a mutable graph built from an immutable base: writers apply
+// UpdateBatches under an internal mutex and publish each resulting epoch as
+// a fresh immutable Snapshot; readers call Snapshot() (lock-free atomic
+// load) and keep using the snapshot they got for as long as they like —
+// published snapshots are never mutated.  When the accumulated overlay
+// crosses CompactThreshold, a background goroutine flattens it back into a
+// pure CSR and republishes the SAME epoch (compaction changes the
+// representation, not the graph), so epoch-stamped cached results survive
+// compaction.
+type Dynamic struct {
+	mu               sync.Mutex // serializes writers and compaction publishes
+	cur              atomic.Pointer[Snapshot]
+	compactThreshold int
+
+	compacting atomic.Bool
+	wg         sync.WaitGroup
+
+	pauseMu sync.Mutex
+	pauses  []time.Duration // lock-held durations of compaction publishes
+}
+
+// NewDynamic wraps a base graph for live updates.  The base graph itself is
+// never modified; it remains valid (and bit-identical) for direct use.
+func NewDynamic(g *Graph, opts DynamicOptions) *Dynamic {
+	th := opts.CompactThreshold
+	if th == 0 {
+		th = DefaultCompactThreshold
+	}
+	d := &Dynamic{compactThreshold: th}
+	d.cur.Store(g.Snapshot())
+	return d
+}
+
+// Snapshot returns the current epoch's immutable view.  Lock-free; safe to
+// call concurrently with ApplyUpdates.
+func (d *Dynamic) Snapshot() *Snapshot { return d.cur.Load() }
+
+// Epoch returns the current epoch number.
+func (d *Dynamic) Epoch() uint64 { return d.cur.Load().epoch }
+
+// validate checks the batch against cur, returning the first violation.
+func validateBatch(cur *Snapshot, batch UpdateBatch) error {
+	if batch.AddNodes < 0 {
+		return fmt.Errorf("%w: negative AddNodes %d", ErrInvalidNode, batch.AddNodes)
+	}
+	newN := cur.n + batch.AddNodes
+	if int64(newN) > int64(math.MaxInt32) {
+		return fmt.Errorf("%w: node count %d exceeds int32 range", ErrInvalidNode, newN)
+	}
+	seen := make(map[[2]NodeID]struct{}, len(batch.AddEdges))
+	for _, e := range batch.AddEdges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || int(u) >= newN || int(v) >= newN {
+			return fmt.Errorf("%w: edge (%d,%d) outside [0,%d)", ErrInvalidNode, u, v, newN)
+		}
+		if u == v {
+			return fmt.Errorf("%w: edge (%d,%d)", ErrSelfLoop, u, v)
+		}
+		key := normEdge(u, v)
+		if _, dup := seen[key]; dup {
+			return fmt.Errorf("%w: edge (%d,%d) repeated in batch", ErrDuplicateEdge, u, v)
+		}
+		if int(u) < cur.n && int(v) < cur.n && cur.HasEdge(u, v) {
+			return fmt.Errorf("%w: edge (%d,%d) already present", ErrDuplicateEdge, u, v)
+		}
+		seen[key] = struct{}{}
+	}
+	rmSeen := make(map[[2]NodeID]struct{}, len(batch.RemoveEdges))
+	for _, e := range batch.RemoveEdges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || int(u) >= newN || int(v) >= newN {
+			return fmt.Errorf("%w: edge (%d,%d) outside [0,%d)", ErrInvalidNode, u, v, newN)
+		}
+		if u == v {
+			return fmt.Errorf("%w: edge (%d,%d)", ErrSelfLoop, u, v)
+		}
+		key := normEdge(u, v)
+		if _, dup := rmSeen[key]; dup {
+			return fmt.Errorf("%w: removal (%d,%d) repeated in batch", ErrDuplicateEdge, u, v)
+		}
+		if int(u) >= cur.n || int(v) >= cur.n || !cur.HasEdge(u, v) {
+			return fmt.Errorf("%w: edge (%d,%d)", ErrEdgeNotFound, u, v)
+		}
+		rmSeen[key] = struct{}{}
+	}
+	return nil
+}
+
+// ApplyUpdates validates and applies one batch, publishing (and returning)
+// the new epoch's snapshot.  On validation error nothing is applied and the
+// current snapshot is unchanged.  Concurrent readers of earlier snapshots
+// are unaffected: the new snapshot shares the base CSR and all unmodified
+// overlay entries by reference, and only freshly allocated structures are
+// written.
+func (d *Dynamic) ApplyUpdates(batch UpdateBatch) (*Snapshot, error) {
+	d.mu.Lock()
+	cur := d.cur.Load()
+	if batch.empty() {
+		d.mu.Unlock()
+		return cur, nil
+	}
+	if err := validateBatch(cur, batch); err != nil {
+		d.mu.Unlock()
+		return nil, err
+	}
+
+	newN := cur.n + batch.AddNodes
+
+	// Per-node pending adds and removes.
+	adds := make(map[NodeID][]NodeID)
+	for _, e := range batch.AddEdges {
+		adds[e[0]] = append(adds[e[0]], e[1])
+		adds[e[1]] = append(adds[e[1]], e[0])
+	}
+	removes := make(map[NodeID]map[NodeID]struct{})
+	for _, e := range batch.RemoveEdges {
+		for _, pair := range [2][2]NodeID{{e[0], e[1]}, {e[1], e[0]}} {
+			m := removes[pair[0]]
+			if m == nil {
+				m = make(map[NodeID]struct{})
+				removes[pair[0]] = m
+			}
+			m[pair[1]] = struct{}{}
+		}
+	}
+
+	// Copy-on-write overlay: clone the index and the header slice, then
+	// rebuild only the touched nodes' merged adjacency.  Old snapshots keep
+	// their own (never-mutated) copies.
+	ovIdx := make([]int32, newN)
+	if cur.ovIdx != nil {
+		copy(ovIdx, cur.ovIdx)
+	} else {
+		for i := range ovIdx[:cur.n] {
+			ovIdx[i] = -1
+		}
+	}
+	ovAdj := make([][]NodeID, len(cur.ovAdj), len(cur.ovAdj)+len(adds)+batch.AddNodes)
+	copy(ovAdj, cur.ovAdj)
+	// Added nodes start with an empty overlay entry (invariant: every node
+	// beyond the base CSR resolves through the overlay).
+	for v := cur.n; v < newN; v++ {
+		ovIdx[v] = int32(len(ovAdj))
+		ovAdj = append(ovAdj, nil)
+	}
+
+	touched := make(map[NodeID]struct{}, len(adds)+len(removes))
+	for v := range adds {
+		touched[v] = struct{}{}
+	}
+	for v := range removes {
+		touched[v] = struct{}{}
+	}
+	for v := range touched {
+		var base []NodeID
+		if int(v) < cur.n {
+			base = cur.Neighbors(v)
+		}
+		merged := make([]NodeID, 0, len(base)+len(adds[v]))
+		rm := removes[v]
+		for _, u := range base {
+			if rm != nil {
+				if _, drop := rm[u]; drop {
+					continue
+				}
+			}
+			merged = append(merged, u)
+		}
+		merged = append(merged, adds[v]...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		if i := ovIdx[v]; i >= 0 && int(i) < len(cur.ovAdj) {
+			// Node already had an overlay entry from an earlier epoch:
+			// overwrite the cloned header, never the shared entry.
+			ovAdj[i] = merged
+		} else if i >= 0 {
+			ovAdj[i] = merged // entry created above for an added node
+		} else {
+			ovIdx[v] = int32(len(ovAdj))
+			ovAdj = append(ovAdj, merged)
+		}
+	}
+
+	next := &Snapshot{
+		offsets:  cur.offsets,
+		adj:      cur.adj,
+		baseN:    cur.baseN,
+		ovIdx:    ovIdx,
+		ovAdj:    ovAdj,
+		n:        newN,
+		numEdge:  cur.numEdge + int64(len(batch.AddEdges)) - int64(len(batch.RemoveEdges)),
+		epoch:    cur.epoch + 1,
+		ident:    cur.ident,
+		deltaOps: cur.deltaOps + len(batch.AddEdges) + len(batch.RemoveEdges) + batch.AddNodes,
+	}
+	d.cur.Store(next)
+	d.mu.Unlock()
+
+	if d.compactThreshold > 0 && next.deltaOps >= d.compactThreshold &&
+		d.compacting.CompareAndSwap(false, true) {
+		d.wg.Add(1)
+		go d.compact(next)
+	}
+	return next, nil
+}
+
+// compact flattens snapshot s into a pure CSR off-lock, then republishes it
+// at the same epoch if no newer epoch has been published meanwhile.  Only
+// the publish itself holds the writer lock; its duration is recorded as the
+// compaction pause.
+func (d *Dynamic) compact(s *Snapshot) {
+	defer d.wg.Done()
+	defer d.compacting.Store(false)
+	_, flat := s.flatten()
+	d.mu.Lock()
+	start := time.Now()
+	published := d.cur.Load() == s
+	if published {
+		d.cur.Store(flat)
+	}
+	pause := time.Since(start)
+	d.mu.Unlock()
+	if published {
+		d.pauseMu.Lock()
+		d.pauses = append(d.pauses, pause)
+		d.pauseMu.Unlock()
+	}
+}
+
+// Compact synchronously flattens the current overlay (if any) into a pure
+// CSR at the same epoch and publishes it.  Used by tests and benchmarks; the
+// background path goes through the CompactThreshold trigger.
+func (d *Dynamic) Compact() *Snapshot {
+	d.mu.Lock()
+	cur := d.cur.Load()
+	if cur.ovIdx == nil {
+		d.mu.Unlock()
+		return cur
+	}
+	d.mu.Unlock()
+	_, flat := cur.flatten()
+	d.mu.Lock()
+	start := time.Now()
+	published := d.cur.Load() == cur
+	if published {
+		d.cur.Store(flat)
+	}
+	pause := time.Since(start)
+	cur = d.cur.Load()
+	d.mu.Unlock()
+	if published {
+		d.pauseMu.Lock()
+		d.pauses = append(d.pauses, pause)
+		d.pauseMu.Unlock()
+	}
+	return cur
+}
+
+// WaitCompaction blocks until any in-flight background compaction finishes.
+func (d *Dynamic) WaitCompaction() { d.wg.Wait() }
+
+// CompactionPauses returns a copy of the recorded lock-held publish
+// durations of every compaction so far.
+func (d *Dynamic) CompactionPauses() []time.Duration {
+	d.pauseMu.Lock()
+	out := append([]time.Duration(nil), d.pauses...)
+	d.pauseMu.Unlock()
+	return out
+}

@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// snapshotEdges extracts s's undirected edge list (u < v).
+func snapshotEdges(s *Snapshot) [][2]NodeID {
+	var edges [][2]NodeID
+	s.Edges(func(u, v NodeID) bool {
+		edges = append(edges, [2]NodeID{u, v})
+		return true
+	})
+	return edges
+}
+
+// assertSnapshotEquals checks that s is indistinguishable, through every read
+// accessor, from the from-scratch CSR rebuild want.
+func assertSnapshotEquals(t *testing.T, s *Snapshot, want *Graph) {
+	t.Helper()
+	if s.N() != want.N() {
+		t.Fatalf("N: %d != %d", s.N(), want.N())
+	}
+	if s.M() != want.M() {
+		t.Fatalf("M: %d != %d", s.M(), want.M())
+	}
+	if s.TotalVolume() != want.TotalVolume() {
+		t.Fatalf("TotalVolume: %d != %d", s.TotalVolume(), want.TotalVolume())
+	}
+	for v := 0; v < want.N(); v++ {
+		id := NodeID(v)
+		if s.Degree(id) != want.Degree(id) {
+			t.Fatalf("Degree(%d): %d != %d", v, s.Degree(id), want.Degree(id))
+		}
+		sn, wn := s.Neighbors(id), want.Neighbors(id)
+		if len(sn) != len(wn) {
+			t.Fatalf("Neighbors(%d): len %d != %d", v, len(sn), len(wn))
+		}
+		for i := range sn {
+			if sn[i] != wn[i] {
+				t.Fatalf("Neighbors(%d)[%d]: %d != %d (order must match a rebuilt CSR exactly)", v, i, sn[i], wn[i])
+			}
+		}
+		for _, u := range wn {
+			if !s.HasEdge(id, u) {
+				t.Fatalf("HasEdge(%d,%d) = false, want true", v, u)
+			}
+		}
+	}
+}
+
+func dynTestBase(t *testing.T) *Graph {
+	t.Helper()
+	// Two 4-cycles bridged by one edge: 0-1-2-3-0 and 4-5-6-7-4, bridge 3-4.
+	return FromEdges(8, [][2]NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0},
+		{4, 5}, {5, 6}, {6, 7}, {7, 4},
+		{3, 4},
+	})
+}
+
+func TestDynamicApplyMatchesRebuild(t *testing.T) {
+	base := dynTestBase(t)
+	d := NewDynamic(base, DynamicOptions{CompactThreshold: -1})
+	if d.Epoch() != 0 {
+		t.Fatalf("fresh dynamic epoch = %d, want 0", d.Epoch())
+	}
+
+	s1, err := d.ApplyUpdates(UpdateBatch{
+		AddNodes:    2,                                   // nodes 8, 9
+		AddEdges:    [][2]NodeID{{8, 9}, {0, 8}, {2, 9}}, // wire them in
+		RemoveEdges: [][2]NodeID{{3, 4}},                 // cut the bridge
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Epoch() != 1 || d.Epoch() != 1 {
+		t.Fatalf("epoch after one batch = %d/%d, want 1", s1.Epoch(), d.Epoch())
+	}
+	assertSnapshotEquals(t, s1, FromEdges(10, [][2]NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0},
+		{4, 5}, {5, 6}, {6, 7}, {7, 4},
+		{8, 9}, {0, 8}, {2, 9},
+	}))
+
+	// A second batch layered on the first: overlay-on-overlay nodes.
+	s2, err := d.ApplyUpdates(UpdateBatch{
+		AddEdges:    [][2]NodeID{{3, 4}},
+		RemoveEdges: [][2]NodeID{{0, 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges2 := [][2]NodeID{
+		{0, 1}, {1, 2}, {2, 3}, {3, 0},
+		{4, 5}, {5, 6}, {6, 7}, {7, 4},
+		{3, 4}, {8, 9}, {2, 9},
+	}
+	assertSnapshotEquals(t, s2, FromEdges(10, wantEdges2))
+
+	// Copy-on-write: the earlier epoch and the base are untouched.
+	if s1.HasEdge(3, 4) || !s1.HasEdge(0, 8) {
+		t.Fatal("epoch-1 snapshot mutated by the epoch-2 batch")
+	}
+	if !base.Snapshot().HasEdge(3, 4) || base.N() != 8 {
+		t.Fatal("base graph mutated by updates")
+	}
+
+	// Compaction: same epoch, same graph, pure-CSR representation.
+	flat := d.Compact()
+	if flat.Epoch() != s2.Epoch() {
+		t.Fatalf("compaction changed the epoch: %d -> %d", s2.Epoch(), flat.Epoch())
+	}
+	if flat.ovIdx != nil {
+		t.Fatal("compacted snapshot still carries an overlay")
+	}
+	assertSnapshotEquals(t, flat, FromEdges(10, wantEdges2))
+	if len(d.CompactionPauses()) != 1 {
+		t.Fatalf("CompactionPauses = %v, want one entry", d.CompactionPauses())
+	}
+
+	// All snapshots share one identity: workspace pools key on the graph, not
+	// the epoch.
+	if s1.Ident() != s2.Ident() || s2.Ident() != flat.Ident() || s1.Ident() != base.Snapshot().Ident() {
+		t.Fatal("snapshots of one dynamic graph must share the graph identity")
+	}
+}
+
+func TestDynamicBackgroundCompaction(t *testing.T) {
+	base := dynTestBase(t)
+	d := NewDynamic(base, DynamicOptions{CompactThreshold: 3})
+	var want [][2]NodeID
+	want = append(want, snapshotEdges(base.Snapshot())...)
+	// Each batch adds one node with one edge = 2 ops; the second batch
+	// crosses the threshold and triggers background compaction.  Waiting
+	// after every batch makes the trigger deterministic: a compaction's
+	// republish is skipped when a newer epoch raced past it.
+	for i := 0; i < 4; i++ {
+		v := NodeID(8 + i)
+		if _, err := d.ApplyUpdates(UpdateBatch{AddNodes: 1, AddEdges: [][2]NodeID{{0, v}}}); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, [2]NodeID{0, v})
+		d.WaitCompaction()
+	}
+	if d.Epoch() != 4 {
+		t.Fatalf("epoch = %d, want 4", d.Epoch())
+	}
+	assertSnapshotEquals(t, d.Snapshot(), FromEdges(12, want))
+	if len(d.CompactionPauses()) == 0 {
+		t.Fatal("background compaction never ran")
+	}
+}
+
+func TestUpdateBatchValidation(t *testing.T) {
+	base := dynTestBase(t) // edges include (0,1); 8 nodes
+	cases := []struct {
+		name  string
+		batch UpdateBatch
+		want  error
+	}{
+		{"self-loop add", UpdateBatch{AddEdges: [][2]NodeID{{2, 2}}}, ErrSelfLoop},
+		{"self-loop remove", UpdateBatch{RemoveEdges: [][2]NodeID{{2, 2}}}, ErrSelfLoop},
+		{"duplicate of existing", UpdateBatch{AddEdges: [][2]NodeID{{1, 0}}}, ErrDuplicateEdge},
+		{"duplicate within batch", UpdateBatch{AddEdges: [][2]NodeID{{0, 5}, {5, 0}}}, ErrDuplicateEdge},
+		{"remove absent", UpdateBatch{RemoveEdges: [][2]NodeID{{0, 5}}}, ErrEdgeNotFound},
+		{"remove twice", UpdateBatch{RemoveEdges: [][2]NodeID{{0, 1}, {1, 0}}}, ErrDuplicateEdge},
+		{"node out of range", UpdateBatch{AddEdges: [][2]NodeID{{0, 8}}}, ErrInvalidNode},
+		{"negative node", UpdateBatch{AddEdges: [][2]NodeID{{-1, 2}}}, ErrInvalidNode},
+		{"negative AddNodes", UpdateBatch{AddNodes: -1}, ErrInvalidNode},
+		{"add then remove same edge", UpdateBatch{AddEdges: [][2]NodeID{{0, 5}}, RemoveEdges: [][2]NodeID{{0, 5}}}, ErrEdgeNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := NewDynamic(base, DynamicOptions{})
+			if _, err := d.ApplyUpdates(tc.batch); !errors.Is(err, tc.want) {
+				t.Fatalf("ApplyUpdates error = %v, want %v", err, tc.want)
+			}
+			// All-or-nothing: a rejected batch leaves the epoch untouched.
+			if d.Epoch() != 0 {
+				t.Fatalf("rejected batch advanced the epoch to %d", d.Epoch())
+			}
+			assertSnapshotEquals(t, d.Snapshot(), base)
+		})
+	}
+}
+
+func TestBuilderAddEdgeStrict(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1) // forgiving path, recorded without validation
+
+	if err := b.AddEdgeStrict(2, 2); !errors.Is(err, ErrSelfLoop) {
+		t.Fatalf("self loop: err = %v, want ErrSelfLoop", err)
+	}
+	if err := b.AddEdgeStrict(-1, 2); !errors.Is(err, ErrInvalidNode) {
+		t.Fatalf("negative node: err = %v, want ErrInvalidNode", err)
+	}
+	// Duplicate of the forgiving add, in reversed orientation.
+	if err := b.AddEdgeStrict(1, 0); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("duplicate of loose add: err = %v, want ErrDuplicateEdge", err)
+	}
+	if err := b.AddEdgeStrict(2, 3); err != nil {
+		t.Fatalf("valid strict add: %v", err)
+	}
+	// Duplicate of an earlier strict add.
+	if err := b.AddEdgeStrict(3, 2); !errors.Is(err, ErrDuplicateEdge) {
+		t.Fatalf("duplicate of strict add: err = %v, want ErrDuplicateEdge", err)
+	}
+
+	g := b.Build()
+	if g.M() != 2 {
+		t.Fatalf("M = %d, want 2", g.M())
+	}
+	for _, e := range [][2]NodeID{{0, 1}, {2, 3}} {
+		if !g.Snapshot().HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v missing after build", e)
+		}
+	}
+}
+
+// TestBuilderStrictMatchesLoader pins the parity between the two ingestion
+// paths: feeding the loose builder (the loader's path) messy input with self
+// loops and duplicates produces exactly the graph that the strict path
+// accepts — the strict path rejects precisely what the loose path drops.
+func TestBuilderStrictMatchesLoader(t *testing.T) {
+	messy := [][2]NodeID{{0, 1}, {1, 0}, {2, 2}, {1, 2}, {0, 1}, {3, 0}}
+
+	loose := NewBuilder(4)
+	for _, e := range messy {
+		loose.AddEdge(e[0], e[1])
+	}
+	lg := loose.Build()
+
+	strict := NewBuilder(4)
+	var rejected []error
+	for _, e := range messy {
+		if err := strict.AddEdgeStrict(e[0], e[1]); err != nil {
+			rejected = append(rejected, err)
+		}
+	}
+	sg := strict.Build()
+
+	if lg.M() != sg.M() || lg.N() != sg.N() {
+		t.Fatalf("loose (n=%d,m=%d) and strict (n=%d,m=%d) built different graphs",
+			lg.N(), lg.M(), sg.N(), sg.M())
+	}
+	for v := 0; v < lg.N(); v++ {
+		ln, sn := lg.Neighbors(NodeID(v)), sg.Neighbors(NodeID(v))
+		if fmt.Sprint(ln) != fmt.Sprint(sn) {
+			t.Fatalf("node %d: loose neighbours %v != strict %v", v, ln, sn)
+		}
+	}
+	if len(rejected) != 3 { // (1,0) dup, (2,2) self loop, (0,1) dup
+		t.Fatalf("strict path rejected %d edges (%v), want 3", len(rejected), rejected)
+	}
+}

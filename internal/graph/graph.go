@@ -27,6 +27,8 @@ type Graph struct {
 	offsets []int64  // len n+1; neighbours of v are adj[offsets[v]:offsets[v+1]]
 	adj     []NodeID // len 2m, each undirected edge appears twice
 	numEdge int64    // m, number of undirected edges
+
+	snap snapCache // lazily built static Snapshot view; see Snapshot()
 }
 
 // N returns the number of nodes.

@@ -1,0 +1,281 @@
+package graph
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// This file implements the epoch-versioned snapshot view of a graph: an
+// immutable CSR base plus a sorted delta overlay for nodes whose adjacency has
+// diverged from the base.  A Snapshot is the unit every consumer (estimators,
+// sweep, serving layer) reads: in-flight queries pin the snapshot they started
+// on and keep reading it unchanged while writers (Dynamic.ApplyUpdates)
+// publish successor epochs atomically.  All read methods are lock-free and
+// safe for concurrent use.
+//
+// The overlay representation keeps reads O(1): ovIdx is a dense per-node
+// index (-1 = node unchanged, read the base CSR) and ovAdj holds the fully
+// merged, sorted adjacency of every changed node.  Merging at write time
+// (rather than merging base+delta per read) keeps Degree and Neighbors as
+// cheap as on a plain CSR — one extra branch — which is what the estimator
+// hot loops need.  Background compaction (see Dynamic) rebuilds the overlay
+// back into a pure CSR without changing the epoch: compaction is a
+// representation change, not a graph change, so epoch-stamped cached results
+// stay valid across it.
+
+// Ident is the stable identity of one logical graph across all of its epochs
+// and representations.  Every Snapshot of the same base graph (including
+// compacted ones) shares one *Ident, which is what per-graph resources —
+// the core workspace pools — key on, so publishing a new epoch never
+// invalidates pooled slabs.
+type Ident struct {
+	_ [1]byte // non-zero size: distinct allocations have distinct addresses
+}
+
+// Source is anything that can produce the current immutable snapshot of a
+// graph: a static *Graph (whose snapshot never changes), a *Dynamic (whose
+// snapshot advances as updates are applied), or a *Snapshot itself (already
+// pinned).  Public estimator entry points take a Source; internal hot loops
+// resolve it once and run on the concrete *Snapshot.
+type Source interface {
+	Snapshot() *Snapshot
+}
+
+// Snapshot is one epoch's immutable view of a graph: a CSR base plus an
+// optional delta overlay.  It mirrors Graph's read API exactly — Degree,
+// Neighbors, HasEdge, TotalVolume, … — so algorithm code is agnostic to
+// whether it runs on a loaded static graph or a live updated one.
+type Snapshot struct {
+	// Base CSR (shared with the originating Graph or a compaction).
+	offsets []int64
+	adj     []NodeID
+	baseN   int
+
+	// Overlay: ovIdx[v] >= 0 means node v's adjacency is ovAdj[ovIdx[v]]
+	// (fully merged, sorted); -1 means read the base CSR.  A nil ovIdx marks
+	// a pure-base snapshot.  Invariant: every node v >= baseN (added after
+	// the base was built) has ovIdx[v] >= 0.
+	ovIdx []int32
+	ovAdj [][]NodeID
+
+	n       int   // node count at this epoch
+	numEdge int64 // undirected edge count at this epoch (base ± overlay)
+
+	epoch    uint64
+	ident    *Ident
+	deltaOps int // overlay operations accumulated since the last compaction
+}
+
+// Snapshot returns s itself: a snapshot is already a pinned Source.
+func (s *Snapshot) Snapshot() *Snapshot { return s }
+
+// Epoch returns the snapshot's version number.  Epoch 0 is the loaded base
+// graph; every applied update batch increments it.  Compaction preserves the
+// epoch (it changes the representation, not the graph).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Ident returns the stable identity shared by every snapshot of this logical
+// graph, the key for per-graph pooled resources.
+func (s *Snapshot) Ident() *Ident { return s.ident }
+
+// N returns the number of nodes.
+func (s *Snapshot) N() int { return s.n }
+
+// M returns the number of undirected edges.
+func (s *Snapshot) M() int64 { return s.numEdge }
+
+// Degree returns the degree of v.
+func (s *Snapshot) Degree(v NodeID) int32 {
+	if s.ovIdx != nil {
+		if i := s.ovIdx[v]; i >= 0 {
+			return int32(len(s.ovAdj[i]))
+		}
+	}
+	return int32(s.offsets[v+1] - s.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency slice of v.  The returned slice
+// aliases the snapshot's internal storage and must not be modified.
+func (s *Snapshot) Neighbors(v NodeID) []NodeID {
+	if s.ovIdx != nil {
+		if i := s.ovIdx[v]; i >= 0 {
+			return s.ovAdj[i]
+		}
+	}
+	return s.adj[s.offsets[v]:s.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge {u, v} exists.  Neighbour lists
+// (base and overlay alike) are sorted, so the check is a binary search over
+// the smaller list.
+func (s *Snapshot) HasEdge(u, v NodeID) bool {
+	if s.Degree(u) > s.Degree(v) {
+		u, v = v, u
+	}
+	ns := s.Neighbors(u)
+	lo, hi := 0, len(ns)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case ns[mid] < v:
+			lo = mid + 1
+		case ns[mid] > v:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// TotalVolume returns 2m, the sum of all degrees.
+func (s *Snapshot) TotalVolume() int64 { return 2 * s.numEdge }
+
+// AverageDegree returns 2m/n (0 for an empty graph).
+func (s *Snapshot) AverageDegree() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return float64(s.TotalVolume()) / float64(s.n)
+}
+
+// MaxDegree returns the largest degree in the snapshot.
+func (s *Snapshot) MaxDegree() int32 {
+	var max int32
+	for v := NodeID(0); v < NodeID(s.n); v++ {
+		if d := s.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Volume returns the sum of degrees over the given node set.
+func (s *Snapshot) Volume(nodes []NodeID) int64 {
+	var vol int64
+	for _, v := range nodes {
+		vol += int64(s.Degree(v))
+	}
+	return vol
+}
+
+// MemoryBytes returns the approximate bytes held by the CSR arrays plus the
+// overlay.
+func (s *Snapshot) MemoryBytes() int64 {
+	b := int64(len(s.offsets))*8 + int64(len(s.adj))*4
+	if s.ovIdx != nil {
+		b += int64(len(s.ovIdx)) * 4
+		for _, ns := range s.ovAdj {
+			b += 24 + int64(len(ns))*4
+		}
+	}
+	return b
+}
+
+// AdjustedFailureProbability computes p'_f as defined by Eq. 6 of the paper
+// over this epoch's degrees; see Graph.AdjustedFailureProbability.
+func (s *Snapshot) AdjustedFailureProbability(pf float64) float64 {
+	if pf <= 0 || pf >= 1 {
+		return pf
+	}
+	sum := 0.0
+	logPf := math.Log(pf)
+	for v := NodeID(0); v < NodeID(s.n); v++ {
+		d := float64(s.Degree(v))
+		sum += math.Exp((d - 1) * logPf)
+		if sum > 1e18 {
+			break
+		}
+	}
+	if sum <= 1 {
+		return pf
+	}
+	return pf / sum
+}
+
+// Edges calls fn for every undirected edge exactly once, with u < v.  If fn
+// returns false iteration stops.
+func (s *Snapshot) Edges(fn func(u, v NodeID) bool) {
+	for u := NodeID(0); u < NodeID(s.n); u++ {
+		for _, v := range s.Neighbors(u) {
+			if u < v {
+				if !fn(u, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Materialize rebuilds the snapshot into a standalone immutable Graph.  A
+// pure-base snapshot shares the CSR arrays (zero copy, both are immutable);
+// an overlaid snapshot is flattened into fresh arrays.  Because both base and
+// overlay adjacency are sorted, the materialized CSR is bit-identical to a
+// from-scratch rebuild of the same edge set.
+func (s *Snapshot) Materialize() *Graph {
+	if s.ovIdx == nil && s.n == s.baseN {
+		return &Graph{offsets: s.offsets, adj: s.adj, numEdge: s.numEdge}
+	}
+	g, _ := s.flatten()
+	return g
+}
+
+// flatten rebuilds the snapshot's edge set into fresh CSR arrays, returning
+// both the Graph form and a pure-base Snapshot form at the same epoch (used
+// by compaction).
+func (s *Snapshot) flatten() (*Graph, *Snapshot) {
+	offsets := make([]int64, s.n+1)
+	for v := 0; v < s.n; v++ {
+		offsets[v+1] = offsets[v] + int64(s.Degree(NodeID(v)))
+	}
+	adj := make([]NodeID, offsets[s.n])
+	for v := 0; v < s.n; v++ {
+		copy(adj[offsets[v]:offsets[v+1]], s.Neighbors(NodeID(v)))
+	}
+	g := &Graph{offsets: offsets, adj: adj, numEdge: s.numEdge}
+	flat := &Snapshot{
+		offsets: offsets,
+		adj:     adj,
+		baseN:   s.n,
+		n:       s.n,
+		numEdge: s.numEdge,
+		epoch:   s.epoch,
+		ident:   s.ident,
+	}
+	return g, flat
+}
+
+// snap caches the lazily built static snapshot of a Graph; see
+// Graph.Snapshot.  It lives in its own one-field struct so Graph values stay
+// trivially copyable in tests that build literals.
+type snapCache struct {
+	p atomic.Pointer[Snapshot]
+}
+
+// Snapshot returns the graph's static snapshot view (epoch 0, no overlay).
+// The snapshot is built once and cached; repeated calls return the same
+// pointer, so per-graph pooling keyed on Snapshot.Ident is stable.  A *Graph
+// therefore implements Source.
+func (g *Graph) Snapshot() *Snapshot {
+	if s := g.snap.p.Load(); s != nil {
+		return s
+	}
+	offsets := g.offsets
+	n := len(offsets) - 1
+	if len(offsets) == 0 {
+		offsets = []int64{0}
+		n = 0
+	}
+	s := &Snapshot{
+		offsets: offsets,
+		adj:     g.adj,
+		baseN:   n,
+		n:       n,
+		numEdge: g.numEdge,
+		ident:   &Ident{},
+	}
+	if g.snap.p.CompareAndSwap(nil, s) {
+		return s
+	}
+	return g.snap.p.Load()
+}

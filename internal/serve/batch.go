@@ -326,6 +326,7 @@ func (e *Engine) runBatch(ct *task) {
 	var srcErrs []error
 	var batchErr error
 	var chosen int
+	var snap *graph.Snapshot
 	var elapsed time.Duration
 	var execStart time.Time
 	func() {
@@ -344,8 +345,9 @@ func (e *Engine) runBatch(ct *task) {
 		e.metrics.batchSize.observe(k)
 		e.metrics.InFlight.Add(int64(k))
 		execStart = time.Now()
-		results, srcErrs, chosen, batchErr = e.executeBatch(ct, live)
-		// Per-member sweeps run inside the timed window, like run's.
+		results, srcErrs, chosen, snap, batchErr = e.executeBatch(ct, live)
+		// Per-member sweeps run inside the timed window, like run's, on the
+		// batch's pinned snapshot so the whole window sees one epoch.
 		for i, t := range live {
 			if batchErr != nil || srcErrs[i] != nil || !t.req.Sweep {
 				continue
@@ -355,7 +357,7 @@ func (e *Engine) runBatch(ct *task) {
 				continue
 			}
 			sweepStart := time.Now()
-			sw := cluster.Sweep(e.g, results[i].Scores)
+			sw := cluster.Sweep(snap, results[i].Scores)
 			sweeps[i] = &sw
 			sweepD := time.Since(sweepStart)
 			e.metrics.observeStage(trace.StageSweep, sweepD)
@@ -439,9 +441,10 @@ func (e *Engine) runBatch(ct *task) {
 			QueueWait:   waits[i],
 			Elapsed:     elapsed,
 			Parallelism: chosen,
+			Epoch:       snap.Epoch(),
 		}
 		if !t.req.NoCache && e.cache != nil {
-			e.cache.set(t.key, resp, responseCost(t.key, resp))
+			e.populateCache(t.key, resp)
 		}
 		e.finish(t, resp, nil)
 	}
@@ -450,8 +453,9 @@ func (e *Engine) runBatch(ct *task) {
 // executeBatch dispatches one batched window to the method's Many estimator:
 // a single workspace, the engine's CPU gate, and per-member contexts and
 // audits threaded through core.BatchContext so one member's cancellation or
-// violation never aborts the rest.
-func (e *Engine) executeBatch(ct *task, members []*task) ([]*core.Result, []error, int, error) {
+// violation never aborts the rest.  The whole window executes against one
+// pinned snapshot, returned so runBatch sweeps and stamps the same epoch.
+func (e *Engine) executeBatch(ct *task, members []*task) ([]*core.Result, []error, int, *graph.Snapshot, error) {
 	wsStart := time.Now()
 	ws := e.workspaces.Get().(*core.Workspace)
 	wsD := time.Since(wsStart)
@@ -474,12 +478,14 @@ func (e *Engine) executeBatch(ct *task, members []*task) ([]*core.Result, []erro
 			pinned = t.req.Opts.Parallelism
 		}
 	}
+	snap := e.src.Snapshot()
 	bc := core.BatchContext{
 		OptionsContext: core.OptionsContext{
 			Ctx:        ct.ctx,
 			CheckEvery: e.cfg.CancelCheckEvery,
 			CPU:        e.cpu,
 			Workspace:  ws,
+			Snapshot:   snap,
 		},
 		SourceCtx:   srcCtx,
 		SourceAudit: srcAudit,
@@ -508,5 +514,5 @@ func (e *Engine) executeBatch(ct *task, members []*task) ([]*core.Result, []erro
 	default:
 		results, errs, err = e.est.TEAPlusManyContext(bc, seeds, opts)
 	}
-	return results, errs, chosen, err
+	return results, errs, chosen, snap, err
 }

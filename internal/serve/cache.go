@@ -107,6 +107,36 @@ func (c *resultCache) set(key string, resp *Response, cost int64) {
 	}
 }
 
+// invalidate removes every entry whose cached response matches pred and
+// returns the number removed.  It is the scoped-invalidation primitive of the
+// live-update path: the predicate sees the cached Response (seed, epoch), so
+// the engine can drop exactly the entries whose seed lies inside an update's
+// affected neighborhood while every other entry keeps serving zero-copy hits.
+// Updates are rare relative to queries, so a full scan under the per-shard
+// locks is the right trade against per-entry index bookkeeping on the hot
+// path.
+func (c *resultCache) invalidate(pred func(*Response) bool) int64 {
+	var removed int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		var next *list.Element
+		for el := s.ll.Front(); el != nil; el = next {
+			next = el.Next()
+			ent := el.Value.(*cacheEntry)
+			if !pred(ent.resp) {
+				continue
+			}
+			s.ll.Remove(el)
+			delete(s.items, ent.key)
+			s.bytes -= ent.cost
+			removed++
+		}
+		s.mu.Unlock()
+	}
+	return removed
+}
+
 // stats returns the total entry count and pinned bytes across shards.
 func (c *resultCache) stats() (entries int64, bytes int64) {
 	for i := range c.shards {

@@ -166,7 +166,7 @@ func TestTopKRequestKnob(t *testing.T) {
 	}
 	// The top entries must be the degree-normalized view of the vector.
 	for _, sn := range full.Top {
-		d := float64(e.g.Degree(sn.Node))
+		d := float64(e.Graph().Degree(sn.Node))
 		if d <= 0 {
 			t.Fatalf("top entry with non-positive degree: %v", sn)
 		}

@@ -185,6 +185,20 @@ type Metrics struct {
 	BatchedQueries  atomic.Int64
 	batchSize       batchSizeHistogram
 
+	// UpdatesApplied counts graph update batches published through
+	// Engine.ApplyUpdates; GraphEpoch mirrors the current epoch.  Both stay 0
+	// on engines over a static graph.
+	UpdatesApplied atomic.Int64
+	GraphEpoch     atomic.Uint64
+	// CacheInvalidatedRadius counts cached results dropped because their seed
+	// fell inside an update's affected neighborhood; CacheInvalidatedStale
+	// counts results discarded at population time because a newer epoch was
+	// published while they executed.  Everything outside the radius survives
+	// updates, so on a locality-friendly workload the first counter stays far
+	// below CacheEntries.
+	CacheInvalidatedRadius atomic.Int64
+	CacheInvalidatedStale  atomic.Int64
+
 	// latency is the end-to-end execution histogram; stage holds one
 	// histogram per pipeline stage (queue wait, cache lookup, workspace
 	// checkout, push, walk, merge, sweep, render), always on — stage timings
@@ -266,6 +280,15 @@ type Snapshot struct {
 	BatchedQueries  int64 `json:"batched_queries"`
 	BatchPending    int64 `json:"batch_pending"`
 
+	// UpdatesApplied counts published graph update batches and GraphEpoch the
+	// current snapshot epoch; the two invalidation counters split dropped cache
+	// entries by reason (inside an update's affected neighborhood vs. computed
+	// against a superseded epoch).  All zero on a static-graph engine.
+	UpdatesApplied         int64  `json:"updates_applied"`
+	GraphEpoch             uint64 `json:"graph_epoch"`
+	CacheInvalidatedRadius int64  `json:"cache_invalidated_radius"`
+	CacheInvalidatedStale  int64  `json:"cache_invalidated_stale"`
+
 	LatencyCount  int64   `json:"latency_count"`
 	LatencyMeanMS float64 `json:"latency_mean_ms"`
 	LatencyP50MS  float64 `json:"latency_p50_ms"`
@@ -288,34 +311,38 @@ func (e *Engine) effectiveQueueDepthEWMA() float64 {
 func (e *Engine) Snapshot() Snapshot {
 	m := e.metrics
 	s := Snapshot{
-		Workers:         e.cfg.Workers,
-		QueueDepth:      len(e.queue),
-		QueueCapacity:   e.cfg.QueueDepth,
-		InFlight:        m.InFlight.Load(),
-		Parallelism:     e.cfg.Parallelism,
-		Adaptive:        e.cfg.Adaptive,
-		LastParallelism: m.LastParallelism.Load(),
-		QueueDepthEWMA:  e.effectiveQueueDepthEWMA(),
-		CPUTokens:       e.cfg.CPUTokens,
-		CPUTokensFree:   e.cpu.freeTokens(),
-		WorkspacesInUse: e.wsOut.Load(),
-		Requests:        m.Requests.Load(),
-		Executions:      m.Executions.Load(),
-		Completed:       m.Completed.Load(),
-		Errors:          m.Errors.Load(),
-		Canceled:        m.Canceled.Load(),
-		Coalesced:       m.Coalesced.Load(),
-		Shed:            m.Shed.Load(),
-		Abandoned:       m.Abandoned.Load(),
-		CacheHits:       m.CacheHits.Load(),
-		CacheMisses:     m.CacheMisses.Load(),
-		InvariantChecks: m.InvariantChecks.Load(),
-		BatchExecutions: m.BatchExecutions.Load(),
-		BatchedQueries:  m.BatchedQueries.Load(),
-		LatencyCount:    m.latency.count.Load(),
-		LatencyP50MS:    m.latency.quantileMS(0.50),
-		LatencyP90MS:    m.latency.quantileMS(0.90),
-		LatencyP99MS:    m.latency.quantileMS(0.99),
+		Workers:                e.cfg.Workers,
+		QueueDepth:             len(e.queue),
+		QueueCapacity:          e.cfg.QueueDepth,
+		InFlight:               m.InFlight.Load(),
+		Parallelism:            e.cfg.Parallelism,
+		Adaptive:               e.cfg.Adaptive,
+		LastParallelism:        m.LastParallelism.Load(),
+		QueueDepthEWMA:         e.effectiveQueueDepthEWMA(),
+		CPUTokens:              e.cfg.CPUTokens,
+		CPUTokensFree:          e.cpu.freeTokens(),
+		WorkspacesInUse:        e.wsOut.Load(),
+		Requests:               m.Requests.Load(),
+		Executions:             m.Executions.Load(),
+		Completed:              m.Completed.Load(),
+		Errors:                 m.Errors.Load(),
+		Canceled:               m.Canceled.Load(),
+		Coalesced:              m.Coalesced.Load(),
+		Shed:                   m.Shed.Load(),
+		Abandoned:              m.Abandoned.Load(),
+		CacheHits:              m.CacheHits.Load(),
+		CacheMisses:            m.CacheMisses.Load(),
+		InvariantChecks:        m.InvariantChecks.Load(),
+		BatchExecutions:        m.BatchExecutions.Load(),
+		BatchedQueries:         m.BatchedQueries.Load(),
+		UpdatesApplied:         m.UpdatesApplied.Load(),
+		GraphEpoch:             m.GraphEpoch.Load(),
+		CacheInvalidatedRadius: m.CacheInvalidatedRadius.Load(),
+		CacheInvalidatedStale:  m.CacheInvalidatedStale.Load(),
+		LatencyCount:           m.latency.count.Load(),
+		LatencyP50MS:           m.latency.quantileMS(0.50),
+		LatencyP90MS:           m.latency.quantileMS(0.90),
+		LatencyP99MS:           m.latency.quantileMS(0.99),
 	}
 	for kind := core.InvariantKind(0); kind < core.NumInvariantKinds; kind++ {
 		if v := m.InvariantViolations[kind].Load(); v != 0 {
@@ -362,6 +389,11 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	counter("invariant_checks_total", "Inline invariant evaluations performed while serving queries.", m.InvariantChecks.Load())
 	counter("batch_executions_total", "Batched core executions (shared multi-source estimator calls).", m.BatchExecutions.Load())
 	counter("batch_queries_total", "Queries served through batched executions.", m.BatchedQueries.Load())
+	counter("updates_applied_total", "Graph update batches published through the engine.", m.UpdatesApplied.Load())
+	fmt.Fprintf(w, "# HELP hkpr_serve_cache_invalidated_total Cached results dropped by live updates, by reason.\n")
+	fmt.Fprintf(w, "# TYPE hkpr_serve_cache_invalidated_total counter\n")
+	fmt.Fprintf(w, "hkpr_serve_cache_invalidated_total{reason=\"radius\"} %d\n", m.CacheInvalidatedRadius.Load())
+	fmt.Fprintf(w, "hkpr_serve_cache_invalidated_total{reason=\"stale-epoch\"} %d\n", m.CacheInvalidatedStale.Load())
 	fmt.Fprintf(w, "# HELP hkpr_serve_invariant_violations_total Inline invariant checks that failed, by invariant kind.\n")
 	fmt.Fprintf(w, "# TYPE hkpr_serve_invariant_violations_total counter\n")
 	for kind := core.InvariantKind(0); kind < core.NumInvariantKinds; kind++ {
@@ -380,6 +412,7 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	}
 	gauge("adaptive", "Whether per-query parallelism adapts to load (1) or is static (0).", adaptive)
 	gauge("last_parallelism", "Parallelism chosen for the most recently started execution.", m.LastParallelism.Load())
+	gauge("graph_epoch", "Current graph snapshot epoch (0 on a static graph).", int64(m.GraphEpoch.Load()))
 	fmt.Fprintf(w, "# HELP hkpr_serve_queue_depth_ewma Smoothed admission-queue depth seen by adaptive parallelism (live depth on non-adaptive engines).\n# TYPE hkpr_serve_queue_depth_ewma gauge\nhkpr_serve_queue_depth_ewma %g\n",
 		e.effectiveQueueDepthEWMA())
 	gauge("workspaces_in_use", "Pooled query workspaces currently checked out.", e.wsOut.Load())

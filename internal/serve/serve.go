@@ -41,7 +41,13 @@
 //     steady-state hot path allocates little beyond the result itself;
 //   - a metrics core (request/execution counters, cache hit/miss, coalesced,
 //     shed, latency histogram, queue depth) exposed as a Snapshot and in
-//     Prometheus text format.
+//     Prometheus text format;
+//   - a live-update path (Engine.ApplyUpdates) for engines built over a
+//     *graph.Dynamic: update batches publish a new epoch-versioned snapshot
+//     while in-flight queries keep reading the epoch they pinned at admission,
+//     and cache invalidation is scoped — only entries whose seed lies within
+//     Config.InvalidateRadius hops of an updated edge are dropped, everything
+//     else keeps serving zero-copy hits.
 //
 // Responses handed out by the engine may be shared with the cache and with
 // coalesced callers; treat Response.Result and Response.Sweep as read-only.
@@ -85,10 +91,18 @@ var (
 	// ErrUnknownMethod is returned (wrapped) for a Request.Method outside the
 	// supported set; callers can errors.Is against it to map to a 4xx.
 	ErrUnknownMethod = errors.New("serve: unknown method")
+	// ErrStaticGraph is returned by ApplyUpdates when the engine was built
+	// over a plain immutable graph rather than a *graph.Dynamic.
+	ErrStaticGraph = errors.New("serve: engine serves a static graph")
 )
 
 // DefaultCacheBytes is the result-cache budget when Config.CacheBytes is 0.
 const DefaultCacheBytes int64 = 64 << 20
+
+// DefaultInvalidateRadius is the scoped-invalidation neighborhood radius when
+// Config.InvalidateRadius is 0: cached results whose seed lies within this
+// many hops of an updated edge's endpoints are dropped on ApplyUpdates.
+const DefaultInvalidateRadius = 2
 
 // Config tunes an Engine.  The zero value gives GOMAXPROCS workers, a queue
 // of 4× that, a 64 MiB cache, serial queries over a GOMAXPROCS-sized CPU
@@ -185,6 +199,14 @@ type Config struct {
 	// width, so a full window runs as exactly one shared scan).  Ignored
 	// unless BatchWindow > 0.
 	BatchMaxK int
+	// InvalidateRadius is the neighborhood radius (in hops from every
+	// endpoint of an updated edge) within which cached results are dropped
+	// when ApplyUpdates publishes a new epoch.  Heat-kernel mass is
+	// push-local — an edge flip perturbs scores sharply near its endpoints
+	// and negligibly far away — so entries whose seed lies outside the ball
+	// survive the update and keep serving zero-copy hits.  <= 0 means
+	// DefaultInvalidateRadius.  Ignored over a static graph.
+	InvalidateRadius int
 }
 
 // withDefaults resolves the zero fields of c.
@@ -209,6 +231,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchWindow > 0 && c.BatchMaxK <= 0 {
 		c.BatchMaxK = defaultBatchMaxK
+	}
+	if c.InvalidateRadius <= 0 {
+		c.InvalidateRadius = DefaultInvalidateRadius
 	}
 	return c
 }
@@ -334,6 +359,12 @@ type Response struct {
 	// treated as read-only.  Never stored in the cache: a cache hit carries
 	// a fresh trace of the lookup itself.
 	Trace *trace.Record
+	// Epoch is the graph snapshot epoch the query executed against.  Every
+	// stage of the execution — estimation, sweep, caching — saw exactly this
+	// epoch; on a static graph it is always 0.  For cached responses it
+	// reports the epoch the entry was computed at (scoped invalidation
+	// guarantees the entry is still valid at the current epoch).
+	Epoch uint64
 }
 
 // Engine is the query-serving subsystem.  Create one per loaded graph with
@@ -341,7 +372,12 @@ type Response struct {
 // methods are safe for concurrent use.
 type Engine struct {
 	est *core.Estimator
-	g   *graph.Graph
+	// src is the estimator's graph source; every execution pins one immutable
+	// epoch snapshot from it at admission.  dyn is src when the source is
+	// live-updatable (a *graph.Dynamic), nil over a static graph; it gates the
+	// ApplyUpdates path and the stale-epoch cache guard.
+	src graph.Source
+	dyn *graph.Dynamic
 	cfg Config
 
 	cache   *resultCache // nil when disabled
@@ -399,9 +435,12 @@ func New(est *core.Estimator, cfg Config) (*Engine, error) {
 	}
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	src := est.Source()
+	dyn, _ := src.(*graph.Dynamic)
 	e := &Engine{
 		est:     est,
-		g:       est.Graph(),
+		src:     src,
+		dyn:     dyn,
 		cfg:     cfg,
 		metrics: newMetrics(),
 		cpu:     newCPUTokens(cfg.CPUTokens),
@@ -410,6 +449,7 @@ func New(est *core.Estimator, cfg Config) (*Engine, error) {
 		cancel:  cancel,
 		flight:  make(map[string]*task),
 	}
+	e.metrics.GraphEpoch.Store(src.Snapshot().Epoch())
 	if cfg.CacheBytes > 0 {
 		e.cache = newResultCache(cfg.CacheBytes)
 	}
@@ -417,8 +457,10 @@ func New(est *core.Estimator, cfg Config) (*Engine, error) {
 		e.ring = newTraceRing(cfg.TraceBuffer)
 	}
 	e.slowLog = log.Printf
-	n := est.Graph().N()
-	e.workspaces.New = func() any { return core.NewWorkspace(n) }
+	// Workspaces size to the graph at checkout-construction time; on a live
+	// graph the slabs additionally grow in place as epochs add nodes (the
+	// core workspace re-sizes against each execution's pinned snapshot).
+	e.workspaces.New = func() any { return core.NewWorkspace(e.src.Snapshot().N()) }
 	if cfg.BatchWindow > 0 {
 		e.batch = newBatcher(e, cfg.BatchWindow, cfg.BatchMaxK)
 		e.wg.Add(1)
@@ -431,8 +473,11 @@ func New(est *core.Estimator, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Graph returns the graph the engine serves.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the current epoch's immutable snapshot of the graph the
+// engine serves.  The returned view is safe to read concurrently with live
+// updates and never exposes the engine's mutable state; call it again to
+// observe a newer epoch.
+func (e *Engine) Graph() *graph.Snapshot { return e.src.Snapshot() }
 
 // Options returns the estimator's resolved default options.
 func (e *Engine) Options() core.Options { return e.est.Options() }
@@ -747,6 +792,7 @@ func (e *Engine) run(t *task) {
 	var elapsed time.Duration
 	var res *core.Result
 	var chosenP int
+	var snap *graph.Snapshot
 	resp, err := func() (*Response, error) {
 		defer e.cpu.Release(1)
 		wait := time.Since(t.enqueued)
@@ -759,18 +805,20 @@ func (e *Engine) run(t *task) {
 		e.metrics.InFlight.Add(1)
 		start := time.Now()
 		var err error
-		res, chosenP, err = e.execute(t)
+		res, chosenP, snap, err = e.execute(t)
 		var sweep *cluster.SweepResult
 		if err == nil && t.req.Sweep {
 			// The sweep is part of the query's work, so it runs inside the
 			// timed window (Response.Elapsed and the latency histogram would
 			// otherwise under-report sweep-heavy queries) and is skipped when
-			// the deadline already passed or the caller is gone.
+			// the deadline already passed or the caller is gone.  It runs on
+			// the execution's pinned snapshot so estimation and sweep see one
+			// epoch even if an update publishes mid-query.
 			if cerr := t.ctx.Err(); cerr != nil {
 				err = cerr
 			} else {
 				sweepStart := time.Now()
-				sw := cluster.Sweep(e.g, res.Scores)
+				sw := cluster.Sweep(snap, res.Scores)
 				sweep = &sw
 				sweepD := time.Since(sweepStart)
 				e.metrics.observeStage(trace.StageSweep, sweepD)
@@ -791,6 +839,7 @@ func (e *Engine) run(t *task) {
 			QueueWait:   wait,
 			Elapsed:     elapsed,
 			Parallelism: chosenP,
+			Epoch:       snap.Epoch(),
 		}, nil
 	}()
 	// Estimator-phase histograms come straight from the timings core already
@@ -856,9 +905,31 @@ func (e *Engine) run(t *task) {
 		return
 	}
 	if !t.req.NoCache && e.cache != nil {
-		e.cache.set(t.key, resp, responseCost(t.key, resp))
+		e.populateCache(t.key, resp)
 	}
 	e.finish(t, resp, nil)
+}
+
+// populateCache stores one freshly computed response, unless a newer graph
+// epoch was published while it executed.  The epoch check and the set happen
+// under the engine lock — the same lock ApplyUpdates holds across {publish +
+// invalidate} — so a result computed against a superseded epoch can never slip
+// into the cache after the invalidation scan that would have dropped it.  On a
+// static graph (dyn == nil) there is nothing to race with and the set is
+// unguarded.
+func (e *Engine) populateCache(key string, resp *Response) {
+	cost := responseCost(key, resp)
+	if e.dyn == nil {
+		e.cache.set(key, resp, cost)
+		return
+	}
+	e.mu.Lock()
+	if resp.Epoch != e.dyn.Epoch() {
+		e.metrics.CacheInvalidatedStale.Add(1)
+	} else {
+		e.cache.set(key, resp, cost)
+	}
+	e.mu.Unlock()
 }
 
 // chooseParallelism resolves the parallelism hint for one query: the
@@ -919,8 +990,9 @@ func (e *Engine) smoothedQueueDepth() float64 {
 // execute dispatches to the estimator with the task's cancellation context,
 // the engine's CPU-token gate and a pooled workspace, and reports the
 // parallelism it resolved for the query (surfaced in Response, /stats and
-// the Prometheus gauges).
-func (e *Engine) execute(t *task) (*core.Result, int, error) {
+// the Prometheus gauges) plus the epoch snapshot the execution was pinned to
+// (the sweep and the response epoch stamp must see the same view).
+func (e *Engine) execute(t *task) (*core.Result, int, *graph.Snapshot, error) {
 	// Check out a workspace for the execution.  The estimator joins all of
 	// its chunk/shard goroutines before returning — on success, error and
 	// cancellation alike — so the deferred return can never recycle slabs a
@@ -937,7 +1009,10 @@ func (e *Engine) execute(t *task) (*core.Result, int, error) {
 	}()
 	// The audit is always attached: the inline invariant checks are cheap
 	// (one extra pass over the touched entries) and their counters feed the
-	// hkpr_serve_invariant_* metrics on every execution.
+	// hkpr_serve_invariant_* metrics on every execution.  The snapshot pin
+	// fixes the whole execution — estimation, sweep, epoch stamp — to one
+	// published epoch, so a concurrent ApplyUpdates never tears a query.
+	snap := e.src.Snapshot()
 	oc := core.OptionsContext{
 		Ctx:        t.ctx,
 		CheckEvery: e.cfg.CancelCheckEvery,
@@ -945,6 +1020,7 @@ func (e *Engine) execute(t *task) (*core.Result, int, error) {
 		Workspace:  ws,
 		Trace:      t.qt,
 		Audit:      &t.audit,
+		Snapshot:   snap,
 	}
 	opts := t.req.Opts
 	opts.Parallelism = e.chooseParallelism(opts.Parallelism)
@@ -966,7 +1042,7 @@ func (e *Engine) execute(t *task) (*core.Result, int, error) {
 	default:
 		res, err = e.est.TEAPlusContext(oc, t.req.Seed, opts)
 	}
-	return res, chosen, err
+	return res, chosen, snap, err
 }
 
 // finish records the outcome, retires the task from the flight table (after
@@ -1036,14 +1112,19 @@ func (e *Engine) render(out *Response, req Request) (time.Time, time.Duration) {
 	if out.Result == nil || (req.TopK <= 0 && req.SweepK <= 0) {
 		return time.Time{}, 0
 	}
+	// Rendering reads the current snapshot (an atomic load): cache hits and
+	// coalesced callers render against degrees at serve time, which scoped
+	// invalidation keeps consistent with the cached vector — entries near an
+	// update were already dropped.
+	g := e.src.Snapshot()
 	start := time.Now()
 	if req.TopK > 0 {
-		out.Top = cluster.TopKNormalized(e.g, out.Result.Scores, req.TopK)
+		out.Top = cluster.TopKNormalized(g, out.Result.Scores, req.TopK)
 	}
 	if req.SweepK > 0 && out.Sweep == nil {
 		// A bounded sweep only renders when the full sweep isn't already part
 		// of the shared result.
-		sw := cluster.SweepK(e.g, out.Result.Scores, req.SweepK)
+		sw := cluster.SweepK(g, out.Result.Scores, req.SweepK)
 		out.Sweep = &sw
 	}
 	d := time.Since(start)

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hkpr/internal/core"
+	"hkpr/internal/graph"
+)
+
+// twoComponentDynamic builds a Dynamic over two disconnected 50-node paths
+// (component A: 0..49, component B: 50..99).  Updates inside one component
+// can never reach the other within any BFS radius, which is exactly the
+// situation scoped invalidation must exploit.
+func twoComponentDynamic(t testing.TB) *graph.Dynamic {
+	t.Helper()
+	var edges [][2]graph.NodeID
+	for i := 0; i < 49; i++ {
+		edges = append(edges, [2]graph.NodeID{graph.NodeID(i), graph.NodeID(i + 1)})
+		edges = append(edges, [2]graph.NodeID{graph.NodeID(50 + i), graph.NodeID(50 + i + 1)})
+	}
+	return graph.NewDynamic(graph.FromEdges(100, edges), graph.DynamicOptions{CompactThreshold: -1})
+}
+
+func dynamicTestEngine(t testing.TB, d *graph.Dynamic, cfg Config) *Engine {
+	t.Helper()
+	est, err := core.NewEstimator(d, core.Options{
+		T: 5, EpsRel: 0.5, Delta: 1 / float64(d.Snapshot().N()), FailureProb: 1e-4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(est, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestApplyUpdatesScopedInvalidation(t *testing.T) {
+	d := twoComponentDynamic(t)
+	e := dynamicTestEngine(t, d, Config{Workers: 2})
+	ctx := context.Background()
+
+	// Warm the cache: one seed near the upcoming update (node 3, within
+	// radius 2 of endpoint 2), one far away in the same component (node 40),
+	// one in the other component (node 80).
+	near, err := e.Do(ctx, Request{Seed: 3, Method: MethodTEA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := e.Do(ctx, Request{Seed: 40, Method: MethodTEA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := e.Do(ctx, Request{Seed: 80, Method: MethodTEA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []*Response{near, far, other} {
+		if r.Cached || r.Epoch != 0 {
+			t.Fatalf("warmup response cached=%v epoch=%d, want fresh epoch-0 execution", r.Cached, r.Epoch)
+		}
+	}
+
+	// Publish a shortcut edge (2, 10) inside component A.
+	res, err := e.ApplyUpdates(graph.UpdateBatch{AddEdges: [][2]graph.NodeID{{2, 10}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epoch != 1 || res.AddedEdges != 1 || res.AddedNodes != 0 || res.RemovedEdges != 0 {
+		t.Fatalf("unexpected UpdateResult %+v", res)
+	}
+	// Radius-2 ball around {2, 10} on the path plus the new edge:
+	// {0,1,2,3,4, 8,9,10,11,12} = 10 nodes.
+	if res.Affected != 10 {
+		t.Fatalf("Affected = %d, want 10", res.Affected)
+	}
+	if res.Invalidated != 1 {
+		t.Fatalf("Invalidated = %d, want exactly the seed-3 entry", res.Invalidated)
+	}
+	if got := e.Graph().Epoch(); got != 1 {
+		t.Fatalf("Engine.Graph().Epoch() = %d after update, want 1", got)
+	}
+
+	// The outside-radius entries survive and serve zero-copy hits: the cached
+	// Result pointers are the very ones the warmup responses carried.
+	farHit, err := e.Do(ctx, Request{Seed: 40, Method: MethodTEA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !farHit.Cached || farHit.Result != far.Result {
+		t.Fatalf("far-seed entry: cached=%v shared=%v, want a zero-copy hit surviving the update",
+			farHit.Cached, farHit.Result == far.Result)
+	}
+	if farHit.Epoch != 0 {
+		t.Fatalf("surviving entry's epoch = %d, want its compute epoch 0", farHit.Epoch)
+	}
+	otherHit, err := e.Do(ctx, Request{Seed: 80, Method: MethodTEA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !otherHit.Cached || otherHit.Result != other.Result {
+		t.Fatal("other-component entry did not survive the update as a zero-copy hit")
+	}
+
+	// The in-ball entry was dropped: the same query re-executes on the new
+	// epoch and sees the new edge.
+	nearMiss, err := e.Do(ctx, Request{Seed: 3, Method: MethodTEA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nearMiss.Cached {
+		t.Fatal("in-ball entry served a stale cache hit after the update")
+	}
+	if nearMiss.Epoch != 1 {
+		t.Fatalf("re-executed query's epoch = %d, want 1", nearMiss.Epoch)
+	}
+
+	m := e.metrics
+	if got := m.UpdatesApplied.Load(); got != 1 {
+		t.Fatalf("UpdatesApplied = %d, want 1", got)
+	}
+	if got := m.CacheInvalidatedRadius.Load(); got != 1 {
+		t.Fatalf("CacheInvalidatedRadius = %d, want 1", got)
+	}
+	if got := m.GraphEpoch.Load(); got != 1 {
+		t.Fatalf("GraphEpoch metric = %d, want 1", got)
+	}
+	snap := e.Snapshot()
+	if snap.UpdatesApplied != 1 || snap.GraphEpoch != 1 || snap.CacheInvalidatedRadius != 1 {
+		t.Fatalf("stats snapshot missing update counters: %+v", snap)
+	}
+}
+
+func TestApplyUpdatesStaticGraph(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 1})
+	if _, err := e.ApplyUpdates(graph.UpdateBatch{AddEdges: [][2]graph.NodeID{{0, 1}}}); !errors.Is(err, ErrStaticGraph) {
+		t.Fatalf("ApplyUpdates on static engine: err = %v, want ErrStaticGraph", err)
+	}
+}
+
+func TestApplyUpdatesRejectsInvalidBatch(t *testing.T) {
+	d := twoComponentDynamic(t)
+	e := dynamicTestEngine(t, d, Config{Workers: 1})
+	if _, err := e.ApplyUpdates(graph.UpdateBatch{AddEdges: [][2]graph.NodeID{{7, 7}}}); !errors.Is(err, graph.ErrSelfLoop) {
+		t.Fatalf("self-loop batch: err = %v, want graph.ErrSelfLoop", err)
+	}
+	if _, err := e.ApplyUpdates(graph.UpdateBatch{AddEdges: [][2]graph.NodeID{{0, 1}}}); !errors.Is(err, graph.ErrDuplicateEdge) {
+		t.Fatalf("duplicate batch: err = %v, want graph.ErrDuplicateEdge", err)
+	}
+	if got := e.metrics.UpdatesApplied.Load(); got != 0 {
+		t.Fatalf("rejected batches counted as applied: %d", got)
+	}
+	if got := d.Epoch(); got != 0 {
+		t.Fatalf("rejected batch advanced the epoch to %d", got)
+	}
+}
+
+// TestStaleEpochCacheGuard pins the populate-time race closure: a result
+// whose execution straddles an epoch publish must not enter the cache (it was
+// computed against the superseded epoch and the invalidation scan could not
+// have seen it).
+func TestStaleEpochCacheGuard(t *testing.T) {
+	d := twoComponentDynamic(t)
+	e := dynamicTestEngine(t, d, Config{Workers: 1})
+	ctx := context.Background()
+
+	// The audit hook runs after the estimator finished (the execution has
+	// pinned its epoch-0 snapshot and built its result) but before the cache
+	// population — exactly the window an epoch publish must be guarded
+	// against.  The update touches the other component, so scoped
+	// invalidation alone would never drop the entry.
+	published := false
+	e.auditHook = func(*core.InvariantAudit) {
+		if published {
+			return
+		}
+		published = true
+		if _, err := e.ApplyUpdates(graph.UpdateBatch{AddEdges: [][2]graph.NodeID{{2, 10}}}); err != nil {
+			t.Error(err)
+		}
+	}
+
+	resp, err := e.Do(ctx, Request{Seed: 60, Method: MethodTEA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != 0 {
+		t.Fatalf("straddling query's epoch = %d, want the pinned 0", resp.Epoch)
+	}
+	if got := e.metrics.CacheInvalidatedStale.Load(); got != 1 {
+		t.Fatalf("CacheInvalidatedStale = %d, want 1", got)
+	}
+	// The stale result never entered the cache: the repeat executes afresh on
+	// the new epoch.
+	again, err := e.Do(ctx, Request{Seed: 60, Method: MethodTEA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Cached {
+		t.Fatal("stale-epoch result was served from the cache")
+	}
+	if again.Epoch != 1 {
+		t.Fatalf("repeat query's epoch = %d, want 1", again.Epoch)
+	}
+}

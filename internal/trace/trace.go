@@ -44,7 +44,15 @@ const (
 	StageSweep
 	// StageRender is per-caller rendering (top-k selection, bounded sweep).
 	StageRender
+	// StageUpdate is the application and publication of one graph update
+	// batch (epoch build plus atomic store).
+	StageUpdate
+	// StageInvalidate is the scoped cache invalidation after an update: the
+	// affected-neighborhood BFS plus the cache scan.
+	StageInvalidate
 	// NumStages is the number of stages; valid stages are < NumStages.
+	// StageUpdate and StageInvalidate sit after the query stages so existing
+	// stage indices (and their histogram positions) are stable.
 	NumStages
 )
 
@@ -57,6 +65,8 @@ var stageNames = [NumStages]string{
 	"merge",
 	"sweep",
 	"render",
+	"update_apply",
+	"cache_invalidate",
 }
 
 // String returns the snake_case stage name used in metric labels and trace

@@ -32,6 +32,10 @@ type (
 	// are returned by Engine.Traces and on ServeResponse.Trace when a request
 	// sets Trace; they marshal directly to JSON.
 	TraceRecord = trace.Record
+	// UpdateResult summarizes one update batch published through
+	// Engine.ApplyUpdates: the new epoch, the accepted batch size, the
+	// invalidation neighborhood and the number of cache entries dropped.
+	UpdateResult = serve.UpdateResult
 )
 
 // Serving-layer errors.
@@ -44,6 +48,9 @@ var (
 	// ErrUnknownMethod reports a serving request whose method is not one of
 	// tea+, tea or monte-carlo.
 	ErrUnknownMethod = serve.ErrUnknownMethod
+	// ErrStaticGraph reports an ApplyUpdates call on an engine built over a
+	// plain immutable graph rather than a Dynamic.
+	ErrStaticGraph = serve.ErrStaticGraph
 	// ErrInvariantViolation reports that a query's inline self-verification
 	// (mass conservation, score non-negativity, total-mass bounds, the
 	// paper's Inequality 11) failed.  Queries only fail with it when
@@ -60,21 +67,22 @@ var (
 // any number of goroutines.
 type Engine struct {
 	eng *serve.Engine
-	g   *Graph
 }
 
-// NewEngine builds a serving engine for g.  Options.Delta defaults to 1/N()
-// if zero, as in NewClusterer; cfg's zero value gives GOMAXPROCS workers, a
-// 4×-deep admission queue and a 64 MiB result cache.
-func NewEngine(g *Graph, opts Options, cfg EngineConfig) (*Engine, error) {
+// NewEngine builds a serving engine over src: a *Graph for a static
+// deployment, or a *Dynamic (see NewDynamic) to enable the live-update path
+// through Engine.ApplyUpdates.  Options.Delta defaults to 1/N() if zero, as
+// in NewClusterer; cfg's zero value gives GOMAXPROCS workers, a 4×-deep
+// admission queue and a 64 MiB result cache.
+func NewEngine(src GraphSource, opts Options, cfg EngineConfig) (*Engine, error) {
 	if opts.Delta == 0 {
-		if g.N() > 1 {
-			opts.Delta = 1 / float64(g.N())
+		if n := src.Snapshot().N(); n > 1 {
+			opts.Delta = 1 / float64(n)
 		} else {
 			return nil, fmt.Errorf("hkpr: graph too small for local clustering")
 		}
 	}
-	est, err := core.NewEstimator(g, opts)
+	est, err := core.NewEstimator(src, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -82,11 +90,23 @@ func NewEngine(g *Graph, opts Options, cfg EngineConfig) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{eng: eng, g: g}, nil
+	return &Engine{eng: eng}, nil
 }
 
-// Graph returns the graph the engine serves.
-func (e *Engine) Graph() *Graph { return e.g }
+// Graph returns the current epoch's immutable snapshot of the graph the
+// engine serves.  The view is safe to read concurrently with live updates;
+// call again after ApplyUpdates to observe the new epoch.
+func (e *Engine) Graph() *GraphSnapshot { return e.eng.Graph() }
+
+// ApplyUpdates validates and publishes one graph update batch as a new epoch
+// and invalidates exactly the cached results whose seed lies within
+// EngineConfig.InvalidateRadius hops of an updated edge.  The batch is
+// all-or-nothing; engines built over a static *Graph fail with
+// ErrStaticGraph.  In-flight queries keep reading the epoch they pinned at
+// admission and are never torn.
+func (e *Engine) ApplyUpdates(batch UpdateBatch) (UpdateResult, error) {
+	return e.eng.ApplyUpdates(batch)
+}
 
 // Options returns the engine's resolved default estimation options.
 func (e *Engine) Options() Options { return e.eng.Options() }
