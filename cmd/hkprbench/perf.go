@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"hkpr"
+	"hkpr/internal/chaos"
 )
 
 // The -perf mode tracks the repo's raw query-latency trajectory across PRs:
@@ -86,6 +87,16 @@ type perfPoint struct {
 	UpdatesApplied    int64 `json:"updates_applied,omitempty"`
 	Compactions       int   `json:"compactions,omitempty"`
 	CompactPauseP99Ns int64 `json:"compact_pause_p99_ns,omitempty"`
+	// Soak-entry extras (BENCH_soak.json): client-observed outcome rates of
+	// the deterministic chaos soak — the shed fraction of offered requests,
+	// the fraction served in a degraded mode (stale or clamped), the engine's
+	// execution-latency p99 under saturation, and the highest pressure tier
+	// the overload controller reached.
+	Requests     int64   `json:"requests,omitempty"`
+	ShedRate     float64 `json:"shed_rate,omitempty"`
+	DegradedRate float64 `json:"degraded_serve_rate,omitempty"`
+	P99Ns        int64   `json:"p99_ns,omitempty"`
+	MaxPressure  string  `json:"max_pressure,omitempty"`
 }
 
 // perfReport is the BENCH_<name>.json payload.
@@ -275,13 +286,80 @@ func runPerf(cfg perfConfig) error {
 		return err
 	}
 
+	// The soak entry runs the deterministic chaos harness: seeded 32-way
+	// traffic against a 2-worker engine (better than 2x its admission
+	// capacity) with concurrent update writers and injected execution stalls,
+	// then records the overload-robustness trajectory — shed rate,
+	// degraded-serve rate, and execution p99 under saturation.
+	soakPoint, soakCfg, err := perfMeasureSoak()
+	if err != nil {
+		return fmt.Errorf("perf soak: %w", err)
+	}
+	soakRep := perfReport{
+		Name:  "soak",
+		Graph: fmt.Sprintf("powerlaw-n%d (chaos)", soakCfg.Nodes),
+		Nodes: soakCfg.Nodes,
+		Options: fmt.Sprintf("seed=%d clients=%d queries=%d writers=%d fault-every=%d",
+			soakCfg.Seed, soakCfg.Clients, soakCfg.QueriesPerClient, soakCfg.Writers, soakCfg.FaultEvery),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Points:     []perfPoint{soakPoint},
+	}
+	if cfg.log != nil {
+		fmt.Fprintf(cfg.log, "perf %-8s %d requests  shed %.3f  degraded %.3f  p99 %.2fms  max-pressure %s\n",
+			"soak", soakPoint.Requests, soakPoint.ShedRate, soakPoint.DegradedRate,
+			float64(soakPoint.P99Ns)/1e6, soakPoint.MaxPressure)
+	}
+	if err := finish(soakRep); err != nil {
+		return err
+	}
+
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Fprintln(os.Stderr, "perf regression:", r)
 		}
-		return fmt.Errorf("perf: %d allocs_per_op/bytes_per_op regression(s) against baseline in %s", len(regressions), cfg.baselineDir)
+		return fmt.Errorf("perf: %d regression(s) against baseline in %s", len(regressions), cfg.baselineDir)
 	}
 	return nil
+}
+
+// soakShedRateSlack is the absolute shed-rate growth tolerated against the
+// committed soak baseline before the gate fails: outcome rates vary with
+// scheduling, but a jump beyond this means admission capacity or the
+// degraded modes regressed.
+const soakShedRateSlack = 0.25
+
+// soakP99Factor bounds the saturated-execution p99 against baseline.  It is
+// deliberately loose (CI boxes vary wildly); it exists to catch an
+// order-of-magnitude collapse, not jitter.
+const soakP99Factor = 5.0
+
+// perfMeasureSoak runs the chaos soak at its default seeded configuration and
+// flattens the report into one perf point.
+func perfMeasureSoak() (perfPoint, chaos.Config, error) {
+	cfg := chaos.Default(42)
+	rep, err := chaos.Run(cfg)
+	if err != nil {
+		return perfPoint{}, cfg, err
+	}
+	if err := rep.Err(); err != nil {
+		return perfPoint{}, cfg, err
+	}
+	meanNs := int64(0)
+	if rep.Requests > 0 {
+		meanNs = rep.Elapsed.Nanoseconds() / rep.Requests
+	}
+	return perfPoint{
+		NsPerOp:        max64(meanNs, 1),
+		QueriesPerSec:  float64(rep.Requests) / rep.Elapsed.Seconds(),
+		Iterations:     int(rep.Requests),
+		Requests:       rep.Requests,
+		UpdatesApplied: rep.UpdatesApplied,
+		ShedRate:       rep.ShedRate,
+		DegradedRate:   rep.DegradedRate,
+		P99Ns:          int64(rep.P99MS * 1e6),
+		MaxPressure:    rep.MaxPressure,
+	}, cfg, nil
 }
 
 // checkPerfBaseline compares a fresh report against the committed baseline
@@ -322,6 +400,25 @@ func checkPerfBaseline(dir string, rep perfReport) error {
 		if b.BytesPerOp > 0 && p.BytesPerOp > byteLimit && p.BytesPerOp-b.BytesPerOp > bytesRegressionFloor {
 			return fmt.Errorf("%s P=%d k=%d: bytes_per_op %d exceeds %gx baseline %d",
 				rep.Name, p.Parallelism, p.BatchK, p.BytesPerOp, bytesRegressionFactor, b.BytesPerOp)
+		}
+		// Soak-entry gates: the overload-robustness trajectory.  Shed rate may
+		// only drift within an absolute slack, the degraded machinery must not
+		// go inert (a baseline that served degraded responses but a fresh run
+		// that served none means stale/clamped modes stopped engaging), and
+		// the saturated p99 must stay within a loose factor.
+		if rep.Name == "soak" {
+			if p.ShedRate > b.ShedRate+soakShedRateSlack {
+				return fmt.Errorf("soak: shed_rate %.3f exceeds baseline %.3f + %.2f slack",
+					p.ShedRate, b.ShedRate, soakShedRateSlack)
+			}
+			if b.DegradedRate > 0.01 && p.DegradedRate == 0 {
+				return fmt.Errorf("soak: degraded_serve_rate fell to 0 (baseline %.3f): stale/clamped modes no longer engage",
+					b.DegradedRate)
+			}
+			if b.P99Ns > 0 && p.P99Ns > int64(float64(b.P99Ns)*soakP99Factor) {
+				return fmt.Errorf("soak: saturated p99 %.2fms exceeds %gx baseline %.2fms",
+					float64(p.P99Ns)/1e6, soakP99Factor, float64(b.P99Ns)/1e6)
+			}
 		}
 	}
 	return nil

@@ -86,6 +86,31 @@ func TestPerfWritesBenchJSON(t *testing.T) {
 	if p.UpdatesApplied == 0 {
 		t.Fatal("BENCH_update.json: background writer applied no update batches; the point measured a static graph")
 	}
+
+	// The soak entry runs the chaos harness and must record the overload
+	// trajectory: offered requests, a shed rate within the harness's own
+	// bound, and a pressure tier (the 2x+ overload must leave nominal).
+	raw, err = os.ReadFile(filepath.Join(dir, "BENCH_soak.json"))
+	if err != nil {
+		t.Fatalf("missing soak bench JSON: %v", err)
+	}
+	var soak perfReport
+	if err := json.Unmarshal(raw, &soak); err != nil {
+		t.Fatalf("BENCH_soak.json: bad JSON: %v", err)
+	}
+	if soak.Name != "soak" || len(soak.Points) != 1 {
+		t.Fatalf("BENCH_soak.json: unexpected report %+v", soak)
+	}
+	sp := soak.Points[0]
+	if sp.Requests == 0 || sp.ShedRate < 0 || sp.ShedRate > 0.95 {
+		t.Fatalf("BENCH_soak.json: unexpected point %+v", sp)
+	}
+	if sp.MaxPressure == "" || sp.MaxPressure == "nominal" {
+		t.Fatalf("BENCH_soak.json: controller never left nominal: %+v", sp)
+	}
+	if sp.P99Ns <= 0 {
+		t.Fatalf("BENCH_soak.json: no saturated latency recorded: %+v", sp)
+	}
 }
 
 // TestCheckPerfBaseline pins the CI regression gate: a fresh report passes
@@ -163,5 +188,52 @@ func TestCheckPerfBaselineBytes(t *testing.T) {
 	write("tea", 100, 0)
 	if err := checkPerfBaseline(dir, fresh(1<<30)); err != nil {
 		t.Fatalf("zero-bytes baseline flagged: %v", err)
+	}
+}
+
+// TestCheckPerfBaselineSoak pins the soak half of the gate: shed rate is
+// bounded by absolute slack, the degraded machinery must not go inert, and
+// the saturated p99 is bounded by a loose factor.
+func TestCheckPerfBaselineSoak(t *testing.T) {
+	dir := t.TempDir()
+	base := perfReport{Name: "soak", Points: []perfPoint{{
+		ShedRate: 0.40, DegradedRate: 0.15, P99Ns: 4e6,
+	}}}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_soak.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := func(shed, degraded float64, p99 int64) perfReport {
+		return perfReport{Name: "soak", Points: []perfPoint{{
+			ShedRate: shed, DegradedRate: degraded, P99Ns: p99,
+		}}}
+	}
+	if err := checkPerfBaseline(dir, fresh(0.55, 0.10, 8e6)); err != nil {
+		t.Fatalf("in-bounds soak flagged: %v", err)
+	}
+	if err := checkPerfBaseline(dir, fresh(0.70, 0.10, 4e6)); err == nil {
+		t.Fatal("shed-rate jump past slack not flagged")
+	}
+	if err := checkPerfBaseline(dir, fresh(0.40, 0, 4e6)); err == nil {
+		t.Fatal("inert degraded machinery not flagged")
+	}
+	if err := checkPerfBaseline(dir, fresh(0.40, 0.15, 30e6)); err == nil {
+		t.Fatal("p99 collapse past factor not flagged")
+	}
+	// The rate gates are soak-specific: other entries with zero soak fields
+	// never trip them.
+	other := perfReport{Name: "tea", Points: []perfPoint{{Parallelism: 1, AllocsPerOp: 10}}}
+	rawTea, err := json.Marshal(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_tea.json"), rawTea, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkPerfBaseline(dir, other); err != nil {
+		t.Fatalf("non-soak entry tripped soak gates: %v", err)
 	}
 }

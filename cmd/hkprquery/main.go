@@ -15,11 +15,19 @@
 // base CSR plus the delta overlay, bit-identical to a from-scratch rebuild
 // of the updated edge set.
 //
+// With -server the query goes to a running hkprserver over HTTP instead of
+// loading a graph locally.  Overloaded responses (503) are retried with
+// jittered exponential backoff — honoring the server's Retry-After drain
+// estimate, capped at -retry-max — up to -retries times per seed, and
+// responses the server degraded under pressure ("stale" or "clamped") are
+// called out in the output.
+//
 // Example:
 //
 //	hkprquery -graph plc.txt -seed 17 -method tea+ -t 5 -eps 0.5
 //	hkprquery -graph plc.txt -seed 17,42,101 -method tea+
 //	hkprquery -graph plc.txt -updates delta.txt -seed 17
+//	hkprquery -server http://localhost:8080 -seed 17 -retries 6
 package main
 
 import (
@@ -74,9 +82,30 @@ func run(args []string, out io.Writer) error {
 		rngSeed   = fs.Uint64("rng", 1, "random seed")
 		topK      = fs.Int("top", 20, "print at most this many cluster members")
 		updates   = fs.String("updates", "", "edge-list delta applied before querying: 'u v' or '+ u v' adds an edge, '- u v' (or 'del u v') removes one")
+
+		server    = fs.String("server", "", "query a running hkprserver at this base URL instead of loading a graph locally")
+		retries   = fs.Int("retries", 4, "with -server: retries per seed after an overloaded (503) response")
+		retryBase = fs.Duration("retry-base", 100*time.Millisecond, "with -server: initial backoff delay, doubled (with jitter) per retry")
+		retryMax  = fs.Duration("retry-max", 5*time.Second, "with -server: cap on any single backoff delay, including the server's Retry-After hint")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *server != "" {
+		seeds, err := parseSeeds(*seedList)
+		if err != nil {
+			return err
+		}
+		return runRemote(&remoteConfig{
+			server:  *server,
+			method:  *method,
+			epsRel:  *epsRel,
+			topK:    *topK,
+			retries: *retries,
+			base:    *retryBase,
+			max:     *retryMax,
+			rngSeed: *rngSeed,
+		}, seeds, out)
 	}
 	if *graphPath == "" {
 		return fmt.Errorf("missing -graph path")

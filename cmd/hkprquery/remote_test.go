@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// shedThenServe fakes an hkprserver that sheds the first n requests with 503
+// + Retry-After, then answers.
+func shedThenServe(n int64, degraded string) (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"error": "overloaded, retry later"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"seed": 3, "method": "tea+", "cluster": []int64{9, 3, 5}, "size": 3,
+			"conductance": 0.25, "cached": false, "epoch": 2, "elapsed_ms": 1.5,
+			"degraded": degraded,
+		})
+	}))
+	return ts, &calls
+}
+
+func TestRemoteRetriesOverloadThenSucceeds(t *testing.T) {
+	ts, calls := shedThenServe(2, "stale")
+	defer ts.Close()
+	var out bytes.Buffer
+	// -retry-max 5ms caps the server's 1s Retry-After hint so the test stays
+	// fast while still exercising the honoring path.
+	err := run([]string{"-server", ts.URL, "-seed", "3", "-retries", "4",
+		"-retry-base", "1ms", "-retry-max", "5ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 2 sheds + 1 success", got)
+	}
+	text := out.String()
+	for _, want := range []string{"backing off", "degraded: stale", "cluster: 3 nodes", "conductance 0.2500", "members (first 3): 3 5 9"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRemoteRetryBudgetExhausted(t *testing.T) {
+	ts, calls := shedThenServe(1000, "")
+	defer ts.Close()
+	var out bytes.Buffer
+	err := run([]string{"-server", ts.URL, "-seed", "3", "-retries", "2",
+		"-retry-base", "1ms", "-retry-max", "2ms"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "attempts exhausted") {
+		t.Fatalf("err = %v, want retry budget exhaustion", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want initial + 2 retries", got)
+	}
+}
+
+func TestRemoteTerminalErrorNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "seed must be a node id in range"})
+	}))
+	defer ts.Close()
+	err := run([]string{"-server", ts.URL, "-seed", "3", "-retry-base", "1ms"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "HTTP 400") {
+		t.Fatalf("err = %v, want terminal HTTP 400", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("a 400 was retried: %d attempts", got)
+	}
+}
+
+func TestBackoffDelayBoundsAndJitter(t *testing.T) {
+	cfg := &remoteConfig{base: 100 * time.Millisecond, max: 5 * time.Second}
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 1; attempt <= 20; attempt++ {
+		d := backoffDelay(cfg, attempt, 0, rng)
+		if d <= 0 || d > cfg.max {
+			t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, cfg.max)
+		}
+	}
+	// The Retry-After hint raises the wait but never past the cap.
+	if d := backoffDelay(cfg, 1, 2*time.Second, rng); d < 2*time.Second || d > cfg.max {
+		t.Fatalf("hinted delay %v not in [2s, %v]", d, cfg.max)
+	}
+	if d := backoffDelay(cfg, 1, time.Minute, rng); d != cfg.max {
+		t.Fatalf("hint beyond cap: delay %v, want %v", d, cfg.max)
+	}
+	// Jitter actually spreads delays for the same attempt.
+	a := backoffDelay(cfg, 3, 0, rand.New(rand.NewSource(2)))
+	b := backoffDelay(cfg, 3, 0, rand.New(rand.NewSource(3)))
+	if a == b {
+		t.Fatalf("no jitter: %v == %v", a, b)
+	}
+}

@@ -38,9 +38,18 @@
 //
 // Cluster responses carry cached/coalesced flags, the chosen per-query
 // parallelism, and queue-wait/elapsed timings alongside the cluster itself.
-// Overload is reported as 503 (admission queue full — back off and retry), as
-// is a server that is shutting down; a query exceeding its deadline returns
-// 504, and -strict-invariants turns a failed self-verification into a 500.
+// Overload is reported as 503 (admission queue full — back off and retry) with
+// a Retry-After header derived from the engine's drain estimate, as is a
+// server that is shutting down; a query exceeding its deadline returns 504,
+// and -strict-invariants turns a failed self-verification into a 500.
+//
+// Under overload pressure the engine degrades before it sheds: responses
+// served in a reduced mode carry "degraded":"stale" (a radius-invalidated
+// cached result at its pre-update epoch, revalidating in the background) or
+// "degraded":"clamped" (computed under reduced walk/sweep budgets, echoed in
+// "effective").  -pressure-off disables the overload controller entirely.
+// On SIGINT/SIGTERM the server stops admission and drains: every admitted
+// query finishes (up to -drain-timeout) before the process exits.
 //
 // Tuning flags:
 //
@@ -130,6 +139,10 @@ func run(args []string) error {
 		strictInv = fs.Bool("strict-invariants", false, "fail queries whose inline invariant self-verification fails (HTTP 500) instead of only counting the violation")
 		pprofOn   = fs.Bool("pprof", false, "expose net/http/pprof profiling under /debug/pprof/")
 		compactTh = fs.Int("compact-delta", 0, "compact the update delta overlay back into CSR after this many accumulated operations (0 = library default, negative disables)")
+
+		pressureOff = fs.Bool("pressure-off", false, "disable the overload pressure controller (no degraded modes, no Retry-After hints)")
+		staleFrac   = fs.Float64("stale-fraction", 0, "fraction of the cache budget reserved for serving invalidated results stale under pressure (0 = default 1/8)")
+		drainTO     = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain: how long to let admitted queries finish before forcing close")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -172,6 +185,11 @@ func run(args []string) error {
 		TraceBuffer:        *traceBuf,
 		SlowQueryThreshold: *slowQuery,
 		StrictInvariants:   *strictInv,
+
+		Pressure: hkpr.PressureConfig{
+			Disabled:      *pressureOff,
+			StaleFraction: *staleFrac,
+		},
 	})
 	if err != nil {
 		return err
@@ -193,13 +211,17 @@ func run(args []string) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		log.Printf("shutting down")
+		log.Printf("shutting down: draining admitted queries (timeout %s)", *drainTO)
+		// Drain first: admission stops immediately (new queries get 503) while
+		// every already-admitted query runs to completion, then stop the HTTP
+		// listener.  Within -drain-timeout no admitted query is abandoned.
+		drainErr := srv.engine.Drain(*drainTO)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			return err
 		}
-		return srv.engine.Close()
+		return drainErr
 	}
 }
 
@@ -269,21 +291,23 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 type clusterResponse struct {
-	Seed        int64             `json:"seed"`
-	Method      string            `json:"method"`
-	Cluster     []int64           `json:"cluster"`
-	Size        int               `json:"size"`
-	Conductance float64           `json:"conductance"`
-	Scores      hkpr.ScoreVector  `json:"scores,omitempty"`
-	ElapsedMS   float64           `json:"elapsed_ms"`
-	QueueWaitMS float64           `json:"queue_wait_ms"`
-	Cached      bool              `json:"cached"`
-	Coalesced   bool              `json:"coalesced"`
-	Epoch       uint64            `json:"epoch"`
-	Parallelism int               `json:"parallelism"`
-	Pushes      int64             `json:"push_operations"`
-	Walks       int64             `json:"random_walks"`
-	Trace       *hkpr.TraceRecord `json:"trace,omitempty"`
+	Seed        int64                  `json:"seed"`
+	Method      string                 `json:"method"`
+	Cluster     []int64                `json:"cluster"`
+	Size        int                    `json:"size"`
+	Conductance float64                `json:"conductance"`
+	Scores      hkpr.ScoreVector       `json:"scores,omitempty"`
+	ElapsedMS   float64                `json:"elapsed_ms"`
+	QueueWaitMS float64                `json:"queue_wait_ms"`
+	Cached      bool                   `json:"cached"`
+	Coalesced   bool                   `json:"coalesced"`
+	Epoch       uint64                 `json:"epoch"`
+	Parallelism int                    `json:"parallelism"`
+	Pushes      int64                  `json:"push_operations"`
+	Walks       int64                  `json:"random_walks"`
+	Degraded    string                 `json:"degraded,omitempty"`
+	Effective   *hkpr.EffectiveOptions `json:"effective,omitempty"`
+	Trace       *hkpr.TraceRecord      `json:"trace,omitempty"`
 }
 
 type errorResponse struct {
@@ -352,6 +376,12 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			// Canceled for some other reason: surface it.
 			status, msg = http.StatusInternalServerError, err.Error()
 		}
+		var oe *hkpr.OverloadedError
+		if errors.As(err, &oe) && oe.RetryAfter > 0 {
+			// Shed under pressure: tell the client when the queue is expected
+			// to have drained (whole seconds, rounded up, per RFC 9110).
+			w.Header().Set("Retry-After", strconv.FormatInt(int64((oe.RetryAfter+time.Second-1)/time.Second), 10))
+		}
 		writeJSON(w, status, errorResponse{Error: msg})
 		return
 	}
@@ -359,6 +389,11 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	members := make([]int64, len(resp.Sweep.Cluster))
 	for i, v := range resp.Sweep.Cluster {
 		members[i] = int64(v)
+	}
+	var effective *hkpr.EffectiveOptions
+	if resp.Degraded == hkpr.DegradedClamped {
+		eff := resp.Effective
+		effective = &eff
 	}
 	writeJSON(w, http.StatusOK, clusterResponse{
 		Seed:        seed,
@@ -375,6 +410,8 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		Parallelism: resp.Parallelism,
 		Pushes:      resp.Result.Stats.PushOperations,
 		Walks:       resp.Result.Stats.RandomWalks,
+		Degraded:    resp.Degraded,
+		Effective:   effective,
 		Trace:       resp.Trace,
 	})
 }

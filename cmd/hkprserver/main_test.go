@@ -8,7 +8,9 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -498,4 +500,68 @@ func TestPprofGated(t *testing.T) {
 	if got := status(srv.routes()); got != http.StatusOK {
 		t.Errorf("pprof on: status %d, want 200", got)
 	}
+}
+
+// TestOverloadRetryAfterHeader: a shed query returns 503 with a Retry-After
+// header carrying the engine's drain estimate in whole seconds.
+func TestOverloadRetryAfterHeader(t *testing.T) {
+	g, _, err := hkpr.GenerateSBM(4, 30, 8, 1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	var unstick sync.Once
+	t.Cleanup(func() { unstick.Do(func() { close(release) }) })
+	srv, err := newServer(g, hkpr.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-4, Seed: 1},
+		hkpr.EngineConfig{
+			Workers:    1,
+			QueueDepth: 1,
+			ExecGate:   func(*hkpr.ServeRequest) { <-release },
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.engine.Close() })
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+
+	// Distinct seeds with nocache so nothing coalesces: the first execution
+	// parks in the gate, the next fills the queue, and one of the rest is
+	// shed.
+	var wg sync.WaitGroup
+	shed := make(chan *http.Response, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/cluster?seed=%d&nocache=1", ts.URL, i))
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				select {
+				case shed <- resp:
+					return // keeper's body is closed below
+				default:
+				}
+			}
+			resp.Body.Close()
+		}(i)
+	}
+	select {
+	case resp := <-shed:
+		ra := resp.Header.Get("Retry-After")
+		resp.Body.Close()
+		if ra == "" {
+			t.Fatal("503 without Retry-After header")
+		}
+		if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+			t.Fatalf("Retry-After %q not a positive whole-second count", ra)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nothing was shed")
+	}
+	unstick.Do(func() { close(release) })
+	wg.Wait()
 }

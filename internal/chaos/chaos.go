@@ -1,0 +1,430 @@
+// Package chaos is the deterministic overload/soak harness for the serving
+// engine: it drives a live engine well past its admission limits with seeded
+// mixed traffic (cold and hot seeds, canceled callers, sweeps, batched
+// windows) while concurrent writers publish graph updates and an injected
+// fault stalls a fraction of executions (holding workers and exhausting the
+// pooled workspaces), then drains the engine and audits the run against the
+// serving layer's invariants.
+//
+// Determinism here means seeded and reproducible traffic: every client and
+// writer draws its decisions (seeds, methods, cancellations) from its own
+// rand.Rand derived from Config.Seed, so a given configuration always offers
+// the same query sequence.  Goroutine interleaving still varies — which is
+// the point — so the harness asserts only schedule-independent invariants:
+// outcome accounting is exact, every degraded response is labeled, fresh
+// results never come from a pre-publish epoch, latency quantiles are ordered,
+// epochs and counters are monotone, and after a clean drain no query was
+// abandoned and every pooled workspace is back.
+//
+// The same Report feeds the go test soak entry (chaos_test.go) and the
+// committed BENCH_soak.json perf gate (cmd/hkprbench).
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hkpr/internal/core"
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+	"hkpr/internal/serve"
+)
+
+// Config tunes one soak run.  The zero value is not runnable; use Default()
+// and override.
+type Config struct {
+	// Seed derives every client's and writer's PRNG stream.
+	Seed int64
+	// Nodes is the generated power-law-cluster graph size.
+	Nodes int
+	// Clients is the number of concurrent query goroutines; QueriesPerClient
+	// is how many queries each issues back-to-back (no pacing — the offered
+	// concurrency IS Clients, which should exceed Workers+QueueDepth to
+	// drive overload).
+	Clients          int
+	QueriesPerClient int
+	// Writers is the number of concurrent ApplyUpdates goroutines and
+	// UpdatesPerWriter how many single-edge batches each publishes.  Writers
+	// attach new nodes to hot seeds so hot cache entries keep getting
+	// radius-invalidated into the stale arena.
+	Writers          int
+	UpdatesPerWriter int
+	// HotSeeds is the size of the hot seed set; HotFraction the probability a
+	// query targets it (the rest draw cold seeds uniformly).
+	HotSeeds    int
+	HotFraction float64
+	// SweepFraction of queries request a sweep; CancelFraction run under a
+	// context canceled shortly after issue.
+	SweepFraction  float64
+	CancelFraction float64
+	// FaultEvery stalls every Nth execution (0 disables) by FaultLatency,
+	// holding a worker and its pooled workspace — the injected
+	// latency/workspace-exhaustion fault.
+	FaultEvery   int
+	FaultLatency time.Duration
+	// DrainTimeout bounds the graceful drain; within it no admitted query may
+	// be abandoned.
+	DrainTimeout time.Duration
+	// ExpectOverload asserts the run actually shed queries (offered load
+	// exceeded capacity); MaxShedRate bounds the shed fraction from above.
+	ExpectOverload bool
+	MaxShedRate    float64
+	// Engine is the engine configuration under test (Pressure included).
+	Engine serve.Config
+}
+
+// Default returns the standard soak configuration: a small engine (2 workers,
+// 4-deep queue, batching window enabled) offered 32-way concurrency — well
+// over 2x its effective admission capacity of workers + queue×batch + window
+// = 2 + 4×2 + 4 = 14 slots — with writers republishing hot neighborhoods and
+// a periodic 5ms execution stall.
+func Default(seed int64) Config {
+	return Config{
+		Seed:             seed,
+		Nodes:            2000,
+		Clients:          32,
+		QueriesPerClient: 40,
+		Writers:          2,
+		UpdatesPerWriter: 12,
+		HotSeeds:         4,
+		HotFraction:      0.4,
+		SweepFraction:    0.25,
+		CancelFraction:   0.05,
+		FaultEvery:       5,
+		FaultLatency:     5 * time.Millisecond,
+		DrainTimeout:     30 * time.Second,
+		ExpectOverload:   true,
+		MaxShedRate:      0.95,
+		Engine: serve.Config{
+			Workers:        2,
+			QueueDepth:     4,
+			CacheBytes:     1 << 20,
+			BatchWindow:    200 * time.Microsecond,
+			BatchMaxK:      2,
+			DefaultTimeout: 10 * time.Second,
+		},
+	}
+}
+
+// Report is the audited outcome of one soak run.
+type Report struct {
+	// Client-observed outcome counts; Requests = OK+Shed+Canceled+Failed.
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Shed     int64 `json:"shed"`
+	Canceled int64 `json:"canceled"`
+	Failed   int64 `json:"failed"`
+	// DegradedStale / DegradedClamped count degraded responses the clients
+	// received (engine-side counters may be higher: revalidations and shed
+	// retries are not client-visible).
+	DegradedStale   int64 `json:"degraded_stale"`
+	DegradedClamped int64 `json:"degraded_clamped"`
+	// UpdatesApplied is the number of update batches the writers published.
+	UpdatesApplied int64 `json:"updates_applied"`
+	// ShedRate and DegradedRate are client-observed fractions of Requests;
+	// P99MS is the engine's execution-latency p99.
+	ShedRate     float64 `json:"shed_rate"`
+	DegradedRate float64 `json:"degraded_rate"`
+	P99MS        float64 `json:"p99_ms"`
+	// MaxPressure is the highest tier the controller reached.
+	MaxPressure string `json:"max_pressure"`
+	// Elapsed covers offered traffic through drain.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Violations lists every invariant the audit found broken (empty on a
+	// healthy run); Snapshot is the engine's final state after drain.
+	Violations []string       `json:"violations,omitempty"`
+	Snapshot   serve.Snapshot `json:"snapshot"`
+}
+
+// Err returns nil when the audit found no violations, else one error naming
+// them all.
+func (r *Report) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("chaos: %d invariant violations: %v", len(r.Violations), r.Violations)
+}
+
+// Run executes one soak: build graph and engine, offer the seeded traffic and
+// updates under fault injection, drain, audit.  The returned Report is
+// complete even when Err() is non-nil.
+func Run(cfg Config) (*Report, error) {
+	g, err := gen.PowerlawCluster(cfg.Nodes, 4, 0.3, uint64(cfg.Seed)+7)
+	if err != nil {
+		return nil, err
+	}
+	dyn := graph.NewDynamic(g, graph.DynamicOptions{})
+	est, err := core.NewEstimator(dyn, core.Options{
+		T: 5, EpsRel: 0.5, Delta: 1 / float64(g.N()), FailureProb: 1e-4, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var execs atomic.Int64
+	ecfg := cfg.Engine
+	if cfg.FaultEvery > 0 {
+		every, stall := int64(cfg.FaultEvery), cfg.FaultLatency
+		ecfg.ExecGate = func(*serve.Request) {
+			if execs.Add(1)%every == 0 {
+				time.Sleep(stall)
+			}
+		}
+	}
+	eng, err := serve.New(est, ecfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{}
+	var mu sync.Mutex // guards rep.Violations and firstFail
+	var firstFail error
+	violate := func(format string, args ...any) {
+		mu.Lock()
+		if len(rep.Violations) < 32 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+
+	hot := make([]graph.NodeID, cfg.HotSeeds)
+	hotRng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range hot {
+		hot[i] = graph.NodeID(hotRng.Intn(cfg.Nodes))
+	}
+	// Warm the cache on the hot set so the writers' invalidations have
+	// entries to park in the stale arena.
+	for _, s := range hot {
+		if _, err := eng.Do(context.Background(), serve.Request{Seed: s, Method: serve.MethodTEAPlus}); err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("chaos: warmup: %w", err)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	var maxTier atomic.Int32
+
+	// Monitor: sample monotone counters while traffic runs.
+	monStop := make(chan struct{})
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		var lastEpoch uint64
+		var lastReq, lastDone int64
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			s := eng.Snapshot()
+			if s.GraphEpoch < lastEpoch {
+				violate("graph epoch went backwards: %d -> %d", lastEpoch, s.GraphEpoch)
+			}
+			if s.Requests < lastReq || s.Completed < lastDone {
+				violate("monotone counter regressed: requests %d->%d completed %d->%d",
+					lastReq, s.Requests, lastDone, s.Completed)
+			}
+			lastEpoch, lastReq, lastDone = s.GraphEpoch, s.Requests, s.Completed
+			if t := int32(eng.PressureLevel()); t > maxTier.Load() {
+				maxTier.Store(t)
+			}
+			select {
+			case <-monStop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+
+	// Writers: each batch attaches one new node to a hot seed, serialized so
+	// reserved node IDs stay valid; queries run fully concurrently with them.
+	var writerMu sync.Mutex
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(id)))
+			for i := 0; i < cfg.UpdatesPerWriter; i++ {
+				anchor := hot[rng.Intn(len(hot))]
+				writerMu.Lock()
+				n := eng.Graph().N()
+				_, err := eng.ApplyUpdates(graph.UpdateBatch{
+					AddNodes: 1,
+					AddEdges: [][2]graph.NodeID{{graph.NodeID(n), anchor}},
+				})
+				writerMu.Unlock()
+				if err != nil && !errors.Is(err, serve.ErrClosed) {
+					violate("writer %d: ApplyUpdates: %v", id, err)
+					return
+				}
+				rep.addUpdate()
+				time.Sleep(time.Duration(rng.Intn(500)) * time.Microsecond)
+			}
+		}(w)
+	}
+
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			for i := 0; i < cfg.QueriesPerClient; i++ {
+				var seed graph.NodeID
+				if rng.Float64() < cfg.HotFraction {
+					seed = hot[rng.Intn(len(hot))]
+				} else {
+					seed = graph.NodeID(rng.Intn(cfg.Nodes))
+				}
+				req := serve.Request{
+					Seed:   seed,
+					Method: serve.MethodTEAPlus,
+					Sweep:  rng.Float64() < cfg.SweepFraction,
+				}
+				ctx := context.Background()
+				var cancel context.CancelFunc
+				if rng.Float64() < cfg.CancelFraction {
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(300))*time.Microsecond)
+				}
+				epochBefore := eng.Graph().Epoch()
+				resp, err := eng.Do(ctx, req)
+				if cancel != nil {
+					cancel()
+				}
+				atomic.AddInt64(&rep.Requests, 1)
+				switch {
+				case err == nil:
+					atomic.AddInt64(&rep.OK, 1)
+					auditResponse(rep, violate, resp, epochBefore, eng.Graph().Epoch())
+				case errors.Is(err, serve.ErrOverloaded):
+					atomic.AddInt64(&rep.Shed, 1)
+					var oe *serve.OverloadedError
+					if errors.As(err, &oe) && oe.RetryAfter <= 0 {
+						violate("shed without a Retry-After hint: %v", err)
+					}
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					atomic.AddInt64(&rep.Canceled, 1)
+				default:
+					atomic.AddInt64(&rep.Failed, 1)
+					mu.Lock()
+					if firstFail == nil {
+						firstFail = err
+					}
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+
+	wg.Wait()
+	close(monStop)
+	monWG.Wait()
+
+	if err := eng.Drain(cfg.DrainTimeout); err != nil {
+		violate("drain: %v", err)
+		eng.Close()
+	}
+	rep.Elapsed = time.Since(start)
+	rep.Snapshot = eng.Snapshot()
+	rep.MaxPressure = serve.PressureLevel(maxTier.Load()).String()
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+		rep.DegradedRate = float64(rep.DegradedStale+rep.DegradedClamped) / float64(rep.Requests)
+	}
+	rep.P99MS = rep.Snapshot.LatencyP99MS
+	audit(cfg, rep, violate, firstFail)
+	return rep, nil
+}
+
+// addUpdate bumps the writer-side applied counter.
+func (r *Report) addUpdate() { atomic.AddInt64(&r.UpdatesApplied, 1) }
+
+// auditResponse checks the schedule-independent per-response invariants.
+func auditResponse(rep *Report, violate func(string, ...any), resp *serve.Response, epochBefore, epochAfter uint64) {
+	switch resp.Degraded {
+	case "":
+		// A fresh (uncached, unlabeled) execution must come from an epoch no
+		// older than the one published before the query was issued: the
+		// populate/serve path must never resurrect pre-publish state.
+		// Coalesced callers are exempt — they joined an execution that
+		// legitimately pinned its snapshot before this caller arrived.
+		if !resp.Cached && !resp.Coalesced && resp.Epoch < epochBefore {
+			violate("fresh response from pre-publish epoch %d < %d", resp.Epoch, epochBefore)
+		}
+		if resp.Result != nil && resp.Result.Stats.WalkBudgetClamped {
+			violate("clamped walk budget served without a Degraded label (seed %d)", resp.Seed)
+		}
+	case serve.DegradedStale:
+		atomic.AddInt64(&rep.DegradedStale, 1)
+		if !resp.Cached {
+			violate("stale-degraded response not marked cached (seed %d)", resp.Seed)
+		}
+		// The parked entry predates the invalidating publish, which itself
+		// is visible by the time the response is read.
+		if resp.Epoch >= epochAfter && epochAfter > 0 {
+			violate("stale response epoch %d not older than published %d", resp.Epoch, epochAfter)
+		}
+	case serve.DegradedClamped:
+		atomic.AddInt64(&rep.DegradedClamped, 1)
+		if resp.Effective.WalkScale == 0 && resp.Effective.SweepK == 0 {
+			violate("clamped response without effective options (seed %d)", resp.Seed)
+		}
+	default:
+		violate("unknown degraded label %q", resp.Degraded)
+	}
+}
+
+// audit runs the end-of-soak invariant checks against the final snapshot.
+func audit(cfg Config, rep *Report, violate func(string, ...any), firstFail error) {
+	s := &rep.Snapshot
+	if got := rep.OK + rep.Shed + rep.Canceled + rep.Failed; got != rep.Requests {
+		violate("outcome accounting: %d+%d+%d+%d != %d requests", rep.OK, rep.Shed, rep.Canceled, rep.Failed, rep.Requests)
+	}
+	if rep.Failed > 0 {
+		violate("%d unexpected failures (first: %v)", rep.Failed, firstFail)
+	}
+	if cfg.ExpectOverload && rep.Shed == 0 {
+		violate("expected overload but nothing was shed (offered %d-way, capacity %d)",
+			cfg.Clients, cfg.Engine.Workers+cfg.Engine.QueueDepth)
+	}
+	if cfg.MaxShedRate > 0 && rep.ShedRate > cfg.MaxShedRate {
+		violate("shed rate %.3f above bound %.3f", rep.ShedRate, cfg.MaxShedRate)
+	}
+	// Engine-side shed must agree with the labeled error taxonomy: both are
+	// incremented at the single shed site.
+	if s.Shed != s.ErrorsByReason["overloaded"] {
+		violate("shed %d != errors_by_reason[overloaded] %d", s.Shed, s.ErrorsByReason["overloaded"])
+	}
+	// Histogram sanity: quantiles are ordered and the histogram saw work.
+	if s.LatencyCount <= 0 {
+		violate("latency histogram empty after %d executions", s.Executions)
+	}
+	if s.LatencyP50MS > s.LatencyP90MS || s.LatencyP90MS > s.LatencyP99MS {
+		violate("latency quantiles unordered: p50=%g p90=%g p99=%g", s.LatencyP50MS, s.LatencyP90MS, s.LatencyP99MS)
+	}
+	// Post-drain quiescence: nothing in flight, every pooled workspace back.
+	if s.WorkspacesInUse != 0 {
+		violate("workspaces_in_use = %d after drain (leak)", s.WorkspacesInUse)
+	}
+	if s.InFlight != 0 || s.QueueDepth != 0 || s.BatchPending != 0 {
+		violate("not quiescent after drain: in_flight=%d queue=%d batch_pending=%d", s.InFlight, s.QueueDepth, s.BatchPending)
+	}
+	// Self-verification stayed clean and actually ran.
+	if s.InvariantChecks == 0 {
+		violate("no invariant checks ran")
+	}
+	if len(s.InvariantViolations) != 0 {
+		violate("estimator invariant violations: %v", s.InvariantViolations)
+	}
+	// Epoch bookkeeping: every writer-applied batch is visible.
+	if s.UpdatesApplied != rep.UpdatesApplied {
+		violate("engine saw %d update batches, writers applied %d", s.UpdatesApplied, rep.UpdatesApplied)
+	}
+	// Stale arena stays inside the configured cache budget.
+	if cfg.Engine.CacheBytes > 0 && s.CacheBytes+s.StaleBytes > cfg.Engine.CacheBytes {
+		violate("cache %dB + stale %dB exceed the configured %dB budget", s.CacheBytes, s.StaleBytes, cfg.Engine.CacheBytes)
+	}
+}

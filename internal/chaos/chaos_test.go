@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestChaosSoak is the deterministic chaos/soak entry: the default
+// configuration offers 16-way traffic to a 2-worker, 4-deep engine (better
+// than 2x its admission capacity) with two concurrent update writers and a
+// periodic execution stall, drains, and audits every serving invariant.  It
+// is sized to run in seconds under -race; set HKPR_SOAK_SCALE to multiply the
+// per-client query count for longer soaks.
+func TestChaosSoak(t *testing.T) {
+	cfg := Default(42)
+	if s := os.Getenv("HKPR_SOAK_SCALE"); s != "" {
+		scale, err := strconv.Atoi(s)
+		if err != nil || scale < 1 {
+			t.Fatalf("bad HKPR_SOAK_SCALE %q", s)
+		}
+		cfg.QueriesPerClient *= scale
+		cfg.UpdatesPerWriter *= scale
+	}
+	if testing.Short() {
+		cfg.QueriesPerClient = 20
+		cfg.UpdatesPerWriter = 6
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d requests in %s: ok=%d shed=%d (rate %.3f) canceled=%d stale=%d clamped=%d updates=%d max_pressure=%s p99=%.2fms",
+		rep.Requests, rep.Elapsed.Round(1e6), rep.OK, rep.Shed, rep.ShedRate, rep.Canceled,
+		rep.DegradedStale, rep.DegradedClamped, rep.UpdatesApplied, rep.MaxPressure, rep.P99MS)
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// The default soak must actually exercise the degraded machinery, not
+	// just shed: the controller has to leave Nominal under 2x+ overload.
+	if rep.MaxPressure == "nominal" {
+		t.Fatalf("pressure controller never left nominal (shed rate %.3f)", rep.ShedRate)
+	}
+}
+
+// TestChaosSoakDeterministicTraffic re-runs the soak with the same seed and
+// checks the offered traffic is identical: same request count and same
+// update count (outcomes vary with scheduling; the offered sequence must
+// not).
+func TestChaosSoakDeterministicTraffic(t *testing.T) {
+	cfg := Default(7)
+	cfg.QueriesPerClient = 15
+	cfg.UpdatesPerWriter = 4
+	cfg.ExpectOverload = false // too short to guarantee shedding
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aErr, bErr := a.Err(), b.Err(); aErr != nil || bErr != nil {
+		t.Fatalf("audits failed: %v / %v", aErr, bErr)
+	}
+	if a.Requests != b.Requests || a.UpdatesApplied != b.UpdatesApplied {
+		t.Fatalf("offered traffic not reproducible: %d/%d requests, %d/%d updates",
+			a.Requests, b.Requests, a.UpdatesApplied, b.UpdatesApplied)
+	}
+}

@@ -179,7 +179,7 @@ func runManySequential(g *graph.Snapshot, seeds []graph.NodeID, o Options, w *he
 			errs[i] = err
 			continue
 		}
-		laneCtl := execCtl{cc: bc.laneChecker(i), cpu: ctl.cpu, ws: ctl.ws, audit: bc.laneAudit(i)}
+		laneCtl := execCtl{cc: bc.laneChecker(i), cpu: ctl.cpu, ws: ctl.ws, audit: bc.laneAudit(i), walkScale: ctl.walkScale}
 		res, err := fn(g, s, o, w, laneCtl)
 		if err != nil {
 			errs[i] = err
@@ -295,7 +295,9 @@ func teaGroup(g *graph.Snapshot, o Options, w *heatkernel.Weights, ctl execCtl, 
 		}
 		entries, weights := st.entries[i], st.weights[i]
 		alpha := sumWeights(weights)
-		nr := int64(math.Ceil(alpha * omega))
+		planned := int64(math.Ceil(alpha * omega))
+		nr, clamped := ctl.clampWalks(planned)
+		ln.walkClamped, ln.walkPlanned = clamped, plannedBudget(planned, clamped)
 		plan, err := planWalkStage(ws, entries, weights, alpha, nr, o.WalkLengthCap, walkSeed(o.Seed, ln.seed, teaSeedMix))
 		if err != nil {
 			ln.err = fmt.Errorf("core: TEA walk phase: %w", err)
@@ -383,6 +385,8 @@ func teaGroup(g *graph.Snapshot, o Options, w *heatkernel.Weights, ctl execCtl, 
 				WalkSteps:              ln.steps,
 				ResidueMassBeforeWalks: ln.alpha,
 				MaxHop:                 ln.maxHop,
+				WalkBudgetClamped:      ln.walkClamped,
+				WalkBudgetPlanned:      ln.walkPlanned,
 				WalkShards:             ln.walkShards,
 				WalkParallelism:        ln.walkWorkers,
 				PushChunks:             ln.chunks,

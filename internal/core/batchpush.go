@@ -71,6 +71,8 @@ type batchLane struct {
 	alpha        float64
 	walks        int64
 	steps        int64
+	walkClamped  bool
+	walkPlanned  int64
 	walkShards   int
 	walkWorkers  int
 	entriesLen   int

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 
 	"hkpr/internal/graph"
 	"hkpr/internal/trace"
@@ -62,6 +63,15 @@ type OptionsContext struct {
 	// resolves at admission so estimation, sweep and rendering all see the
 	// same epoch.  nil resolves the source's current snapshot per call.
 	Snapshot *graph.Snapshot
+	// WalkScale, when in (0, 1), scales the analysis-derived random-walk
+	// budget down to ceil(scale·nr), with a floor of one walk.  It is the
+	// accuracy/cost dial the serving layer's pressure policies turn under
+	// overload: the clamp is a pure function of (nr, scale), so results stay
+	// bit-identical for a fixed seed at any parallelism, but the (d, εr, δ)
+	// approximation guarantee no longer holds — clamped executions report
+	// Stats.WalkBudgetClamped so callers can label the response degraded.
+	// 0 (and anything >= 1) leaves the budget untouched.
+	WalkScale float64
 }
 
 // CPUGate is a shared CPU-token budget.  Implementations must be safe for
@@ -78,16 +88,34 @@ type CPUGate interface {
 // The zero value means "no cancellation, unbounded parallelism, pooled
 // workspace", the behaviour of the package-level entry points.
 type execCtl struct {
-	cc    *cancelChecker
-	cpu   CPUGate
-	ws    *Workspace
-	tr    *trace.QueryTrace // nil-safe: Observe on nil is a no-op
-	audit *InvariantAudit   // nil disables invariant checks
+	cc        *cancelChecker
+	cpu       CPUGate
+	ws        *Workspace
+	tr        *trace.QueryTrace // nil-safe: Observe on nil is a no-op
+	audit     *InvariantAudit   // nil disables invariant checks
+	walkScale float64           // OptionsContext.WalkScale; 0 = unclamped
 }
 
 // newExecCtl derives the execution controls from an OptionsContext.
 func newExecCtl(oc OptionsContext) execCtl {
-	return execCtl{cc: newCancelChecker(oc), cpu: oc.CPU, ws: oc.Workspace, tr: oc.Trace, audit: oc.Audit}
+	return execCtl{cc: newCancelChecker(oc), cpu: oc.CPU, ws: oc.Workspace, tr: oc.Trace, audit: oc.Audit, walkScale: oc.WalkScale}
+}
+
+// clampWalks applies the walk-budget scale to the analysis-derived walk count
+// nr, returning the effective count and whether it was reduced.  The clamp is
+// deterministic in (nr, walkScale) and independent of parallelism.
+func (ctl execCtl) clampWalks(nr int64) (int64, bool) {
+	if ctl.walkScale <= 0 || ctl.walkScale >= 1 || nr <= 1 {
+		return nr, false
+	}
+	scaled := int64(math.Ceil(float64(nr) * ctl.walkScale))
+	if scaled < 1 {
+		scaled = 1
+	}
+	if scaled >= nr {
+		return nr, false
+	}
+	return scaled, true
 }
 
 // cancelChecker amortizes context polling over work units.  A nil checker is

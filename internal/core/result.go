@@ -50,6 +50,14 @@ type Stats struct {
 	// EarlyTermination is true when TEA+ satisfied Inequality (11) during the
 	// push phase and skipped random walks entirely.
 	EarlyTermination bool `json:"early_termination"`
+	// WalkBudgetClamped reports that OptionsContext.WalkScale reduced the walk
+	// count below the analysis-derived budget.  Scores are still deterministic
+	// for the fixed (options, scale, seed) tuple, but the (d, εr, δ)
+	// approximation guarantee is voided; the serving layer labels such
+	// responses degraded.  WalkBudgetPlanned is the budget the analysis asked
+	// for before clamping (0 when no clamp applied).
+	WalkBudgetClamped bool  `json:"walk_budget_clamped,omitempty"`
+	WalkBudgetPlanned int64 `json:"walk_budget_planned,omitempty"`
 	// WalkShards is the number of shards the walk budget was split into
 	// (deterministic in the budget; 0 when no walks ran).
 	WalkShards int `json:"walk_shards"`

@@ -88,7 +88,8 @@ func teaWithWeights(g *graph.Snapshot, seed graph.NodeID, opts Options, w *heatk
 	// entries, the one pass that already exists for the alias table.
 	entries, weights := collectWalkEntries(push.Residues, ctl.ws)
 	alpha := sumWeights(weights)
-	nr := int64(math.Ceil(alpha * omega))
+	planned := int64(math.Ceil(alpha * omega))
+	nr, clamped := ctl.clampWalks(planned)
 	plan, err := planWalkStage(ctl.ws, entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaSeedMix))
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA walk phase: %w", err)
@@ -126,6 +127,8 @@ func teaWithWeights(g *graph.Snapshot, seed graph.NodeID, opts Options, w *heatk
 			WalkSteps:              walked.steps,
 			ResidueMassBeforeWalks: alpha,
 			MaxHop:                 push.Residues.MaxHopWithMass(),
+			WalkBudgetClamped:      clamped,
+			WalkBudgetPlanned:      plannedBudget(planned, clamped),
 			WalkShards:             walked.shards,
 			WalkParallelism:        walked.workers,
 			PushChunks:             push.FrontierChunks,
@@ -138,6 +141,15 @@ func teaWithWeights(g *graph.Snapshot, seed graph.NodeID, opts Options, w *heatk
 				int64(len(entries))*24,
 		},
 	}, nil
+}
+
+// plannedBudget reports the pre-clamp walk budget for Stats, 0 when no clamp
+// applied (keeping the field omitempty in the common case).
+func plannedBudget(planned int64, clamped bool) int64 {
+	if !clamped {
+		return 0
+	}
+	return planned
 }
 
 // MonteCarloOnly runs the pure Monte-Carlo estimator described in §3: nr
@@ -178,8 +190,9 @@ func monteCarloWithWeights(g *graph.Snapshot, seed graph.NodeID, opts Options, w
 	defer release()
 	// The plain Monte-Carlo analysis uses a union bound over all n nodes, so
 	// the walk count uses log(n/pf) rather than log(1/p'_f).
-	nr := int64(math.Ceil(2 * (1 + opts.EpsRel/3) * math.Log(float64(g.N())/opts.FailureProb) /
+	planned := int64(math.Ceil(2 * (1 + opts.EpsRel/3) * math.Log(float64(g.N())/opts.FailureProb) /
 		(opts.EpsRel * opts.EpsRel * opts.Delta)))
+	nr, clamped := ctl.clampWalks(planned)
 
 	ws := ctl.ws
 	entries := append(ws.entries[:0], walkEntry{node: seed, hop: 0, residue: 1})
@@ -214,6 +227,8 @@ func monteCarloWithWeights(g *graph.Snapshot, seed graph.NodeID, opts Options, w
 			RandomWalks:            walked.walks,
 			WalkSteps:              walked.steps,
 			ResidueMassBeforeWalks: 1,
+			WalkBudgetClamped:      clamped,
+			WalkBudgetPlanned:      plannedBudget(planned, clamped),
 			WalkShards:             walked.shards,
 			WalkParallelism:        walked.workers,
 			WalkTime:               walkTime,

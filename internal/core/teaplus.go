@@ -105,7 +105,10 @@ func teaPlusWithWeights(g *graph.Snapshot, seed graph.NodeID, opts Options, w *h
 
 	entries, weights := collectWalkEntries(push.Residues, ctl.ws)
 	alpha := sumWeights(weights)
-	nr := int64(math.Ceil(alpha * omega))
+	planned := int64(math.Ceil(alpha * omega))
+	nr, clamped := ctl.clampWalks(planned)
+	stats.WalkBudgetClamped = clamped
+	stats.WalkBudgetPlanned = plannedBudget(planned, clamped)
 	plan, err := planWalkStage(ctl.ws, entries, weights, alpha, nr, opts.WalkLengthCap, walkSeed(opts.Seed, seed, teaPlusSeedMix))
 	if err != nil {
 		return nil, fmt.Errorf("core: TEA+ walk phase: %w", err)

@@ -320,6 +320,9 @@ func (e *Engine) runBatch(ct *task) {
 		return
 	}
 	k := len(live)
+	// One policy read covers the whole batch, so every member degrades (or
+	// not) identically — mirroring run's single read per execution.
+	pol := e.activePolicy()
 	waits := make([]time.Duration, k)
 	sweeps := make([]*cluster.SweepResult, k)
 	var results []*core.Result
@@ -345,7 +348,7 @@ func (e *Engine) runBatch(ct *task) {
 		e.metrics.batchSize.observe(k)
 		e.metrics.InFlight.Add(int64(k))
 		execStart = time.Now()
-		results, srcErrs, chosen, snap, batchErr = e.executeBatch(ct, live)
+		results, srcErrs, chosen, snap, batchErr = e.executeBatch(ct, live, pol)
 		// Per-member sweeps run inside the timed window, like run's, on the
 		// batch's pinned snapshot so the whole window sees one epoch.
 		for i, t := range live {
@@ -357,7 +360,12 @@ func (e *Engine) runBatch(ct *task) {
 				continue
 			}
 			sweepStart := time.Now()
-			sw := cluster.Sweep(snap, results[i].Scores)
+			var sw cluster.SweepResult
+			if maxK := pol.MaxSweepK; maxK > 0 {
+				sw = cluster.SweepK(snap, results[i].Scores, maxK)
+			} else {
+				sw = cluster.Sweep(snap, results[i].Scores)
+			}
 			sweeps[i] = &sw
 			sweepD := time.Since(sweepStart)
 			e.metrics.observeStage(trace.StageSweep, sweepD)
@@ -443,6 +451,11 @@ func (e *Engine) runBatch(ct *task) {
 			Parallelism: chosen,
 			Epoch:       snap.Epoch(),
 		}
+		memberSweepK := 0
+		if sweeps[i] != nil && pol.MaxSweepK > 0 {
+			memberSweepK = pol.MaxSweepK
+		}
+		e.labelClamped(resp, res, pol, memberSweepK)
 		if !t.req.NoCache && e.cache != nil {
 			e.populateCache(t.key, resp)
 		}
@@ -455,7 +468,7 @@ func (e *Engine) runBatch(ct *task) {
 // audits threaded through core.BatchContext so one member's cancellation or
 // violation never aborts the rest.  The whole window executes against one
 // pinned snapshot, returned so runBatch sweeps and stamps the same epoch.
-func (e *Engine) executeBatch(ct *task, members []*task) ([]*core.Result, []error, int, *graph.Snapshot, error) {
+func (e *Engine) executeBatch(ct *task, members []*task, pol TierPolicy) ([]*core.Result, []error, int, *graph.Snapshot, error) {
 	wsStart := time.Now()
 	ws := e.workspaces.Get().(*core.Workspace)
 	wsD := time.Since(wsStart)
@@ -486,6 +499,7 @@ func (e *Engine) executeBatch(ct *task, members []*task) ([]*core.Result, []erro
 			CPU:        e.cpu,
 			Workspace:  ws,
 			Snapshot:   snap,
+			WalkScale:  pol.WalkScale,
 		},
 		SourceCtx:   srcCtx,
 		SourceAudit: srcAudit,
@@ -494,7 +508,7 @@ func (e *Engine) executeBatch(ct *task, members []*task) ([]*core.Result, []erro
 	// parallelism (excluded from the key because results are bit-identical at
 	// any width) resolves once for the whole batch from the first pin.
 	opts := members[0].req.Opts
-	opts.Parallelism = e.chooseParallelism(pinned)
+	opts.Parallelism = e.clampParallelism(e.chooseParallelism(pinned), pol)
 	chosen := opts.Parallelism
 	if chosen == 0 {
 		chosen = e.est.Options().Parallelism

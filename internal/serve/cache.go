@@ -116,6 +116,16 @@ func (c *resultCache) set(key string, resp *Response, cost int64) {
 // locks is the right trade against per-entry index bookkeeping on the hot
 // path.
 func (c *resultCache) invalidate(pred func(*Response) bool) int64 {
+	return c.invalidateCollect(pred, nil)
+}
+
+// invalidateCollect is invalidate with a consumer: every removed entry is
+// handed to consume (when non-nil) with its key, shared response and exact
+// byte cost, which is how radius-invalidated entries migrate into the stale
+// arena instead of being freed.  consume runs under the shard lock; it must
+// not call back into the cache (the arena only takes its own mutex, so the
+// cacheShard.mu → staleArena.mu lock order is acyclic).
+func (c *resultCache) invalidateCollect(pred func(*Response) bool, consume func(key string, resp *Response, cost int64)) int64 {
 	var removed int64
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -131,6 +141,9 @@ func (c *resultCache) invalidate(pred func(*Response) bool) int64 {
 			delete(s.items, ent.key)
 			s.bytes -= ent.cost
 			removed++
+			if consume != nil {
+				consume(ent.key, ent.resp, ent.cost)
+			}
 		}
 		s.mu.Unlock()
 	}

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -10,6 +12,57 @@ import (
 	"hkpr/internal/core"
 	"hkpr/internal/trace"
 )
+
+// errorReason buckets every failed query into the unified error taxonomy
+// exported as hkpr_serve_errors_total{reason=...}.  Each failure maps to
+// exactly one reason, so the labeled series sum to the total failure count.
+type errorReason int
+
+const (
+	reasonOverloaded errorReason = iota // shed by admission control
+	reasonTimeout                       // context deadline exceeded
+	reasonCanceled                      // context canceled
+	reasonClosed                        // engine closed / draining
+	reasonInvariant                     // strict-mode invariant violation
+	reasonOther                         // anything else (estimator errors)
+	numErrorReasons
+)
+
+func (r errorReason) String() string {
+	switch r {
+	case reasonOverloaded:
+		return "overloaded"
+	case reasonTimeout:
+		return "timeout"
+	case reasonCanceled:
+		return "canceled"
+	case reasonClosed:
+		return "closed"
+	case reasonInvariant:
+		return "invariant"
+	default:
+		return "other"
+	}
+}
+
+// classifyError maps a failure to its taxonomy bucket.  Order matters only
+// where sentinels can wrap each other, which they do not today.
+func classifyError(err error) errorReason {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return reasonOverloaded
+	case errors.Is(err, context.DeadlineExceeded):
+		return reasonTimeout
+	case errors.Is(err, context.Canceled):
+		return reasonCanceled
+	case errors.Is(err, ErrClosed):
+		return reasonClosed
+	case errors.Is(err, core.ErrInvariantViolation):
+		return reasonInvariant
+	default:
+		return reasonOther
+	}
+}
 
 // numLatencyBuckets spans 1µs..2^25µs (~33.5s) in power-of-two buckets, plus
 // a final overflow bucket.
@@ -176,6 +229,20 @@ type Metrics struct {
 	InvariantChecks     atomic.Int64
 	InvariantViolations [core.NumInvariantKinds]atomic.Int64
 
+	// ErrorsByReason splits every failed query by taxonomy reason (see
+	// errorReason); the buckets sum to all failures the engine returned,
+	// including queries shed at admission and rejected after Close.
+	ErrorsByReason [numErrorReasons]atomic.Int64
+
+	// DegradedStaleServed counts responses served from the stale arena under
+	// pressure (labeled Degraded == DegradedStale); DegradedClampedServed
+	// counts responses computed under a tier's reduced walk/sweep budget
+	// (labeled Degraded == DegradedClamped).  Revalidations counts background
+	// recomputations started for stale-served entries.
+	DegradedStaleServed   atomic.Int64
+	DegradedClampedServed atomic.Int64
+	Revalidations         atomic.Int64
+
 	// BatchExecutions counts batched core executions (each one shared
 	// EstimateMany call); BatchedQueries counts the queries they served, so
 	// BatchedQueries/BatchExecutions is the realized mean batch size.  Both
@@ -214,6 +281,13 @@ func (m *Metrics) observeLatency(d time.Duration) { m.latency.observe(d) }
 
 // observeStage records one stage duration in that stage's histogram.
 func (m *Metrics) observeStage(s trace.Stage, d time.Duration) { m.stage[s].observe(d) }
+
+// countError folds one failure into the taxonomy.  The caller is responsible
+// for calling it exactly once per failed query (finish for admitted tasks,
+// the explicit pre-admission return paths in Do for the rest).
+func (m *Metrics) countError(err error) {
+	m.ErrorsByReason[classifyError(err)].Add(1)
+}
 
 // foldAudit adds one query's invariant counters into the engine totals.
 func (m *Metrics) foldAudit(a *core.InvariantAudit) {
@@ -289,6 +363,32 @@ type Snapshot struct {
 	CacheInvalidatedRadius int64  `json:"cache_invalidated_radius"`
 	CacheInvalidatedStale  int64  `json:"cache_invalidated_stale"`
 
+	// PressureLevel is the controller's current tier ("nominal", "elevated",
+	// "overloaded", "critical", or "disabled" when the controller is off);
+	// PressureTransitions counts tier changes since start.
+	PressureLevel       string `json:"pressure_level"`
+	PressureTransitions int64  `json:"pressure_transitions"`
+
+	// DegradedStaleServed / DegradedClampedServed count degraded responses by
+	// kind; Revalidations counts background recomputes of stale-served keys.
+	DegradedStaleServed   int64 `json:"degraded_stale_served"`
+	DegradedClampedServed int64 `json:"degraded_clamped_served"`
+	Revalidations         int64 `json:"revalidations"`
+
+	// StaleEntries / StaleBytes describe the stale arena; StaleCapacity is its
+	// byte budget.  The arena's budget is carved out of the configured cache
+	// budget, so CacheBytes + StaleBytes <= the configured Config.CacheBytes
+	// and CacheCapacity + StaleCapacity == Config.CacheBytes.
+	StaleEntries  int64 `json:"stale_entries"`
+	StaleBytes    int64 `json:"stale_bytes"`
+	StaleCapacity int64 `json:"stale_capacity"`
+	// StaleEvicted counts entries dropped from the arena to fit its budget.
+	StaleEvicted int64 `json:"stale_evicted"`
+
+	// ErrorsByReason splits failed queries by taxonomy reason; only reasons
+	// with a non-zero count appear.
+	ErrorsByReason map[string]int64 `json:"errors_by_reason,omitempty"`
+
 	LatencyCount  int64   `json:"latency_count"`
 	LatencyMeanMS float64 `json:"latency_mean_ms"`
 	LatencyP50MS  float64 `json:"latency_p50_ms"`
@@ -362,6 +462,28 @@ func (e *Engine) Snapshot() Snapshot {
 	if e.batch != nil {
 		s.BatchPending = e.batch.pending.Load()
 	}
+	s.DegradedStaleServed = m.DegradedStaleServed.Load()
+	s.DegradedClampedServed = m.DegradedClampedServed.Load()
+	s.Revalidations = m.Revalidations.Load()
+	if e.pressure != nil {
+		s.PressureLevel = e.pressure.current().String()
+		s.PressureTransitions = e.pressure.transitions.Load()
+	} else {
+		s.PressureLevel = "disabled"
+	}
+	if e.stale != nil {
+		s.StaleEntries, s.StaleBytes = e.stale.stats()
+		s.StaleCapacity = e.stale.budget
+		s.StaleEvicted = e.stale.evicted.Load()
+	}
+	for r := errorReason(0); r < numErrorReasons; r++ {
+		if v := m.ErrorsByReason[r].Load(); v != 0 {
+			if s.ErrorsByReason == nil {
+				s.ErrorsByReason = make(map[string]int64, int(numErrorReasons))
+			}
+			s.ErrorsByReason[r.String()] = v
+		}
+	}
 	return s
 }
 
@@ -379,7 +501,11 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	}
 	counter("requests_total", "Queries submitted to the engine.", m.Requests.Load())
 	counter("executions_total", "Queries that ran a core estimator.", m.Executions.Load())
-	counter("errors_total", "Executions failed for non-cancellation reasons.", m.Errors.Load())
+	fmt.Fprintf(w, "# HELP hkpr_serve_errors_total Failed queries by unified taxonomy reason.\n")
+	fmt.Fprintf(w, "# TYPE hkpr_serve_errors_total counter\n")
+	for r := errorReason(0); r < numErrorReasons; r++ {
+		fmt.Fprintf(w, "hkpr_serve_errors_total{reason=%q} %d\n", r.String(), m.ErrorsByReason[r].Load())
+	}
 	counter("canceled_total", "Executions aborted by cancellation or deadline.", m.Canceled.Load())
 	counter("cache_hits_total", "Result-cache hits.", m.CacheHits.Load())
 	counter("cache_misses_total", "Result-cache misses.", m.CacheMisses.Load())
@@ -390,6 +516,11 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 	counter("batch_executions_total", "Batched core executions (shared multi-source estimator calls).", m.BatchExecutions.Load())
 	counter("batch_queries_total", "Queries served through batched executions.", m.BatchedQueries.Load())
 	counter("updates_applied_total", "Graph update batches published through the engine.", m.UpdatesApplied.Load())
+	fmt.Fprintf(w, "# HELP hkpr_serve_degraded_total Degraded responses served, by kind.\n")
+	fmt.Fprintf(w, "# TYPE hkpr_serve_degraded_total counter\n")
+	fmt.Fprintf(w, "hkpr_serve_degraded_total{kind=\"stale\"} %d\n", m.DegradedStaleServed.Load())
+	fmt.Fprintf(w, "hkpr_serve_degraded_total{kind=\"clamped\"} %d\n", m.DegradedClampedServed.Load())
+	counter("revalidations_total", "Background recomputations of stale-served keys.", m.Revalidations.Load())
 	fmt.Fprintf(w, "# HELP hkpr_serve_cache_invalidated_total Cached results dropped by live updates, by reason.\n")
 	fmt.Fprintf(w, "# TYPE hkpr_serve_cache_invalidated_total counter\n")
 	fmt.Fprintf(w, "hkpr_serve_cache_invalidated_total{reason=\"radius\"} %d\n", m.CacheInvalidatedRadius.Load())
@@ -421,6 +552,17 @@ func (e *Engine) WritePrometheus(w io.Writer) {
 		gauge("cache_entries", "Entries in the result cache.", entries)
 		gauge("cache_bytes", "Bytes pinned by the result cache.", bytes)
 		gauge("cache_capacity_bytes", "Result-cache byte budget.", e.cache.capacity)
+	}
+	if e.pressure != nil {
+		gauge("pressure_level", "Current pressure tier (0=nominal 1=elevated 2=overloaded 3=critical).", int64(e.pressure.current()))
+		counter("pressure_transitions_total", "Pressure tier changes since start.", e.pressure.transitions.Load())
+	}
+	if e.stale != nil {
+		entries, bytes := e.stale.stats()
+		gauge("stale_entries", "Entries parked in the stale-while-revalidate arena.", entries)
+		gauge("stale_bytes", "Bytes pinned by the stale arena (counted inside the configured cache budget).", bytes)
+		gauge("stale_capacity_bytes", "Stale-arena byte budget (carved out of the configured cache budget).", e.stale.budget)
+		counter("stale_evicted_total", "Stale-arena entries dropped to fit its budget.", e.stale.evicted.Load())
 	}
 	if e.ring != nil {
 		gauge("trace_ring_capacity", "Completed-query trace ring capacity.", int64(len(e.ring.slots)))

@@ -207,6 +207,16 @@ type Config struct {
 	// survive the update and keep serving zero-copy hits.  <= 0 means
 	// DefaultInvalidateRadius.  Ignored over a static graph.
 	InvalidateRadius int
+	// Pressure tunes the overload controller and its degraded-mode policies
+	// (pressure tiers, stale-while-revalidate, budget clamps, Retry-After).
+	// The zero value enables the controller with defaults; set
+	// Pressure.Disabled for the legacy binary-shed behaviour.
+	Pressure PressureConfig
+	// ExecGate, when set, runs in the worker immediately before each
+	// estimator call (for batched executions, once per batch).  It is the
+	// fault-injection seam the chaos/soak harness uses to hold executions in
+	// flight or add latency; leave nil in production.
+	ExecGate func(*Request)
 }
 
 // withDefaults resolves the zero fields of c.
@@ -234,6 +244,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InvalidateRadius <= 0 {
 		c.InvalidateRadius = DefaultInvalidateRadius
+	}
+	if !c.Pressure.Disabled {
+		c.Pressure = c.Pressure.withDefaults()
 	}
 	return c
 }
@@ -320,6 +333,39 @@ type Request struct {
 	// NoCache bypasses the result cache and coalescing for this request
 	// (it neither reads nor populates the cache).
 	NoCache bool
+
+	// revalidate marks a background stale-arena recomputation: the request
+	// skips the stale-serve path (it exists to replace the stale entry, not
+	// to be answered by it).  Set only by Engine.maybeRevalidate.
+	revalidate bool
+}
+
+// Degraded labels carried by Response.Degraded.  A response is labeled if and
+// only if a pressure policy changed its accuracy contract; parallelism caps
+// never change results and are never labeled.
+const (
+	// DegradedStale: a radius-invalidated cached result served under
+	// pressure while a background singleflight recomputes it.  The response's
+	// Epoch reports the pre-update epoch it was computed at.
+	DegradedStale = "stale"
+	// DegradedClamped: the execution ran under reduced accuracy budgets (walk
+	// count and/or bounded sweep); Response.Effective echoes the knobs.
+	DegradedClamped = "clamped"
+)
+
+// EffectiveOptions echoes the execution knobs a clamping policy altered, so a
+// degraded response's accuracy contract is explicit.
+type EffectiveOptions struct {
+	// WalkScale is the walk-budget scale the execution ran under (1 when the
+	// budget was untouched).
+	WalkScale float64 `json:"walk_scale,omitempty"`
+	// WalkBudget is the random-walk count actually performed;
+	// WalkBudgetPlanned is the count the (d, εr, δ) analysis asked for.
+	WalkBudget        int64 `json:"walk_budget,omitempty"`
+	WalkBudgetPlanned int64 `json:"walk_budget_planned,omitempty"`
+	// SweepK is the bound applied to a requested full sweep (0 when the sweep
+	// was untouched or not requested).
+	SweepK int `json:"sweep_k,omitempty"`
 }
 
 // Response is the outcome of one query.  Result and Sweep may be shared with
@@ -363,8 +409,18 @@ type Response struct {
 	// stage of the execution — estimation, sweep, caching — saw exactly this
 	// epoch; on a static graph it is always 0.  For cached responses it
 	// reports the epoch the entry was computed at (scoped invalidation
-	// guarantees the entry is still valid at the current epoch).
+	// guarantees the entry is still valid at the current epoch); for
+	// stale-degraded responses it reports the pre-update epoch the parked
+	// entry was computed at.
 	Epoch uint64
+	// Degraded labels a response served under a pressure policy:
+	// DegradedStale or DegradedClamped.  Empty for full-fidelity responses.
+	// Degraded responses never populate the result cache, so post-pressure
+	// queries always recompute at full accuracy.
+	Degraded string
+	// Effective echoes the clamped execution knobs when Degraded ==
+	// DegradedClamped (zero otherwise).
+	Effective EffectiveOptions
 }
 
 // Engine is the query-serving subsystem.  Create one per loaded graph with
@@ -384,6 +440,14 @@ type Engine struct {
 	metrics *Metrics
 	cpu     *cpuTokens
 	batch   *batcher // nil unless Config.BatchWindow > 0
+
+	// pressure is the overload controller (nil when Config.Pressure.Disabled)
+	// and stale the stale-while-revalidate arena it serves from (nil when the
+	// cache or the arena fraction is disabled).  The arena's byte budget is
+	// carved out of Config.CacheBytes, so cache + arena never exceed the
+	// configured cache budget.
+	pressure *pressureController
+	stale    *staleArena
 
 	// workspaces recycles the per-query dense scratch state (core.Workspace:
 	// reserve/residue slabs, chunk/shard accumulators, collection buffers),
@@ -412,9 +476,15 @@ type Engine struct {
 	ring    *traceRing
 	slowLog func(format string, args ...any)
 
+	// pending counts admitted queries that have not yet passed finish (queued,
+	// windowed, or executing).  Drain polls it to zero before stopping the
+	// workers, so no admitted query is ever abandoned mid-execution.
+	pending atomic.Int64
+
 	mu         sync.Mutex
 	flight     map[string]*task // in-flight cacheable executions, by cache key
 	closed     bool             // guarded by mu; authoritative for admission
+	stopped    bool             // guarded by mu; workers canceled (Close ran)
 	closedFast atomic.Bool      // mirrors closed for the lock-free fast path
 
 	// execGate, when set (tests only), runs in the worker immediately before
@@ -450,9 +520,24 @@ func New(est *core.Estimator, cfg Config) (*Engine, error) {
 		flight:  make(map[string]*task),
 	}
 	e.metrics.GraphEpoch.Store(src.Snapshot().Epoch())
-	if cfg.CacheBytes > 0 {
-		e.cache = newResultCache(cfg.CacheBytes)
+	if !cfg.Pressure.Disabled {
+		e.pressure = newPressureController(cfg.Pressure)
 	}
+	if cfg.CacheBytes > 0 {
+		// The stale arena's budget is carved out of the configured cache
+		// budget: stale entries count against CacheBytes rather than leaking
+		// past it.
+		cacheBudget := cfg.CacheBytes
+		if e.pressure != nil && cfg.Pressure.StaleFraction > 0 {
+			staleBudget := int64(float64(cfg.CacheBytes) * cfg.Pressure.StaleFraction)
+			if staleBudget > 0 && staleBudget < cacheBudget {
+				e.stale = newStaleArena(staleBudget)
+				cacheBudget -= staleBudget
+			}
+		}
+		e.cache = newResultCache(cacheBudget)
+	}
+	e.execGate = cfg.ExecGate
 	if cfg.TraceBuffer > 0 {
 		e.ring = newTraceRing(cfg.TraceBuffer)
 	}
@@ -487,11 +572,12 @@ func (e *Engine) Options() core.Options { return e.est.Options() }
 // Close fail with ErrClosed.
 func (e *Engine) Close() error {
 	e.mu.Lock()
-	if e.closed {
+	if e.stopped {
 		e.mu.Unlock()
 		return nil
 	}
 	e.closed = true
+	e.stopped = true
 	e.closedFast.Store(true)
 	e.mu.Unlock()
 	e.cancel()
@@ -519,6 +605,39 @@ func (e *Engine) Close() error {
 	}
 }
 
+// drainPollInterval is how often Drain re-checks the pending-query count.
+const drainPollInterval = 2 * time.Millisecond
+
+// Drain gracefully shuts the engine down: it stops admission immediately
+// (new queries fail with ErrClosed) but keeps the workers running until every
+// already-admitted query — queued, held in the batching window, or executing
+// — has finished, then stops the workers via Close.  Within the timeout no
+// admitted query is ever abandoned mid-execution.
+//
+// If the backlog has not drained when the timeout expires, the engine is
+// closed anyway (canceling the stragglers) and Drain reports how many queries
+// were cut off.  Drain on an already-closed engine returns ErrClosed.
+func (e *Engine) Drain(timeout time.Duration) error {
+	e.mu.Lock()
+	if e.stopped {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	e.closed = true
+	e.closedFast.Store(true)
+	e.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for e.pending.Load() > 0 {
+		if time.Now().After(deadline) {
+			cut := e.pending.Load()
+			e.Close()
+			return fmt.Errorf("serve: drain timeout after %s: %d queries aborted", timeout, cut)
+		}
+		time.Sleep(drainPollInterval)
+	}
+	return e.Close()
+}
+
 // Do answers one query.  It blocks until the query completes, is shed
 // (ErrOverloaded), or ctx is done — in which case the underlying execution is
 // aborted too, unless other coalesced callers still want the result.
@@ -527,6 +646,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 		ctx = context.Background()
 	}
 	if e.closedFast.Load() {
+		e.metrics.countError(ErrClosed)
 		return nil, ErrClosed
 	}
 	method, err := normalizeMethod(req.Method)
@@ -535,6 +655,7 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	}
 	req.Method = method
 	e.metrics.Requests.Add(1)
+	e.observePressure()
 	reqStart := time.Now()
 
 	resolved := e.est.Resolve(req.Opts)
@@ -580,9 +701,21 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 		// shed) would otherwise inflate the miss rate.
 	}
 
+	// Stale-while-revalidate: under a pressure tier whose policy allows it, a
+	// radius-invalidated entry parked in the stale arena answers immediately
+	// (zero-copy, labeled DegradedStale with its pre-update epoch) while a
+	// background singleflight recomputes the fresh result.  Background
+	// revalidations themselves skip this path.
+	if cacheable && e.stale != nil && !req.revalidate && e.activePolicy().ServeStale {
+		if out, ok := e.serveStale(key, req, reqStart); ok {
+			return out, nil
+		}
+	}
+
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
+		e.metrics.countError(ErrClosed)
 		return nil, ErrClosed
 	}
 	if cacheable {
@@ -617,6 +750,10 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	}
 	var admitted bool
 	var flush *task
+	// pending is incremented before the admission attempt so Drain can never
+	// observe a zero count while an admitted query is still in flight; the
+	// shed path takes the increment straight back.
+	e.pending.Add(1)
 	if e.batch != nil {
 		// Batching window: the task joins (or opens) its options group instead
 		// of entering the queue directly; a group filled to BatchMaxK flushes
@@ -629,6 +766,9 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 		default:
 		}
 	}
+	if !admitted {
+		e.pending.Add(-1)
+	}
 	if admitted && cacheable {
 		e.flight[key] = t
 		e.metrics.CacheMisses.Add(1)
@@ -637,14 +777,88 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	if flush != nil {
 		e.enqueueFlush(flush)
 	}
+	e.observeAdmission(!admitted)
 	if !admitted {
 		t.cancel()
 		trace.Put(t.qt)
 		t.qt = nil
 		e.metrics.Shed.Add(1)
+		e.metrics.countError(ErrOverloaded)
+		if e.pressure != nil {
+			// Retry-After from the controller's drain estimate; errors.Is
+			// against ErrOverloaded still matches.
+			return nil, &OverloadedError{RetryAfter: e.retryAfter()}
+		}
 		return nil, ErrOverloaded
 	}
 	return e.wait(ctx, t, false, req)
+}
+
+// serveStale answers req from the stale arena: the parked response is served
+// zero-copy, labeled DegradedStale, with the pre-update epoch it was computed
+// at, and a background revalidation is kicked off for the key (at most one at
+// a time per entry).  Returns ok == false when the key has no parked entry.
+func (e *Engine) serveStale(key string, req Request, reqStart time.Time) (*Response, bool) {
+	lookupStart := time.Now()
+	ent, ok := e.stale.get(key)
+	lookupD := time.Since(lookupStart)
+	if !ok {
+		return nil, false
+	}
+	e.metrics.observeStage(trace.StageCacheLookup, lookupD)
+	e.metrics.DegradedStaleServed.Add(1)
+	out := *ent.resp
+	out.Cached = true
+	out.Degraded = DegradedStale
+	out.QueueWait, out.Elapsed = 0, 0
+	renderStart, renderD := e.render(&out, req)
+	if req.Trace {
+		qt := trace.Get(reqStart)
+		qt.Seed = int64(req.Seed)
+		qt.Method = req.Method
+		qt.CacheOutcome = trace.OutcomeHit
+		qt.Observe(trace.StageCacheLookup, lookupStart, lookupD)
+		if renderD > 0 {
+			qt.Observe(trace.StageRender, renderStart, renderD)
+		}
+		out.Trace = qt.Finish(time.Now(), "")
+		trace.Put(qt)
+	}
+	e.maybeRevalidate(key, ent, req)
+	return &out, true
+}
+
+// maybeRevalidate starts the background recomputation for a stale entry
+// unless one is already running (per-entry singleflight).  The revalidation
+// goes through the normal Do path — admission control, coalescing, budget
+// clamps and the stale-epoch populate guard all apply — so under sustained
+// pressure it may itself be shed or clamped, in which case the entry stays
+// parked and the next stale serve retries.
+func (e *Engine) maybeRevalidate(key string, ent *staleEntry, req Request) {
+	if !ent.revalidating.CompareAndSwap(false, true) {
+		return
+	}
+	e.metrics.Revalidations.Add(1)
+	go func() {
+		defer ent.revalidating.Store(false)
+		r := Request{
+			Seed:   req.Seed,
+			Method: req.Method,
+			Opts:   req.Opts,
+			Sweep:  req.Sweep,
+
+			revalidate: true,
+		}
+		resp, err := e.Do(context.Background(), r)
+		if err != nil || resp.Degraded != "" {
+			// Shed, failed, or recomputed under a clamp (which never
+			// repopulates the cache): keep serving the labeled stale entry.
+			return
+		}
+		// A full-fidelity recompute (or a cache hit from a concurrent
+		// repopulation) exists at the current epoch; retire the stale entry.
+		e.stale.remove(key, ent)
+	}()
 }
 
 // task is one admitted execution, possibly shared by several coalesced
@@ -789,10 +1003,15 @@ func (e *Engine) run(t *task) {
 	// The worker's token (and any extras borrowed inside execute) must be
 	// back in the pool before finish wakes the caller, so a caller that
 	// observed completion also observes a settled CPU budget.
+	// The degraded-mode policy is resolved once per execution from the
+	// controller's current tier; Nominal yields the zero policy and the
+	// legacy behaviour.
+	pol := e.activePolicy()
 	var elapsed time.Duration
 	var res *core.Result
 	var chosenP int
 	var snap *graph.Snapshot
+	var sweepClampedK int
 	resp, err := func() (*Response, error) {
 		defer e.cpu.Release(1)
 		wait := time.Since(t.enqueued)
@@ -805,7 +1024,7 @@ func (e *Engine) run(t *task) {
 		e.metrics.InFlight.Add(1)
 		start := time.Now()
 		var err error
-		res, chosenP, snap, err = e.execute(t)
+		res, chosenP, snap, err = e.execute(t, pol)
 		var sweep *cluster.SweepResult
 		if err == nil && t.req.Sweep {
 			// The sweep is part of the query's work, so it runs inside the
@@ -818,7 +1037,16 @@ func (e *Engine) run(t *task) {
 				err = cerr
 			} else {
 				sweepStart := time.Now()
-				sw := cluster.Sweep(snap, res.Scores)
+				var sw cluster.SweepResult
+				if maxK := pol.MaxSweepK; maxK > 0 {
+					// Tier policy: bound the sweep to the k best nodes — a
+					// different (cheaper) answer, labeled DegradedClamped
+					// below.
+					sw = cluster.SweepK(snap, res.Scores, maxK)
+					sweepClampedK = maxK
+				} else {
+					sw = cluster.Sweep(snap, res.Scores)
+				}
 				sweep = &sw
 				sweepD := time.Since(sweepStart)
 				e.metrics.observeStage(trace.StageSweep, sweepD)
@@ -831,7 +1059,7 @@ func (e *Engine) run(t *task) {
 		if err != nil {
 			return nil, err
 		}
-		return &Response{
+		out := &Response{
 			Seed:        t.req.Seed,
 			Method:      t.req.Method,
 			Result:      res,
@@ -840,7 +1068,9 @@ func (e *Engine) run(t *task) {
 			Elapsed:     elapsed,
 			Parallelism: chosenP,
 			Epoch:       snap.Epoch(),
-		}, nil
+		}
+		e.labelClamped(out, res, pol, sweepClampedK)
+		return out, nil
 	}()
 	// Estimator-phase histograms come straight from the timings core already
 	// took (the per-query trace reuses the same measurements, so traces and
@@ -910,6 +1140,27 @@ func (e *Engine) run(t *task) {
 	e.finish(t, resp, nil)
 }
 
+// labelClamped stamps the degraded-accuracy contract onto a response whose
+// execution ran under clamped budgets: a reduced walk count (reported by the
+// core through Stats.WalkBudgetClamped) and/or a bounded sweep.  Parallelism
+// caps are deliberately not labeled — they never change results.
+func (e *Engine) labelClamped(out *Response, res *core.Result, pol TierPolicy, sweepClampedK int) {
+	if res == nil || (!res.Stats.WalkBudgetClamped && sweepClampedK == 0) {
+		return
+	}
+	out.Degraded = DegradedClamped
+	out.Effective = EffectiveOptions{
+		WalkScale: 1,
+		SweepK:    sweepClampedK,
+	}
+	if res.Stats.WalkBudgetClamped {
+		out.Effective.WalkScale = pol.WalkScale
+		out.Effective.WalkBudget = res.Stats.RandomWalks
+		out.Effective.WalkBudgetPlanned = res.Stats.WalkBudgetPlanned
+	}
+	e.metrics.DegradedClampedServed.Add(1)
+}
+
 // populateCache stores one freshly computed response, unless a newer graph
 // epoch was published while it executed.  The epoch check and the set happen
 // under the engine lock — the same lock ApplyUpdates holds across {publish +
@@ -917,7 +1168,14 @@ func (e *Engine) run(t *task) {
 // into the cache after the invalidation scan that would have dropped it.  On a
 // static graph (dyn == nil) there is nothing to race with and the set is
 // unguarded.
+//
+// Degraded responses never populate the cache: a clamped result under the
+// normal key would keep serving reduced accuracy long after the pressure
+// passed.
 func (e *Engine) populateCache(key string, resp *Response) {
+	if resp.Degraded != "" {
+		return
+	}
 	cost := responseCost(key, resp)
 	if e.dyn == nil {
 		e.cache.set(key, resp, cost)
@@ -992,7 +1250,7 @@ func (e *Engine) smoothedQueueDepth() float64 {
 // parallelism it resolved for the query (surfaced in Response, /stats and
 // the Prometheus gauges) plus the epoch snapshot the execution was pinned to
 // (the sweep and the response epoch stamp must see the same view).
-func (e *Engine) execute(t *task) (*core.Result, int, *graph.Snapshot, error) {
+func (e *Engine) execute(t *task, pol TierPolicy) (*core.Result, int, *graph.Snapshot, error) {
 	// Check out a workspace for the execution.  The estimator joins all of
 	// its chunk/shard goroutines before returning — on success, error and
 	// cancellation alike — so the deferred return can never recycle slabs a
@@ -1021,9 +1279,10 @@ func (e *Engine) execute(t *task) (*core.Result, int, *graph.Snapshot, error) {
 		Trace:      t.qt,
 		Audit:      &t.audit,
 		Snapshot:   snap,
+		WalkScale:  pol.WalkScale,
 	}
 	opts := t.req.Opts
-	opts.Parallelism = e.chooseParallelism(opts.Parallelism)
+	opts.Parallelism = e.clampParallelism(e.chooseParallelism(opts.Parallelism), pol)
 	chosen := opts.Parallelism
 	if chosen == 0 {
 		chosen = e.est.Options().Parallelism
@@ -1045,10 +1304,31 @@ func (e *Engine) execute(t *task) (*core.Result, int, *graph.Snapshot, error) {
 	return res, chosen, snap, err
 }
 
+// clampParallelism applies the tier policy's parallelism cap to the resolved
+// choice.  0 (inherit the estimator default) is also capped, since the
+// default may exceed the cap.  Parallelism never changes results, so this is
+// not a labeled degradation.
+func (e *Engine) clampParallelism(p int, pol TierPolicy) int {
+	if max := pol.MaxParallelism; max > 0 && (p == 0 || p > max) {
+		return max
+	}
+	return p
+}
+
 // finish records the outcome, retires the task from the flight table (after
 // any cache population, so there is no window where neither serves the key)
-// and wakes every waiter.
+// and wakes every waiter.  Every admitted task passes through finish exactly
+// once, which is what keeps the pending count (Drain's signal) and the error
+// taxonomy exact.
 func (e *Engine) finish(t *task, resp *Response, err error) {
+	// An abandoning caller races its cancel against the task's deadline
+	// timer; if the deadline has in fact passed, "timeout" is the truthful
+	// classification regardless of which fired first.
+	if errors.Is(err, context.Canceled) {
+		if dl, ok := t.ctx.Deadline(); ok && !time.Now().Before(dl) {
+			err = context.DeadlineExceeded
+		}
+	}
 	t.resp, t.err = resp, err
 	e.mu.Lock()
 	if e.flight[t.key] == t {
@@ -1057,6 +1337,10 @@ func (e *Engine) finish(t *task, resp *Response, err error) {
 	e.mu.Unlock()
 	close(t.done)
 	e.metrics.Completed.Add(1)
+	e.pending.Add(-1)
+	if err != nil {
+		e.metrics.countError(err)
+	}
 }
 
 // normalizeMethod validates a request method, resolving "" to TEA+.

@@ -87,10 +87,21 @@ func (e *Engine) ApplyUpdates(batch graph.UpdateBatch) (UpdateResult, error) {
 		// seeded directly so their former neighborhoods are covered too.
 		ball = affectedBall(snap, batch, e.cfg.InvalidateRadius)
 		if len(ball) > 0 {
-			invalidated = e.cache.invalidate(func(r *Response) bool {
+			pred := func(r *Response) bool {
 				_, in := ball[r.Seed]
 				return in
-			})
+			}
+			if e.stale != nil {
+				// Radius-invalidated entries migrate into the stale arena
+				// (same key, same shared Response, same exact byte cost)
+				// instead of being freed, so pressure tiers can serve them
+				// labeled DegradedStale while a background revalidation
+				// recomputes.  The arena takes only its own lock, keeping the
+				// cacheShard.mu -> staleArena.mu order acyclic.
+				invalidated = e.cache.invalidateCollect(pred, e.stale.put)
+			} else {
+				invalidated = e.cache.invalidate(pred)
+			}
 		}
 	}
 	invD := time.Since(invStart)

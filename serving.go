@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"hkpr/internal/core"
 	"hkpr/internal/serve"
@@ -36,6 +37,38 @@ type (
 	// Engine.ApplyUpdates: the new epoch, the accepted batch size, the
 	// invalidation neighborhood and the number of cache entries dropped.
 	UpdateResult = serve.UpdateResult
+	// PressureConfig tunes the engine's overload controller: tier thresholds
+	// on smoothed queue occupancy and shed rate, per-tier degradation
+	// policies, the stale-arena fraction of the cache budget and the
+	// Retry-After clamp.  Its zero value enables the controller with
+	// production defaults; set Disabled to opt out entirely.
+	PressureConfig = serve.PressureConfig
+	// TierPolicy is one pressure tier's degradation policy: a walk-budget
+	// scale, parallelism and sweep-k caps, and whether radius-invalidated
+	// stale results may be served while revalidating.
+	TierPolicy = serve.TierPolicy
+	// PressureLevel is the controller's current tier (nominal, elevated,
+	// overloaded, critical).
+	PressureLevel = serve.PressureLevel
+	// EffectiveOptions echoes the reduced budgets a degraded (clamped)
+	// response was actually computed with.
+	EffectiveOptions = serve.EffectiveOptions
+	// OverloadedError is the shed error carrying a Retry-After hint derived
+	// from the engine's drain estimate; errors.Is(err, ErrOverloaded) still
+	// matches it.
+	OverloadedError = serve.OverloadedError
+)
+
+// Degraded-response labels: a ServeResponse whose Degraded field is non-empty
+// was served in a reduced mode under overload pressure.
+const (
+	// DegradedStale marks a response served from the stale arena (a
+	// radius-invalidated cached result, at its pre-update Epoch) while a
+	// background revalidation recomputes.
+	DegradedStale = serve.DegradedStale
+	// DegradedClamped marks a response computed under a pressure tier's
+	// reduced walk/sweep budgets; Effective echoes the budgets used.
+	DegradedClamped = serve.DegradedClamped
 )
 
 // Serving-layer errors.
@@ -114,6 +147,14 @@ func (e *Engine) Options() Options { return e.eng.Options() }
 // Close stops the workers, aborts in-flight queries and fails queued ones
 // with ErrEngineClosed.  It is idempotent.
 func (e *Engine) Close() error { return e.eng.Close() }
+
+// Drain stops admission (new queries fail with ErrEngineClosed) but lets
+// every already-admitted query finish, waiting up to timeout before forcing
+// Close.  A nil return means no admitted query was abandoned mid-execution.
+func (e *Engine) Drain(timeout time.Duration) error { return e.eng.Drain(timeout) }
+
+// Pressure returns the overload controller's current tier.
+func (e *Engine) Pressure() PressureLevel { return e.eng.PressureLevel() }
 
 // Do issues a raw serving-layer request.  It blocks until the query
 // completes, is shed (ErrOverloaded), or ctx is done.
