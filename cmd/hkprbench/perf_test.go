@@ -111,6 +111,33 @@ func TestPerfWritesBenchJSON(t *testing.T) {
 	if sp.P99Ns <= 0 {
 		t.Fatalf("BENCH_soak.json: no saturated latency recorded: %+v", sp)
 	}
+
+	// The router entry measures the replica tier and must prove both the
+	// failover timeline and the hedge/peer-fill paths engaged.
+	raw, err = os.ReadFile(filepath.Join(dir, "BENCH_router.json"))
+	if err != nil {
+		t.Fatalf("missing router bench JSON: %v", err)
+	}
+	var rt perfReport
+	if err := json.Unmarshal(raw, &rt); err != nil {
+		t.Fatalf("BENCH_router.json: bad JSON: %v", err)
+	}
+	if rt.Name != "router" || len(rt.Points) != 1 {
+		t.Fatalf("BENCH_router.json: unexpected report %+v", rt)
+	}
+	rp := rt.Points[0]
+	if rp.NsPerOp <= 0 || rp.DirectNsPerOp <= 0 || rp.Iterations == 0 {
+		t.Fatalf("BENCH_router.json: routed/direct latencies missing: %+v", rp)
+	}
+	if rp.FailoverRecoveryNs <= 0 || rp.RestabilizeNs <= 0 {
+		t.Fatalf("BENCH_router.json: fault-recovery timeline missing: %+v", rp)
+	}
+	if rp.Hedged == 0 {
+		t.Fatalf("BENCH_router.json: hedge path never engaged: %+v", rp)
+	}
+	if rp.PeerFills == 0 {
+		t.Fatalf("BENCH_router.json: peer cache-fill path never engaged: %+v", rp)
+	}
 }
 
 // TestCheckPerfBaseline pins the CI regression gate: a fresh report passes
@@ -235,5 +262,51 @@ func TestCheckPerfBaselineSoak(t *testing.T) {
 	}
 	if err := checkPerfBaseline(dir, other); err != nil {
 		t.Fatalf("non-soak entry tripped soak gates: %v", err)
+	}
+}
+
+// TestCheckPerfBaselineRouter pins the router half of the gate: overhead and
+// recovery times are bounded by factor+floor, and the hedge/peer-fill
+// machinery must not go inert.
+func TestCheckPerfBaselineRouter(t *testing.T) {
+	dir := t.TempDir()
+	base := perfReport{Name: "router", Points: []perfPoint{{
+		Parallelism: 1, RouterOverheadNs: 100_000,
+		FailoverRecoveryNs: 50e6, RestabilizeNs: 80e6,
+		Hedged: 5, PeerFills: 1,
+	}}}
+	raw, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_router.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := func(mut func(*perfPoint)) perfReport {
+		p := base.Points[0]
+		mut(&p)
+		return perfReport{Name: "router", Points: []perfPoint{p}}
+	}
+	if err := checkPerfBaseline(dir, fresh(func(p *perfPoint) {})); err != nil {
+		t.Fatalf("identical router point flagged: %v", err)
+	}
+	// Past the factor but under the absolute floor: jitter, not a regression.
+	if err := checkPerfBaseline(dir, fresh(func(p *perfPoint) { p.RouterOverheadNs = 290_000 })); err != nil {
+		t.Fatalf("sub-floor overhead growth flagged: %v", err)
+	}
+	if err := checkPerfBaseline(dir, fresh(func(p *perfPoint) { p.RouterOverheadNs = 900_000 })); err == nil {
+		t.Fatal("9x routing-overhead blow-up not flagged")
+	}
+	if err := checkPerfBaseline(dir, fresh(func(p *perfPoint) { p.FailoverRecoveryNs = 600e6 })); err == nil {
+		t.Fatal("failover-recovery collapse not flagged")
+	}
+	if err := checkPerfBaseline(dir, fresh(func(p *perfPoint) { p.RestabilizeNs = 900e6 })); err == nil {
+		t.Fatal("restabilize collapse not flagged")
+	}
+	if err := checkPerfBaseline(dir, fresh(func(p *perfPoint) { p.Hedged = 0 })); err == nil {
+		t.Fatal("inert hedging not flagged")
+	}
+	if err := checkPerfBaseline(dir, fresh(func(p *perfPoint) { p.PeerFills = 0 })); err == nil {
+		t.Fatal("inert peer fills not flagged")
 	}
 }

@@ -15,12 +15,15 @@
 // base CSR plus the delta overlay, bit-identical to a from-scratch rebuild
 // of the updated edge set.
 //
-// With -server the query goes to a running hkprserver over HTTP instead of
-// loading a graph locally.  Overloaded responses (503) are retried with
-// jittered exponential backoff — honoring the server's Retry-After drain
-// estimate, capped at -retry-max — up to -retries times per seed, and
-// responses the server degraded under pressure ("stale" or "clamped") are
-// called out in the output.
+// With -server the query goes to a running hkprserver (or hkprrouter) over
+// HTTP instead of loading a graph locally.  -server takes a comma-separated
+// endpoint list: a 5xx response or a connection failure fails the query over
+// to the next endpoint immediately, sticking with whichever endpoint last
+// answered.  Only when every endpoint is unavailable does the client back off
+// with jittered exponential delay — honoring the smallest Retry-After drain
+// estimate any endpoint advertised, capped at -retry-max — up to -retries
+// passes per seed.  Responses the server degraded under pressure ("stale" or
+// "clamped") are called out in the output.
 //
 // Example:
 //
@@ -28,6 +31,7 @@
 //	hkprquery -graph plc.txt -seed 17,42,101 -method tea+
 //	hkprquery -graph plc.txt -updates delta.txt -seed 17
 //	hkprquery -server http://localhost:8080 -seed 17 -retries 6
+//	hkprquery -server http://a:8080,http://b:8080 -seed 17
 package main
 
 import (
@@ -83,8 +87,8 @@ func run(args []string, out io.Writer) error {
 		topK      = fs.Int("top", 20, "print at most this many cluster members")
 		updates   = fs.String("updates", "", "edge-list delta applied before querying: 'u v' or '+ u v' adds an edge, '- u v' (or 'del u v') removes one")
 
-		server    = fs.String("server", "", "query a running hkprserver at this base URL instead of loading a graph locally")
-		retries   = fs.Int("retries", 4, "with -server: retries per seed after an overloaded (503) response")
+		server    = fs.String("server", "", "query running hkprserver/hkprrouter endpoints (comma-separated base URLs; 5xx or connection failures fail over to the next) instead of loading a graph locally")
+		retries   = fs.Int("retries", 4, "with -server: retry passes over the endpoint list per seed after every endpoint shed or failed")
 		retryBase = fs.Duration("retry-base", 100*time.Millisecond, "with -server: initial backoff delay, doubled (with jitter) per retry")
 		retryMax  = fs.Duration("retry-max", 5*time.Second, "with -server: cap on any single backoff delay, including the server's Retry-After hint")
 	)
@@ -96,8 +100,17 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		var servers []string
+		for _, s := range strings.Split(*server, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				servers = append(servers, s)
+			}
+		}
+		if len(servers) == 0 {
+			return fmt.Errorf("-server holds no endpoints")
+		}
 		return runRemote(&remoteConfig{
-			server:  *server,
+			servers: servers,
 			method:  *method,
 			epsRel:  *epsRel,
 			topK:    *topK,

@@ -16,12 +16,16 @@ import (
 )
 
 // remoteConfig is the -server client mode: instead of loading a graph
-// locally, each seed is queried against a running hkprserver's /cluster
-// endpoint with bounded retry.  Shed queries (503) are retried with jittered
-// exponential backoff, honoring the server's Retry-After drain estimate when
-// it is present; the -retries budget bounds the total attempts per seed.
+// locally, each seed is queried against a running hkprserver's (or
+// hkprrouter's) /cluster endpoint with bounded retry.  -server accepts a
+// comma-separated endpoint list: a 5xx response or a transport failure
+// (connection refused among them) fails the query over to the next endpoint
+// immediately, and only when every endpoint is unavailable does the client
+// back off — with jittered exponential delay, honoring the smallest
+// Retry-After drain estimate any endpoint advertised.  The -retries budget
+// bounds the full passes over the endpoint list per seed.
 type remoteConfig struct {
-	server  string
+	servers []string
 	method  string
 	epsRel  float64
 	topK    int
@@ -29,6 +33,11 @@ type remoteConfig struct {
 	base    time.Duration
 	max     time.Duration
 	rngSeed uint64
+
+	// preferred is the index of the endpoint that last answered; each query
+	// starts there so the client sticks with a known-good endpoint instead of
+	// re-probing dead ones (runRemote is sequential, so no locking).
+	preferred int
 }
 
 // remoteCluster mirrors the hkprserver /cluster response fields the client
@@ -67,26 +76,45 @@ func backoffDelay(cfg *remoteConfig, attempt int, retryAfter time.Duration, rng 
 	return d
 }
 
-// queryRemote fetches one seed's cluster with retry.  Only overload (503) and
-// transport failures are retried — they are the transient outcomes; 4xx/5xx
-// responses with other statuses are terminal.
-func queryRemote(client *http.Client, cfg *remoteConfig, seed hkpr.NodeID, rng *rand.Rand, out io.Writer) (*remoteCluster, error) {
-	u := fmt.Sprintf("%s/cluster?seed=%d&method=%s&eps=%s",
-		strings.TrimSuffix(cfg.server, "/"), seed,
+// clusterURL renders one endpoint's /cluster URL for a seed.
+func clusterURL(cfg *remoteConfig, endpoint string, seed hkpr.NodeID) string {
+	return fmt.Sprintf("%s/cluster?seed=%d&method=%s&eps=%s",
+		strings.TrimSuffix(endpoint, "/"), seed,
 		url.QueryEscape(cfg.method), url.QueryEscape(strconv.FormatFloat(cfg.epsRel, 'g', -1, 64)))
+}
+
+// queryRemote fetches one seed's cluster with failover and retry.  Each
+// attempt is one pass over the endpoint list starting at the last endpoint
+// that answered: a 5xx or transport failure moves on to the next endpoint
+// without waiting, a 4xx is terminal, and only when the whole pass comes up
+// empty does the client back off before the next one.  Only transient
+// outcomes consume the -retries budget.
+func queryRemote(client *http.Client, cfg *remoteConfig, seed hkpr.NodeID, rng *rand.Rand, out io.Writer) (*remoteCluster, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		rc, retryAfter, err := fetchCluster(client, u)
-		if err == nil {
-			return rc, nil
-		}
-		lastErr = err
-		if retryAfter < 0 || attempt > cfg.retries {
-			// Terminal failure, or retry budget exhausted.
-			if attempt > cfg.retries {
-				return nil, fmt.Errorf("seed %d: %d attempts exhausted: %w", seed, attempt, lastErr)
+		// The smallest Retry-After hint any shedding endpoint returned this
+		// pass: the soonest anyone expects to have drained.
+		var retryAfter time.Duration
+		for i := 0; i < len(cfg.servers); i++ {
+			ep := (cfg.preferred + i) % len(cfg.servers)
+			rc, ra, err := fetchCluster(client, clusterURL(cfg, cfg.servers[ep], seed))
+			if err == nil {
+				cfg.preferred = ep
+				return rc, nil
 			}
-			return nil, fmt.Errorf("seed %d: %w", seed, lastErr)
+			lastErr = err
+			if ra < 0 {
+				return nil, fmt.Errorf("seed %d: %w", seed, err)
+			}
+			if ra > 0 && (retryAfter == 0 || ra < retryAfter) {
+				retryAfter = ra
+			}
+			if i+1 < len(cfg.servers) {
+				fmt.Fprintf(out, "seed %d: %s unavailable (%v), failing over\n", seed, cfg.servers[ep], err)
+			}
+		}
+		if attempt > cfg.retries {
+			return nil, fmt.Errorf("seed %d: %d attempts exhausted: %w", seed, attempt, lastErr)
 		}
 		d := backoffDelay(cfg, attempt, retryAfter, rng)
 		fmt.Fprintf(out, "seed %d: overloaded (attempt %d/%d), backing off %v\n", seed, attempt, cfg.retries+1, d.Round(time.Millisecond))
@@ -131,7 +159,13 @@ func fetchCluster(client *http.Client, u string) (*remoteCluster, time.Duration,
 		if msg == "" {
 			msg = strings.TrimSpace(string(body))
 		}
-		return nil, -1, fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
+		retryAfter := time.Duration(-1)
+		if resp.StatusCode >= 500 {
+			// Any server-side failure is an endpoint problem, not a query
+			// problem: eligible for failover to the next endpoint.
+			retryAfter = 0
+		}
+		return nil, retryAfter, fmt.Errorf("HTTP %d: %s", resp.StatusCode, msg)
 	}
 }
 

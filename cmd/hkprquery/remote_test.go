@@ -85,6 +85,118 @@ func TestRemoteTerminalErrorNotRetried(t *testing.T) {
 	}
 }
 
+// okServer fakes a healthy endpoint that always answers seed 3.
+func okServer() (*httptest.Server, *atomic.Int64) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		json.NewEncoder(w).Encode(map[string]any{
+			"seed": 3, "method": "tea+", "cluster": []int64{9, 3, 5}, "size": 3,
+			"conductance": 0.25, "cached": false, "epoch": 2, "elapsed_ms": 1.5,
+		})
+	}))
+	return ts, &calls
+}
+
+// TestRemoteFailsOverOn5xx: a 500 from the first endpoint moves the query to
+// the second immediately, with no backoff pass consumed.
+func TestRemoteFailsOverOn5xx(t *testing.T) {
+	var badCalls atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badCalls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good, goodCalls := okServer()
+	defer good.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-server", bad.URL + "," + good.URL, "-seed", "3",
+		"-retries", "0", "-retry-base", "1ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if badCalls.Load() != 1 || goodCalls.Load() != 1 {
+		t.Fatalf("calls: bad=%d good=%d, want 1 each", badCalls.Load(), goodCalls.Load())
+	}
+	text := out.String()
+	for _, want := range []string{"failing over", "cluster: 3 nodes"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestRemoteFailsOverOnConnectionRefused: a dead endpoint (refused
+// connection) is skipped, and the surviving endpoint stays preferred across
+// subsequent seeds — the dead one is probed only once.
+func TestRemoteFailsOverOnConnectionRefused(t *testing.T) {
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	deadURL := dead.URL
+	dead.Close() // now refuses connections
+	good, goodCalls := okServer()
+	defer good.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-server", deadURL + "," + good.URL, "-seed", "3,3",
+		"-retries", "0", "-retry-base", "1ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if goodCalls.Load() != 2 {
+		t.Fatalf("good endpoint calls = %d, want 2 (one per seed)", goodCalls.Load())
+	}
+	// Sticky preference: only the first seed pays the probe of the dead
+	// endpoint, so "failing over" appears exactly once.
+	if got := strings.Count(out.String(), "failing over"); got != 1 {
+		t.Fatalf("%d failovers logged, want 1 (preference must stick):\n%s", got, out.String())
+	}
+}
+
+// TestRemoteAllEndpointsShedBacksOff: both endpoints shed 503 → one backoff
+// pass, then the pass succeeds on the recovered first endpoint.
+func TestRemoteAllEndpointsShedBacksOff(t *testing.T) {
+	a, aCalls := shedThenServe(1, "")
+	defer a.Close()
+	b, bCalls := shedThenServe(1000, "")
+	defer b.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-server", a.URL + "," + b.URL, "-seed", "3",
+		"-retries", "2", "-retry-base", "1ms", "-retry-max", "2ms"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	// Pass 1 sheds on both, pass 2 succeeds on a without touching b.
+	if aCalls.Load() != 2 || bCalls.Load() != 1 {
+		t.Fatalf("calls: a=%d b=%d, want a=2 b=1", aCalls.Load(), bCalls.Load())
+	}
+	if !strings.Contains(out.String(), "backing off") {
+		t.Errorf("output missing backoff notice:\n%s", out.String())
+	}
+}
+
+// TestRemote4xxTerminalDespiteSecondEndpoint: a 400 is the query's fault, not
+// the endpoint's — no failover, no retry.
+func TestRemote4xxTerminalDespiteSecondEndpoint(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "seed must be a node id in range"})
+	}))
+	defer bad.Close()
+	good, goodCalls := okServer()
+	defer good.Close()
+
+	err := run([]string{"-server", bad.URL + "," + good.URL, "-seed", "3",
+		"-retry-base", "1ms"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "HTTP 400") {
+		t.Fatalf("err = %v, want terminal HTTP 400", err)
+	}
+	if goodCalls.Load() != 0 {
+		t.Fatalf("a 400 failed over: good endpoint saw %d calls", goodCalls.Load())
+	}
+}
+
 func TestBackoffDelayBoundsAndJitter(t *testing.T) {
 	cfg := &remoteConfig{base: 100 * time.Millisecond, max: 5 * time.Second}
 	rng := rand.New(rand.NewSource(1))

@@ -1,0 +1,513 @@
+// Command hkprrouter fronts a fault-tolerant replica set over HTTP: one
+// process hosting N in-process serving replicas (each a full engine with its
+// own worker pool, admission queue and result cache over the same base
+// graph), with queries consistent-hashed across them by (graph epoch, seed
+// node).  It is the single-box deployment of the tier the paper's
+// interactive-exploration scenario needs once one engine is not enough: the
+// router health-checks replicas from their pressure tier and error taxonomy,
+// fails over around crashed or shedding replicas with bounded Retry-After
+// backoff, hedges slow queries against the next ring replica (duplicates are
+// audited bit-identical off the request path — the determinism contract makes
+// replicas interchangeable), and warms cold or restarted replicas from ring
+// neighbors' caches instead of recomputing.
+//
+// Endpoints:
+//
+//	GET /healthz                 → 200 ok while at least one replica is live,
+//	                               503 when the whole tier is down
+//	GET /stats                   → graph + router + per-replica statistics
+//	                               (JSON; includes each replica's health,
+//	                               pressure tier and drain estimate)
+//	GET /metrics                 → router metrics (Prometheus text format,
+//	                               hkpr_router_* namespace with per-replica
+//	                               labeled health/traffic series)
+//	GET /cluster?seed=17         → local cluster of node 17, routed to the
+//	                               seed's ring owner with failover + hedging;
+//	                               same parameters and response shape as
+//	                               hkprserver's /cluster (method, eps, topk,
+//	                               sweepk, trace, nocache), so hkprquery
+//	                               -server works against either
+//	POST /update                 → apply one graph update batch to every live
+//	                               replica as a new epoch (same JSON body as
+//	                               hkprserver); the batch is journaled so
+//	                               restarted replicas replay to the current
+//	                               epoch
+//	GET /route?seed=17           → routing debug: the seed's ring owner and
+//	                               the candidate order under the current
+//	                               health view
+//
+// Overload is reported exactly as hkprserver reports it — 503 with a
+// Retry-After header — but only after the router has tried every live
+// replica and backed off between rounds: a single shedding replica is a
+// failover, not a client-visible error.  On SIGINT/SIGTERM every replica
+// drains its admitted queries before the process exits.
+//
+// Router flags:
+//
+//	-replicas N        in-process replica count (default 3)
+//	-hedge-quantile Q  latency quantile after which a hedged duplicate fires
+//	                   at the next ring replica (default 0.95; negative
+//	                   disables hedging)
+//	-health-interval D background health-probe period (default 50ms)
+//	-peer-neighbors N  ring successors probed for an already-cached response
+//	                   when the primary misses (default 2; negative disables
+//	                   peer cache fills)
+//	-retry-rounds N    full failover passes before a query is shed (default 2)
+//	-vnodes N          ring points per replica (default 64)
+//
+// Per-replica engine flags mirror hkprserver: -workers, -queue, -cache-mb,
+// -timeout, -pressure-off, -compact-delta; estimator flags -t, -eps, -pf,
+// -seed (all replicas share one RNG seed — that is what makes hedged
+// duplicates and failover answers bit-identical).
+//
+// Example:
+//
+//	hkprrouter -graph twitter.bin -addr :8080 -replicas 4 -workers 4
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hkpr/internal/core"
+	"hkpr/internal/graph"
+	"hkpr/internal/router"
+	"hkpr/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hkprrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hkprrouter", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "path to the graph (edge list or .bin)")
+		addr      = fs.String("addr", ":8080", "listen address")
+
+		replicas  = fs.Int("replicas", 3, "in-process serving replica count")
+		hedgeQ    = fs.Float64("hedge-quantile", 0, "latency quantile after which a hedged duplicate fires (0 = 0.95, negative disables)")
+		healthInt = fs.Duration("health-interval", 0, "background health-probe period (0 = 50ms)")
+		peerNb    = fs.Int("peer-neighbors", 0, "ring successors probed for peer cache fills (0 = 2, negative disables)")
+		retries   = fs.Int("retry-rounds", 0, "full failover passes before a query is shed (0 = 2)")
+		vnodes    = fs.Int("vnodes", 0, "consistent-hash ring points per replica (0 = 64)")
+
+		heat    = fs.Float64("t", 5, "heat constant t")
+		epsRel  = fs.Float64("eps", 0.5, "relative error threshold εr")
+		pf      = fs.Float64("pf", 1e-6, "failure probability")
+		rngSeed = fs.Uint64("seed", 1, "estimator RNG seed shared by every replica (keeps replicas bit-identical)")
+
+		workers   = fs.Int("workers", 0, "concurrent query executions per replica (0 = GOMAXPROCS)")
+		queue     = fs.Int("queue", 0, "per-replica admission queue depth (0 = 4×workers)")
+		cacheMB   = fs.Int("cache-mb", 64, "per-replica result cache budget in MiB (0 disables)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-query execution deadline (0 disables)")
+		compactTh = fs.Int("compact-delta", 0, "compact the update delta overlay after this many operations (0 = library default, negative disables)")
+
+		pressureOff = fs.Bool("pressure-off", false, "disable the per-replica overload pressure controller")
+		drainTO     = fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain: how long to let admitted queries finish before forcing close")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" {
+		return fmt.Errorf("missing -graph path")
+	}
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if strings.HasSuffix(*graphPath, ".bin") {
+		g, err = graph.LoadBinaryFile(*graphPath)
+	} else {
+		g, err = graph.LoadEdgeListFile(*graphPath)
+	}
+	if err != nil {
+		return err
+	}
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1
+	}
+	opts := core.Options{T: *heat, EpsRel: *epsRel, FailureProb: *pf, Seed: *rngSeed}
+	engCfg := serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     cacheBytes,
+		DefaultTimeout: *timeout,
+		Pressure:       serve.PressureConfig{Disabled: *pressureOff},
+	}
+	srv, err := newServer(g, *compactTh, opts, engCfg, router.Config{
+		Replicas:          *replicas,
+		VirtualNodes:      *vnodes,
+		HealthInterval:    *healthInt,
+		HedgeQuantile:     *hedgeQ,
+		PeerFillNeighbors: *peerNb,
+		RetryRounds:       *retries,
+	})
+	if err != nil {
+		return err
+	}
+	defer srv.rt.Close()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	// Zero flag values mean "router default": log the effective settings.
+	effHedgeQ, effHealthInt := *hedgeQ, *healthInt
+	if effHedgeQ == 0 {
+		effHedgeQ = router.DefaultHedgeQuantile
+	}
+	if effHealthInt == 0 {
+		effHealthInt = router.DefaultHealthInterval
+	}
+	log.Printf("routing local clustering on %s (graph: n=%d m=%d, replicas=%d hedge-q=%.2f health-interval=%s)",
+		*addr, g.N(), g.M(), srv.rt.Replicas(), effHedgeQ, effHealthInt)
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		log.Printf("shutting down: draining admitted queries on every replica (timeout %s)", *drainTO)
+		drainErr := srv.rt.Drain(*drainTO)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		return drainErr
+	}
+}
+
+// server holds the long-lived router shared by all requests.
+type server struct {
+	rt *router.Router
+}
+
+// newServer builds the replica set over one shared base graph: every replica
+// gets its own Dynamic overlay (replicas invalidate their own caches on
+// updates) and its own engine, but the immutable base topology — and the
+// estimator RNG seed — is common, which is what makes replica answers
+// bit-identical and the tier reconciliation-free.
+func newServer(g *graph.Graph, compactTh int, opts core.Options, engCfg serve.Config, rtCfg router.Config) (*server, error) {
+	if opts.Delta == 0 {
+		n := g.N()
+		if n <= 1 {
+			return nil, fmt.Errorf("graph too small for local clustering")
+		}
+		opts.Delta = 1 / float64(n)
+	}
+	rtCfg.Factory = func(id int) (*serve.Engine, error) {
+		dyn := graph.NewDynamic(g, graph.DynamicOptions{CompactThreshold: compactTh})
+		est, err := core.NewEstimator(dyn, opts)
+		if err != nil {
+			return nil, err
+		}
+		return serve.New(est, engCfg)
+	}
+	rt, err := router.New(rtCfg)
+	if err != nil {
+		return nil, err
+	}
+	return &server{rt: rt}, nil
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /cluster", s.handleCluster)
+	mux.HandleFunc("GET /route", s.handleRoute)
+	mux.HandleFunc("POST /update", s.handleUpdate)
+	return mux
+}
+
+// graphSnap returns the current graph snapshot from the first live replica,
+// or nil when the whole tier is down.
+func (s *server) graphSnap() *graph.Snapshot {
+	for id := 0; id < s.rt.Replicas(); id++ {
+		if eng := s.rt.Engine(id); eng != nil {
+			return eng.Graph()
+		}
+	}
+	return nil
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	if s.graphSnap() == nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "no live replicas"})
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+type statsResponse struct {
+	Nodes         int             `json:"nodes"`
+	Edges         int64           `json:"edges"`
+	AverageDegree float64         `json:"average_degree"`
+	MaxDegree     int32           `json:"max_degree"`
+	Router        router.Snapshot `json:"router"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	resp := statsResponse{Router: s.rt.Snapshot()}
+	if snap := s.graphSnap(); snap != nil {
+		resp.Nodes = snap.N()
+		resp.Edges = snap.M()
+		resp.AverageDegree = snap.AverageDegree()
+		resp.MaxDegree = snap.MaxDegree()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.rt.WritePrometheus(w)
+}
+
+// clusterResponse mirrors hkprserver's response shape so clients (hkprquery
+// -server among them) can point at either front interchangeably.
+type clusterResponse struct {
+	Seed        int64                   `json:"seed"`
+	Method      string                  `json:"method"`
+	Cluster     []int64                 `json:"cluster"`
+	Size        int                     `json:"size"`
+	Conductance float64                 `json:"conductance"`
+	Scores      core.ScoreVector        `json:"scores,omitempty"`
+	ElapsedMS   float64                 `json:"elapsed_ms"`
+	QueueWaitMS float64                 `json:"queue_wait_ms"`
+	Cached      bool                    `json:"cached"`
+	Coalesced   bool                    `json:"coalesced"`
+	Epoch       uint64                  `json:"epoch"`
+	Parallelism int                     `json:"parallelism"`
+	Pushes      int64                   `json:"push_operations"`
+	Walks       int64                   `json:"random_walks"`
+	Degraded    string                  `json:"degraded,omitempty"`
+	Effective   *serve.EffectiveOptions `json:"effective,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seedStr := q.Get("seed")
+	if seedStr == "" {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "missing seed parameter"})
+		return
+	}
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil || seed < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "seed must be a node id in range"})
+		return
+	}
+	if snap := s.graphSnap(); snap != nil && seed >= int64(snap.N()) {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "seed must be a node id in range"})
+		return
+	}
+	method := q.Get("method")
+	topK := 0
+	if tkStr := q.Get("topk"); tkStr != "" {
+		tk, err := strconv.Atoi(tkStr)
+		if err != nil || tk < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "topk must be a positive integer"})
+			return
+		}
+		topK = tk
+	}
+	sweepK := 0
+	if skStr := q.Get("sweepk"); skStr != "" {
+		sk, err := strconv.Atoi(skStr)
+		if err != nil || sk < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "sweepk must be a positive integer"})
+			return
+		}
+		sweepK = sk
+	}
+	var query core.Options
+	if epsStr := q.Get("eps"); epsStr != "" {
+		eps, err := strconv.ParseFloat(epsStr, 64)
+		if err != nil || eps <= 0 || eps > 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "eps must be in (0,1]"})
+			return
+		}
+		query.EpsRel = eps
+	}
+
+	resp, err := s.rt.Do(r.Context(), serve.Request{
+		Seed:    graph.NodeID(seed),
+		Method:  method,
+		Opts:    query,
+		Sweep:   sweepK == 0,
+		SweepK:  sweepK,
+		TopK:    topK,
+		NoCache: q.Get("nocache") != "",
+	})
+	if err != nil {
+		status, msg := statusForError(err)
+		if status == 0 {
+			if r.Context().Err() != nil {
+				return
+			}
+			status, msg = http.StatusInternalServerError, err.Error()
+		}
+		var oe *serve.OverloadedError
+		if errors.As(err, &oe) && oe.RetryAfter > 0 {
+			w.Header().Set("Retry-After", strconv.FormatInt(serve.RetryAfterSeconds(oe.RetryAfter), 10))
+		}
+		writeJSON(w, status, errorResponse{Error: msg})
+		return
+	}
+
+	members := make([]int64, len(resp.Sweep.Cluster))
+	for i, v := range resp.Sweep.Cluster {
+		members[i] = int64(v)
+	}
+	var effective *serve.EffectiveOptions
+	if resp.Degraded == serve.DegradedClamped {
+		eff := resp.Effective
+		effective = &eff
+	}
+	writeJSON(w, http.StatusOK, clusterResponse{
+		Seed:        seed,
+		Method:      resp.Method,
+		Cluster:     members,
+		Size:        len(members),
+		Conductance: resp.Sweep.Conductance,
+		Scores:      core.ScoreVector(resp.Top),
+		ElapsedMS:   float64(resp.Elapsed.Microseconds()) / 1000,
+		QueueWaitMS: float64(resp.QueueWait.Microseconds()) / 1000,
+		Cached:      resp.Cached,
+		Coalesced:   resp.Coalesced,
+		Epoch:       resp.Epoch,
+		Parallelism: resp.Parallelism,
+		Pushes:      resp.Result.Stats.PushOperations,
+		Walks:       resp.Result.Stats.RandomWalks,
+		Degraded:    resp.Degraded,
+		Effective:   effective,
+	})
+}
+
+// routeResponse is the GET /route debug payload: where a seed's queries go
+// under the current epoch and health view.
+type routeResponse struct {
+	Seed       int64    `json:"seed"`
+	Epoch      uint64   `json:"epoch"`
+	Owner      int      `json:"owner"`
+	Candidates []int    `json:"candidates"`
+	Health     []string `json:"health"`
+}
+
+func (s *server) handleRoute(w http.ResponseWriter, r *http.Request) {
+	seedStr := r.URL.Query().Get("seed")
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if seedStr == "" || err != nil || seed < 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "seed must be a non-negative node id"})
+		return
+	}
+	health := make([]string, s.rt.Replicas())
+	for id := range health {
+		health[id] = s.rt.Health(id).String()
+	}
+	writeJSON(w, http.StatusOK, routeResponse{
+		Seed:       seed,
+		Epoch:      s.rt.Epoch(),
+		Owner:      s.rt.Owner(graph.NodeID(seed)),
+		Candidates: s.rt.Route(graph.NodeID(seed)),
+		Health:     health,
+	})
+}
+
+// updateRequest is the POST /update JSON body, identical to hkprserver's.
+type updateRequest struct {
+	AddNodes    int               `json:"add_nodes"`
+	AddEdges    [][2]graph.NodeID `json:"add_edges"`
+	RemoveEdges [][2]graph.NodeID `json:"remove_edges"`
+}
+
+func (s *server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req updateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad update body: " + err.Error()})
+		return
+	}
+	res, err := s.rt.ApplyUpdates(graph.UpdateBatch{
+		AddNodes:    req.AddNodes,
+		AddEdges:    req.AddEdges,
+		RemoveEdges: req.RemoveEdges,
+	})
+	if err != nil {
+		writeJSON(w, updateStatusForError(err), errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// updateStatusForError maps ApplyUpdates failures to HTTP statuses: batch
+// validation errors are the client's fault (400), a closing router — or one
+// with no live replica to apply the batch — mirrors query shedding (503).
+func updateStatusForError(err error) int {
+	switch {
+	case errors.Is(err, graph.ErrSelfLoop),
+		errors.Is(err, graph.ErrDuplicateEdge),
+		errors.Is(err, graph.ErrEdgeNotFound),
+		errors.Is(err, graph.ErrInvalidNode):
+		return http.StatusBadRequest
+	case errors.Is(err, serve.ErrStaticGraph):
+		return http.StatusConflict
+	case errors.Is(err, serve.ErrClosed), errors.Is(err, router.ErrNoReplicas):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// statusForError maps a routed query's error to its HTTP status, exactly as
+// hkprserver maps a direct engine's.  Status 0 means the query was canceled —
+// the caller decides whether the client is gone (write nothing) or the
+// cancellation deserves a 500.
+func statusForError(err error) (int, string) {
+	switch {
+	case errors.Is(err, serve.ErrUnknownMethod):
+		return http.StatusBadRequest, "method must be tea+, tea or monte-carlo"
+	case errors.Is(err, serve.ErrOverloaded):
+		return http.StatusServiceUnavailable, "overloaded, retry later"
+	case errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable, "server shutting down"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "query deadline exceeded"
+	case errors.Is(err, context.Canceled):
+		return 0, ""
+	case errors.Is(err, core.ErrInvariantViolation):
+		return http.StatusInternalServerError, err.Error()
+	default:
+		return http.StatusInternalServerError, err.Error()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, payload any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(payload)
+}

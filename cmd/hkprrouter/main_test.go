@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"hkpr/internal/core"
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+	"hkpr/internal/router"
+	"hkpr/internal/serve"
+)
+
+// newTestRouterServer builds a 3-replica router over a small generated graph
+// with the background health loop disabled (tests call CheckHealth
+// explicitly, so health transitions are deterministic).
+func newTestRouterServer(t *testing.T) (*server, *httptest.Server, int) {
+	t.Helper()
+	g, err := gen.PowerlawCluster(300, 3, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(g, -1,
+		core.Options{T: 5, EpsRel: 0.5, FailureProb: 1e-4, Seed: 1},
+		serve.Config{Workers: 2},
+		router.Config{Replicas: 3, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.rt.Close() })
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts, g.N()
+}
+
+func TestRouterHealthStatsMetrics(t *testing.T) {
+	_, ts, n := newTestRouterServer(t)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	// Serve one query so the counters are non-trivial.
+	resp, err = http.Get(ts.URL + "/cluster?seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != n || stats.Edges <= 0 {
+		t.Errorf("graph stats: %+v", stats)
+	}
+	if stats.Router.Replicas != 3 || stats.Router.Requests != 1 {
+		t.Errorf("router stats: replicas=%d requests=%d", stats.Router.Replicas, stats.Router.Requests)
+	}
+	if len(stats.Router.ReplicaStatus) != 3 {
+		t.Errorf("replica status: %+v", stats.Router.ReplicaStatus)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"hkpr_router_requests_total 1",
+		"hkpr_router_replicas 3",
+		"hkpr_router_replica_up{replica=\"2\"} 1",
+		"# TYPE hkpr_router_latency_seconds histogram",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+func TestRouterClusterEndpoint(t *testing.T) {
+	_, ts, _ := newTestRouterServer(t)
+	get := func() clusterResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/cluster?seed=7")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var cr clusterResponse
+		if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+			t.Fatal(err)
+		}
+		return cr
+	}
+	first, second := get(), get()
+	if first.Seed != 7 || first.Size == 0 || len(first.Cluster) != first.Size {
+		t.Errorf("cluster response: %+v", first)
+	}
+	if first.Conductance <= 0 || first.Conductance > 1 {
+		t.Errorf("conductance %v", first.Conductance)
+	}
+	// Routing is deterministic, so the repeat lands on the same replica and
+	// hits its cache.
+	if !second.Cached {
+		t.Error("second identical query should be served from the owner's cache")
+	}
+	if first.Size != second.Size || first.Conductance != second.Conductance {
+		t.Errorf("cached answer differs: %+v vs %+v", first, second)
+	}
+}
+
+func TestRouterClusterEndpointErrors(t *testing.T) {
+	_, ts, _ := newTestRouterServer(t)
+	cases := []string{
+		"/cluster",                     // missing seed
+		"/cluster?seed=abc",            // non-numeric
+		"/cluster?seed=999999",         // out of range
+		"/cluster?seed=1&method=bogus", // unknown method
+		"/cluster?seed=1&eps=2",        // bad eps
+		"/cluster?seed=1&topk=0",       // bad topk
+		"/cluster?seed=1&sweepk=-1",    // bad sweepk
+	}
+	for _, path := range cases {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRouterFailoverOverHTTP crashes the ring owner of a seed and checks the
+// query is still answered (by a successor), then restarts the owner and
+// checks the tier reports three live replicas again.
+func TestRouterFailoverOverHTTP(t *testing.T) {
+	srv, ts, _ := newTestRouterServer(t)
+	const seed = 11
+
+	owner := srv.rt.Owner(seed)
+	if err := srv.rt.Crash(owner); err != nil {
+		t.Fatal(err)
+	}
+	srv.rt.CheckHealth()
+
+	resp, err := http.Get(fmt.Sprintf("%s/cluster?seed=%d", ts.URL, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr clusterResponse
+	err = json.NewDecoder(resp.Body).Decode(&cr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || cr.Size == 0 {
+		t.Fatalf("query against crashed owner: status %d, %+v", resp.StatusCode, cr)
+	}
+
+	// The route view must exclude the crashed owner.
+	resp, err = http.Get(fmt.Sprintf("%s/route?seed=%d", ts.URL, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rr routeResponse
+	err = json.NewDecoder(resp.Body).Decode(&rr)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Owner != owner {
+		t.Errorf("route owner %d, want %d", rr.Owner, owner)
+	}
+	for _, id := range rr.Candidates {
+		if id == owner {
+			t.Errorf("crashed owner %d still a candidate: %v", owner, rr.Candidates)
+		}
+	}
+	if rr.Health[owner] != "down" {
+		t.Errorf("owner health %q, want down", rr.Health[owner])
+	}
+
+	if err := srv.rt.Restart(owner); err != nil {
+		t.Fatal(err)
+	}
+	srv.rt.CheckHealth()
+	if got := srv.rt.Health(owner); got != router.HealthHealthy {
+		t.Errorf("restarted owner health %v", got)
+	}
+}
+
+// TestRouterAllDownSheds crashes every replica: /cluster must shed with a
+// 503 and a whole-second Retry-After header, and /healthz must go 503.
+func TestRouterAllDownSheds(t *testing.T) {
+	srv, ts, _ := newTestRouterServer(t)
+	for id := 0; id < srv.rt.Replicas(); id++ {
+		if err := srv.rt.Crash(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.rt.CheckHealth()
+
+	resp, err := http.Get(ts.URL + "/cluster?seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("all-down query status %d, want 503", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Errorf("Retry-After %q not a positive whole-second count", ra)
+	}
+
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("all-down healthz status %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestRouterUpdateEndpoint publishes an update batch through the router and
+// checks the epoch advances everywhere the stats can see.
+func TestRouterUpdateEndpoint(t *testing.T) {
+	_, ts, n := newTestRouterServer(t)
+
+	body, _ := json.Marshal(updateRequest{
+		AddNodes: 1,
+		AddEdges: [][2]graph.NodeID{{graph.NodeID(n), 0}},
+	})
+	resp, err := http.Post(ts.URL+"/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res serve.UpdateResult
+	err = json.NewDecoder(resp.Body).Decode(&res)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || res.Epoch != 1 {
+		t.Fatalf("update: status %d result %+v", resp.StatusCode, res)
+	}
+
+	resp, err = http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Router.Epoch != 1 || stats.Nodes != n+1 {
+		t.Errorf("post-update stats: epoch=%d nodes=%d", stats.Router.Epoch, stats.Nodes)
+	}
+	for _, rs := range stats.Router.ReplicaStatus {
+		if rs.GraphEpoch != 1 {
+			t.Errorf("replica %d at epoch %d after update", rs.ID, rs.GraphEpoch)
+		}
+	}
+
+	// A self-loop fails validation atomically on every replica.
+	bad, _ := json.Marshal(updateRequest{AddEdges: [][2]graph.NodeID{{1, 1}}})
+	resp, err = http.Post(ts.URL+"/update", "application/json", bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("self-loop update status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRouterStatusForError(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{serve.ErrUnknownMethod, http.StatusBadRequest},
+		{serve.ErrOverloaded, http.StatusServiceUnavailable},
+		{&serve.OverloadedError{}, http.StatusServiceUnavailable},
+		{serve.ErrClosed, http.StatusServiceUnavailable},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, 0},
+		{core.ErrInvariantViolation, http.StatusInternalServerError},
+		{errors.New("anything else"), http.StatusInternalServerError},
+	}
+	for _, tc := range cases {
+		if got, _ := statusForError(tc.err); got != tc.want {
+			t.Errorf("statusForError(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}

@@ -379,8 +379,9 @@ func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		var oe *hkpr.OverloadedError
 		if errors.As(err, &oe) && oe.RetryAfter > 0 {
 			// Shed under pressure: tell the client when the queue is expected
-			// to have drained (whole seconds, rounded up, per RFC 9110).
-			w.Header().Set("Retry-After", strconv.FormatInt(int64((oe.RetryAfter+time.Second-1)/time.Second), 10))
+			// to have drained (whole seconds, rounded up, floored at 1s so a
+			// light-load estimate never renders as "retry now", per RFC 9110).
+			w.Header().Set("Retry-After", strconv.FormatInt(hkpr.RetryAfterSeconds(oe.RetryAfter), 10))
 		}
 		writeJSON(w, status, errorResponse{Error: msg})
 		return

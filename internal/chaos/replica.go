@@ -1,0 +1,541 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hkpr/internal/core"
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+	"hkpr/internal/router"
+	"hkpr/internal/serve"
+)
+
+// ReplicaConfig tunes one replica-tier chaos run: seeded mixed traffic
+// offered to a Router over N in-process replicas while injectors crash and
+// restart replicas, stall executions, partition the health view, and publish
+// live updates.  The zero value is not runnable; use DefaultReplica and
+// override.
+type ReplicaConfig struct {
+	// Seed derives every client's and injector's PRNG stream.
+	Seed int64
+	// Nodes is the generated power-law-cluster base graph size; Replicas the
+	// replica count behind the router.
+	Nodes    int
+	Replicas int
+	// Clients / QueriesPerClient shape the offered traffic (back-to-back, no
+	// pacing).  With hedging forced on, the effective offered load doubles.
+	Clients          int
+	QueriesPerClient int
+	// HotSeeds / HotFraction split traffic between a small hot set and
+	// uniform cold seeds, exactly as the single-engine soak does.
+	HotSeeds    int
+	HotFraction float64
+	// CancelFraction of queries run under a context canceled shortly after
+	// issue.
+	CancelFraction float64
+	// Crashes is how many seeded crash→restart cycles the crash injector
+	// performs during traffic; CrashDowntime how long each victim stays down.
+	Crashes       int
+	CrashDowntime time.Duration
+	// Partitions is how many times the partition injector pins a healthy
+	// replica's health view to down (the router wrongly believes it dead) for
+	// PartitionHold before healing it.
+	Partitions    int
+	PartitionHold time.Duration
+	// Writers / UpdatesPerWriter publish live update batches through the
+	// router while replicas crash, exercising the journal replay path.
+	Writers          int
+	UpdatesPerWriter int
+	// StallEvery stalls every Nth execution across the tier by StallLatency
+	// (0 disables) — the stalled-replica fault.
+	StallEvery   int
+	StallLatency time.Duration
+	// DrainTimeout bounds the end-of-run drain.
+	DrainTimeout time.Duration
+	// Engine is the per-replica engine configuration; Router the tier
+	// configuration (the harness forces always-on hedging and an explicit
+	// health loop on top of it).
+	Engine serve.Config
+	Router router.Config
+}
+
+// DefaultReplica returns the standard replica-chaos configuration: 3 replicas
+// of a 2-worker engine offered 12-way traffic (doubled by forced hedging),
+// with 3 crash/restart cycles, 2 health partitions, a periodic execution
+// stall, and live updates republishing hot neighborhoods.
+func DefaultReplica(seed int64) ReplicaConfig {
+	return ReplicaConfig{
+		Seed:             seed,
+		Nodes:            1500,
+		Replicas:         3,
+		Clients:          12,
+		QueriesPerClient: 25,
+		HotSeeds:         4,
+		HotFraction:      0.4,
+		CancelFraction:   0.05,
+		Crashes:          3,
+		CrashDowntime:    4 * time.Millisecond,
+		Partitions:       2,
+		PartitionHold:    4 * time.Millisecond,
+		Writers:          1,
+		UpdatesPerWriter: 6,
+		StallEvery:       7,
+		StallLatency:     2 * time.Millisecond,
+		DrainTimeout:     30 * time.Second,
+		Engine: serve.Config{
+			Workers:        2,
+			QueueDepth:     4,
+			CacheBytes:     1 << 20,
+			DefaultTimeout: 10 * time.Second,
+		},
+		Router: router.Config{
+			HealthInterval:    2 * time.Millisecond,
+			PeerFillNeighbors: 2,
+			RetryRounds:       2,
+			BackoffCap:        20 * time.Millisecond,
+		},
+	}
+}
+
+// ReplicaReport is the audited outcome of one replica-tier chaos run.
+type ReplicaReport struct {
+	// Client-observed outcome counts; Requests = OK+Shed+Canceled+Failed,
+	// and Failed must be 0: every admitted query either completes or sheds
+	// with a Retry-After, even with replicas crashing underneath it.
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Shed     int64 `json:"shed"`
+	Canceled int64 `json:"canceled"`
+	Failed   int64 `json:"failed"`
+	// Injected faults.
+	Crashes    int64 `json:"crashes"`
+	Restarts   int64 `json:"restarts"`
+	Partitions int64 `json:"partitions"`
+	// Router-side fault handling, copied from the final router snapshot.
+	Failovers     int64 `json:"failovers"`
+	RoutedAway    int64 `json:"routed_away"`
+	Hedged        int64 `json:"hedged"`
+	HedgeWins     int64 `json:"hedge_wins"`
+	AuditChecked  int64 `json:"hedge_audit_checked"`
+	AuditMismatch int64 `json:"hedge_audit_mismatch"`
+	PeerFills     int64 `json:"peer_fill_total"`
+	// UpdatesApplied is the number of update batches published through the
+	// router; FinalEpoch the tier epoch after stabilization.
+	UpdatesApplied int64  `json:"updates_applied"`
+	FinalEpoch     uint64 `json:"final_epoch"`
+	// ShedRate is the client-observed shed fraction; Elapsed covers traffic
+	// through stabilization.
+	ShedRate float64       `json:"shed_rate"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+	// Violations lists every broken invariant (empty on a healthy run);
+	// Snapshot is the router's final state.
+	Violations []string        `json:"violations,omitempty"`
+	Snapshot   router.Snapshot `json:"snapshot"`
+}
+
+// Err returns nil when the audit found no violations, else one error naming
+// them all.
+func (r *ReplicaReport) Err() error {
+	if len(r.Violations) == 0 {
+		return nil
+	}
+	return fmt.Errorf("chaos: %d replica-tier invariant violations: %v", len(r.Violations), r.Violations)
+}
+
+// RunReplica executes one replica-tier chaos run: build the shared base graph
+// and the router, warm the hot set, offer seeded traffic while the crash /
+// partition / stall / update injectors run, then stabilize and audit — no
+// admitted query lost, hedged duplicates bit-identical, a restarted replica
+// serving its ring-owned keys from peer fills, and routing re-converged on
+// ring owners.
+func RunReplica(cfg ReplicaConfig) (*ReplicaReport, error) {
+	// One base graph shared by every replica build (the generator is seeded
+	// but its output must be byte-identical across replicas and restarts, so
+	// it runs exactly once).
+	g, err := gen.PowerlawCluster(cfg.Nodes, 4, 0.3, uint64(cfg.Seed)+7)
+	if err != nil {
+		return nil, err
+	}
+	var execs atomic.Int64
+	ecfg := cfg.Engine
+	if cfg.StallEvery > 0 {
+		every, stall := int64(cfg.StallEvery), cfg.StallLatency
+		ecfg.ExecGate = func(*serve.Request) {
+			if execs.Add(1)%every == 0 {
+				time.Sleep(stall)
+			}
+		}
+	}
+	rcfg := cfg.Router
+	rcfg.Replicas = cfg.Replicas
+	// Force every query to hedge: the audit needs a steady stream of
+	// winner-vs-loser bit-identity comparisons, and doubling the offered
+	// load is itself part of the chaos.
+	rcfg.HedgeQuantile = 0.5
+	rcfg.HedgeMin = time.Nanosecond
+	rcfg.HedgeMax = time.Nanosecond
+	rcfg.Factory = func(id int) (*serve.Engine, error) {
+		d := graph.NewDynamic(g, graph.DynamicOptions{})
+		est, err := core.NewEstimator(d, core.Options{
+			T: 5, EpsRel: 0.5, Delta: 1 / float64(g.N()), FailureProb: 1e-4, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return serve.New(est, ecfg)
+	}
+	rt, err := router.New(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+
+	rep := &ReplicaReport{}
+	var mu sync.Mutex
+	var firstFail error
+	violate := func(format string, args ...any) {
+		mu.Lock()
+		if len(rep.Violations) < 32 {
+			rep.Violations = append(rep.Violations, fmt.Sprintf(format, args...))
+		}
+		mu.Unlock()
+	}
+
+	hot := make([]graph.NodeID, cfg.HotSeeds)
+	hotRng := rand.New(rand.NewSource(cfg.Seed))
+	for i := range hot {
+		hot[i] = graph.NodeID(hotRng.Intn(cfg.Nodes))
+	}
+	ctx := context.Background()
+	// Phase 1 — warm: the hot set computes once per owner (and, because
+	// hedging is forced, once on the hedge neighbor), seeding both the
+	// caches and the hedge-audit stream under a stable epoch.
+	for _, s := range hot {
+		if _, err := rt.Do(ctx, serve.Request{Seed: s, Method: serve.MethodTEAPlus}); err != nil {
+			return nil, fmt.Errorf("chaos: replica warmup: %w", err)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	// Crash injector: seeded victim choice, crash → downtime → restart, one
+	// victim at a time so the tier always keeps a quorum of live replicas.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(cfg.Seed + 500))
+		for i := 0; i < cfg.Crashes; i++ {
+			victim := rng.Intn(cfg.Replicas)
+			if err := rt.Crash(victim); err != nil && !errors.Is(err, serve.ErrClosed) {
+				violate("crash injector: Crash(%d): %v", victim, err)
+				return
+			}
+			atomic.AddInt64(&rep.Crashes, 1)
+			time.Sleep(cfg.CrashDowntime)
+			if err := rt.Restart(victim); err != nil {
+				violate("crash injector: Restart(%d): %v", victim, err)
+				return
+			}
+			atomic.AddInt64(&rep.Restarts, 1)
+			time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+		}
+	}()
+
+	// Partition injector: pin a replica's health view to down — the router
+	// wrongly believes a live replica dead and must reroute around it — then
+	// heal and let the health loop restore it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(cfg.Seed + 600))
+		for i := 0; i < cfg.Partitions; i++ {
+			victim := rng.Intn(cfg.Replicas)
+			rt.SetHealthOverride(victim, router.HealthDown)
+			rt.CheckHealth()
+			atomic.AddInt64(&rep.Partitions, 1)
+			time.Sleep(cfg.PartitionHold)
+			rt.ClearHealthOverride(victim)
+			rt.CheckHealth()
+			time.Sleep(time.Duration(rng.Intn(2000)) * time.Microsecond)
+		}
+	}()
+
+	// Writers: live updates through the router while replicas crash — the
+	// restarted replicas must catch up from the journal.  Serialized so the
+	// reserved node IDs stay valid.
+	var writerMu sync.Mutex
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(id)))
+			for i := 0; i < cfg.UpdatesPerWriter; i++ {
+				anchor := hot[rng.Intn(len(hot))]
+				writerMu.Lock()
+				n := cfg.Nodes + int(atomic.LoadInt64(&rep.UpdatesApplied))
+				_, err := rt.ApplyUpdates(graph.UpdateBatch{
+					AddNodes: 1,
+					AddEdges: [][2]graph.NodeID{{graph.NodeID(n), anchor}},
+				})
+				if err == nil {
+					atomic.AddInt64(&rep.UpdatesApplied, 1)
+				}
+				writerMu.Unlock()
+				if err != nil && !errors.Is(err, serve.ErrClosed) {
+					violate("writer %d: ApplyUpdates: %v", id, err)
+					return
+				}
+				time.Sleep(time.Duration(rng.Intn(800)) * time.Microsecond)
+			}
+		}(w)
+	}
+
+	// Clients: seeded hot/cold traffic with occasional canceled callers.
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			for i := 0; i < cfg.QueriesPerClient; i++ {
+				var seed graph.NodeID
+				if rng.Float64() < cfg.HotFraction {
+					seed = hot[rng.Intn(len(hot))]
+				} else {
+					seed = graph.NodeID(rng.Intn(cfg.Nodes))
+				}
+				qctx := ctx
+				var cancel context.CancelFunc
+				if rng.Float64() < cfg.CancelFraction {
+					qctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(300))*time.Microsecond)
+				}
+				_, err := rt.Do(qctx, serve.Request{Seed: seed, Method: serve.MethodTEAPlus})
+				if cancel != nil {
+					cancel()
+				}
+				atomic.AddInt64(&rep.Requests, 1)
+				switch {
+				case err == nil:
+					atomic.AddInt64(&rep.OK, 1)
+				case errors.Is(err, serve.ErrOverloaded):
+					atomic.AddInt64(&rep.Shed, 1)
+					var oe *serve.OverloadedError
+					if !errors.As(err, &oe) || oe.RetryAfter <= 0 {
+						violate("tier shed without a Retry-After hint: %v", err)
+					}
+				case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+					atomic.AddInt64(&rep.Canceled, 1)
+				default:
+					atomic.AddInt64(&rep.Failed, 1)
+					mu.Lock()
+					if firstFail == nil {
+						firstFail = err
+					}
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+
+	wg.Wait()
+
+	// Phase 3 — stabilize: every replica back up, partitions healed, and a
+	// deterministic restart-warms-from-peers probe.
+	for id := 0; id < cfg.Replicas; id++ {
+		rt.ClearHealthOverride(id)
+		if rt.Engine(id) == nil {
+			if err := rt.Restart(id); err != nil {
+				violate("stabilize: Restart(%d): %v", id, err)
+			} else {
+				atomic.AddInt64(&rep.Restarts, 1)
+			}
+		}
+	}
+	stabilizeTier(rt, cfg, hot, violate)
+	auditPeerFillAfterRestart(rt, violate, hot[0], &rep.Restarts)
+	rep.Elapsed = time.Since(start)
+
+	if err := rt.Drain(cfg.DrainTimeout); err != nil {
+		violate("drain: %v", err)
+	}
+	rep.Snapshot = rt.Snapshot()
+	rep.FinalEpoch = rep.Snapshot.Epoch
+	rep.Failovers = rep.Snapshot.Failovers
+	rep.RoutedAway = rep.Snapshot.RoutedAway
+	rep.Hedged = rep.Snapshot.Hedged
+	rep.HedgeWins = rep.Snapshot.HedgeWins
+	rep.AuditChecked = rep.Snapshot.HedgeAuditChecked
+	rep.AuditMismatch = rep.Snapshot.HedgeAuditMismatch
+	rep.PeerFills = rep.Snapshot.PeerFillTotal
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	auditReplica(cfg, rt, rep, violate, firstFail)
+	return rep, nil
+}
+
+// stabilizeTier waits for every replica to probe healthy again after the
+// faulted traffic.  The pressure tier is an EWMA folded on traffic events, so
+// an idle engine never decays out of its overloaded tier — recovery is
+// demonstrated the way production sees it, by serving light traffic until the
+// controller settles.
+func stabilizeTier(rt *router.Router, cfg ReplicaConfig, hot []graph.NodeID, violate func(string, ...any)) {
+	ctx := context.Background()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		rt.CheckHealth()
+		allHealthy := true
+		for id := 0; id < cfg.Replicas; id++ {
+			if rt.Health(id) != router.HealthHealthy {
+				allHealthy = false
+			}
+		}
+		if allHealthy {
+			return
+		}
+		if time.Now().After(deadline) {
+			for id := 0; id < cfg.Replicas; id++ {
+				if h := rt.Health(id); h != router.HealthHealthy {
+					violate("replica %d still %v after stabilization", id, h)
+				}
+			}
+			return
+		}
+		// Light sequential traffic on every live replica decays the
+		// occupancy and shed-rate EWMAs toward nominal.  NoCache matters:
+		// the shed-rate signal folds only on admission outcomes, and cache
+		// hits return before admission — a hit-only stream would leave a
+		// post-overload shed EWMA frozen above the tier threshold forever.
+		for id := 0; id < cfg.Replicas; id++ {
+			eng := rt.Engine(id)
+			if eng == nil {
+				continue
+			}
+			for i := 0; i < 4; i++ {
+				eng.Do(ctx, serve.Request{Seed: hot[i%len(hot)], Method: serve.MethodTEAPlus, NoCache: true})
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// auditPeerFillAfterRestart drives the restart-recovery contract end to end:
+// a key is cached on its ring owner's successor, the owner crashes and
+// restarts cold, and the next routed query for the key must be served through
+// a peer cache fill — zero recomputation on the restarted replica.
+func auditPeerFillAfterRestart(rt *router.Router, violate func(string, ...any), seed graph.NodeID, restarts *int64) {
+	ctx := context.Background()
+	req := serve.Request{Seed: seed, Method: serve.MethodTEAPlus}
+	route := rt.Route(seed)
+	if len(route) < 2 {
+		violate("stabilize: fewer than 2 live replicas for the peer-fill probe")
+		return
+	}
+	owner, succ := route[0], route[1]
+	// Cache the key on the successor directly, then bounce the owner.
+	if _, err := rt.Engine(succ).Do(ctx, req); err != nil {
+		violate("peer-fill probe: warming successor %d: %v", succ, err)
+		return
+	}
+	if err := rt.Crash(owner); err != nil {
+		violate("peer-fill probe: Crash(%d): %v", owner, err)
+		return
+	}
+	if err := rt.Restart(owner); err != nil {
+		violate("peer-fill probe: Restart(%d): %v", owner, err)
+		return
+	}
+	atomic.AddInt64(restarts, 1)
+	rt.CheckHealth()
+	ownerEng := rt.Engine(owner)
+	execsBefore := ownerEng.Snapshot().Executions
+	resp, err := rt.Do(ctx, req)
+	if err != nil {
+		violate("peer-fill probe: Do after restart: %v", err)
+		return
+	}
+	if !resp.Cached {
+		violate("peer-fill probe: restarted owner's response not served from cache")
+	}
+	if got := ownerEng.Snapshot().Executions; got != execsBefore {
+		violate("peer-fill probe: restarted owner recomputed (executions %d -> %d)", execsBefore, got)
+	}
+	if ownerEng.Snapshot().WarmFills == 0 {
+		violate("peer-fill probe: restarted owner has no warm fills")
+	}
+}
+
+// auditReplica runs the end-of-run invariant checks for the replica tier.
+func auditReplica(cfg ReplicaConfig, rt *router.Router, rep *ReplicaReport, violate func(string, ...any), firstFail error) {
+	s := &rep.Snapshot
+	if got := rep.OK + rep.Shed + rep.Canceled + rep.Failed; got != rep.Requests {
+		violate("outcome accounting: %d+%d+%d+%d != %d requests", rep.OK, rep.Shed, rep.Canceled, rep.Failed, rep.Requests)
+	}
+	// The headline fault-tolerance contract: with replicas crashing,
+	// stalling and partitioning underneath the traffic, every admitted query
+	// either completed or shed with a Retry-After — none failed.
+	if rep.Failed > 0 {
+		violate("%d queries lost to non-shed errors (first: %v)", rep.Failed, firstFail)
+	}
+	// Crash bookkeeping: every injected crash was restarted; router counters
+	// agree with the injector's.
+	if rep.Crashes+1 != rep.Restarts { // +1: the peer-fill probe's bounce
+		violate("crash/restart imbalance: %d crashes, %d restarts", rep.Crashes, rep.Restarts)
+	}
+	if s.Crashes != rep.Crashes+1 || s.Restarts != rep.Restarts {
+		violate("router crash counters disagree with the injector: %d/%d vs %d/%d",
+			s.Crashes, s.Restarts, rep.Crashes+1, rep.Restarts)
+	}
+	// Hedging ran and the bit-identity audit never found divergent replicas.
+	if rep.Hedged == 0 {
+		violate("no query was hedged despite forced hedging")
+	}
+	if rep.AuditChecked == 0 {
+		violate("no hedge audit completed")
+	}
+	if rep.AuditMismatch != 0 {
+		violate("%d hedged duplicates were not bit-identical", rep.AuditMismatch)
+	}
+	// The restart path warmed from peers at least once (the deterministic
+	// probe guarantees one even if mid-traffic restarts never hit one).
+	if rep.PeerFills == 0 {
+		violate("router_peer_fill_total == 0 after restarts")
+	}
+	// Routing re-stabilized: every replica healthy, the ring owner is the
+	// first candidate again, and every replica converged on the tier epoch.
+	for id := 0; id < cfg.Replicas; id++ {
+		if h := rt.Health(id); h != router.HealthHealthy {
+			violate("replica %d still %v after stabilization", id, h)
+		}
+		eng := rt.Engine(id)
+		if eng == nil {
+			violate("replica %d has no engine after stabilization", id)
+			continue
+		}
+		if got := eng.Snapshot().GraphEpoch; got != rep.FinalEpoch {
+			violate("replica %d at epoch %d, tier at %d", id, got, rep.FinalEpoch)
+		}
+	}
+	for probe := 0; probe < 8; probe++ {
+		seed := graph.NodeID(probe * 97 % cfg.Nodes)
+		route := rt.Route(seed)
+		if len(route) == 0 {
+			violate("routing not re-stabilized: seed %d has no candidates", seed)
+			continue
+		}
+		if route[0] != rt.Owner(seed) {
+			violate("routing not re-stabilized: seed %d routes to %d, ring owner %d",
+				seed, route[0], rt.Owner(seed))
+		}
+	}
+	// Epoch bookkeeping: every batch the writers published is visible.
+	if rep.FinalEpoch != uint64(rep.UpdatesApplied) {
+		violate("tier epoch %d != %d applied batches", rep.FinalEpoch, rep.UpdatesApplied)
+	}
+}

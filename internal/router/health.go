@@ -1,0 +1,143 @@
+package router
+
+import (
+	"hkpr/internal/serve"
+)
+
+// Health is one replica's routing state as seen by the health checker.
+type Health int32
+
+const (
+	// HealthHealthy: route normally.
+	HealthHealthy Health = iota
+	// HealthDegraded: the replica is under pressure (tier at or above the
+	// configured threshold, or its internal error rate spiked); it is routed
+	// to only after every healthy candidate, and hedges against it fire at
+	// half the usual delay.
+	HealthDegraded
+	// HealthDown: the replica is crashed, closed, or its health view is
+	// partitioned away; it receives no traffic until it recovers.
+	HealthDown
+)
+
+// String returns the state's metric label.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	default:
+		return "down"
+	}
+}
+
+// probeStats is the slice of a replica's stats snapshot the health checker
+// differences between probes to compute recent internal-error rates.  It is
+// guarded by Router.healthMu (probes and the restart reset both touch it).
+type probeStats struct {
+	requests       int64
+	internalErrors int64
+}
+
+// internalErrors extracts the error-taxonomy buckets that indicate a sick
+// replica (invariant violations and unclassified internal failures) from one
+// stats snapshot.  Client-caused buckets — overloaded, timeout, canceled,
+// closed — are deliberately excluded: a replica shedding under load is
+// *degraded* via its pressure tier, not *broken*.
+func internalErrors(s serve.Snapshot) int64 {
+	return s.ErrorsByReason["invariant"] + s.ErrorsByReason["other"]
+}
+
+// healthLoop periodically re-probes every replica until the router closes.
+func (r *Router) healthLoop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.baseCtx.Done():
+			return
+		case <-r.healthTick.C:
+			r.CheckHealth()
+		}
+	}
+}
+
+// CheckHealth runs one synchronous health probe over all replicas — the same
+// pass the background loop performs every HealthInterval.  Exposed so tests
+// and the chaos harness can force a deterministic re-probe instead of
+// sleeping for the interval.  healthMu serializes concurrent probes (the
+// background loop vs. an explicit call) over the per-replica probe deltas.
+func (r *Router) CheckHealth() {
+	r.healthMu.Lock()
+	defer r.healthMu.Unlock()
+	for _, rep := range r.replicas {
+		h := r.probe(rep)
+		if ov, ok := r.healthOverride(rep.id); ok {
+			// A partitioned health view: the checker "sees" whatever the
+			// partition scenario dictates, regardless of the replica's true
+			// state.
+			h = ov
+		}
+		old := Health(rep.health.Swap(int32(h)))
+		if old != h {
+			r.metrics.HealthTransitions.Add(1)
+		}
+	}
+}
+
+// probe computes one replica's health from its stats gossip: down when the
+// replica is crashed or closed, degraded when its pressure tier reaches the
+// configured threshold or its internal-error rate since the last probe
+// exceeds ErrorRateDegraded, healthy otherwise.
+func (r *Router) probe(rep *replica) Health {
+	if !rep.alive.Load() {
+		return HealthDown
+	}
+	eng := rep.engine()
+	if eng == nil {
+		return HealthDown
+	}
+	snap := eng.Snapshot()
+	prev := rep.lastProbe
+	cur := probeStats{requests: snap.Requests, internalErrors: internalErrors(snap)}
+	rep.lastProbe = cur
+	if snap.PressureTier >= int(r.cfg.DegradedAtTier) {
+		return HealthDegraded
+	}
+	reqDelta := cur.requests - prev.requests
+	errDelta := cur.internalErrors - prev.internalErrors
+	if reqDelta > 0 && errDelta > 0 && float64(errDelta)/float64(reqDelta) > r.cfg.ErrorRateDegraded {
+		return HealthDegraded
+	}
+	return HealthHealthy
+}
+
+// SetHealthOverride pins what the health checker reports for one replica,
+// regardless of its true state — the fault-injection seam for partitioned
+// health views (a router that wrongly believes a healthy replica is down, or
+// a crashed one alive).  The override takes effect at the next probe; call
+// CheckHealth to apply it immediately.
+func (r *Router) SetHealthOverride(id int, h Health) {
+	r.overrideMu.Lock()
+	r.overrides[id] = h
+	r.overrideMu.Unlock()
+}
+
+// ClearHealthOverride removes a pinned health view.
+func (r *Router) ClearHealthOverride(id int) {
+	r.overrideMu.Lock()
+	delete(r.overrides, id)
+	r.overrideMu.Unlock()
+}
+
+func (r *Router) healthOverride(id int) (Health, bool) {
+	r.overrideMu.Lock()
+	h, ok := r.overrides[id]
+	r.overrideMu.Unlock()
+	return h, ok
+}
+
+// Health reports one replica's current routing state.
+func (r *Router) Health(id int) Health {
+	return Health(r.replicas[id].health.Load())
+}

@@ -1,0 +1,187 @@
+package router
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"hkpr/internal/graph"
+	"hkpr/internal/serve"
+)
+
+// alwaysHedge forces the duplicate to fire effectively immediately on every
+// query, so hedge paths are exercised deterministically instead of depending
+// on latency quantiles.
+func alwaysHedge(cfg Config) Config {
+	cfg.HedgeQuantile = 0.5
+	cfg.HedgeMin = time.Nanosecond
+	cfg.HedgeMax = time.Nanosecond
+	return cfg
+}
+
+// tierTotals sums the client-visible accounting across all replica engines:
+// cache misses, invariant checks, and taxonomy-bucketed errors (the serve
+// counters behind hkpr_serve_errors_total).
+type tierTotals struct {
+	cacheMisses     int64
+	invariantChecks int64
+	errors          int64
+}
+
+func sumTier(r *Router) tierTotals {
+	var tt tierTotals
+	for id := 0; id < r.Replicas(); id++ {
+		eng := r.Engine(id)
+		if eng == nil {
+			continue
+		}
+		s := eng.Snapshot()
+		tt.cacheMisses += s.CacheMisses
+		tt.invariantChecks += s.InvariantChecks
+		tt.errors += s.Errors
+		for _, n := range s.ErrorsByReason {
+			tt.errors += n
+		}
+	}
+	return tt
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHedgedRequestsAreBitIdenticalAudited drives always-on hedging and
+// verifies the winner-vs-loser audit runs and never finds divergent
+// responses — the determinism contract behind reconciliation-free hedging.
+func TestHedgedRequestsAreBitIdenticalAudited(t *testing.T) {
+	r := newTestRouter(t, alwaysHedge(Config{Replicas: 2}), serve.Config{Workers: 2})
+	ctx := context.Background()
+	// NoCache keeps both branches executing (a cached loser short-circuits
+	// nothing — it is still audited — but execution is the interesting case).
+	for _, seed := range []graph.NodeID{3, 17, 101, 411} {
+		if _, err := r.Do(ctx, serve.Request{Seed: seed, NoCache: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.metrics.Hedged.Load() == 0 {
+		t.Fatal("no query was hedged despite a 1ns hedge delay")
+	}
+	// Audits run off the request path; wait for every losing branch to land.
+	hedged := r.metrics.Hedged.Load()
+	waitFor(t, "hedge audits", func() bool {
+		return r.metrics.HedgeAuditChecked.Load() >= hedged
+	})
+	if n := r.metrics.HedgeAuditMismatch.Load(); n != 0 {
+		t.Fatalf("hedge audit found %d divergent responses; replicas must be bit-identical", n)
+	}
+}
+
+// TestHedgedDuplicatesDoNotDoubleCount is the hedged-request accounting
+// satellite: a hedged duplicate on a warm key must not inflate cache misses,
+// invariant checks, or the serve error taxonomy anywhere in the tier.
+func TestHedgedDuplicatesDoNotDoubleCount(t *testing.T) {
+	r := newTestRouter(t, alwaysHedge(Config{Replicas: 2}), serve.Config{Workers: 2})
+	ctx := context.Background()
+	req := serve.Request{Seed: 17, Method: serve.MethodTEA}
+
+	// Warm the key on every replica directly, so the routed query and its
+	// duplicate are both pure cache hits.
+	for id := 0; id < r.Replicas(); id++ {
+		if _, err := r.Engine(id).Do(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := sumTier(r)
+	hedgedBefore := r.metrics.Hedged.Load()
+
+	// A warm primary can answer before even the 1ns hedge timer fires, in
+	// which case no duplicate is spawned at all: keep issuing the query until
+	// one actually hedges.  The extra queries are pure cache hits, so they
+	// add nothing to the counters audited below.
+	waitFor(t, "hedged duplicate to land", func() bool {
+		if r.metrics.Hedged.Load() == hedgedBefore {
+			if _, err := r.Do(ctx, req); err != nil {
+				t.Fatal(err)
+			}
+			return false
+		}
+		return r.metrics.HedgeAuditChecked.Load() >= r.metrics.Hedged.Load()-hedgedBefore
+	})
+
+	after := sumTier(r)
+	if after.cacheMisses != before.cacheMisses {
+		t.Fatalf("hedged duplicate added cache misses: %d -> %d", before.cacheMisses, after.cacheMisses)
+	}
+	if after.invariantChecks != before.invariantChecks {
+		t.Fatalf("hedged duplicate added invariant checks: %d -> %d", before.invariantChecks, after.invariantChecks)
+	}
+	if after.errors != before.errors {
+		t.Fatalf("hedged duplicate added serve errors: %d -> %d", before.errors, after.errors)
+	}
+	if n := r.metrics.HedgeAuditMismatch.Load(); n != 0 {
+		t.Fatalf("hedge audit mismatches: %d", n)
+	}
+}
+
+// TestHedgeDuplicateSurvivesClientCancel pins the context split: the
+// duplicate runs under the router's lifetime context, so a caller that gives
+// up must not manufacture canceled-error taxonomy entries on the hedge
+// replica.
+func TestHedgeDuplicateSurvivesClientCancel(t *testing.T) {
+	release := make(chan struct{})
+	gate := make(chan struct{}, 16)
+	r := newTestRouter(t, alwaysHedge(Config{Replicas: 2}), serve.Config{
+		Workers: 2,
+		ExecGate: func(*serve.Request) {
+			gate <- struct{}{}
+			<-release
+		},
+	})
+	req := serve.Request{Seed: 17, NoCache: true}
+	primary := r.Route(req.Seed)[0]
+	hedge := 1 - primary
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Do(ctx, req)
+		done <- err
+	}()
+	// Both branches are executing (primary + duplicate), the caller walks
+	// away, then the engines are released.
+	<-gate
+	<-gate
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("canceled Do returned %v, want context.Canceled", err)
+	}
+	close(release)
+
+	// The primary ran under the client's context, so its cancel is real and
+	// correctly recorded there.  The duplicate ran under the router's
+	// lifetime context: the hedge replica must finish its execution cleanly
+	// and record no canceled-taxonomy error.  Wait on the hedge replica's own
+	// counters — a tier-wide count can be satisfied by the primary alone (its
+	// abandoned task still passes through finish) before the duplicate lands.
+	waitFor(t, "hedge duplicate to finish", func() bool {
+		s := r.Engine(hedge).Snapshot()
+		return s.Completed+s.Errors+s.Canceled >= 1
+	})
+	s := r.Engine(hedge).Snapshot()
+	if n := s.ErrorsByReason["canceled"]; n != 0 {
+		t.Fatalf("hedge replica recorded %d canceled-taxonomy errors from a client cancel", n)
+	}
+	if s.Errors != 0 {
+		t.Fatalf("hedge replica recorded %d errors", s.Errors)
+	}
+	if s.Completed == 0 {
+		t.Fatal("hedge replica never completed its duplicate")
+	}
+}

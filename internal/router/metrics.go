@@ -1,0 +1,262 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the router's counter core; all fields are atomic.
+type Metrics struct {
+	// Requests counts every routed query; Shed counts queries the whole
+	// tier rejected (every candidate shed or down in every retry round).
+	Requests atomic.Int64
+	Shed     atomic.Int64
+	// Failovers counts per-replica failures the router routed around;
+	// RoutedAway counts queries ultimately served by a replica other than
+	// their first candidate; BackoffWaits counts between-round Retry-After
+	// backoffs.
+	Failovers    atomic.Int64
+	RoutedAway   atomic.Int64
+	BackoffWaits atomic.Int64
+	// Hedged counts duplicated queries, HedgeWins those won by the
+	// duplicate; HedgeAuditChecked / HedgeAuditMismatch count completed
+	// winner-vs-loser bit-identity audits and their failures (a mismatch
+	// means the determinism contract is broken — it must stay 0).
+	Hedged             atomic.Int64
+	HedgeWins          atomic.Int64
+	HedgeAuditChecked  atomic.Int64
+	HedgeAuditMismatch atomic.Int64
+	// PeerFills counts responses installed into a primary from a ring
+	// neighbor's cache instead of recomputation.
+	PeerFills atomic.Int64
+	// HealthTransitions counts replica health-state changes (probes and
+	// inline detections); Crashes / Restarts count injected or operator
+	// crash/restart cycles.
+	HealthTransitions atomic.Int64
+	Crashes           atomic.Int64
+	Restarts          atomic.Int64
+}
+
+// numRouterLatencyBuckets spans 1µs..2^25µs in power-of-two buckets plus
+// overflow, matching the serve layer's histogram shape.
+const numRouterLatencyBuckets = 27
+
+// latencyHistogram is an atomic power-of-two-microsecond histogram of
+// successfully routed end-to-end latencies; the hedge trigger reads its
+// quantiles.
+type latencyHistogram struct {
+	buckets [numRouterLatencyBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func (h *latencyHistogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	b := 0
+	for b < numRouterLatencyBuckets-1 && us > int64(1)<<b {
+		b++
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// quantile returns the approximate q-quantile as a duration (the matching
+// bucket's upper bound), or 0 with no samples.
+func (h *latencyHistogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for b := 0; b < numRouterLatencyBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if cum >= rank {
+			upper := int64(1) << b
+			if b == numRouterLatencyBuckets-1 {
+				upper = int64(1) << (numRouterLatencyBuckets - 2)
+			}
+			return time.Duration(upper) * time.Microsecond
+		}
+	}
+	return 0
+}
+
+// writeProm emits the histogram in Prometheus exposition shape.
+func (h *latencyHistogram) writeProm(w io.Writer, name string) {
+	var cum int64
+	for b := 0; b < numRouterLatencyBuckets; b++ {
+		cum += h.buckets[b].Load()
+		if b < numRouterLatencyBuckets-1 {
+			fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, float64(int64(1)<<b)/1e6, cum)
+		}
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sum.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
+}
+
+// ReplicaStatus is one replica's slice of the router snapshot.
+type ReplicaStatus struct {
+	ID     int    `json:"id"`
+	Health string `json:"health"`
+	Alive  bool   `json:"alive"`
+	// Requests counts queries this replica served for the router.
+	Requests int64 `json:"requests"`
+	// The replica's own gossip, echoed for operators: pressure tier, drain
+	// estimate, epoch, cache traffic and peer-fill counters.
+	PressureTier    int     `json:"pressure_tier"`
+	DrainEstimateMS float64 `json:"drain_estimate_ms"`
+	GraphEpoch      uint64  `json:"graph_epoch"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheMisses     int64   `json:"cache_misses"`
+	Executions      int64   `json:"executions"`
+	WarmFills       int64   `json:"warm_fills"`
+}
+
+// Snapshot is a point-in-time copy of the router's state, shaped for JSON
+// status endpoints.
+type Snapshot struct {
+	Replicas int    `json:"replicas"`
+	Epoch    uint64 `json:"epoch"`
+
+	Requests     int64 `json:"requests"`
+	Shed         int64 `json:"shed"`
+	Failovers    int64 `json:"failovers"`
+	RoutedAway   int64 `json:"routed_away"`
+	BackoffWaits int64 `json:"backoff_waits"`
+
+	Hedged             int64 `json:"hedged"`
+	HedgeWins          int64 `json:"hedge_wins"`
+	HedgeAuditChecked  int64 `json:"hedge_audit_checked"`
+	HedgeAuditMismatch int64 `json:"hedge_audit_mismatch"`
+
+	// PeerFillTotal is the acceptance counter for the second-level cache
+	// path: responses a primary served because a ring neighbor had already
+	// computed them.
+	PeerFillTotal int64 `json:"peer_fill_total"`
+
+	HealthTransitions int64 `json:"health_transitions"`
+	Crashes           int64 `json:"crashes"`
+	Restarts          int64 `json:"restarts"`
+
+	// HedgeDelayMS is the current hedge trigger for a healthy primary.
+	HedgeDelayMS float64 `json:"hedge_delay_ms"`
+
+	LatencyCount int64   `json:"latency_count"`
+	LatencyP50MS float64 `json:"latency_p50_ms"`
+	LatencyP99MS float64 `json:"latency_p99_ms"`
+
+	ReplicaStatus []ReplicaStatus `json:"replica_status"`
+}
+
+// Snapshot captures the router and per-replica state.
+func (r *Router) Snapshot() Snapshot {
+	m := &r.metrics
+	s := Snapshot{
+		Replicas:           len(r.replicas),
+		Epoch:              r.epoch.Load(),
+		Requests:           m.Requests.Load(),
+		Shed:               m.Shed.Load(),
+		Failovers:          m.Failovers.Load(),
+		RoutedAway:         m.RoutedAway.Load(),
+		BackoffWaits:       m.BackoffWaits.Load(),
+		Hedged:             m.Hedged.Load(),
+		HedgeWins:          m.HedgeWins.Load(),
+		HedgeAuditChecked:  m.HedgeAuditChecked.Load(),
+		HedgeAuditMismatch: m.HedgeAuditMismatch.Load(),
+		PeerFillTotal:      m.PeerFills.Load(),
+		HealthTransitions:  m.HealthTransitions.Load(),
+		Crashes:            m.Crashes.Load(),
+		Restarts:           m.Restarts.Load(),
+		LatencyCount:       r.latency.count.Load(),
+		LatencyP50MS:       float64(r.latency.quantile(0.50).Nanoseconds()) / 1e6,
+		LatencyP99MS:       float64(r.latency.quantile(0.99).Nanoseconds()) / 1e6,
+	}
+	if r.cfg.HedgeQuantile > 0 {
+		d := r.latency.quantile(r.cfg.HedgeQuantile)
+		if d <= 0 {
+			d = r.cfg.HedgeMax
+		}
+		if d < r.cfg.HedgeMin {
+			d = r.cfg.HedgeMin
+		}
+		if d > r.cfg.HedgeMax {
+			d = r.cfg.HedgeMax
+		}
+		s.HedgeDelayMS = float64(d.Nanoseconds()) / 1e6
+	}
+	for _, rep := range r.replicas {
+		st := ReplicaStatus{
+			ID:       rep.id,
+			Health:   Health(rep.health.Load()).String(),
+			Alive:    rep.alive.Load(),
+			Requests: rep.requests.Load(),
+		}
+		if eng := rep.engine(); eng != nil {
+			es := eng.Snapshot()
+			st.PressureTier = es.PressureTier
+			st.DrainEstimateMS = es.DrainEstimateMS
+			st.GraphEpoch = es.GraphEpoch
+			st.CacheHits = es.CacheHits
+			st.CacheMisses = es.CacheMisses
+			st.Executions = es.Executions
+			st.WarmFills = es.WarmFills
+		}
+		s.ReplicaStatus = append(s.ReplicaStatus, st)
+	}
+	return s
+}
+
+// WritePrometheus emits the router metrics in the Prometheus text exposition
+// format under the hkpr_router_* namespace, including per-replica labeled
+// health and traffic gauges.
+func (r *Router) WritePrometheus(w io.Writer) {
+	m := &r.metrics
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP hkpr_router_%s %s\n# TYPE hkpr_router_%s counter\nhkpr_router_%s %d\n",
+			name, help, name, name, v)
+	}
+	counter("requests_total", "Queries routed through the replica tier.", m.Requests.Load())
+	counter("shed_total", "Queries shed because every candidate replica shed or was down.", m.Shed.Load())
+	counter("failovers_total", "Per-replica failures routed around.", m.Failovers.Load())
+	counter("routed_away_total", "Queries served by a replica other than their first candidate.", m.RoutedAway.Load())
+	counter("backoff_waits_total", "Between-round Retry-After backoffs.", m.BackoffWaits.Load())
+	counter("hedged_total", "Queries duplicated to a second replica after the hedge delay.", m.Hedged.Load())
+	counter("hedge_wins_total", "Hedged queries won by the duplicate.", m.HedgeWins.Load())
+	counter("hedge_audit_checked_total", "Completed winner-vs-loser bit-identity audits.", m.HedgeAuditChecked.Load())
+	counter("hedge_audit_mismatch_total", "Hedge audits that found divergent responses (must stay 0).", m.HedgeAuditMismatch.Load())
+	counter("peer_fill_total", "Responses installed from a ring neighbor's cache instead of recomputation.", m.PeerFills.Load())
+	counter("health_transitions_total", "Replica health-state changes.", m.HealthTransitions.Load())
+	counter("crashes_total", "Replica crashes (injected or operator-driven).", m.Crashes.Load())
+	counter("restarts_total", "Replica restarts.", m.Restarts.Load())
+	fmt.Fprintf(w, "# HELP hkpr_router_epoch Current graph epoch of the replica tier.\n# TYPE hkpr_router_epoch gauge\nhkpr_router_epoch %d\n", r.epoch.Load())
+	fmt.Fprintf(w, "# HELP hkpr_router_replicas Configured replica count.\n# TYPE hkpr_router_replicas gauge\nhkpr_router_replicas %d\n", len(r.replicas))
+
+	fmt.Fprintf(w, "# HELP hkpr_router_replica_health Replica health (0=healthy 1=degraded 2=down).\n# TYPE hkpr_router_replica_health gauge\n")
+	for _, rep := range r.replicas {
+		fmt.Fprintf(w, "hkpr_router_replica_health{replica=\"%d\"} %d\n", rep.id, rep.health.Load())
+	}
+	fmt.Fprintf(w, "# HELP hkpr_router_replica_requests_total Queries served per replica.\n# TYPE hkpr_router_replica_requests_total counter\n")
+	for _, rep := range r.replicas {
+		fmt.Fprintf(w, "hkpr_router_replica_requests_total{replica=\"%d\"} %d\n", rep.id, rep.requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP hkpr_router_replica_up Whether the replica is running (1) or crashed (0).\n# TYPE hkpr_router_replica_up gauge\n")
+	for _, rep := range r.replicas {
+		up := 0
+		if rep.alive.Load() {
+			up = 1
+		}
+		fmt.Fprintf(w, "hkpr_router_replica_up{replica=\"%d\"} %d\n", rep.id, up)
+	}
+
+	fmt.Fprintf(w, "# HELP hkpr_router_latency_seconds End-to-end latency of successfully routed queries.\n# TYPE hkpr_router_latency_seconds histogram\n")
+	r.latency.writeProm(w, "hkpr_router_latency_seconds")
+}

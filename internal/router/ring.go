@@ -1,0 +1,154 @@
+// Package router is the fault-tolerant multi-replica serving tier: it fronts
+// N replicas — each a full serve.Engine over its own copy of the graph — with
+//
+//   - consistent-hash routing: queries hash by (graph epoch, seed node) onto
+//     a virtual-node ring, so each replica's LRU cache specializes on a
+//     stable slice of the key space and adding traffic never reshuffles it;
+//   - active health checking: a background loop reads every replica's stats
+//     snapshot (the same machine-readable gossip /stats serves — pressure
+//     tier, drain estimate, error taxonomy) and marks replicas degraded or
+//     down, rerouting deterministically to the next ring node;
+//   - automatic failover with bounded retry/backoff reusing the engines'
+//     Retry-After drain estimates, and hedged requests: after a
+//     pressure-aware latency percentile the query is fired at the next ring
+//     replica and the first answer wins, with both answers audited
+//     bit-identical when they land;
+//   - a second-level peer cache-fill path (serve.Peek / serve.WarmCache) so
+//     a cold or restarted replica warms its ring-owned keys from neighbors
+//     instead of recomputing.
+//
+// Determinism is what makes all of this reconciliation-free: every replica
+// produces bit-identical ScoreVectors for a fixed (method, seed, options,
+// epoch), so a failover retry, a hedged duplicate, or a peer cache fill is
+// byte-for-byte the answer the primary would have given.
+//
+// The whole tier runs in-process (replicas are engines, not sockets), so
+// every failure mode — crash, restart, stall, partitioned health view — is
+// testable under `go test -race`; cmd/hkprrouter wraps it in an HTTP front.
+package router
+
+import (
+	"sort"
+
+	"hkpr/internal/graph"
+)
+
+// fnv1a64 hashes b with the 64-bit FNV-1a function.  Small, allocation-free,
+// and stable across processes — ring placement must not depend on Go's
+// per-process map hashing.
+func fnv1a64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection that spreads
+// low-entropy inputs across the whole 64-bit range.  FNV alone clusters badly
+// on the structured (epoch, seed) and (rep, vnode) words the ring hashes —
+// badly enough that some replicas owned no keys at all — so every ring hash
+// is finalized through it.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// hashU64s hashes a sequence of uint64 words.
+func hashU64s(words ...uint64) uint64 {
+	var buf [8]byte
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, w := range words {
+		buf[0] = byte(w)
+		buf[1] = byte(w >> 8)
+		buf[2] = byte(w >> 16)
+		buf[3] = byte(w >> 24)
+		buf[4] = byte(w >> 32)
+		buf[5] = byte(w >> 40)
+		buf[6] = byte(w >> 48)
+		buf[7] = byte(w >> 56)
+		for _, c := range buf {
+			h ^= uint64(c)
+			h *= prime64
+		}
+	}
+	return mix64(h)
+}
+
+// routeKey derives the ring position of one query: the hash of (graph epoch,
+// seed node).  The epoch is part of the key by design — after a live update
+// publishes a new epoch the key space reshuffles, which redistributes the
+// (invalidated-anyway) working set instead of hammering the old owners with
+// recomputation storms.
+func routeKey(epoch uint64, seed graph.NodeID) uint64 {
+	return hashU64s(epoch, uint64(seed))
+}
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// replica.
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// hashRing is a static consistent-hash ring over replica indices.  The ring
+// is built once at construction and never mutated — replica failures are
+// handled at walk time by skipping dead entries, so routing stays
+// deterministic for a fixed (key, health view) without any rebuild races.
+type hashRing struct {
+	points   []ringPoint
+	replicas int
+}
+
+// newHashRing places vnodes virtual nodes per replica on the circle.
+func newHashRing(replicas, vnodes int) *hashRing {
+	r := &hashRing{
+		points:   make([]ringPoint, 0, replicas*vnodes),
+		replicas: replicas,
+	}
+	for rep := 0; rep < replicas; rep++ {
+		for v := 0; v < vnodes; v++ {
+			h := hashU64s(0x72696e67 /* "ring" */, uint64(rep), uint64(v))
+			r.points = append(r.points, ringPoint{hash: h, replica: rep})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].replica < r.points[j].replica
+	})
+	return r
+}
+
+// walk returns all replica indices in ring order starting from the first
+// virtual node at or after key, deduplicated.  The first element is the
+// key's owner; the rest are its failover/peer-fill successors.  The order is
+// a pure function of (key, ring), so every router instance — and every retry
+// — reroutes identically.
+func (r *hashRing) walk(key uint64) []int {
+	order := make([]int, 0, r.replicas)
+	seen := make([]bool, r.replicas)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	for i := 0; i < len(r.points) && len(order) < r.replicas; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			order = append(order, p.replica)
+		}
+	}
+	return order
+}

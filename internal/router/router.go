@@ -1,0 +1,715 @@
+package router
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hkpr/internal/graph"
+	"hkpr/internal/serve"
+)
+
+// Defaults for the zero fields of Config.
+const (
+	DefaultVirtualNodes      = 64
+	DefaultHealthInterval    = 50 * time.Millisecond
+	DefaultHedgeQuantile     = 0.95
+	DefaultHedgeMin          = time.Millisecond
+	DefaultHedgeMax          = 250 * time.Millisecond
+	DefaultPeerFillNeighbors = 2
+	DefaultRetryRounds       = 2
+	DefaultBackoffCap        = time.Second
+	DefaultErrorRateDegraded = 0.5
+)
+
+// Errors returned by the router.
+var (
+	// ErrNoReplicas reports a router built with no replicas.
+	ErrNoReplicas = errors.New("router: no replicas")
+)
+
+// Config tunes a Router.
+type Config struct {
+	// Replicas is the replica count; Factory builds replica id's engine.
+	//
+	// The factory contract: every call must produce an engine over an
+	// identical base graph at epoch 0 (its own graph.Dynamic copy when the
+	// deployment takes live updates — replicas must invalidate their own
+	// caches, so they cannot share one Dynamic).  The router replays its
+	// update journal through a restarted replica's fresh engine, so after
+	// replay all replicas sit at the same epoch with bit-identical state.
+	Replicas int
+	Factory  func(id int) (*serve.Engine, error)
+
+	// VirtualNodes is the number of ring points per replica.  0 means 64.
+	VirtualNodes int
+	// HealthInterval is the period of the background health probe.  0 means
+	// 50ms; negative disables the background loop (CheckHealth can still be
+	// called explicitly — the chaos harness does).
+	HealthInterval time.Duration
+	// HedgeQuantile is the latency quantile (0..1) of successfully routed
+	// queries after which a hedged duplicate fires at the next ring replica.
+	// 0 means 0.95; negative disables hedging.
+	HedgeQuantile float64
+	// HedgeMin / HedgeMax clamp the hedge delay.  Zero means 1ms / 250ms.
+	// Until enough latency samples accumulate the delay is HedgeMax.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// PeerFillNeighbors is how many ring successors are probed for an
+	// already-computed response when the primary misses its cache (the
+	// second-level cache path).  0 means 2; negative disables peer fills.
+	PeerFillNeighbors int
+	// DegradedAtTier is the pressure tier at or above which the health
+	// checker marks a replica degraded.  0 means serve.PressureOverloaded.
+	DegradedAtTier serve.PressureLevel
+	// ErrorRateDegraded marks a replica degraded when its internal-error
+	// rate (invariant + unclassified failures per request) between two
+	// probes exceeds this fraction.  0 means 0.5.
+	ErrorRateDegraded float64
+	// RetryRounds bounds how many full passes over the live replicas one
+	// query makes before it is shed; between rounds the router backs off by
+	// the smallest Retry-After any replica returned (capped by BackoffCap).
+	// 0 means 2.
+	RetryRounds int
+	// BackoffCap bounds the between-rounds failover backoff.  0 means 1s.
+	BackoffCap time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = DefaultHealthInterval
+	}
+	if c.HedgeQuantile == 0 {
+		c.HedgeQuantile = DefaultHedgeQuantile
+	}
+	if c.HedgeMin == 0 {
+		c.HedgeMin = DefaultHedgeMin
+	}
+	if c.HedgeMax == 0 {
+		c.HedgeMax = DefaultHedgeMax
+	}
+	if c.HedgeMax < c.HedgeMin {
+		c.HedgeMax = c.HedgeMin
+	}
+	if c.PeerFillNeighbors == 0 {
+		c.PeerFillNeighbors = DefaultPeerFillNeighbors
+	}
+	if c.DegradedAtTier <= 0 {
+		c.DegradedAtTier = serve.PressureOverloaded
+	}
+	if c.ErrorRateDegraded <= 0 {
+		c.ErrorRateDegraded = DefaultErrorRateDegraded
+	}
+	if c.RetryRounds <= 0 {
+		c.RetryRounds = DefaultRetryRounds
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = DefaultBackoffCap
+	}
+	return c
+}
+
+// replica is one ring member: an engine slot that crash/restart swaps.
+type replica struct {
+	id    int
+	eng   atomic.Pointer[serve.Engine]
+	alive atomic.Bool
+	// health holds a Health value, written by the health checker (and
+	// immediately on crash/restart/inline failure detection).
+	health atomic.Int32
+	// requests counts queries this replica served for the router (primary or
+	// hedged); lastProbe is health-loop-private probe state.
+	requests  atomic.Int64
+	lastProbe probeStats
+}
+
+func (p *replica) engine() *serve.Engine { return p.eng.Load() }
+
+// Router fronts the replica set.  All methods are safe for concurrent use.
+type Router struct {
+	cfg      Config
+	replicas []*replica
+	ring     *hashRing
+	factory  func(id int) (*serve.Engine, error)
+
+	metrics Metrics
+	latency latencyHistogram
+
+	// epoch mirrors the replicas' current graph epoch (the length of the
+	// journal); it is part of every query's route key.
+	epoch atomic.Uint64
+
+	// mu serializes ApplyUpdates, Restart and Close against each other; the
+	// journal records every published batch so a restarted replica can
+	// replay to the current epoch.
+	mu      sync.Mutex
+	journal []graph.UpdateBatch
+	closed  bool
+
+	overrideMu sync.Mutex
+	overrides  map[int]Health
+
+	// healthMu serializes health probes (the background loop vs. explicit
+	// CheckHealth calls) and the restart-time probe reset.
+	healthMu sync.Mutex
+
+	baseCtx    context.Context
+	cancel     context.CancelFunc
+	healthTick *time.Ticker
+	wg         sync.WaitGroup
+	// auditWG tracks in-flight hedge-loser audits so Close can wait for
+	// them (they read engines).
+	auditWG sync.WaitGroup
+}
+
+// New builds the replica set through cfg.Factory and starts the health loop.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Replicas <= 0 || cfg.Factory == nil {
+		return nil, ErrNoReplicas
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Router{
+		cfg:       cfg,
+		ring:      newHashRing(cfg.Replicas, cfg.VirtualNodes),
+		factory:   cfg.Factory,
+		overrides: make(map[int]Health),
+		baseCtx:   ctx,
+		cancel:    cancel,
+	}
+	for id := 0; id < cfg.Replicas; id++ {
+		eng, err := cfg.Factory(id)
+		if err != nil {
+			cancel()
+			r.closeEngines()
+			return nil, fmt.Errorf("router: building replica %d: %w", id, err)
+		}
+		rep := &replica{id: id}
+		rep.eng.Store(eng)
+		rep.alive.Store(true)
+		r.replicas = append(r.replicas, rep)
+	}
+	if cfg.HealthInterval > 0 {
+		r.healthTick = time.NewTicker(cfg.HealthInterval)
+		r.wg.Add(1)
+		go r.healthLoop()
+	}
+	return r, nil
+}
+
+// Replicas reports the configured replica count.
+func (r *Router) Replicas() int { return len(r.replicas) }
+
+// Engine exposes replica id's current engine (nil while crashed) for tests
+// and the stats endpoints.
+func (r *Router) Engine(id int) *serve.Engine { return r.replicas[id].engine() }
+
+// Epoch reports the router's current graph epoch (the route-key epoch).
+func (r *Router) Epoch() uint64 { return r.epoch.Load() }
+
+// Route returns the replica ids a query for seed would try, in order: the
+// ring walk from the key's owner, healthy replicas first, degraded after,
+// down excluded.  Deterministic for a fixed (epoch, seed, health view).
+func (r *Router) Route(seed graph.NodeID) []int {
+	order := r.candidates(routeKey(r.epoch.Load(), seed))
+	ids := make([]int, len(order))
+	for i, rep := range order {
+		ids[i] = rep.id
+	}
+	return ids
+}
+
+// Owner returns the ring owner of seed at the current epoch, ignoring
+// health — the replica whose cache specializes on the key.
+func (r *Router) Owner(seed graph.NodeID) int {
+	return r.ring.walk(routeKey(r.epoch.Load(), seed))[0]
+}
+
+// candidates resolves the ring walk for key against the current health view:
+// healthy replicas in ring order, then degraded ones, down dropped.
+func (r *Router) candidates(key uint64) []*replica {
+	walk := r.ring.walk(key)
+	out := make([]*replica, 0, len(walk))
+	var degraded []*replica
+	for _, id := range walk {
+		rep := r.replicas[id]
+		if !rep.alive.Load() {
+			continue
+		}
+		switch Health(rep.health.Load()) {
+		case HealthHealthy:
+			out = append(out, rep)
+		case HealthDegraded:
+			degraded = append(degraded, rep)
+		}
+	}
+	return append(out, degraded...)
+}
+
+// Do routes one query: peer cache fill on a cold primary, hedged execution
+// against the next ring replica, inline failover through the remaining
+// candidates, and a bounded retry round with Retry-After backoff when every
+// replica sheds.  Returns exactly what a direct engine call would — including
+// *serve.OverloadedError with a drain estimate when the whole tier is
+// saturated — so HTTP fronts and clients need no router-specific handling.
+func (r *Router) Do(ctx context.Context, req serve.Request) (*serve.Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return nil, serve.ErrClosed
+	}
+	r.metrics.Requests.Add(1)
+
+	var retryAfter time.Duration
+	var sawShed bool
+	for round := 0; round < r.cfg.RetryRounds; round++ {
+		if round > 0 {
+			// All live replicas shed: bounded backoff reusing the smallest
+			// drain estimate the tier returned, then one more pass.
+			wait := retryAfter
+			if wait <= 0 || wait > r.cfg.BackoffCap {
+				wait = r.cfg.BackoffCap
+			}
+			r.metrics.BackoffWaits.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-r.baseCtx.Done():
+				return nil, serve.ErrClosed
+			case <-time.After(wait):
+			}
+		}
+		// Re-resolve candidates each round: health may have changed while
+		// backing off (that is the point of the backoff).
+		cands := r.candidates(routeKey(r.epoch.Load(), req.Seed))
+		for i, rep := range cands {
+			others := append(append(make([]*replica, 0, len(cands)-1), cands[i+1:]...), cands[:i]...)
+			resp, err := r.attempt(ctx, rep, others, req)
+			if err == nil {
+				if i > 0 || round > 0 {
+					r.metrics.RoutedAway.Add(1)
+				}
+				return resp, nil
+			}
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			var oe *serve.OverloadedError
+			switch {
+			case errors.As(err, &oe):
+				sawShed = true
+				if retryAfter == 0 || oe.RetryAfter < retryAfter {
+					retryAfter = oe.RetryAfter
+				}
+				r.metrics.Failovers.Add(1)
+			case errors.Is(err, serve.ErrOverloaded):
+				sawShed = true
+				r.metrics.Failovers.Add(1)
+			case errors.Is(err, serve.ErrClosed), errors.Is(err, context.Canceled):
+				// The replica died underneath the query (crash mid-flight):
+				// mark it down immediately — don't wait for the next health
+				// probe — and fail over to the next ring node.
+				r.markDown(rep)
+				r.metrics.Failovers.Add(1)
+			default:
+				// Timeout, invariant violation, estimator error: the query
+				// itself is the problem; retrying elsewhere would return the
+				// same (deterministic) failure.
+				return nil, err
+			}
+		}
+	}
+	// Every candidate shed or died in every round.  Either way the caller's
+	// remedy is the same: back off and retry — the tier is (transiently)
+	// unable to take this query.  Shed with a Retry-After so no admitted
+	// query is ever silently lost.
+	r.metrics.Shed.Add(1)
+	if !sawShed || retryAfter <= 0 {
+		retryAfter = r.recoveryRetryAfter()
+	}
+	return nil, &serve.OverloadedError{RetryAfter: retryAfter}
+}
+
+// recoveryRetryAfter is the Retry-After hint when the tier sheds for lack of
+// live replicas rather than backlog: long enough for a couple of health
+// probes (or a restart) to land.
+func (r *Router) recoveryRetryAfter() time.Duration {
+	d := 2 * r.cfg.HealthInterval
+	if d < 50*time.Millisecond {
+		d = 50 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// markDown records an inline failure detection (the health loop will confirm
+// on its next probe).
+func (r *Router) markDown(rep *replica) {
+	if Health(rep.health.Swap(int32(HealthDown))) != HealthDown {
+		r.metrics.HealthTransitions.Add(1)
+	}
+}
+
+// attempt runs req on primary with peer cache fill and hedging against the
+// first live replica in others.
+func (r *Router) attempt(ctx context.Context, primary *replica, others []*replica, req serve.Request) (*serve.Response, error) {
+	eng := primary.engine()
+	if eng == nil || !primary.alive.Load() {
+		return nil, serve.ErrClosed
+	}
+	r.maybePeerFill(eng, others, req)
+
+	var hedge *replica
+	if r.cfg.HedgeQuantile > 0 {
+		for _, nb := range others {
+			if nb != primary && nb.alive.Load() && nb.engine() != nil {
+				hedge = nb
+				break
+			}
+		}
+	}
+	if hedge == nil {
+		start := time.Now()
+		resp, err := eng.Do(ctx, req)
+		if err == nil {
+			r.latency.observe(time.Since(start))
+			primary.requests.Add(1)
+		}
+		return resp, err
+	}
+	return r.hedgedDo(ctx, primary, hedge, req)
+}
+
+// maybePeerFill probes ring successors for an already-cached response when
+// the primary's cache misses, and installs the first hit into the primary
+// (the second-level cache path: a cold or restarted replica warms from its
+// neighbors instead of recomputing).
+func (r *Router) maybePeerFill(eng *serve.Engine, others []*replica, req serve.Request) {
+	if r.cfg.PeerFillNeighbors <= 0 || req.NoCache {
+		return
+	}
+	probe := req
+	probe.TopK, probe.SweepK, probe.Trace = 0, 0, false
+	if _, ok := eng.Peek(probe); ok {
+		return
+	}
+	probed := 0
+	for _, nb := range others {
+		if probed >= r.cfg.PeerFillNeighbors {
+			return
+		}
+		nbEng := nb.engine()
+		if nbEng == nil || !nb.alive.Load() {
+			continue
+		}
+		probed++
+		pr, ok := nbEng.Peek(probe)
+		if !ok {
+			continue
+		}
+		if err := eng.WarmCache(req, pr); err == nil {
+			r.metrics.PeerFills.Add(1)
+		}
+		// Hit or failed fill (stale epoch: recompute is correct), stop
+		// probing either way.
+		return
+	}
+}
+
+// hedgeOutcome is one branch's result.
+type hedgeOutcome struct {
+	resp *serve.Response
+	err  error
+	from *replica
+}
+
+// hedgedDo races primary against a delayed duplicate on hedge.  The first
+// successful answer wins; when both return successfully the loser is audited
+// bit-identical off the request path.  The duplicate runs under the router's
+// lifetime context, not the caller's: a client cancel (or a primary win) must
+// not manufacture canceled-error taxonomy entries on the hedge replica.
+func (r *Router) hedgedDo(ctx context.Context, primary, hedge *replica, req serve.Request) (*serve.Response, error) {
+	ch := make(chan hedgeOutcome, 2)
+	call := func(rep *replica, cctx context.Context) {
+		eng := rep.engine()
+		if eng == nil {
+			ch <- hedgeOutcome{err: serve.ErrClosed, from: rep}
+			return
+		}
+		resp, err := eng.Do(cctx, req)
+		ch <- hedgeOutcome{resp: resp, err: err, from: rep}
+	}
+	start := time.Now()
+	go call(primary, ctx)
+	delay := r.hedgeDelay(primary)
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+
+	hedged := false
+	inFlight := 1
+	var firstErr error
+	for {
+		select {
+		case o := <-ch:
+			inFlight--
+			if o.err == nil {
+				r.latency.observe(time.Since(start))
+				o.from.requests.Add(1)
+				if hedged && o.from == hedge {
+					r.metrics.HedgeWins.Add(1)
+				}
+				if inFlight > 0 {
+					// The other branch is still running (under baseCtx);
+					// audit it against the winner when it lands.
+					r.auditWG.Add(1)
+					go func(winner *serve.Response) {
+						defer r.auditWG.Done()
+						r.auditLoser(winner, <-ch)
+					}(o.resp)
+				}
+				return o.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			} else {
+				// Both branches failed: surface the more actionable error
+				// (a Retry-After-carrying shed beats a closed replica).
+				firstErr = pickError(firstErr, o.err)
+			}
+			if inFlight == 0 {
+				return nil, firstErr
+			}
+			if !hedged {
+				// Primary failed before the hedge delay elapsed: fire the
+				// duplicate immediately instead of waiting out the timer.
+				hedged = true
+				inFlight++
+				r.metrics.Hedged.Add(1)
+				go call(hedge, r.baseCtx)
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				inFlight++
+				r.metrics.Hedged.Add(1)
+				go call(hedge, r.baseCtx)
+			}
+		case <-ctx.Done():
+			// The caller is gone.  Branches still in flight finish under
+			// their own contexts and drain into the buffered channel.
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// pickError chooses the error to surface when both hedge branches fail:
+// prefer the shed (it carries a Retry-After the caller can act on), then
+// anything that is not a bare replica-death signal.
+func pickError(a, b error) error {
+	var oe *serve.OverloadedError
+	if errors.As(a, &oe) {
+		return a
+	}
+	if errors.As(b, &oe) {
+		return b
+	}
+	if errors.Is(a, serve.ErrClosed) || errors.Is(a, context.Canceled) {
+		return b
+	}
+	return a
+}
+
+// auditLoser verifies a completed hedge duplicate against the winning
+// response: for a fixed (seed, options, epoch) the two must be bit-identical
+// — the determinism contract the whole tier rests on.  Duplicates that
+// failed, or that executed against a different epoch (an update landed
+// between the branches), are not comparable and are skipped.
+func (r *Router) auditLoser(winner *serve.Response, o hedgeOutcome) {
+	if o.err != nil || o.resp == nil || winner == nil {
+		return
+	}
+	if o.resp.Epoch != winner.Epoch || o.resp.Degraded != "" || winner.Degraded != "" {
+		return
+	}
+	r.metrics.HedgeAuditChecked.Add(1)
+	a, b := winner.Result, o.resp.Result
+	if a == nil || b == nil || len(a.Scores) != len(b.Scores) {
+		r.metrics.HedgeAuditMismatch.Add(1)
+		return
+	}
+	for i := range a.Scores {
+		if a.Scores[i] != b.Scores[i] {
+			r.metrics.HedgeAuditMismatch.Add(1)
+			return
+		}
+	}
+}
+
+// hedgeDelay resolves the current hedge trigger: the configured latency
+// quantile of successfully routed queries, clamped to [HedgeMin, HedgeMax],
+// halved when the primary is already known degraded (pressure-aware: a
+// struggling primary earns less patience).  Before enough samples accumulate
+// the delay is HedgeMax.
+func (r *Router) hedgeDelay(primary *replica) time.Duration {
+	d := r.latency.quantile(r.cfg.HedgeQuantile)
+	if d <= 0 {
+		d = r.cfg.HedgeMax
+	}
+	if Health(primary.health.Load()) == HealthDegraded {
+		d /= 2
+	}
+	if d < r.cfg.HedgeMin {
+		d = r.cfg.HedgeMin
+	}
+	if d > r.cfg.HedgeMax {
+		d = r.cfg.HedgeMax
+	}
+	return d
+}
+
+// Crash closes replica id's engine in place, exactly as a process crash
+// would: in-flight queries on it are canceled (the router fails them over),
+// its cache is gone, and the health view flips to down.  Restart brings it
+// back cold.
+func (r *Router) Crash(id int) error {
+	rep := r.replicas[id]
+	eng := rep.eng.Swap(nil)
+	rep.alive.Store(false)
+	r.markDown(rep)
+	r.metrics.Crashes.Add(1)
+	if eng == nil {
+		return nil
+	}
+	return eng.Close()
+}
+
+// Restart rebuilds replica id through the factory and replays the update
+// journal so it rejoins at the current epoch — with a cold cache, which the
+// peer cache-fill path then warms from ring neighbors.
+func (r *Router) Restart(id int) error {
+	rep := r.replicas[id]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return serve.ErrClosed
+	}
+	if rep.alive.Load() {
+		return fmt.Errorf("router: replica %d is already running", id)
+	}
+	eng, err := r.factory(id)
+	if err != nil {
+		return fmt.Errorf("router: rebuilding replica %d: %w", id, err)
+	}
+	for _, batch := range r.journal {
+		if _, err := eng.ApplyUpdates(batch); err != nil {
+			eng.Close()
+			return fmt.Errorf("router: replaying journal into replica %d: %w", id, err)
+		}
+	}
+	r.healthMu.Lock()
+	rep.lastProbe = probeStats{}
+	r.healthMu.Unlock()
+	rep.eng.Store(eng)
+	rep.alive.Store(true)
+	if Health(rep.health.Swap(int32(HealthHealthy))) != HealthHealthy {
+		r.metrics.HealthTransitions.Add(1)
+	}
+	r.metrics.Restarts.Add(1)
+	return nil
+}
+
+// ApplyUpdates publishes one update batch to every live replica (in id
+// order — epochs advance identically everywhere) and journals it for replay
+// into future restarts.  Crashed replicas are skipped; they catch up from
+// the journal when they return.
+func (r *Router) ApplyUpdates(batch graph.UpdateBatch) (serve.UpdateResult, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return serve.UpdateResult{}, serve.ErrClosed
+	}
+	var last serve.UpdateResult
+	applied := false
+	for _, rep := range r.replicas {
+		eng := rep.engine()
+		if eng == nil || !rep.alive.Load() {
+			continue
+		}
+		res, err := eng.ApplyUpdates(batch)
+		if err != nil {
+			if applied {
+				// A batch that validated on one replica validates on all
+				// (identical state); a divergence here is a bug, not an
+				// input error.
+				return last, fmt.Errorf("router: replica %d diverged applying batch: %w", rep.id, err)
+			}
+			return res, err
+		}
+		last = res
+		applied = true
+	}
+	if !applied {
+		return serve.UpdateResult{}, ErrNoReplicas
+	}
+	r.journal = append(r.journal, batch)
+	r.epoch.Store(last.Epoch)
+	return last, nil
+}
+
+// Drain lets every live replica finish its admitted queries.
+func (r *Router) Drain(timeout time.Duration) error {
+	var first error
+	for _, rep := range r.replicas {
+		if eng := rep.engine(); eng != nil && rep.alive.Load() {
+			if err := eng.Drain(timeout); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// Close stops the health loop, waits for outstanding hedge audits, and
+// closes every replica engine.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.cancel()
+	if r.healthTick != nil {
+		r.healthTick.Stop()
+	}
+	r.wg.Wait()
+	err := r.closeEngines()
+	r.auditWG.Wait()
+	return err
+}
+
+func (r *Router) closeEngines() error {
+	var first error
+	for _, rep := range r.replicas {
+		rep.alive.Store(false)
+		if eng := rep.eng.Swap(nil); eng != nil {
+			if cerr := eng.Close(); cerr != nil && first == nil {
+				first = cerr
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,513 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hkpr/internal/core"
+	"hkpr/internal/gen"
+	"hkpr/internal/graph"
+	"hkpr/internal/promtext"
+	"hkpr/internal/serve"
+)
+
+// testBase builds the shared base graph (never modified by Dynamic wrappers,
+// so all replicas can wrap one copy).
+func testBase(t testing.TB) *graph.Graph {
+	t.Helper()
+	g, err := gen.PowerlawCluster(1500, 4, 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testFactory returns a replica factory: each call wraps the shared base in
+// its own Dynamic (replicas must own their caches and invalidation) and
+// builds a full engine over it.
+func testFactory(t testing.TB, g *graph.Graph, engCfg serve.Config) func(id int) (*serve.Engine, error) {
+	t.Helper()
+	return func(id int) (*serve.Engine, error) {
+		d := graph.NewDynamic(g, graph.DynamicOptions{CompactThreshold: -1})
+		est, err := core.NewEstimator(d, core.Options{
+			T: 5, EpsRel: 0.5, Delta: 1 / float64(g.N()), FailureProb: 1e-4, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return serve.New(est, engCfg)
+	}
+}
+
+func newTestRouter(t testing.TB, cfg Config, engCfg serve.Config) *Router {
+	t.Helper()
+	if cfg.Replicas == 0 {
+		cfg.Replicas = 3
+	}
+	if cfg.Factory == nil {
+		cfg.Factory = testFactory(t, testBase(t), engCfg)
+	}
+	if cfg.HealthInterval == 0 {
+		// Tests drive CheckHealth explicitly for determinism.
+		cfg.HealthInterval = -1
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+func assertIdenticalScores(t *testing.T, want, got core.ScoreVector) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("score vectors differ in length: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("score vectors differ at %d: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestRingWalkDeterministicAndComplete(t *testing.T) {
+	ring := newHashRing(5, 64)
+	seen := make(map[int]int)
+	for seed := 0; seed < 200; seed++ {
+		key := routeKey(0, graph.NodeID(seed))
+		a, b := ring.walk(key), ring.walk(key)
+		if len(a) != 5 {
+			t.Fatalf("walk returned %d replicas, want 5", len(a))
+		}
+		present := make(map[int]bool)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("walk not deterministic at seed %d", seed)
+			}
+			present[a[i]] = true
+		}
+		if len(present) != 5 {
+			t.Fatalf("walk at seed %d is not a permutation: %v", seed, a)
+		}
+		seen[a[0]]++
+	}
+	// Ownership should spread over all replicas (no empty shard).
+	for rep := 0; rep < 5; rep++ {
+		if seen[rep] == 0 {
+			t.Fatalf("replica %d owns no keys out of 200", rep)
+		}
+	}
+	// A different epoch reshuffles ownership (the epoch is part of the key).
+	moved := 0
+	for seed := 0; seed < 200; seed++ {
+		if ring.walk(routeKey(1, graph.NodeID(seed)))[0] != ring.walk(routeKey(0, graph.NodeID(seed)))[0] {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("epoch change did not move any ownership")
+	}
+}
+
+func TestRoutedMatchesDirect(t *testing.T) {
+	// The replicas and the direct reference engine must share one base graph:
+	// the generator is not deterministic across calls, and the bit-identity
+	// contract is per-graph.
+	g := testBase(t)
+	engCfg := serve.Config{Workers: 2}
+	r := newTestRouter(t, Config{HedgeQuantile: -1, Factory: testFactory(t, g, engCfg)}, engCfg)
+
+	direct, err := testFactory(t, g, engCfg)(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer direct.Close()
+
+	for _, seed := range []graph.NodeID{3, 17, 411, 1009} {
+		req := serve.Request{Seed: seed, Method: serve.MethodTEA}
+		got, err := r.Do(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := direct.Do(context.Background(), req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertIdenticalScores(t, want.Result.Scores, got.Result.Scores)
+	}
+	if n := r.metrics.Requests.Load(); n != 4 {
+		t.Fatalf("router requests = %d, want 4", n)
+	}
+}
+
+func TestFailoverOnCrashNoQueryLost(t *testing.T) {
+	r := newTestRouter(t, Config{HedgeQuantile: -1}, serve.Config{Workers: 2})
+	seed := graph.NodeID(17)
+	owner := r.Owner(seed)
+
+	if _, err := r.Do(context.Background(), serve.Request{Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Crash(owner); err != nil {
+		t.Fatal(err)
+	}
+	// No health probe has run: the router must detect the dead primary
+	// inline and fail over within the same Do call.
+	resp, err := r.Do(context.Background(), serve.Request{Seed: seed})
+	if err != nil {
+		t.Fatalf("failover Do: %v", err)
+	}
+	if resp == nil || resp.Result == nil {
+		t.Fatal("failover returned an empty response")
+	}
+	if r.Health(owner) != HealthDown {
+		t.Fatalf("crashed replica health = %v, want down", r.Health(owner))
+	}
+	if r.metrics.Crashes.Load() != 1 {
+		t.Fatalf("crashes = %d, want 1", r.metrics.Crashes.Load())
+	}
+	// Routing excludes the downed replica.
+	for _, id := range r.Route(seed) {
+		if id == owner {
+			t.Fatal("downed replica still in the route")
+		}
+	}
+
+	// Recovery: restart, re-probe, and the ring order re-stabilizes to the
+	// pre-crash owner.
+	if err := r.Restart(owner); err != nil {
+		t.Fatal(err)
+	}
+	r.CheckHealth()
+	if r.Health(owner) != HealthHealthy {
+		t.Fatalf("restarted replica health = %v, want healthy", r.Health(owner))
+	}
+	if got := r.Route(seed)[0]; got != owner {
+		t.Fatalf("post-recovery primary = %d, want the original owner %d", got, owner)
+	}
+}
+
+// TestInlineFailoverOnOverloadedPrimary pins the inline failover path: the
+// health view still says healthy, but the owner sheds the query (queue full),
+// so the router fails over to the next ring replica within the same Do call.
+func TestInlineFailoverOnOverloadedPrimary(t *testing.T) {
+	g := testBase(t)
+	release := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(release) })
+	var victim atomic.Int64
+	victim.Store(-1)
+	var gated atomic.Int64
+	factory := func(id int) (*serve.Engine, error) {
+		d := graph.NewDynamic(g, graph.DynamicOptions{CompactThreshold: -1})
+		est, err := core.NewEstimator(d, core.Options{
+			T: 5, EpsRel: 0.5, Delta: 1 / float64(g.N()), FailureProb: 1e-4, Seed: 1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return serve.New(est, serve.Config{
+			Workers: 1, QueueDepth: 1,
+			Pressure: serve.PressureConfig{Disabled: true},
+			ExecGate: func(*serve.Request) {
+				if int64(id) == victim.Load() {
+					gated.Add(1)
+					<-release
+				}
+			},
+		})
+	}
+	r, err := New(Config{
+		Replicas: 3, Factory: factory,
+		HealthInterval: -1, HedgeQuantile: -1, PeerFillNeighbors: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	seed := graph.NodeID(17)
+	owner := r.Owner(seed)
+	victim.Store(int64(owner))
+	ownerEng := r.Engine(owner)
+
+	// Saturate the owner: gated fillers occupy its worker and queue.
+	ctx := context.Background()
+	var fillers sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		fillers.Add(1)
+		go func(s graph.NodeID) {
+			defer fillers.Done()
+			ownerEng.Do(ctx, serve.Request{Seed: s, NoCache: true})
+		}(graph.NodeID(500 + i))
+	}
+	defer fillers.Wait()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("owner never started shedding")
+		}
+		pctx, pcancel := context.WithTimeout(ctx, 2*time.Millisecond)
+		_, perr := ownerEng.Do(pctx, serve.Request{Seed: 600, NoCache: true})
+		pcancel()
+		if errors.Is(perr, serve.ErrOverloaded) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The owner is healthy per the (stale) health view but sheds; the router
+	// must fail over inline and serve from the successor.
+	resp, err := r.Do(ctx, serve.Request{Seed: seed})
+	if err != nil {
+		t.Fatalf("Do during owner overload: %v", err)
+	}
+	if resp == nil || resp.Result == nil {
+		t.Fatal("failover returned an empty response")
+	}
+	if r.metrics.Failovers.Load() == 0 {
+		t.Fatal("no inline failover recorded")
+	}
+	if r.metrics.RoutedAway.Load() == 0 {
+		t.Fatal("query not recorded as routed away from its owner")
+	}
+	if r.Health(owner) != HealthHealthy {
+		t.Fatalf("owner health = %v; overload is not a crash and must not mark it down", r.Health(owner))
+	}
+	once.Do(func() { close(release) })
+}
+
+func TestPeerFillWarmsRestartedReplica(t *testing.T) {
+	r := newTestRouter(t, Config{HedgeQuantile: -1}, serve.Config{Workers: 2})
+	seed := graph.NodeID(17)
+	owner := r.Owner(seed)
+	req := serve.Request{Seed: seed, Method: serve.MethodTEA}
+
+	// Owner computes and caches; then crashes; the successor recomputes the
+	// key while the owner is away.
+	if _, err := r.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Crash(owner); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Do(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+
+	// The owner restarts cold and must serve its ring-owned key from a peer
+	// cache fill, not recomputation.
+	if err := r.Restart(owner); err != nil {
+		t.Fatal(err)
+	}
+	r.CheckHealth()
+	ownerEng := r.Engine(owner)
+	execsBefore := ownerEng.Snapshot().Executions
+	resp, err := r.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached {
+		t.Fatal("peer-filled response not served as a cache hit")
+	}
+	if got := ownerEng.Snapshot().Executions; got != execsBefore {
+		t.Fatalf("restarted owner recomputed (executions %d → %d) instead of peer-filling", execsBefore, got)
+	}
+	if r.metrics.PeerFills.Load() == 0 {
+		t.Fatal("peer_fill_total == 0 after a warm from neighbors")
+	}
+	if ownerEng.Snapshot().WarmFills == 0 {
+		t.Fatal("owner engine records no warm fill")
+	}
+}
+
+func TestHealthOverridePartitionedView(t *testing.T) {
+	r := newTestRouter(t, Config{HedgeQuantile: -1}, serve.Config{Workers: 2})
+	seed := graph.NodeID(17)
+	owner := r.Owner(seed)
+
+	// Partition: the checker wrongly believes the healthy owner is down.
+	r.SetHealthOverride(owner, HealthDown)
+	r.CheckHealth()
+	for _, id := range r.Route(seed) {
+		if id == owner {
+			t.Fatal("partitioned-down replica still routed")
+		}
+	}
+	// Queries still succeed (rerouted deterministically).
+	if _, err := r.Do(context.Background(), serve.Request{Seed: seed}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Degraded ranks after healthy replicas but stays routable.
+	r.SetHealthOverride(owner, HealthDegraded)
+	r.CheckHealth()
+	route := r.Route(seed)
+	if route[len(route)-1] != owner {
+		t.Fatalf("degraded owner not demoted to last: route %v", route)
+	}
+
+	// Partition heals: ownership re-stabilizes.
+	r.ClearHealthOverride(owner)
+	r.CheckHealth()
+	if got := r.Route(seed)[0]; got != owner {
+		t.Fatalf("post-heal primary = %d, want %d", got, owner)
+	}
+}
+
+func TestApplyUpdatesJournalReplayOnRestart(t *testing.T) {
+	// An explicit path graph: the powerlaw generator is not deterministic
+	// across calls, so update edges against it could collide with existing
+	// ones from run to run.
+	var edges [][2]graph.NodeID
+	for i := 0; i < 999; i++ {
+		edges = append(edges, [2]graph.NodeID{graph.NodeID(i), graph.NodeID(i + 1)})
+	}
+	g := graph.FromEdges(1000, edges)
+	r := newTestRouter(t, Config{
+		HedgeQuantile: -1,
+		Factory:       testFactory(t, g, serve.Config{Workers: 2}),
+	}, serve.Config{})
+	ctx := context.Background()
+	if _, err := r.Do(ctx, serve.Request{Seed: 17}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := r.ApplyUpdates(graph.UpdateBatch{AddEdges: [][2]graph.NodeID{{2, 900}}}); err != nil {
+		t.Fatal(err)
+	}
+	victim := r.Owner(17)
+	if err := r.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	// A second batch lands while the victim is away.
+	if _, err := r.ApplyUpdates(graph.UpdateBatch{AddEdges: [][2]graph.NodeID{{3, 901}}}); err != nil {
+		t.Fatal(err)
+	}
+	if r.Epoch() != 2 {
+		t.Fatalf("router epoch = %d, want 2", r.Epoch())
+	}
+	if err := r.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Engine(victim).Snapshot().GraphEpoch; got != 2 {
+		t.Fatalf("restarted replica epoch = %d, want 2 (journal replay)", got)
+	}
+	// And its answers agree bit-identically with a survivor's.
+	req := serve.Request{Seed: 2, Method: serve.MethodTEA, NoCache: true}
+	var survivor int
+	for id := 0; id < r.Replicas(); id++ {
+		if id != victim {
+			survivor = id
+			break
+		}
+	}
+	want, err := r.Engine(survivor).Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Engine(victim).Do(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdenticalScores(t, want.Result.Scores, got.Result.Scores)
+}
+
+func TestAllReplicasDownShedsWithRetryAfter(t *testing.T) {
+	r := newTestRouter(t, Config{HedgeQuantile: -1, RetryRounds: 1}, serve.Config{Workers: 2})
+	for id := 0; id < r.Replicas(); id++ {
+		if err := r.Crash(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := r.Do(context.Background(), serve.Request{Seed: 17})
+	var oe *serve.OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("all-down Do: err = %v, want *serve.OverloadedError", err)
+	}
+	if oe.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0", oe.RetryAfter)
+	}
+	if !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatal("shed error does not match serve.ErrOverloaded")
+	}
+}
+
+func TestRouterSnapshotAndPrometheus(t *testing.T) {
+	r := newTestRouter(t, Config{}, serve.Config{Workers: 2})
+	if _, err := r.Do(context.Background(), serve.Request{Seed: 17}); err != nil {
+		t.Fatal(err)
+	}
+	s := r.Snapshot()
+	if s.Replicas != 3 || s.Requests != 1 {
+		t.Fatalf("snapshot replicas=%d requests=%d, want 3/1", s.Replicas, s.Requests)
+	}
+	if len(s.ReplicaStatus) != 3 {
+		t.Fatalf("replica status entries = %d, want 3", len(s.ReplicaStatus))
+	}
+	for _, st := range s.ReplicaStatus {
+		if !st.Alive || st.Health != "healthy" {
+			t.Fatalf("replica %d: alive=%v health=%q, want alive healthy", st.ID, st.Alive, st.Health)
+		}
+	}
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	text := buf.String()
+	for _, family := range []string{
+		"hkpr_router_requests_total", "hkpr_router_peer_fill_total",
+		"hkpr_router_hedge_audit_mismatch_total", "hkpr_router_replica_health",
+		"hkpr_router_latency_seconds",
+	} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("router exposition missing %s", family)
+		}
+	}
+	if err := promtext.Validate(strings.NewReader(text)); err != nil {
+		t.Fatalf("router Prometheus exposition invalid: %v", err)
+	}
+}
+
+func TestCrashMidTrafficEveryQueryCompletesOrSheds(t *testing.T) {
+	r := newTestRouter(t, Config{HedgeQuantile: -1}, serve.Config{Workers: 2, DefaultTimeout: 5 * time.Second})
+	ctx := context.Background()
+	seeds := []graph.NodeID{3, 17, 101, 411, 788, 1009, 1200, 1400}
+
+	done := make(chan error, len(seeds))
+	start := make(chan struct{})
+	for _, s := range seeds {
+		go func(s graph.NodeID) {
+			<-start
+			for i := 0; i < 5; i++ {
+				_, err := r.Do(ctx, serve.Request{Seed: s})
+				if err != nil && !errors.Is(err, serve.ErrOverloaded) {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(s)
+	}
+	close(start)
+	// Crash a replica mid-traffic, then bring it back.
+	time.Sleep(2 * time.Millisecond)
+	if err := r.Crash(1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := r.Restart(1); err != nil {
+		t.Fatal(err)
+	}
+	for range seeds {
+		if err := <-done; err != nil {
+			t.Fatalf("query lost to a non-shed error: %v", err)
+		}
+	}
+}

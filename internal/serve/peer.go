@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"errors"
+	"time"
+)
+
+// This file is the engine's peer cache-fill surface, the second-level cache
+// path the replica router (internal/router) uses to warm a cold or restarted
+// replica from its ring neighbors instead of recomputing:
+//
+//   - Peek answers a request from the result cache only — no execution, no
+//     coalescing, no admission — so a router can probe a neighbor for an
+//     already-computed response at map-lookup cost;
+//   - WarmCache installs a response computed by a peer replica under the
+//     request's cache key, subject to the same epoch guard the engine's own
+//     populate path uses.
+//
+// Determinism makes the fill safe: every replica produces bit-identical
+// ScoreVectors for a fixed (method, seed, resolved options), so a peer's
+// response under the same key is exactly the response this engine would have
+// computed — no reconciliation, no version vectors, just an epoch check.
+
+// Errors returned by WarmCache.
+var (
+	// ErrWarmStale rejects a peer response computed against a superseded
+	// graph epoch; the caller should recompute instead.
+	ErrWarmStale = errors.New("serve: peer response from a superseded epoch")
+	// ErrWarmDegraded rejects a degraded (stale/clamped) peer response:
+	// degraded results never populate any cache, local or peer-filled.
+	ErrWarmDegraded = errors.New("serve: degraded responses cannot warm the cache")
+	// ErrWarmInvalid rejects a response that does not match the request it is
+	// offered under (nil result, or a sweep mismatch).
+	ErrWarmInvalid = errors.New("serve: peer response does not match the request")
+	// ErrCacheDisabled is returned by WarmCache on an engine built without a
+	// result cache.
+	ErrCacheDisabled = errors.New("serve: result cache disabled")
+)
+
+// Peek answers req from the result cache without executing, coalescing, or
+// counting a hit/miss against the serving cache statistics (peer probes must
+// not skew the hit rate the health and capacity planning read).  It returns
+// ok == false on any cache miss, on an invalid method, on a NoCache request,
+// or on an engine without a cache.  The returned response is the caller's
+// private copy with the per-caller rendering knobs (TopK, SweepK) applied;
+// its Result and Sweep remain shared with the cache and read-only.
+func (e *Engine) Peek(req Request) (*Response, bool) {
+	if e.cache == nil || req.NoCache {
+		return nil, false
+	}
+	method, err := normalizeMethod(req.Method)
+	if err != nil {
+		return nil, false
+	}
+	resolved := e.est.Resolve(req.Opts)
+	key := cacheKey(method, req.Seed, req.Sweep, resolved)
+	resp, ok := e.cache.get(key)
+	e.metrics.CachePeeks.Add(1)
+	if !ok {
+		return nil, false
+	}
+	out := *resp
+	out.Cached = true
+	out.QueueWait, out.Elapsed = 0, 0
+	e.render(&out, req)
+	return &out, true
+}
+
+// WarmCache installs a response computed by a peer replica under req's cache
+// key.  The response must be full-fidelity (not degraded) and computed
+// against this engine's current graph epoch; a response from a superseded
+// epoch is rejected with ErrWarmStale — exactly the guard the engine's own
+// populate path applies, taken under the same lock ApplyUpdates holds across
+// {publish + invalidate}, so a peer fill can never resurrect an entry an
+// update's invalidation scan would have dropped.
+//
+// The stored copy is sanitized: per-caller rendering (Top, bounded Sweep when
+// the request didn't ask for the full sweep), traces, and serving flags are
+// stripped, matching what a locally computed entry would hold.
+func (e *Engine) WarmCache(req Request, resp *Response) error {
+	if e.cache == nil {
+		return ErrCacheDisabled
+	}
+	method, err := normalizeMethod(req.Method)
+	if err != nil {
+		return err
+	}
+	if resp == nil || resp.Result == nil || (req.Sweep && resp.Sweep == nil) {
+		return ErrWarmInvalid
+	}
+	if resp.Degraded != "" {
+		return ErrWarmDegraded
+	}
+	resolved := e.est.Resolve(req.Opts)
+	key := cacheKey(method, req.Seed, req.Sweep, resolved)
+	store := *resp
+	store.Cached, store.Coalesced = false, false
+	store.Trace = nil
+	store.Top = nil
+	if !req.Sweep {
+		// A bounded sweep rendered for some caller's SweepK is per-caller
+		// state, not part of the cacheable identity.
+		store.Sweep = nil
+	}
+	store.QueueWait, store.Elapsed = 0, 0
+	store.Method = method
+	cost := responseCost(key, &store)
+	if e.dyn != nil {
+		e.mu.Lock()
+		if store.Epoch != e.dyn.Epoch() {
+			e.mu.Unlock()
+			e.metrics.WarmRejectedStale.Add(1)
+			return ErrWarmStale
+		}
+		e.cache.set(key, &store, cost)
+		e.mu.Unlock()
+	} else {
+		if store.Epoch != e.src.Snapshot().Epoch() {
+			e.metrics.WarmRejectedStale.Add(1)
+			return ErrWarmStale
+		}
+		e.cache.set(key, &store, cost)
+	}
+	e.metrics.WarmFills.Add(1)
+	return nil
+}
+
+// RetryAfterSeconds converts a drain estimate into the whole-seconds form an
+// HTTP Retry-After header carries: rounded up and floored at 1 second.  The
+// floor matters — under light load the drain estimate can be tens of
+// milliseconds, which integer-truncates to "Retry-After: 0" and reads to
+// clients as "retry immediately", defeating the backoff entirely.
+func RetryAfterSeconds(d time.Duration) int64 {
+	if d <= time.Second {
+		return 1
+	}
+	return int64((d + time.Second - 1) / time.Second)
+}
+
+// DrainEstimate reports how long a shed caller should back off right now: the
+// time for the current backlog to drain through the workers at the measured
+// mean execution latency, clamped to the configured Retry-After window.  It
+// is safe to call on an engine whose pressure controller is disabled (the
+// default clamp window applies) and is the figure exported machine-readably
+// as Snapshot.DrainEstimateMS and hkpr_serve_drain_estimate_seconds for the
+// router tier's health gossip.
+func (e *Engine) DrainEstimate() time.Duration {
+	m := e.metrics
+	mean := retryAfterFallbackMean
+	if n := m.latency.count.Load(); n > 0 {
+		mean = time.Duration(m.latency.sum.Load() / n)
+		if mean <= 0 {
+			mean = retryAfterFallbackMean
+		}
+	}
+	depth := int64(len(e.queue))
+	if e.batch != nil {
+		depth += e.batch.pending.Load()
+	}
+	workers := int64(e.cfg.Workers)
+	est := time.Duration((depth + workers) / workers * int64(mean))
+	floor, ceil := defaultRetryAfterFloor, defaultRetryAfterCeil
+	if e.pressure != nil {
+		floor, ceil = e.pressure.cfg.RetryAfterFloor, e.pressure.cfg.RetryAfterCeil
+	}
+	if est < floor {
+		est = floor
+	}
+	if est > ceil {
+		est = ceil
+	}
+	return est
+}

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"hkpr/internal/core"
+	"hkpr/internal/graph"
+	"hkpr/internal/promtext"
+)
+
+// assertSameScores requires bit-identical score vectors — the determinism
+// contract peer cache fills rely on.
+func assertSameScores(t *testing.T, want, got core.ScoreVector) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("score vectors differ in length: %d vs %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("score vectors differ at %d: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestPeekMissesColdAndHitsWarm(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	req := Request{Seed: 17, Method: MethodTEA}
+
+	if _, ok := e.Peek(req); ok {
+		t.Fatal("Peek hit on a cold cache")
+	}
+	resp, err := e.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := e.metrics.CacheHits.Load(), e.metrics.CacheMisses.Load()
+
+	got, ok := e.Peek(req)
+	if !ok {
+		t.Fatal("Peek missed after the key was computed")
+	}
+	if !got.Cached {
+		t.Fatal("Peek response not flagged Cached")
+	}
+	assertSameScores(t, resp.Result.Scores, got.Result.Scores)
+	// Peer probes must not skew the client-traffic hit rate.
+	if h, m := e.metrics.CacheHits.Load(), e.metrics.CacheMisses.Load(); h != hits || m != misses {
+		t.Fatalf("Peek moved hit/miss counters: hits %d→%d misses %d→%d", hits, h, misses, m)
+	}
+	if e.metrics.CachePeeks.Load() != 2 {
+		t.Fatalf("CachePeeks = %d, want 2", e.metrics.CachePeeks.Load())
+	}
+}
+
+func TestPeekRendersPerCallerKnobs(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	if _, err := e.Do(context.Background(), Request{Seed: 17}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.Peek(Request{Seed: 17, TopK: 5})
+	if !ok {
+		t.Fatal("Peek missed")
+	}
+	if len(got.Top) != 5 {
+		t.Fatalf("Peek TopK rendering: len(Top) = %d, want 5", len(got.Top))
+	}
+}
+
+func TestWarmCacheInstallsPeerResponse(t *testing.T) {
+	// Two engines over identical graphs: "peer" computes, "cold" is warmed.
+	g := testGraph(t)
+	peer, err := New(testEstimator(t, g), Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer peer.Close()
+	cold := newTestEngine(t, Config{Workers: 2})
+
+	req := Request{Seed: 17, Method: MethodTEA, Sweep: true}
+	resp, err := peer.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.WarmCache(req, resp); err != nil {
+		t.Fatalf("WarmCache: %v", err)
+	}
+	if cold.metrics.WarmFills.Load() != 1 {
+		t.Fatalf("WarmFills = %d, want 1", cold.metrics.WarmFills.Load())
+	}
+
+	// The warmed key serves as a cache hit without executing.
+	execs := cold.metrics.Executions.Load()
+	got, err := cold.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Cached {
+		t.Fatal("warmed key did not serve as a cache hit")
+	}
+	if cold.metrics.Executions.Load() != execs {
+		t.Fatal("warmed key triggered a recomputation")
+	}
+	assertSameScores(t, resp.Result.Scores, got.Result.Scores)
+	if got.Sweep == nil || len(got.Sweep.Cluster) != len(resp.Sweep.Cluster) {
+		t.Fatal("warmed sweep result missing or truncated")
+	}
+}
+
+func TestWarmCacheRejectsDegradedAndMismatched(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	req := Request{Seed: 17, Method: MethodTEA}
+	resp, err := e.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	degraded := *resp
+	degraded.Degraded = DegradedClamped
+	if err := e.WarmCache(req, &degraded); !errors.Is(err, ErrWarmDegraded) {
+		t.Fatalf("degraded warm: err = %v, want ErrWarmDegraded", err)
+	}
+	if err := e.WarmCache(req, &Response{}); !errors.Is(err, ErrWarmInvalid) {
+		t.Fatalf("nil-result warm: err = %v, want ErrWarmInvalid", err)
+	}
+	sweepReq := req
+	sweepReq.Sweep = true
+	if err := e.WarmCache(sweepReq, resp); !errors.Is(err, ErrWarmInvalid) {
+		t.Fatalf("sweepless response under a sweep request: err = %v, want ErrWarmInvalid", err)
+	}
+}
+
+func TestWarmCacheRejectsSupersededEpoch(t *testing.T) {
+	d := twoComponentDynamic(t)
+	e := dynamicTestEngine(t, d, Config{Workers: 2})
+	req := Request{Seed: 10, Method: MethodTEA}
+	resp, err := e.Do(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ApplyUpdates(graph.UpdateBatch{AddEdges: [][2]graph.NodeID{{2, 10}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WarmCache(req, resp); !errors.Is(err, ErrWarmStale) {
+		t.Fatalf("stale-epoch warm: err = %v, want ErrWarmStale", err)
+	}
+	if e.metrics.WarmRejectedStale.Load() != 1 {
+		t.Fatalf("WarmRejectedStale = %d, want 1", e.metrics.WarmRejectedStale.Load())
+	}
+	if _, ok := e.Peek(req); ok {
+		t.Fatal("rejected warm still landed in the cache")
+	}
+}
+
+func TestRetryAfterSecondsFloorsAtOne(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int64
+	}{
+		{0, 1},
+		{-time.Second, 1},
+		{time.Millisecond, 1},               // light-load estimate: would truncate to 0
+		{999 * time.Millisecond, 1},         //
+		{time.Second, 1},                    // exact boundary
+		{time.Second + time.Millisecond, 2}, // just past: rounds up
+		{2500 * time.Millisecond, 3},
+		{5 * time.Second, 5},
+	}
+	for _, c := range cases {
+		if got := RetryAfterSeconds(c.d); got != c.want {
+			t.Errorf("RetryAfterSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestDrainEstimateWithoutPressureController(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2, Pressure: PressureConfig{Disabled: true}})
+	// Must not panic (the controller is nil) and must respect the default
+	// clamp window.
+	d := e.DrainEstimate()
+	if d < defaultRetryAfterFloor || d > defaultRetryAfterCeil {
+		t.Fatalf("DrainEstimate = %v, want within [%v, %v]", d, defaultRetryAfterFloor, defaultRetryAfterCeil)
+	}
+}
+
+// TestStatsSchemaMachineReadablePressure asserts the /stats JSON schema the
+// router tier's health gossip depends on: a numeric pressure tier and a drain
+// estimate in milliseconds, with the tier reading -1 when the controller is
+// disabled; and that the matching Prometheus families validate.
+func TestStatsSchemaMachineReadablePressure(t *testing.T) {
+	e := newTestEngine(t, Config{Workers: 2})
+	if _, err := e.Do(context.Background(), Request{Seed: 17}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(e.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	tier, ok := fields["pressure_tier"].(float64)
+	if !ok {
+		t.Fatalf("pressure_tier missing or non-numeric in %s", raw)
+	}
+	if tier < 0 || tier > 3 {
+		t.Fatalf("pressure_tier = %g, want 0..3 with the controller enabled", tier)
+	}
+	drain, ok := fields["drain_estimate_ms"].(float64)
+	if !ok {
+		t.Fatalf("drain_estimate_ms missing or non-numeric in %s", raw)
+	}
+	if drain <= 0 {
+		t.Fatalf("drain_estimate_ms = %g, want > 0 (clamped to the floor)", drain)
+	}
+	for _, key := range []string{"cache_peeks", "warm_fills", "warm_rejected_stale"} {
+		if _, ok := fields[key]; !ok {
+			t.Fatalf("%s missing from the stats schema", key)
+		}
+	}
+
+	off := newTestEngine(t, Config{Workers: 2, Pressure: PressureConfig{Disabled: true}})
+	if off.Snapshot().PressureTier != -1 {
+		t.Fatalf("disabled controller: pressure_tier = %d, want -1", off.Snapshot().PressureTier)
+	}
+
+	var buf bytes.Buffer
+	e.WritePrometheus(&buf)
+	text := buf.String()
+	for _, family := range []string{"hkpr_serve_drain_estimate_seconds", "hkpr_serve_pressure_level", "hkpr_serve_warm_fills_total", "hkpr_serve_cache_peeks_total"} {
+		if !strings.Contains(text, family) {
+			t.Fatalf("Prometheus exposition missing %s", family)
+		}
+	}
+	if err := promtext.Validate(strings.NewReader(text)); err != nil {
+		t.Fatalf("Prometheus exposition invalid: %v", err)
+	}
+}

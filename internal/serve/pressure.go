@@ -351,30 +351,10 @@ func (e *Engine) observeAdmission(shed bool) {
 
 // retryAfter estimates how long a shed caller should back off: the time for
 // the current backlog to drain through the workers at the measured mean
-// execution latency, clamped to the configured window.
+// execution latency, clamped to the configured window (see
+// Engine.DrainEstimate in peer.go, which also exports the figure to /stats).
 func (e *Engine) retryAfter() time.Duration {
-	m := e.metrics
-	mean := retryAfterFallbackMean
-	if n := m.latency.count.Load(); n > 0 {
-		mean = time.Duration(m.latency.sum.Load() / n)
-		if mean <= 0 {
-			mean = retryAfterFallbackMean
-		}
-	}
-	depth := int64(len(e.queue))
-	if e.batch != nil {
-		depth += e.batch.pending.Load()
-	}
-	workers := int64(e.cfg.Workers)
-	est := time.Duration((depth + workers) / workers * int64(mean))
-	cfg := &e.pressure.cfg
-	if est < cfg.RetryAfterFloor {
-		est = cfg.RetryAfterFloor
-	}
-	if est > cfg.RetryAfterCeil {
-		est = cfg.RetryAfterCeil
-	}
-	return est
+	return e.DrainEstimate()
 }
 
 // OverloadedError is the shed error produced while the pressure controller is

@@ -92,6 +92,12 @@ var (
 	ErrInvariantViolation = core.ErrInvariantViolation
 )
 
+// RetryAfterSeconds converts a drain estimate (OverloadedError.RetryAfter)
+// into the whole-seconds value an HTTP Retry-After header carries: rounded up
+// and floored at 1 second, so a light-load estimate of a few milliseconds
+// never renders as "Retry-After: 0" (which clients read as "retry now").
+func RetryAfterSeconds(d time.Duration) int64 { return serve.RetryAfterSeconds(d) }
+
 // Engine is the concurrent query-serving subsystem: a worker-pool scheduler
 // with bounded admission, a byte-budgeted LRU result cache with request
 // coalescing, per-query cancellation threaded into the core estimators, and
